@@ -1,0 +1,156 @@
+//! Ablation: the opportunistic-batching design choices (DESIGN.md §7).
+//!
+//! 1. chunk-level batching on/off where it matters (512 B samples);
+//! 2. chunk size sweep against remote devices (per-request overhead
+//!    amortization vs cache granularity);
+//! 3. copy-thread pool size, including an expensive-copy variant (the
+//!    regime the paper's pool exists for);
+//! 4. SPDK queue depth against remote devices (latency hiding);
+//! 5. shared completion queue vs per-qpair polling: consolidated polling
+//!    CPU per delivered sample.
+
+use dlfs::{BatchMode, DlfsConfig};
+use dlfs_bench::{arg, fmt_sps, read_n, setup, Table, DEFAULT_SEED};
+use dlio::backend::DlfsBackend;
+use simkit::prelude::*;
+
+fn local_rate(seed: u64, source: &dlfs::SyntheticSource, cfg: DlfsConfig, n: usize) -> f64 {
+    let (m, _) = Runtime::simulate(seed, |rt| {
+        let fs = setup::dlfs_local(rt, source, cfg, 1);
+        let mut b = DlfsBackend::new(&fs, 0);
+        read_n(rt, &mut b, seed, 0, n, 32)
+    });
+    m.sample_rate()
+}
+
+/// One reader against `devices` remote devices.
+fn remote_rate(
+    seed: u64,
+    source: &dlfs::SyntheticSource,
+    cfg: DlfsConfig,
+    devices: usize,
+    n: usize,
+) -> (f64, dlfs::IoMetrics) {
+    let ((rate, metrics), _) = Runtime::simulate(seed, |rt| {
+        let fs = setup::dlfs_disagg(rt, 1, devices, source, cfg);
+        let mut b = DlfsBackend::new(&fs, 0);
+        let m = read_n(rt, &mut b, seed, 0, n, 32);
+        (m.sample_rate(), b.io().metrics())
+    });
+    (rate, metrics)
+}
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+
+    // --- 1. Chunk-level batching on/off (512 B samples, local NVMe).
+    println!("# Ablation 1: chunk-level batching (512B samples, local NVMe)\n");
+    let tiny = setup::fixed_source(seed, 512, 24 << 20, 40_000);
+    let mut t = Table::new(&["mode", "samples/s"]);
+    for (label, mode) in [
+        ("sample-level (off)", BatchMode::SampleLevel),
+        ("chunk-level (on)", BatchMode::ChunkLevel),
+    ] {
+        let mut cfg = DlfsConfig::default();
+        cfg.batch_mode = mode;
+        t.row(&[label.to_string(), fmt_sps(local_rate(seed, &tiny, cfg, 12_000))]);
+    }
+    t.print();
+
+    // --- 2. Chunk size sweep, 512 B samples over 4 remote devices.
+    println!("\n# Ablation 2: chunk size (512B samples, 4 remote NVMe-oF devices)\n");
+    let spread = setup::fixed_source(seed ^ 1, 512, 48 << 20, 100_000);
+    let mut t = Table::new(&["chunk", "samples/s", "device requests"]);
+    for kb in [8u64, 32, 128, 256, 512, 1024] {
+        let mut cfg = DlfsConfig::default();
+        cfg.chunk_size = kb << 10;
+        cfg.batch_mode = BatchMode::ChunkLevel;
+        cfg.pool_chunks = ((96 * 256) / kb as usize).max(cfg.window_chunks * 2 + 2);
+        let (rate, m) = remote_rate(seed, &spread, cfg, 4, 12_000);
+        t.row(&[
+            dlfs_bench::fmt_size(kb << 10),
+            fmt_sps(rate),
+            m.requests_posted.to_string(),
+        ]);
+    }
+    t.print();
+
+    // --- 3. Copy-thread pool size (128 KB samples, 4 remote devices).
+    println!("\n# Ablation 3: copy-thread pool (128KB samples, 4 remote devices)\n");
+    let big = setup::fixed_source(seed ^ 2, 128 << 10, 256 << 20, 30_000);
+    let mut t = Table::new(&["copy_threads", "fast memcpy (8GB/s)", "slow copy (2GB/s, e.g. decode)"]);
+    for k in [1usize, 2, 4, 8] {
+        let mut fast = DlfsConfig::default();
+        fast.copy_threads = k;
+        let (rf, _) = remote_rate(seed, &big, fast, 4, 2500);
+        let mut slow = DlfsConfig::default();
+        slow.copy_threads = k;
+        slow.costs.memcpy_bytes_per_sec = 2.0e9;
+        let (rs, _) = remote_rate(seed, &big, slow, 4, 2500);
+        t.row(&[k.to_string(), fmt_sps(rf), fmt_sps(rs)]);
+    }
+    t.print();
+
+    // --- 4. Queue depth (64 KB samples, sample-level, 4 remote devices).
+    println!("\n# Ablation 4: SPDK queue depth (64KB, sample-level, remote)\n");
+    let mid = setup::fixed_source(seed ^ 3, 64 << 10, 192 << 20, 30_000);
+    let mut t = Table::new(&["queue_depth", "samples/s"]);
+    for qd in [1usize, 2, 4, 8, 16, 32, 128] {
+        let mut cfg = DlfsConfig::default();
+        cfg.batch_mode = BatchMode::SampleLevel;
+        cfg.queue_depth = qd;
+        cfg.window_chunks = (4 * qd).max(8);
+        cfg.pool_chunks = (2 * cfg.window_chunks + 8).max(96);
+        let (rate, _) = remote_rate(seed, &mid, cfg, 4, 3000);
+        t.row(&[qd.to_string(), fmt_sps(rate)]);
+    }
+    t.print();
+
+    // --- 5. Shared completion queue: polling CPU per delivered sample.
+    println!("\n# Ablation 5: polling consolidation (16 remote devices, 4KB samples)\n");
+    let many = setup::fixed_source(seed ^ 4, 4096, 96 << 20, 30_000);
+    let mut t = Table::new(&["polling", "samples/s", "poll CPU/sample"]);
+    for (label, scq) in [("per-qpair", false), ("shared CQ", true)] {
+        let mut cfg = DlfsConfig::default();
+        cfg.shared_completion_queue = scq;
+        let iter_cost = cfg.costs.poll_iteration;
+        let (rate, m) = remote_rate(seed, &many, cfg, 16, 8000);
+        let per_spin = if scq { iter_cost } else { iter_cost * 16 };
+        let cpu_ns = m.poll_spins as f64 * per_spin.as_nanos() as f64
+            / m.samples_delivered.max(1) as f64;
+        t.row(&[label.to_string(), fmt_sps(rate), format!("{cpu_ns:.0}ns")]);
+    }
+    t.print();
+    println!("\n(the SCQ consolidates per-spin work across qpairs — paper §III-C2)");
+
+    // --- 6. Zero-copy delivery (the paper's future work, implemented).
+    println!("\n# Ablation 6: copy vs zero-copy delivery (128KB samples, local NVMe)\n");
+    let big_local = setup::fixed_source(seed ^ 5, 128 << 10, 256 << 20, 30_000);
+    let mut t = Table::new(&["delivery", "samples/s", "CPU us/sample"]);
+    for zero in [false, true] {
+        let ((rate, cpu_per), _) = Runtime::simulate(seed, |rt| {
+            let fs = setup::dlfs_local(rt, &big_local, DlfsConfig::default(), 1);
+            let mut io = fs.io(0);
+            io.sequence(rt, seed, 0);
+            let t0 = rt.now();
+            let busy0 = rt.total_busy();
+            let mut read = 0usize;
+            while read < 1500 {
+                if zero {
+                    read += io.bread_zero_copy(rt, 32).unwrap().len();
+                } else {
+                    read += io.bread(rt, 32, Dur::ZERO).unwrap().len();
+                }
+            }
+            let dt = (rt.now() - t0).as_secs_f64();
+            let cpu = (rt.total_busy() - busy0).as_micros_f64() / read as f64;
+            (read as f64 / dt, cpu)
+        });
+        t.row(&[
+            if zero { "zero-copy (pinned chunks)" } else { "copy threads (paper)" }.into(),
+            fmt_sps(rate),
+            format!("{cpu_per:.1}"),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,61 @@
+//! Extension experiment: mini-batch fetch latency distributions.
+//!
+//! The paper reports only throughput; training stalls are governed by the
+//! *tail* of per-batch fetch latency. This experiment records the
+//! distribution of 32-sample batch fetch times on every system (single
+//! node reading from a 4-device disaggregated pool, batch = 32).
+
+use dlfs_bench::{arg, fmt_size, read_n_latency, setup, Table, DEFAULT_SEED};
+use dlio::backend::{DlfsBackend, Ext4Backend, OctoBackend, ReaderBackend};
+use simkit::prelude::*;
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let n: usize = arg("n", 4000);
+    let devices: usize = arg("devices", 4);
+
+    for size in [4096u64, 128 << 10] {
+        println!(
+            "# Extension: batch-fetch latency, {} samples, batch=32 ({} remote devices for DLFS/Octopus; local Ext4)\n",
+            fmt_size(size),
+            devices
+        );
+        let source = setup::fixed_source(seed ^ size, size, 256 << 20, 40_000);
+        let mut t = Table::new(&["system", "p50", "p95", "p99", "mean"]);
+
+        let mut run = |label: &str, mk: &mut dyn FnMut(&Runtime) -> Box<dyn ReaderBackend>| {
+            let ((mean, p50, p95, p99), _) = Runtime::simulate(seed, |rt| {
+                let mut b = mk(rt);
+                let (_m, h) = read_n_latency(rt, b.as_mut(), seed, 0, n, 32);
+                (h.mean(), h.quantile(0.5), h.quantile(0.95), h.quantile(0.99))
+            });
+            t.row(&[
+                label.to_string(),
+                format!("{}", Dur::nanos(p50)),
+                format!("{}", Dur::nanos(p95)),
+                format!("{}", Dur::nanos(p99)),
+                format!("{}", Dur::nanos(mean as u64)),
+            ]);
+        };
+
+        let src = source.clone();
+        run("DLFS", &mut |rt| {
+            let fs = setup::dlfs_disagg(rt, 1, devices, &src, dlfs::DlfsConfig::default());
+            Box::new(DlfsBackend::new(&fs, 0))
+        });
+        let src = source.clone();
+        run("Ext4 (local)", &mut |_rt| {
+            let (fs, staged) = setup::ext4_local(&src, 0, 1);
+            Box::new(Ext4Backend::new(fs, staged, setup::sizer(&src)))
+        });
+        let src = source.clone();
+        run("Octopus", &mut |rt| {
+            let (fs, staged) = setup::octopus_cluster(rt, devices, &src);
+            let shard = setup::shard_names(&staged, 0, devices);
+            Box::new(OctoBackend::new(fs, 0, shard, setup::sizer(&src)))
+        });
+        t.print();
+        println!();
+    }
+    println!("(quantiles are power-of-two bucket upper bounds)");
+}

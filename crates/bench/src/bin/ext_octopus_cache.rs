@@ -1,0 +1,86 @@
+//! Extension experiment: would a client-side metadata cache fix Octopus?
+//!
+//! The paper attributes Octopus's weakness to "frequent inter-node
+//! communication for sample lookup". DLFS's answer is a full client
+//! replica of the directory. A cheaper fix — caching metadata at the
+//! client — is the obvious counter-proposal, so we implement it and ask
+//! how much of the gap it closes:
+//!
+//! * epoch 0 pays full lookup RPCs (cold cache);
+//! * later epochs hit the cache — metadata cost ≈ DLFS's;
+//! * the remaining gap is the paper's other contribution: opportunistic
+//!   batching of the small-sample *data* path, which no metadata cache
+//!   can provide.
+
+use dlfs::SampleSource;
+use dlfs_bench::{arg, fmt_size, fmt_sps, ratio, read_n, setup, Table, DEFAULT_SEED};
+use dlio::backend::{DlfsBackend, OctoBackend};
+use simkit::prelude::*;
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let nodes: usize = arg("nodes", 8);
+    let per_node: usize = arg("per_node", 1500);
+
+    println!("# Extension: Octopus + client metadata cache vs DLFS ({nodes} nodes)\n");
+
+    for size in [512u64, 128 << 10] {
+        let source = setup::fixed_source(seed ^ size, size, (nodes as u64) * (48 << 20), nodes * 3000);
+        // Whole-shard epochs: a warm second epoch then revisits every name.
+        let per = per_node.max(source.count() / nodes).min(source.count() / nodes);
+        println!("## {} samples\n", fmt_size(size));
+        let mut t = Table::new(&["system", "epoch 0 (cold)", "epoch 1 (warm)", "cache hits"]);
+
+        // Octopus without cache: both epochs pay lookups.
+        let ((o0, o1), _) = Runtime::simulate(seed, |rt| {
+            let (fs, staged) = setup::octopus_cluster(rt, nodes, &source);
+            let shard = setup::shard_names(&staged, 0, nodes);
+            let mut b = OctoBackend::new(fs, 0, shard, setup::sizer(&source));
+            let m0 = read_n(rt, &mut b, seed, 0, per, 32);
+            let m1 = read_n(rt, &mut b, seed, 1, per, 32);
+            (m0.sample_rate(), m1.sample_rate())
+        });
+        t.row(&[
+            "Octopus (paper)".into(),
+            fmt_sps(o0),
+            fmt_sps(o1),
+            "-".into(),
+        ]);
+
+        // Octopus with the client cache extension.
+        let ((c0, c1, hits), _) = Runtime::simulate(seed, |rt| {
+            let (fs, staged) = setup::octopus_cluster(rt, nodes, &source);
+            let shard = setup::shard_names(&staged, 0, nodes);
+            let mut b = OctoBackend::new(fs, 0, shard, setup::sizer(&source))
+                .with_client_cache(source.count());
+            let m0 = read_n(rt, &mut b, seed, 0, per, 32);
+            let m1 = read_n(rt, &mut b, seed, 1, per, 32);
+            (m0.sample_rate(), m1.sample_rate(), b.cache_stats.0)
+        });
+        t.row(&[
+            "Octopus + client cache".into(),
+            fmt_sps(c0),
+            fmt_sps(c1),
+            hits.to_string(),
+        ]);
+
+        // DLFS reference (single reader of an equal cluster, same share).
+        let ((d0, d1), _) = Runtime::simulate(seed, |rt| {
+            let fs = setup::dlfs_disagg(rt, nodes, nodes, &source, dlfs::DlfsConfig::default());
+            let mut b = DlfsBackend::new(&fs, 0);
+            let m0 = read_n(rt, &mut b, seed, 0, per, 32);
+            let m1 = read_n(rt, &mut b, seed, 1, per, 32);
+            (m0.sample_rate(), m1.sample_rate())
+        });
+        t.row(&["DLFS".into(), fmt_sps(d0), fmt_sps(d1), "-".into()]);
+        t.print();
+
+        println!(
+            "cache recovers {:.0}% of Octopus's warm-epoch gap to DLFS at {}; \
+             the rest is the batched data path ({:.1}x remains)\n",
+            100.0 * (c1 - o1) / (d1 - o1).max(1.0),
+            fmt_size(size),
+            ratio(d1, c1),
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Extension experiment: the TFRecord partial-shuffle problem, quantified.
+//!
+//! The paper's §II-B argues that batched container formats (TFRecord) read
+//! sequentially through a bounded shuffle buffer deliver only *partially
+//! shuffled* samples, hurting accuracy — and that DLFS's record-level
+//! directory gives full randomization over the very same container files.
+//! The paper asserts this qualitatively; this experiment measures it:
+//!
+//! 1. shuffle quality of sequential-TFRecord + shuffle-buffer vs DLFS;
+//! 2. validation accuracy when the containers are written class-sorted
+//!    (the realistic preprocessing order) under each regime;
+//! 3. read throughput of both paths — randomization is not paid for with
+//!    bandwidth.
+
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, NvmeDevice};
+use dlfs::{mount_local, DlfsConfig, SampleSource};
+use dlfs_bench::{arg, fmt_sps, Table, DEFAULT_SEED};
+use dlio::pipeline::{shuffle_quality, ShuffleBuffer};
+use dlio::TfRecordDataset;
+use dnn::{tail_accuracy, train_with_orders, ClassData, TrainConfig};
+use simkit::prelude::*;
+
+/// Wrap encoded ClassData records so they can be packaged into TFRecords.
+struct EncodedSource {
+    records: Vec<Vec<u8>>,
+}
+
+impl SampleSource for EncodedSource {
+    fn count(&self) -> usize {
+        self.records.len()
+    }
+    fn name(&self, id: u32) -> String {
+        format!("rec_{id:07}")
+    }
+    fn size(&self, id: u32) -> u64 {
+        self.records[id as usize].len() as u64
+    }
+    fn fill(&self, id: u32, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.records[id as usize]);
+    }
+}
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let n: usize = arg("n", 10_000);
+    let epochs: usize = arg("epochs", 25);
+
+    println!("# Extension: TFRecord partial shuffle vs DLFS record-level access\n");
+
+    // ---------- 1 + 2. Accuracy: class-sorted containers.
+    let (mut train, val) = ClassData::synthetic(seed, n, 48, 8, 2.2).split(0.2);
+    // Sort the training set by class — the order preprocessing pipelines
+    // typically write records in (per-class directories → per-class shards).
+    let mut perm: Vec<u32> = (0..train.len() as u32).collect();
+    let ys = train.ys.clone();
+    perm.sort_by_key(|&i| ys[i as usize]);
+    let sorted = ClassData {
+        features: train.features,
+        classes: train.classes,
+        xs: perm
+            .iter()
+            .flat_map(|&i| {
+                train.xs[i as usize * train.features..(i as usize + 1) * train.features].to_vec()
+            })
+            .collect(),
+        ys: perm.iter().map(|&i| train.ys[i as usize]).collect(),
+    };
+    train = sorted;
+    let train_n = train.len();
+
+    let cfg = TrainConfig {
+        epochs,
+        hidden: vec![48],
+        seed,
+        ..Default::default()
+    };
+
+    // Sequential container read through a shuffle buffer of size B: the
+    // epoch order is the buffer's output over the class-sorted stream.
+    let buffer_order = |buf: usize, epoch: usize| -> Vec<u32> {
+        let stream: Vec<u32> = (0..train_n as u32).collect();
+        ShuffleBuffer::shuffle_stream(buf, seed ^ (epoch as u64) << 8, stream)
+    };
+
+    // DLFS order over the same containers: records indexed individually,
+    // chunk-batched plan.
+    let records: Vec<Vec<u8>> = (0..train_n).map(|i| train.encode(i)).collect();
+    let enc = EncodedSource { records };
+    let ds = TfRecordDataset::package(&enc, 128);
+    let (record_dir, _) = Runtime::simulate(seed, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
+        let containers = mount_local(rt, dev, &ds, DlfsConfig::default()).unwrap();
+        ds.record_directory(&containers.dir).unwrap()
+    });
+    let dlfs_order = |epoch: usize| -> Vec<u32> {
+        dlfs::build_epoch_plan(
+            &record_dir,
+            64 << 10,
+            1,
+            dlfs::BatchMode::ChunkLevel,
+            12,
+            seed,
+            epoch as u64,
+        )
+        .readers[0]
+            .order
+            .clone()
+    };
+
+    println!("## Shuffle quality (1.0 = uniform random) and accuracy on class-sorted TFRecords\n");
+    let mut t = Table::new(&["regime", "shuffle quality", "val accuracy"]);
+    let full = train_with_orders(&train, &val, &cfg, |e| {
+        dlfs::full_random_order(train_n, seed, e as u64)
+    });
+    t.row(&[
+        "app full shuffle (ideal)".into(),
+        "1.00".into(),
+        format!("{:.4}", tail_accuracy(&full, 5)),
+    ]);
+    let dl = train_with_orders(&train, &val, &cfg, dlfs_order);
+    let dl_q = shuffle_quality(train_n, &dlfs_order(0));
+    t.row(&[
+        "DLFS record-level".into(),
+        format!("{dl_q:.2}"),
+        format!("{:.4}", tail_accuracy(&dl, 5)),
+    ]);
+    for buf in [256usize, 1024, 4096, train_n] {
+        let stats = train_with_orders(&train, &val, &cfg, |e| buffer_order(buf, e));
+        let q = shuffle_quality(train_n, &buffer_order(buf, 0));
+        let label = if buf == train_n {
+            "TFRecord + whole-set buffer".to_string()
+        } else {
+            format!("TFRecord + {buf}-sample buffer")
+        };
+        t.row(&[
+            label,
+            format!("{q:.2}"),
+            format!("{:.4}", tail_accuracy(&stats, 5)),
+        ]);
+    }
+    t.print();
+
+    // ---------- 3. Throughput of both read paths over the same containers.
+    println!("\n## Read throughput over the same staged containers\n");
+    let mut t = Table::new(&["path", "records/s"]);
+    // Ext4 sequential container streaming.
+    let (ext4_rate, _) = Runtime::simulate(seed, |rt| {
+        use kernsim::{Ext4Fs, FsOptions, KernelCosts};
+        let dev = NvmeDevice::new(DeviceConfig::optane(512 << 20));
+        let fs = Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default());
+        fs.mkdir_p("/data").unwrap();
+        let mut buf = Vec::new();
+        for c in 0..ds.container_count() as u32 {
+            buf.resize(ds.size(c) as usize, 0);
+            ds.fill(c, &mut buf);
+            fs.create_untimed(&format!("/data/{}", ds.name(c)), &buf).unwrap();
+        }
+        fs.drop_caches();
+        let t0 = rt.now();
+        let mut records = 0usize;
+        let mut chunk = vec![0u8; 256 << 10];
+        for c in 0..ds.container_count() as u32 {
+            let path = format!("/data/{}", ds.name(c));
+            let fd = fs.open(rt, &path).unwrap();
+            let size = ds.size(c);
+            let mut off = 0u64;
+            while off < size {
+                let got = fs.pread(rt, fd, off, &mut chunk).unwrap();
+                if got == 0 {
+                    break;
+                }
+                off += got as u64;
+            }
+            fs.close(rt, fd).unwrap();
+            records += dlio::tfrecord_index(ds.container_bytes(c)).unwrap().len();
+        }
+        records as f64 / (rt.now() - t0).as_secs_f64()
+    });
+    t.row(&["Ext4 sequential + shuffle buffer".into(), fmt_sps(ext4_rate)]);
+
+    // DLFS record-level random access.
+    let (dlfs_rate, _) = Runtime::simulate(seed, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
+        let containers = mount_local(rt, dev, &ds, DlfsConfig::default()).unwrap();
+        let rd = ds.record_directory(&containers.dir).unwrap();
+        let records = containers.with_directory(rt, Arc::clone(&rd));
+        let mut io = records.io(0);
+        let total = io.sequence(rt, seed, 0);
+        let t0 = rt.now();
+        let mut read = 0;
+        while read < total {
+            read += io.bread(rt, 64, Dur::ZERO).unwrap().len();
+        }
+        read as f64 / (rt.now() - t0).as_secs_f64()
+    });
+    t.row(&["DLFS record-level random".into(), fmt_sps(dlfs_rate)]);
+    t.print();
+
+    println!();
+    println!("reading: small shuffle buffers keep most of the class-sorted order");
+    println!("(low quality -> accuracy loss); matching the ideal accuracy needs a");
+    println!("buffer approaching the whole dataset (= memory DLFS doesn't spend).");
+    println!("DLFS delivers near-fully-shuffled records from the same container");
+    println!("bytes; its record-level path trades some raw streaming throughput");
+    println!("for randomization that no affordable shuffle buffer provides.");
+}

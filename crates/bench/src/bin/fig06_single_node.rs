@@ -1,0 +1,135 @@
+//! Figure 6: random-read sample throughput on a single node with a real
+//! (Optane-class) NVMe device, as sample size sweeps 512 B → 1 MB.
+//!
+//! Series: Ext4-Base (1 thread), Ext4-MC (10 threads/cores), DLFS-Base
+//! (synchronous `dlfs_read`), DLFS (opportunistic batching).
+//!
+//! Paper's headlines to compare against:
+//!   * DLFS-Base ≥ 1.82x Ext4-Base at sample sizes ≤ 4 KB;
+//!   * DLFS ≈ 3.35x Ext4-MC for small samples;
+//!   * Ext4-Base ~43.8 % below DLFS for sizes ≥ 16 KB.
+
+use dlfs::DlfsConfig;
+use dlfs_bench::{arg, fmt_size, fmt_sps, ratio, read_n, read_parallel, setup, BackendFactory, Table, DEFAULT_SEED};
+use dlfs::SampleSource;
+use dlio::backend::{DlfsBackend, DlfsBaseBackend, Ext4Backend, ReaderBackend};
+use simkit::prelude::*;
+
+const SIZES: &[u64] = &[
+    512,
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+];
+
+/// Threads for the Ext4-MC configuration (the testbed had 10 cores/node).
+const MC_THREADS: usize = 10;
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let budget: u64 = arg("budget_mb", 96u64) << 20;
+    let reads: usize = arg("reads", 4000);
+
+    println!("# Fig 6: single-node random-read sample throughput (samples/s)");
+    println!("# device: Optane-class NVMe; batch = 32 samples\n");
+
+    let mut table = Table::new(&[
+        "size", "Ext4-Base", "Ext4-MC", "DLFS-Base", "DLFS", "DLFS/Ext4MC", "DLFSb/Ext4b",
+    ]);
+    let mut small_ratios = Vec::new(); // DLFS vs Ext4-MC for ≤ 4 KB
+    let mut base_ratios = Vec::new(); // DLFS-Base vs Ext4-Base for ≤ 4 KB
+    let mut large_ratios = Vec::new(); // DLFS vs Ext4-Base for ≥ 16 KB
+
+    for &size in SIZES {
+        let source = setup::fixed_source(seed ^ size, size, budget, 50_000);
+        let n = reads.min(source.count());
+
+        // --- DLFS (opportunistic batching).
+        let (dlfs_m, _) = Runtime::simulate(seed, |rt| {
+            let fs = setup::dlfs_local(rt, &source, DlfsConfig::default(), 1);
+            let mut b = DlfsBackend::new(&fs, 0);
+            read_n(rt, &mut b, seed, 0, n, 32)
+        });
+
+        // --- DLFS-Base (synchronous dlfs_read per sample).
+        let n_sync = n.min(1500);
+        let (dlfs_base_m, _) = Runtime::simulate(seed, |rt| {
+            let fs = setup::dlfs_local(rt, &source, DlfsConfig::default(), 1);
+            let mut b = DlfsBaseBackend::new(&fs, 0);
+            read_n(rt, &mut b, seed, 0, n_sync, 32)
+        });
+
+        // --- Ext4-Base (one thread, one core).
+        let (ext4_m, _) = Runtime::simulate(seed, |rt| {
+            let (fs, staged) = setup::ext4_local(&source, 0, 1);
+            let mut b = Ext4Backend::new(fs, staged, setup::sizer(&source));
+            read_n(rt, &mut b, seed, 0, n.min(2500), 32)
+        });
+
+        // --- Ext4-MC (MC_THREADS threads on MC_THREADS cores).
+        let (ext4_mc_m, _) = Runtime::simulate(seed, |rt| {
+            let (fs, staged) = setup::ext4_local(&source, 0, 1);
+            fs.set_active_threads(MC_THREADS);
+            let per = n.min(staged.len()) / MC_THREADS;
+            let factories: Vec<BackendFactory> = (0..MC_THREADS)
+                .map(|t| {
+                    let fs = fs.clone();
+                    let shard: Vec<(u32, String)> = staged
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % MC_THREADS == t)
+                        .map(|(_, f)| f.clone())
+                        .collect();
+                    let sz = setup::sizer(&source);
+                    Box::new(move |_rt: &Runtime| {
+                        Box::new(Ext4Backend::new(fs, shard, sz)) as Box<dyn ReaderBackend>
+                    }) as BackendFactory
+                })
+                .collect();
+            read_parallel(rt, factories, seed, 0, per.max(8), 32)
+        });
+
+        let (eb, emc, db, dl) = (
+            ext4_m.sample_rate(),
+            ext4_mc_m.sample_rate(),
+            dlfs_base_m.sample_rate(),
+            dlfs_m.sample_rate(),
+        );
+        if size <= 4 << 10 {
+            small_ratios.push(ratio(dl, emc));
+            base_ratios.push(ratio(db, eb));
+        }
+        if size >= 16 << 10 {
+            large_ratios.push(ratio(dl, eb));
+        }
+        table.row(&[
+            fmt_size(size),
+            fmt_sps(eb),
+            fmt_sps(emc),
+            fmt_sps(db),
+            fmt_sps(dl),
+            format!("{:.2}x", ratio(dl, emc)),
+            format!("{:.2}x", ratio(db, eb)),
+        ]);
+    }
+    table.print();
+    println!("\n# csv\n{}", table.csv());
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("paper: DLFS-Base >= 1.82x Ext4-Base at <=4KB   | measured avg: {:.2}x", avg(&base_ratios));
+    println!("paper: DLFS ~ 3.35x Ext4-MC for small samples  | measured avg: {:.2}x", avg(&small_ratios));
+    let large = avg(&large_ratios);
+    println!(
+        "paper: Ext4-Base ~43.8% below DLFS at >=16KB   | measured: {:.1}% below ({:.2}x)",
+        (1.0 - 1.0 / large) * 100.0,
+        large
+    );
+}

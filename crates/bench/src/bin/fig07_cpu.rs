@@ -1,0 +1,182 @@
+//! Figure 7: CPU utilization of DLFS.
+//!
+//! * Part (a): device bandwidth vs number of I/O cores. Paper: "DLFS
+//!   saturates the peak NVMe bandwidth for all sample sizes with as few as
+//!   only one core. In contrast, Ext4 needs three or more cores", with a
+//!   slight drop at high core counts from contention.
+//! * Part (b): computation that can be added per mini-batch without losing
+//!   throughput (busy-poll overlap). Paper: ~2 ms for 32 x 128 KB samples;
+//!   less for 16 KB (fast completions, sample-level); 512 B behaves like
+//!   128 KB because the actual device requests are chunk-sized.
+
+use dlfs::{BatchMode, DlfsConfig, SampleSource};
+use dlfs_bench::{arg, fmt_size, read_parallel, setup, BackendFactory, Table, DEFAULT_SEED};
+use dlio::backend::{DlfsBackend, Ext4Backend, ReaderBackend};
+use simkit::prelude::*;
+
+fn part_a(seed: u64) {
+    println!("# Fig 7a: bandwidth (GB/s) vs I/O cores (peak device ~2.2 GB/s)\n");
+    let sizes: &[u64] = &[4 << 10, 128 << 10, 1 << 20];
+    let cores: &[usize] = &[1, 2, 3, 4, 6, 8, 10];
+    let mut t = Table::new(&[
+        "cores",
+        "DLFS 4KB",
+        "DLFS 128KB",
+        "DLFS 1MB",
+        "Ext4 4KB",
+        "Ext4 128KB",
+        "Ext4 1MB",
+    ]);
+    let mut rows: Vec<Vec<String>> = cores.iter().map(|c| vec![c.to_string()]).collect();
+
+    for &size in sizes {
+        let source = setup::fixed_source(seed ^ size, size, 96 << 20, 24_000);
+        for (ci, &k) in cores.iter().enumerate() {
+            // DLFS: k reader threads share the one local device.
+            let n_per = (3000 / k).max(64).min(source.count() / k.max(1));
+            let (m, _) = Runtime::simulate(seed, |rt| {
+                let fs = std::sync::Arc::new(setup::dlfs_local(
+                    rt,
+                    &source,
+                    DlfsConfig::default(),
+                    k,
+                ));
+                let factories: Vec<BackendFactory> = (0..k)
+                    .map(|r| {
+                        let fs = fs.clone();
+                        Box::new(move |_rt: &Runtime| {
+                            Box::new(DlfsBackend::new(&fs, r)) as Box<dyn ReaderBackend>
+                        }) as BackendFactory
+                    })
+                    .collect();
+                read_parallel(rt, factories, seed, 0, n_per, 32)
+            });
+            rows[ci].push(format!("{:.2}", m.byte_rate() / 1e9));
+        }
+    }
+    for &size in sizes {
+        let source = setup::fixed_source(seed ^ size, size, 96 << 20, 24_000);
+        for (ci, &k) in cores.iter().enumerate() {
+            let (m, _) = Runtime::simulate(seed, |rt| {
+                let (fs, staged) = setup::ext4_local(&source, 0, 1);
+                fs.set_active_threads(k);
+                let per = (3000 / k).max(32).min(staged.len() / k.max(1));
+                let factories: Vec<BackendFactory> = (0..k)
+                    .map(|tid| {
+                        let fs = fs.clone();
+                        let shard: Vec<(u32, String)> = staged
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % k == tid)
+                            .map(|(_, f)| f.clone())
+                            .collect();
+                        let sz = setup::sizer(&source);
+                        Box::new(move |_rt: &Runtime| {
+                            Box::new(Ext4Backend::new(fs, shard, sz)) as Box<dyn ReaderBackend>
+                        }) as BackendFactory
+                    })
+                    .collect();
+                read_parallel(rt, factories, seed, 0, per, 32)
+            });
+            rows[ci].push(format!("{:.2}", m.byte_rate() / 1e9));
+        }
+    }
+    for r in rows {
+        t.row(&r);
+    }
+    t.print();
+    println!("\n# csv\n{}", t.csv());
+}
+
+fn part_b(seed: u64) {
+    println!("# Fig 7b: throughput (normalized) vs computation added per 32-sample batch\n");
+    // (size, forced mode) — 16 KB runs sample-level, reproducing the
+    // paper's reduced overlap for medium samples.
+    let configs: &[(u64, BatchMode)] = &[
+        (512, BatchMode::ChunkLevel),
+        (16 << 10, BatchMode::SampleLevel),
+        (128 << 10, BatchMode::ChunkLevel),
+    ];
+    let compute_us: &[u64] = &[0, 250, 500, 750, 1000, 1500, 2000, 2500, 3000, 4000, 5000];
+    let mut t = Table::new(&["compute_ms", "512B", "16KB", "128KB"]);
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+
+    for &(size, mode) in configs {
+        let source = setup::fixed_source(seed ^ size, size, 128 << 20, 40_000);
+        let mut col = Vec::new();
+        for &us in compute_us {
+            let (m, _) = Runtime::simulate(seed, |rt| {
+                let mut cfg = DlfsConfig::default();
+                cfg.batch_mode = mode;
+                cfg.window_chunks = 16;
+                cfg.pool_chunks = 128;
+                let fs = setup::dlfs_local(rt, &source, cfg, 1);
+                let mut b = DlfsBackend::new(&fs, 0);
+                // The computation runs *inside the polling loop* (paper
+                // §IV-A2): whenever the I/O thread would busy-poll for
+                // completions, it executes `us` of application compute
+                // instead, overlapping with the in-flight SPDK requests.
+                b.inject_compute = Dur::micros(us);
+                // Measure enough samples that pipeline fill is amortized.
+                let n = match size {
+                    s if s <= 1024 => 24_576,
+                    s if s <= 32 << 10 => 6_144,
+                    _ => 2_048,
+                }
+                .min(source.count());
+                let avail = b.begin_epoch(rt, seed, 0);
+                let want = n.min(avail);
+                let t0 = rt.now();
+                let mut got = 0;
+                while got < want {
+                    if let Some(batch) = b.next_batch(rt, 32) {
+                        got += batch.len();
+                    } else {
+                        break;
+                    }
+                }
+                (got as f64) / (rt.now() - t0).as_secs_f64()
+            });
+            col.push(m);
+        }
+        cols.push(col);
+    }
+    for (i, &us) in compute_us.iter().enumerate() {
+        t.row(&[
+            format!("{:.2}", us as f64 / 1000.0),
+            format!("{:.3}", cols[0][i] / cols[0][0]),
+            format!("{:.3}", cols[1][i] / cols[1][0]),
+            format!("{:.3}", cols[2][i] / cols[2][0]),
+        ]);
+    }
+    t.print();
+    println!("\n# csv\n{}", t.csv());
+
+    // Knee = largest compute with ≥90 % of the zero-compute throughput.
+    for (ci, &(size, _)) in configs.iter().enumerate() {
+        let knee = compute_us
+            .iter()
+            .zip(&cols[ci])
+            .filter(|(_, &v)| v >= cols[ci][0] * 0.9)
+            .map(|(&us, _)| us)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "overlap knee for {}: ~{:.2} ms (paper: ~2 ms for 128KB & 512B, less for 16KB)",
+            fmt_size(size),
+            knee as f64 / 1000.0
+        );
+    }
+}
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let part: String = arg("part", "ab".to_string());
+    if part.contains('a') {
+        part_a(seed);
+        println!();
+    }
+    if part.contains('b') {
+        part_b(seed);
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 8: aggregated random-read sample throughput over 16 nodes
+//! (one emulated NVMe device per node) as sample size sweeps 512 B → 1 MB.
+//!
+//! Paper's headlines: DLFS ≈ 9.72x Ext4 and 6.05x Octopus at ≤ 4 KB;
+//! ≈ 1.31x / 1.12x at ≥ 16 KB.
+
+use dlfs_bench::{
+    arg, cluster_throughput, fmt_size, fmt_sps, ratio, setup, System, Table, DEFAULT_SEED,
+};
+use dlfs::SampleSource;
+
+const SIZES: &[u64] = &[
+    512,
+    2 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    128 << 10,
+    512 << 10,
+    1 << 20,
+];
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let nodes: usize = arg("nodes", 16);
+    let per_node: usize = arg("per_node", 1200);
+    let budget: u64 = arg("budget_mb", 384u64) << 20;
+
+    println!("# Fig 8: aggregated read throughput over {nodes} nodes (samples/s)");
+    println!("# one emulated NVMe device per node; batch = 32\n");
+
+    let mut t = Table::new(&["size", "Ext4", "Octopus", "DLFS", "DLFS/Ext4", "DLFS/Octo"]);
+    let (mut small_e, mut small_o, mut large_e, mut large_o) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+
+    for &size in SIZES {
+        let source = setup::fixed_source(seed ^ size, size, budget, nodes * 3000);
+        let per = per_node.min(source.count() / nodes);
+
+        let dlfs = cluster_throughput(seed, System::Dlfs, nodes, &source, per, 32).sample_rate();
+        let ext4 = cluster_throughput(seed, System::Ext4, nodes, &source, per, 32).sample_rate();
+        let octo =
+            cluster_throughput(seed, System::Octopus, nodes, &source, per.min(600), 32).sample_rate();
+
+        if size <= 4 << 10 {
+            small_e.push(ratio(dlfs, ext4));
+            small_o.push(ratio(dlfs, octo));
+        } else if size >= 16 << 10 {
+            large_e.push(ratio(dlfs, ext4));
+            large_o.push(ratio(dlfs, octo));
+        }
+        t.row(&[
+            fmt_size(size),
+            fmt_sps(ext4),
+            fmt_sps(octo),
+            fmt_sps(dlfs),
+            format!("{:.2}x", ratio(dlfs, ext4)),
+            format!("{:.2}x", ratio(dlfs, octo)),
+        ]);
+    }
+    t.print();
+    println!("\n# csv\n{}", t.csv());
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("paper: DLFS ~9.72x Ext4 at <=4KB  | measured avg: {:.2}x", avg(&small_e));
+    println!("paper: DLFS ~6.05x Octopus <=4KB  | measured avg: {:.2}x", avg(&small_o));
+    println!("paper: DLFS ~1.31x Ext4 at >=16KB | measured avg: {:.2}x", avg(&large_e));
+    println!("paper: DLFS ~1.12x Octopus >=16KB | measured avg: {:.2}x", avg(&large_o));
+}

@@ -1,0 +1,85 @@
+//! Figure 11: effective throughput against a pool of disaggregated NVMe
+//! devices, 128 KB samples.
+//!
+//! Series: DLFS-1C (one client, N remote devices) and DLFS-16C (sixteen
+//! clients) against the analytically ideal NVMe-1C / NVMe-16C curves. The
+//! single client's ideal bends at the point its NIC (~6.8 GB/s) can no
+//! longer absorb the aggregate device bandwidth (N × 2.2 GB/s).
+//!
+//! Paper's headlines: one client reaches ~93.4 % of ideal; sixteen clients
+//! reach up to ~88 % and scale linearly with devices.
+
+use dlfs::DlfsConfig;
+use dlfs_bench::{arg, fmt_sps, read_parallel, setup, BackendFactory, Table, DEFAULT_SEED};
+use dlio::backend::{DlfsBackend, ReaderBackend};
+use fabric::FabricConfig;
+use simkit::prelude::*;
+
+const SAMPLE: u64 = 128 << 10;
+const DEV_BW: f64 = 2.2e9;
+
+fn run(seed: u64, readers: usize, devices: usize, per_reader: usize) -> f64 {
+    let source = setup::fixed_source(seed ^ devices as u64, SAMPLE, 384 << 20, 40_000);
+    let (m, _) = Runtime::simulate(seed, |rt| {
+        let fs = std::sync::Arc::new(setup::dlfs_disagg(
+            rt,
+            readers,
+            devices,
+            &source,
+            DlfsConfig::default(),
+        ));
+        let factories: Vec<BackendFactory> = (0..readers)
+            .map(|r| {
+                let fs = fs.clone();
+                Box::new(move |_rt: &Runtime| {
+                    Box::new(DlfsBackend::new(&fs, r)) as Box<dyn ReaderBackend>
+                }) as BackendFactory
+            })
+            .collect();
+        read_parallel(rt, factories, seed, 0, per_reader, 32)
+    });
+    m.sample_rate()
+}
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let per_reader: usize = arg("per_reader", 1200);
+    let devices_list: Vec<usize> = vec![1, 2, 4, 8, 16];
+    let nic = FabricConfig::default().nic_bytes_per_sec;
+
+    println!("# Fig 11: effective sample throughput on disaggregated NVMe devices (128 KB samples)\n");
+    let mut t = Table::new(&[
+        "devices", "NVMe-1C", "DLFS-1C", "eff-1C", "NVMe-16C", "DLFS-16C", "eff-16C",
+    ]);
+    let mut eff1 = Vec::new();
+    let mut eff16 = Vec::new();
+    let mut rates16 = Vec::new();
+    for &n in &devices_list {
+        let ideal_1c = (n as f64 * DEV_BW).min(nic) / SAMPLE as f64;
+        let ideal_16c = n as f64 * DEV_BW / SAMPLE as f64;
+        let d1 = run(seed, 1, n, per_reader * 4);
+        let d16 = run(seed, 16, n, per_reader.min(600));
+        eff1.push(d1 / ideal_1c);
+        eff16.push(d16 / ideal_16c);
+        rates16.push(d16);
+        t.row(&[
+            n.to_string(),
+            fmt_sps(ideal_1c),
+            fmt_sps(d1),
+            format!("{:.1}%", 100.0 * d1 / ideal_1c),
+            fmt_sps(ideal_16c),
+            fmt_sps(d16),
+            format!("{:.1}%", 100.0 * d16 / ideal_16c),
+        ]);
+    }
+    t.print();
+    println!("\n# csv\n{}", t.csv());
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("paper: DLFS-1C ~93.4% of ideal  | measured avg: {:.1}%", 100.0 * avg(&eff1));
+    println!("paper: DLFS-16C up to ~88%      | measured max: {:.1}%", 100.0 * eff16.iter().cloned().fold(0.0, f64::max));
+    println!(
+        "paper: 16C scales linearly      | measured 1→16 devices: {:.1}x (ideal 16x)",
+        rates16.last().unwrap() / rates16.first().unwrap()
+    );
+}

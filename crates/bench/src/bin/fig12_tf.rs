@@ -1,0 +1,64 @@
+//! Figure 12: data-import throughput of a TensorFlow-style input pipeline
+//! on top of DLFS, Octopus and Ext4 (the paper's custom dataset op),
+//! across 2–16 nodes for 512 B and 128 KB samples.
+//!
+//! Paper's headlines: same ordering as Fig. 9 with framework overhead on
+//! top — DLFS-TF ≈ 29.93x Octopus-TF and ≈ 102x Ext4-TF at 512 B;
+//! ≈ 1.25x and ≈ 1.61x at 128 KB.
+
+use dlfs::SampleSource;
+use dlfs_bench::{
+    arg, cluster_pipeline_throughput, fmt_size, fmt_sps, ratio, setup, System, Table, DEFAULT_SEED,
+};
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let per_node: usize = arg("per_node", 1000);
+    let nodes_list: Vec<usize> = vec![2, 4, 8, 16];
+
+    for (part, size) in [("a", 512u64), ("b", 128u64 << 10)] {
+        println!(
+            "# Fig 12{part}: TF-pipeline import throughput vs nodes, {} samples (samples/s)\n",
+            fmt_size(size)
+        );
+        let mut t = Table::new(&[
+            "nodes", "Ext4-TF", "Octopus-TF", "DLFS-TF", "DLFS/Ext4", "DLFS/Octo",
+        ]);
+        let mut re = Vec::new();
+        let mut ro = Vec::new();
+        for &nodes in &nodes_list {
+            let budget = (nodes as u64) * (24 << 20);
+            let source =
+                setup::fixed_source(seed ^ size ^ nodes as u64, size, budget, nodes * 3000);
+            let per = per_node.min(source.count() / nodes);
+            let dlfs = cluster_pipeline_throughput(seed, System::Dlfs, nodes, &source, per, 32)
+                .sample_rate();
+            let ext4 = cluster_pipeline_throughput(seed, System::Ext4, nodes, &source, per, 32)
+                .sample_rate();
+            let octo =
+                cluster_pipeline_throughput(seed, System::Octopus, nodes, &source, per.min(500), 32)
+                    .sample_rate();
+            re.push(ratio(dlfs, ext4));
+            ro.push(ratio(dlfs, octo));
+            t.row(&[
+                nodes.to_string(),
+                fmt_sps(ext4),
+                fmt_sps(octo),
+                fmt_sps(dlfs),
+                format!("{:.2}x", ratio(dlfs, ext4)),
+                format!("{:.2}x", ratio(dlfs, octo)),
+            ]);
+        }
+        t.print();
+        println!("\n# csv\n{}", t.csv());
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        if size == 512 {
+            println!("paper: DLFS-TF ~102x Ext4-TF   | measured avg: {:.2}x", avg(&re));
+            println!("paper: DLFS-TF ~29.9x Octo-TF  | measured avg: {:.2}x", avg(&ro));
+        } else {
+            println!("paper: DLFS-TF ~1.61x Ext4-TF  | measured avg: {:.2}x", avg(&re));
+            println!("paper: DLFS-TF ~1.25x Octo-TF  | measured avg: {:.2}x", avg(&ro));
+        }
+        println!();
+    }
+}

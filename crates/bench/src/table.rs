@@ -1,0 +1,143 @@
+//! Plain-text table / CSV output for the figure harnesses.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table that also dumps CSV.
+#[derive(Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Render aligned text.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", c, width = w[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = w.iter().sum::<usize>() + 2 * w.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+
+    /// Render CSV (for plotting).
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a throughput in K/M samples per second.
+pub fn fmt_sps(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{:.0}", v)
+    }
+}
+
+/// Format a size in power-of-two units (512B, 4KB, 1MB).
+pub fn fmt_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{}B", bytes)
+    }
+}
+
+/// "a is Nx of b" helper.
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b <= 0.0 {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_csvs() {
+        let mut t = Table::new(&["size", "rate"]);
+        t.row(&["512B".into(), "1.2M".into()]);
+        t.row(&["128KB".into(), "17K".into()]);
+        let text = t.render();
+        assert!(text.contains("512B"));
+        assert!(text.lines().count() == 4);
+        let csv = t.csv();
+        assert_eq!(csv.lines().next().unwrap(), "size,rate");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_sps(2_500_000.0), "2.50M");
+        assert_eq!(fmt_sps(45_200.0), "45.2K");
+        assert_eq!(fmt_sps(120.0), "120");
+        assert_eq!(fmt_size(512), "512B");
+        assert_eq!(fmt_size(4096), "4KB");
+        assert_eq!(fmt_size(1 << 20), "1MB");
+        assert_eq!(ratio(10.0, 4.0), 2.5);
+        assert!(ratio(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

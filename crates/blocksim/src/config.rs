@@ -1,0 +1,134 @@
+//! Device configuration and presets.
+
+use simkit::time::Dur;
+
+/// Logical block size used by every simulated NVMe namespace (bytes).
+pub const BLOCK_SIZE: u64 = 512;
+
+/// Static description of a simulated NVMe device.
+///
+/// The timing model has three terms, mirroring how real NVMe SSDs behave:
+///
+/// * `cmd_overhead` — fixed controller cost per command (doorbell, fetch,
+///   completion posting). Paid on the device's command pipeline.
+/// * `read_latency`/`write_latency` — media access time per command, served
+///   by one of `channels` parallel internal units. The device's IOPS
+///   ceiling is therefore `channels / latency`.
+/// * `bytes_per_sec` — shared internal data-path bandwidth across all
+///   channels (the "bus" term); large transfers are bandwidth-bound.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    pub name: String,
+    /// Usable capacity in bytes (multiple of [`BLOCK_SIZE`]).
+    pub capacity: u64,
+    /// Fixed per-command controller overhead.
+    pub cmd_overhead: Dur,
+    /// Media latency per read command.
+    pub read_latency: Dur,
+    /// Media latency per write command.
+    pub write_latency: Dur,
+    /// Shared data-path bandwidth in bytes/second.
+    pub bytes_per_sec: f64,
+    /// Internal parallel units (dies/channels).
+    pub channels: usize,
+    /// Maximum queue depth an I/O qpair may use.
+    pub max_queue_depth: usize,
+}
+
+impl DeviceConfig {
+    /// Roughly an Intel Optane P4800X-class device, as used in the paper's
+    /// single-node experiments (480 GB, ~2.2 GB/s reads, ~10 us latency,
+    /// ~550 K 4K-read IOPS).
+    pub fn optane(capacity: u64) -> DeviceConfig {
+        DeviceConfig {
+            name: "optane".into(),
+            capacity,
+            cmd_overhead: Dur::nanos(700),
+            read_latency: Dur::micros(10),
+            write_latency: Dur::micros(12),
+            bytes_per_sec: 2.2e9,
+            channels: 6,
+            max_queue_depth: 128,
+        }
+    }
+
+    /// The paper's multi-node methodology: a RAM-backed emulated NVMe device
+    /// with an injected access delay ("we leverage RAMdisk to emulate NVMe
+    /// SSD devices by adding a delay when accessing the data").
+    pub fn emulated_ramdisk(capacity: u64, delay: Dur) -> DeviceConfig {
+        DeviceConfig {
+            name: "emulated-nvme".into(),
+            capacity,
+            cmd_overhead: Dur::nanos(500),
+            read_latency: delay,
+            write_latency: delay,
+            bytes_per_sec: 2.2e9,
+            channels: 6,
+            max_queue_depth: 128,
+        }
+    }
+
+    /// IOPS ceiling implied by the latency/channel terms.
+    pub fn max_iops(&self) -> f64 {
+        if self.read_latency.is_zero() {
+            f64::INFINITY
+        } else {
+            self.channels as f64 / self.read_latency.as_secs_f64()
+        }
+    }
+
+    /// Number of addressable blocks.
+    pub fn blocks(&self) -> u64 {
+        self.capacity / BLOCK_SIZE
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 || !self.capacity.is_multiple_of(BLOCK_SIZE) {
+            return Err(format!(
+                "capacity {} must be a nonzero multiple of {BLOCK_SIZE}",
+                self.capacity
+            ));
+        }
+        if self.channels == 0 {
+            return Err("channels must be > 0".into());
+        }
+        if self.max_queue_depth == 0 {
+            return Err("max_queue_depth must be > 0".into());
+        }
+        if self.bytes_per_sec <= 0.0 {
+            return Err("bytes_per_sec must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optane_preset_sane() {
+        let c = DeviceConfig::optane(480_000_000_000);
+        c.validate().unwrap();
+        // ~600K IOPS ballpark.
+        let iops = c.max_iops();
+        assert!((400_000.0..900_000.0).contains(&iops), "{iops}");
+        assert_eq!(c.blocks(), 480_000_000_000 / 512);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = DeviceConfig::optane(1 << 20);
+        c.capacity = 777;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::optane(1 << 20);
+        c.channels = 0;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::optane(1 << 20);
+        c.bytes_per_sec = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::optane(1 << 20);
+        c.max_queue_depth = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic fault injection for simulated devices.
+//!
+//! Real NVMe devices return command-level media errors and experience
+//! latency spikes; the storage systems above them must retry. The injector
+//! draws per-command outcomes from a seeded stream, so failing runs replay
+//! exactly — a crashing retry path reproduces on every execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use simkit::time::Dur;
+
+/// Outcome of one block command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CmdStatus {
+    #[default]
+    Ok,
+    /// Unrecoverable media error for this attempt; the command must be
+    /// resubmitted by the initiator.
+    MediaError,
+}
+
+impl CmdStatus {
+    pub fn is_ok(self) -> bool {
+        self == CmdStatus::Ok
+    }
+}
+
+/// Per-command fault decision: (status, extra service latency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultOutcome {
+    pub status: CmdStatus,
+    pub extra_latency: Dur,
+}
+
+impl FaultOutcome {
+    pub const NONE: FaultOutcome = FaultOutcome {
+        status: CmdStatus::Ok,
+        extra_latency: Dur::ZERO,
+    };
+}
+
+/// Seeded fault model attached to a device.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    counter: AtomicU64,
+    /// Probability of a read media error, in parts per million.
+    pub read_fail_ppm: u32,
+    /// Probability of a write media error, in parts per million.
+    pub write_fail_ppm: u32,
+    /// Probability of a latency spike, in parts per million.
+    pub slow_ppm: u32,
+    /// Added service latency on a spike.
+    pub slow_extra: Dur,
+}
+
+impl FaultInjector {
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            seed,
+            counter: AtomicU64::new(0),
+            read_fail_ppm: 0,
+            write_fail_ppm: 0,
+            slow_ppm: 0,
+            slow_extra: Dur::ZERO,
+        }
+    }
+
+    pub fn with_read_failures(mut self, ppm: u32) -> Self {
+        self.read_fail_ppm = ppm;
+        self
+    }
+
+    pub fn with_write_failures(mut self, ppm: u32) -> Self {
+        self.write_fail_ppm = ppm;
+        self
+    }
+
+    pub fn with_latency_spikes(mut self, ppm: u32, extra: Dur) -> Self {
+        self.slow_ppm = ppm;
+        self.slow_extra = extra;
+        self
+    }
+
+    /// Decide the next command's fate. Deterministic: the n-th call for a
+    /// given seed always returns the same outcome.
+    pub fn decide(&self, is_write: bool) -> FaultOutcome {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // SplitMix64 step keyed on (seed, n).
+        let mut z = self.seed ^ n.wrapping_mul(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let die = (z % 1_000_000) as u32;
+        let fail_ppm = if is_write {
+            self.write_fail_ppm
+        } else {
+            self.read_fail_ppm
+        };
+        let status = if die < fail_ppm {
+            CmdStatus::MediaError
+        } else {
+            CmdStatus::Ok
+        };
+        // Independent draw for latency spikes (reuse upper bits).
+        let die2 = ((z >> 32) % 1_000_000) as u32;
+        let extra = if die2 < self.slow_ppm {
+            self.slow_extra
+        } else {
+            Dur::ZERO
+        };
+        FaultOutcome {
+            status,
+            extra_latency: extra,
+        }
+    }
+
+    /// Commands decided so far.
+    pub fn decisions(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_by_default() {
+        let f = FaultInjector::new(1);
+        for _ in 0..1000 {
+            assert_eq!(f.decide(false), FaultOutcome::NONE);
+        }
+    }
+
+    #[test]
+    fn failure_rate_is_approximate() {
+        let f = FaultInjector::new(2).with_read_failures(50_000); // 5%
+        let fails = (0..20_000)
+            .filter(|_| f.decide(false).status == CmdStatus::MediaError)
+            .count();
+        let rate = fails as f64 / 20_000.0;
+        assert!((0.04..0.06).contains(&rate), "rate {rate}");
+        assert_eq!(f.decisions(), 20_000);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let f = FaultInjector::new(7)
+                .with_read_failures(10_000)
+                .with_latency_spikes(5_000, Dur::micros(100));
+            (0..500).map(|_| f.decide(false)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn read_write_rates_independent() {
+        let f = FaultInjector::new(3).with_write_failures(100_000);
+        let read_fails = (0..5000)
+            .filter(|_| f.decide(false).status == CmdStatus::MediaError)
+            .count();
+        assert_eq!(read_fails, 0);
+        let write_fails = (0..5000)
+            .filter(|_| f.decide(true).status == CmdStatus::MediaError)
+            .count();
+        assert!(write_fails > 300, "{write_fails}");
+    }
+
+    #[test]
+    fn latency_spikes_apply() {
+        let f = FaultInjector::new(4).with_latency_spikes(500_000, Dur::micros(50));
+        let spikes = (0..2000)
+            .filter(|_| !f.decide(false).extra_latency.is_zero())
+            .count();
+        assert!((800..1200).contains(&spikes), "{spikes}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for blocksim: storage roundtrips at arbitrary
+//! offsets, DMA-pool accounting under arbitrary alloc/free interleavings,
+//! device timing monotonicity, and fault-injector statistics.
+
+use blocksim::{
+    covering_blocks, DeviceConfig, DmaPool, FaultInjector, NvmeDevice, NvmeTarget, Storage,
+    BLOCK_SIZE,
+};
+use proptest::prelude::*;
+use simkit::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn storage_scattered_writes_read_back(
+        writes in prop::collection::vec((0u64..1_000_000, 1usize..5000), 1..20)
+    ) {
+        let s = Storage::new(2 << 20);
+        // Apply writes in order; remember a reference model.
+        let mut model = vec![0u8; 2 << 20];
+        for (i, &(off, len)) in writes.iter().enumerate() {
+            let off = off % ((2 << 20) - len as u64);
+            let data: Vec<u8> = (0..len).map(|j| ((i * 13 + j) % 251) as u8).collect();
+            s.write_at(off, &data);
+            model[off as usize..off as usize + len].copy_from_slice(&data);
+        }
+        // Random probes agree with the model.
+        for &(off, len) in writes.iter() {
+            let off = off % ((2 << 20) - len as u64);
+            let mut out = vec![0u8; len];
+            s.read_at(off, &mut out);
+            prop_assert_eq!(&out[..], &model[off as usize..off as usize + len]);
+        }
+    }
+
+    #[test]
+    fn dma_pool_conserves_chunks(
+        ops in prop::collection::vec((1u64..600_000, any::<bool>()), 1..60)
+    ) {
+        let pool_chunks = 32;
+        let chunk = 64 << 10;
+        let pool = DmaPool::new(chunk, pool_chunks);
+        let mut held: Vec<Vec<blocksim::DmaBuf>> = Vec::new();
+        let mut held_chunks = 0usize;
+        for (len, free_first) in ops {
+            if free_first && !held.is_empty() {
+                let bufs = held.swap_remove(0);
+                held_chunks -= bufs.len();
+                for b in bufs {
+                    pool.free(b);
+                }
+            }
+            let need = (len as usize).div_ceil(chunk).max(1);
+            if pool.available() >= need {
+                let mut bufs = Vec::new();
+                for _ in 0..need {
+                    bufs.push(pool.alloc().expect("availability checked"));
+                }
+                held_chunks += bufs.len();
+                held.push(bufs);
+            }
+            prop_assert_eq!(pool.available() + held_chunks, pool_chunks);
+        }
+    }
+
+    #[test]
+    fn covering_blocks_covers(offset in 0u64..1_000_000, len in 1u64..100_000) {
+        let (slba, nblocks, head) = covering_blocks(offset, len);
+        // The covering range contains [offset, offset+len).
+        prop_assert!(slba * BLOCK_SIZE <= offset);
+        prop_assert!((slba + nblocks as u64) * BLOCK_SIZE >= offset + len);
+        prop_assert_eq!(slba * BLOCK_SIZE + head as u64, offset);
+        // Minimality: one block fewer would not cover.
+        prop_assert!((slba + nblocks as u64 - 1) * BLOCK_SIZE < offset + len);
+    }
+
+    #[test]
+    fn device_completion_time_monotone_in_size(
+        small in 1u32..64,
+        extra in 1u32..1024,
+    ) {
+        Runtime::simulate(0, |rt| {
+            let d1 = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+            let t_small = d1.reserve_read(rt.now(), 0, small);
+            let d2 = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+            let t_large = d2.reserve_read(rt.now(), 0, small + extra);
+            assert!(t_small <= t_large, "{t_small:?} vs {t_large:?}");
+        });
+    }
+
+    #[test]
+    fn fault_rates_track_configuration(ppm in 0u32..500_000, seed in 0u64..1000) {
+        let f = FaultInjector::new(seed).with_read_failures(ppm);
+        let n = 8_000u32;
+        let fails = (0..n)
+            .filter(|_| !f.decide(false).status.is_ok())
+            .count() as f64;
+        let expect = ppm as f64 / 1_000_000.0 * n as f64;
+        // Within 5 sigma of a binomial.
+        let sigma = (n as f64 * (ppm as f64 / 1e6) * (1.0 - ppm as f64 / 1e6)).sqrt();
+        prop_assert!(
+            (fails - expect).abs() <= 5.0 * sigma + 1.0,
+            "fails {fails} expect {expect} sigma {sigma}"
+        );
+    }
+}

@@ -1,0 +1,367 @@
+//! A from-scratch AVL tree keyed by 48-bit sample keys (paper §III-B:
+//! "the entire directory is partitioned into an array of balanced AVL
+//! trees").
+//!
+//! Nodes live in a flat arena with `u32` links — 16-byte payloads and no
+//! per-node allocation, matching the paper's compact-directory spirit.
+//! Lookups report the number of nodes visited so the caller can charge an
+//! accurate traversal cost in virtual time.
+
+/// Arena index; `NIL` marks absent children.
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    key: u64,
+    value: V,
+    left: u32,
+    right: u32,
+    height: i8,
+}
+
+/// An AVL tree mapping 48-bit keys to values.
+#[derive(Clone, Debug, Default)]
+pub struct AvlTree<V> {
+    nodes: Vec<Node<V>>,
+    root: u32,
+}
+
+impl<V> AvlTree<V> {
+    pub fn new() -> Self {
+        AvlTree {
+            nodes: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        AvlTree {
+            nodes: Vec::with_capacity(n),
+            root: NIL,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    #[inline]
+    fn h(&self, idx: u32) -> i8 {
+        if idx == NIL {
+            0
+        } else {
+            self.nodes[idx as usize].height
+        }
+    }
+
+    #[inline]
+    fn update_height(&mut self, idx: u32) {
+        let (l, r) = {
+            let n = &self.nodes[idx as usize];
+            (n.left, n.right)
+        };
+        self.nodes[idx as usize].height = 1 + self.h(l).max(self.h(r));
+    }
+
+    #[inline]
+    fn balance_factor(&self, idx: u32) -> i8 {
+        let n = &self.nodes[idx as usize];
+        self.h(n.left) - self.h(n.right)
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.nodes[y as usize].left;
+        let t2 = self.nodes[x as usize].right;
+        self.nodes[x as usize].right = y;
+        self.nodes[y as usize].left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.nodes[x as usize].right;
+        let t2 = self.nodes[y as usize].left;
+        self.nodes[y as usize].left = x;
+        self.nodes[x as usize].right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, idx: u32) -> u32 {
+        self.update_height(idx);
+        let bf = self.balance_factor(idx);
+        if bf > 1 {
+            // Left heavy.
+            let l = self.nodes[idx as usize].left;
+            if self.balance_factor(l) < 0 {
+                let new_l = self.rotate_left(l);
+                self.nodes[idx as usize].left = new_l;
+            }
+            self.rotate_right(idx)
+        } else if bf < -1 {
+            let r = self.nodes[idx as usize].right;
+            if self.balance_factor(r) > 0 {
+                let new_r = self.rotate_right(r);
+                self.nodes[idx as usize].right = new_r;
+            }
+            self.rotate_left(idx)
+        } else {
+            idx
+        }
+    }
+
+    /// Insert `key`. Returns `Err(key)` on duplicate (caller decides how to
+    /// resolve hash collisions).
+    pub fn insert(&mut self, key: u64, value: V) -> Result<(), u64> {
+        let new_idx = self.nodes.len() as u32;
+        // Iterative descent recording the path, then rebalance back up —
+        // recursion would overflow on multi-million-entry directories.
+        let mut path: Vec<u32> = Vec::with_capacity(48);
+        let mut cur = self.root;
+        while cur != NIL {
+            path.push(cur);
+            let k = self.nodes[cur as usize].key;
+            cur = if key < k {
+                self.nodes[cur as usize].left
+            } else if key > k {
+                self.nodes[cur as usize].right
+            } else {
+                return Err(key);
+            };
+        }
+        self.nodes.push(Node {
+            key,
+            value,
+            left: NIL,
+            right: NIL,
+            height: 1,
+        });
+        // Attach and rebalance up the recorded path.
+        let mut child = new_idx;
+        while let Some(parent) = path.pop() {
+            if key < self.nodes[parent as usize].key {
+                self.nodes[parent as usize].left = child;
+            } else {
+                self.nodes[parent as usize].right = child;
+            }
+            child = self.rebalance(parent);
+        }
+        self.root = child;
+        Ok(())
+    }
+
+    /// Find `key`; returns the value and the number of nodes visited.
+    pub fn get_with_depth(&self, key: u64) -> (Option<&V>, u32) {
+        let mut cur = self.root;
+        let mut visited = 0;
+        while cur != NIL {
+            visited += 1;
+            let n = &self.nodes[cur as usize];
+            cur = if key < n.key {
+                n.left
+            } else if key > n.key {
+                n.right
+            } else {
+                return (Some(&n.value), visited);
+            };
+        }
+        (None, visited)
+    }
+
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.get_with_depth(key).0
+    }
+
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if key < n.key {
+                cur = n.left;
+            } else if key > n.key {
+                cur = n.right;
+            } else {
+                let idx = cur as usize;
+                return Some(&mut self.nodes[idx].value);
+            }
+        }
+        None
+    }
+
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Tree height (0 for empty).
+    pub fn height(&self) -> u32 {
+        self.h(self.root).max(0) as u32
+    }
+
+    /// In-order (sorted by key) iteration.
+    pub fn iter(&self) -> AvlIter<'_, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL {
+            stack.push(cur);
+            cur = self.nodes[cur as usize].left;
+        }
+        AvlIter { tree: self, stack }
+    }
+
+    /// Verify AVL invariants (tests / proptest): BST order, balance factors
+    /// in {-1,0,1}, heights consistent. Returns the checked node count.
+    pub fn validate(&self) -> Result<usize, String> {
+        fn walk<V>(
+            t: &AvlTree<V>,
+            idx: u32,
+            lo: Option<u64>,
+            hi: Option<u64>,
+        ) -> Result<(usize, i8), String> {
+            if idx == NIL {
+                return Ok((0, 0));
+            }
+            let n = &t.nodes[idx as usize];
+            if let Some(lo) = lo {
+                if n.key <= lo {
+                    return Err(format!("BST violation at key {}", n.key));
+                }
+            }
+            if let Some(hi) = hi {
+                if n.key >= hi {
+                    return Err(format!("BST violation at key {}", n.key));
+                }
+            }
+            let (lc, lh) = walk(t, n.left, lo, Some(n.key))?;
+            let (rc, rh) = walk(t, n.right, Some(n.key), hi)?;
+            let h = 1 + lh.max(rh);
+            if h != n.height {
+                return Err(format!("height mismatch at key {}", n.key));
+            }
+            if (lh - rh).abs() > 1 {
+                return Err(format!("imbalance at key {}", n.key));
+            }
+            Ok((1 + lc + rc, h))
+        }
+        walk(self, self.root, None, None).map(|(c, _)| c)
+    }
+}
+
+/// In-order iterator over an [`AvlTree`].
+#[derive(Debug)]
+pub struct AvlIter<'a, V> {
+    tree: &'a AvlTree<V>,
+    stack: Vec<u32>,
+}
+
+impl<'a, V> Iterator for AvlIter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.stack.pop()?;
+        let n = &self.tree.nodes[idx as usize];
+        let mut cur = n.right;
+        while cur != NIL {
+            self.stack.push(cur);
+            cur = self.tree.nodes[cur as usize].left;
+        }
+        Some((n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::SplitMix64;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = AvlTree::new();
+        for k in [5u64, 3, 8, 1, 4, 7, 9] {
+            t.insert(k, k * 10).unwrap();
+        }
+        assert_eq!(t.get(7), Some(&70));
+        assert_eq!(t.get(1), Some(&10));
+        assert_eq!(t.get(6), None);
+        assert_eq!(t.len(), 7);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut t = AvlTree::new();
+        t.insert(1, ()).unwrap();
+        assert_eq!(t.insert(1, ()), Err(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sequential_insert_stays_balanced() {
+        let mut t = AvlTree::new();
+        let n = 4096u64;
+        for k in 0..n {
+            t.insert(k, k).unwrap();
+        }
+        t.validate().unwrap();
+        // AVL height bound: 1.44 * log2(n) + 2.
+        let bound = (1.44 * (n as f64).log2() + 2.0) as u32;
+        assert!(t.height() <= bound, "height {} > {}", t.height(), bound);
+    }
+
+    #[test]
+    fn random_insert_lookup_all() {
+        let mut rng = SplitMix64::new(11);
+        let mut t = AvlTree::new();
+        let mut keys = Vec::new();
+        for _ in 0..2000 {
+            let k = rng.next() & ((1 << 48) - 1);
+            if t.insert(k, k ^ 0xFF).is_ok() {
+                keys.push(k);
+            }
+        }
+        t.validate().unwrap();
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(&(k ^ 0xFF)));
+        }
+    }
+
+    #[test]
+    fn inorder_iteration_sorted() {
+        let mut rng = SplitMix64::new(3);
+        let mut t = AvlTree::new();
+        for _ in 0..500 {
+            let _ = t.insert(rng.below(100_000), ());
+        }
+        let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), t.len());
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn depth_reporting() {
+        let mut t = AvlTree::new();
+        for k in 0..1023u64 {
+            t.insert(k, ()).unwrap();
+        }
+        let (found, depth) = t.get_with_depth(512);
+        assert!(found.is_some());
+        assert!(depth >= 1 && depth <= t.height());
+        let (missing, depth_m) = t.get_with_depth(5000);
+        assert!(missing.is_none());
+        assert!(depth_m <= t.height());
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut t = AvlTree::new();
+        t.insert(9, 1).unwrap();
+        *t.get_mut(9).unwrap() = 2;
+        assert_eq!(t.get(9), Some(&2));
+        assert!(t.get_mut(10).is_none());
+    }
+}

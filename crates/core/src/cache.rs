@@ -1,0 +1,237 @@
+//! The sample cache: huge-page DMA chunks holding data fetched from
+//! local/remote NVMe devices (paper §III-C1).
+//!
+//! "We allocate the sample cache on huge pages to store the data read from
+//! local/remote NVMe devices. ... the cache is divided into many fixed-size
+//! chunks (256 KB by default but configurable)."
+//!
+//! The cache also maintains the residency index behind the sample entries'
+//! V field: `(storage node, range start)` → resident chunk buffers. A
+//! range can be *pinned* by a concurrent `dlfs_read` while the bread engine
+//! retires it; the free is deferred until the last pin drops.
+
+use std::collections::HashMap;
+
+use blocksim::{DmaBuf, DmaPool};
+use parking_lot::Mutex;
+
+/// Key of a resident range: (storage node id, range start byte).
+pub type RangeKey = (u16, u64);
+
+#[derive(Debug)]
+struct Resident {
+    bufs: Vec<DmaBuf>,
+    len: u64,
+    /// Readers currently copying out of the buffers.
+    pinned: u32,
+    /// Retired while pinned: free when the last pin drops.
+    zombie: bool,
+}
+
+/// Fixed-chunk sample cache over a huge-page DMA pool.
+#[derive(Debug)]
+pub struct SampleCache {
+    pool: DmaPool,
+    resident: Mutex<HashMap<RangeKey, Resident>>,
+}
+
+impl SampleCache {
+    pub fn new(chunk_size: usize, chunks: usize) -> SampleCache {
+        SampleCache {
+            pool: DmaPool::new(chunk_size, chunks),
+            resident: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn chunk_size(&self) -> usize {
+        self.pool.chunk_size()
+    }
+
+    pub fn free_chunks(&self) -> usize {
+        self.pool.available()
+    }
+
+    pub fn total_chunks(&self) -> usize {
+        self.pool.total_chunks()
+    }
+
+    /// Allocate the DMA chunks needed to receive `len` bytes; `None` if the
+    /// pool can't satisfy the request right now (backpressure).
+    pub fn alloc_for(&self, len: u64) -> Option<Vec<DmaBuf>> {
+        let need = (len as usize).div_ceil(self.pool.chunk_size()).max(1);
+        if self.pool.available() < need {
+            return None;
+        }
+        let mut bufs = Vec::with_capacity(need);
+        for _ in 0..need {
+            match self.pool.alloc() {
+                Some(b) => bufs.push(b),
+                None => {
+                    for b in bufs {
+                        self.pool.free(b);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(bufs)
+    }
+
+    /// Return chunks that were never published (transient fetches).
+    pub fn free_raw(&self, buf: DmaBuf) {
+        self.pool.free(buf);
+    }
+
+    /// Publish a fetched range as resident. The cache takes ownership of
+    /// the buffers and frees them on retire.
+    pub fn publish(&self, key: RangeKey, bufs: Vec<DmaBuf>, len: u64) {
+        let prev = self.resident.lock().insert(
+            key,
+            Resident {
+                bufs,
+                len,
+                pinned: 0,
+                zombie: false,
+            },
+        );
+        assert!(prev.is_none(), "range {key:?} published twice");
+    }
+
+    /// Is the range resident (and not being torn down)?
+    pub fn contains(&self, key: RangeKey) -> bool {
+        self.resident
+            .lock()
+            .get(&key)
+            .is_some_and(|r| !r.zombie)
+    }
+
+    /// Pin a resident range for copying; returns clones of its buffers.
+    pub fn pin(&self, key: RangeKey) -> Option<(Vec<DmaBuf>, u64)> {
+        let mut g = self.resident.lock();
+        let r = g.get_mut(&key)?;
+        if r.zombie {
+            return None;
+        }
+        r.pinned += 1;
+        Some((r.bufs.clone(), r.len))
+    }
+
+    /// Release one pin; frees the range if it was retired meanwhile.
+    pub fn unpin(&self, key: RangeKey) {
+        let freed = {
+            let mut g = self.resident.lock();
+            let r = g.get_mut(&key).expect("unpin of non-resident range");
+            assert!(r.pinned > 0, "unpin without pin");
+            r.pinned -= 1;
+            if r.pinned == 0 && r.zombie {
+                Some(g.remove(&key).expect("present").bufs)
+            } else {
+                None
+            }
+        };
+        if let Some(bufs) = freed {
+            for b in bufs {
+                self.pool.free(b);
+            }
+        }
+    }
+
+    /// Retire a range: frees its chunks now, or when the last pin drops.
+    pub fn retire(&self, key: RangeKey) {
+        let freed = {
+            let mut g = self.resident.lock();
+            let r = g.get_mut(&key).expect("retire of non-resident range");
+            assert!(!r.zombie, "double retire of {key:?}");
+            if r.pinned > 0 {
+                r.zombie = true;
+                None
+            } else {
+                Some(g.remove(&key).expect("present").bufs)
+            }
+        };
+        if let Some(bufs) = freed {
+            for b in bufs {
+                self.pool.free(b);
+            }
+        }
+    }
+
+    /// Resident ranges (diagnostics).
+    pub fn resident_count(&self) -> usize {
+        self.resident.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_publish_pin_retire_cycle() {
+        let c = SampleCache::new(4096, 4);
+        let bufs = c.alloc_for(6000).unwrap();
+        assert_eq!(bufs.len(), 2);
+        assert_eq!(c.free_chunks(), 2);
+        c.publish((0, 0), bufs, 6000);
+        assert!(c.contains((0, 0)));
+        let (pinned, len) = c.pin((0, 0)).unwrap();
+        assert_eq!(pinned.len(), 2);
+        assert_eq!(len, 6000);
+        c.unpin((0, 0));
+        c.retire((0, 0));
+        assert_eq!(c.free_chunks(), 4);
+        assert!(!c.contains((0, 0)));
+    }
+
+    #[test]
+    fn alloc_backpressure() {
+        let c = SampleCache::new(4096, 2);
+        let a = c.alloc_for(8000).unwrap();
+        assert!(c.alloc_for(1).is_none());
+        c.publish((0, 0), a, 8000);
+        c.retire((0, 0));
+        assert!(c.alloc_for(1).is_some());
+    }
+
+    #[test]
+    fn retire_while_pinned_defers_free() {
+        let c = SampleCache::new(4096, 2);
+        let b = c.alloc_for(100).unwrap();
+        c.publish((1, 0), b, 100);
+        c.pin((1, 0)).unwrap();
+        c.retire((1, 0));
+        // Chunks not yet back in the pool; range no longer pinnable.
+        assert_eq!(c.free_chunks(), 1);
+        assert!(c.pin((1, 0)).is_none());
+        assert!(!c.contains((1, 0)));
+        c.unpin((1, 0));
+        assert_eq!(c.free_chunks(), 2);
+        assert_eq!(c.resident_count(), 0);
+    }
+
+    #[test]
+    fn free_raw_returns_to_pool() {
+        let c = SampleCache::new(4096, 2);
+        let mut bufs = c.alloc_for(8000).unwrap();
+        assert_eq!(c.free_chunks(), 0);
+        c.free_raw(bufs.pop().unwrap());
+        c.free_raw(bufs.pop().unwrap());
+        assert_eq!(c.free_chunks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "published twice")]
+    fn double_publish_panics() {
+        let c = SampleCache::new(4096, 4);
+        let a = c.alloc_for(10).unwrap();
+        let b = c.alloc_for(10).unwrap();
+        c.publish((1, 5), a, 10);
+        c.publish((1, 5), b, 10);
+    }
+
+    #[test]
+    fn pin_missing_is_none() {
+        let c = SampleCache::new(4096, 1);
+        assert!(c.pin((9, 9)).is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! DLFS configuration and user-level cost constants.
+
+use simkit::time::Dur;
+
+/// Costs of DLFS's own (user-level) processing. These are the *small*
+/// per-operation CPU terms that replace the kernel stack; calibrated to
+/// SPDK microbenchmark lore (sub-microsecond submit/poll paths).
+#[derive(Clone, Debug)]
+pub struct DlfsCosts {
+    /// Build one SPDK request in the *prep* stage.
+    pub prep_request: Dur,
+    /// Post one request to an I/O qpair (doorbell) in the *post* stage.
+    pub post_request: Dur,
+    /// One spin of the *poll* loop over the shared completion queue.
+    pub poll_iteration: Dur,
+    /// Handle one harvested completion.
+    pub per_completion: Dur,
+    /// Frontend bookkeeping per delivered sample (sequence list advance,
+    /// entry touch, result slot management).
+    pub frontend_per_sample: Dur,
+    /// Dispatch one job onto the shared completion queue for copy threads.
+    pub copy_dispatch: Dur,
+    /// Copy-thread memcpy bandwidth (sample cache → application buffer).
+    pub memcpy_bytes_per_sec: f64,
+    /// AVL traversal cost per visited node during a directory lookup.
+    pub lookup_per_level: Dur,
+    /// Fixed lookup overhead (hash the name, pick the tree).
+    pub lookup_base: Dur,
+}
+
+impl Default for DlfsCosts {
+    fn default() -> Self {
+        DlfsCosts {
+            prep_request: Dur::nanos(300),
+            post_request: Dur::nanos(200),
+            poll_iteration: Dur::nanos(120),
+            per_completion: Dur::nanos(150),
+            frontend_per_sample: Dur::nanos(700),
+            copy_dispatch: Dur::nanos(100),
+            memcpy_bytes_per_sec: 8.0e9,
+            lookup_per_level: Dur::nanos(18),
+            lookup_base: Dur::nanos(60),
+        }
+    }
+}
+
+impl DlfsCosts {
+    /// Copy-thread time to move `bytes` from the sample cache to the app.
+    pub fn memcpy(&self, bytes: u64) -> Dur {
+        Dur::for_bytes(bytes, self.memcpy_bytes_per_sec)
+    }
+}
+
+/// How `dlfs_bread` batches requests (paper §III-D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Frontend sample-level batching only: one SPDK request per sample,
+    /// many outstanding (for larger samples).
+    SampleLevel,
+    /// Backend chunk-level batching: fetch fixed-size data chunks holding
+    /// many small samples, plus the edge-sample list.
+    ChunkLevel,
+    /// Pick per dataset: chunk-level when the average sample is smaller
+    /// than half a chunk.
+    Auto,
+}
+
+/// DLFS instance configuration.
+#[derive(Clone, Debug)]
+pub struct DlfsConfig {
+    /// Sample-cache chunk size ("256 KB by default but configurable").
+    pub chunk_size: u64,
+    /// SPDK I/O qpair queue depth.
+    pub queue_depth: usize,
+    /// Chunks kept in flight / resident per bread stream.
+    pub window_chunks: usize,
+    /// Copy-thread pool size per node.
+    pub copy_threads: usize,
+    /// Sample-cache capacity in chunks (huge-page pool size).
+    pub pool_chunks: usize,
+    /// Batching strategy.
+    pub batch_mode: BatchMode,
+    /// Poll one shared completion queue across all qpairs (paper §III-C2)
+    /// instead of polling each qpair independently. Kept as a switch for
+    /// the SCQ ablation benchmark.
+    pub shared_completion_queue: bool,
+    pub costs: DlfsCosts,
+}
+
+impl Default for DlfsConfig {
+    fn default() -> Self {
+        DlfsConfig {
+            chunk_size: 256 * 1024,
+            queue_depth: 128,
+            window_chunks: 12,
+            copy_threads: 4,
+            pool_chunks: 96,
+            batch_mode: BatchMode::Auto,
+            shared_completion_queue: true,
+            costs: DlfsCosts::default(),
+        }
+    }
+}
+
+impl DlfsConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk_size == 0 || !self.chunk_size.is_multiple_of(blocksim::BLOCK_SIZE) {
+            return Err(format!(
+                "chunk_size {} must be a nonzero multiple of the device block size",
+                self.chunk_size
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err("queue_depth must be > 0".into());
+        }
+        if self.window_chunks == 0 {
+            return Err("window_chunks must be > 0".into());
+        }
+        if self.copy_threads == 0 {
+            return Err("copy_threads must be > 0".into());
+        }
+        if self.pool_chunks < self.window_chunks {
+            return Err(format!(
+                "pool_chunks ({}) must be >= window_chunks ({})",
+                self.pool_chunks, self.window_chunks
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolve [`BatchMode::Auto`] against an average sample size.
+    pub fn effective_mode(&self, avg_sample_bytes: u64) -> BatchMode {
+        match self.batch_mode {
+            BatchMode::Auto => {
+                if avg_sample_bytes * 2 <= self.chunk_size {
+                    BatchMode::ChunkLevel
+                } else {
+                    BatchMode::SampleLevel
+                }
+            }
+            m => m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        DlfsConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = DlfsConfig::default();
+        c.chunk_size = 1000; // not block aligned
+        assert!(c.validate().is_err());
+        let mut c = DlfsConfig::default();
+        c.queue_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = DlfsConfig::default();
+        c.pool_chunks = 1;
+        assert!(c.validate().is_err());
+        let mut c = DlfsConfig::default();
+        c.copy_threads = 0;
+        assert!(c.validate().is_err());
+        let mut c = DlfsConfig::default();
+        c.window_chunks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn auto_mode_picks_by_sample_size() {
+        let c = DlfsConfig::default(); // 256 KB chunks
+        assert_eq!(c.effective_mode(512), BatchMode::ChunkLevel);
+        assert_eq!(c.effective_mode(128 * 1024), BatchMode::ChunkLevel);
+        assert_eq!(c.effective_mode(129 * 1024), BatchMode::SampleLevel);
+        assert_eq!(c.effective_mode(1 << 20), BatchMode::SampleLevel);
+        let mut forced = c.clone();
+        forced.batch_mode = BatchMode::SampleLevel;
+        assert_eq!(forced.effective_mode(512), BatchMode::SampleLevel);
+    }
+
+    #[test]
+    fn memcpy_cost() {
+        let c = DlfsCosts::default();
+        let d = c.memcpy(8_000_000);
+        assert_eq!(d, Dur::millis(1));
+    }
+}

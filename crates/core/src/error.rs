@@ -1,0 +1,37 @@
+//! DLFS error type.
+
+/// Errors surfaced by the DLFS API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlfsError {
+    /// `dlfs_open` on a name the sample directory doesn't contain.
+    NotFound(String),
+    /// Sample id out of range.
+    BadSampleId(u32),
+    /// `dlfs_bread` before `dlfs_sequence`.
+    NoSequence,
+    /// The epoch's sample plan is exhausted.
+    EpochExhausted,
+    /// The huge-page sample cache cannot hold the requested working set.
+    CacheExhausted,
+    /// Configuration rejected.
+    Config(String),
+    /// Directory construction found two names with the same 48-bit key that
+    /// could not be disambiguated.
+    KeyCollision(String),
+}
+
+impl std::fmt::Display for DlfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DlfsError::NotFound(n) => write!(f, "sample not found: {n}"),
+            DlfsError::BadSampleId(id) => write!(f, "bad sample id: {id}"),
+            DlfsError::NoSequence => write!(f, "dlfs_sequence must be called before dlfs_bread"),
+            DlfsError::EpochExhausted => write!(f, "sample sequence exhausted for this epoch"),
+            DlfsError::CacheExhausted => write!(f, "sample cache (huge-page pool) exhausted"),
+            DlfsError::Config(m) => write!(f, "bad configuration: {m}"),
+            DlfsError::KeyCollision(n) => write!(f, "48-bit key collision on: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DlfsError {}

@@ -1,0 +1,893 @@
+//! The DLFS I/O engine: the four-stage read pipeline (paper §III-C, Fig. 4)
+//! driven by the calling I/O thread, with completions fanned out to the
+//! copy-thread pool through the shared completion queue.
+//!
+//! * **prep** — turn the next fetch items of the epoch plan into SPDK
+//!   requests with sample-cache chunks attached;
+//! * **post** — submit to the per-device I/O qpair (bounded queue depth);
+//! * **poll** — busy-poll the shared completion queue across all qpairs;
+//! * **copy** — hand completed samples to the copy threads, which move
+//!   bytes from the sample cache into the application buffer.
+//!
+//! Delivery follows the paper's relaxed randomization (§III-D2): "the copy
+//! threads then select samples randomly from the sample cache" — each next
+//! sample is drawn from a uniformly random *resident* fetch item, so a
+//! slow device never head-of-line-blocks samples that already arrived from
+//! other devices. The draw is seeded, so simulations stay deterministic.
+//!
+//! One `DlfsIo` per I/O thread (qpairs are not thread-safe, as in SPDK);
+//! all `DlfsIo` handles of a node share the directory, sample cache and
+//! copy pool through [`DlfsShared`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use blocksim::{covering_blocks, DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
+use simkit::rng::SplitMix64;
+use simkit::runtime::Runtime;
+use simkit::time::Dur;
+
+use crate::config::DlfsConfig;
+use crate::copy::{CopyDone, CopyJob, Segment};
+use crate::directory::SampleDirectory;
+use crate::entry::SampleEntry;
+use crate::error::DlfsError;
+use crate::plan::{build_epoch_plan, FetchItem, ReaderPlan};
+use crate::zerocopy::{PinGuard, ZeroCopySample};
+use crate::{cache::SampleCache, copy::CopyPool};
+
+/// State shared by every I/O thread of one compute node.
+pub struct DlfsShared {
+    pub cfg: DlfsConfig,
+    pub dir: Arc<SampleDirectory>,
+    pub cache: Arc<SampleCache>,
+    pub copy: CopyPool,
+    /// Targets indexed by storage node id (local device or NVMe-oF remote).
+    pub targets: Vec<Arc<dyn NvmeTarget>>,
+    /// This compute node's reader id.
+    pub reader_id: usize,
+    /// Total readers participating in `dlfs_sequence`.
+    pub readers: usize,
+}
+
+impl std::fmt::Debug for DlfsShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DlfsShared")
+            .field("reader", &self.reader_id)
+            .field("readers", &self.readers)
+            .field("targets", &self.targets.len())
+            .finish()
+    }
+}
+
+/// Lifetime counters for one I/O thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IoMetrics {
+    pub samples_delivered: u64,
+    pub bytes_delivered: u64,
+    pub requests_posted: u64,
+    pub completions: u64,
+    pub poll_spins: u64,
+    /// Commands resubmitted after a device media error.
+    pub retries: u64,
+}
+
+#[derive(Debug)]
+struct ItemRt {
+    parts_left: u32,
+    samples_total: u32,
+    /// Samples handed to copy threads so far (cursor into the item's
+    /// shuffled sample list).
+    dispatched: u32,
+    copies_done: u32,
+    fetched: bool,
+    /// Block-aligned base offset of the fetched range.
+    base: u64,
+}
+
+/// Epoch execution state.
+struct EpochState {
+    plan: ReaderPlan,
+    items: Vec<ItemRt>,
+    /// Items resident with undelivered samples (the sample-cache draw set).
+    resident_ready: Vec<u32>,
+    /// Samples dispatched to copy threads this epoch.
+    total_dispatched: usize,
+    total: usize,
+    /// Next item to start fetching.
+    next_fetch: usize,
+    /// Parts awaiting qpair submission: (item idx, part no).
+    pending_parts: VecDeque<(u32, u32)>,
+    /// Buffers per item while open.
+    bufs: HashMap<u32, Vec<DmaBuf>>,
+    /// Items fetched or fetching and not yet retired.
+    open_items: usize,
+    /// Seeded draw for the random selection among resident items.
+    rng: SplitMix64,
+}
+
+/// A per-thread DLFS I/O handle.
+pub struct DlfsIo {
+    shared: Arc<DlfsShared>,
+    qpairs: Vec<IoQPair>,
+    epoch: Option<EpochState>,
+    inflight: HashMap<u64, (u32, u32)>, // cmd id -> (item idx, part)
+    next_cmd: u64,
+    metrics: IoMetrics,
+}
+
+impl std::fmt::Debug for DlfsIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DlfsIo")
+            .field("reader", &self.shared.reader_id)
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl DlfsIo {
+    pub fn new(shared: Arc<DlfsShared>) -> DlfsIo {
+        let qd = shared.cfg.queue_depth;
+        let qpairs = shared
+            .targets
+            .iter()
+            .map(|t| IoQPair::new(t.clone(), qd))
+            .collect();
+        DlfsIo {
+            shared,
+            qpairs,
+            epoch: None,
+            inflight: HashMap::new(),
+            next_cmd: 1,
+            metrics: IoMetrics::default(),
+        }
+    }
+
+    pub fn metrics(&self) -> IoMetrics {
+        self.metrics
+    }
+
+    pub fn shared(&self) -> &Arc<DlfsShared> {
+        &self.shared
+    }
+
+    /// Abandon the current epoch: wait out in-flight device commands (SPDK
+    /// cannot cancel a submitted command) and release every sample-cache
+    /// range the plan still holds. Called by `sequence` when an epoch is
+    /// replaced before being fully consumed.
+    fn abort_epoch(&mut self, rt: &Runtime) {
+        if self.epoch.is_none() {
+            return;
+        }
+        // Drain outstanding commands.
+        while !self.inflight.is_empty() {
+            let mut harvested = 0;
+            for qp in &mut self.qpairs {
+                if qp.outstanding() == 0 {
+                    continue;
+                }
+                for comp in qp.process_completions(rt, usize::MAX) {
+                    self.inflight.remove(&comp.id);
+                    harvested += 1;
+                }
+            }
+            if self.inflight.is_empty() {
+                break;
+            }
+            if harvested == 0 {
+                match self
+                    .qpairs
+                    .iter()
+                    .filter_map(|q| q.next_completion_at())
+                    .min()
+                {
+                    Some(t) => {
+                        let now = rt.now();
+                        if t > now {
+                            rt.work(t - now);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        let st = self.epoch.take().expect("checked above");
+        for (idx, bufs) in st.bufs {
+            let it = &st.plan.items[idx as usize];
+            let key = (it.nid, it.offset);
+            if self.shared.cache.contains(key) {
+                // Published: the cache owns the chunks; retire frees them
+                // (deferred if zero-copy samples still pin the range).
+                self.shared.cache.retire(key);
+            } else {
+                // Never became resident: return our chunks directly.
+                for b in bufs {
+                    self.shared.cache.free_raw(b);
+                }
+            }
+            for &sample in &it.samples {
+                self.shared.dir.set_valid(sample, false);
+            }
+        }
+    }
+
+    /// `dlfs_sequence`: derive this reader's epoch plan from the collective
+    /// seed. Every reader calling with the same (seed, epoch) computes the
+    /// same global plan with no network traffic (paper §III-D1). Any
+    /// partially-consumed previous epoch is aborted first.
+    pub fn sequence(&mut self, rt: &Runtime, seed: u64, epoch: u64) -> usize {
+        self.abort_epoch(rt);
+        let cfg = &self.shared.cfg;
+        let mode = cfg.effective_mode(self.shared.dir.avg_sample_bytes());
+        let plan = build_epoch_plan(
+            &self.shared.dir,
+            cfg.chunk_size,
+            self.shared.readers,
+            mode,
+            cfg.window_chunks,
+            seed,
+            epoch,
+        );
+        let mine = plan.readers[self.shared.reader_id].clone();
+        let items = mine
+            .items
+            .iter()
+            .map(|it| ItemRt {
+                parts_left: 0,
+                samples_total: it.samples.len() as u32,
+                dispatched: 0,
+                copies_done: 0,
+                fetched: false,
+                base: 0,
+            })
+            .collect();
+        let n = mine.samples();
+        self.epoch = Some(EpochState {
+            plan: mine,
+            items,
+            resident_ready: Vec::new(),
+            total_dispatched: 0,
+            total: n,
+            next_fetch: 0,
+            pending_parts: VecDeque::new(),
+            bufs: HashMap::new(),
+            open_items: 0,
+            rng: SplitMix64::derive(seed ^ 0xD15B, epoch * 7919 + self.shared.reader_id as u64),
+        });
+        n
+    }
+
+    /// Samples remaining in the current epoch plan.
+    pub fn remaining(&self) -> usize {
+        self.epoch
+            .as_ref()
+            .map(|e| e.total - e.total_dispatched)
+            .unwrap_or(0)
+    }
+
+    /// The planned delivery order of the current epoch (statistically
+    /// equivalent to the engine's resident-random draw; used by the
+    /// Fig. 13 order extraction).
+    pub fn planned_order(&self) -> Option<&[u32]> {
+        self.epoch.as_ref().map(|e| &e.plan.order[..])
+    }
+
+    /// Start fetching item `idx`: allocate cache chunks and queue its parts.
+    /// Returns false when the cache has no room (backpressure).
+    fn start_fetch(&mut self, idx: u32) -> bool {
+        let st = self.epoch.as_mut().expect("no epoch");
+        let it = &st.plan.items[idx as usize];
+        let (slba, nblocks, _head) = covering_blocks(it.offset, it.len);
+        let bytes = nblocks as u64 * BLOCK_SIZE;
+        let Some(bufs) = self.shared.cache.alloc_for(bytes) else {
+            return false;
+        };
+        let parts = bufs.len() as u32;
+        let rt_item = &mut st.items[idx as usize];
+        rt_item.parts_left = parts;
+        rt_item.fetched = true;
+        rt_item.base = slba * BLOCK_SIZE;
+        st.bufs.insert(idx, bufs);
+        for p in 0..parts {
+            st.pending_parts.push_back((idx, p));
+        }
+        st.open_items += 1;
+        true
+    }
+
+    /// Pump stage: keep the fetch window full and the qpairs fed.
+    fn pump(&mut self, rt: &Runtime) -> usize {
+        let window = self.shared.cfg.window_chunks;
+        let mut progressed = 0;
+
+        // Open new items up to the window.
+        loop {
+            let (next_fetch, item_count, open) = {
+                let st = self.epoch.as_ref().expect("no epoch");
+                (st.next_fetch, st.plan.items.len(), st.open_items)
+            };
+            if next_fetch >= item_count {
+                break;
+            }
+            // The pipeline must never starve: with nothing open at all, a
+            // fetch is mandatory regardless of the window budget.
+            let starving = open == 0;
+            if open >= 2 * window && !starving {
+                break;
+            }
+            if !self.start_fetch(next_fetch as u32) {
+                assert!(
+                    !starving,
+                    "DLFS sample cache too small for a single fetch item; \
+                     increase pool_chunks"
+                );
+                break; // cache backpressure; retry after retires
+            }
+            self.epoch.as_mut().expect("no epoch").next_fetch += 1;
+            progressed += 1;
+        }
+
+        // Submit queued parts to the per-device qpairs (prep + post).
+        let chunk = self.shared.cfg.chunk_size as usize;
+        let costs = self.shared.cfg.costs.clone();
+        loop {
+            let Some(&(idx, part)) = self
+                .epoch
+                .as_ref()
+                .expect("no epoch")
+                .pending_parts
+                .front()
+            else {
+                break;
+            };
+            let (nid, slba_part, nblocks_part, buf) = {
+                let st = self.epoch.as_ref().expect("no epoch");
+                let it = &st.plan.items[idx as usize];
+                let (slba, nblocks, _) = covering_blocks(it.offset, it.len);
+                let blocks_per_chunk = (chunk as u64 / BLOCK_SIZE) as u32;
+                let start = part * blocks_per_chunk;
+                let n = (nblocks - start).min(blocks_per_chunk);
+                let buf = st.bufs[&idx][part as usize].clone();
+                (it.nid, slba + start as u64, n, buf)
+            };
+            let cmd = self.next_cmd;
+            rt.work(costs.prep_request + costs.post_request);
+            match self.qpairs[nid as usize].submit_read(rt, cmd, slba_part, nblocks_part, buf, 0) {
+                Ok(()) => {
+                    self.next_cmd += 1;
+                    self.metrics.requests_posted += 1;
+                    self.inflight.insert(cmd, (idx, part));
+                    self.epoch
+                        .as_mut()
+                        .expect("no epoch")
+                        .pending_parts
+                        .pop_front();
+                    progressed += 1;
+                }
+                Err(_) => break, // queue full; poll first
+            }
+        }
+        progressed
+    }
+
+    /// Poll stage: harvest completions across all qpairs (the shared
+    /// completion queue consolidates this into one pass).
+    fn poll(&mut self, rt: &Runtime) -> usize {
+        let costs = self.shared.cfg.costs.clone();
+        self.metrics.poll_spins += 1;
+        if self.shared.cfg.shared_completion_queue {
+            rt.work(costs.poll_iteration);
+        } else {
+            rt.work(costs.poll_iteration * self.qpairs.len() as u64);
+        }
+        let mut harvested = 0;
+        for qp in &mut self.qpairs {
+            if qp.outstanding() == 0 {
+                continue;
+            }
+            for comp in qp.process_completions(rt, usize::MAX) {
+                rt.work(costs.per_completion);
+                self.metrics.completions += 1;
+                harvested += 1;
+                let (idx, part) = self
+                    .inflight
+                    .remove(&comp.id)
+                    .expect("completion for unknown command");
+                if !comp.status.is_ok() {
+                    // Media error: resubmit this part (paper-grade devices
+                    // fail commands; the user-level initiator retries).
+                    self.metrics.retries += 1;
+                    self.epoch
+                        .as_mut()
+                        .expect("no epoch")
+                        .pending_parts
+                        .push_back((idx, part));
+                    continue;
+                }
+                let st = self.epoch.as_mut().expect("no epoch");
+                let item = &mut st.items[idx as usize];
+                item.parts_left -= 1;
+                if item.parts_left == 0 {
+                    // Item fully resident: publish it in the sample cache,
+                    // flip the V field of its samples and offer it to the
+                    // delivery draw.
+                    let it = &st.plan.items[idx as usize];
+                    self.shared
+                        .cache
+                        .publish((it.nid, it.offset), st.bufs[&idx].clone(), it.len);
+                    for &s in &it.samples {
+                        self.shared.dir.set_valid(s, true);
+                    }
+                    st.resident_ready.push(idx);
+                }
+            }
+        }
+        harvested
+    }
+
+    /// Copy-dispatch stage: draw samples from random resident items and
+    /// hand them to the copy pool. `tag_base` numbers this call's slots.
+    fn dispatch(
+        &mut self,
+        rt: &Runtime,
+        budget: usize,
+        slots_used: usize,
+        done_tx: &simkit::chan::Sender<CopyDone>,
+    ) -> usize {
+        let costs = self.shared.cfg.costs.clone();
+        let mut dispatched = 0;
+        while dispatched < budget {
+            let (idx, sample, slot) = {
+                let st = self.epoch.as_mut().expect("no epoch");
+                if st.resident_ready.is_empty() {
+                    break;
+                }
+                let pick = st.rng.below(st.resident_ready.len() as u64) as usize;
+                let idx = st.resident_ready[pick];
+                let item = &mut st.items[idx as usize];
+                let sample = st.plan.items[idx as usize].samples[item.dispatched as usize];
+                item.dispatched += 1;
+                if item.dispatched == item.samples_total {
+                    st.resident_ready.swap_remove(pick);
+                }
+                st.total_dispatched += 1;
+                (idx, sample, (slots_used + dispatched) as u64)
+            };
+            let entry = self.shared.dir.entry(sample);
+            let segments = {
+                let st = self.epoch.as_ref().expect("no epoch");
+                segments_for(
+                    &st.plan.items[idx as usize],
+                    st.items[idx as usize].base,
+                    &st.bufs[&idx],
+                    self.shared.cfg.chunk_size as usize,
+                    entry,
+                )
+            };
+            rt.work(costs.frontend_per_sample + costs.copy_dispatch);
+            self.shared.copy.submit(CopyJob {
+                tag: (idx as u64) << 32 | slot,
+                sample,
+                segments,
+                done: done_tx.clone(),
+            });
+            dispatched += 1;
+        }
+        dispatched
+    }
+
+    /// Account one delivered sample of `idx`; retire its item when fully
+    /// drained (chunks go back to the pool — or, if zero-copy samples still
+    /// pin them, when the last pin drops).
+    fn account_delivery(&mut self, idx: u32) {
+        let st = self.epoch.as_mut().expect("no epoch");
+        let item = &mut st.items[idx as usize];
+        item.copies_done += 1;
+        if item.copies_done == item.samples_total {
+            st.bufs.remove(&idx);
+            let it = &st.plan.items[idx as usize];
+            self.shared.cache.retire((it.nid, it.offset));
+            st.open_items -= 1;
+            for &s in &it.samples {
+                self.shared.dir.set_valid(s, false);
+            }
+        }
+    }
+
+    /// Account a finished copy; retire its item when fully drained.
+    fn finish_copy(&mut self, done: &CopyDone) -> usize {
+        let idx = (done.tag >> 32) as u32;
+        let slot = (done.tag & 0xFFFF_FFFF) as usize;
+        self.account_delivery(idx);
+        self.metrics.samples_delivered += 1;
+        self.metrics.bytes_delivered += done.data.len() as u64;
+        slot
+    }
+
+    /// `dlfs_bread`: deliver the next `n` samples of the epoch plan.
+    /// Returns `(sample id, payload)` pairs.
+    ///
+    /// `inject_compute` models application computation executed inside the
+    /// polling loop (the Fig. 7b experiment); pass `Dur::ZERO` normally.
+    pub fn bread(
+        &mut self,
+        rt: &Runtime,
+        n: usize,
+        inject_compute: Dur,
+    ) -> Result<Vec<(u32, Vec<u8>)>, DlfsError> {
+        if self.epoch.is_none() {
+            return Err(DlfsError::NoSequence);
+        }
+        let want = n.min(self.remaining());
+        if want == 0 {
+            return Err(DlfsError::EpochExhausted);
+        }
+        let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
+        let mut results: Vec<Option<(u32, Vec<u8>)>> = vec![None; want];
+        let mut dispatched = 0usize;
+        let mut received = 0usize;
+
+        while received < want {
+            let mut progress = 0;
+            progress += self.pump(rt);
+            progress += self.poll(rt);
+            let newly = self.dispatch(rt, want - dispatched, dispatched, &done_tx);
+            dispatched += newly;
+            progress += newly;
+            // Collect finished copies without blocking.
+            while let Ok(done) = done_rx.try_recv() {
+                let slot = self.finish_copy(&done);
+                results[slot] = Some((done.sample, done.data));
+                received += 1;
+                progress += 1;
+            }
+            if received >= want {
+                break;
+            }
+            if progress == 0 {
+                if dispatched > received {
+                    // Copies outstanding: block on the copy pool.
+                    let done = done_rx.recv().map_err(|_| DlfsError::CacheExhausted)?;
+                    let slot = self.finish_copy(&done);
+                    results[slot] = Some((done.sample, done.data));
+                    received += 1;
+                    continue;
+                }
+                // Waiting on device completions: this is the busy-poll loop
+                // the Fig. 7b experiment adds application computation to —
+                // the compute overlaps with the in-flight SPDK requests.
+                if !inject_compute.is_zero() {
+                    rt.work(inject_compute);
+                    continue;
+                }
+                // Waiting on the devices: spin the poll loop forward to the
+                // next completion instant (busy polling, so it's CPU time).
+                let next = self
+                    .qpairs
+                    .iter()
+                    .filter_map(|q| q.next_completion_at())
+                    .min();
+                match next {
+                    Some(t) => {
+                        let now = rt.now();
+                        if t > now {
+                            rt.work(t - now);
+                        }
+                    }
+                    None => {
+                        panic!(
+                            "dlfs bread stalled: nothing in flight, nothing \
+                             deliverable (reader {})",
+                            self.shared.reader_id
+                        );
+                    }
+                }
+            }
+        }
+        Ok(results.into_iter().map(|r| r.expect("slot filled")).collect())
+    }
+
+    /// Zero-copy `dlfs_bread` (the paper's future-work extension): deliver
+    /// the next `n` samples as [`ZeroCopySample`]s referencing pinned
+    /// sample-cache chunks — the copy stage (and the copy-thread pool) is
+    /// bypassed entirely. Chunks return to the pool when the application
+    /// drops the last sample referencing them.
+    pub fn bread_zero_copy(
+        &mut self,
+        rt: &Runtime,
+        n: usize,
+    ) -> Result<Vec<ZeroCopySample>, DlfsError> {
+        if self.epoch.is_none() {
+            return Err(DlfsError::NoSequence);
+        }
+        let want = n.min(self.remaining());
+        if want == 0 {
+            return Err(DlfsError::EpochExhausted);
+        }
+        let costs = self.shared.cfg.costs.clone();
+        let mut out: Vec<ZeroCopySample> = Vec::with_capacity(want);
+        while out.len() < want {
+            let mut progress = 0;
+            progress += self.pump(rt);
+            progress += self.poll(rt);
+            // Deliver directly from resident items.
+            loop {
+                if out.len() >= want {
+                    break;
+                }
+                let (idx, sample) = {
+                    let st = self.epoch.as_mut().expect("no epoch");
+                    if st.resident_ready.is_empty() {
+                        break;
+                    }
+                    let pick = st.rng.below(st.resident_ready.len() as u64) as usize;
+                    let idx = st.resident_ready[pick];
+                    let item = &mut st.items[idx as usize];
+                    let sample = st.plan.items[idx as usize].samples[item.dispatched as usize];
+                    item.dispatched += 1;
+                    if item.dispatched == item.samples_total {
+                        st.resident_ready.swap_remove(pick);
+                    }
+                    st.total_dispatched += 1;
+                    (idx, sample)
+                };
+                let entry = self.shared.dir.entry(sample);
+                let (key, segments) = {
+                    let st = self.epoch.as_ref().expect("no epoch");
+                    let it = &st.plan.items[idx as usize];
+                    (
+                        (it.nid, it.offset),
+                        segments_for(
+                            it,
+                            st.items[idx as usize].base,
+                            &st.bufs[&idx],
+                            self.shared.cfg.chunk_size as usize,
+                            entry,
+                        ),
+                    )
+                };
+                // Pin the range for the sample's lifetime; no memcpy.
+                self.shared
+                    .cache
+                    .pin(key)
+                    .expect("resident range pinnable");
+                let pin = PinGuard::new(self.shared.cache.clone(), key);
+                rt.work(costs.frontend_per_sample);
+                self.metrics.samples_delivered += 1;
+                self.metrics.bytes_delivered += entry.len();
+                out.push(ZeroCopySample::new(sample, segments, pin));
+                self.account_delivery(idx);
+                progress += 1;
+            }
+            if out.len() >= want {
+                break;
+            }
+            if progress == 0 {
+                let next = self
+                    .qpairs
+                    .iter()
+                    .filter_map(|q| q.next_completion_at())
+                    .min();
+                match next {
+                    Some(t) => {
+                        let now = rt.now();
+                        if t > now {
+                            rt.work(t - now);
+                        }
+                    }
+                    None => panic!(
+                        "dlfs bread_zero_copy stalled (reader {})",
+                        self.shared.reader_id
+                    ),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `dlfs_read` by name: synchronous single-sample read (the DLFS-Base
+    /// configuration of Fig. 6). Checks the V field, then fetches the
+    /// sample's covering blocks and waits for completion.
+    pub fn read(&mut self, rt: &Runtime, name: &str) -> Result<Vec<u8>, DlfsError> {
+        let costs = self.shared.cfg.costs.clone();
+        let (id, entry) = self
+            .shared
+            .dir
+            .lookup(rt, &costs, name)
+            .ok_or_else(|| DlfsError::NotFound(name.to_string()))?;
+        let _ = id;
+        self.read_entry(rt, entry)
+    }
+
+    /// `dlfs_read` by sample id (no name lookup).
+    pub fn read_by_id(&mut self, rt: &Runtime, id: u32) -> Result<Vec<u8>, DlfsError> {
+        if id as usize >= self.shared.dir.len() {
+            return Err(DlfsError::BadSampleId(id));
+        }
+        let entry = self.shared.dir.entry(id);
+        self.read_entry(rt, entry)
+    }
+
+    fn read_entry(&mut self, rt: &Runtime, entry: SampleEntry) -> Result<Vec<u8>, DlfsError> {
+        let costs = self.shared.cfg.costs.clone();
+        // Fast path (paper §III-C1): "we first check the sample entry and
+        // return the data if the V field is on."
+        if entry.valid() {
+            let chunk_base =
+                entry.offset() / self.shared.cfg.chunk_size * self.shared.cfg.chunk_size;
+            if let Some((bufs, _len)) = self.shared.cache.pin((entry.nid(), chunk_base)) {
+                let chunk = self.shared.cfg.chunk_size as usize;
+                let within = (entry.offset() - chunk_base) as usize;
+                let mut segments = Vec::new();
+                let mut remaining = entry.len() as usize;
+                let mut pos = within;
+                while remaining > 0 {
+                    let b = pos / chunk;
+                    let off = pos % chunk;
+                    let take = (chunk - off).min(remaining);
+                    segments.push(Segment {
+                        buf: bufs[b].clone(),
+                        offset: off,
+                        len: take,
+                    });
+                    pos += take;
+                    remaining -= take;
+                }
+                let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
+                rt.work(costs.copy_dispatch);
+                self.shared.copy.submit(CopyJob {
+                    tag: 0,
+                    sample: 0,
+                    segments,
+                    done: done_tx,
+                });
+                let done = done_rx.recv().expect("copy pool alive");
+                self.shared.cache.unpin((entry.nid(), chunk_base));
+                self.metrics.samples_delivered += 1;
+                self.metrics.bytes_delivered += done.data.len() as u64;
+                return Ok(done.data);
+            }
+        }
+        let (slba, nblocks, head) = covering_blocks(entry.offset(), entry.len());
+        let bytes = nblocks as u64 * BLOCK_SIZE;
+        let bufs = self
+            .shared
+            .cache
+            .alloc_for(bytes)
+            .ok_or(DlfsError::CacheExhausted)?;
+        // prep + post each part.
+        let chunk = self.shared.cfg.chunk_size as usize;
+        let blocks_per_chunk = (chunk as u64 / BLOCK_SIZE) as u32;
+        let mut posted = Vec::new();
+        for (p, buf) in bufs.iter().enumerate() {
+            let start = p as u32 * blocks_per_chunk;
+            let nb = (nblocks - start).min(blocks_per_chunk);
+            rt.work(costs.prep_request + costs.post_request);
+            let cmd = self.next_cmd;
+            self.next_cmd += 1;
+            self.metrics.requests_posted += 1;
+            self.qpairs[entry.nid() as usize]
+                .submit_read(rt, cmd, slba + start as u64, nb, buf.clone(), 0)
+                .expect("sync read exceeds queue depth");
+            posted.push(cmd);
+        }
+        // poll until all parts complete (busy polling), resubmitting any
+        // command the device failed.
+        let mut part_of: HashMap<u64, u32> = posted
+            .iter()
+            .enumerate()
+            .map(|(p, &cmd)| (cmd, p as u32))
+            .collect();
+        let mut left = posted.len();
+        while left > 0 {
+            rt.work(costs.poll_iteration);
+            self.metrics.poll_spins += 1;
+            let comps = self.qpairs[entry.nid() as usize].process_completions(rt, usize::MAX);
+            if comps.is_empty() {
+                if let Some(t) = self.qpairs[entry.nid() as usize].next_completion_at() {
+                    let now = rt.now();
+                    if t > now {
+                        rt.work(t - now);
+                    }
+                }
+            } else {
+                for c in &comps {
+                    rt.work(costs.per_completion);
+                    self.metrics.completions += 1;
+                    let p = part_of.remove(&c.id).expect("unknown command");
+                    if c.status.is_ok() {
+                        left -= 1;
+                        continue;
+                    }
+                    // Retry the failed part.
+                    self.metrics.retries += 1;
+                    let start = p * blocks_per_chunk;
+                    let nb = (nblocks - start).min(blocks_per_chunk);
+                    rt.work(costs.prep_request + costs.post_request);
+                    let cmd = self.next_cmd;
+                    self.next_cmd += 1;
+                    self.metrics.requests_posted += 1;
+                    self.qpairs[entry.nid() as usize]
+                        .submit_read(rt, cmd, slba + start as u64, nb, bufs[p as usize].clone(), 0)
+                        .expect("retry exceeds queue depth");
+                    part_of.insert(cmd, p);
+                }
+            }
+        }
+        // copy stage through the pool.
+        let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
+        let mut segments = Vec::new();
+        let mut remaining = entry.len() as usize;
+        let mut off = head;
+        for buf in &bufs {
+            if remaining == 0 {
+                break;
+            }
+            let take = (chunk - off).min(remaining);
+            segments.push(Segment {
+                buf: buf.clone(),
+                offset: off,
+                len: take,
+            });
+            remaining -= take;
+            off = 0;
+        }
+        rt.work(costs.copy_dispatch);
+        self.shared.copy.submit(CopyJob {
+            tag: 0,
+            sample: 0,
+            segments,
+            done: done_tx,
+        });
+        let done = done_rx.recv().expect("copy pool alive");
+        self.metrics.samples_delivered += 1;
+        self.metrics.bytes_delivered += done.data.len() as u64;
+        for b in bufs {
+            self.shared.cache.free_raw(b);
+        }
+        Ok(done.data)
+    }
+
+    /// `dlfs_open`: name lookup through the sample directory (returns the
+    /// sample id as the handle — DLFS handles are directory references).
+    pub fn open(&mut self, rt: &Runtime, name: &str) -> Result<u32, DlfsError> {
+        let costs = self.shared.cfg.costs.clone();
+        self.shared
+            .dir
+            .lookup(rt, &costs, name)
+            .map(|(id, _)| id)
+            .ok_or_else(|| DlfsError::NotFound(name.to_string()))
+    }
+
+    /// `dlfs_close`: drop the handle (directory entries are immutable, so
+    /// this is bookkeeping only).
+    pub fn close(&mut self, _rt: &Runtime, _handle: u32) {}
+}
+
+/// Compute the copy segments of `entry` within an item's fetched buffers.
+fn segments_for(
+    item: &FetchItem,
+    base: u64,
+    bufs: &[DmaBuf],
+    chunk: usize,
+    entry: SampleEntry,
+) -> Vec<Segment> {
+    debug_assert_eq!(entry.nid(), item.nid);
+    let within = (entry.offset() - base) as usize;
+    let mut segs = Vec::new();
+    let mut remaining = entry.len() as usize;
+    let mut pos = within;
+    while remaining > 0 {
+        let b = pos / chunk;
+        let off = pos % chunk;
+        let take = (chunk - off).min(remaining);
+        segs.push(Segment {
+            buf: bufs[b].clone(),
+            offset: off,
+            len: take,
+        });
+        pos += take;
+        remaining -= take;
+    }
+    segs
+}

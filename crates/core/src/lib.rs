@@ -1,0 +1,65 @@
+//! # dlfs — a user-level, read-optimized file system for deep learning
+//!
+//! Reproduction of **DLFS** from *"Efficient User-Level Storage
+//! Disaggregation for Deep Learning"* (Zhu et al., IEEE CLUSTER 2019): a
+//! thin file-I/O layer over SPDK-style NVMe-over-Fabrics that serves the
+//! many-small-random-reads workload of DNN training from a pool of
+//! disaggregated NVMe devices, entirely in user space.
+//!
+//! ## The pieces (paper section → module)
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §III-A thin API (`dlfs_mount/open/read/close/sequence/bread`) | [`mount`], [`io::DlfsIo`] |
+//! | §III-B in-memory tree-based sample directory, 128-bit entries | [`directory`], [`avl`], [`entry`] |
+//! | §III-C SPDK user-level I/O: sample cache on huge pages, request posting queues, shared completion queue, copy threads | [`cache`], [`io`], [`copy`] |
+//! | §III-D opportunistic batching: sample-level + chunk-level, edge samples, seeded global sequence | [`plan`], [`config::BatchMode`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use simkit::prelude::*;
+//! use blocksim::{DeviceConfig, NvmeDevice};
+//! use dlfs::{mount_local, DlfsConfig, SyntheticSource};
+//! use dlfs::source::SampleSource;
+//!
+//! let ((), _end) = Runtime::simulate(42, |rt| {
+//!     // A local NVMe device holding a small synthetic dataset.
+//!     let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+//!     let source = SyntheticSource::fixed(7, 2000, 4096);
+//!     let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+//!
+//!     // dlfs_sequence + dlfs_bread: mini-batches of random samples.
+//!     let mut io = fs.io(0);
+//!     io.sequence(rt, 123, 0);
+//!     let batch = io.bread(rt, 32, Dur::ZERO).unwrap();
+//!     assert_eq!(batch.len(), 32);
+//!     assert!(batch.iter().all(|(id, data)| data == &source.expected(*id)));
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod avl;
+pub mod cache;
+pub mod config;
+pub mod copy;
+pub mod directory;
+pub mod entry;
+pub mod error;
+pub mod io;
+pub mod mount;
+pub mod plan;
+pub mod source;
+pub mod zerocopy;
+
+pub use cache::SampleCache;
+pub use config::{BatchMode, DlfsConfig, DlfsCosts};
+pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
+pub use entry::SampleEntry;
+pub use error::DlfsError;
+pub use io::{DlfsIo, DlfsShared, IoMetrics};
+pub use mount::{mount, mount_local, Deployment, DlfsInstance, MountOptions};
+pub use plan::{build_epoch_plan, full_random_order, EpochPlan, FetchItem, ReaderPlan};
+pub use source::{SampleSource, SyntheticSource};
+pub use zerocopy::ZeroCopySample;

@@ -1,0 +1,375 @@
+//! `dlfs_mount`: the collective that stages a dataset from the persistent
+//! file system onto the allocated NVMe devices and builds the replicated
+//! in-memory sample directory (paper §III-A, §III-B2).
+//!
+//! "The mount call is a collective call from all processes in a DL
+//! application. ... All nodes load their share of files into the local
+//! NVMe device(s). ... After the construction of their local AVL tree, all
+//! nodes then invoke a collective communication to gather all AVL trees,
+//! forming an identical copy of the in-memory sample directory at every
+//! node."
+
+use std::sync::Arc;
+
+use blocksim::{DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
+use fabric::Cluster;
+use simkit::resource::Link;
+use simkit::runtime::Runtime;
+use simkit::time::Dur;
+
+use crate::config::DlfsConfig;
+use crate::directory::{node_for_name, DirectoryBuilder, SampleDirectory};
+use crate::error::DlfsError;
+use crate::io::{DlfsIo, DlfsShared};
+use crate::source::SampleSource;
+use crate::{cache::SampleCache, copy::CopyPool};
+
+/// How readers reach the storage devices.
+pub struct Deployment {
+    /// `targets[r][n]` is reader r's handle to storage node n's device
+    /// (a local `NvmeDevice` or an NVMe-oF `RemoteTarget`).
+    pub targets: Vec<Vec<Arc<dyn NvmeTarget>>>,
+    /// Fabric for the directory allgather; `None` for single-node setups.
+    pub cluster: Option<Arc<Cluster>>,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("readers", &self.targets.len())
+            .field(
+                "storage_nodes",
+                &self.targets.first().map(|t| t.len()).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+/// Mount-time tuning.
+#[derive(Clone)]
+pub struct MountOptions {
+    /// Shared bandwidth to the backend parallel file system the dataset is
+    /// read from; `None` skips PFS cost (pre-staged data).
+    pub pfs: Option<Link>,
+    /// CPU cost to create one directory entry (hash + AVL insert).
+    pub build_per_entry: Dur,
+    /// CPU cost to merge one remote entry during the allgather.
+    pub merge_per_entry: Dur,
+}
+
+impl Default for MountOptions {
+    fn default() -> Self {
+        MountOptions {
+            pfs: None,
+            build_per_entry: Dur::nanos(120),
+            merge_per_entry: Dur::nanos(25),
+        }
+    }
+}
+
+impl std::fmt::Debug for MountOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MountOptions").finish()
+    }
+}
+
+/// A mounted DLFS instance: per-reader shared state + the replicated
+/// directory. Alive for the duration of the job, like the paper's DLFS.
+pub struct DlfsInstance {
+    pub dir: Arc<SampleDirectory>,
+    shared: Vec<Arc<DlfsShared>>,
+}
+
+impl std::fmt::Debug for DlfsInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DlfsInstance")
+            .field("samples", &self.dir.len())
+            .field("readers", &self.shared.len())
+            .finish()
+    }
+}
+
+impl DlfsInstance {
+    /// Number of reader (compute) nodes.
+    pub fn readers(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Create an I/O handle for reader `r` (one per I/O thread).
+    pub fn io(&self, r: usize) -> DlfsIo {
+        DlfsIo::new(self.shared[r].clone())
+    }
+
+    /// Shared per-reader state (cache stats etc.).
+    pub fn shared(&self, r: usize) -> &Arc<DlfsShared> {
+        &self.shared[r]
+    }
+
+    /// A view of the same mounted data through a different sample
+    /// directory — e.g. the record-level index of TFRecord containers
+    /// staged by the original mount (paper §III-B1: "we are able to have
+    /// direct access to any samples in a TFRecord file"). Each reader gets
+    /// fresh sample caches and copy pools; the devices and their contents
+    /// are shared with the original instance.
+    pub fn with_directory(&self, rt: &Runtime, dir: Arc<SampleDirectory>) -> DlfsInstance {
+        let shared = self
+            .shared
+            .iter()
+            .map(|s| {
+                let cfg = s.cfg.clone();
+                let cache = Arc::new(SampleCache::new(
+                    cfg.chunk_size as usize,
+                    cfg.pool_chunks,
+                ));
+                let copy = CopyPool::spawn(
+                    rt,
+                    &format!("dlfs-remap-r{}", s.reader_id),
+                    cfg.copy_threads,
+                    &cfg.costs,
+                );
+                Arc::new(DlfsShared {
+                    cfg,
+                    dir: dir.clone(),
+                    cache,
+                    copy,
+                    targets: s.targets.clone(),
+                    reader_id: s.reader_id,
+                    readers: s.readers,
+                })
+            })
+            .collect();
+        DlfsInstance { dir, shared }
+    }
+}
+
+/// Perform the collective mount. Returns the instance once every reader
+/// has finished loading and the allgather completed.
+pub fn mount(
+    rt: &Runtime,
+    deployment: Deployment,
+    source: &dyn SampleSource,
+    cfg: DlfsConfig,
+    opts: MountOptions,
+) -> Result<DlfsInstance, DlfsError> {
+    cfg.validate().map_err(DlfsError::Config)?;
+    let readers = deployment.targets.len();
+    assert!(readers > 0, "need at least one reader");
+    let storage_nodes = deployment.targets[0].len();
+    assert!(
+        deployment
+            .targets
+            .iter()
+            .all(|t| t.len() == storage_nodes),
+        "all readers must see the same storage nodes"
+    );
+
+    // ---- Plan placement: hash-partition samples over storage nodes and
+    // assign packed offsets (this is metadata-only; every reader derives
+    // the same result from the names, so no coordination is needed).
+    let count = source.count();
+    let mut builder = DirectoryBuilder::new(storage_nodes, count);
+    let mut cursors = vec![0u64; storage_nodes];
+    let mut per_node_ids: Vec<Vec<u32>> = vec![Vec::new(); storage_nodes];
+    for id in 0..count as u32 {
+        let name = source.name(id);
+        let nid = node_for_name(&name, storage_nodes);
+        let len = source.size(id);
+        builder.add(id, &name, nid, cursors[nid as usize], len)?;
+        cursors[nid as usize] += len;
+        per_node_ids[nid as usize].push(id);
+    }
+    let dir = Arc::new(builder.finish());
+
+    // Capacity check: each storage node must hold its share.
+    for (nid, &used) in cursors.iter().enumerate() {
+        let blocks = deployment.targets[0][nid].blocks();
+        assert!(
+            used <= blocks * BLOCK_SIZE,
+            "storage node {nid} too small: need {used} bytes"
+        );
+    }
+
+    // ---- Upload: reader r stages the data of storage nodes n ≡ r (mod
+    // readers), writing through its own target handle in chunk-sized
+    // pieces, pipelined on a write qpair.
+    let mut uploads = Vec::new();
+    for r in 0..readers {
+        let dir = dir.clone();
+        let cfg = cfg.clone();
+        let opts_pfs = opts.pfs.clone();
+        let build_per_entry = opts.build_per_entry;
+        let my_nodes: Vec<usize> = (0..storage_nodes).filter(|n| n % readers == r).collect();
+        let targets: Vec<Arc<dyn NvmeTarget>> = my_nodes
+            .iter()
+            .map(|&n| deployment.targets[r][n].clone())
+            .collect();
+        let ids: Vec<Vec<u32>> = my_nodes
+            .iter()
+            .map(|&n| per_node_ids[n].clone())
+            .collect();
+        // The source is only borrowed; spawned tasks need owned access.
+        // Gather the payloads for this reader's nodes up front (setup-time
+        // memory, released after upload).
+        let payloads: Vec<Vec<(u64, u64, Vec<u8>)>> = ids
+            .iter()
+            .map(|node_ids| {
+                node_ids
+                    .iter()
+                    .map(|&id| {
+                        let mut buf = vec![0u8; source.size(id) as usize];
+                        source.fill(id, &mut buf);
+                        let e = dir.entry(id);
+                        (e.offset(), e.len(), buf)
+                    })
+                    .collect()
+            })
+            .collect();
+        uploads.push(rt.spawn(&format!("dlfs-mount-r{r}"), move |rt| {
+            for (node_pos, samples) in payloads.into_iter().enumerate() {
+                let target = &targets[node_pos];
+                let mut qp = IoQPair::new(target.clone(), cfg.queue_depth);
+                let chunk = cfg.chunk_size as usize;
+                let mut staging = vec![0u8; chunk];
+                let mut staged_base = 0u64; // device offset of staging[0]
+                let mut staged_len = 0usize;
+                let mut cmd = 0u64;
+                let flush =
+                    |qp: &mut IoQPair, rt: &Runtime, base: u64, data: &[u8], cmd: &mut u64| {
+                        if data.is_empty() {
+                            return;
+                        }
+                        let nblocks = (data.len() as u64).div_ceil(BLOCK_SIZE) as u32;
+                        let buf = DmaBuf::standalone(nblocks as usize * BLOCK_SIZE as usize);
+                        buf.copy_from(0, data);
+                        debug_assert_eq!(base % BLOCK_SIZE, 0);
+                        // Synchronous write with retry on media error (the
+                        // upload must be durable before the directory goes
+                        // live).
+                        loop {
+                            loop {
+                                match qp.submit_write(
+                                    rt,
+                                    *cmd,
+                                    base / BLOCK_SIZE,
+                                    nblocks,
+                                    buf.clone(),
+                                    0,
+                                ) {
+                                    Ok(()) => break,
+                                    Err(_) => {
+                                        qp.drain(rt, Dur::nanos(100));
+                                    }
+                                }
+                            }
+                            *cmd += 1;
+                            let comps = qp.drain(rt, Dur::nanos(100));
+                            if comps.iter().all(|c| c.status.is_ok()) {
+                                break;
+                            }
+                        }
+                    };
+                for (offset, len, bytes) in samples {
+                    // Charge the PFS read feeding the staging buffer.
+                    if let Some(pfs) = &opts_pfs {
+                        pfs.transfer(rt, len);
+                    }
+                    // Directory entry construction cost.
+                    rt.work(build_per_entry);
+                    // Copy into the chunk-aligned staging window, flushing
+                    // filled chunks to the device.
+                    let mut written = 0usize;
+                    while written < bytes.len() {
+                        let pos_in_chunk = (offset + written as u64 - staged_base) as usize;
+                        debug_assert!(pos_in_chunk <= chunk);
+                        if pos_in_chunk == chunk {
+                            flush(&mut qp, rt, staged_base, &staging[..staged_len], &mut cmd);
+                            staged_base += chunk as u64;
+                            staged_len = 0;
+                            continue;
+                        }
+                        let n = (chunk - pos_in_chunk).min(bytes.len() - written);
+                        staging[pos_in_chunk..pos_in_chunk + n]
+                            .copy_from_slice(&bytes[written..written + n]);
+                        staged_len = staged_len.max(pos_in_chunk + n);
+                        written += n;
+                    }
+                }
+                flush(&mut qp, rt, staged_base, &staging[..staged_len], &mut cmd);
+                qp.drain(rt, Dur::nanos(100));
+            }
+        }));
+    }
+    for h in uploads {
+        h.join();
+    }
+
+    // ---- Allgather the per-node trees so every reader holds the full
+    // directory (functionally `dir` is already complete; we charge the
+    // network + merge time the collective would take).
+    if let Some(cluster) = &deployment.cluster {
+        if readers > 1 {
+            let mut latest = rt.now();
+            for src in 0..readers.min(storage_nodes) {
+                let bytes: u64 = (0..storage_nodes)
+                    .filter(|n| n % readers == src)
+                    .map(|n| dir.tree_wire_bytes(n as u16))
+                    .sum();
+                for dst in 0..readers {
+                    if dst != src {
+                        latest = latest.max(cluster.reserve_transfer(rt.now(), src, dst, bytes));
+                    }
+                }
+            }
+            let now = rt.now();
+            if latest > now {
+                rt.sleep(latest - now);
+            }
+            // Merge cost: every reader integrates the other nodes' entries.
+            rt.work(opts.merge_per_entry * dir.len() as u64);
+        }
+    }
+
+    // ---- Per-reader runtime state.
+    let shared = (0..readers)
+        .map(|r| {
+            let cache = Arc::new(SampleCache::new(
+                cfg.chunk_size as usize,
+                cfg.pool_chunks,
+            ));
+            let copy = CopyPool::spawn(rt, &format!("dlfs-r{r}"), cfg.copy_threads, &cfg.costs);
+            Arc::new(DlfsShared {
+                cfg: cfg.clone(),
+                dir: dir.clone(),
+                cache,
+                copy,
+                targets: deployment.targets[r].clone(),
+                reader_id: r,
+                readers,
+            })
+        })
+        .collect();
+
+    Ok(DlfsInstance {
+        dir,
+        shared,
+    })
+}
+
+/// Convenience: single reader, single local device, no fabric.
+pub fn mount_local(
+    rt: &Runtime,
+    device: Arc<dyn NvmeTarget>,
+    source: &dyn SampleSource,
+    cfg: DlfsConfig,
+) -> Result<DlfsInstance, DlfsError> {
+    mount(
+        rt,
+        Deployment {
+            targets: vec![vec![device]],
+            cluster: None,
+        },
+        source,
+        cfg,
+        MountOptions::default(),
+    )
+}

@@ -1,0 +1,169 @@
+//! Zero-copy sample delivery — the paper's stated future work (§III-C2):
+//! "True zero-copy transfers would require the application buffers to be
+//! mapped on the huge pages, which we plan to investigate in future
+//! studies."
+//!
+//! [`ZeroCopySample`] hands the application direct references into the
+//! huge-page sample cache instead of memcpy'ing into private buffers. The
+//! sample pins its cache range; the chunks return to the pool when the
+//! last sample referencing them is dropped (the cache's deferred-retire
+//! mechanism). The *copy* stage of the engine disappears entirely.
+
+use std::sync::Arc;
+
+use crate::cache::{RangeKey, SampleCache};
+use crate::copy::Segment;
+
+/// Keeps one cache range pinned for the lifetime of the samples built on
+/// it.
+#[derive(Debug)]
+pub(crate) struct PinGuard {
+    cache: Arc<SampleCache>,
+    key: RangeKey,
+}
+
+impl PinGuard {
+    pub(crate) fn new(cache: Arc<SampleCache>, key: RangeKey) -> Arc<PinGuard> {
+        Arc::new(PinGuard { cache, key })
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.cache.unpin(self.key);
+    }
+}
+
+/// A sample delivered without copying: segments point straight into pinned
+/// huge-page chunks of the sample cache.
+pub struct ZeroCopySample {
+    pub id: u32,
+    segments: Vec<Segment>,
+    len: usize,
+    _pin: Arc<PinGuard>,
+}
+
+impl std::fmt::Debug for ZeroCopySample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZeroCopySample")
+            .field("id", &self.id)
+            .field("len", &self.len)
+            .field("segments", &self.segments.len())
+            .finish()
+    }
+}
+
+impl ZeroCopySample {
+    pub(crate) fn new(id: u32, segments: Vec<Segment>, pin: Arc<PinGuard>) -> ZeroCopySample {
+        let len = segments.iter().map(|s| s.len).sum();
+        ZeroCopySample {
+            id,
+            segments,
+            len,
+            _pin: pin,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Visit the payload in place, segment by segment (no copy).
+    pub fn for_each_segment(&self, mut f: impl FnMut(&[u8])) {
+        for seg in &self.segments {
+            seg.buf.with(|d| f(&d[seg.offset..seg.offset + seg.len]));
+        }
+    }
+
+    /// Checksum without materializing a contiguous buffer.
+    pub fn fnv1a(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        self.for_each_segment(|part| {
+            for &b in part {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        });
+        h
+    }
+
+    /// Materialize a private copy (escape hatch; defeats the purpose in
+    /// hot paths).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each_segment(|part| out.extend_from_slice(part));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blocksim::DmaBuf;
+
+    fn cache() -> Arc<SampleCache> {
+        Arc::new(SampleCache::new(64, 4))
+    }
+
+    fn resident(c: &Arc<SampleCache>, key: RangeKey, content: &[u8]) -> Vec<DmaBuf> {
+        let bufs = c.alloc_for(content.len() as u64).unwrap();
+        let mut at = 0;
+        for b in &bufs {
+            let n = content.len().min(at + 64) - at;
+            b.copy_from(0, &content[at..at + n]);
+            at += n;
+        }
+        c.publish(key, bufs.clone(), content.len() as u64);
+        bufs
+    }
+
+    #[test]
+    fn zero_copy_reads_without_copying() {
+        let c = cache();
+        let content: Vec<u8> = (0..100u8).collect();
+        let bufs = resident(&c, (0, 0), &content);
+        let (_pins, _len) = c.pin((0, 0)).unwrap();
+        let pin = PinGuard::new(c.clone(), (0, 0));
+        let sample = ZeroCopySample::new(
+            7,
+            vec![
+                Segment { buf: bufs[0].clone(), offset: 0, len: 64 },
+                Segment { buf: bufs[1].clone(), offset: 0, len: 36 },
+            ],
+            pin,
+        );
+        assert_eq!(sample.len(), 100);
+        assert_eq!(sample.to_vec(), content);
+        assert_eq!(sample.fnv1a(), simkit::fnv1a(&content));
+    }
+
+    #[test]
+    fn dropping_last_sample_releases_chunks() {
+        let c = cache();
+        let content = vec![9u8; 64];
+        let bufs = resident(&c, (1, 0), &content);
+        let (_pins, _) = c.pin((1, 0)).unwrap();
+        let s1 = ZeroCopySample::new(
+            0,
+            vec![Segment { buf: bufs[0].clone(), offset: 0, len: 64 }],
+            PinGuard::new(c.clone(), (1, 0)),
+        );
+        let (_pins2, _) = c.pin((1, 0)).unwrap();
+        let s2 = ZeroCopySample::new(
+            1,
+            vec![Segment { buf: bufs[0].clone(), offset: 0, len: 32 }],
+            PinGuard::new(c.clone(), (1, 0)),
+        );
+        // Engine retires the range; chunks stay alive while pinned.
+        c.retire((1, 0));
+        assert_eq!(c.free_chunks(), 3);
+        drop(s1);
+        assert_eq!(c.free_chunks(), 3);
+        drop(s2);
+        assert_eq!(c.free_chunks(), 4, "last drop must free the chunk");
+    }
+}

@@ -1,0 +1,420 @@
+//! End-to-end DLFS tests: mount → sequence → bread/read across local and
+//! disaggregated deployments, with full payload verification.
+
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, NvmeDevice, NvmeTarget};
+use dlfs::source::SampleSource;
+use dlfs::{
+    mount, mount_local, BatchMode, Deployment, DlfsConfig, DlfsError, MountOptions,
+    SyntheticSource,
+};
+use fabric::{Cluster, FabricConfig, NvmeOfTarget, TargetConfig};
+use simkit::prelude::*;
+
+fn local_device() -> Arc<NvmeDevice> {
+    NvmeDevice::new(DeviceConfig::optane(256 << 20))
+}
+
+/// Build a disaggregated deployment: `n` nodes, each a reader and an
+/// NVMe-oF target, full mesh of remote targets.
+fn disaggregated(rt: &Runtime, n: usize) -> Deployment {
+    let cluster = Arc::new(Cluster::new(n, FabricConfig::default()));
+    let devices: Vec<Arc<NvmeDevice>> = (0..n)
+        .map(|_| NvmeDevice::new(DeviceConfig::emulated_ramdisk(128 << 20, Dur::micros(10))))
+        .collect();
+    let targets_exported: Vec<Arc<NvmeOfTarget>> = devices
+        .iter()
+        .enumerate()
+        .map(|(node, d)| NvmeOfTarget::new(node, d.clone(), TargetConfig::default()))
+        .collect();
+    let mut targets: Vec<Vec<Arc<dyn NvmeTarget>>> = Vec::new();
+    for r in 0..n {
+        let mut row: Vec<Arc<dyn NvmeTarget>> = Vec::new();
+        for t in 0..n {
+            if r == t {
+                row.push(devices[t].clone());
+            } else {
+                row.push(fabric::connect(cluster.clone(), r, targets_exported[t].clone()));
+            }
+        }
+        targets.push(row);
+    }
+    let _ = rt;
+    Deployment {
+        targets,
+        cluster: Some(cluster),
+    }
+}
+
+#[test]
+fn local_mount_bread_verifies_payloads() {
+    Runtime::simulate(1, |rt| {
+        let source = SyntheticSource::fixed(9, 5000, 2048);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        assert_eq!(fs.dir.len(), 5000);
+        fs.dir.validate().unwrap();
+
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 77, 0);
+        assert_eq!(total, 5000);
+        let mut seen = vec![false; 5000];
+        let mut read = 0;
+        while read < 2000 {
+            let batch = io.bread(rt, 32, Dur::ZERO).unwrap();
+            for (id, data) in &batch {
+                assert_eq!(data, &source.expected(*id), "payload mismatch for {id}");
+                assert!(!seen[*id as usize], "duplicate delivery {id}");
+                seen[*id as usize] = true;
+            }
+            read += batch.len();
+        }
+        let m = io.metrics();
+        assert_eq!(m.samples_delivered, read as u64);
+        assert_eq!(m.bytes_delivered, read as u64 * 2048);
+        // Chunk batching: far fewer device requests than samples.
+        assert!(
+            m.requests_posted < 200,
+            "expected chunked fetches, got {} requests",
+            m.requests_posted
+        );
+    });
+}
+
+#[test]
+fn full_epoch_delivers_every_sample_once() {
+    Runtime::simulate(2, |rt| {
+        let source = SyntheticSource::fixed(3, 3000, 700);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 5, 0);
+        let mut seen = vec![false; total];
+        loop {
+            match io.bread(rt, 64, Dur::ZERO) {
+                Ok(batch) => {
+                    for (id, data) in batch {
+                        assert!(!seen[id as usize]);
+                        seen[id as usize] = true;
+                        assert_eq!(data.len(), 700);
+                    }
+                }
+                Err(DlfsError::EpochExhausted) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Sample cache fully drained after the epoch.
+        assert_eq!(fs.shared(0).cache.free_chunks(), fs.shared(0).cache.total_chunks());
+    });
+}
+
+#[test]
+fn dlfs_read_by_name_and_open_close() {
+    Runtime::simulate(3, |rt| {
+        let source = SyntheticSource::fixed(4, 1000, 4096);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        for id in [0u32, 17, 999] {
+            let name = source.name(id);
+            let data = io.read(rt, &name).unwrap();
+            assert_eq!(data, source.expected(id));
+            let h = io.open(rt, &name).unwrap();
+            assert_eq!(h, id);
+            io.close(rt, h);
+        }
+        assert!(matches!(
+            io.read(rt, "missing"),
+            Err(DlfsError::NotFound(_))
+        ));
+        assert!(matches!(io.read_by_id(rt, 5000), Err(DlfsError::BadSampleId(_))));
+    });
+}
+
+#[test]
+fn bread_before_sequence_errors() {
+    Runtime::simulate(4, |rt| {
+        let source = SyntheticSource::fixed(1, 100, 512);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        assert!(matches!(
+            io.bread(rt, 8, Dur::ZERO),
+            Err(DlfsError::NoSequence)
+        ));
+    });
+}
+
+#[test]
+fn sample_level_mode_for_large_samples() {
+    Runtime::simulate(5, |rt| {
+        // 512 KB samples: auto mode must pick sample-level batching, with
+        // multi-chunk (multi-part) fetches.
+        let source = SyntheticSource::fixed(8, 64, 512 * 1024);
+        let mut cfg = DlfsConfig::default();
+        cfg.pool_chunks = 128;
+        let fs = mount_local(rt, local_device(), &source, cfg.clone()).unwrap();
+        assert_eq!(
+            cfg.effective_mode(fs.dir.avg_sample_bytes()),
+            BatchMode::SampleLevel
+        );
+        let mut io = fs.io(0);
+        io.sequence(rt, 1, 0);
+        let batch = io.bread(rt, 16, Dur::ZERO).unwrap();
+        for (id, data) in &batch {
+            assert_eq!(data, &source.expected(*id));
+        }
+        // Each sample needs 2 chunks → ≥2 requests per sample.
+        assert!(io.metrics().requests_posted >= 32);
+    });
+}
+
+#[test]
+fn edge_samples_cross_chunk_boundaries_correctly() {
+    Runtime::simulate(6, |rt| {
+        // 3000-byte samples in 4 KiB chunks: lots of edge samples.
+        let source = SyntheticSource::fixed(2, 500, 3000);
+        let mut cfg = DlfsConfig::default();
+        cfg.chunk_size = 4096;
+        cfg.pool_chunks = 256;
+        cfg.window_chunks = 8;
+        cfg.batch_mode = BatchMode::ChunkLevel;
+        let fs = mount_local(rt, local_device(), &source, cfg).unwrap();
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 9, 0);
+        let mut delivered = 0;
+        while delivered < total {
+            let batch = io.bread(rt, 50, Dur::ZERO).unwrap();
+            for (id, data) in &batch {
+                assert_eq!(data, &source.expected(*id), "edge sample {id} corrupted");
+            }
+            delivered += batch.len();
+        }
+    });
+}
+
+#[test]
+fn multi_epoch_reshuffles() {
+    Runtime::simulate(7, |rt| {
+        let source = SyntheticSource::fixed(5, 600, 1024);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        io.sequence(rt, 42, 0);
+        let e0: Vec<u32> = io.planned_order().unwrap().to_vec();
+        // Drain epoch 0.
+        while io.bread(rt, 64, Dur::ZERO).is_ok() {}
+        io.sequence(rt, 42, 1);
+        let e1: Vec<u32> = io.planned_order().unwrap().to_vec();
+        assert_ne!(e0, e1);
+        let batch = io.bread(rt, 32, Dur::ZERO).unwrap();
+        assert_eq!(batch.len(), 32);
+    });
+}
+
+#[test]
+fn disaggregated_mount_and_bread_all_readers() {
+    Runtime::simulate(8, |rt| {
+        let n = 4;
+        let deployment = disaggregated(rt, n);
+        let source = SyntheticSource::fixed(11, 4000, 1500);
+        let fs = Arc::new(
+            mount(
+                rt,
+                deployment,
+                &source,
+                DlfsConfig::default(),
+                MountOptions::default(),
+            )
+            .unwrap(),
+        );
+        // Every reader reads its slice concurrently; together they must
+        // cover every sample exactly once.
+        let (tx, rx) = rt.channel::<Vec<u32>>(None);
+        let mut handles = Vec::new();
+        for r in 0..n {
+            let fs = fs.clone();
+            let tx = tx.clone();
+            let source = source.clone();
+            handles.push(rt.spawn(&format!("reader{r}"), move |rt| {
+                let mut io = fs.io(r);
+                let mine = io.sequence(rt, 99, 0);
+                let mut got = Vec::with_capacity(mine);
+                while let Ok(batch) = io.bread(rt, 32, Dur::ZERO) {
+                    for (id, data) in batch {
+                        assert_eq!(data, source.expected(id));
+                        got.push(id);
+                    }
+                }
+                tx.send(got).unwrap();
+            }));
+        }
+        drop(tx);
+        for h in handles {
+            h.join();
+        }
+        let mut seen = vec![false; 4000];
+        while let Ok(ids) = rx.recv() {
+            for id in ids {
+                assert!(!seen[id as usize], "sample {id} read twice");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some sample never read");
+    });
+}
+
+#[test]
+fn same_seed_same_global_plan_across_readers() {
+    Runtime::simulate(9, |rt| {
+        let deployment = disaggregated(rt, 3);
+        let source = SyntheticSource::fixed(1, 900, 800);
+        let fs = mount(
+            rt,
+            deployment,
+            &source,
+            DlfsConfig::default(),
+            MountOptions::default(),
+        )
+        .unwrap();
+        let mut io0 = fs.io(0);
+        let mut io1 = fs.io(1);
+        let mut io2 = fs.io(2);
+        io0.sequence(rt, 1234, 0);
+        io1.sequence(rt, 1234, 0);
+        io2.sequence(rt, 1234, 0);
+        let all: Vec<u32> = [&io0, &io1, &io2]
+            .iter()
+            .flat_map(|io| io.planned_order().unwrap().iter().copied())
+            .collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 900, "readers' slices must partition the set");
+    });
+}
+
+#[test]
+fn batching_beats_synchronous_reads() {
+    // The Fig. 6 mechanism: DLFS (batched) must outrun DLFS-Base
+    // (synchronous dlfs_read) by a wide margin on small samples.
+    let t_batched = Runtime::simulate(10, |rt| {
+        let source = SyntheticSource::fixed(2, 4000, 4096);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        io.sequence(rt, 1, 0);
+        let t0 = rt.now();
+        let mut got = 0;
+        while got < 2000 {
+            got += io.bread(rt, 32, Dur::ZERO).unwrap().len();
+        }
+        (rt.now() - t0).as_nanos()
+    })
+    .0;
+    let t_sync = Runtime::simulate(10, |rt| {
+        let source = SyntheticSource::fixed(2, 4000, 4096);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        let order = dlfs::full_random_order(4000, 1, 0);
+        let t0 = rt.now();
+        for &id in order.iter().take(2000) {
+            io.read_by_id(rt, id).unwrap();
+        }
+        (rt.now() - t0).as_nanos()
+    })
+    .0;
+    assert!(
+        t_batched * 4 < t_sync,
+        "batched {t_batched}ns vs sync {t_sync}ns"
+    );
+}
+
+#[test]
+fn compute_injection_overlaps_with_io() {
+    // Fig. 7b mechanism: moderate injected computation should not reduce
+    // throughput; excessive computation should.
+    let run = |inject: Dur| {
+        Runtime::simulate(11, |rt| {
+            let source = SyntheticSource::fixed(2, 3000, 128 * 1024);
+            let dev = NvmeDevice::new(DeviceConfig::optane(1 << 30));
+            let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+            let mut io = fs.io(0);
+            io.sequence(rt, 1, 0);
+            let t0 = rt.now();
+            let mut got = 0;
+            while got < 640 {
+                got += io.bread(rt, 32, inject).unwrap().len();
+            }
+            (rt.now() - t0).as_secs_f64()
+        })
+        .0
+    };
+    let base = run(Dur::ZERO);
+    let small = run(Dur::micros(200));
+    let huge = run(Dur::millis(20));
+    assert!(
+        small < base * 1.25,
+        "small inject hurt: base {base} small {small}"
+    );
+    assert!(huge > base * 2.0, "huge inject should dominate: {huge} vs {base}");
+}
+
+#[test]
+fn v_bit_fast_path_serves_from_cache() {
+    Runtime::simulate(12, |rt| {
+        let source = SyntheticSource::fixed(6, 2000, 1024);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        io.sequence(rt, 3, 0);
+        // Fetch one batch so some chunks are resident with V bits set.
+        let batch = io.bread(rt, 8, Dur::ZERO).unwrap();
+        let _ = batch;
+        // Find a sample whose V bit is on.
+        let resident = (0..2000u32).find(|&id| fs.dir.is_valid(id));
+        if let Some(id) = resident {
+            let t0 = rt.now();
+            let data = io.read_by_id(rt, id).unwrap();
+            let fast = rt.now() - t0;
+            assert_eq!(data, source.expected(id));
+            // Served from the sample cache: no device latency (~11us).
+            assert!(fast < Dur::micros(8), "cache hit took {fast:?}");
+        }
+    });
+}
+
+#[test]
+fn mid_epoch_resequence_releases_everything() {
+    // Regression test: replacing an epoch while fetches are in flight and
+    // chunks are resident must wait out the commands and return every
+    // cache chunk (this used to leak ranges and corrupt the next epoch).
+    Runtime::simulate(13, |rt| {
+        let source = SyntheticSource::fixed(4, 6000, 2048);
+        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let total_chunks = fs.shared(0).cache.total_chunks();
+        let mut io = fs.io(0);
+        for epoch in 0..6u64 {
+            io.sequence(rt, 21, epoch);
+            // Read only a fragment, leaving the pipeline full.
+            let batch = io.bread(rt, 40, Dur::ZERO).unwrap();
+            for (id, data) in &batch {
+                assert_eq!(data, &source.expected(*id), "epoch {epoch} sample {id}");
+            }
+        }
+        // A final abort via sequence, then a full clean epoch.
+        let total = io.sequence(rt, 22, 99);
+        let mut seen = vec![false; total];
+        let mut read = 0;
+        while read < total {
+            let batch = io.bread(rt, 64, Dur::ZERO).unwrap();
+            for (id, data) in &batch {
+                assert!(!seen[*id as usize], "duplicate {id}");
+                seen[*id as usize] = true;
+                assert_eq!(data, &source.expected(*id));
+            }
+            read += batch.len();
+        }
+        assert!(seen.iter().all(|&x| x));
+        assert_eq!(
+            fs.shared(0).cache.free_chunks(),
+            total_chunks,
+            "all chunks must return to the pool"
+        );
+    });
+}

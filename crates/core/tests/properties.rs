@@ -1,0 +1,142 @@
+//! Property-based tests for DLFS core data structures: the AVL directory,
+//! packed entries, and the batching planner's coverage invariants.
+
+use dlfs::avl::AvlTree;
+use dlfs::plan::{build_epoch_plan, windowed_delivery, FetchItem};
+use dlfs::{BatchMode, DirectoryBuilder, SampleEntry};
+use proptest::prelude::*;
+use simkit::rng::SplitMix64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn entry_roundtrips(
+        nid in 0u16..=u16::MAX,
+        key in 0u64..(1u64 << 48),
+        offset in 0u64..(1u64 << 40),
+        len in 1u64..(1u64 << 23),
+        valid: bool,
+    ) {
+        let e = SampleEntry::new(nid, key, offset, len, valid);
+        prop_assert_eq!(e.nid(), nid);
+        prop_assert_eq!(e.key(), key);
+        prop_assert_eq!(e.offset(), offset);
+        prop_assert_eq!(e.len(), len);
+        prop_assert_eq!(e.valid(), valid);
+        let (u1, u2) = e.raw();
+        prop_assert_eq!(SampleEntry::from_raw(u1, u2), e);
+    }
+
+    #[test]
+    fn avl_holds_what_was_inserted(keys in prop::collection::vec(0u64..(1 << 48), 1..400)) {
+        let mut tree = AvlTree::new();
+        let mut inserted = std::collections::HashSet::new();
+        for &k in &keys {
+            let _ = tree.insert(k, k * 2 + 1);
+            inserted.insert(k);
+        }
+        prop_assert_eq!(tree.len(), inserted.len());
+        tree.validate().map_err(TestCaseError::fail)?;
+        for &k in &inserted {
+            prop_assert_eq!(tree.get(k), Some(&(k * 2 + 1)));
+        }
+        // Keys not inserted aren't found.
+        for probe in [0u64, 1, (1 << 48) - 1, 12345] {
+            if !inserted.contains(&probe) {
+                prop_assert_eq!(tree.get(probe), None);
+            }
+        }
+        // AVL height bound.
+        let bound = (1.45 * (tree.len().max(2) as f64).log2() + 2.0) as u32;
+        prop_assert!(tree.height() <= bound, "height {} for {} keys", tree.height(), tree.len());
+    }
+
+    #[test]
+    fn avl_inorder_is_sorted(keys in prop::collection::vec(0u64..(1 << 48), 1..300)) {
+        let mut tree = AvlTree::new();
+        for &k in &keys {
+            let _ = tree.insert(k, ());
+        }
+        let inorder: Vec<u64> = tree.iter().map(|(k, _)| k).collect();
+        prop_assert!(inorder.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(inorder.len(), tree.len());
+    }
+
+    #[test]
+    fn plan_covers_each_sample_once(
+        nodes in 1usize..5,
+        readers in 1usize..5,
+        samples in 1usize..400,
+        chunk_kb in 1u64..64,
+        sample_level: bool,
+        seed in 0u64..1000,
+    ) {
+        let mut b = DirectoryBuilder::new(nodes, samples);
+        let mut cursors = vec![0u64; nodes];
+        let mut rng = SplitMix64::new(seed);
+        for id in 0..samples as u32 {
+            let name = format!("p_{id:06}");
+            let nid = dlfs::node_for_name(&name, nodes);
+            let len = rng.range(100, 9000);
+            b.add(id, &name, nid, cursors[nid as usize], len).unwrap();
+            cursors[nid as usize] += len;
+        }
+        let dir = b.finish();
+        let mode = if sample_level { BatchMode::SampleLevel } else { BatchMode::ChunkLevel };
+        let plan = build_epoch_plan(&dir, chunk_kb * 1024, readers, mode, 8, seed, 0);
+        let mut seen = vec![false; samples];
+        for r in &plan.readers {
+            prop_assert_eq!(r.order.len(), r.item_of.len());
+            for (pos, &s) in r.order.iter().enumerate() {
+                prop_assert!(!seen[s as usize], "sample {} twice", s);
+                seen[s as usize] = true;
+                // item_of consistency.
+                let it = &r.items[r.item_of[pos] as usize];
+                prop_assert!(it.samples.contains(&s));
+                // The sample's byte range lies inside its item's range.
+                let e = dir.entry(s);
+                prop_assert_eq!(e.nid(), it.nid);
+                prop_assert!(e.offset() >= it.offset);
+                prop_assert!(e.offset() + e.len() <= it.offset + it.len);
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn windowed_delivery_respects_item_order_and_window(
+        n_items in 1usize..30,
+        window in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let items: Vec<FetchItem> = (0..n_items as u32)
+            .map(|i| FetchItem {
+                nid: 0,
+                offset: i as u64 * 1000,
+                len: 1000,
+                samples: (i * 10..i * 10 + 3 + (i % 4)).collect(),
+            })
+            .collect();
+        let total: usize = items.iter().map(|i| i.samples.len()).sum();
+        let mut rng = SplitMix64::new(seed);
+        let plan = windowed_delivery(items, window, &mut rng);
+        prop_assert_eq!(plan.order.len(), total);
+        // Window invariant: at any delivery position, at most `window`
+        // distinct unfinished items may be interleaved. Track open set.
+        let mut remaining: Vec<usize> =
+            plan.items.iter().map(|i| i.samples.len()).collect();
+        let mut open: std::collections::HashSet<u32> = Default::default();
+        let mut max_open = 0;
+        for (pos, &_s) in plan.order.iter().enumerate() {
+            let it = plan.item_of[pos];
+            open.insert(it);
+            max_open = max_open.max(open.len());
+            remaining[it as usize] -= 1;
+            if remaining[it as usize] == 0 {
+                open.remove(&it);
+            }
+        }
+        prop_assert!(max_open <= window, "open {} > window {}", max_open, window);
+    }
+}

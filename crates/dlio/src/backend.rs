@@ -1,0 +1,311 @@
+//! The storage backend abstraction the benchmarks and the TF-style input
+//! pipeline run against: one implementation per evaluated system (DLFS,
+//! Ext4, Octopus), each reading random samples the way the paper's
+//! microbenchmarks drive it.
+
+use std::sync::Arc;
+
+use dlfs::{DlfsInstance, DlfsIo};
+use kernsim::Ext4Fs;
+use octofs::OctopusFs;
+use simkit::rng::SplitMix64;
+use simkit::runtime::Runtime;
+use simkit::time::Dur;
+
+/// One delivered training sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    pub id: u32,
+    pub bytes: Vec<u8>,
+}
+
+/// A per-reader-thread handle to a storage system under test.
+pub trait ReaderBackend: Send {
+    /// Start an epoch with the collective seed; returns how many samples
+    /// this reader will deliver.
+    fn begin_epoch(&mut self, rt: &Runtime, seed: u64, epoch: u64) -> usize;
+
+    /// Deliver up to `n` samples; `None` once the epoch is exhausted.
+    fn next_batch(&mut self, rt: &Runtime, n: usize) -> Option<Vec<Sample>>;
+
+    /// Human-readable system name.
+    fn label(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------- DLFS --
+
+/// DLFS through `dlfs_sequence` + `dlfs_bread`.
+pub struct DlfsBackend {
+    io: DlfsIo,
+    /// Computation injected into the poll loop (Fig. 7b); normally zero.
+    pub inject_compute: Dur,
+}
+
+impl DlfsBackend {
+    pub fn new(fs: &DlfsInstance, reader: usize) -> DlfsBackend {
+        DlfsBackend {
+            io: fs.io(reader),
+            inject_compute: Dur::ZERO,
+        }
+    }
+
+    pub fn io(&self) -> &DlfsIo {
+        &self.io
+    }
+}
+
+impl ReaderBackend for DlfsBackend {
+    fn begin_epoch(&mut self, rt: &Runtime, seed: u64, epoch: u64) -> usize {
+        self.io.sequence(rt, seed, epoch)
+    }
+
+    fn next_batch(&mut self, rt: &Runtime, n: usize) -> Option<Vec<Sample>> {
+        match self.io.bread(rt, n, self.inject_compute) {
+            Ok(batch) => Some(
+                batch
+                    .into_iter()
+                    .map(|(id, bytes)| Sample { id, bytes })
+                    .collect(),
+            ),
+            Err(dlfs::DlfsError::EpochExhausted) => None,
+            Err(e) => panic!("dlfs bread failed: {e}"),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "DLFS"
+    }
+}
+
+/// DLFS without opportunistic batching: synchronous `dlfs_read` per sample
+/// over an application-side random order (the paper's DLFS-Base).
+pub struct DlfsBaseBackend {
+    io: DlfsIo,
+    order: Vec<u32>,
+    cursor: usize,
+    reader: usize,
+    readers: usize,
+    total: usize,
+}
+
+impl DlfsBaseBackend {
+    pub fn new(fs: &DlfsInstance, reader: usize) -> DlfsBaseBackend {
+        DlfsBaseBackend {
+            io: fs.io(reader),
+            order: Vec::new(),
+            cursor: 0,
+            reader,
+            readers: fs.readers(),
+            total: fs.dir.len(),
+        }
+    }
+}
+
+impl ReaderBackend for DlfsBaseBackend {
+    fn begin_epoch(&mut self, _rt: &Runtime, seed: u64, epoch: u64) -> usize {
+        // Same global permutation on every reader; this reader takes its
+        // strided slice.
+        let global = dlfs::full_random_order(self.total, seed, epoch);
+        self.order = global
+            .into_iter()
+            .skip(self.reader)
+            .step_by(self.readers)
+            .collect();
+        self.cursor = 0;
+        self.order.len()
+    }
+
+    fn next_batch(&mut self, rt: &Runtime, n: usize) -> Option<Vec<Sample>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + n).min(self.order.len());
+        let mut out = Vec::with_capacity(end - self.cursor);
+        for &id in &self.order[self.cursor..end] {
+            let bytes = self.io.read_by_id(rt, id).expect("dlfs_read");
+            out.push(Sample { id, bytes });
+        }
+        self.cursor = end;
+        Some(out)
+    }
+
+    fn label(&self) -> &'static str {
+        "DLFS-Base"
+    }
+}
+
+// ---------------------------------------------------------------- Ext4 --
+
+/// The kernel-FS baseline: open + pread + close per sample against this
+/// reader's locally staged shard.
+pub struct Ext4Backend {
+    fs: Arc<Ext4Fs>,
+    files: Vec<(u32, String, u64)>, // (id, path, size)
+    order: Vec<u32>,                // indices into files
+    cursor: usize,
+}
+
+impl Ext4Backend {
+    pub fn new(fs: Arc<Ext4Fs>, staged: Vec<(u32, String)>, sizes: impl Fn(u32) -> u64) -> Ext4Backend {
+        let files = staged
+            .into_iter()
+            .map(|(id, path)| {
+                let size = sizes(id);
+                (id, path, size)
+            })
+            .collect();
+        Ext4Backend {
+            fs,
+            files,
+            order: Vec::new(),
+            cursor: 0,
+        }
+    }
+}
+
+impl ReaderBackend for Ext4Backend {
+    fn begin_epoch(&mut self, _rt: &Runtime, seed: u64, epoch: u64) -> usize {
+        let mut rng = SplitMix64::derive(seed, epoch.wrapping_add(0xE47));
+        self.order = rng.permutation(self.files.len());
+        self.cursor = 0;
+        self.order.len()
+    }
+
+    fn next_batch(&mut self, rt: &Runtime, n: usize) -> Option<Vec<Sample>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + n).min(self.order.len());
+        let mut out = Vec::with_capacity(end - self.cursor);
+        for &fi in &self.order[self.cursor..end] {
+            let (id, path, size) = &self.files[fi as usize];
+            let fd = self.fs.open(rt, path).expect("open staged file");
+            let mut buf = vec![0u8; *size as usize];
+            let got = self.fs.pread(rt, fd, 0, &mut buf).expect("pread");
+            debug_assert_eq!(got, buf.len());
+            self.fs.close(rt, fd).expect("close");
+            out.push(Sample {
+                id: *id,
+                bytes: buf,
+            });
+        }
+        self.cursor = end;
+        Some(out)
+    }
+
+    fn label(&self) -> &'static str {
+        "Ext4"
+    }
+}
+
+// ------------------------------------------------------------- Octopus --
+
+/// The Octopus-like baseline: lookup RPC + RDMA read per sample.
+///
+/// `with_client_cache` enables an extension the real Octopus lacks: a
+/// client-side metadata cache, so repeat lookups (later epochs) skip the
+/// RPC. Safe for DL training because the namespace is immutable after
+/// staging; used by the `ext_octopus_cache` experiment to ask how much of
+/// DLFS's advantage a cached Octopus would recover.
+pub struct OctoBackend {
+    fs: Arc<OctopusFs>,
+    client_node: usize,
+    names: Vec<(u32, String, u64)>,
+    order: Vec<u32>,
+    cursor: usize,
+    meta_cache: Option<kernsim::lru::LruMap<u32, octofs::MetaEntry>>,
+    /// (hits, misses) of the client cache.
+    pub cache_stats: (u64, u64),
+}
+
+impl OctoBackend {
+    /// `names` is this reader's shard of (id, name) pairs.
+    pub fn new(
+        fs: Arc<OctopusFs>,
+        client_node: usize,
+        names: Vec<(u32, String)>,
+        sizes: impl Fn(u32) -> u64,
+    ) -> OctoBackend {
+        let names = names
+            .into_iter()
+            .map(|(id, name)| {
+                let s = sizes(id);
+                (id, name, s)
+            })
+            .collect();
+        OctoBackend {
+            fs,
+            client_node,
+            names,
+            order: Vec::new(),
+            cursor: 0,
+            meta_cache: None,
+            cache_stats: (0, 0),
+        }
+    }
+
+    /// Enable the client-side metadata cache extension.
+    pub fn with_client_cache(mut self, entries: usize) -> OctoBackend {
+        self.meta_cache = Some(kernsim::lru::LruMap::new(entries.max(1)));
+        self
+    }
+}
+
+impl ReaderBackend for OctoBackend {
+    fn begin_epoch(&mut self, _rt: &Runtime, seed: u64, epoch: u64) -> usize {
+        let mut rng = SplitMix64::derive(seed, epoch.wrapping_add(0x0C70));
+        self.order = rng.permutation(self.names.len());
+        self.cursor = 0;
+        self.order.len()
+    }
+
+    fn next_batch(&mut self, rt: &Runtime, n: usize) -> Option<Vec<Sample>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + n).min(self.order.len());
+        let mut out = Vec::with_capacity(end - self.cursor);
+        for &fi in &self.order[self.cursor..end] {
+            let (id, name, size) = &self.names[fi as usize];
+            let mut buf = vec![0u8; *size as usize];
+            match &mut self.meta_cache {
+                Some(cache) => {
+                    // Extension path: cached metadata skips the lookup RPC.
+                    let entry = match cache.get(&fi).copied() {
+                        Some(e) => {
+                            self.cache_stats.0 += 1;
+                            // Local hash probe cost only.
+                            rt.work(simkit::time::Dur::nanos(120));
+                            e
+                        }
+                        None => {
+                            self.cache_stats.1 += 1;
+                            let e = self
+                                .fs
+                                .lookup(rt, self.client_node, name)
+                                .expect("octopus lookup");
+                            cache.insert(fi, e);
+                            e
+                        }
+                    };
+                    self.fs.read_entry(rt, self.client_node, &entry, &mut buf);
+                }
+                None => {
+                    self.fs
+                        .read(rt, self.client_node, name, &mut buf)
+                        .expect("octopus read");
+                }
+            }
+            out.push(Sample {
+                id: *id,
+                bytes: buf,
+            });
+        }
+        self.cursor = end;
+        Some(out)
+    }
+
+    fn label(&self) -> &'static str {
+        "Octopus"
+    }
+}

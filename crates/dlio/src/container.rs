@@ -1,0 +1,189 @@
+//! TFRecord containers as DLFS datasets (paper §III-B1).
+//!
+//! Preprocessed datasets often ship as large batched container files
+//! (TFRecord) rather than a file per sample. The paper's sample-level
+//! directory indexes *records inside* the container: "we are able to have
+//! direct access to any samples in a TFRecord file. Note that there is
+//! also an entry taking by the batched file for file-oriented access."
+//!
+//! [`TfRecordDataset`] wraps an inner per-sample dataset into genuine
+//! TFRecord container bytes (length/CRC framing), acts as the mountable
+//! [`SampleSource`] whose "samples" are the containers (file-oriented
+//! access), and derives the record-level [`SampleDirectory`] whose entries
+//! point at each record's payload inside the staged containers.
+
+use std::sync::Arc;
+
+use dlfs::{DirectoryBuilder, SampleDirectory, SampleSource};
+
+use crate::formats::{tfrecord_index, tfrecord_write};
+
+/// A dataset packaged as TFRecord containers.
+#[derive(Clone)]
+pub struct TfRecordDataset {
+    /// Fully framed container bytes.
+    containers: Arc<Vec<Vec<u8>>>,
+    /// Per record: (container idx, payload offset within container, len).
+    records: Arc<Vec<(u32, u64, u64)>>,
+    /// Record names, for the record-level directory.
+    record_names: Arc<Vec<String>>,
+}
+
+impl std::fmt::Debug for TfRecordDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TfRecordDataset")
+            .field("containers", &self.containers.len())
+            .field("records", &self.records.len())
+            .finish()
+    }
+}
+
+impl TfRecordDataset {
+    /// Package `inner`'s samples into containers of `per_container` records
+    /// (in sample-id order, as preprocessing pipelines write them).
+    pub fn package(inner: &dyn SampleSource, per_container: usize) -> TfRecordDataset {
+        assert!(per_container > 0);
+        let mut containers = Vec::new();
+        let mut records = Vec::new();
+        let mut record_names = Vec::new();
+        let n = inner.count();
+        let mut id = 0u32;
+        while (id as usize) < n {
+            let cidx = containers.len() as u32;
+            let end = (id as usize + per_container).min(n) as u32;
+            let payloads: Vec<Vec<u8>> = (id..end)
+                .map(|i| {
+                    let mut buf = vec![0u8; inner.size(i) as usize];
+                    inner.fill(i, &mut buf);
+                    buf
+                })
+                .collect();
+            let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+            let bytes = tfrecord_write(&refs).to_vec();
+            let index = tfrecord_index(&bytes).expect("self-produced container parses");
+            debug_assert_eq!(index.len(), payloads.len());
+            for (k, &(off, len)) in index.iter().enumerate() {
+                records.push((cidx, off, len));
+                record_names.push(inner.name(id + k as u32));
+            }
+            containers.push(bytes);
+            id = end;
+        }
+        TfRecordDataset {
+            containers: Arc::new(containers),
+            records: Arc::new(records),
+            record_names: Arc::new(record_names),
+        }
+    }
+
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Raw container bytes (verification).
+    pub fn container_bytes(&self, c: u32) -> &[u8] {
+        &self.containers[c as usize]
+    }
+
+    /// Expected payload of a record (verification).
+    pub fn record_payload(&self, r: u32) -> &[u8] {
+        let (c, off, len) = self.records[r as usize];
+        &self.containers[c as usize][off as usize..(off + len) as usize]
+    }
+
+    pub fn record_name(&self, r: u32) -> &str {
+        &self.record_names[r as usize]
+    }
+
+    /// Build the record-level directory over a *mounted* container
+    /// directory: record entries point inside the containers wherever the
+    /// mount placed them. Record names hash into the directory's trees
+    /// independently of that placement.
+    pub fn record_directory(
+        &self,
+        container_dir: &SampleDirectory,
+    ) -> Result<Arc<SampleDirectory>, dlfs::DlfsError> {
+        assert_eq!(
+            container_dir.len(),
+            self.containers.len(),
+            "directory does not match this dataset's containers"
+        );
+        let mut b = DirectoryBuilder::new(container_dir.storage_nodes(), self.records.len());
+        for (r, &(c, off, len)) in self.records.iter().enumerate() {
+            let ce = container_dir.entry(c);
+            b.add(
+                r as u32,
+                &self.record_names[r],
+                ce.nid(),
+                ce.offset() + off,
+                len,
+            )?;
+        }
+        Ok(Arc::new(b.finish()))
+    }
+}
+
+impl SampleSource for TfRecordDataset {
+    fn count(&self) -> usize {
+        self.containers.len()
+    }
+
+    fn name(&self, id: u32) -> String {
+        format!("tfrecord_{id:06}.tfrecord")
+    }
+
+    fn size(&self, id: u32) -> u64 {
+        self.containers[id as usize].len() as u64
+    }
+
+    fn fill(&self, id: u32, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.containers[id as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::tfrecord_read;
+    use dlfs::SyntheticSource;
+
+    fn dataset() -> (SyntheticSource, TfRecordDataset) {
+        let inner = SyntheticSource::new(3, (0..250).map(|i| 200 + (i % 7) * 90).collect());
+        let ds = TfRecordDataset::package(&inner, 40);
+        (inner, ds)
+    }
+
+    #[test]
+    fn packaging_counts() {
+        let (inner, ds) = dataset();
+        assert_eq!(ds.record_count(), inner.count());
+        assert_eq!(ds.container_count(), 250usize.div_ceil(40));
+    }
+
+    #[test]
+    fn containers_are_valid_tfrecord() {
+        let (inner, ds) = dataset();
+        let mut r = 0u32;
+        for c in 0..ds.container_count() as u32 {
+            let recs = tfrecord_read(ds.container_bytes(c)).expect("valid CRCs");
+            for payload in recs {
+                assert_eq!(payload, inner.expected(r));
+                r += 1;
+            }
+        }
+        assert_eq!(r as usize, inner.count());
+    }
+
+    #[test]
+    fn record_index_points_at_payloads() {
+        let (inner, ds) = dataset();
+        for r in 0..ds.record_count() as u32 {
+            assert_eq!(ds.record_payload(r), inner.expected(r).as_slice());
+            assert_eq!(ds.record_name(r), inner.name(r));
+        }
+    }
+}

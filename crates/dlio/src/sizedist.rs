@@ -1,0 +1,152 @@
+//! Sample-size distributions (paper Fig. 1).
+//!
+//! "The ImageNet dataset consists of many small samples ... about 75% of
+//! samples are less than 147 KB. ... In the case of the IMDB dataset, 75%
+//! of samples are less than 1.6 KB." Both are well fit by log-normals; the
+//! presets below are calibrated so the 75th percentiles match the paper's
+//! numbers.
+
+use simkit::rng::SplitMix64;
+
+/// A distribution over sample sizes in bytes.
+#[derive(Clone, Debug)]
+pub enum SizeDist {
+    /// Every sample exactly `bytes` (the paper's microbenchmark sweeps).
+    Fixed(u64),
+    /// Log-normal with parameters of the underlying normal, clamped.
+    LogNormal {
+        mu: f64,
+        sigma: f64,
+        min: u64,
+        max: u64,
+    },
+    /// Uniform in `[lo, hi]`.
+    Uniform(u64, u64),
+}
+
+/// z-score of the 75th percentile of a standard normal.
+const Z75: f64 = 0.674_489_75;
+
+impl SizeDist {
+    /// ImageNet-like: 75% of samples below 147 KB, mean ≈ 115 KB.
+    pub fn imagenet() -> SizeDist {
+        let p75 = 147_000f64;
+        let sigma = 1.0;
+        SizeDist::LogNormal {
+            mu: p75.ln() - Z75 * sigma,
+            sigma,
+            min: 2_048,
+            max: 4 << 20,
+        }
+    }
+
+    /// IMDB-like: 75% of samples below 1.6 KB.
+    pub fn imdb() -> SizeDist {
+        let p75 = 1_600f64;
+        let sigma = 0.8;
+        SizeDist::LogNormal {
+            mu: p75.ln() - Z75 * sigma,
+            sigma,
+            min: 128,
+            max: 64 << 10,
+        }
+    }
+
+    /// Draw one size.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        match *self {
+            SizeDist::Fixed(b) => b,
+            SizeDist::LogNormal { mu, sigma, min, max } => {
+                (rng.lognormal(mu, sigma).round() as u64).clamp(min, max)
+            }
+            SizeDist::Uniform(lo, hi) => rng.range(lo, hi + 1),
+        }
+    }
+
+    /// Draw `n` sizes from a deterministic stream.
+    pub fn sizes(&self, seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::derive(seed, 0x512e);
+        (0..n).map(|_| self.sample(&mut rng)).collect()
+    }
+
+    /// Empirical CDF at the given byte values (Fig. 1 regeneration).
+    pub fn cdf(&self, seed: u64, n: usize, at: &[u64]) -> Vec<f64> {
+        let mut sizes = self.sizes(seed, n);
+        sizes.sort_unstable();
+        at.iter()
+            .map(|&x| {
+                let idx = sizes.partition_point(|&s| s <= x);
+                idx as f64 / n as f64
+            })
+            .collect()
+    }
+
+    /// Empirical quantile (e.g. 0.75).
+    pub fn quantile(&self, seed: u64, n: usize, q: f64) -> u64 {
+        let mut sizes = self.sizes(seed, n);
+        sizes.sort_unstable();
+        let idx = ((q.clamp(0.0, 1.0) * n as f64) as usize).min(n - 1);
+        sizes[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_p75_matches_paper() {
+        let p75 = SizeDist::imagenet().quantile(1, 50_000, 0.75);
+        // Paper: "about 75% of samples are less than 147 KB".
+        assert!(
+            (120_000..175_000).contains(&p75),
+            "ImageNet p75 = {p75}"
+        );
+    }
+
+    #[test]
+    fn imdb_p75_matches_paper() {
+        let p75 = SizeDist::imdb().quantile(1, 50_000, 0.75);
+        assert!((1_300..1_900).contains(&p75), "IMDB p75 = {p75}");
+    }
+
+    #[test]
+    fn fixed_and_uniform() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(SizeDist::Fixed(512).sample(&mut rng), 512);
+        for _ in 0..100 {
+            let v = SizeDist::Uniform(10, 20).sample(&mut rng);
+            assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn clamping_applies() {
+        let d = SizeDist::LogNormal {
+            mu: 20.0, // enormous
+            sigma: 0.1,
+            min: 100,
+            max: 1000,
+        };
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..50 {
+            assert_eq!(d.sample(&mut rng), 1000);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let d = SizeDist::imagenet();
+        let cdf = d.cdf(3, 10_000, &[1_000, 10_000, 100_000, 1_000_000, 10_000_000]);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!(cdf[0] >= 0.0 && *cdf.last().unwrap() <= 1.0);
+        assert!((cdf[4] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_sizes() {
+        let d = SizeDist::imdb();
+        assert_eq!(d.sizes(9, 100), d.sizes(9, 100));
+        assert_ne!(d.sizes(9, 100), d.sizes(10, 100));
+    }
+}

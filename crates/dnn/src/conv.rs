@@ -1,0 +1,379 @@
+//! A 1-D convolution + max-pool stack, completing the from-scratch DL
+//! substrate (the paper trains AlexNet; our substitution argument only
+//! needs *a* converging network, but a convolutional front end makes the
+//! stand-in closer in spirit). Gradients are verified against finite
+//! differences in the tests.
+
+use simkit::rng::SplitMix64;
+
+use crate::tensor::Matrix;
+
+/// 1-D convolution: input (batch, in_ch × len), kernels (out_ch, in_ch, k),
+/// stride 1, valid padding. Stored row-major.
+#[derive(Clone, Debug)]
+pub struct Conv1d {
+    pub in_ch: usize,
+    pub out_ch: usize,
+    pub k: usize,
+    /// (out_ch, in_ch * k) weight matrix.
+    w: Matrix,
+    b: Vec<f32>,
+    vw: Matrix,
+    vb: Vec<f32>,
+    // forward stash
+    input: Matrix,
+    in_len: usize,
+}
+
+impl Conv1d {
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, rng: &mut SplitMix64) -> Conv1d {
+        let scale = (2.0 / (in_ch * k) as f32).sqrt();
+        Conv1d {
+            in_ch,
+            out_ch,
+            k,
+            w: Matrix::randn(out_ch, in_ch * k, scale, rng),
+            b: vec![0.0; out_ch],
+            vw: Matrix::zeros(out_ch, in_ch * k),
+            vb: vec![0.0; out_ch],
+            input: Matrix::zeros(0, 0),
+            in_len: 0,
+        }
+    }
+
+    pub fn out_len(&self, in_len: usize) -> usize {
+        in_len + 1 - self.k
+    }
+
+    /// Forward: returns (batch, out_ch × out_len).
+    pub fn forward(&mut self, x: &Matrix, in_len: usize, train: bool) -> Matrix {
+        assert_eq!(x.cols, self.in_ch * in_len, "input shape mismatch");
+        let out_len = self.out_len(in_len);
+        let mut out = Matrix::zeros(x.rows, self.out_ch * out_len);
+        for r in 0..x.rows {
+            let xin = x.row(r);
+            for oc in 0..self.out_ch {
+                let wrow = self.w.row(oc);
+                for t in 0..out_len {
+                    let mut acc = self.b[oc];
+                    for ic in 0..self.in_ch {
+                        let xbase = ic * in_len + t;
+                        let wbase = ic * self.k;
+                        for j in 0..self.k {
+                            acc += xin[xbase + j] * wrow[wbase + j];
+                        }
+                    }
+                    out.data[r * (self.out_ch * out_len) + oc * out_len + t] = acc;
+                }
+            }
+        }
+        if train {
+            self.input = x.clone();
+            self.in_len = in_len;
+        }
+        out
+    }
+
+    /// Backward + SGD update. `grad` is dL/d(output); returns dL/d(input).
+    pub fn backward_update(&mut self, grad: &Matrix, lr: f32, momentum: f32) -> Matrix {
+        let in_len = self.in_len;
+        let out_len = self.out_len(in_len);
+        assert_eq!(grad.cols, self.out_ch * out_len);
+        let batch = grad.rows.max(1) as f32;
+        let mut dw = Matrix::zeros(self.out_ch, self.in_ch * self.k);
+        let mut db = vec![0.0f32; self.out_ch];
+        let mut dx = Matrix::zeros(grad.rows, self.in_ch * in_len);
+        for r in 0..grad.rows {
+            let xin = self.input.row(r);
+            for oc in 0..self.out_ch {
+                let wrow_start = oc * (self.in_ch * self.k);
+                for t in 0..out_len {
+                    let g = grad.data[r * (self.out_ch * out_len) + oc * out_len + t];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    db[oc] += g;
+                    for ic in 0..self.in_ch {
+                        let xbase = ic * in_len + t;
+                        let wbase = ic * self.k;
+                        for j in 0..self.k {
+                            dw.data[wrow_start + wbase + j] += g * xin[xbase + j];
+                            dx.data[r * (self.in_ch * in_len) + xbase + j] +=
+                                g * self.w.data[wrow_start + wbase + j];
+                        }
+                    }
+                }
+            }
+        }
+        dw.scale(1.0 / batch);
+        for v in &mut db {
+            *v /= batch;
+        }
+        // Momentum SGD.
+        self.vw.scale(momentum);
+        self.vw.axpy(1.0, &dw);
+        self.w.axpy(-lr, &self.vw);
+        for ((vb, d), b) in self.vb.iter_mut().zip(&db).zip(&mut self.b) {
+            *vb = momentum * *vb + d;
+            *b -= lr * *vb;
+        }
+        dx
+    }
+
+    /// Read-only weight access (gradient-check tests).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.w
+    }
+}
+
+/// Non-overlapping 1-D max pooling over each channel.
+#[derive(Clone, Debug)]
+pub struct MaxPool1d {
+    pub window: usize,
+    // stash: argmax indices per output element
+    argmax: Vec<usize>,
+    in_cols: usize,
+}
+
+impl MaxPool1d {
+    pub fn new(window: usize) -> MaxPool1d {
+        assert!(window > 0);
+        MaxPool1d {
+            window,
+            argmax: Vec::new(),
+            in_cols: 0,
+        }
+    }
+
+    pub fn out_len(&self, in_len: usize) -> usize {
+        in_len / self.window
+    }
+
+    /// Forward over (batch, ch × in_len) → (batch, ch × out_len).
+    pub fn forward(&mut self, x: &Matrix, ch: usize, in_len: usize, train: bool) -> Matrix {
+        let out_len = self.out_len(in_len);
+        let mut out = Matrix::zeros(x.rows, ch * out_len);
+        let mut argmax = vec![0usize; x.rows * ch * out_len];
+        for r in 0..x.rows {
+            let row = x.row(r);
+            for c in 0..ch {
+                for t in 0..out_len {
+                    let base = c * in_len + t * self.window;
+                    let (mut best, mut bi) = (f32::NEG_INFINITY, base);
+                    for j in 0..self.window {
+                        let v = row[base + j];
+                        if v > best {
+                            best = v;
+                            bi = base + j;
+                        }
+                    }
+                    out.data[r * (ch * out_len) + c * out_len + t] = best;
+                    argmax[r * (ch * out_len) + c * out_len + t] = bi;
+                }
+            }
+        }
+        if train {
+            self.argmax = argmax;
+            self.in_cols = x.cols;
+        }
+        out
+    }
+
+    /// Route gradients back to the argmax positions.
+    pub fn backward(&self, grad: &Matrix) -> Matrix {
+        let mut dx = Matrix::zeros(grad.rows, self.in_cols);
+        for r in 0..grad.rows {
+            for o in 0..grad.cols {
+                let src = self.argmax[r * grad.cols + o];
+                dx.data[r * self.in_cols + src] += grad.data[r * grad.cols + o];
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::softmax_xent;
+
+    #[test]
+    fn conv_shapes() {
+        let mut rng = SplitMix64::new(1);
+        let mut c = Conv1d::new(2, 3, 5, &mut rng);
+        let x = Matrix::randn(4, 2 * 16, 1.0, &mut rng);
+        let y = c.forward(&x, 16, false);
+        assert_eq!(y.rows, 4);
+        assert_eq!(y.cols, 3 * 12);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        let mut rng = SplitMix64::new(2);
+        let (in_ch, out_ch, k, len, batch) = (2usize, 2usize, 3usize, 8usize, 3usize);
+        let mut conv = Conv1d::new(in_ch, out_ch, k, &mut rng);
+        let x = Matrix::randn(batch, in_ch * len, 1.0, &mut rng);
+        let labels: Vec<u8> = (0..batch).map(|i| (i % 2) as u8).collect();
+        let out_cols = out_ch * conv.out_len(len);
+
+        // Loss as a function of the conv parameters (sum-pool the conv
+        // output into 2 logits deterministically).
+        let loss_of = |conv: &mut Conv1d| {
+            let y = conv.forward(&x, len, false);
+            // logits: group output columns into 2 classes by summing.
+            let mut logits = Matrix::zeros(batch, 2);
+            for r in 0..batch {
+                for cidx in 0..out_cols {
+                    logits.data[r * 2 + cidx % 2] += y.row(r)[cidx];
+                }
+            }
+            softmax_xent(&logits, &labels).0 as f64
+        };
+
+        // Analytic gradient via backward (lr = 0 to not update).
+        let y = conv.forward(&x, len, true);
+        let mut logits = Matrix::zeros(batch, 2);
+        for r in 0..batch {
+            for cidx in 0..out_cols {
+                logits.data[r * 2 + cidx % 2] += y.row(r)[cidx];
+            }
+        }
+        let (_l, dlogits) = softmax_xent(&logits, &labels);
+        let mut dy = Matrix::zeros(batch, out_cols);
+        for r in 0..batch {
+            for cidx in 0..out_cols {
+                dy.data[r * out_cols + cidx] = dlogits.data[r * 2 + cidx % 2];
+            }
+        }
+        // Capture analytic dW by diffing weights after an lr=1, momentum=0
+        // update (w' = w - dW).
+        let w_before = conv.weights().clone();
+        conv.backward_update(&dy, 1.0, 0.0);
+        let mut analytic = w_before.clone();
+        analytic.axpy(-1.0, conv.weights()); // w_before - w_after = dW
+        // Restore weights.
+        *conv.weights_mut() = w_before.clone();
+
+        // Finite differences on a few weights.
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 3, 7, 11] {
+            let orig = conv.weights().data[idx];
+            conv.weights_mut().data[idx] = orig + eps;
+            let lp = loss_of(&mut conv);
+            conv.weights_mut().data[idx] = orig - eps;
+            let lm = loss_of(&mut conv);
+            conv.weights_mut().data[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let an = analytic.data[idx] as f64;
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs().max(an.abs())),
+                "weight {idx}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let mut p = MaxPool1d::new(2);
+        // 1 sample, 1 channel, len 6.
+        let x = Matrix::from_vec(1, 6, vec![1.0, 5.0, 2.0, 2.0, -3.0, 0.0]);
+        let y = p.forward(&x, 1, 6, true);
+        assert_eq!(y.data, vec![5.0, 2.0, 0.0]);
+        let g = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let dx = p.backward(&g);
+        assert_eq!(dx.data, vec![0.0, 1.0, 2.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn maxpool_tie_takes_first() {
+        let mut p = MaxPool1d::new(3);
+        let x = Matrix::from_vec(1, 3, vec![4.0, 4.0, 1.0]);
+        let y = p.forward(&x, 1, 3, true);
+        assert_eq!(y.data, vec![4.0]);
+        let dx = p.backward(&Matrix::from_vec(1, 1, vec![1.0]));
+        assert_eq!(dx.data, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_net_learns_a_pattern() {
+        // Classify whether a bump appears in the first or second half of a
+        // 1-D signal — translation structure a conv layer exploits.
+        let mut rng = SplitMix64::new(5);
+        let len = 24usize;
+        let n = 400usize;
+        let mut xs = Vec::with_capacity(n * len);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cls = rng.below(2) as usize;
+            let pos = if cls == 0 {
+                rng.below((len / 2 - 3) as u64) as usize
+            } else {
+                len / 2 + rng.below((len / 2 - 3) as u64) as usize
+            };
+            let mut sig = vec![0.0f32; len];
+            for (i, s) in sig.iter_mut().enumerate() {
+                *s = 0.1 * rng.normal() as f32;
+                if i >= pos && i < pos + 3 {
+                    *s += 1.5;
+                }
+            }
+            xs.extend_from_slice(&sig);
+            ys.push(cls as u8);
+        }
+        let x = Matrix::from_vec(n, len, xs);
+
+        let mut conv = Conv1d::new(1, 4, 5, &mut rng);
+        let conv_out = conv.out_len(len); // 20
+        // Pool each half separately so position survives pooling.
+        let mut pool = MaxPool1d::new(conv_out / 2);
+        let pooled_cols = 4 * 2;
+        let mut head = crate::net::Mlp::new(&[pooled_cols, 2], 7);
+
+        let mut last_acc = 0.0;
+        for _ in 0..60 {
+            let mut z = conv.forward(&x, len, true);
+            for v in &mut z.data {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            let relu_mask: Vec<bool> = z.data.iter().map(|&v| v > 0.0).collect();
+            let pooled = pool.forward(&z, 4, conv_out, true);
+            let logits = head.forward(&pooled, true);
+            let (_loss, dlogits) = softmax_xent(&logits, &ys);
+            // Backprop through the dense head manually via train_step-like
+            // path: reuse Mlp by re-running its public train_step on pooled
+            // features is simpler for the head:
+            head.train_step(&pooled, &ys, 0.1, 0.8);
+            // Approximate conv gradient path through pool + relu.
+            let dpool = dlogits.matmul(&head_weights_t(&mut head));
+            let mut dz = pool.backward(&dpool);
+            for (g, &alive) in dz.data.iter_mut().zip(&relu_mask) {
+                if !alive {
+                    *g = 0.0;
+                }
+            }
+            conv.backward_update(&dz, 0.1, 0.8);
+            // Track accuracy.
+            let mut correct = 0;
+            for r in 0..n {
+                let row = logits.row(r);
+                let pred = if row[1] > row[0] { 1u8 } else { 0 };
+                if pred == ys[r] {
+                    correct += 1;
+                }
+            }
+            last_acc = correct as f64 / n as f64;
+        }
+        assert!(last_acc > 0.9, "conv net should learn the bump task: {last_acc}");
+    }
+
+    /// Transposed weight matrix of a single-layer Mlp head (test helper).
+    fn head_weights_t(head: &mut crate::net::Mlp) -> Matrix {
+        head.first_layer_weights().t()
+    }
+}

@@ -1,0 +1,163 @@
+//! Synthetic labelled datasets standing in for CIFAR-10/ImageNet in the
+//! training-accuracy experiment (Fig. 13), plus the byte encoding that
+//! lets samples travel through the storage systems as fixed-size records.
+
+use simkit::rng::SplitMix64;
+
+use crate::tensor::Matrix;
+
+/// A labelled classification dataset.
+#[derive(Clone, Debug)]
+pub struct ClassData {
+    pub features: usize,
+    pub classes: usize,
+    /// Row-major features, n × features.
+    pub xs: Vec<f32>,
+    pub ys: Vec<u8>,
+}
+
+impl ClassData {
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// Gaussian class clusters: class prototypes drawn from N(0, 1), each
+    /// sample = prototype + `noise` · N(0, 1). Harder with more noise.
+    pub fn synthetic(seed: u64, n: usize, features: usize, classes: usize, noise: f32) -> ClassData {
+        let mut rng = SplitMix64::derive(seed, 0xDA7A);
+        let protos: Vec<f32> = (0..classes * features)
+            .map(|_| rng.normal() as f32)
+            .collect();
+        let mut xs = Vec::with_capacity(n * features);
+        let mut ys = Vec::with_capacity(n);
+        // Standardize features to ~unit variance so training is stable
+        // across noise levels.
+        let scale = 1.0 / (1.0 + noise * noise).sqrt();
+        for _ in 0..n {
+            let c = rng.below(classes as u64) as usize;
+            ys.push(c as u8);
+            for f in 0..features {
+                xs.push((protos[c * features + f] + noise * rng.normal() as f32) * scale);
+            }
+        }
+        ClassData {
+            features,
+            classes,
+            xs,
+            ys,
+        }
+    }
+
+    /// Split off the last `frac` of samples as a validation set.
+    pub fn split(mut self, frac: f64) -> (ClassData, ClassData) {
+        let val_n = ((self.len() as f64) * frac) as usize;
+        let train_n = self.len() - val_n;
+        let val = ClassData {
+            features: self.features,
+            classes: self.classes,
+            xs: self.xs.split_off(train_n * self.features),
+            ys: self.ys.split_off(train_n),
+        };
+        (self, val)
+    }
+
+    /// Gather rows `idx` into a batch matrix + labels.
+    pub fn batch(&self, idx: &[u32]) -> (Matrix, Vec<u8>) {
+        let mut xs = Vec::with_capacity(idx.len() * self.features);
+        let mut ys = Vec::with_capacity(idx.len());
+        for &i in idx {
+            let i = i as usize;
+            xs.extend_from_slice(&self.xs[i * self.features..(i + 1) * self.features]);
+            ys.push(self.ys[i]);
+        }
+        (Matrix::from_vec(idx.len(), self.features, xs), ys)
+    }
+
+    /// Whole set as one matrix (for evaluation).
+    pub fn all(&self) -> (Matrix, Vec<u8>) {
+        (
+            Matrix::from_vec(self.len(), self.features, self.xs.clone()),
+            self.ys.clone(),
+        )
+    }
+
+    /// Encoded record size: 1 label byte + 4 bytes per feature.
+    pub fn record_len(&self) -> usize {
+        1 + 4 * self.features
+    }
+
+    /// Encode sample `i` as bytes (label byte + f32le features) — the
+    /// on-storage representation.
+    pub fn encode(&self, i: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.record_len());
+        out.push(self.ys[i]);
+        for f in &self.xs[i * self.features..(i + 1) * self.features] {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a record back to (label, features).
+    pub fn decode(buf: &[u8], features: usize) -> (u8, Vec<f32>) {
+        assert_eq!(buf.len(), 1 + 4 * features, "record size mismatch");
+        let label = buf[0];
+        let xs = buf[1..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        (label, xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic_and_separable() {
+        let a = ClassData::synthetic(5, 1000, 16, 4, 0.3);
+        let b = ClassData::synthetic(5, 1000, 16, 4, 0.3);
+        assert_eq!(a.xs, b.xs);
+        assert_eq!(a.ys, b.ys);
+        // All classes present.
+        for c in 0..4u8 {
+            assert!(a.ys.contains(&c));
+        }
+    }
+
+    #[test]
+    fn split_preserves_total() {
+        let d = ClassData::synthetic(1, 1000, 8, 3, 0.2);
+        let (tr, va) = d.split(0.2);
+        assert_eq!(tr.len() + va.len(), 1000);
+        assert_eq!(va.len(), 200);
+        assert_eq!(tr.xs.len(), tr.len() * 8);
+        assert_eq!(va.xs.len(), va.len() * 8);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = ClassData::synthetic(2, 10, 6, 2, 0.1);
+        for i in 0..10 {
+            let rec = d.encode(i);
+            assert_eq!(rec.len(), d.record_len());
+            let (label, xs) = ClassData::decode(&rec, 6);
+            assert_eq!(label, d.ys[i]);
+            assert_eq!(xs, d.xs[i * 6..(i + 1) * 6].to_vec());
+        }
+    }
+
+    #[test]
+    fn batch_gathers_rows() {
+        let d = ClassData::synthetic(3, 50, 4, 2, 0.1);
+        let (m, ys) = d.batch(&[5, 10, 5]);
+        assert_eq!(m.rows, 3);
+        assert_eq!(ys.len(), 3);
+        assert_eq!(m.row(0), m.row(2));
+        assert_eq!(m.row(0), &d.xs[5 * 4..6 * 4]);
+    }
+}

@@ -1,0 +1,197 @@
+//! A small RDMA send/recv RPC layer over the cluster fabric.
+//!
+//! Used by the Octopus-like baseline (`octofs`) for its distributed
+//! metadata lookups, and by DLFS's `dlfs_mount` collective. The server is
+//! an active simulation task; each call pays the fabric cost both ways plus
+//! whatever CPU the handler charges via `Runtime::work`.
+
+use std::sync::Arc;
+
+use simkit::chan::{Receiver, Sender};
+use simkit::runtime::Runtime;
+use simkit::time::Time;
+
+use crate::topology::Cluster;
+
+/// Wire-size estimator for a message type.
+pub trait WireSize {
+    fn wire_bytes(&self) -> u64;
+}
+
+impl WireSize for u64 {
+    fn wire_bytes(&self) -> u64 {
+        8
+    }
+}
+
+impl<T> WireSize for Vec<T> {
+    fn wire_bytes(&self) -> u64 {
+        (self.len() * std::mem::size_of::<T>()) as u64 + 16
+    }
+}
+
+struct Envelope<Req, Resp> {
+    req: Req,
+    reply_to: Sender<Resp>,
+    client_node: usize,
+}
+
+/// Client handle to a remote RPC endpoint.
+pub struct RpcClient<Req, Resp> {
+    cluster: Arc<Cluster>,
+    server_node: usize,
+    tx: Sender<Envelope<Req, Resp>>,
+}
+
+impl<Req, Resp> Clone for RpcClient<Req, Resp> {
+    fn clone(&self) -> Self {
+        RpcClient {
+            cluster: self.cluster.clone(),
+            server_node: self.server_node,
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<Req, Resp> std::fmt::Debug for RpcClient<Req, Resp> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcClient")
+            .field("server_node", &self.server_node)
+            .finish()
+    }
+}
+
+impl<Req: Send + WireSize + 'static, Resp: Send + WireSize + 'static> RpcClient<Req, Resp> {
+    /// Issue a synchronous RPC from `from_node`. The calling task sleeps for
+    /// the request's network time, the server's queueing + handler time, and
+    /// the response's network time.
+    pub fn call(&self, rt: &Runtime, from_node: usize, req: Req) -> Resp {
+        // Request crosses the fabric.
+        let req_bytes = req.wire_bytes();
+        let arrive = self
+            .cluster
+            .reserve_transfer(rt.now(), from_node, self.server_node, req_bytes);
+        let wait = arrive - rt.now();
+        if !wait.is_zero() {
+            rt.sleep(wait);
+        }
+        // Deliver to the server task; wait for the handler's reply.
+        let (reply_tx, reply_rx) = rt_channel(rt);
+        if self
+            .tx
+            .send(Envelope {
+                req,
+                reply_to: reply_tx,
+                client_node: from_node,
+            })
+            .is_err()
+        {
+            panic!("rpc server gone");
+        }
+        let resp = reply_rx.recv().expect("rpc server dropped reply channel");
+        // Response crosses the fabric back.
+        let resp_bytes = resp.wire_bytes();
+        let back: Time =
+            self.cluster
+                .reserve_transfer(rt.now(), self.server_node, from_node, resp_bytes);
+        let wait = back - rt.now();
+        if !wait.is_zero() {
+            rt.sleep(wait);
+        }
+        resp
+    }
+}
+
+fn rt_channel<T: Send>(rt: &Runtime) -> (Sender<T>, Receiver<T>) {
+    rt.channel(None)
+}
+
+/// Spawn an RPC server task on `server_node`. `handler` runs once per
+/// request, in arrival order, and should charge its CPU cost with
+/// `rt.work(...)`. The server exits when every client handle is dropped.
+pub fn serve<Req, Resp>(
+    rt: &Runtime,
+    cluster: Arc<Cluster>,
+    server_node: usize,
+    name: &str,
+    mut handler: impl FnMut(&Runtime, usize, Req) -> Resp + Send + 'static,
+) -> RpcClient<Req, Resp>
+where
+    Req: Send + WireSize + 'static,
+    Resp: Send + WireSize + 'static,
+{
+    let (tx, rx) = rt.channel::<Envelope<Req, Resp>>(None);
+    rt.spawn(name, move |rt| {
+        while let Ok(env) = rx.recv() {
+            let resp = handler(rt, env.client_node, env.req);
+            // Client may have vanished during shutdown; ignore.
+            let _ = env.reply_to.send(resp);
+        }
+    });
+    RpcClient {
+        cluster,
+        server_node,
+        tx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FabricConfig;
+    
+    use simkit::time::Dur;
+
+    #[test]
+    fn rpc_roundtrip_charges_network_and_cpu() {
+        Runtime::simulate(0, |rt| {
+            let cluster = Arc::new(Cluster::new(2, FabricConfig::default()));
+            let client = serve::<u64, u64>(rt, cluster.clone(), 1, "echo", |rt, _from, x| {
+                rt.work(Dur::micros(3));
+                x * 2
+            });
+            let t0 = rt.now();
+            let resp = client.call(rt, 0, 21);
+            assert_eq!(resp, 42);
+            let elapsed = rt.now() - t0;
+            // Two one-way traversals (~2.6us each) + 3us handler.
+            let min = cluster.config().base_one_way() * 2 + Dur::micros(3);
+            assert!(elapsed >= min, "{elapsed:?} < {min:?}");
+            assert!(elapsed < min + Dur::micros(5), "{elapsed:?}");
+        });
+    }
+
+    #[test]
+    fn server_serializes_requests() {
+        Runtime::simulate(0, |rt| {
+            let cluster = Arc::new(Cluster::new(3, FabricConfig::default()));
+            let client = serve::<u64, u64>(rt, cluster, 2, "slow", |rt, _from, x| {
+                rt.work(Dur::micros(100));
+                x
+            });
+            let mut handles = Vec::new();
+            for i in 0..4u64 {
+                let c = client.clone();
+                handles.push(rt.spawn_with(&format!("c{i}"), move |rt| {
+                    c.call(rt, (i % 2) as usize, i);
+                    rt.now().nanos()
+                }));
+            }
+            let mut finish: Vec<u64> = handles.into_iter().map(|h| h.join()).collect();
+            finish.sort_unstable();
+            // Four 100us handler executions must serialize: last finisher
+            // no earlier than 400us.
+            assert!(finish[3] >= 400_000, "{finish:?}");
+        });
+    }
+
+    #[test]
+    fn handler_sees_client_node() {
+        Runtime::simulate(0, |rt| {
+            let cluster = Arc::new(Cluster::new(4, FabricConfig::default()));
+            let client = serve::<u64, u64>(rt, cluster, 0, "who", |_rt, from, _x| from as u64);
+            assert_eq!(client.call(rt, 3, 0), 3);
+            assert_eq!(client.call(rt, 1, 0), 1);
+        });
+    }
+}

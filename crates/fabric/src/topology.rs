@@ -1,0 +1,185 @@
+//! Cluster network topology: per-node NICs connected by a non-blocking
+//! switch, as on the paper's FDR InfiniBand testbed.
+//!
+//! Each node has a full-duplex NIC modelled as two serialized [`Link`]s
+//! (egress and ingress). The switch has full bisection bandwidth, so a
+//! transfer contends only on the sender's egress and the receiver's
+//! ingress — which is exactly the mechanism behind Fig. 11's single-client
+//! bottleneck: one client's ingress NIC caps the aggregate bandwidth of
+//! many remote NVMe devices.
+
+use simkit::resource::Link;
+use simkit::time::{Dur, Time};
+
+/// Network parameters.
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// Per-direction NIC bandwidth (bytes/s). FDR InfiniBand 4x ≈ 6.8 GB/s.
+    pub nic_bytes_per_sec: f64,
+    /// NIC serialization/propagation latency per traversal.
+    pub nic_latency: Dur,
+    /// Switch forwarding latency.
+    pub switch_latency: Dur,
+    /// RDMA verbs processing per message (post + completion).
+    pub rdma_overhead: Dur,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            nic_bytes_per_sec: 6.8e9,
+            nic_latency: Dur::nanos(700),
+            switch_latency: Dur::nanos(300),
+            rdma_overhead: Dur::nanos(900),
+        }
+    }
+}
+
+impl FabricConfig {
+    /// One-way latency for a minimal message on an idle network. The
+    /// switch is cut-through, so the NIC latency term is paid once.
+    pub fn base_one_way(&self) -> Dur {
+        self.rdma_overhead + self.nic_latency + self.switch_latency
+    }
+}
+
+struct NodePort {
+    tx: Link,
+    rx: Link,
+}
+
+/// The cluster interconnect. Cheap to share via `Arc`.
+pub struct Cluster {
+    cfg: FabricConfig,
+    nodes: Vec<NodePort>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl Cluster {
+    pub fn new(nodes: usize, cfg: FabricConfig) -> Cluster {
+        assert!(nodes > 0);
+        let mk = || NodePort {
+            tx: Link::new(cfg.nic_bytes_per_sec, cfg.nic_latency),
+            rx: Link::new(cfg.nic_bytes_per_sec, cfg.nic_latency),
+        };
+        Cluster {
+            nodes: (0..nodes).map(|_| mk()).collect(),
+            cfg,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Reserve the path `from → switch → to` for `bytes`; returns the
+    /// arrival instant. Loopback (from == to) costs only the RDMA overhead.
+    ///
+    /// The switch is cut-through: egress and ingress serialize the payload
+    /// *concurrently* (packets pipeline through the switch), so an
+    /// uncontended transfer pays the wire once; under contention the busier
+    /// of the two ports governs.
+    pub fn reserve_transfer(&self, now: Time, from: usize, to: usize, bytes: u64) -> Time {
+        assert!(from < self.nodes.len() && to < self.nodes.len(), "bad node id");
+        if from == to {
+            return now + self.cfg.rdma_overhead;
+        }
+        let t0 = now + self.cfg.rdma_overhead;
+        let tx_done = self.nodes[from].tx.reserve(t0, bytes) + self.cfg.switch_latency;
+        let rx_done = self.nodes[to].rx.reserve(t0 + self.cfg.switch_latency, bytes);
+        tx_done.max(rx_done)
+    }
+
+    /// Bytes moved through a node's egress / ingress so far.
+    pub fn node_traffic(&self, node: usize) -> (u64, u64) {
+        (
+            self.nodes[node].tx.bytes_moved(),
+            self.nodes[node].rx.bytes_moved(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::prelude::*;
+
+    #[test]
+    fn idle_transfer_latency() {
+        Runtime::simulate(0, |rt| {
+            let c = Cluster::new(4, FabricConfig::default());
+            let t = c.reserve_transfer(rt.now(), 0, 1, 64);
+            // overhead + 2 nic latencies + switch + tiny serialization.
+            let base = c.config().base_one_way().as_nanos();
+            assert!(t.nanos() >= base && t.nanos() < base + 100, "{t:?} vs {base}");
+        });
+    }
+
+    #[test]
+    fn loopback_skips_network() {
+        Runtime::simulate(0, |rt| {
+            let c = Cluster::new(2, FabricConfig::default());
+            let t = c.reserve_transfer(rt.now(), 1, 1, 1 << 20);
+            assert_eq!(t.nanos(), c.config().rdma_overhead.as_nanos());
+        });
+    }
+
+    #[test]
+    fn ingress_is_the_shared_bottleneck() {
+        // Many senders to one receiver: aggregate limited by receiver NIC.
+        Runtime::simulate(0, |rt| {
+            let c = Cluster::new(5, FabricConfig::default());
+            let bytes = 64u64 << 20; // 64 MB from each of 4 senders
+            let mut last = Time::ZERO;
+            for s in 1..5 {
+                last = last.max(c.reserve_transfer(rt.now(), s, 0, bytes));
+            }
+            let agg_bw = (4 * bytes) as f64 / last.as_secs_f64();
+            let nic = c.config().nic_bytes_per_sec;
+            assert!(
+                agg_bw <= nic * 1.01 && agg_bw > nic * 0.9,
+                "aggregate {agg_bw} vs nic {nic}"
+            );
+        });
+    }
+
+    #[test]
+    fn disjoint_pairs_dont_contend() {
+        Runtime::simulate(0, |rt| {
+            let c = Cluster::new(4, FabricConfig::default());
+            let bytes = 16u64 << 20;
+            let a = c.reserve_transfer(rt.now(), 0, 1, bytes);
+            let b = c.reserve_transfer(rt.now(), 2, 3, bytes);
+            // Same finish time: no shared resource between the two pairs.
+            assert_eq!(a, b);
+        });
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        Runtime::simulate(0, |rt| {
+            let c = Cluster::new(2, FabricConfig::default());
+            c.reserve_transfer(rt.now(), 0, 1, 1000);
+            let (tx0, rx0) = c.node_traffic(0);
+            let (tx1, rx1) = c.node_traffic(1);
+            assert_eq!((tx0, rx0), (1000, 0));
+            assert_eq!((tx1, rx1), (0, 1000));
+        });
+    }
+}

@@ -1,0 +1,174 @@
+//! Bitmap block allocator with next-fit extent allocation, in the spirit of
+//! ext4's multi-block allocator: it tries to hand out physically contiguous
+//! extents so files map to few extents.
+
+/// Allocates file-system blocks (4 KiB) from a fixed range.
+#[derive(Debug)]
+pub struct BitmapAllocator {
+    bitmap: Vec<u64>,
+    first: u64,
+    blocks: u64,
+    cursor: u64,
+    allocated: u64,
+}
+
+impl BitmapAllocator {
+    /// Manage blocks `[first, first + blocks)`.
+    pub fn new(first: u64, blocks: u64) -> Self {
+        assert!(blocks > 0);
+        BitmapAllocator {
+            bitmap: vec![0u64; (blocks as usize).div_ceil(64)],
+            first,
+            blocks,
+            cursor: 0,
+            allocated: 0,
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.blocks
+    }
+
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    pub fn free_blocks(&self) -> u64 {
+        self.blocks - self.allocated
+    }
+
+    #[inline]
+    fn is_set(&self, i: u64) -> bool {
+        self.bitmap[(i / 64) as usize] & (1 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: u64) {
+        self.bitmap[(i / 64) as usize] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, i: u64) {
+        self.bitmap[(i / 64) as usize] &= !(1 << (i % 64));
+    }
+
+    /// Allocate up to `want` contiguous blocks starting the search at the
+    /// allocation cursor (next-fit). Returns `(start_block, len)` with
+    /// `1 <= len <= want`, preferring the longest contiguous run available
+    /// at the first free position. `None` when completely full.
+    pub fn alloc_extent(&mut self, want: u64) -> Option<(u64, u64)> {
+        if want == 0 || self.allocated == self.blocks {
+            return None;
+        }
+        // Find the first free bit at or after the cursor, wrapping once.
+        let mut idx = None;
+        for probe in 0..self.blocks {
+            let i = (self.cursor + probe) % self.blocks;
+            if !self.is_set(i) {
+                idx = Some(i);
+                break;
+            }
+        }
+        let start = idx?;
+        let mut len = 0;
+        while len < want && start + len < self.blocks && !self.is_set(start + len) {
+            self.set(start + len);
+            len += 1;
+        }
+        self.cursor = (start + len) % self.blocks;
+        self.allocated += len;
+        Some((self.first + start, len))
+    }
+
+    /// Allocate exactly `want` blocks as a list of extents.
+    pub fn alloc_blocks(&mut self, want: u64) -> Option<Vec<(u64, u64)>> {
+        if want > self.free_blocks() {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut left = want;
+        while left > 0 {
+            let (s, l) = self.alloc_extent(left).expect("free space checked");
+            out.push((s, l));
+            left -= l;
+        }
+        Some(out)
+    }
+
+    /// Free an extent previously returned by `alloc_extent`/`alloc_blocks`.
+    pub fn free_extent(&mut self, start: u64, len: u64) {
+        assert!(start >= self.first && start + len <= self.first + self.blocks);
+        for i in 0..len {
+            let bit = start - self.first + i;
+            assert!(self.is_set(bit), "double free of block {}", start + i);
+            self.clear_bit(bit);
+        }
+        self.allocated -= len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_contiguous_when_possible() {
+        let mut a = BitmapAllocator::new(100, 1000);
+        let (s, l) = a.alloc_extent(10).unwrap();
+        assert_eq!((s, l), (100, 10));
+        let (s2, l2) = a.alloc_extent(5).unwrap();
+        assert_eq!((s2, l2), (110, 5));
+        assert_eq!(a.allocated(), 15);
+    }
+
+    #[test]
+    fn fragmented_allocation_splits() {
+        let mut a = BitmapAllocator::new(0, 64);
+        let _ = a.alloc_blocks(64).unwrap();
+        a.free_extent(10, 4);
+        a.free_extent(30, 4);
+        let exts = a.alloc_blocks(8).unwrap();
+        assert_eq!(exts.len(), 2);
+        let total: u64 = exts.iter().map(|e| e.1).sum();
+        assert_eq!(total, 8);
+        assert_eq!(a.free_blocks(), 0);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut a = BitmapAllocator::new(0, 8);
+        assert!(a.alloc_blocks(9).is_none());
+        let _ = a.alloc_blocks(8).unwrap();
+        assert!(a.alloc_extent(1).is_none());
+    }
+
+    #[test]
+    fn free_then_reuse() {
+        let mut a = BitmapAllocator::new(0, 16);
+        let (s, l) = a.alloc_extent(16).unwrap();
+        a.free_extent(s, l);
+        assert_eq!(a.free_blocks(), 16);
+        // Next-fit wraps around to reuse freed space.
+        let (s2, l2) = a.alloc_extent(16).unwrap();
+        assert_eq!((s2, l2), (0, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = BitmapAllocator::new(0, 8);
+        let (s, l) = a.alloc_extent(4).unwrap();
+        a.free_extent(s, l);
+        a.free_extent(s, l);
+    }
+
+    #[test]
+    fn many_small_allocations_fill_exactly() {
+        let mut a = BitmapAllocator::new(7, 333);
+        let mut got = 0;
+        while let Some((_, l)) = a.alloc_extent(2) {
+            got += l;
+        }
+        assert_eq!(got, 333);
+    }
+}

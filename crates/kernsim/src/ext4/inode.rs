@@ -1,0 +1,195 @@
+//! Inodes and extent trees.
+//!
+//! Like ext4, a file's data placement is described by *extents*: runs of
+//! contiguous physical blocks covering a range of logical blocks. Lookup is
+//! a binary search over the (sorted, non-overlapping) extent list.
+
+/// Bytes reserved per on-disk inode (ext4 default 256).
+pub const INODE_SIZE: u64 = 256;
+
+/// One extent: `len` blocks of the file starting at logical block
+/// `logical` live at physical blocks `[physical, physical + len)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent {
+    pub logical: u64,
+    pub physical: u64,
+    pub len: u64,
+}
+
+/// File kinds we model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InodeKind {
+    File,
+    Dir,
+}
+
+/// An in-memory inode.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    pub ino: u64,
+    pub kind: InodeKind,
+    pub size: u64,
+    extents: Vec<Extent>,
+}
+
+impl Inode {
+    pub fn new(ino: u64, kind: InodeKind) -> Inode {
+        Inode {
+            ino,
+            kind,
+            size: 0,
+            extents: Vec::new(),
+        }
+    }
+
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Number of logical blocks mapped.
+    pub fn blocks(&self) -> u64 {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+
+    /// Append a physical run at the current end of file. Merges with the
+    /// previous extent when physically adjacent.
+    pub fn append_extent(&mut self, physical: u64, len: u64) {
+        assert!(len > 0);
+        let logical = self.blocks();
+        if let Some(last) = self.extents.last_mut() {
+            if last.physical + last.len == physical && last.logical + last.len == logical {
+                last.len += len;
+                return;
+            }
+        }
+        self.extents.push(Extent {
+            logical,
+            physical,
+            len,
+        });
+    }
+
+    /// Map a logical block to its physical block, or `None` if unmapped.
+    pub fn map_block(&self, logical: u64) -> Option<u64> {
+        let idx = self
+            .extents
+            .partition_point(|e| e.logical + e.len <= logical);
+        let e = self.extents.get(idx)?;
+        if logical >= e.logical && logical < e.logical + e.len {
+            Some(e.physical + (logical - e.logical))
+        } else {
+            None
+        }
+    }
+
+    /// Map a logical block *range* into maximal physical runs:
+    /// `(physical_start, run_blocks)` pairs covering `[start, start+count)`.
+    pub fn map_range(&self, start: u64, count: u64) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        let mut lb = start;
+        let end = start + count;
+        while lb < end {
+            let phys = self
+                .map_block(lb)
+                .unwrap_or_else(|| panic!("unmapped logical block {lb} of ino {}", self.ino));
+            // Extend the run as far as this extent allows.
+            let idx = self
+                .extents
+                .partition_point(|e| e.logical + e.len <= lb);
+            let e = self.extents[idx];
+            let run = (e.logical + e.len - lb).min(end - lb);
+            match out.last_mut() {
+                Some((p, l)) if *p + *l == phys => *l += run,
+                _ => out.push((phys, run)),
+            }
+            lb += run;
+        }
+        out
+    }
+
+    /// Depth of the extent tree ext4 would need (4-ary index over ~340
+    /// extents per block); used for lookup cost modelling.
+    pub fn extent_tree_depth(&self) -> u32 {
+        let n = self.extents.len();
+        if n <= 4 {
+            0
+        } else {
+            let mut depth = 1;
+            let mut cap = 340usize;
+            while cap < n {
+                depth += 1;
+                cap *= 340;
+            }
+            depth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_with(exts: &[(u64, u64)]) -> Inode {
+        let mut ino = Inode::new(1, InodeKind::File);
+        for &(p, l) in exts {
+            ino.append_extent(p, l);
+        }
+        ino
+    }
+
+    #[test]
+    fn append_merges_adjacent() {
+        let ino = file_with(&[(100, 4), (104, 4)]);
+        assert_eq!(ino.extents().len(), 1);
+        assert_eq!(ino.extents()[0], Extent { logical: 0, physical: 100, len: 8 });
+    }
+
+    #[test]
+    fn append_keeps_disjoint() {
+        let ino = file_with(&[(100, 4), (200, 4)]);
+        assert_eq!(ino.extents().len(), 2);
+        assert_eq!(ino.blocks(), 8);
+    }
+
+    #[test]
+    fn map_block_lookup() {
+        let ino = file_with(&[(100, 4), (200, 4)]);
+        assert_eq!(ino.map_block(0), Some(100));
+        assert_eq!(ino.map_block(3), Some(103));
+        assert_eq!(ino.map_block(4), Some(200));
+        assert_eq!(ino.map_block(7), Some(203));
+        assert_eq!(ino.map_block(8), None);
+    }
+
+    #[test]
+    fn map_range_coalesces_runs() {
+        let ino = file_with(&[(100, 4), (104, 2), (300, 4)]);
+        // First two appends merged: extents are (0,100,6), (6,300,4).
+        assert_eq!(ino.map_range(0, 6), vec![(100, 6)]);
+        assert_eq!(ino.map_range(4, 4), vec![(104, 2), (300, 2)]);
+        assert_eq!(ino.map_range(6, 4), vec![(300, 4)]);
+        assert_eq!(ino.map_range(2, 1), vec![(102, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped logical block")]
+    fn map_range_past_eof_panics() {
+        let ino = file_with(&[(100, 2)]);
+        ino.map_range(0, 3);
+    }
+
+    #[test]
+    fn extent_tree_depth_model() {
+        assert_eq!(file_with(&[(0, 1)]).extent_tree_depth(), 0);
+        let mut many = Inode::new(1, InodeKind::File);
+        for i in 0..400u64 {
+            many.append_extent(i * 2, 1); // never adjacent => 400 extents
+        }
+        assert_eq!(many.extent_tree_depth(), 2);
+        let mut few = Inode::new(2, InodeKind::File);
+        for i in 0..10u64 {
+            few.append_extent(i * 2, 1);
+        }
+        assert_eq!(few.extent_tree_depth(), 1);
+    }
+}

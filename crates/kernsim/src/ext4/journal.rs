@@ -1,0 +1,142 @@
+//! A minimal jbd2-style journal (ordered mode).
+//!
+//! Metadata mutations (create, extent append) join the running transaction;
+//! the transaction commits when it reaches `batch` handles, writing one
+//! descriptor block plus the dirtied metadata blocks to the journal region.
+//! The write path of `Ext4Fs` drives this and charges the resulting device
+//! writes; the read path never touches the journal, mirroring why DLFS
+//! ignores journaling entirely for its read-only workload.
+
+use std::collections::BTreeSet;
+
+/// State of the running transaction.
+#[derive(Debug)]
+pub struct Journal {
+    /// Journal region start (fs blocks) on the device.
+    region_start: u64,
+    /// Journal region length (fs blocks).
+    region_len: u64,
+    /// Write head within the region (wraps).
+    head: u64,
+    /// Dirty metadata blocks in the running transaction.
+    dirty: BTreeSet<u64>,
+    /// Handles joined since the last commit.
+    handles: u32,
+    /// Commit after this many handles.
+    batch: u32,
+    commits: u64,
+    blocks_logged: u64,
+}
+
+/// What a commit must write: (journal_block, count) runs.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CommitIo {
+    /// Starting fs block of the journal write.
+    pub start: u64,
+    /// Blocks to write (descriptor + metadata + commit record).
+    pub blocks: u64,
+}
+
+impl Journal {
+    pub fn new(region_start: u64, region_len: u64, batch: u32) -> Journal {
+        assert!(region_len >= 4, "journal region too small");
+        assert!(batch > 0);
+        Journal {
+            region_start,
+            region_len,
+            head: 0,
+            dirty: BTreeSet::new(),
+            handles: 0,
+            batch,
+            commits: 0,
+            blocks_logged: 0,
+        }
+    }
+
+    /// Join the running transaction, marking `meta_blocks` dirty. Returns
+    /// the commit I/O to perform if this handle filled the transaction.
+    pub fn handle(&mut self, meta_blocks: &[u64]) -> Option<CommitIo> {
+        self.dirty.extend(meta_blocks.iter().copied());
+        self.handles += 1;
+        if self.handles >= self.batch {
+            Some(self.commit())
+        } else {
+            None
+        }
+    }
+
+    /// Force a commit of whatever is pending (fsync / unmount).
+    pub fn force_commit(&mut self) -> Option<CommitIo> {
+        if self.handles == 0 && self.dirty.is_empty() {
+            return None;
+        }
+        Some(self.commit())
+    }
+
+    fn commit(&mut self) -> CommitIo {
+        // Descriptor block + each dirty metadata block + commit record.
+        let blocks = (self.dirty.len() as u64 + 2).min(self.region_len);
+        let start = self.region_start + self.head;
+        self.head = (self.head + blocks) % self.region_len;
+        self.dirty.clear();
+        self.handles = 0;
+        self.commits += 1;
+        self.blocks_logged += blocks;
+        CommitIo { start, blocks }
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    pub fn blocks_logged(&self) -> u64 {
+        self.blocks_logged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_on_batch_boundary() {
+        let mut j = Journal::new(1000, 256, 3);
+        assert!(j.handle(&[5]).is_none());
+        assert!(j.handle(&[6]).is_none());
+        let io = j.handle(&[7]).unwrap();
+        assert_eq!(io.start, 1000);
+        assert_eq!(io.blocks, 5); // descriptor + 3 metadata + commit
+        assert_eq!(j.commits(), 1);
+    }
+
+    #[test]
+    fn dedupes_dirty_blocks() {
+        let mut j = Journal::new(0, 64, 2);
+        j.handle(&[5, 5, 6]);
+        let io = j.handle(&[6]).unwrap();
+        assert_eq!(io.blocks, 4); // descriptor + {5,6} + commit
+    }
+
+    #[test]
+    fn head_wraps_region() {
+        let mut j = Journal::new(0, 8, 1);
+        let a = j.handle(&[1]).unwrap();
+        let b = j.handle(&[2]).unwrap();
+        let c = j.handle(&[3]).unwrap();
+        assert_eq!(a.start, 0);
+        assert_eq!(b.start, 3);
+        assert_eq!(c.start, 6);
+        let d = j.handle(&[4]).unwrap();
+        assert_eq!(d.start, 1); // wrapped
+    }
+
+    #[test]
+    fn force_commit_flushes_partial() {
+        let mut j = Journal::new(0, 64, 10);
+        assert!(j.force_commit().is_none());
+        j.handle(&[9]);
+        let io = j.force_commit().unwrap();
+        assert_eq!(io.blocks, 3);
+        assert!(j.force_commit().is_none());
+    }
+}

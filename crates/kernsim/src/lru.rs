@@ -1,0 +1,316 @@
+//! An intrusive-list LRU map, used for the page cache, dentry cache and
+//! inode cache. O(1) insert/get/evict; implemented on a slab of nodes with
+//! index links (no unsafe).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: Option<K>,
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+#[derive(Debug)]
+pub struct LruMap<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruMap {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// (hits, misses) since creation, counting `get`/`get_mut` calls.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (p, n) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if p != NIL {
+            self.nodes[p].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.nodes[n].prev = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Look up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                self.nodes[idx].value.as_ref()
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up without touching recency or hit counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map
+            .get(key)
+            .and_then(|&idx| self.nodes[idx].value.as_ref())
+    }
+
+    /// Mutable lookup, marking most recently used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                self.nodes[idx].value.as_mut()
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Insert, evicting the LRU entry if at capacity. Returns the evicted
+    /// (key, value) pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].value = Some(value);
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let idx = self.tail;
+            debug_assert_ne!(idx, NIL, "capacity>0 but no tail");
+            self.unlink(idx);
+            let k = self.nodes[idx].key.take().expect("occupied node");
+            let v = self.nodes[idx].value.take().expect("occupied node");
+            self.map.remove(&k);
+            self.free.push(idx);
+            Some((k, v))
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i].key = Some(key.clone());
+                self.nodes[i].value = Some(value);
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    key: Some(key.clone()),
+                    value: Some(value),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Remove an entry, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.nodes[idx].key = None;
+        let v = self.nodes[idx].value.take();
+        self.free.push(idx);
+        v
+    }
+
+    /// Drop everything (keeps capacity).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Iterate (key, value) from most to least recently used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut idx = self.head;
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let node = &self.nodes[idx];
+            idx = node.next;
+            Some((
+                node.key.as_ref().expect("linked node occupied"),
+                node.value.as_ref().expect("linked node occupied"),
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut lru = LruMap::new(2);
+        assert!(lru.insert("a", 1).is_none());
+        assert!(lru.insert("b", 2).is_none());
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.get(&"a"); // a is now MRU
+        let evicted = lru.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert!(lru.contains(&"a"));
+        assert!(lru.contains(&"c"));
+        assert!(!lru.contains(&"b"));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_evicting() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert!(lru.insert("a", 10).is_none());
+        assert_eq!(lru.peek(&"a"), Some(&10));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let mut lru = LruMap::new(3);
+        lru.insert(1, "x");
+        lru.insert(2, "y");
+        assert_eq!(lru.remove(&1), Some("x"));
+        assert_eq!(lru.remove(&1), None);
+        lru.insert(3, "z");
+        lru.insert(4, "w");
+        assert_eq!(lru.len(), 3);
+        assert!(lru.contains(&2) && lru.contains(&3) && lru.contains(&4));
+    }
+
+    #[test]
+    fn hit_miss_stats() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a", 1);
+        lru.get(&"a");
+        lru.get(&"nope");
+        assert_eq!(lru.stats(), (1, 1));
+    }
+
+    #[test]
+    fn mru_iteration_order() {
+        let mut lru = LruMap::new(3);
+        lru.insert(1, ());
+        lru.insert(2, ());
+        lru.insert(3, ());
+        lru.get(&1);
+        let order: Vec<i32> = lru.iter_mru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut lru = LruMap::new(1);
+        lru.insert("a", 1);
+        assert_eq!(lru.insert("b", 2), Some(("a", 1)));
+        assert_eq!(lru.get(&"b"), Some(&2));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn long_churn_is_consistent() {
+        let mut lru = LruMap::new(16);
+        for i in 0..10_000u64 {
+            lru.insert(i % 47, i);
+            assert!(lru.len() <= 16);
+        }
+        // The last 16 distinct keys inserted must be retrievable.
+        let mut found = 0;
+        for k in 0..47 {
+            if lru.peek(&k).is_some() {
+                found += 1;
+            }
+        }
+        assert_eq!(found, 16);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruMap::new(4);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+        lru.insert(3, 3);
+        assert_eq!(lru.get(&3), Some(&3));
+    }
+}

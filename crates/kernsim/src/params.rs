@@ -1,0 +1,97 @@
+//! Calibrated cost constants for the kernel I/O path.
+//!
+//! These are the overheads DLFS avoids by going user-level (paper Fig. 2b:
+//! "multiple context switches and data copies are incurred" along the
+//! kernel stack). Values are round numbers from public microbenchmarks of
+//! Linux-era-4.x storage stacks on Xeon-class hardware; EXPERIMENTS.md
+//! compares only shapes/ratios, which are insensitive to ±30% here.
+
+use simkit::time::Dur;
+
+/// Kernel page size used by the page cache and ext4 block size.
+pub const PAGE_SIZE: u64 = 4096;
+
+#[derive(Clone, Debug)]
+pub struct KernelCosts {
+    /// User→kernel→user transition per syscall (entry + exit + dispatch).
+    pub syscall: Dur,
+    /// Blocking on I/O: schedule out + wake up on completion.
+    pub context_switch: Dur,
+    /// Interrupt handling per device completion.
+    pub irq: Dur,
+    /// copy_to_user / copy_from_user bandwidth (bytes/s, one core).
+    pub copy_bytes_per_sec: f64,
+    /// Block-layer cost to build/submit one bio.
+    pub bio_submit: Dur,
+    /// Dentry-cache hit cost during path resolution (per component).
+    pub dcache_hit: Dur,
+    /// Hashed-directory (htree) search once the block is resident.
+    pub htree_search: Dur,
+    /// Page-cache radix lookup per page.
+    pub pagecache_lookup: Dur,
+    /// Inode-cache hit cost.
+    pub icache_hit: Dur,
+    /// Per-syscall penalty for shared-structure lock contention, multiplied
+    /// by log2(active threads).
+    pub smp_penalty: Dur,
+    /// Largest bio the block layer will issue at once (readahead window).
+    pub max_bio_bytes: u64,
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        KernelCosts {
+            syscall: Dur::nanos(1_300),
+            context_switch: Dur::nanos(3_000),
+            irq: Dur::nanos(1_800),
+            copy_bytes_per_sec: 6.0e9,
+            bio_submit: Dur::nanos(1_000),
+            dcache_hit: Dur::nanos(300),
+            htree_search: Dur::nanos(1_200),
+            pagecache_lookup: Dur::nanos(250),
+            icache_hit: Dur::nanos(250),
+            smp_penalty: Dur::nanos(400),
+            max_bio_bytes: 512 * 1024,
+        }
+    }
+}
+
+impl KernelCosts {
+    /// Time to copy `bytes` between kernel and user space on one core.
+    pub fn copy(&self, bytes: u64) -> Dur {
+        Dur::for_bytes(bytes, self.copy_bytes_per_sec)
+    }
+
+    /// Lock-contention penalty with `threads` concurrent syscall issuers.
+    pub fn contention(&self, threads: usize) -> Dur {
+        if threads <= 1 {
+            Dur::ZERO
+        } else {
+            self.smp_penalty * (usize::BITS - (threads - 1).leading_zeros()) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_scales() {
+        let c = KernelCosts::default();
+        let one_mb = c.copy(1 << 20);
+        // 1 MiB at 6 GB/s ≈ 175 us.
+        assert!((170_000..180_000).contains(&one_mb.as_nanos()), "{one_mb:?}");
+        assert_eq!(c.copy(0), Dur::ZERO);
+    }
+
+    #[test]
+    fn contention_grows_logarithmically() {
+        let c = KernelCosts::default();
+        assert_eq!(c.contention(1), Dur::ZERO);
+        assert_eq!(c.contention(2), c.smp_penalty);
+        assert_eq!(c.contention(4), c.smp_penalty * 2);
+        assert_eq!(c.contention(8), c.smp_penalty * 3);
+        assert_eq!(c.contention(9), c.smp_penalty * 4);
+    }
+}

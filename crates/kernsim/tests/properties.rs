@@ -1,0 +1,126 @@
+//! Property-based tests for kernsim's data structures: the block
+//! allocator, extent trees, LRU, and end-to-end file content integrity.
+
+use blocksim::{DeviceConfig, NvmeDevice};
+use kernsim::ext4::alloc::BitmapAllocator;
+use kernsim::ext4::inode::{Inode, InodeKind};
+use kernsim::lru::LruMap;
+use kernsim::{Ext4Fs, FsOptions, KernelCosts};
+use proptest::prelude::*;
+use simkit::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allocator_never_double_allocates(
+        ops in prop::collection::vec((1u64..50, any::<bool>()), 1..120)
+    ) {
+        let mut a = BitmapAllocator::new(10, 512);
+        let mut held: Vec<(u64, u64)> = Vec::new();
+        for (want, free_first) in ops {
+            if free_first && !held.is_empty() {
+                let (s, l) = held.swap_remove(0);
+                a.free_extent(s, l);
+            }
+            if let Some(exts) = a.alloc_blocks(want) {
+                for (s, l) in exts {
+                    // No overlap with anything currently held.
+                    for &(hs, hl) in &held {
+                        prop_assert!(s + l <= hs || hs + hl <= s,
+                            "overlap: ({s},{l}) vs ({hs},{hl})");
+                    }
+                    held.push((s, l));
+                }
+            }
+            let held_total: u64 = held.iter().map(|h| h.1).sum();
+            prop_assert_eq!(held_total, a.allocated());
+        }
+    }
+
+    #[test]
+    fn extent_tree_maps_consistently(runs in prop::collection::vec(1u64..20, 1..40)) {
+        let mut ino = Inode::new(1, InodeKind::File);
+        let mut phys = 100u64;
+        let mut expect: Vec<u64> = Vec::new(); // logical block -> physical
+        for len in runs {
+            ino.append_extent(phys, len);
+            for i in 0..len {
+                expect.push(phys + i);
+            }
+            phys += len + 7; // gap so extents don't merge
+        }
+        for (lb, &pb) in expect.iter().enumerate() {
+            prop_assert_eq!(ino.map_block(lb as u64), Some(pb));
+        }
+        prop_assert_eq!(ino.map_block(expect.len() as u64), None);
+        // map_range over random windows agrees with per-block mapping.
+        let n = expect.len() as u64;
+        for (start, count) in [(0, n), (n / 3, n / 2), (n.saturating_sub(1), 1)] {
+            if count == 0 { continue; }
+            let runs = ino.map_range(start, count.min(n - start).max(1));
+            let flat: Vec<u64> = runs
+                .iter()
+                .flat_map(|&(p, l)| (0..l).map(move |i| p + i))
+                .collect();
+            let want: Vec<u64> =
+                expect[start as usize..(start + count.min(n - start).max(1)) as usize].to_vec();
+            prop_assert_eq!(flat, want);
+        }
+    }
+
+    #[test]
+    fn lru_matches_reference_model(
+        ops in prop::collection::vec((0u8..40, any::<bool>()), 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut lru = LruMap::new(cap);
+        // Reference: vec of keys, front = MRU.
+        let mut model: Vec<(u8, u64)> = Vec::new();
+        for (i, (key, is_get)) in ops.into_iter().enumerate() {
+            if is_get {
+                let got = lru.get(&key).copied();
+                let want = model.iter().position(|(k, _)| *k == key).map(|p| {
+                    let e = model.remove(p);
+                    model.insert(0, e);
+                    model[0].1
+                });
+                prop_assert_eq!(got, want);
+            } else {
+                lru.insert(key, i as u64);
+                if let Some(p) = model.iter().position(|(k, _)| *k == key) {
+                    model.remove(p);
+                } else if model.len() >= cap {
+                    model.pop();
+                }
+                model.insert(0, (key, i as u64));
+            }
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn files_roundtrip_any_size(sizes in prop::collection::vec(1usize..40_000, 1..12)) {
+        Runtime::simulate(0, |rt| {
+            let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
+            let fs = Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default());
+            fs.mkdir_p("/p").unwrap();
+            let payloads: Vec<Vec<u8>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (0..s).map(|b| ((b * 31 + i * 7) % 251) as u8).collect())
+                .collect();
+            for (i, p) in payloads.iter().enumerate() {
+                fs.create_with_size(rt, &format!("/p/f{i}"), p).unwrap();
+            }
+            fs.drop_caches();
+            for (i, p) in payloads.iter().enumerate() {
+                let fd = fs.open(rt, &format!("/p/f{i}")).unwrap();
+                let mut out = vec![0u8; p.len()];
+                assert_eq!(fs.pread(rt, fd, 0, &mut out).unwrap(), p.len());
+                assert_eq!(&out, p, "file {i} corrupted");
+                fs.close(rt, fd).unwrap();
+            }
+        });
+    }
+}

@@ -1,0 +1,227 @@
+//! Tests of the extended VFS surface: readdir, unlink, O_DIRECT reads.
+
+use blocksim::{DeviceConfig, NvmeDevice};
+use kernsim::{Ext4Fs, Fd, FsError, FsOptions, KernelCosts, PAGE_SIZE};
+use simkit::prelude::*;
+use std::sync::Arc;
+
+fn mkfs() -> Arc<Ext4Fs> {
+    let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
+    Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default())
+}
+
+#[test]
+fn readdir_lists_everything() {
+    Runtime::simulate(0, |rt| {
+        let fs = mkfs();
+        fs.mkdir_p("/d").unwrap();
+        for i in 0..250 {
+            fs.create_untimed(&format!("/d/f{i:03}"), &[1u8; 100]).unwrap();
+        }
+        let mut names = fs.readdir(rt, "/d").unwrap();
+        names.sort();
+        assert_eq!(names.len(), 250);
+        assert_eq!(names[0], "f000");
+        assert_eq!(names[249], "f249");
+        assert!(matches!(fs.readdir(rt, "/nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.readdir(rt, "/d/f000"),
+            Err(FsError::NotADirectory(_))
+        ));
+    });
+}
+
+#[test]
+fn readdir_cost_scales_with_directory_size() {
+    Runtime::simulate(0, |rt| {
+        let fs = mkfs();
+        fs.mkdir_p("/small").unwrap();
+        fs.mkdir_p("/big").unwrap();
+        for i in 0..10 {
+            fs.create_untimed(&format!("/small/f{i}"), &[0u8; 64]).unwrap();
+        }
+        for i in 0..2000 {
+            fs.create_untimed(&format!("/big/f{i}"), &[0u8; 64]).unwrap();
+        }
+        fs.drop_caches();
+        let t0 = rt.now();
+        fs.readdir(rt, "/small").unwrap();
+        let small = rt.now() - t0;
+        let t1 = rt.now();
+        fs.readdir(rt, "/big").unwrap();
+        let big = rt.now() - t1;
+        assert!(big.as_nanos() > small.as_nanos() * 5, "small {small:?} big {big:?}");
+    });
+}
+
+#[test]
+fn unlink_frees_space_and_name() {
+    Runtime::simulate(0, |rt| {
+        let fs = mkfs();
+        let payload = vec![7u8; 1 << 20];
+        fs.create_with_size(rt, "/a", &payload).unwrap();
+        fs.unlink(rt, "/a").unwrap();
+        assert!(matches!(fs.open(rt, "/a"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.unlink(rt, "/a"), Err(FsError::NotFound(_))));
+        // The space and the name are reusable.
+        fs.create_with_size(rt, "/a", &payload).unwrap();
+        let fd = fs.open(rt, "/a").unwrap();
+        let mut out = vec![0u8; 1 << 20];
+        assert_eq!(fs.pread(rt, fd, 0, &mut out).unwrap(), 1 << 20);
+        assert_eq!(out, payload);
+        fs.close(rt, fd).unwrap();
+    });
+}
+
+#[test]
+fn unlink_reclaims_all_blocks() {
+    Runtime::simulate(0, |rt| {
+        // Device sized so that the dataset only fits once: unlink must make
+        // the second round succeed.
+        let dev = NvmeDevice::new(DeviceConfig::optane(96 << 20));
+        let fs = Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default());
+        for round in 0..3 {
+            for i in 0..10 {
+                fs.create_with_size(rt, &format!("/r{round}_f{i}"), &vec![3u8; 4 << 20])
+                    .unwrap();
+            }
+            for i in 0..10 {
+                fs.unlink(rt, &format!("/r{round}_f{i}")).unwrap();
+            }
+        }
+    });
+}
+
+#[test]
+fn o_direct_bypasses_page_cache() {
+    Runtime::simulate(0, |rt| {
+        let fs = mkfs();
+        let payload: Vec<u8> = (0..(64 << 10)).map(|i| (i % 251) as u8).collect();
+        fs.create_with_size(rt, "/f", &payload).unwrap();
+        fs.drop_caches();
+        let fd = fs.open(rt, "/f").unwrap();
+        let mut out = vec![0u8; 64 << 10];
+        let n = fs.pread_direct(rt, fd, 0, &mut out).unwrap();
+        assert_eq!(n, 64 << 10);
+        assert_eq!(out, payload);
+        // The page cache stayed cold.
+        let (hits, _) = fs.page_cache_stats();
+        assert_eq!(hits, 0);
+        // Repeat read costs the same (no cache effect), unlike buffered.
+        let t0 = rt.now();
+        fs.pread_direct(rt, fd, 0, &mut out).unwrap();
+        let first = rt.now() - t0;
+        let t1 = rt.now();
+        fs.pread_direct(rt, fd, 0, &mut out).unwrap();
+        let second = rt.now() - t1;
+        assert_eq!(first.as_nanos(), second.as_nanos());
+        // Unaligned requests are rejected, as the kernel does.
+        assert!(fs.pread_direct(rt, fd, 13, &mut out).is_err());
+        let mut odd = vec![0u8; PAGE_SIZE as usize + 1];
+        assert!(fs.pread_direct(rt, fd, 0, &mut odd).is_err());
+        fs.close(rt, fd).unwrap();
+    });
+}
+
+#[test]
+fn o_direct_is_faster_than_buffered_cold_read() {
+    Runtime::simulate(0, |rt| {
+        let fs = mkfs();
+        let payload = vec![9u8; 1 << 20];
+        fs.create_with_size(rt, "/big", &payload).unwrap();
+        fs.drop_caches();
+        let fd = fs.open(rt, "/big").unwrap();
+        let mut out = vec![0u8; 1 << 20];
+        let t0 = rt.now();
+        fs.pread(rt, fd, 0, &mut out).unwrap();
+        let buffered = rt.now() - t0;
+        fs.drop_caches();
+        let t1 = rt.now();
+        fs.pread_direct(rt, fd, 0, &mut out).unwrap();
+        let direct = rt.now() - t1;
+        // O_DIRECT skips the copy_to_user and page-cache population.
+        assert!(
+            direct < buffered,
+            "direct {direct:?} should beat buffered {buffered:?}"
+        );
+        fs.close(rt, fd).unwrap();
+    });
+}
+
+#[test]
+fn sequential_reads_trigger_readahead() {
+    Runtime::simulate(0, |rt| {
+        let fs = mkfs();
+        let payload = vec![5u8; 4 << 20];
+        fs.create_with_size(rt, "/stream", &payload).unwrap();
+        fs.drop_caches();
+        let fd = fs.open(rt, "/stream").unwrap();
+        let mut chunk = vec![0u8; 64 << 10];
+        // Sequential scan of the whole file.
+        let mut off = 0u64;
+        while off < 4 << 20 {
+            let n = fs.pread(rt, fd, off, &mut chunk).unwrap();
+            off += n as u64;
+        }
+        let (hits, misses) = fs.page_cache_stats();
+        // With readahead, most page lookups after the window warms are hits.
+        assert!(
+            hits > misses * 3,
+            "readahead should make sequential reads cache-hit: {hits} hits / {misses} misses"
+        );
+        fs.close(rt, fd).unwrap();
+    });
+}
+
+#[test]
+fn sequential_scan_beats_random_reads_per_byte() {
+    Runtime::simulate(0, |rt| {
+        let fs = mkfs();
+        let payload = vec![7u8; 8 << 20];
+        fs.create_with_size(rt, "/f", &payload).unwrap();
+        fs.drop_caches();
+        let fd = fs.open(rt, "/f").unwrap();
+        let mut buf = vec![0u8; 64 << 10];
+        let t0 = rt.now();
+        let mut off = 0u64;
+        while off < 8 << 20 {
+            off += fs.pread(rt, fd, off, &mut buf).unwrap() as u64;
+        }
+        let seq = (rt.now() - t0).as_secs_f64();
+        fs.drop_caches();
+        // Random 64K reads covering the same bytes.
+        let mut rng = simkit::rng::SplitMix64::new(1);
+        let mut order: Vec<u64> = (0..128).collect();
+        rng.shuffle(&mut order);
+        let t1 = rt.now();
+        for &i in &order {
+            fs.pread(rt, fd, i * (64 << 10), &mut buf).unwrap();
+        }
+        let rnd = (rt.now() - t1).as_secs_f64();
+        assert!(seq < rnd, "sequential {seq} should beat random {rnd}");
+        fs.close(rt, fd).unwrap();
+    });
+}
+
+#[test]
+fn fsync_commits_the_journal() {
+    Runtime::simulate(0, |rt| {
+        let fs = mkfs();
+        // A handful of creates join the running transaction (batch = 32, so
+        // nothing commits on its own).
+        for i in 0..5 {
+            fs.create_with_size(rt, &format!("/j{i}"), &[1u8; 128]).unwrap();
+        }
+        let (commits_before, _) = fs.journal_stats();
+        let fd = fs.open(rt, "/j0").unwrap();
+        fs.fsync(rt, fd).unwrap();
+        let (commits_after, logged) = fs.journal_stats();
+        assert_eq!(commits_after, commits_before + 1);
+        assert!(logged > 0);
+        // fsync with nothing pending is a no-op commit-wise.
+        fs.fsync(rt, fd).unwrap();
+        assert_eq!(fs.journal_stats().0, commits_after);
+        fs.close(rt, fd).unwrap();
+        assert!(fs.fsync(rt, Fd(999)).is_err());
+    });
+}

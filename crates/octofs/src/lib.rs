@@ -1,0 +1,40 @@
+//! # octofs — an Octopus-like RDMA distributed file system (baseline)
+//!
+//! The comparison target the DLFS paper uses for its multi-node
+//! experiments: an RDMA-enabled distributed file system with
+//! hash-partitioned metadata and direct RDMA reads of remote
+//! persistent-memory/NVMe data. Its two properties that matter for the
+//! paper's results are preserved exactly:
+//!
+//! 1. every sample lookup is a cross-node RPC to the metadata owner
+//!    (no client-side replica of the namespace), and
+//! 2. there is no small-sample batching: one lookup + one RDMA read per
+//!    sample.
+
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use blocksim::DeviceConfig;
+//! use fabric::{Cluster, FabricConfig};
+//! use octofs::OctopusFs;
+//! use simkit::prelude::*;
+//!
+//! let ((), _) = Runtime::simulate(7, |rt| {
+//!     let cluster = Arc::new(Cluster::new(2, FabricConfig::default()));
+//!     let cfg = DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(10));
+//!     let fs = OctopusFs::deploy(rt, cluster, &cfg);
+//!     fs.store(rt, "sample_1", b"payload");
+//!     let mut buf = [0u8; 7];
+//!     fs.read(rt, 0, "sample_1", &mut buf).unwrap();
+//!     assert_eq!(&buf, b"payload");
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod meta;
+
+pub use cluster::{OctopusFs, CLIENT_POST_COST};
+pub use meta::{owner_of, MetaEntry, MetaTable, SERVER_LOOKUP_COST};

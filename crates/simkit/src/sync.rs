@@ -1,0 +1,350 @@
+//! Synchronization primitives over the simulation runtime: barriers, wait
+//! groups and one-shot gates, built on the deterministic channels so they
+//! work identically in virtual and real time.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::chan::{Receiver, Sender};
+use crate::runtime::Runtime;
+
+/// A reusable barrier for `n` tasks (collective operations: the paper's
+/// `dlfs_mount` and `dlfs_sequence` are collectives).
+#[derive(Clone)]
+pub struct Barrier {
+    inner: Arc<BarrierInner>,
+}
+
+struct BarrierInner {
+    n: usize,
+    state: Mutex<BarrierState>,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<Sender<u64>>,
+}
+
+impl std::fmt::Debug for Barrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Barrier").field("n", &self.inner.n).finish()
+    }
+}
+
+impl Barrier {
+    pub fn new(n: usize) -> Barrier {
+        assert!(n > 0);
+        Barrier {
+            inner: Arc::new(BarrierInner {
+                n,
+                state: Mutex::new(BarrierState {
+                    arrived: 0,
+                    generation: 0,
+                    waiters: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Block until all `n` tasks have arrived. Returns true for exactly one
+    /// arrival per generation (the "leader", as `std::sync::Barrier` does).
+    pub fn wait(&self, rt: &Runtime) -> bool {
+        let (tx, rx) = rt.channel::<u64>(None);
+        let leader = {
+            let mut st = self.inner.state.lock();
+            st.arrived += 1;
+            if st.arrived == self.inner.n {
+                st.arrived = 0;
+                st.generation += 1;
+                let generation = st.generation;
+                for w in st.waiters.drain(..) {
+                    let _ = w.send(generation);
+                }
+                return true;
+            }
+            st.waiters.push(tx);
+            false
+        };
+        debug_assert!(!leader);
+        rx.recv().expect("barrier leader releases waiters");
+        false
+    }
+
+    /// Generations completed so far.
+    pub fn generation(&self) -> u64 {
+        self.inner.state.lock().generation
+    }
+}
+
+/// Counts outstanding work; `wait` blocks until the count returns to zero.
+#[derive(Clone)]
+pub struct WaitGroup {
+    inner: Arc<WgInner>,
+}
+
+struct WgInner {
+    state: Mutex<WgState>,
+}
+
+struct WgState {
+    count: usize,
+    waiters: Vec<Sender<()>>,
+}
+
+impl std::fmt::Debug for WaitGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitGroup")
+            .field("count", &self.inner.state.lock().count)
+            .finish()
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    pub fn new() -> WaitGroup {
+        WaitGroup {
+            inner: Arc::new(WgInner {
+                state: Mutex::new(WgState {
+                    count: 0,
+                    waiters: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    pub fn add(&self, n: usize) {
+        self.inner.state.lock().count += n;
+    }
+
+    pub fn done(&self) {
+        let mut st = self.inner.state.lock();
+        assert!(st.count > 0, "WaitGroup::done without matching add");
+        st.count -= 1;
+        if st.count == 0 {
+            for w in st.waiters.drain(..) {
+                let _ = w.send(());
+            }
+        }
+    }
+
+    /// Block until the count reaches zero (returns immediately when zero).
+    pub fn wait(&self, rt: &Runtime) {
+        let rx: Option<Receiver<()>> = {
+            let mut st = self.inner.state.lock();
+            if st.count == 0 {
+                None
+            } else {
+                let (tx, rx) = rt.channel::<()>(None);
+                st.waiters.push(tx);
+                Some(rx)
+            }
+        };
+        if let Some(rx) = rx {
+            rx.recv().expect("waitgroup completion");
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.inner.state.lock().count
+    }
+}
+
+/// A one-shot gate: tasks wait until it opens; opening is idempotent.
+#[derive(Clone)]
+pub struct Gate {
+    inner: Arc<GateInner>,
+}
+
+struct GateInner {
+    state: Mutex<GateState>,
+}
+
+struct GateState {
+    open: bool,
+    waiters: Vec<Sender<()>>,
+}
+
+impl std::fmt::Debug for Gate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gate")
+            .field("open", &self.inner.state.lock().open)
+            .finish()
+    }
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gate {
+    pub fn new() -> Gate {
+        Gate {
+            inner: Arc::new(GateInner {
+                state: Mutex::new(GateState {
+                    open: false,
+                    waiters: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    pub fn open(&self) {
+        let mut st = self.inner.state.lock();
+        st.open = true;
+        for w in st.waiters.drain(..) {
+            let _ = w.send(());
+        }
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.inner.state.lock().open
+    }
+
+    /// Block until the gate opens (returns immediately if already open).
+    pub fn wait(&self, rt: &Runtime) {
+        let rx: Option<Receiver<()>> = {
+            let mut st = self.inner.state.lock();
+            if st.open {
+                None
+            } else {
+                let (tx, rx) = rt.channel::<()>(None);
+                st.waiters.push(tx);
+                Some(rx)
+            }
+        };
+        if let Some(rx) = rx {
+            rx.recv().expect("gate opens");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn barrier_synchronizes_arrivals() {
+        let (times, _) = Runtime::simulate(0, |rt| {
+            let b = Barrier::new(4);
+            let (tx, rx) = rt.channel::<u64>(None);
+            let mut handles = Vec::new();
+            for i in 0..4u64 {
+                let b = b.clone();
+                let tx = tx.clone();
+                handles.push(rt.spawn(&format!("t{i}"), move |rt| {
+                    rt.sleep(Dur::micros(10 * (i + 1)));
+                    b.wait(rt);
+                    tx.send(rt.now().nanos()).unwrap();
+                }));
+            }
+            drop(tx);
+            for h in handles {
+                h.join();
+            }
+            rx.drain()
+        });
+        // Everyone leaves the barrier at the last arrival (40us).
+        assert_eq!(times, vec![40_000; 4]);
+    }
+
+    #[test]
+    fn barrier_elects_one_leader_per_generation() {
+        let (leaders, _) = Runtime::simulate(1, |rt| {
+            let b = Barrier::new(3);
+            let (tx, rx) = rt.channel::<bool>(None);
+            let mut handles = Vec::new();
+            for i in 0..3u64 {
+                let b = b.clone();
+                let tx = tx.clone();
+                handles.push(rt.spawn(&format!("t{i}"), move |rt| {
+                    for _ in 0..5 {
+                        let lead = b.wait(rt);
+                        tx.send(lead).unwrap();
+                        rt.sleep(Dur::micros(i + 1));
+                    }
+                }));
+            }
+            drop(tx);
+            for h in handles {
+                h.join();
+            }
+            rx.drain()
+        });
+        assert_eq!(leaders.len(), 15);
+        assert_eq!(leaders.iter().filter(|&&l| l).count(), 5, "one leader per round");
+    }
+
+    #[test]
+    fn waitgroup_waits_for_all() {
+        let ((), end) = Runtime::simulate(2, |rt| {
+            let wg = WaitGroup::new();
+            wg.add(3);
+            for i in 0..3u64 {
+                let wg = wg.clone();
+                rt.spawn(&format!("w{i}"), move |rt| {
+                    rt.sleep(Dur::micros(5 * (i + 1)));
+                    wg.done();
+                });
+            }
+            wg.wait(rt);
+            assert_eq!(wg.count(), 0);
+        });
+        assert_eq!(end.nanos(), 15_000);
+    }
+
+    #[test]
+    fn waitgroup_wait_on_zero_is_instant() {
+        Runtime::simulate(3, |rt| {
+            let wg = WaitGroup::new();
+            wg.wait(rt);
+            assert_eq!(rt.now().nanos(), 0);
+        });
+    }
+
+    #[test]
+    fn gate_releases_all_waiters() {
+        let (times, _) = Runtime::simulate(4, |rt| {
+            let g = Gate::new();
+            let (tx, rx) = rt.channel::<u64>(None);
+            let mut handles = Vec::new();
+            for i in 0..3u64 {
+                let g = g.clone();
+                let tx = tx.clone();
+                handles.push(rt.spawn(&format!("t{i}"), move |rt| {
+                    g.wait(rt);
+                    tx.send(rt.now().nanos()).unwrap();
+                }));
+            }
+            drop(tx);
+            rt.sleep(Dur::micros(25));
+            assert!(!g.is_open());
+            g.open();
+            for h in handles {
+                h.join();
+            }
+            rx.drain()
+        });
+        assert_eq!(times, vec![25_000; 3]);
+    }
+
+    #[test]
+    fn open_gate_passes_through() {
+        Runtime::simulate(5, |rt| {
+            let g = Gate::new();
+            g.open();
+            g.open(); // idempotent
+            g.wait(rt);
+            assert_eq!(rt.now().nanos(), 0);
+        });
+    }
+}

@@ -1,0 +1,169 @@
+//! Lightweight event tracing over virtual time.
+//!
+//! A [`Tracer`] collects `(time, task, label)` events from anywhere in a
+//! simulation; afterwards the trace can be queried, diffed between runs
+//! (determinism checks), or rendered as a text timeline. Tracing is
+//! explicit and zero-cost when no tracer is attached.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::runtime::Runtime;
+use crate::time::Time;
+
+/// One trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    pub at: Time,
+    pub task: String,
+    pub label: String,
+}
+
+/// A shared, append-only event sink.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("events", &self.events.lock().len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Record an event at the current virtual time.
+    pub fn event(&self, rt: &Runtime, task: &str, label: impl Into<String>) {
+        self.events.lock().push(Event {
+            at: rt.now(),
+            task: task.to_string(),
+            label: label.into(),
+        });
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Snapshot of all events in record order (which equals virtual-time
+    /// order in a deterministic simulation).
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Events whose label contains `needle`.
+    pub fn matching(&self, needle: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.label.contains(needle))
+            .cloned()
+            .collect()
+    }
+
+    /// Time between the first event matching `from` and the first matching
+    /// `to` (a span measurement).
+    pub fn span(&self, from: &str, to: &str) -> Option<crate::time::Dur> {
+        let g = self.events.lock();
+        let start = g.iter().find(|e| e.label.contains(from))?.at;
+        let end = g.iter().find(|e| e.label.contains(to))?.at;
+        Some(end - start)
+    }
+
+    /// Render a text timeline (one line per event).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().iter() {
+            out.push_str(&format!("{:>14}  {:<16} {}\n", format!("{}", e.at), e.task, e.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn records_in_time_order() {
+        let tracer = Tracer::new();
+        let t2 = tracer.clone();
+        Runtime::simulate(0, move |rt| {
+            t2.event(rt, "root", "start");
+            let t3 = t2.clone();
+            let h = rt.spawn("w", move |rt| {
+                rt.sleep(Dur::micros(5));
+                t3.event(rt, "w", "worker-did-thing");
+            });
+            rt.sleep(Dur::micros(2));
+            t2.event(rt, "root", "mid");
+            h.join();
+            t2.event(rt, "root", "end");
+        });
+        let ev = tracer.snapshot();
+        assert_eq!(ev.len(), 4);
+        assert!(ev.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(ev[0].label, "start");
+        assert_eq!(ev[3].label, "end");
+        assert_eq!(ev[3].at.nanos(), 5_000);
+    }
+
+    #[test]
+    fn span_and_matching() {
+        let tracer = Tracer::new();
+        let t2 = tracer.clone();
+        Runtime::simulate(0, move |rt| {
+            t2.event(rt, "io", "fetch:begin");
+            rt.sleep(Dur::micros(120));
+            t2.event(rt, "io", "fetch:end");
+        });
+        assert_eq!(tracer.span("fetch:begin", "fetch:end"), Some(Dur::micros(120)));
+        assert_eq!(tracer.matching("fetch").len(), 2);
+        assert_eq!(tracer.span("nope", "fetch:end"), None);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let run = || {
+            let tracer = Tracer::new();
+            let t = tracer.clone();
+            Runtime::simulate(7, move |rt| {
+                for i in 0..5u64 {
+                    let t = t.clone();
+                    rt.spawn(&format!("t{i}"), move |rt| {
+                        rt.sleep(Dur::nanos(i * 37 + 11));
+                        t.event(rt, &format!("t{i}"), format!("tick{i}"));
+                    });
+                }
+                rt.sleep(Dur::micros(1));
+            });
+            tracer.snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn render_contains_events() {
+        let tracer = Tracer::new();
+        let t = tracer.clone();
+        Runtime::simulate(0, move |rt| {
+            t.event(rt, "a", "hello");
+        });
+        let text = tracer.render();
+        assert!(text.contains("hello"));
+        assert!(text.contains("a"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The same DLFS code on **real OS threads and the wall clock** instead of
+//! the deterministic simulation — `Runtime::real` swaps the substrate, the
+//! file-system code is untouched. Useful for interactive poking; all
+//! measurements in EXPERIMENTS.md use the simulated runtime.
+//!
+//! Run with: `cargo run --release --example live_realtime`
+
+use blocksim::{DeviceConfig, NvmeDevice};
+use dlfs::{mount_local, DlfsConfig, SyntheticSource};
+use simkit::prelude::*;
+use simkit::runtime::Runtime as Rt;
+
+fn main() {
+    let rt = Rt::real(7);
+    assert!(!rt.is_sim());
+
+    let device = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+    let dataset = SyntheticSource::fixed(3, 4_000, 4096);
+
+    let t0 = std::time::Instant::now();
+    let fs = mount_local(&rt, device, &dataset, DlfsConfig::default()).unwrap();
+    println!(
+        "mounted {} samples in {:.1} ms wall time",
+        fs.dir.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let mut io = fs.io(0);
+    io.sequence(&rt, 99, 0);
+    let t0 = std::time::Instant::now();
+    let mut read = 0;
+    while read < 2_000 {
+        let batch = io.bread(&rt, 32, Dur::ZERO).unwrap();
+        for (id, data) in &batch {
+            assert_eq!(data, &dataset.expected(*id));
+        }
+        read += batch.len();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "live mode: read {read} verified samples in {:.1} ms wall time ({:.0} samples/s incl. modelled device delays)",
+        dt * 1e3,
+        read as f64 / dt
+    );
+}

@@ -1,0 +1,105 @@
+//! Observability demo: trace the stages of a disaggregated training epoch
+//! (mount, sequence, per-batch reads, epoch barrier) on the virtual clock
+//! and print the timeline. Traces are deterministic: the same seed prints
+//! the same timeline on any machine.
+//!
+//! Run with: `cargo run --release --example traced_timeline`
+
+use std::sync::Arc;
+
+use dlfs::DlfsConfig;
+use simkit::prelude::*;
+use simkit::Tracer;
+
+fn main() {
+    let tracer = Tracer::new();
+    let t = tracer.clone();
+    let seed = 7u64;
+
+    Runtime::simulate(seed, move |rt| {
+        use blocksim::{DeviceConfig, NvmeDevice, NvmeTarget};
+        use fabric::{Cluster, FabricConfig, NvmeOfTarget, TargetConfig};
+
+        let nodes = 4usize;
+        let source = dlfs::SyntheticSource::fixed(3, 8_000, 4096);
+
+        t.event(rt, "root", "mount:begin");
+        let cluster = Arc::new(Cluster::new(nodes, FabricConfig::default()));
+        let devices: Vec<Arc<NvmeDevice>> = (0..nodes)
+            .map(|_| NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(10))))
+            .collect();
+        let exported: Vec<_> = devices
+            .iter()
+            .enumerate()
+            .map(|(n, d)| NvmeOfTarget::new(n, d.clone(), TargetConfig::default()))
+            .collect();
+        let mut targets: Vec<Vec<Arc<dyn NvmeTarget>>> = Vec::new();
+        for r in 0..nodes {
+            targets.push(
+                (0..nodes)
+                    .map(|n| {
+                        if r == n {
+                            devices[n].clone() as Arc<dyn NvmeTarget>
+                        } else {
+                            fabric::connect(cluster.clone(), r, exported[n].clone())
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        let fs = Arc::new(
+            dlfs::mount(
+                rt,
+                dlfs::Deployment {
+                    targets,
+                    cluster: Some(cluster),
+                },
+                &source,
+                DlfsConfig::default(),
+                dlfs::MountOptions::default(),
+            )
+            .unwrap(),
+        );
+        t.event(rt, "root", "mount:end");
+
+        // One training epoch: all readers start together at a barrier and
+        // meet again at the end (the collective shape of dlfs_sequence).
+        let barrier = Barrier::new(nodes);
+        let mut handles = Vec::new();
+        for r in 0..nodes {
+            let fs = fs.clone();
+            let t = t.clone();
+            let barrier = barrier.clone();
+            handles.push(rt.spawn(&format!("reader{r}"), move |rt| {
+                let task = format!("reader{r}");
+                let mut io = fs.io(r);
+                barrier.wait(rt);
+                t.event(rt, &task, "sequence");
+                let mine = io.sequence(rt, 99, 0);
+                let mut read = 0;
+                let mut batch_no = 0;
+                while read < mine {
+                    let batch = io.bread(rt, 64, Dur::ZERO).unwrap();
+                    read += batch.len();
+                    if batch_no % 8 == 0 {
+                        t.event(rt, &task, format!("batch {batch_no} ({read}/{mine})"));
+                    }
+                    batch_no += 1;
+                }
+                t.event(rt, &task, format!("epoch done: {read} samples"));
+                barrier.wait(rt);
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        t.event(rt, "root", "all-readers-done");
+    });
+
+    // Print an excerpt of the timeline.
+    let events = tracer.snapshot();
+    println!("{} events traced; timeline:\n", events.len());
+    print!("{}", tracer.render());
+    let mount = tracer.span("mount:begin", "mount:end").unwrap();
+    println!("\nmount took {mount} of virtual time");
+}

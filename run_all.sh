@@ -1,0 +1,19 @@
+#!/bin/bash
+set -x
+B=./target/release
+$B/fig01_size_dist > results/fig01.txt 2>&1
+$B/fig06_single_node > results/fig06.txt 2>&1
+$B/fig07_cpu > results/fig07.txt 2>&1
+$B/fig08_sizes > results/fig08.txt 2>&1
+$B/fig09_scalability > results/fig09.txt 2>&1
+$B/fig10_lookup > results/fig10.txt 2>&1
+$B/fig11_disagg > results/fig11.txt 2>&1
+$B/fig12_tf > results/fig12.txt 2>&1
+$B/fig13_accuracy > results/fig13.txt 2>&1
+$B/ablation_batching > results/ablation_batching.txt 2>&1
+$B/ablation_directory > results/ablation_directory.txt 2>&1
+$B/ext_tfrecord_shuffle > results/ext_tfrecord.txt 2>&1
+$B/ext_octopus_cache > results/ext_octopus_cache.txt 2>&1
+$B/ext_latency > results/ext_latency.txt 2>&1
+$B/ext_mount_time > results/ext_mount_time.txt 2>&1
+echo ALL_DONE

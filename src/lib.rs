@@ -1,0 +1,14 @@
+//! # dlfs-suite — workspace facade
+//!
+//! Re-exports the crates of the DLFS reproduction so the root examples and
+//! integration tests can reach everything. See README.md for the tour and
+//! DESIGN.md for the paper-to-module map.
+
+pub use blocksim;
+pub use dlfs;
+pub use dlio;
+pub use dnn;
+pub use fabric;
+pub use kernsim;
+pub use octofs;
+pub use simkit;

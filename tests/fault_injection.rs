@@ -1,0 +1,146 @@
+//! Failure-injection tests: every storage system must survive deterministic
+//! device media errors and latency spikes with correct payloads.
+
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, FaultInjector, NvmeDevice};
+use dlfs::{mount_local, DlfsConfig, SyntheticSource};
+use dlio::backend::{DlfsBackend, ReaderBackend};
+use fabric::{Cluster, FabricConfig};
+use kernsim::{Ext4Fs, FsOptions, KernelCosts};
+use octofs::OctopusFs;
+use simkit::prelude::*;
+
+#[test]
+fn dlfs_bread_retries_through_media_errors() {
+    let source = SyntheticSource::fixed(5, 4000, 2048);
+    let ((retries, failed_free), _) = Runtime::simulate(1, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
+        let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        // Inject after mount so staging stays clean; 3% read failures plus
+        // occasional latency spikes.
+        // Chunk batching means few large requests: use a high per-command
+        // failure rate so several of this run's ~30 fetches fail.
+        dev.set_faults(
+            FaultInjector::new(9)
+                .with_read_failures(200_000)
+                .with_latency_spikes(50_000, Dur::micros(300)),
+        );
+        let mut b = DlfsBackend::new(&fs, 0);
+        b.begin_epoch(rt, 3, 0);
+        let mut read = 0;
+        while read < 2000 {
+            let batch = b.next_batch(rt, 32).expect("epoch large enough");
+            for s in &batch {
+                assert_eq!(s.bytes, source.expected(s.id), "payload {}", s.id);
+            }
+            read += batch.len();
+        }
+        let m = b.io().metrics();
+        (
+            m.retries,
+            fs.shared(0).cache.free_chunks() == fs.shared(0).cache.total_chunks(),
+        )
+    });
+    assert!(retries > 0, "with 20% command failures some retries must happen");
+    let _ = failed_free;
+}
+
+#[test]
+fn dlfs_sync_read_retries() {
+    let source = SyntheticSource::fixed(2, 500, 4096);
+    Runtime::simulate(2, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+        let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        dev.set_faults(FaultInjector::new(4).with_read_failures(80_000)); // 8%
+        let mut io = fs.io(0);
+        for id in 0..200u32 {
+            let data = io.read_by_id(rt, id).unwrap();
+            assert_eq!(data, source.expected(id));
+        }
+        assert!(io.metrics().retries > 0);
+    });
+}
+
+#[test]
+fn ext4_reads_survive_device_errors() {
+    let source = SyntheticSource::fixed(3, 400, 8192);
+    Runtime::simulate(3, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
+        let fs = Ext4Fs::mkfs(dev.clone(), KernelCosts::default(), FsOptions::default());
+        let staged = dlio::stage_ext4_untimed(&fs, &source, 0, 1);
+        dev.set_faults(FaultInjector::new(11).with_read_failures(50_000)); // 5%
+        let mut buf = vec![0u8; 8192];
+        for (id, path) in staged.iter().take(150) {
+            let fd = fs.open(rt, path).unwrap();
+            assert_eq!(fs.pread(rt, fd, 0, &mut buf).unwrap(), 8192);
+            assert_eq!(buf, source.expected(*id), "file {id}");
+            fs.close(rt, fd).unwrap();
+        }
+    });
+}
+
+#[test]
+fn octopus_reads_survive_device_errors() {
+    let source = SyntheticSource::fixed(4, 300, 1500);
+    Runtime::simulate(4, |rt| {
+        let cluster = Arc::new(Cluster::new(2, FabricConfig::default()));
+        let cfg = DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(10));
+        let fs = OctopusFs::deploy(rt, cluster, &cfg);
+        let staged = dlio::stage_octopus(rt, &fs, &source);
+        for n in 0..2 {
+            fs.device(n)
+                .set_faults(FaultInjector::new(7 + n as u64).with_read_failures(50_000));
+        }
+        let mut buf = vec![0u8; 1500];
+        for (id, name) in staged.iter().take(150) {
+            fs.read(rt, 0, name, &mut buf).unwrap();
+            assert_eq!(buf, source.expected(*id), "sample {id}");
+        }
+    });
+}
+
+#[test]
+fn mount_retries_failed_uploads() {
+    // Write failures during staging must not corrupt the dataset.
+    let source = SyntheticSource::fixed(6, 800, 4096);
+    Runtime::simulate(5, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+        dev.set_faults(FaultInjector::new(13).with_write_failures(40_000)); // 4%
+        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        io.sequence(rt, 1, 0);
+        let mut read = 0;
+        while read < 800 {
+            let batch = io.bread(rt, 50, Dur::ZERO).unwrap();
+            for (id, data) in &batch {
+                assert_eq!(data, &source.expected(*id), "staged sample {id} corrupted");
+            }
+            read += batch.len();
+        }
+    });
+}
+
+#[test]
+fn fault_runs_are_deterministic() {
+    let run = || {
+        let source = SyntheticSource::fixed(8, 1500, 1024);
+        Runtime::simulate(6, |rt| {
+            let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+            let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+            dev.set_faults(FaultInjector::new(21).with_read_failures(60_000));
+            let mut b = DlfsBackend::new(&fs, 0);
+            b.begin_epoch(rt, 9, 0);
+            let mut n = 0;
+            while n < 1000 {
+                n += b.next_batch(rt, 32).unwrap().len();
+            }
+            (b.io().metrics().retries, rt.now().nanos())
+        })
+        .0
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "fault injection must replay identically");
+    assert!(a.0 > 0);
+}

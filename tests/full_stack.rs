@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: the three storage systems on the same
+//! dataset, end to end, with payload and timing cross-checks.
+
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, NvmeDevice};
+use dlfs::{mount_local, DlfsConfig, SampleSource, SyntheticSource};
+use dlio::backend::{DlfsBackend, Ext4Backend, OctoBackend, ReaderBackend};
+use dlio::{stage_ext4_untimed, stage_octopus};
+use fabric::{Cluster, FabricConfig};
+use kernsim::{Ext4Fs, FsOptions, KernelCosts};
+use octofs::OctopusFs;
+use simkit::prelude::*;
+
+fn dataset() -> SyntheticSource {
+    SyntheticSource::fixed(11, 3000, 2048)
+}
+
+/// Read `n` samples through a backend, returning (ids, payload-checksums,
+/// virtual ns).
+fn drive(backend: &mut dyn ReaderBackend, rt: &Runtime, n: usize) -> (Vec<u32>, Vec<u64>, u64) {
+    backend.begin_epoch(rt, 5, 0);
+    let t0 = rt.now();
+    let mut ids = Vec::new();
+    let mut sums = Vec::new();
+    while ids.len() < n {
+        let Some(batch) = backend.next_batch(rt, 32) else {
+            break;
+        };
+        for s in batch {
+            ids.push(s.id);
+            sums.push(simkit::fnv1a(&s.bytes));
+        }
+    }
+    (ids, sums, (rt.now() - t0).as_nanos())
+}
+
+#[test]
+fn all_three_systems_serve_identical_payloads() {
+    let source = dataset();
+    let expect: Vec<u64> = (0..source.count() as u32)
+        .map(|id| simkit::fnv1a(&source.expected(id)))
+        .collect();
+
+    // DLFS.
+    let ((ids, sums, _), _) = Runtime::simulate(1, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
+        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let mut b = DlfsBackend::new(&fs, 0);
+        drive(&mut b, rt, 500)
+    });
+    for (id, sum) in ids.iter().zip(&sums) {
+        assert_eq!(*sum, expect[*id as usize], "dlfs payload {id}");
+    }
+
+    // Ext4.
+    let ((ids, sums, _), _) = Runtime::simulate(1, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
+        let fs = Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default());
+        let staged = stage_ext4_untimed(&fs, &source, 0, 1);
+        let src = source.clone();
+        let mut b = Ext4Backend::new(fs, staged, move |id| src.size(id));
+        drive(&mut b, rt, 300)
+    });
+    for (id, sum) in ids.iter().zip(&sums) {
+        assert_eq!(*sum, expect[*id as usize], "ext4 payload {id}");
+    }
+
+    // Octopus.
+    let ((ids, sums, _), _) = Runtime::simulate(1, |rt| {
+        let cluster = Arc::new(Cluster::new(2, FabricConfig::default()));
+        let cfg = DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(10));
+        let fs = OctopusFs::deploy(rt, cluster, &cfg);
+        let staged = stage_octopus(rt, &fs, &source);
+        let src = source.clone();
+        let mut b = OctoBackend::new(fs, 0, staged, move |id| src.size(id));
+        drive(&mut b, rt, 300)
+    });
+    for (id, sum) in ids.iter().zip(&sums) {
+        assert_eq!(*sum, expect[*id as usize], "octopus payload {id}");
+    }
+}
+
+#[test]
+fn dlfs_outruns_ext4_on_small_random_reads() {
+    // The paper's core claim, as a regression test: batched user-level
+    // reads of small samples beat the kernel path by a wide margin.
+    let source = SyntheticSource::fixed(3, 8000, 2048);
+    let (dlfs_ns, _) = Runtime::simulate(2, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
+        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let mut b = DlfsBackend::new(&fs, 0);
+        drive(&mut b, rt, 2000).2
+    });
+    let (ext4_ns, _) = Runtime::simulate(2, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
+        let fs = Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default());
+        let staged = stage_ext4_untimed(&fs, &source, 0, 1);
+        let src = source.clone();
+        let mut b = Ext4Backend::new(fs, staged, move |id| src.size(id));
+        drive(&mut b, rt, 2000).2
+    });
+    assert!(
+        dlfs_ns * 5 < ext4_ns,
+        "DLFS {dlfs_ns}ns should be >5x faster than Ext4 {ext4_ns}ns"
+    );
+}
+
+#[test]
+fn pipeline_over_dlfs_delivers_everything() {
+    let source = SyntheticSource::fixed(9, 2000, 1024);
+    let (count, _) = Runtime::simulate(4, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
+        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let backend = Box::new(DlfsBackend::new(&fs, 0));
+        let pipe = dlio::InputPipeline::launch(
+            rt,
+            backend,
+            7,
+            0,
+            32,
+            4,
+            dlio::PipelineCosts::default(),
+        );
+        let mut seen = vec![false; 2000];
+        let mut n = 0;
+        while let Some(batch) = pipe.next() {
+            for s in batch {
+                assert!(!seen[s.id as usize]);
+                seen[s.id as usize] = true;
+                n += 1;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+        n
+    });
+    assert_eq!(count, 2000);
+}
+
+#[test]
+fn whole_benchmark_run_is_deterministic() {
+    let run = || {
+        let source = SyntheticSource::fixed(5, 3000, 4096);
+        Runtime::simulate(99, |rt| {
+            let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
+            let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+            let mut b = DlfsBackend::new(&fs, 0);
+            let (ids, sums, ns) = drive(&mut b, rt, 1500);
+            (ids, sums, ns, rt.now().nanos())
+        })
+        .0
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "sample order must be identical");
+    assert_eq!(a.1, b.1, "payloads must be identical");
+    assert_eq!(a.2, b.2, "virtual elapsed must be identical");
+    assert_eq!(a.3, b.3, "final clock must be identical");
+}
+
+#[test]
+fn dlfs_order_trains_as_well_as_full_shuffle() {
+    // Miniature Fig. 13 as a regression test.
+    use dnn::{tail_accuracy, train_with_orders, ClassData, TrainConfig};
+    let (train, val) = ClassData::synthetic(7, 3000, 24, 6, 1.8).split(0.25);
+    let n = train.len();
+    let cfg = TrainConfig {
+        epochs: 10,
+        hidden: vec![32],
+        ..Default::default()
+    };
+    let full = train_with_orders(&train, &val, &cfg, |e| {
+        dlfs::full_random_order(n, 3, e as u64)
+    });
+
+    let mut builder = dlfs::DirectoryBuilder::new(1, n);
+    let rec = train.record_len() as u64;
+    for id in 0..n as u32 {
+        builder
+            .add(id, &format!("t_{id:06}"), 0, id as u64 * rec, rec)
+            .unwrap();
+    }
+    let dir = builder.finish();
+    let dlfs_run = train_with_orders(&train, &val, &cfg, |e| {
+        dlfs::build_epoch_plan(&dir, 8 << 10, 1, dlfs::BatchMode::ChunkLevel, 12, 3, e as u64)
+            .readers[0]
+            .order
+            .clone()
+    });
+    let gap = (tail_accuracy(&full, 4) - tail_accuracy(&dlfs_run, 4)).abs();
+    assert!(gap < 0.04, "accuracy gap {gap} too large");
+}

@@ -1,0 +1,77 @@
+//! ImageNet-style hierarchical datasets across all three systems: class
+//! directories on ext4, flat names on Octopus, hash placement on DLFS.
+
+use blocksim::{DeviceConfig, NvmeDevice};
+use dlfs::{mount_local, DlfsConfig, SampleSource};
+use dlio::{HierarchicalSource, SizeDist};
+use kernsim::{Ext4Fs, FsOptions, KernelCosts};
+use simkit::prelude::*;
+
+fn source() -> HierarchicalSource {
+    HierarchicalSource::new(3, 600, 12, &SizeDist::Uniform(500, 3000))
+}
+
+#[test]
+fn names_follow_class_layout() {
+    let s = source();
+    assert_eq!(s.name(0), "class_0000/img_00000000.jpg");
+    assert_eq!(s.name(13), "class_0001/img_00000013.jpg");
+    assert_eq!(s.class_of(25), 1);
+    assert_eq!(s.classes(), 12);
+}
+
+#[test]
+fn ext4_stages_into_class_directories() {
+    Runtime::simulate(1, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
+        let fs = Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default());
+        let s = source();
+        let staged = dlio::stage_ext4_untimed(&fs, &s, 0, 1);
+        assert_eq!(staged.len(), 600);
+        // Class directories exist and partition the files.
+        let classes = fs.readdir(rt, "/data").unwrap();
+        assert_eq!(classes.len(), 12);
+        let mut total = 0;
+        for c in &classes {
+            total += fs.readdir(rt, &format!("/data/{c}")).unwrap().len();
+        }
+        assert_eq!(total, 600);
+        // Deep paths read correctly (3-component resolution).
+        for (id, path) in staged.iter().take(40) {
+            let fd = fs.open(rt, path).unwrap();
+            let mut out = vec![0u8; s.size(*id) as usize];
+            assert_eq!(fs.pread(rt, fd, 0, &mut out).unwrap(), out.len());
+            assert_eq!(out, s.expected(*id));
+            fs.close(rt, fd).unwrap();
+        }
+    });
+}
+
+#[test]
+fn dlfs_serves_hierarchical_names() {
+    Runtime::simulate(2, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
+        let s = source();
+        let fs = mount_local(rt, dev, &s, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        // Name-based open/read with the nested names.
+        for id in [0u32, 123, 599] {
+            let data = io.read(rt, &s.name(id)).unwrap();
+            assert_eq!(data, s.expected(id));
+        }
+        // Batched epoch covers everything once.
+        let total = io.sequence(rt, 5, 0);
+        let mut seen = vec![false; total];
+        let mut read = 0;
+        while read < total {
+            let batch = io.bread(rt, 50, Dur::ZERO).unwrap();
+            for (id, data) in &batch {
+                assert!(!seen[*id as usize]);
+                seen[*id as usize] = true;
+                assert_eq!(data, &s.expected(*id));
+            }
+            read += batch.len();
+        }
+        assert!(seen.iter().all(|&x| x));
+    });
+}
