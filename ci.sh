@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate for the DLFS reproduction.
+#
+#  1. tier-1: release build + the root test suite (ROADMAP.md);
+#  2. the full workspace test suite;
+#  3. clippy, warnings denied, across every target.
+#
+# Everything runs offline: the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: release build"
+cargo build --release --offline
+echo "== tier-1: root test suite"
+cargo test -q --offline
+echo "== workspace tests"
+cargo test -q --offline --workspace
+echo "== clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "== ci OK"

@@ -1,61 +1,59 @@
-//! Criterion benches of whole simulated experiments: wall time here is the
-//! *cost of running the simulation* (scheduler + model), useful to keep
-//! the harness fast; the simulated results themselves come from the
-//! fig*/ablation binaries.
+//! Benches of whole simulated experiments: wall time here is the *cost of
+//! running the simulation* (scheduler + model), useful to keep the harness
+//! fast; the simulated results themselves come from the fig*/ablation
+//! binaries. Plain self-timed harness (`cargo bench --bench simulated`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use dlfs::{DlfsConfig, SyntheticSource};
 use dlfs_bench::{read_n, setup};
 use dlio::backend::{DlfsBackend, Ext4Backend};
 use simkit::prelude::*;
 
-fn bench_dlfs_window(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
-    g.sample_size(10);
-
-    let source = SyntheticSource::fixed(1, 4000, 4096);
-    g.bench_function("dlfs_local_1k_samples", |b| {
-        b.iter(|| {
-            let (m, _) = Runtime::simulate(1, |rt| {
-                let fs = setup::dlfs_local(rt, &source, DlfsConfig::default(), 1);
-                let mut be = DlfsBackend::new(&fs, 0);
-                read_n(rt, &mut be, 1, 0, 1000, 32)
-            });
-            black_box(m.samples)
-        })
-    });
-
-    g.bench_function("ext4_local_300_samples", |b| {
-        b.iter(|| {
-            let (m, _) = Runtime::simulate(1, |rt| {
-                let (fs, staged) = setup::ext4_local(&source, 0, 1);
-                let mut be = Ext4Backend::new(fs, staged, setup::sizer(&source));
-                read_n(rt, &mut be, 1, 0, 300, 32)
-            });
-            black_box(m.samples)
-        })
-    });
-
-    g.bench_function("scheduler_spawn_join_100", |b| {
-        b.iter(|| {
-            let (n, _) = Runtime::simulate(0, |rt| {
-                let handles: Vec<_> = (0..100)
-                    .map(|i| {
-                        rt.spawn_with(&format!("t{i}"), move |rt| {
-                            rt.sleep(Dur::nanos(i as u64));
-                            i
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join()).sum::<usize>()
-            });
-            black_box(n)
-        })
-    });
-    g.finish();
+fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<32} {ms:>12.3} ms/iter");
 }
 
-criterion_group!(benches, bench_dlfs_window);
-criterion_main!(benches);
+fn main() {
+    let source = SyntheticSource::fixed(1, 4000, 4096);
+
+    bench("sim/dlfs_local_1k_samples", 10, || {
+        let (m, _) = Runtime::simulate(1, |rt| {
+            let fs = setup::dlfs_local(rt, &source, DlfsConfig::default(), 1);
+            let mut be = DlfsBackend::new(&fs, 0);
+            read_n(rt, &mut be, 1, 0, 1000, 32)
+        });
+        black_box(m.samples);
+    });
+
+    bench("sim/ext4_local_300_samples", 10, || {
+        let (m, _) = Runtime::simulate(1, |rt| {
+            let (fs, staged) = setup::ext4_local(&source, 0, 1);
+            let mut be = Ext4Backend::new(fs, staged, setup::sizer(&source));
+            read_n(rt, &mut be, 1, 0, 300, 32)
+        });
+        black_box(m.samples);
+    });
+
+    bench("sim/scheduler_spawn_join_100", 10, || {
+        let (n, _) = Runtime::simulate(0, |rt| {
+            let handles: Vec<_> = (0..100)
+                .map(|i| {
+                    rt.spawn_with(&format!("t{i}"), move |rt| {
+                        rt.sleep(Dur::nanos(i as u64));
+                        i
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).sum::<usize>()
+        });
+        black_box(n);
+    });
+}

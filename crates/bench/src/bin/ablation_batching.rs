@@ -30,7 +30,7 @@ fn remote_rate(
     cfg: DlfsConfig,
     devices: usize,
     n: usize,
-) -> (f64, dlfs::IoMetrics) {
+) -> (f64, simkit::telemetry::Snapshot) {
     let ((rate, metrics), _) = Runtime::simulate(seed, |rt| {
         let fs = setup::dlfs_disagg(rt, 1, devices, source, cfg);
         let mut b = DlfsBackend::new(&fs, 0);
@@ -51,8 +51,10 @@ fn main() {
         ("sample-level (off)", BatchMode::SampleLevel),
         ("chunk-level (on)", BatchMode::ChunkLevel),
     ] {
-        let mut cfg = DlfsConfig::default();
-        cfg.batch_mode = mode;
+        let cfg = DlfsConfig {
+            batch_mode: mode,
+            ..Default::default()
+        };
         t.row(&[label.to_string(), fmt_sps(local_rate(seed, &tiny, cfg, 12_000))]);
     }
     t.print();
@@ -70,7 +72,7 @@ fn main() {
         t.row(&[
             dlfs_bench::fmt_size(kb << 10),
             fmt_sps(rate),
-            m.requests_posted.to_string(),
+            m.counter("dlfs.io.requests_posted").to_string(),
         ]);
     }
     t.print();
@@ -80,11 +82,15 @@ fn main() {
     let big = setup::fixed_source(seed ^ 2, 128 << 10, 256 << 20, 30_000);
     let mut t = Table::new(&["copy_threads", "fast memcpy (8GB/s)", "slow copy (2GB/s, e.g. decode)"]);
     for k in [1usize, 2, 4, 8] {
-        let mut fast = DlfsConfig::default();
-        fast.copy_threads = k;
+        let fast = DlfsConfig {
+            copy_threads: k,
+            ..Default::default()
+        };
         let (rf, _) = remote_rate(seed, &big, fast, 4, 2500);
-        let mut slow = DlfsConfig::default();
-        slow.copy_threads = k;
+        let mut slow = DlfsConfig {
+            copy_threads: k,
+            ..Default::default()
+        };
         slow.costs.memcpy_bytes_per_sec = 2.0e9;
         let (rs, _) = remote_rate(seed, &big, slow, 4, 2500);
         t.row(&[k.to_string(), fmt_sps(rf), fmt_sps(rs)]);
@@ -111,17 +117,21 @@ fn main() {
     let many = setup::fixed_source(seed ^ 4, 4096, 96 << 20, 30_000);
     let mut t = Table::new(&["polling", "samples/s", "poll CPU/sample"]);
     for (label, scq) in [("per-qpair", false), ("shared CQ", true)] {
-        let mut cfg = DlfsConfig::default();
-        cfg.shared_completion_queue = scq;
+        let cfg = DlfsConfig {
+            shared_completion_queue: scq,
+            ..Default::default()
+        };
         let iter_cost = cfg.costs.poll_iteration;
         let (rate, m) = remote_rate(seed, &many, cfg, 16, 8000);
         let per_spin = if scq { iter_cost } else { iter_cost * 16 };
-        let cpu_ns = m.poll_spins as f64 * per_spin.as_nanos() as f64
-            / m.samples_delivered.max(1) as f64;
+        let cpu_ns = m.counter("dlfs.io.poll_spins") as f64 * per_spin.as_nanos() as f64
+            / m.counter("dlfs.io.samples_delivered").max(1) as f64;
         t.row(&[label.to_string(), fmt_sps(rate), format!("{cpu_ns:.0}ns")]);
     }
     t.print();
     println!("\n(the SCQ consolidates per-spin work across qpairs — paper §III-C2)");
+    let (_, last) = remote_rate(seed, &many, DlfsConfig::default(), 16, 8000);
+    dlfs_bench::print_stage_breakdown("shared-CQ run, 16 remote devices", &last);
 
     // --- 6. Zero-copy delivery (the paper's future work, implemented).
     println!("\n# Ablation 6: copy vs zero-copy delivery (128KB samples, local NVMe)\n");
@@ -136,11 +146,12 @@ fn main() {
             let busy0 = rt.total_busy();
             let mut read = 0usize;
             while read < 1500 {
-                if zero {
-                    read += io.bread_zero_copy(rt, 32).unwrap().len();
+                let req = if zero {
+                    dlfs::ReadRequest::batch(32).zero_copy()
                 } else {
-                    read += io.bread(rt, 32, Dur::ZERO).unwrap().len();
-                }
+                    dlfs::ReadRequest::batch(32)
+                };
+                read += io.submit(rt, &req).unwrap().len();
             }
             let dt = (rt.now() - t0).as_secs_f64();
             let cpu = (rt.total_busy() - busy0).as_micros_f64() / read as f64;

@@ -191,7 +191,7 @@ fn main() {
         let t0 = rt.now();
         let mut read = 0;
         while read < total {
-            read += io.bread(rt, 64, Dur::ZERO).unwrap().len();
+            read += io.submit(rt, &dlfs::ReadRequest::batch(64)).unwrap().len();
         }
         read as f64 / (rt.now() - t0).as_secs_f64()
     });

@@ -47,17 +47,22 @@ fn main() {
     let mut small_ratios = Vec::new(); // DLFS vs Ext4-MC for ≤ 4 KB
     let mut base_ratios = Vec::new(); // DLFS-Base vs Ext4-Base for ≤ 4 KB
     let mut large_ratios = Vec::new(); // DLFS vs Ext4-Base for ≥ 16 KB
+    let mut breakdown = None; // telemetry snapshot at the headline 4 KB size
 
     for &size in SIZES {
         let source = setup::fixed_source(seed ^ size, size, budget, 50_000);
         let n = reads.min(source.count());
 
         // --- DLFS (opportunistic batching).
-        let (dlfs_m, _) = Runtime::simulate(seed, |rt| {
+        let ((dlfs_m, dlfs_snap), _) = Runtime::simulate(seed, |rt| {
             let fs = setup::dlfs_local(rt, &source, DlfsConfig::default(), 1);
             let mut b = DlfsBackend::new(&fs, 0);
-            read_n(rt, &mut b, seed, 0, n, 32)
+            let m = read_n(rt, &mut b, seed, 0, n, 32);
+            (m, b.metrics())
         });
+        if size == 4 << 10 {
+            breakdown = Some(dlfs_snap);
+        }
 
         // --- DLFS-Base (synchronous dlfs_read per sample).
         let n_sync = n.min(1500);
@@ -122,6 +127,9 @@ fn main() {
     }
     table.print();
     println!("\n# csv\n{}", table.csv());
+    if let Some(snap) = &breakdown {
+        dlfs_bench::print_stage_breakdown("DLFS at 4KB samples", snap);
+    }
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!("paper: DLFS-Base >= 1.82x Ext4-Base at <=4KB   | measured avg: {:.2}x", avg(&base_ratios));

@@ -100,16 +100,19 @@ fn part_b(seed: u64) {
     let compute_us: &[u64] = &[0, 250, 500, 750, 1000, 1500, 2000, 2500, 3000, 4000, 5000];
     let mut t = Table::new(&["compute_ms", "512B", "16KB", "128KB"]);
     let mut cols: Vec<Vec<f64>> = Vec::new();
+    let mut breakdown = None; // 128 KB, zero injected compute
 
     for &(size, mode) in configs {
         let source = setup::fixed_source(seed ^ size, size, 128 << 20, 40_000);
         let mut col = Vec::new();
         for &us in compute_us {
-            let (m, _) = Runtime::simulate(seed, |rt| {
-                let mut cfg = DlfsConfig::default();
-                cfg.batch_mode = mode;
-                cfg.window_chunks = 16;
-                cfg.pool_chunks = 128;
+            let ((m, snap), _) = Runtime::simulate(seed, |rt| {
+                let cfg = DlfsConfig {
+                    batch_mode: mode,
+                    window_chunks: 16,
+                    pool_chunks: 128,
+                    ..Default::default()
+                };
                 let fs = setup::dlfs_local(rt, &source, cfg, 1);
                 let mut b = DlfsBackend::new(&fs, 0);
                 // The computation runs *inside the polling loop* (paper
@@ -135,8 +138,11 @@ fn part_b(seed: u64) {
                         break;
                     }
                 }
-                (got as f64) / (rt.now() - t0).as_secs_f64()
+                ((got as f64) / (rt.now() - t0).as_secs_f64(), b.metrics())
             });
+            if size == 128 << 10 && us == 0 {
+                breakdown = Some(snap);
+            }
             col.push(m);
         }
         cols.push(col);
@@ -151,6 +157,9 @@ fn part_b(seed: u64) {
     }
     t.print();
     println!("\n# csv\n{}", t.csv());
+    if let Some(snap) = &breakdown {
+        dlfs_bench::print_stage_breakdown("DLFS 128KB, no injected compute", snap);
+    }
 
     // Knee = largest compute with ≥90 % of the zero-compute throughput.
     for (ci, &(size, _)) in configs.iter().enumerate() {

@@ -10,7 +10,7 @@
 //! reach up to ~88 % and scale linearly with devices.
 
 use dlfs::DlfsConfig;
-use dlfs_bench::{arg, fmt_sps, read_parallel, setup, BackendFactory, Table, DEFAULT_SEED};
+use dlfs_bench::{arg, fmt_sps, read_n, read_parallel, setup, BackendFactory, Table, DEFAULT_SEED};
 use dlio::backend::{DlfsBackend, ReaderBackend};
 use fabric::FabricConfig;
 use simkit::prelude::*;
@@ -82,4 +82,14 @@ fn main() {
         "paper: 16C scales linearly      | measured 1→16 devices: {:.1}x (ideal 16x)",
         rates16.last().unwrap() / rates16.first().unwrap()
     );
+
+    // Where the remote read path spends its time (one client, 4 devices).
+    let source = setup::fixed_source(seed ^ 4, SAMPLE, 384 << 20, 40_000);
+    let (snap, _) = Runtime::simulate(seed, |rt| {
+        let fs = setup::dlfs_disagg(rt, 1, 4, &source, DlfsConfig::default());
+        let mut b = DlfsBackend::new(&fs, 0);
+        read_n(rt, &mut b, seed, 0, 1200, 32);
+        b.metrics()
+    });
+    dlfs_bench::print_stage_breakdown("DLFS-1C, 4 remote devices", &snap);
 }

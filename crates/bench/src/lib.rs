@@ -13,11 +13,13 @@
 
 pub mod cluster_runs;
 pub mod measure;
+pub mod report;
 pub mod setup;
 pub mod table;
 
 pub use cluster_runs::{backend_factories, cluster_pipeline_throughput, cluster_throughput, System};
 pub use measure::{read_n, read_n_latency, read_parallel, BackendFactory, Measured};
+pub use report::{epoch_report, fmt_ns, print_stage_breakdown, stage_breakdown};
 pub use table::{fmt_size, fmt_sps, ratio, Table};
 
 /// Default collective seed used across harnesses (results are seeded and

@@ -1,0 +1,87 @@
+//! Telemetry reporting for the harness binaries: render the per-stage
+//! latency breakdown (prep → post → poll → copy) and per-subsystem counters
+//! out of a [`Snapshot`] so every figure can show *where* the virtual time
+//! went, not just the aggregate rate.
+
+use simkit::telemetry::Snapshot;
+
+use crate::table::Table;
+
+/// The dlfs read-path stages, in pipeline order.
+const STAGES: &[&str] = &["prep", "post", "poll", "copy"];
+
+/// Format a nanosecond quantity with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Per-stage latency breakdown of the `dlfs.io.stage.*_ns` histograms as an
+/// aligned table (count, p50/p95/p99, mean, and total time in the stage).
+pub fn stage_breakdown(m: &Snapshot) -> String {
+    let mut t = Table::new(&["stage", "count", "p50", "p95", "p99", "mean", "total"]);
+    for stage in STAGES {
+        let h = m.histogram(&format!("dlfs.io.stage.{stage}_ns"));
+        if h.count == 0 {
+            continue;
+        }
+        t.row(&[
+            (*stage).into(),
+            h.count.to_string(),
+            fmt_ns(h.p50),
+            fmt_ns(h.p95),
+            fmt_ns(h.p99),
+            fmt_ns(h.mean()),
+            fmt_ns(h.sum),
+        ]);
+    }
+    t.render()
+}
+
+/// Print the stage breakdown under a caption, if the snapshot has any stage
+/// samples at all (non-DLFS backends produce none).
+pub fn print_stage_breakdown(caption: &str, m: &Snapshot) {
+    let rendered = stage_breakdown(m);
+    if rendered.lines().count() <= 1 {
+        return;
+    }
+    println!("\n## {caption}: per-stage latency (from the telemetry registry)\n");
+    println!("{rendered}");
+}
+
+/// Full epoch report: every metric in the registry, one per line, sorted —
+/// byte-identical across runs of the same seed.
+pub fn epoch_report(m: &Snapshot) -> String {
+    m.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::telemetry::Registry;
+    use simkit::time::Dur;
+
+    #[test]
+    fn breakdown_lists_recorded_stages() {
+        let reg = Registry::new();
+        let scope = reg.scoped("dlfs.io.stage");
+        scope.histogram("prep_ns").record_dur(Dur::nanos(500));
+        scope.histogram("poll_ns").record_dur(Dur::micros(20));
+        let out = stage_breakdown(&reg.snapshot());
+        assert!(out.contains("prep"));
+        assert!(out.contains("poll"));
+        assert!(!out.contains("copy"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(900), "900ns");
+        assert_eq!(fmt_ns(25_000), "25.0us");
+        assert_eq!(fmt_ns(12_000_000), "12.0ms");
+    }
+}

@@ -64,7 +64,7 @@ pub struct NvmeDevice {
     writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
-    faults: parking_lot::Mutex<Option<FaultInjector>>,
+    faults: simkit::plock::Mutex<Option<FaultInjector>>,
 }
 
 impl std::fmt::Debug for NvmeDevice {
@@ -89,7 +89,7 @@ impl NvmeDevice {
             writes: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
-            faults: parking_lot::Mutex::new(None),
+            faults: simkit::plock::Mutex::new(None),
         })
     }
 

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use simkit::plock::Mutex;
 
 /// Simulated huge-page size (2 MiB).
 pub const HUGE_PAGE: u64 = 2 << 20;
@@ -81,11 +81,14 @@ struct PoolInner {
     hugepages: u64,
 }
 
+/// One chunk's backing buffer.
+type ChunkBuf = Arc<Mutex<Box<[u8]>>>;
+
 /// Fixed-chunk allocator over simulated huge pages.
 #[derive(Clone, Debug)]
 pub struct DmaPool {
     inner: Arc<PoolInner>,
-    chunks: Arc<Vec<Arc<Mutex<Box<[u8]>>>>>,
+    chunks: Arc<Vec<ChunkBuf>>,
 }
 
 impl DmaPool {

@@ -15,6 +15,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use simkit::runtime::Runtime;
+use simkit::telemetry::{Counter, Gauge, Histo, Registry};
 use simkit::time::{Dur, Time};
 
 use crate::config::BLOCK_SIZE;
@@ -95,6 +96,21 @@ impl Ord for Pending {
     }
 }
 
+/// Telemetry handles of one qpair (see [`IoQPair::attach_telemetry`]).
+#[derive(Clone, Debug)]
+struct QpTelemetry {
+    /// Instantaneous submission-queue occupancy.
+    queue_depth: Gauge,
+    /// Commands submitted.
+    commands: Counter,
+    /// Bytes moved by completed commands.
+    bytes: Counter,
+    /// Completions that carried a media error (initiator must retry).
+    media_errors: Counter,
+    /// Device service latency (submit → device done) per command, ns.
+    cmd_latency_ns: Histo,
+}
+
 /// An SPDK-like I/O queue pair bound to one [`NvmeTarget`].
 pub struct IoQPair {
     target: Arc<dyn NvmeTarget>,
@@ -103,6 +119,7 @@ pub struct IoQPair {
     seq: u64,
     submitted: u64,
     completed: u64,
+    telemetry: Option<QpTelemetry>,
 }
 
 impl std::fmt::Debug for IoQPair {
@@ -127,7 +144,22 @@ impl IoQPair {
             seq: 0,
             submitted: 0,
             completed: 0,
+            telemetry: None,
         }
+    }
+
+    /// Register this qpair's metrics in `reg` (typically a registry scoped
+    /// to the device, e.g. `blocksim.dev0`): `queue_depth`, `commands`,
+    /// `bytes`, `media_errors` (retryable failures) and the per-command
+    /// device service latency histogram `cmd_latency_ns`.
+    pub fn attach_telemetry(&mut self, reg: &Registry) {
+        self.telemetry = Some(QpTelemetry {
+            queue_depth: reg.gauge("queue_depth"),
+            commands: reg.counter("commands"),
+            bytes: reg.counter("bytes"),
+            media_errors: reg.counter("media_errors"),
+            cmd_latency_ns: reg.histogram("cmd_latency_ns"),
+        });
     }
 
     pub fn queue_depth(&self) -> usize {
@@ -171,6 +203,7 @@ impl IoQPair {
         self.submit(rt, id, Op::Write, slba, nblocks, buf, buf_offset)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit(
         &mut self,
         rt: &Runtime,
@@ -219,6 +252,10 @@ impl IoQPair {
             submitted: now,
             status: fault.status,
         });
+        if let Some(t) = &self.telemetry {
+            t.commands.inc();
+            t.queue_depth.set(self.pending.len() as i64);
+        }
         Ok(())
     }
 
@@ -243,6 +280,14 @@ impl IoQPair {
                 });
             }
             self.completed += 1;
+            if let Some(t) = &self.telemetry {
+                t.bytes.add(bytes);
+                t.cmd_latency_ns.record_dur(p.done - p.submitted);
+                if !p.status.is_ok() {
+                    t.media_errors.inc();
+                }
+                t.queue_depth.set(self.pending.len() as i64);
+            }
             out.push(Completion {
                 id: p.id,
                 op: p.op,

@@ -4,7 +4,7 @@
 //! back, so end-to-end tests can verify payload integrity (checksums) after
 //! travelling through qpairs, fabrics, caches and copy threads.
 
-use parking_lot::RwLock;
+use simkit::plock::RwLock;
 
 use crate::config::BLOCK_SIZE;
 

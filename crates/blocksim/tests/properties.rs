@@ -1,21 +1,24 @@
-//! Property-based tests for blocksim: storage roundtrips at arbitrary
+//! Randomized property tests for blocksim: storage roundtrips at arbitrary
 //! offsets, DMA-pool accounting under arbitrary alloc/free interleavings,
-//! device timing monotonicity, and fault-injector statistics.
+//! device timing monotonicity, and fault-injector statistics. Cases come
+//! from seeded [`SplitMix64`] streams so failures replay exactly.
 
 use blocksim::{
     covering_blocks, DeviceConfig, DmaPool, FaultInjector, NvmeDevice, NvmeTarget, Storage,
     BLOCK_SIZE,
 };
-use proptest::prelude::*;
 use simkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn storage_scattered_writes_read_back(
-        writes in prop::collection::vec((0u64..1_000_000, 1usize..5000), 1..20)
-    ) {
+#[test]
+fn storage_scattered_writes_read_back() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x570A, case);
+        let n = g.range(1, 20) as usize;
+        let writes: Vec<(u64, usize)> = (0..n)
+            .map(|_| (g.below(1_000_000), g.range(1, 5000) as usize))
+            .collect();
         let s = Storage::new(2 << 20);
         // Apply writes in order; remember a reference model.
         let mut model = vec![0u8; 2 << 20];
@@ -30,14 +33,19 @@ proptest! {
             let off = off % ((2 << 20) - len as u64);
             let mut out = vec![0u8; len];
             s.read_at(off, &mut out);
-            prop_assert_eq!(&out[..], &model[off as usize..off as usize + len]);
+            assert_eq!(&out[..], &model[off as usize..off as usize + len]);
         }
     }
+}
 
-    #[test]
-    fn dma_pool_conserves_chunks(
-        ops in prop::collection::vec((1u64..600_000, any::<bool>()), 1..60)
-    ) {
+#[test]
+fn dma_pool_conserves_chunks() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xD0A7, case);
+        let n = g.range(1, 60) as usize;
+        let ops: Vec<(u64, bool)> = (0..n)
+            .map(|_| (g.range(1, 600_000), g.below(2) == 1))
+            .collect();
         let pool_chunks = 32;
         let chunk = 64 << 10;
         let pool = DmaPool::new(chunk, pool_chunks);
@@ -60,26 +68,33 @@ proptest! {
                 held_chunks += bufs.len();
                 held.push(bufs);
             }
-            prop_assert_eq!(pool.available() + held_chunks, pool_chunks);
+            assert_eq!(pool.available() + held_chunks, pool_chunks);
         }
     }
+}
 
-    #[test]
-    fn covering_blocks_covers(offset in 0u64..1_000_000, len in 1u64..100_000) {
+#[test]
+fn covering_blocks_covers() {
+    for case in 0..256 {
+        let mut g = SplitMix64::derive(0xC0B5, case);
+        let offset = g.below(1_000_000);
+        let len = g.range(1, 100_000);
         let (slba, nblocks, head) = covering_blocks(offset, len);
         // The covering range contains [offset, offset+len).
-        prop_assert!(slba * BLOCK_SIZE <= offset);
-        prop_assert!((slba + nblocks as u64) * BLOCK_SIZE >= offset + len);
-        prop_assert_eq!(slba * BLOCK_SIZE + head as u64, offset);
+        assert!(slba * BLOCK_SIZE <= offset);
+        assert!((slba + nblocks as u64) * BLOCK_SIZE >= offset + len);
+        assert_eq!(slba * BLOCK_SIZE + head as u64, offset);
         // Minimality: one block fewer would not cover.
-        prop_assert!((slba + nblocks as u64 - 1) * BLOCK_SIZE < offset + len);
+        assert!((slba + nblocks as u64 - 1) * BLOCK_SIZE < offset + len);
     }
+}
 
-    #[test]
-    fn device_completion_time_monotone_in_size(
-        small in 1u32..64,
-        extra in 1u32..1024,
-    ) {
+#[test]
+fn device_completion_time_monotone_in_size() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xDE71, case);
+        let small = g.range(1, 64) as u32;
+        let extra = g.range(1, 1024) as u32;
         Runtime::simulate(0, |rt| {
             let d1 = NvmeDevice::new(DeviceConfig::optane(64 << 20));
             let t_small = d1.reserve_read(rt.now(), 0, small);
@@ -88,18 +103,21 @@ proptest! {
             assert!(t_small <= t_large, "{t_small:?} vs {t_large:?}");
         });
     }
+}
 
-    #[test]
-    fn fault_rates_track_configuration(ppm in 0u32..500_000, seed in 0u64..1000) {
+#[test]
+fn fault_rates_track_configuration() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xFA17, case);
+        let ppm = g.below(500_000) as u32;
+        let seed = g.below(1000);
         let f = FaultInjector::new(seed).with_read_failures(ppm);
         let n = 8_000u32;
-        let fails = (0..n)
-            .filter(|_| !f.decide(false).status.is_ok())
-            .count() as f64;
+        let fails = (0..n).filter(|_| !f.decide(false).status.is_ok()).count() as f64;
         let expect = ppm as f64 / 1_000_000.0 * n as f64;
         // Within 5 sigma of a binomial.
         let sigma = (n as f64 * (ppm as f64 / 1e6) * (1.0 - ppm as f64 / 1e6)).sqrt();
-        prop_assert!(
+        assert!(
             (fails - expect).abs() <= 5.0 * sigma + 1.0,
             "fails {fails} expect {expect} sigma {sigma}"
         );

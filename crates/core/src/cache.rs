@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use blocksim::{DmaBuf, DmaPool};
-use parking_lot::Mutex;
+use simkit::plock::Mutex;
 
 /// Key of a resident range: (storage node id, range start byte).
 pub type RangeKey = (u16, u64);

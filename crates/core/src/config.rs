@@ -154,20 +154,30 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = DlfsConfig::default();
-        c.chunk_size = 1000; // not block aligned
+        let c = DlfsConfig {
+            chunk_size: 1000, // not block aligned
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DlfsConfig::default();
-        c.queue_depth = 0;
+        let c = DlfsConfig {
+            queue_depth: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DlfsConfig::default();
-        c.pool_chunks = 1;
+        let c = DlfsConfig {
+            pool_chunks: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DlfsConfig::default();
-        c.copy_threads = 0;
+        let c = DlfsConfig {
+            copy_threads: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DlfsConfig::default();
-        c.window_chunks = 0;
+        let c = DlfsConfig {
+            window_chunks: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -25,7 +25,8 @@ use std::sync::Arc;
 use blocksim::{covering_blocks, DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
 use simkit::rng::SplitMix64;
 use simkit::runtime::Runtime;
-use simkit::time::Dur;
+use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
+use simkit::time::{Dur, Time};
 
 use crate::config::DlfsConfig;
 use crate::copy::{CopyDone, CopyJob, Segment};
@@ -33,6 +34,7 @@ use crate::directory::SampleDirectory;
 use crate::entry::SampleEntry;
 use crate::error::DlfsError;
 use crate::plan::{build_epoch_plan, FetchItem, ReaderPlan};
+use crate::request::{Batch, Delivery, ReadRequest};
 use crate::zerocopy::{PinGuard, ZeroCopySample};
 use crate::{cache::SampleCache, copy::CopyPool};
 
@@ -60,16 +62,56 @@ impl std::fmt::Debug for DlfsShared {
     }
 }
 
-/// Lifetime counters for one I/O thread.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct IoMetrics {
-    pub samples_delivered: u64,
-    pub bytes_delivered: u64,
-    pub requests_posted: u64,
-    pub completions: u64,
-    pub poll_spins: u64,
+/// Telemetry handles for one I/O thread, living under `dlfs.io.*` in the
+/// engine's registry (see DESIGN.md, "Telemetry").
+struct IoTelemetry {
+    samples_delivered: Counter,
+    bytes_delivered: Counter,
+    requests_posted: Counter,
+    completions: Counter,
+    poll_spins: Counter,
     /// Commands resubmitted after a device media error.
-    pub retries: u64,
+    retries: Counter,
+    batches: Counter,
+    deadline_misses: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_pins: Counter,
+    /// Shared-completion-queue drain stats.
+    scq_drains: Counter,
+    scq_empty_polls: Counter,
+    scq_drain_batch: Histo,
+    /// Per-stage latency of the four-stage pipeline.
+    prep_ns: Histo,
+    post_ns: Histo,
+    poll_ns: Histo,
+    copy_ns: Histo,
+}
+
+impl IoTelemetry {
+    fn new(reg: &Registry) -> IoTelemetry {
+        let io = reg.scoped("dlfs.io");
+        IoTelemetry {
+            samples_delivered: io.counter("samples_delivered"),
+            bytes_delivered: io.counter("bytes_delivered"),
+            requests_posted: io.counter("requests_posted"),
+            completions: io.counter("completions"),
+            poll_spins: io.counter("poll_spins"),
+            retries: io.counter("retries"),
+            batches: io.counter("batches"),
+            deadline_misses: io.counter("deadline_misses"),
+            cache_hits: io.counter("cache.hits"),
+            cache_misses: io.counter("cache.misses"),
+            cache_pins: io.counter("cache.pins"),
+            scq_drains: io.counter("scq.drains"),
+            scq_empty_polls: io.counter("scq.empty_polls"),
+            scq_drain_batch: io.histogram("scq.drain_batch"),
+            prep_ns: io.histogram("stage.prep_ns"),
+            post_ns: io.histogram("stage.post_ns"),
+            poll_ns: io.histogram("stage.poll_ns"),
+            copy_ns: io.histogram("stage.copy_ns"),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -113,38 +155,63 @@ pub struct DlfsIo {
     epoch: Option<EpochState>,
     inflight: HashMap<u64, (u32, u32)>, // cmd id -> (item idx, part)
     next_cmd: u64,
-    metrics: IoMetrics,
+    registry: Registry,
+    tel: IoTelemetry,
+    /// Dispatch instant per copy slot of the in-progress `submit` call
+    /// (slot indices restart at zero each call).
+    copy_dispatch_at: Vec<Time>,
 }
 
 impl std::fmt::Debug for DlfsIo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DlfsIo")
             .field("reader", &self.shared.reader_id)
-            .field("metrics", &self.metrics)
             .finish()
     }
 }
 
 impl DlfsIo {
     pub fn new(shared: Arc<DlfsShared>) -> DlfsIo {
+        DlfsIo::with_registry(shared, &Registry::new())
+    }
+
+    /// Build an I/O handle recording its telemetry into `reg`: engine
+    /// metrics under `dlfs.io.*`, per-device qpair metrics under
+    /// `blocksim.dev{n}.*`.
+    pub fn with_registry(shared: Arc<DlfsShared>, reg: &Registry) -> DlfsIo {
         let qd = shared.cfg.queue_depth;
         let qpairs = shared
             .targets
             .iter()
-            .map(|t| IoQPair::new(t.clone(), qd))
+            .enumerate()
+            .map(|(nid, t)| {
+                let mut qp = IoQPair::new(t.clone(), qd);
+                qp.attach_telemetry(&reg.scoped(&format!("blocksim.dev{nid}")));
+                qp
+            })
             .collect();
         DlfsIo {
+            tel: IoTelemetry::new(reg),
+            registry: reg.clone(),
             shared,
             qpairs,
             epoch: None,
             inflight: HashMap::new(),
             next_cmd: 1,
-            metrics: IoMetrics::default(),
+            copy_dispatch_at: Vec::new(),
         }
     }
 
-    pub fn metrics(&self) -> IoMetrics {
-        self.metrics
+    /// Snapshot of this handle's metrics: `dlfs.io.*` engine counters,
+    /// per-stage latency histograms and `blocksim.dev*` qpair stats.
+    pub fn metrics(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The registry this handle records into (shared when constructed via
+    /// [`DlfsIo::with_registry`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     pub fn shared(&self) -> &Arc<DlfsShared> {
@@ -330,16 +397,13 @@ impl DlfsIo {
         // Submit queued parts to the per-device qpairs (prep + post).
         let chunk = self.shared.cfg.chunk_size as usize;
         let costs = self.shared.cfg.costs.clone();
-        loop {
-            let Some(&(idx, part)) = self
-                .epoch
-                .as_ref()
-                .expect("no epoch")
-                .pending_parts
-                .front()
-            else {
-                break;
-            };
+        while let Some(&(idx, part)) = self
+            .epoch
+            .as_ref()
+            .expect("no epoch")
+            .pending_parts
+            .front()
+        {
             let (nid, slba_part, nblocks_part, buf) = {
                 let st = self.epoch.as_ref().expect("no epoch");
                 let it = &st.plan.items[idx as usize];
@@ -351,11 +415,16 @@ impl DlfsIo {
                 (it.nid, slba + start as u64, n, buf)
             };
             let cmd = self.next_cmd;
-            rt.work(costs.prep_request + costs.post_request);
+            let t0 = rt.now();
+            rt.work(costs.prep_request);
+            let t1 = rt.now();
+            rt.work(costs.post_request);
             match self.qpairs[nid as usize].submit_read(rt, cmd, slba_part, nblocks_part, buf, 0) {
                 Ok(()) => {
+                    self.tel.prep_ns.record_dur(t1 - t0);
+                    self.tel.post_ns.record_dur(rt.now() - t1);
                     self.next_cmd += 1;
-                    self.metrics.requests_posted += 1;
+                    self.tel.requests_posted.inc();
                     self.inflight.insert(cmd, (idx, part));
                     self.epoch
                         .as_mut()
@@ -370,58 +439,73 @@ impl DlfsIo {
         progressed
     }
 
+    /// Apply one harvested device completion belonging to the batched
+    /// engine's in-flight set. Shared by the poll stage and the synchronous
+    /// read path: both drain the same qpairs, so either may harvest the
+    /// other's completions.
+    fn engine_complete(&mut self, idx: u32, part: u32, ok: bool) {
+        if !ok {
+            // Media error: resubmit this part (paper-grade devices fail
+            // commands; the user-level initiator retries).
+            self.tel.retries.inc();
+            self.epoch
+                .as_mut()
+                .expect("no epoch")
+                .pending_parts
+                .push_back((idx, part));
+            return;
+        }
+        let st = self.epoch.as_mut().expect("no epoch");
+        let item = &mut st.items[idx as usize];
+        item.parts_left -= 1;
+        if item.parts_left == 0 {
+            // Item fully resident: publish it in the sample cache, flip the
+            // V field of its samples and offer it to the delivery draw.
+            let it = &st.plan.items[idx as usize];
+            self.shared
+                .cache
+                .publish((it.nid, it.offset), st.bufs[&idx].clone(), it.len);
+            for &s in &it.samples {
+                self.shared.dir.set_valid(s, true);
+            }
+            st.resident_ready.push(idx);
+        }
+    }
+
     /// Poll stage: harvest completions across all qpairs (the shared
     /// completion queue consolidates this into one pass).
     fn poll(&mut self, rt: &Runtime) -> usize {
         let costs = self.shared.cfg.costs.clone();
-        self.metrics.poll_spins += 1;
+        let t0 = rt.now();
+        self.tel.poll_spins.inc();
         if self.shared.cfg.shared_completion_queue {
             rt.work(costs.poll_iteration);
         } else {
             rt.work(costs.poll_iteration * self.qpairs.len() as u64);
         }
         let mut harvested = 0;
-        for qp in &mut self.qpairs {
-            if qp.outstanding() == 0 {
+        for q in 0..self.qpairs.len() {
+            if self.qpairs[q].outstanding() == 0 {
                 continue;
             }
-            for comp in qp.process_completions(rt, usize::MAX) {
+            for comp in self.qpairs[q].process_completions(rt, usize::MAX) {
                 rt.work(costs.per_completion);
-                self.metrics.completions += 1;
+                self.tel.completions.inc();
                 harvested += 1;
                 let (idx, part) = self
                     .inflight
                     .remove(&comp.id)
                     .expect("completion for unknown command");
-                if !comp.status.is_ok() {
-                    // Media error: resubmit this part (paper-grade devices
-                    // fail commands; the user-level initiator retries).
-                    self.metrics.retries += 1;
-                    self.epoch
-                        .as_mut()
-                        .expect("no epoch")
-                        .pending_parts
-                        .push_back((idx, part));
-                    continue;
-                }
-                let st = self.epoch.as_mut().expect("no epoch");
-                let item = &mut st.items[idx as usize];
-                item.parts_left -= 1;
-                if item.parts_left == 0 {
-                    // Item fully resident: publish it in the sample cache,
-                    // flip the V field of its samples and offer it to the
-                    // delivery draw.
-                    let it = &st.plan.items[idx as usize];
-                    self.shared
-                        .cache
-                        .publish((it.nid, it.offset), st.bufs[&idx].clone(), it.len);
-                    for &s in &it.samples {
-                        self.shared.dir.set_valid(s, true);
-                    }
-                    st.resident_ready.push(idx);
-                }
+                self.engine_complete(idx, part, comp.status.is_ok());
             }
         }
+        if harvested == 0 {
+            self.tel.scq_empty_polls.inc();
+        } else {
+            self.tel.scq_drains.inc();
+            self.tel.scq_drain_batch.record(harvested as u64);
+        }
+        self.tel.poll_ns.record_dur(rt.now() - t0);
         harvested
     }
 
@@ -465,6 +549,8 @@ impl DlfsIo {
                 )
             };
             rt.work(costs.frontend_per_sample + costs.copy_dispatch);
+            debug_assert_eq!(self.copy_dispatch_at.len(), slot as usize);
+            self.copy_dispatch_at.push(rt.now());
             self.shared.copy.submit(CopyJob {
                 tag: (idx as u64) << 32 | slot,
                 sample,
@@ -495,13 +581,43 @@ impl DlfsIo {
     }
 
     /// Account a finished copy; retire its item when fully drained.
-    fn finish_copy(&mut self, done: &CopyDone) -> usize {
+    fn finish_copy(&mut self, rt: &Runtime, done: &CopyDone) -> usize {
         let idx = (done.tag >> 32) as u32;
         let slot = (done.tag & 0xFFFF_FFFF) as usize;
         self.account_delivery(idx);
-        self.metrics.samples_delivered += 1;
-        self.metrics.bytes_delivered += done.data.len() as u64;
+        self.tel.samples_delivered.inc();
+        self.tel.bytes_delivered.add(done.data.len() as u64);
+        self.tel
+            .copy_ns
+            .record_dur(rt.now() - self.copy_dispatch_at[slot]);
         slot
+    }
+
+    /// Execute a [`ReadRequest`] against the current epoch plan: the
+    /// redesigned entry point unifying the copied and zero-copy delivery
+    /// paths (previously `bread` / `bread_zero_copy`).
+    ///
+    /// Returns `EpochExhausted` once the plan is drained and `NoSequence`
+    /// before the first [`DlfsIo::sequence`]. With a deadline, the batch
+    /// may come back shorter than `req.n` (but never torn: samples already
+    /// handed to the copy threads always drain).
+    pub fn submit(&mut self, rt: &Runtime, req: &ReadRequest) -> Result<Batch, DlfsError> {
+        if self.epoch.is_none() {
+            return Err(DlfsError::NoSequence);
+        }
+        let want = req.n.min(self.remaining());
+        if want == 0 {
+            return Err(DlfsError::EpochExhausted);
+        }
+        self.tel.batches.inc();
+        let batch = match req.delivery {
+            Delivery::Copied => self.run_copied(rt, want, req).map(Batch::Copied)?,
+            Delivery::ZeroCopy => self.run_zero_copy(rt, want, req).map(Batch::ZeroCopy)?,
+        };
+        if batch.len() < want {
+            self.tel.deadline_misses.inc();
+        }
+        Ok(batch)
     }
 
     /// `dlfs_bread`: deliver the next `n` samples of the epoch plan.
@@ -509,34 +625,47 @@ impl DlfsIo {
     ///
     /// `inject_compute` models application computation executed inside the
     /// polling loop (the Fig. 7b experiment); pass `Dur::ZERO` normally.
+    #[deprecated(note = "use `ReadRequest::batch(n)` with `DlfsIo::submit`")]
     pub fn bread(
         &mut self,
         rt: &Runtime,
         n: usize,
         inject_compute: Dur,
     ) -> Result<Vec<(u32, Vec<u8>)>, DlfsError> {
-        if self.epoch.is_none() {
-            return Err(DlfsError::NoSequence);
-        }
-        let want = n.min(self.remaining());
-        if want == 0 {
-            return Err(DlfsError::EpochExhausted);
-        }
+        self.submit(rt, &ReadRequest::batch(n).inject_compute(inject_compute))
+            .map(Batch::into_copied)
+    }
+
+    /// The copied-delivery engine loop (prep → post → poll → copy).
+    fn run_copied(
+        &mut self,
+        rt: &Runtime,
+        want: usize,
+        req: &ReadRequest,
+    ) -> Result<Vec<(u32, Vec<u8>)>, DlfsError> {
         let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
         let mut results: Vec<Option<(u32, Vec<u8>)>> = vec![None; want];
         let mut dispatched = 0usize;
         let mut received = 0usize;
+        self.copy_dispatch_at.clear();
 
         while received < want {
+            let expired = req.deadline.is_some_and(|dl| rt.now() >= dl);
+            if expired && received == dispatched {
+                // Past the deadline with nothing outstanding: return short.
+                break;
+            }
             let mut progress = 0;
             progress += self.pump(rt);
             progress += self.poll(rt);
-            let newly = self.dispatch(rt, want - dispatched, dispatched, &done_tx);
-            dispatched += newly;
-            progress += newly;
+            if !expired {
+                let newly = self.dispatch(rt, want - dispatched, dispatched, &done_tx);
+                dispatched += newly;
+                progress += newly;
+            }
             // Collect finished copies without blocking.
             while let Ok(done) = done_rx.try_recv() {
-                let slot = self.finish_copy(&done);
+                let slot = self.finish_copy(rt, &done);
                 results[slot] = Some((done.sample, done.data));
                 received += 1;
                 progress += 1;
@@ -548,16 +677,19 @@ impl DlfsIo {
                 if dispatched > received {
                     // Copies outstanding: block on the copy pool.
                     let done = done_rx.recv().map_err(|_| DlfsError::CacheExhausted)?;
-                    let slot = self.finish_copy(&done);
+                    let slot = self.finish_copy(rt, &done);
                     results[slot] = Some((done.sample, done.data));
                     received += 1;
                     continue;
                 }
+                if expired {
+                    break;
+                }
                 // Waiting on device completions: this is the busy-poll loop
                 // the Fig. 7b experiment adds application computation to —
                 // the compute overlaps with the in-flight SPDK requests.
-                if !inject_compute.is_zero() {
-                    rt.work(inject_compute);
+                if !req.inject_compute.is_zero() {
+                    rt.work(req.inject_compute);
                     continue;
                 }
                 // Waiting on the devices: spin the poll loop forward to the
@@ -576,7 +708,7 @@ impl DlfsIo {
                     }
                     None => {
                         panic!(
-                            "dlfs bread stalled: nothing in flight, nothing \
+                            "dlfs submit stalled: nothing in flight, nothing \
                              deliverable (reader {})",
                             self.shared.reader_id
                         );
@@ -584,7 +716,7 @@ impl DlfsIo {
                 }
             }
         }
-        Ok(results.into_iter().map(|r| r.expect("slot filled")).collect())
+        Ok(results.into_iter().flatten().collect())
     }
 
     /// Zero-copy `dlfs_bread` (the paper's future-work extension): deliver
@@ -592,21 +724,32 @@ impl DlfsIo {
     /// sample-cache chunks — the copy stage (and the copy-thread pool) is
     /// bypassed entirely. Chunks return to the pool when the application
     /// drops the last sample referencing them.
+    #[deprecated(note = "use `ReadRequest::batch(n).zero_copy()` with `DlfsIo::submit`")]
     pub fn bread_zero_copy(
         &mut self,
         rt: &Runtime,
         n: usize,
     ) -> Result<Vec<ZeroCopySample>, DlfsError> {
-        if self.epoch.is_none() {
-            return Err(DlfsError::NoSequence);
-        }
-        let want = n.min(self.remaining());
-        if want == 0 {
-            return Err(DlfsError::EpochExhausted);
-        }
+        self.submit(rt, &ReadRequest::batch(n).zero_copy())
+            .map(Batch::into_zero_copy)
+    }
+
+    /// The zero-copy engine loop: prep → post → poll, then pin + hand out
+    /// references (no copy stage).
+    fn run_zero_copy(
+        &mut self,
+        rt: &Runtime,
+        want: usize,
+        req: &ReadRequest,
+    ) -> Result<Vec<ZeroCopySample>, DlfsError> {
         let costs = self.shared.cfg.costs.clone();
         let mut out: Vec<ZeroCopySample> = Vec::with_capacity(want);
         while out.len() < want {
+            if req.deadline.is_some_and(|dl| rt.now() >= dl) {
+                // Zero-copy delivery is immediate, so past the deadline
+                // there is nothing left to drain: return short.
+                break;
+            }
             let mut progress = 0;
             progress += self.pump(rt);
             progress += self.poll(rt);
@@ -653,8 +796,9 @@ impl DlfsIo {
                     .expect("resident range pinnable");
                 let pin = PinGuard::new(self.shared.cache.clone(), key);
                 rt.work(costs.frontend_per_sample);
-                self.metrics.samples_delivered += 1;
-                self.metrics.bytes_delivered += entry.len();
+                self.tel.cache_pins.inc();
+                self.tel.samples_delivered.inc();
+                self.tel.bytes_delivered.add(entry.len());
                 out.push(ZeroCopySample::new(sample, segments, pin));
                 self.account_delivery(idx);
                 progress += 1;
@@ -663,6 +807,10 @@ impl DlfsIo {
                 break;
             }
             if progress == 0 {
+                if !req.inject_compute.is_zero() {
+                    rt.work(req.inject_compute);
+                    continue;
+                }
                 let next = self
                     .qpairs
                     .iter()
@@ -676,7 +824,7 @@ impl DlfsIo {
                         }
                     }
                     None => panic!(
-                        "dlfs bread_zero_copy stalled (reader {})",
+                        "dlfs zero-copy submit stalled (reader {})",
                         self.shared.reader_id
                     ),
                 }
@@ -716,6 +864,8 @@ impl DlfsIo {
             let chunk_base =
                 entry.offset() / self.shared.cfg.chunk_size * self.shared.cfg.chunk_size;
             if let Some((bufs, _len)) = self.shared.cache.pin((entry.nid(), chunk_base)) {
+                self.tel.cache_hits.inc();
+                self.tel.cache_pins.inc();
                 let chunk = self.shared.cfg.chunk_size as usize;
                 let within = (entry.offset() - chunk_base) as usize;
                 let mut segments = Vec::new();
@@ -734,6 +884,7 @@ impl DlfsIo {
                     remaining -= take;
                 }
                 let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
+                let t_copy = rt.now();
                 rt.work(costs.copy_dispatch);
                 self.shared.copy.submit(CopyJob {
                     tag: 0,
@@ -743,11 +894,13 @@ impl DlfsIo {
                 });
                 let done = done_rx.recv().expect("copy pool alive");
                 self.shared.cache.unpin((entry.nid(), chunk_base));
-                self.metrics.samples_delivered += 1;
-                self.metrics.bytes_delivered += done.data.len() as u64;
+                self.tel.samples_delivered.inc();
+                self.tel.bytes_delivered.add(done.data.len() as u64);
+                self.tel.copy_ns.record_dur(rt.now() - t_copy);
                 return Ok(done.data);
             }
         }
+        self.tel.cache_misses.inc();
         let (slba, nblocks, head) = covering_blocks(entry.offset(), entry.len());
         let bytes = nblocks as u64 * BLOCK_SIZE;
         let bufs = self
@@ -762,13 +915,18 @@ impl DlfsIo {
         for (p, buf) in bufs.iter().enumerate() {
             let start = p as u32 * blocks_per_chunk;
             let nb = (nblocks - start).min(blocks_per_chunk);
-            rt.work(costs.prep_request + costs.post_request);
+            let t0 = rt.now();
+            rt.work(costs.prep_request);
+            let t1 = rt.now();
+            rt.work(costs.post_request);
             let cmd = self.next_cmd;
             self.next_cmd += 1;
-            self.metrics.requests_posted += 1;
+            self.tel.requests_posted.inc();
             self.qpairs[entry.nid() as usize]
                 .submit_read(rt, cmd, slba + start as u64, nb, buf.clone(), 0)
                 .expect("sync read exceeds queue depth");
+            self.tel.prep_ns.record_dur(t1 - t0);
+            self.tel.post_ns.record_dur(rt.now() - t1);
             posted.push(cmd);
         }
         // poll until all parts complete (busy polling), resubmitting any
@@ -779,11 +937,13 @@ impl DlfsIo {
             .map(|(p, &cmd)| (cmd, p as u32))
             .collect();
         let mut left = posted.len();
+        let t_poll = rt.now();
         while left > 0 {
             rt.work(costs.poll_iteration);
-            self.metrics.poll_spins += 1;
+            self.tel.poll_spins.inc();
             let comps = self.qpairs[entry.nid() as usize].process_completions(rt, usize::MAX);
             if comps.is_empty() {
+                self.tel.scq_empty_polls.inc();
                 if let Some(t) = self.qpairs[entry.nid() as usize].next_completion_at() {
                     let now = rt.now();
                     if t > now {
@@ -791,22 +951,31 @@ impl DlfsIo {
                     }
                 }
             } else {
+                self.tel.scq_drains.inc();
+                self.tel.scq_drain_batch.record(comps.len() as u64);
                 for c in &comps {
                     rt.work(costs.per_completion);
-                    self.metrics.completions += 1;
-                    let p = part_of.remove(&c.id).expect("unknown command");
+                    self.tel.completions.inc();
+                    let Some(p) = part_of.remove(&c.id) else {
+                        // Not ours: the batched engine shares these qpairs
+                        // and its in-flight commands complete here too.
+                        let (idx, part) =
+                            self.inflight.remove(&c.id).expect("unknown command");
+                        self.engine_complete(idx, part, c.status.is_ok());
+                        continue;
+                    };
                     if c.status.is_ok() {
                         left -= 1;
                         continue;
                     }
                     // Retry the failed part.
-                    self.metrics.retries += 1;
+                    self.tel.retries.inc();
                     let start = p * blocks_per_chunk;
                     let nb = (nblocks - start).min(blocks_per_chunk);
                     rt.work(costs.prep_request + costs.post_request);
                     let cmd = self.next_cmd;
                     self.next_cmd += 1;
-                    self.metrics.requests_posted += 1;
+                    self.tel.requests_posted.inc();
                     self.qpairs[entry.nid() as usize]
                         .submit_read(rt, cmd, slba + start as u64, nb, bufs[p as usize].clone(), 0)
                         .expect("retry exceeds queue depth");
@@ -814,6 +983,7 @@ impl DlfsIo {
                 }
             }
         }
+        self.tel.poll_ns.record_dur(rt.now() - t_poll);
         // copy stage through the pool.
         let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
         let mut segments = Vec::new();
@@ -832,6 +1002,7 @@ impl DlfsIo {
             remaining -= take;
             off = 0;
         }
+        let t_copy = rt.now();
         rt.work(costs.copy_dispatch);
         self.shared.copy.submit(CopyJob {
             tag: 0,
@@ -840,8 +1011,9 @@ impl DlfsIo {
             done: done_tx,
         });
         let done = done_rx.recv().expect("copy pool alive");
-        self.metrics.samples_delivered += 1;
-        self.metrics.bytes_delivered += done.data.len() as u64;
+        self.tel.samples_delivered.inc();
+        self.tel.bytes_delivered.add(done.data.len() as u64);
+        self.tel.copy_ns.record_dur(rt.now() - t_copy);
         for b in bufs {
             self.shared.cache.free_raw(b);
         }

@@ -32,9 +32,16 @@
 //!     // dlfs_sequence + dlfs_bread: mini-batches of random samples.
 //!     let mut io = fs.io(0);
 //!     io.sequence(rt, 123, 0);
-//!     let batch = io.bread(rt, 32, Dur::ZERO).unwrap();
+//!     let batch = io
+//!         .submit(rt, &dlfs::ReadRequest::batch(32))
+//!         .unwrap()
+//!         .into_copied();
 //!     assert_eq!(batch.len(), 32);
 //!     assert!(batch.iter().all(|(id, data)| data == &source.expected(*id)));
+//!
+//!     // Every delivery is accounted in the telemetry registry.
+//!     let m = io.metrics();
+//!     assert_eq!(m.counter("dlfs.io.samples_delivered"), 32);
 //! });
 //! ```
 
@@ -50,6 +57,7 @@ pub mod error;
 pub mod io;
 pub mod mount;
 pub mod plan;
+pub mod request;
 pub mod source;
 pub mod zerocopy;
 
@@ -58,8 +66,9 @@ pub use config::{BatchMode, DlfsConfig, DlfsCosts};
 pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 pub use entry::SampleEntry;
 pub use error::DlfsError;
-pub use io::{DlfsIo, DlfsShared, IoMetrics};
+pub use io::{DlfsIo, DlfsShared};
 pub use mount::{mount, mount_local, Deployment, DlfsInstance, MountOptions};
 pub use plan::{build_epoch_plan, full_random_order, EpochPlan, FetchItem, ReaderPlan};
+pub use request::{Batch, Delivery, ReadRequest};
 pub use source::{SampleSource, SyntheticSource};
 pub use zerocopy::ZeroCopySample;

@@ -100,6 +100,13 @@ impl DlfsInstance {
         DlfsIo::new(self.shared[r].clone())
     }
 
+    /// Create an I/O handle for reader `r` that records its telemetry
+    /// into `reg` (several handles may share one registry; counters and
+    /// histograms then aggregate across them).
+    pub fn io_with_registry(&self, r: usize, reg: &simkit::telemetry::Registry) -> DlfsIo {
+        DlfsIo::with_registry(self.shared[r].clone(), reg)
+    }
+
     /// Shared per-reader state (cache stats etc.).
     pub fn shared(&self, r: usize) -> &Arc<DlfsShared> {
         &self.shared[r]

@@ -1,0 +1,178 @@
+//! The batched read-request API: a builder describing *what* to deliver
+//! (`ReadRequest`) and a tagged result carrying *how* it was delivered
+//! (`Batch`), executed by [`DlfsIo::submit`](crate::DlfsIo::submit).
+//!
+//! This replaces the older positional `bread(rt, n, inject)` /
+//! `bread_zero_copy(rt, n)` pair: one entry point, with the delivery mode,
+//! the injected-compute hook (Fig. 7b) and an optional virtual-time
+//! deadline expressed as explicit request fields.
+
+use simkit::time::{Dur, Time};
+
+use crate::zerocopy::ZeroCopySample;
+
+/// How sample payloads reach the application.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Delivery {
+    /// Copy-thread pool moves bytes into application buffers (the paper's
+    /// normal `dlfs_bread` path).
+    #[default]
+    Copied,
+    /// Samples reference pinned sample-cache chunks; no memcpy, and the
+    /// chunks return to the pool when the application drops them.
+    ZeroCopy,
+}
+
+/// A batched read of the current epoch plan.
+///
+/// ```
+/// use dlfs::{Delivery, ReadRequest};
+/// use simkit::time::Dur;
+///
+/// let req = ReadRequest::batch(32)
+///     .delivery(Delivery::ZeroCopy)
+///     .inject_compute(Dur::micros(5));
+/// assert_eq!(req.n, 32);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadRequest {
+    /// Number of samples requested. The engine delivers
+    /// `min(n, remaining)` and errors with `EpochExhausted` at zero.
+    pub n: usize,
+    /// Payload delivery mode.
+    pub delivery: Delivery,
+    /// Virtual-time instant after which no *further* samples are started.
+    /// Samples already handed to the copy threads still drain, so the batch
+    /// returns possibly short but never torn. `None` means run to `n`.
+    pub deadline: Option<Time>,
+    /// Application computation executed inside the busy-poll loop while
+    /// device commands are in flight (the Fig. 7b experiment). Normally
+    /// zero.
+    pub inject_compute: Dur,
+}
+
+impl ReadRequest {
+    /// A copied-delivery request for `n` samples with no deadline.
+    pub fn batch(n: usize) -> ReadRequest {
+        ReadRequest {
+            n,
+            delivery: Delivery::default(),
+            deadline: None,
+            inject_compute: Dur::ZERO,
+        }
+    }
+
+    /// Set the delivery mode.
+    pub fn delivery(mut self, delivery: Delivery) -> ReadRequest {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Shorthand for `delivery(Delivery::ZeroCopy)`.
+    pub fn zero_copy(self) -> ReadRequest {
+        self.delivery(Delivery::ZeroCopy)
+    }
+
+    /// Stop starting new samples once the virtual clock reaches `at`.
+    pub fn deadline(mut self, at: Time) -> ReadRequest {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Inject application compute into the polling loop.
+    pub fn inject_compute(mut self, work: Dur) -> ReadRequest {
+        self.inject_compute = work;
+        self
+    }
+}
+
+/// The result of one [`ReadRequest`], tagged by delivery mode.
+#[derive(Debug)]
+pub enum Batch {
+    /// `(sample id, payload)` pairs from the copy pool.
+    Copied(Vec<(u32, Vec<u8>)>),
+    /// Zero-copy samples referencing pinned sample-cache chunks.
+    ZeroCopy(Vec<ZeroCopySample>),
+}
+
+impl Batch {
+    /// Samples delivered.
+    pub fn len(&self) -> usize {
+        match self {
+            Batch::Copied(v) => v.len(),
+            Batch::ZeroCopy(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The delivered sample ids, in delivery order.
+    pub fn sample_ids(&self) -> Vec<u32> {
+        match self {
+            Batch::Copied(v) => v.iter().map(|(id, _)| *id).collect(),
+            Batch::ZeroCopy(v) => v.iter().map(|s| s.id).collect(),
+        }
+    }
+
+    /// Unwrap a copied-delivery batch.
+    ///
+    /// # Panics
+    /// If the batch was delivered zero-copy.
+    pub fn into_copied(self) -> Vec<(u32, Vec<u8>)> {
+        match self {
+            Batch::Copied(v) => v,
+            Batch::ZeroCopy(_) => panic!("batch was delivered zero-copy"),
+        }
+    }
+
+    /// Unwrap a zero-copy batch.
+    ///
+    /// # Panics
+    /// If the batch was delivered through the copy pool.
+    pub fn into_zero_copy(self) -> Vec<ZeroCopySample> {
+        match self {
+            Batch::ZeroCopy(v) => v,
+            Batch::Copied(_) => panic!("batch was delivered through the copy pool"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let req = ReadRequest::batch(16);
+        assert_eq!(req.n, 16);
+        assert_eq!(req.delivery, Delivery::Copied);
+        assert_eq!(req.deadline, None);
+        assert!(req.inject_compute.is_zero());
+
+        let at = Time::ZERO + Dur::nanos(500);
+        let req = ReadRequest::batch(8)
+            .zero_copy()
+            .deadline(at)
+            .inject_compute(Dur::micros(2));
+        assert_eq!(req.delivery, Delivery::ZeroCopy);
+        assert_eq!(req.deadline, Some(at));
+        assert_eq!(req.inject_compute, Dur::micros(2));
+    }
+
+    #[test]
+    fn batch_accessors() {
+        let b = Batch::Copied(vec![(3, vec![1, 2]), (5, vec![4])]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.sample_ids(), vec![3, 5]);
+        assert_eq!(b.into_copied().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-copy")]
+    fn wrong_variant_panics() {
+        Batch::ZeroCopy(Vec::new()).into_copied();
+    }
+}

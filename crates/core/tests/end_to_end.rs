@@ -6,8 +6,8 @@ use std::sync::Arc;
 use blocksim::{DeviceConfig, NvmeDevice, NvmeTarget};
 use dlfs::source::SampleSource;
 use dlfs::{
-    mount, mount_local, BatchMode, Deployment, DlfsConfig, DlfsError, MountOptions,
-    SyntheticSource,
+    mount, mount_local, Batch, BatchMode, Deployment, DlfsConfig, DlfsError, MountOptions,
+    ReadRequest, SyntheticSource,
 };
 use fabric::{Cluster, FabricConfig, NvmeOfTarget, TargetConfig};
 use simkit::prelude::*;
@@ -61,7 +61,7 @@ fn local_mount_bread_verifies_payloads() {
         let mut seen = vec![false; 5000];
         let mut read = 0;
         while read < 2000 {
-            let batch = io.bread(rt, 32, Dur::ZERO).unwrap();
+            let batch = io.submit(rt, &ReadRequest::batch(32)).unwrap().into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &source.expected(*id), "payload mismatch for {id}");
                 assert!(!seen[*id as usize], "duplicate delivery {id}");
@@ -70,14 +70,19 @@ fn local_mount_bread_verifies_payloads() {
             read += batch.len();
         }
         let m = io.metrics();
-        assert_eq!(m.samples_delivered, read as u64);
-        assert_eq!(m.bytes_delivered, read as u64 * 2048);
+        assert_eq!(m.counter("dlfs.io.samples_delivered"), read as u64);
+        assert_eq!(m.counter("dlfs.io.bytes_delivered"), read as u64 * 2048);
         // Chunk batching: far fewer device requests than samples.
         assert!(
-            m.requests_posted < 200,
+            m.counter("dlfs.io.requests_posted") < 200,
             "expected chunked fetches, got {} requests",
-            m.requests_posted
+            m.counter("dlfs.io.requests_posted")
         );
+        // The stage histograms saw every pipeline phase.
+        for stage in ["prep", "post", "poll", "copy"] {
+            let h = m.histogram(&format!("dlfs.io.stage.{stage}_ns"));
+            assert!(h.count > 0, "stage {stage} unrecorded");
+        }
     });
 }
 
@@ -90,7 +95,7 @@ fn full_epoch_delivers_every_sample_once() {
         let total = io.sequence(rt, 5, 0);
         let mut seen = vec![false; total];
         loop {
-            match io.bread(rt, 64, Dur::ZERO) {
+            match io.submit(rt, &ReadRequest::batch(64)).map(Batch::into_copied) {
                 Ok(batch) => {
                     for (id, data) in batch {
                         assert!(!seen[id as usize]);
@@ -137,7 +142,7 @@ fn bread_before_sequence_errors() {
         let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
         let mut io = fs.io(0);
         assert!(matches!(
-            io.bread(rt, 8, Dur::ZERO),
+            io.submit(rt, &ReadRequest::batch(8)),
             Err(DlfsError::NoSequence)
         ));
     });
@@ -149,8 +154,10 @@ fn sample_level_mode_for_large_samples() {
         // 512 KB samples: auto mode must pick sample-level batching, with
         // multi-chunk (multi-part) fetches.
         let source = SyntheticSource::fixed(8, 64, 512 * 1024);
-        let mut cfg = DlfsConfig::default();
-        cfg.pool_chunks = 128;
+        let cfg = DlfsConfig {
+            pool_chunks: 128,
+            ..Default::default()
+        };
         let fs = mount_local(rt, local_device(), &source, cfg.clone()).unwrap();
         assert_eq!(
             cfg.effective_mode(fs.dir.avg_sample_bytes()),
@@ -158,12 +165,12 @@ fn sample_level_mode_for_large_samples() {
         );
         let mut io = fs.io(0);
         io.sequence(rt, 1, 0);
-        let batch = io.bread(rt, 16, Dur::ZERO).unwrap();
+        let batch = io.submit(rt, &ReadRequest::batch(16)).unwrap().into_copied();
         for (id, data) in &batch {
             assert_eq!(data, &source.expected(*id));
         }
         // Each sample needs 2 chunks → ≥2 requests per sample.
-        assert!(io.metrics().requests_posted >= 32);
+        assert!(io.metrics().counter("dlfs.io.requests_posted") >= 32);
     });
 }
 
@@ -172,17 +179,19 @@ fn edge_samples_cross_chunk_boundaries_correctly() {
     Runtime::simulate(6, |rt| {
         // 3000-byte samples in 4 KiB chunks: lots of edge samples.
         let source = SyntheticSource::fixed(2, 500, 3000);
-        let mut cfg = DlfsConfig::default();
-        cfg.chunk_size = 4096;
-        cfg.pool_chunks = 256;
-        cfg.window_chunks = 8;
-        cfg.batch_mode = BatchMode::ChunkLevel;
+        let cfg = DlfsConfig {
+            chunk_size: 4096,
+            pool_chunks: 256,
+            window_chunks: 8,
+            batch_mode: BatchMode::ChunkLevel,
+            ..Default::default()
+        };
         let fs = mount_local(rt, local_device(), &source, cfg).unwrap();
         let mut io = fs.io(0);
         let total = io.sequence(rt, 9, 0);
         let mut delivered = 0;
         while delivered < total {
-            let batch = io.bread(rt, 50, Dur::ZERO).unwrap();
+            let batch = io.submit(rt, &ReadRequest::batch(50)).unwrap().into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &source.expected(*id), "edge sample {id} corrupted");
             }
@@ -200,11 +209,11 @@ fn multi_epoch_reshuffles() {
         io.sequence(rt, 42, 0);
         let e0: Vec<u32> = io.planned_order().unwrap().to_vec();
         // Drain epoch 0.
-        while io.bread(rt, 64, Dur::ZERO).is_ok() {}
+        while io.submit(rt, &ReadRequest::batch(64)).is_ok() {}
         io.sequence(rt, 42, 1);
         let e1: Vec<u32> = io.planned_order().unwrap().to_vec();
         assert_ne!(e0, e1);
-        let batch = io.bread(rt, 32, Dur::ZERO).unwrap();
+        let batch = io.submit(rt, &ReadRequest::batch(32)).unwrap().into_copied();
         assert_eq!(batch.len(), 32);
     });
 }
@@ -237,7 +246,7 @@ fn disaggregated_mount_and_bread_all_readers() {
                 let mut io = fs.io(r);
                 let mine = io.sequence(rt, 99, 0);
                 let mut got = Vec::with_capacity(mine);
-                while let Ok(batch) = io.bread(rt, 32, Dur::ZERO) {
+                while let Ok(batch) = io.submit(rt, &ReadRequest::batch(32)).map(Batch::into_copied) {
                     for (id, data) in batch {
                         assert_eq!(data, source.expected(id));
                         got.push(id);
@@ -303,7 +312,7 @@ fn batching_beats_synchronous_reads() {
         let t0 = rt.now();
         let mut got = 0;
         while got < 2000 {
-            got += io.bread(rt, 32, Dur::ZERO).unwrap().len();
+            got += io.submit(rt, &ReadRequest::batch(32)).unwrap().into_copied().len();
         }
         (rt.now() - t0).as_nanos()
     })
@@ -340,7 +349,10 @@ fn compute_injection_overlaps_with_io() {
             let t0 = rt.now();
             let mut got = 0;
             while got < 640 {
-                got += io.bread(rt, 32, inject).unwrap().len();
+                got += io
+                    .submit(rt, &ReadRequest::batch(32).inject_compute(inject))
+                    .unwrap()
+                    .len();
             }
             (rt.now() - t0).as_secs_f64()
         })
@@ -364,7 +376,7 @@ fn v_bit_fast_path_serves_from_cache() {
         let mut io = fs.io(0);
         io.sequence(rt, 3, 0);
         // Fetch one batch so some chunks are resident with V bits set.
-        let batch = io.bread(rt, 8, Dur::ZERO).unwrap();
+        let batch = io.submit(rt, &ReadRequest::batch(8)).unwrap().into_copied();
         let _ = batch;
         // Find a sample whose V bit is on.
         let resident = (0..2000u32).find(|&id| fs.dir.is_valid(id));
@@ -392,7 +404,7 @@ fn mid_epoch_resequence_releases_everything() {
         for epoch in 0..6u64 {
             io.sequence(rt, 21, epoch);
             // Read only a fragment, leaving the pipeline full.
-            let batch = io.bread(rt, 40, Dur::ZERO).unwrap();
+            let batch = io.submit(rt, &ReadRequest::batch(40)).unwrap().into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &source.expected(*id), "epoch {epoch} sample {id}");
             }
@@ -402,7 +414,7 @@ fn mid_epoch_resequence_releases_everything() {
         let mut seen = vec![false; total];
         let mut read = 0;
         while read < total {
-            let batch = io.bread(rt, 64, Dur::ZERO).unwrap();
+            let batch = io.submit(rt, &ReadRequest::batch(64)).unwrap().into_copied();
             for (id, data) in &batch {
                 assert!(!seen[*id as usize], "duplicate {id}");
                 seen[*id as usize] = true;

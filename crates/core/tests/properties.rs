@@ -1,77 +1,95 @@
-//! Property-based tests for DLFS core data structures: the AVL directory,
-//! packed entries, and the batching planner's coverage invariants.
+//! Randomized property tests for DLFS core data structures: the AVL
+//! directory, packed entries, and the batching planner's coverage
+//! invariants. Cases come from seeded [`SplitMix64`] streams so failures
+//! replay exactly.
 
 use dlfs::avl::AvlTree;
 use dlfs::plan::{build_epoch_plan, windowed_delivery, FetchItem};
 use dlfs::{BatchMode, DirectoryBuilder, SampleEntry};
-use proptest::prelude::*;
 use simkit::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn entry_roundtrips(
-        nid in 0u16..=u16::MAX,
-        key in 0u64..(1u64 << 48),
-        offset in 0u64..(1u64 << 40),
-        len in 1u64..(1u64 << 23),
-        valid: bool,
-    ) {
+#[test]
+fn entry_roundtrips() {
+    for case in 0..256 {
+        let mut g = SplitMix64::derive(0xE017, case);
+        let nid = g.below(1 << 16) as u16;
+        let key = g.below(1 << 48);
+        let offset = g.below(1 << 40);
+        let len = g.range(1, 1 << 23);
+        let valid = g.below(2) == 1;
         let e = SampleEntry::new(nid, key, offset, len, valid);
-        prop_assert_eq!(e.nid(), nid);
-        prop_assert_eq!(e.key(), key);
-        prop_assert_eq!(e.offset(), offset);
-        prop_assert_eq!(e.len(), len);
-        prop_assert_eq!(e.valid(), valid);
+        assert_eq!(e.nid(), nid);
+        assert_eq!(e.key(), key);
+        assert_eq!(e.offset(), offset);
+        assert_eq!(e.len(), len);
+        assert_eq!(e.valid(), valid);
         let (u1, u2) = e.raw();
-        prop_assert_eq!(SampleEntry::from_raw(u1, u2), e);
+        assert_eq!(SampleEntry::from_raw(u1, u2), e);
     }
+}
 
-    #[test]
-    fn avl_holds_what_was_inserted(keys in prop::collection::vec(0u64..(1 << 48), 1..400)) {
+#[test]
+fn avl_holds_what_was_inserted() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xA71, case);
+        let n = g.range(1, 400) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| g.below(1 << 48)).collect();
         let mut tree = AvlTree::new();
         let mut inserted = std::collections::HashSet::new();
         for &k in &keys {
             let _ = tree.insert(k, k * 2 + 1);
             inserted.insert(k);
         }
-        prop_assert_eq!(tree.len(), inserted.len());
-        tree.validate().map_err(TestCaseError::fail)?;
+        assert_eq!(tree.len(), inserted.len());
+        tree.validate().unwrap();
         for &k in &inserted {
-            prop_assert_eq!(tree.get(k), Some(&(k * 2 + 1)));
+            assert_eq!(tree.get(k), Some(&(k * 2 + 1)));
         }
         // Keys not inserted aren't found.
         for probe in [0u64, 1, (1 << 48) - 1, 12345] {
             if !inserted.contains(&probe) {
-                prop_assert_eq!(tree.get(probe), None);
+                assert_eq!(tree.get(probe), None);
             }
         }
         // AVL height bound.
         let bound = (1.45 * (tree.len().max(2) as f64).log2() + 2.0) as u32;
-        prop_assert!(tree.height() <= bound, "height {} for {} keys", tree.height(), tree.len());
+        assert!(
+            tree.height() <= bound,
+            "height {} for {} keys",
+            tree.height(),
+            tree.len()
+        );
     }
+}
 
-    #[test]
-    fn avl_inorder_is_sorted(keys in prop::collection::vec(0u64..(1 << 48), 1..300)) {
+#[test]
+fn avl_inorder_is_sorted() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xA72, case);
+        let n = g.range(1, 300) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| g.below(1 << 48)).collect();
         let mut tree = AvlTree::new();
         for &k in &keys {
             let _ = tree.insert(k, ());
         }
         let inorder: Vec<u64> = tree.iter().map(|(k, _)| k).collect();
-        prop_assert!(inorder.windows(2).all(|w| w[0] < w[1]));
-        prop_assert_eq!(inorder.len(), tree.len());
+        assert!(inorder.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(inorder.len(), tree.len());
     }
+}
 
-    #[test]
-    fn plan_covers_each_sample_once(
-        nodes in 1usize..5,
-        readers in 1usize..5,
-        samples in 1usize..400,
-        chunk_kb in 1u64..64,
-        sample_level: bool,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn plan_covers_each_sample_once() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x91A7, case);
+        let nodes = g.range(1, 5) as usize;
+        let readers = g.range(1, 5) as usize;
+        let samples = g.range(1, 400) as usize;
+        let chunk_kb = g.range(1, 64);
+        let sample_level = g.below(2) == 1;
+        let seed = g.below(1000);
         let mut b = DirectoryBuilder::new(nodes, samples);
         let mut cursors = vec![0u64; nodes];
         let mut rng = SplitMix64::new(seed);
@@ -83,33 +101,39 @@ proptest! {
             cursors[nid as usize] += len;
         }
         let dir = b.finish();
-        let mode = if sample_level { BatchMode::SampleLevel } else { BatchMode::ChunkLevel };
+        let mode = if sample_level {
+            BatchMode::SampleLevel
+        } else {
+            BatchMode::ChunkLevel
+        };
         let plan = build_epoch_plan(&dir, chunk_kb * 1024, readers, mode, 8, seed, 0);
         let mut seen = vec![false; samples];
         for r in &plan.readers {
-            prop_assert_eq!(r.order.len(), r.item_of.len());
+            assert_eq!(r.order.len(), r.item_of.len());
             for (pos, &s) in r.order.iter().enumerate() {
-                prop_assert!(!seen[s as usize], "sample {} twice", s);
+                assert!(!seen[s as usize], "sample {} twice", s);
                 seen[s as usize] = true;
                 // item_of consistency.
                 let it = &r.items[r.item_of[pos] as usize];
-                prop_assert!(it.samples.contains(&s));
+                assert!(it.samples.contains(&s));
                 // The sample's byte range lies inside its item's range.
                 let e = dir.entry(s);
-                prop_assert_eq!(e.nid(), it.nid);
-                prop_assert!(e.offset() >= it.offset);
-                prop_assert!(e.offset() + e.len() <= it.offset + it.len);
+                assert_eq!(e.nid(), it.nid);
+                assert!(e.offset() >= it.offset);
+                assert!(e.offset() + e.len() <= it.offset + it.len);
             }
         }
-        prop_assert!(seen.iter().all(|&x| x));
+        assert!(seen.iter().all(|&x| x));
     }
+}
 
-    #[test]
-    fn windowed_delivery_respects_item_order_and_window(
-        n_items in 1usize..30,
-        window in 1usize..10,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn windowed_delivery_respects_item_order_and_window() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x3177, case);
+        let n_items = g.range(1, 30) as usize;
+        let window = g.range(1, 10) as usize;
+        let seed = g.below(500);
         let items: Vec<FetchItem> = (0..n_items as u32)
             .map(|i| FetchItem {
                 nid: 0,
@@ -121,11 +145,10 @@ proptest! {
         let total: usize = items.iter().map(|i| i.samples.len()).sum();
         let mut rng = SplitMix64::new(seed);
         let plan = windowed_delivery(items, window, &mut rng);
-        prop_assert_eq!(plan.order.len(), total);
+        assert_eq!(plan.order.len(), total);
         // Window invariant: at any delivery position, at most `window`
         // distinct unfinished items may be interleaved. Track open set.
-        let mut remaining: Vec<usize> =
-            plan.items.iter().map(|i| i.samples.len()).collect();
+        let mut remaining: Vec<usize> = plan.items.iter().map(|i| i.samples.len()).collect();
         let mut open: std::collections::HashSet<u32> = Default::default();
         let mut max_open = 0;
         for (pos, &_s) in plan.order.iter().enumerate() {
@@ -137,6 +160,6 @@ proptest! {
                 open.remove(&it);
             }
         }
-        prop_assert!(max_open <= window, "open {} > window {}", max_open, window);
+        assert!(max_open <= window, "open {} > window {}", max_open, window);
     }
 }

@@ -1,0 +1,224 @@
+//! Tests for the redesigned read/metrics API surface: the `ReadRequest` +
+//! `submit` path must be observationally equivalent to the deprecated
+//! `bread`/`bread_zero_copy` entry points, and the telemetry registry must
+//! be byte-for-byte deterministic under a fixed seed.
+
+use blocksim::{DeviceConfig, NvmeDevice};
+use dlfs::{mount_local, DlfsConfig, ReadRequest, SyntheticSource};
+use simkit::prelude::*;
+
+fn mount(rt: &Runtime, source: &SyntheticSource) -> dlfs::DlfsInstance {
+    let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
+    mount_local(rt, dev, source, DlfsConfig::default()).unwrap()
+}
+
+// ------------------------------------------------------------ determinism --
+
+/// Same seed, same workload ⇒ the rendered telemetry report is identical
+/// down to the byte, including every histogram quantile.
+#[test]
+fn telemetry_report_is_deterministic() {
+    let run = || {
+        Runtime::simulate(77, |rt| {
+            let source = SyntheticSource::fixed(9, 4000, 2048);
+            let fs = mount(rt, &source);
+            let mut io = fs.io(0);
+            io.sequence(rt, 13, 0);
+            let mut read = 0;
+            while read < 2000 {
+                read += io.submit(rt, &ReadRequest::batch(48)).unwrap().len();
+            }
+            io.metrics().render()
+        })
+        .0
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "telemetry report must be byte-identical across runs");
+    // The report covers both the dlfs stage histograms and the block layer.
+    for needle in [
+        "dlfs.io.samples_delivered",
+        "dlfs.io.stage.prep_ns",
+        "dlfs.io.stage.poll_ns",
+        "dlfs.io.stage.copy_ns",
+        "blocksim.dev0.commands",
+    ] {
+        assert!(a.contains(needle), "report missing {needle}:\n{a}");
+    }
+}
+
+/// The virtual clock itself is part of the determinism contract: two runs
+/// must also end at the same virtual instant.
+#[test]
+fn virtual_time_is_deterministic_under_telemetry() {
+    let run = || {
+        Runtime::simulate(31, |rt| {
+            let source = SyntheticSource::fixed(2, 1500, 4096);
+            let fs = mount(rt, &source);
+            let mut io = fs.io(0);
+            io.sequence(rt, 5, 0);
+            while io.submit(rt, &ReadRequest::batch(64)).is_ok() {}
+            rt.now().nanos()
+        })
+        .0
+    };
+    assert_eq!(run(), run());
+}
+
+// ------------------------------------------------------------ equivalence --
+
+/// `submit(ReadRequest::batch(n))` delivers exactly the samples — and costs
+/// exactly the virtual time — of the deprecated `bread`.
+#[test]
+#[allow(deprecated)]
+fn submit_equals_deprecated_bread() {
+    let run = |use_submit: bool| {
+        Runtime::simulate(19, |rt| {
+            let source = SyntheticSource::fixed(3, 2500, 1536);
+            let fs = mount(rt, &source);
+            let mut io = fs.io(0);
+            io.sequence(rt, 11, 0);
+            let mut samples = Vec::new();
+            for _ in 0..20 {
+                let batch = if use_submit {
+                    io.submit(rt, &ReadRequest::batch(40)).unwrap().into_copied()
+                } else {
+                    io.bread(rt, 40, Dur::ZERO).unwrap()
+                };
+                samples.extend(batch);
+            }
+            (samples, rt.now().nanos())
+        })
+        .0
+    };
+    let (new_samples, new_t) = run(true);
+    let (old_samples, old_t) = run(false);
+    assert_eq!(new_samples, old_samples, "same samples in the same order");
+    assert_eq!(new_t, old_t, "same virtual-time cost");
+}
+
+/// Zero-copy equivalence: `ReadRequest::batch(n).zero_copy()` matches the
+/// deprecated `bread_zero_copy` in ids, payloads, and virtual time.
+#[test]
+#[allow(deprecated)]
+fn submit_equals_deprecated_bread_zero_copy() {
+    let run = |use_submit: bool| {
+        Runtime::simulate(23, |rt| {
+            let source = SyntheticSource::fixed(4, 2500, 1024);
+            let fs = mount(rt, &source);
+            let mut io = fs.io(0);
+            io.sequence(rt, 17, 0);
+            let mut ids = Vec::new();
+            let mut sums = Vec::new();
+            for _ in 0..15 {
+                let batch = if use_submit {
+                    io.submit(rt, &ReadRequest::batch(40).zero_copy())
+                        .unwrap()
+                        .into_zero_copy()
+                } else {
+                    io.bread_zero_copy(rt, 40).unwrap()
+                };
+                for s in &batch {
+                    ids.push(s.id);
+                    sums.push(s.fnv1a());
+                }
+            }
+            (ids, sums, rt.now().nanos())
+        })
+        .0
+    };
+    let (new_ids, new_sums, new_t) = run(true);
+    let (old_ids, old_sums, old_t) = run(false);
+    assert_eq!(new_ids, old_ids);
+    assert_eq!(new_sums, old_sums);
+    assert_eq!(new_t, old_t);
+}
+
+/// Injected per-sample compute flows through the builder identically to the
+/// old positional argument.
+#[test]
+#[allow(deprecated)]
+fn inject_compute_equivalence() {
+    let run = |use_submit: bool| {
+        Runtime::simulate(29, |rt| {
+            let source = SyntheticSource::fixed(6, 1200, 2048);
+            let fs = mount(rt, &source);
+            let mut io = fs.io(0);
+            io.sequence(rt, 2, 0);
+            let inject = Dur::micros(5);
+            let mut got = 0;
+            for _ in 0..8 {
+                got += if use_submit {
+                    io.submit(rt, &ReadRequest::batch(32).inject_compute(inject))
+                        .unwrap()
+                        .len()
+                } else {
+                    io.bread(rt, 32, inject).unwrap().len()
+                };
+            }
+            (got, rt.now().nanos())
+        })
+        .0
+    };
+    assert_eq!(run(true), run(false));
+}
+
+// --------------------------------------------------------------- deadline --
+
+/// A deadline mid-batch yields a short (but never torn) batch and bumps the
+/// miss counter; without a deadline the same request delivers in full.
+#[test]
+fn deadline_returns_short_batch() {
+    Runtime::simulate(41, |rt| {
+        let source = SyntheticSource::fixed(8, 3000, 4096);
+        let fs = mount(rt, &source);
+        let mut io = fs.io(0);
+        io.sequence(rt, 3, 0);
+        // Warm up so the pipeline is in steady state.
+        let full = io.submit(rt, &ReadRequest::batch(64)).unwrap();
+        assert_eq!(full.len(), 64);
+
+        // A deadline that's already expired: nothing new may start.
+        let past = rt.now();
+        rt.work(Dur::micros(10));
+        let short = io
+            .submit(rt, &ReadRequest::batch(64).deadline(past))
+            .unwrap();
+        assert!(
+            short.len() < 64,
+            "expired deadline must cut the batch short, got {}",
+            short.len()
+        );
+        let m = io.metrics();
+        assert!(
+            m.counter("dlfs.io.deadline_misses") >= 1,
+            "deadline miss must be counted"
+        );
+        // Every delivered sample is still whole and correct.
+        for (id, bytes) in short.into_copied() {
+            assert_eq!(bytes, source.expected(id));
+        }
+
+        // And the pipeline keeps working afterwards.
+        let next = io.submit(rt, &ReadRequest::batch(32)).unwrap();
+        assert_eq!(next.len(), 32);
+    });
+}
+
+/// Snapshot deltas: `since` isolates exactly one request's worth of work.
+#[test]
+fn snapshot_since_isolates_a_window() {
+    Runtime::simulate(53, |rt| {
+        let source = SyntheticSource::fixed(1, 2000, 1024);
+        let fs = mount(rt, &source);
+        let mut io = fs.io(0);
+        io.sequence(rt, 7, 0);
+        io.submit(rt, &ReadRequest::batch(100)).unwrap();
+        let before = io.metrics();
+        io.submit(rt, &ReadRequest::batch(25)).unwrap();
+        let delta = io.metrics().since(&before);
+        assert_eq!(delta.counter("dlfs.io.samples_delivered"), 25);
+        assert_eq!(delta.counter("dlfs.io.batches"), 1);
+    });
+}

@@ -5,11 +5,12 @@
 
 use std::sync::Arc;
 
-use dlfs::{DlfsInstance, DlfsIo};
+use dlfs::{DlfsInstance, DlfsIo, ReadRequest};
 use kernsim::Ext4Fs;
 use octofs::OctopusFs;
 use simkit::rng::SplitMix64;
 use simkit::runtime::Runtime;
+use simkit::telemetry::Snapshot;
 use simkit::time::Dur;
 
 /// One delivered training sample.
@@ -30,6 +31,14 @@ pub trait ReaderBackend: Send {
 
     /// Human-readable system name.
     fn label(&self) -> &'static str;
+
+    /// Snapshot of this backend's telemetry registry, under the unified
+    /// naming scheme (`dlfs.io.*`, `blocksim.dev*`, `kernsim.vfs.*`,
+    /// `octofs.*`, `fabric.*`). Backends without instrumentation return an
+    /// empty snapshot.
+    fn metrics(&self) -> Snapshot {
+        Snapshot::default()
+    }
 }
 
 // ---------------------------------------------------------------- DLFS --
@@ -60,20 +69,26 @@ impl ReaderBackend for DlfsBackend {
     }
 
     fn next_batch(&mut self, rt: &Runtime, n: usize) -> Option<Vec<Sample>> {
-        match self.io.bread(rt, n, self.inject_compute) {
+        let req = ReadRequest::batch(n).inject_compute(self.inject_compute);
+        match self.io.submit(rt, &req) {
             Ok(batch) => Some(
                 batch
+                    .into_copied()
                     .into_iter()
                     .map(|(id, bytes)| Sample { id, bytes })
                     .collect(),
             ),
             Err(dlfs::DlfsError::EpochExhausted) => None,
-            Err(e) => panic!("dlfs bread failed: {e}"),
+            Err(e) => panic!("dlfs submit failed: {e}"),
         }
     }
 
     fn label(&self) -> &'static str {
         "DLFS"
+    }
+
+    fn metrics(&self) -> Snapshot {
+        self.io.metrics()
     }
 }
 
@@ -131,6 +146,10 @@ impl ReaderBackend for DlfsBaseBackend {
 
     fn label(&self) -> &'static str {
         "DLFS-Base"
+    }
+
+    fn metrics(&self) -> Snapshot {
+        self.io.metrics()
     }
 }
 
@@ -195,6 +214,10 @@ impl ReaderBackend for Ext4Backend {
 
     fn label(&self) -> &'static str {
         "Ext4"
+    }
+
+    fn metrics(&self) -> Snapshot {
+        self.fs.metrics()
     }
 }
 
@@ -307,5 +330,9 @@ impl ReaderBackend for OctoBackend {
 
     fn label(&self) -> &'static str {
         "Octopus"
+    }
+
+    fn metrics(&self) -> Snapshot {
+        self.fs.metrics()
     }
 }

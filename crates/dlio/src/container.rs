@@ -59,7 +59,7 @@ impl TfRecordDataset {
                 })
                 .collect();
             let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
-            let bytes = tfrecord_write(&refs).to_vec();
+            let bytes = tfrecord_write(&refs);
             let index = tfrecord_index(&bytes).expect("self-produced container parses");
             debug_assert_eq!(index.len(), payloads.len());
             for (k, &(off, len)) in index.iter().enumerate() {

@@ -7,8 +7,6 @@
 //! pipeline experiments and the partial-shuffle demonstration run against
 //! the genuine article.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 /// CRC-32C (Castagnoli), as used by TFRecord framing.
 pub fn crc32c(data: &[u8]) -> u32 {
     const POLY: u32 = 0x82F6_3B78;
@@ -53,17 +51,17 @@ impl std::error::Error for FormatError {}
 
 /// Serialize records into TFRecord framing:
 /// `u64 length | u32 masked_crc(length) | data | u32 masked_crc(data)`.
-pub fn tfrecord_write(records: &[&[u8]]) -> Bytes {
+pub fn tfrecord_write(records: &[&[u8]]) -> Vec<u8> {
     let total: usize = records.iter().map(|r| r.len() + 16).sum();
-    let mut out = BytesMut::with_capacity(total);
+    let mut out = Vec::with_capacity(total);
     for r in records {
         let len = (r.len() as u64).to_le_bytes();
-        out.put_slice(&len);
-        out.put_u32_le(masked_crc(&len));
-        out.put_slice(r);
-        out.put_u32_le(masked_crc(r));
+        out.extend_from_slice(&len);
+        out.extend_from_slice(&masked_crc(&len).to_le_bytes());
+        out.extend_from_slice(r);
+        out.extend_from_slice(&masked_crc(r).to_le_bytes());
     }
-    out.freeze()
+    out
 }
 
 /// Iterate TFRecord frames, verifying CRCs.
@@ -76,7 +74,7 @@ pub fn tfrecord_read(mut buf: &[u8]) -> Result<Vec<Vec<u8>>, FormatError> {
         let mut len_bytes = [0u8; 8];
         len_bytes.copy_from_slice(&buf[..8]);
         let len = u64::from_le_bytes(len_bytes) as usize;
-        let len_crc = (&buf[8..12]).get_u32_le();
+        let len_crc = u32::from_le_bytes(buf[8..12].try_into().unwrap());
         if len_crc != masked_crc(&len_bytes) {
             return Err(FormatError::BadLengthCrc);
         }
@@ -84,7 +82,7 @@ pub fn tfrecord_read(mut buf: &[u8]) -> Result<Vec<Vec<u8>>, FormatError> {
             return Err(FormatError::Truncated);
         }
         let data = &buf[12..12 + len];
-        let data_crc = (&buf[12 + len..12 + len + 4]).get_u32_le();
+        let data_crc = u32::from_le_bytes(buf[12 + len..12 + len + 4].try_into().unwrap());
         if data_crc != masked_crc(data) {
             return Err(FormatError::BadDataCrc);
         }
@@ -133,8 +131,8 @@ impl CifarGeometry {
         self.payload + 1
     }
 
-    pub fn write(&self, records: &[(u8, &[u8])]) -> Result<Bytes, FormatError> {
-        let mut out = BytesMut::with_capacity(records.len() * self.record_len());
+    pub fn write(&self, records: &[(u8, &[u8])]) -> Result<Vec<u8>, FormatError> {
+        let mut out = Vec::with_capacity(records.len() * self.record_len());
         for (label, data) in records {
             if data.len() != self.payload {
                 return Err(FormatError::BadGeometry(format!(
@@ -143,10 +141,10 @@ impl CifarGeometry {
                     self.payload
                 )));
             }
-            out.put_u8(*label);
-            out.put_slice(data);
+            out.push(*label);
+            out.extend_from_slice(data);
         }
-        Ok(out.freeze())
+        Ok(out)
     }
 
     pub fn read(&self, buf: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, FormatError> {

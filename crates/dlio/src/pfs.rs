@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use simkit::plock::Mutex;
 use simkit::resource::Link;
 use simkit::runtime::Runtime;
 use simkit::time::Dur;

@@ -85,14 +85,14 @@ impl Conv1d {
         let mut dx = Matrix::zeros(grad.rows, self.in_ch * in_len);
         for r in 0..grad.rows {
             let xin = self.input.row(r);
-            for oc in 0..self.out_ch {
+            for (oc, dbo) in db.iter_mut().enumerate() {
                 let wrow_start = oc * (self.in_ch * self.k);
                 for t in 0..out_len {
                     let g = grad.data[r * (self.out_ch * out_len) + oc * out_len + t];
                     if g == 0.0 {
                         continue;
                     }
-                    db[oc] += g;
+                    *dbo += g;
                     for ic in 0..self.in_ch {
                         let xbase = ic * in_len + t;
                         let wbase = ic * self.k;
@@ -360,10 +360,10 @@ mod tests {
             conv.backward_update(&dz, 0.1, 0.8);
             // Track accuracy.
             let mut correct = 0;
-            for r in 0..n {
+            for (r, &y) in ys.iter().enumerate().take(n) {
                 let row = logits.row(r);
                 let pred = if row[1] > row[0] { 1u8 } else { 0 };
-                if pred == ys[r] {
+                if pred == y {
                     correct += 1;
                 }
             }

@@ -155,15 +155,15 @@ pub fn softmax_xent(logits: &Matrix, labels: &[u8]) -> (f32, Matrix) {
     assert_eq!(logits.rows, labels.len());
     let mut grad = Matrix::zeros(logits.rows, logits.cols);
     let mut loss = 0.0f32;
-    for r in 0..logits.rows {
+    for (r, &label) in labels.iter().enumerate() {
         let row = logits.row(r);
         let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|v| (v - m).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let y = labels[r] as usize;
+        let y = label as usize;
         loss += -(exps[y] / sum).max(1e-12).ln();
-        for c in 0..logits.cols {
-            let p = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             grad.data[r * logits.cols + c] = p - if c == y { 1.0 } else { 0.0 };
         }
     }
@@ -185,7 +185,7 @@ mod tests {
             let noise = || (SplitMix64::new(0), 0.0).1; // no noise needed
             let _ = noise;
             xs.extend_from_slice(&[a * 2.0 - 1.0, b * 2.0 - 1.0]);
-            ys.push((((a as u8) ^ (b as u8))));
+            ys.push((a as u8) ^ (b as u8));
         }
         (Matrix::from_vec(200, 2, xs), ys)
     }

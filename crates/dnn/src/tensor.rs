@@ -1,8 +1,6 @@
 //! A minimal dense-matrix type with the operations an MLP trainer needs.
 //! Row-major `f32`, with a cache-blocked matmul parallelized over row
-//! bands via crossbeam scoped threads.
-
-use crossbeam::thread;
+//! bands via std scoped threads.
 
 /// Row-major matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,7 +65,7 @@ impl Matrix {
             gemm_band(&self.data, &rhs.data, &mut out.data, cols, ncols);
             return out;
         }
-        thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut chunks = out.data.chunks_mut(band * ncols);
             let mut lhs_rows = self.data.chunks(band * cols);
             for _ in 0..bands {
@@ -75,12 +73,11 @@ impl Matrix {
                     break;
                 };
                 let rhs = &rhs.data;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     gemm_band(lhs_chunk, rhs, out_chunk, cols, ncols);
                 });
             }
-        })
-        .expect("gemm threads");
+        });
         out
     }
 

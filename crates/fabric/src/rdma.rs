@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use simkit::plock::Mutex;
 use simkit::runtime::Runtime;
 use simkit::time::Dur;
 

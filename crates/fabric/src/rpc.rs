@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use simkit::chan::{Receiver, Sender};
 use simkit::runtime::Runtime;
+use simkit::telemetry::{Counter, Histo};
 use simkit::time::Time;
 
 use crate::topology::Cluster;
@@ -41,6 +42,8 @@ pub struct RpcClient<Req, Resp> {
     cluster: Arc<Cluster>,
     server_node: usize,
     tx: Sender<Envelope<Req, Resp>>,
+    calls: Counter,
+    latency_ns: Histo,
 }
 
 impl<Req, Resp> Clone for RpcClient<Req, Resp> {
@@ -49,6 +52,8 @@ impl<Req, Resp> Clone for RpcClient<Req, Resp> {
             cluster: self.cluster.clone(),
             server_node: self.server_node,
             tx: self.tx.clone(),
+            calls: self.calls.clone(),
+            latency_ns: self.latency_ns.clone(),
         }
     }
 }
@@ -66,6 +71,7 @@ impl<Req: Send + WireSize + 'static, Resp: Send + WireSize + 'static> RpcClient<
     /// the request's network time, the server's queueing + handler time, and
     /// the response's network time.
     pub fn call(&self, rt: &Runtime, from_node: usize, req: Req) -> Resp {
+        let started = rt.now();
         // Request crosses the fabric.
         let req_bytes = req.wire_bytes();
         let arrive = self
@@ -98,6 +104,8 @@ impl<Req: Send + WireSize + 'static, Resp: Send + WireSize + 'static> RpcClient<
         if !wait.is_zero() {
             rt.sleep(wait);
         }
+        self.calls.inc();
+        self.latency_ns.record_dur(rt.now() - started);
         resp
     }
 }
@@ -128,7 +136,10 @@ where
             let _ = env.reply_to.send(resp);
         }
     });
+    let scope = cluster.registry().scoped(&format!("fabric.rpc.{name}"));
     RpcClient {
+        calls: scope.counter("calls"),
+        latency_ns: scope.histogram("latency_ns"),
         cluster,
         server_node,
         tx,

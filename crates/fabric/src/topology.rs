@@ -9,6 +9,7 @@
 //! many remote NVMe devices.
 
 use simkit::resource::Link;
+use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
 use simkit::time::{Dur, Time};
 
 /// Network parameters.
@@ -46,12 +47,17 @@ impl FabricConfig {
 struct NodePort {
     tx: Link,
     rx: Link,
+    tx_bytes: Counter,
+    rx_bytes: Counter,
 }
 
 /// The cluster interconnect. Cheap to share via `Arc`.
 pub struct Cluster {
     cfg: FabricConfig,
     nodes: Vec<NodePort>,
+    registry: Registry,
+    transfers: Counter,
+    transfer_ns: Histo,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -65,15 +71,39 @@ impl std::fmt::Debug for Cluster {
 
 impl Cluster {
     pub fn new(nodes: usize, cfg: FabricConfig) -> Cluster {
+        Cluster::with_registry(nodes, cfg, &Registry::new())
+    }
+
+    /// Build a cluster whose telemetry lives under `fabric.*` in `reg`.
+    /// `reg` itself is retained as the shared root, so layers above the
+    /// fabric (RPC endpoints, octofs) can scope their own prefixes off it.
+    pub fn with_registry(nodes: usize, cfg: FabricConfig, reg: &Registry) -> Cluster {
         assert!(nodes > 0);
-        let mk = || NodePort {
+        let scope = reg.scoped("fabric");
+        let mk = |n: usize| NodePort {
             tx: Link::new(cfg.nic_bytes_per_sec, cfg.nic_latency),
             rx: Link::new(cfg.nic_bytes_per_sec, cfg.nic_latency),
+            tx_bytes: scope.counter(&format!("nic{n}.tx_bytes")),
+            rx_bytes: scope.counter(&format!("nic{n}.rx_bytes")),
         };
         Cluster {
-            nodes: (0..nodes).map(|_| mk()).collect(),
+            nodes: (0..nodes).map(mk).collect(),
+            transfers: scope.counter("transfers"),
+            transfer_ns: scope.histogram("transfer_ns"),
+            registry: reg.clone(),
             cfg,
         }
+    }
+
+    /// The shared root registry this cluster records its `fabric.*`
+    /// metrics in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot of the fabric metrics (NIC byte counters, transfer stats).
+    pub fn metrics(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 
     pub fn len(&self) -> usize {
@@ -97,13 +127,20 @@ impl Cluster {
     /// of the two ports governs.
     pub fn reserve_transfer(&self, now: Time, from: usize, to: usize, bytes: u64) -> Time {
         assert!(from < self.nodes.len() && to < self.nodes.len(), "bad node id");
+        self.transfers.inc();
         if from == to {
-            return now + self.cfg.rdma_overhead;
+            let done = now + self.cfg.rdma_overhead;
+            self.transfer_ns.record_dur(done - now);
+            return done;
         }
         let t0 = now + self.cfg.rdma_overhead;
         let tx_done = self.nodes[from].tx.reserve(t0, bytes) + self.cfg.switch_latency;
         let rx_done = self.nodes[to].rx.reserve(t0 + self.cfg.switch_latency, bytes);
-        tx_done.max(rx_done)
+        self.nodes[from].tx_bytes.add(bytes);
+        self.nodes[to].rx_bytes.add(bytes);
+        let done = tx_done.max(rx_done);
+        self.transfer_ns.record_dur(done - now);
+        done
     }
 
     /// Bytes moved through a node's egress / ingress so far.

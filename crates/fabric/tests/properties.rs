@@ -1,22 +1,23 @@
-//! Property-based tests for the fabric: transfer-time sanity, RDMA
+//! Randomized property tests for the fabric: transfer-time sanity, RDMA
 //! roundtrips under arbitrary offsets/lengths, and incast determinism.
+//! Cases come from seeded [`SplitMix64`] streams so failures replay exactly.
 
 use std::sync::Arc;
 
 use fabric::{Cluster, FabricConfig, MemoryRegion, RdmaQp};
-use proptest::prelude::*;
 use simkit::prelude::*;
+use simkit::time::Time;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn transfer_time_is_monotone_in_bytes(
-        a in 1u64..10_000_000,
-        b in 1u64..10_000_000,
-        from in 0usize..4,
-        to in 0usize..4,
-    ) {
+#[test]
+fn transfer_time_is_monotone_in_bytes() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x7A4F, case);
+        let a = g.range(1, 10_000_000);
+        let b = g.range(1, 10_000_000);
+        let from = g.below(4) as usize;
+        let to = g.below(4) as usize;
         // On an idle fabric, moving more bytes never arrives earlier.
         let (small, large) = (a.min(b), a.max(b));
         Runtime::simulate(0, |rt| {
@@ -24,34 +25,43 @@ proptest! {
             let t_small = c1.reserve_transfer(rt.now(), from, to, small);
             let c2 = Cluster::new(4, FabricConfig::default());
             let t_large = c2.reserve_transfer(rt.now(), from, to, large);
-            assert!(t_small <= t_large, "{small}B at {t_small:?} vs {large}B at {t_large:?}");
+            assert!(
+                t_small <= t_large,
+                "{small}B at {t_small:?} vs {large}B at {t_large:?}"
+            );
         });
     }
+}
 
-    #[test]
-    fn rdma_roundtrip_arbitrary_ranges(
-        len in 1usize..8192,
-        offset in 0usize..1024,
-        remote: bool,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn rdma_roundtrip_arbitrary_ranges() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x4D4A, case);
+        let len = g.range(1, 8192) as usize;
+        let offset = g.below(1024) as usize;
+        let remote = g.below(2) == 1;
+        let seed = g.below(1000);
         Runtime::simulate(seed, |rt| {
             let c = Arc::new(Cluster::new(2, FabricConfig::default()));
             let mr = MemoryRegion::register(if remote { 1 } else { 0 }, offset + len);
             let qp = RdmaQp::new(c, 0);
-            let payload: Vec<u8> = (0..len).map(|i| ((i * 31 + seed as usize) % 251) as u8).collect();
+            let payload: Vec<u8> = (0..len)
+                .map(|i| ((i * 31 + seed as usize) % 251) as u8)
+                .collect();
             qp.write(rt, &mr, offset, &payload);
             let mut out = vec![0u8; len];
             qp.read(rt, &mr, offset, &mut out);
             assert_eq!(out, payload);
         });
     }
+}
 
-    #[test]
-    fn incast_is_deterministic_and_nic_bounded(
-        senders in 2usize..6,
-        kb in 16u64..512,
-    ) {
+#[test]
+fn incast_is_deterministic_and_nic_bounded() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x14CA, case);
+        let senders = g.range(2, 6) as usize;
+        let kb = g.range(16, 512);
         let run = || {
             Runtime::simulate(7, |rt| {
                 let c = Cluster::new(senders + 1, FabricConfig::default());
@@ -65,18 +75,20 @@ proptest! {
         };
         let t1 = run();
         let t2 = run();
-        prop_assert_eq!(t1, t2, "incast must replay identically");
+        assert_eq!(t1, t2, "incast must replay identically");
         // The receiver NIC is the floor: total bytes / nic bandwidth.
         let total = (senders as u64) * (kb << 10);
         let floor_ns = (total as f64 / FabricConfig::default().nic_bytes_per_sec * 1e9) as u64;
-        prop_assert!(t1 >= floor_ns, "{t1} < NIC floor {floor_ns}");
+        assert!(t1 >= floor_ns, "{t1} < NIC floor {floor_ns}");
     }
+}
 
-    #[test]
-    fn fetch_add_totals_match(
-        clients in 1usize..4,
-        per_client in 1u64..20,
-    ) {
+#[test]
+fn fetch_add_totals_match() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xFE7C, case);
+        let clients = g.range(1, 4) as usize;
+        let per_client = g.range(1, 20);
         let (total, _) = Runtime::simulate(3, |rt| {
             let c = Arc::new(Cluster::new(clients + 1, FabricConfig::default()));
             let mr = MemoryRegion::register(clients, 8);
@@ -98,6 +110,6 @@ proptest! {
             mr.local_read(0, &mut out);
             u64::from_le_bytes(out)
         });
-        prop_assert_eq!(total, clients as u64 * per_client * 2);
+        assert_eq!(total, clients as u64 * per_client * 2);
     }
 }

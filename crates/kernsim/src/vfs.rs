@@ -12,8 +12,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use blocksim::NvmeTarget;
-use parking_lot::Mutex;
+use simkit::plock::Mutex;
 use simkit::runtime::Runtime;
+use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
 
 use crate::blockio::BlockLayer;
 use crate::ext4::inode::INODE_SIZE;
@@ -57,6 +58,32 @@ struct OpenFile {
     last_end: u64,
 }
 
+/// Per-syscall telemetry handles, living under `kernsim.vfs.*`.
+struct VfsTelemetry {
+    syscalls: Counter,
+    opens: Counter,
+    preads: Counter,
+    closes: Counter,
+    creates: Counter,
+    bytes_read: Counter,
+    pread_ns: Histo,
+}
+
+impl VfsTelemetry {
+    fn new(reg: &Registry) -> VfsTelemetry {
+        let reg = reg.scoped("kernsim.vfs");
+        VfsTelemetry {
+            syscalls: reg.counter("syscalls"),
+            opens: reg.counter("opens"),
+            preads: reg.counter("preads"),
+            closes: reg.counter("closes"),
+            creates: reg.counter("creates"),
+            bytes_read: reg.counter("bytes_read"),
+            pread_ns: reg.histogram("pread_ns"),
+        }
+    }
+}
+
 /// A mounted ext4-like file system over one block device.
 pub struct Ext4Fs {
     costs: KernelCosts,
@@ -69,6 +96,8 @@ pub struct Ext4Fs {
     next_fd: AtomicU64,
     /// Hint used for lock-contention cost modelling.
     active_threads: AtomicUsize,
+    registry: Registry,
+    tel: VfsTelemetry,
 }
 
 impl std::fmt::Debug for Ext4Fs {
@@ -82,8 +111,20 @@ impl std::fmt::Debug for Ext4Fs {
 impl Ext4Fs {
     /// Format and mount a file system over `dev`.
     pub fn mkfs(dev: Arc<dyn NvmeTarget>, costs: KernelCosts, opts: FsOptions) -> Arc<Ext4Fs> {
+        Ext4Fs::mkfs_with_registry(dev, costs, opts, &Registry::new())
+    }
+
+    /// `mkfs`, with telemetry recorded under `kernsim.vfs.*` in `reg`.
+    pub fn mkfs_with_registry(
+        dev: Arc<dyn NvmeTarget>,
+        costs: KernelCosts,
+        opts: FsOptions,
+        reg: &Registry,
+    ) -> Arc<Ext4Fs> {
         let device_bytes = dev.blocks() * blocksim::BLOCK_SIZE;
         Arc::new(Ext4Fs {
+            registry: reg.clone(),
+            tel: VfsTelemetry::new(reg),
             block: BlockLayer::new(dev, costs.clone()),
             costs,
             meta: Mutex::new(Ext4Meta::mkfs(device_bytes, opts.max_inodes)),
@@ -103,8 +144,19 @@ impl Ext4Fs {
     }
 
     fn syscall_cost(&self, rt: &Runtime) {
+        self.tel.syscalls.inc();
         let t = self.active_threads.load(Ordering::Relaxed);
         rt.work(self.costs.syscall + self.costs.contention(t));
+    }
+
+    /// The registry this file system records its `kernsim.vfs.*` metrics in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot of the syscall counters and pread latency histogram.
+    pub fn metrics(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 
     /// Drop page/dentry/inode caches (cold-cache experiments).
@@ -137,6 +189,7 @@ impl Ext4Fs {
     /// Create a file with `data`, paying the full kernel write path:
     /// syscalls, journal, allocation, copy-from-user and device writes.
     pub fn create(&self, rt: &Runtime, path: &str, data: &[u8]) -> Result<(), FsError> {
+        self.tel.creates.inc();
         self.syscall_cost(rt); // open(O_CREAT)
         let (ino, runs, journal_io) = {
             let mut meta = self.meta.lock();
@@ -170,6 +223,7 @@ impl Ext4Fs {
     /// `open(2)`: path resolution through the dentry cache, directory leaf
     /// blocks and the on-disk inode table.
     pub fn open(&self, rt: &Runtime, path: &str) -> Result<Fd, FsError> {
+        self.tel.opens.inc();
         self.syscall_cost(rt);
         let components = Ext4Meta::components(path);
         // Fast path: full-path dentry hit.
@@ -235,6 +289,8 @@ impl Ext4Fs {
     /// `pread(2)`: read `dst.len()` bytes at `offset`. Returns bytes read
     /// (truncated at end of file).
     pub fn pread(&self, rt: &Runtime, fd: Fd, offset: u64, dst: &mut [u8]) -> Result<usize, FsError> {
+        let started = rt.now();
+        self.tel.preads.inc();
         self.syscall_cost(rt);
         let of = *self.fds.lock().get(&fd.0).ok_or(FsError::BadDescriptor)?;
         let ino = of.ino;
@@ -324,6 +380,8 @@ impl Ext4Fs {
             done += n;
         }
         rt.work(self.costs.copy(len as u64));
+        self.tel.bytes_read.add(len as u64);
+        self.tel.pread_ns.record_dur(rt.now() - started);
         Ok(len)
     }
 
@@ -355,6 +413,7 @@ impl Ext4Fs {
 
     /// `close(2)`.
     pub fn close(&self, rt: &Runtime, fd: Fd) -> Result<(), FsError> {
+        self.tel.closes.inc();
         self.syscall_cost(rt);
         self.fds
             .lock()

@@ -1,21 +1,24 @@
-//! Property-based tests for kernsim's data structures: the block
+//! Randomized property tests for kernsim's data structures: the block
 //! allocator, extent trees, LRU, and end-to-end file content integrity.
+//! Cases come from seeded [`SplitMix64`] streams so failures replay exactly.
 
 use blocksim::{DeviceConfig, NvmeDevice};
 use kernsim::ext4::alloc::BitmapAllocator;
 use kernsim::ext4::inode::{Inode, InodeKind};
 use kernsim::lru::LruMap;
 use kernsim::{Ext4Fs, FsOptions, KernelCosts};
-use proptest::prelude::*;
 use simkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn allocator_never_double_allocates(
-        ops in prop::collection::vec((1u64..50, any::<bool>()), 1..120)
-    ) {
+#[test]
+fn allocator_never_double_allocates() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xA110, case);
+        let n = g.range(1, 120) as usize;
+        let ops: Vec<(u64, bool)> = (0..n)
+            .map(|_| (g.range(1, 50), g.below(2) == 1))
+            .collect();
         let mut a = BitmapAllocator::new(10, 512);
         let mut held: Vec<(u64, u64)> = Vec::new();
         for (want, free_first) in ops {
@@ -27,23 +30,30 @@ proptest! {
                 for (s, l) in exts {
                     // No overlap with anything currently held.
                     for &(hs, hl) in &held {
-                        prop_assert!(s + l <= hs || hs + hl <= s,
-                            "overlap: ({s},{l}) vs ({hs},{hl})");
+                        assert!(
+                            s + l <= hs || hs + hl <= s,
+                            "overlap: ({s},{l}) vs ({hs},{hl})"
+                        );
                     }
                     held.push((s, l));
                 }
             }
             let held_total: u64 = held.iter().map(|h| h.1).sum();
-            prop_assert_eq!(held_total, a.allocated());
+            assert_eq!(held_total, a.allocated());
         }
     }
+}
 
-    #[test]
-    fn extent_tree_maps_consistently(runs in prop::collection::vec(1u64..20, 1..40)) {
+#[test]
+fn extent_tree_maps_consistently() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xE47E, case);
+        let n = g.range(1, 40) as usize;
+        let lens: Vec<u64> = (0..n).map(|_| g.range(1, 20)).collect();
         let mut ino = Inode::new(1, InodeKind::File);
         let mut phys = 100u64;
         let mut expect: Vec<u64> = Vec::new(); // logical block -> physical
-        for len in runs {
+        for len in lens {
             ino.append_extent(phys, len);
             for i in 0..len {
                 expect.push(phys + i);
@@ -51,13 +61,15 @@ proptest! {
             phys += len + 7; // gap so extents don't merge
         }
         for (lb, &pb) in expect.iter().enumerate() {
-            prop_assert_eq!(ino.map_block(lb as u64), Some(pb));
+            assert_eq!(ino.map_block(lb as u64), Some(pb));
         }
-        prop_assert_eq!(ino.map_block(expect.len() as u64), None);
+        assert_eq!(ino.map_block(expect.len() as u64), None);
         // map_range over random windows agrees with per-block mapping.
         let n = expect.len() as u64;
         for (start, count) in [(0, n), (n / 3, n / 2), (n.saturating_sub(1), 1)] {
-            if count == 0 { continue; }
+            if count == 0 {
+                continue;
+            }
             let runs = ino.map_range(start, count.min(n - start).max(1));
             let flat: Vec<u64> = runs
                 .iter()
@@ -65,15 +77,20 @@ proptest! {
                 .collect();
             let want: Vec<u64> =
                 expect[start as usize..(start + count.min(n - start).max(1)) as usize].to_vec();
-            prop_assert_eq!(flat, want);
+            assert_eq!(flat, want);
         }
     }
+}
 
-    #[test]
-    fn lru_matches_reference_model(
-        ops in prop::collection::vec((0u8..40, any::<bool>()), 1..300),
-        cap in 1usize..16,
-    ) {
+#[test]
+fn lru_matches_reference_model() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x14B0, case);
+        let cap = g.range(1, 16) as usize;
+        let n = g.range(1, 300) as usize;
+        let ops: Vec<(u8, bool)> = (0..n)
+            .map(|_| (g.below(40) as u8, g.below(2) == 1))
+            .collect();
         let mut lru = LruMap::new(cap);
         // Reference: vec of keys, front = MRU.
         let mut model: Vec<(u8, u64)> = Vec::new();
@@ -85,7 +102,7 @@ proptest! {
                     model.insert(0, e);
                     model[0].1
                 });
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want);
             } else {
                 lru.insert(key, i as u64);
                 if let Some(p) = model.iter().position(|(k, _)| *k == key) {
@@ -95,12 +112,17 @@ proptest! {
                 }
                 model.insert(0, (key, i as u64));
             }
-            prop_assert_eq!(lru.len(), model.len());
+            assert_eq!(lru.len(), model.len());
         }
     }
+}
 
-    #[test]
-    fn files_roundtrip_any_size(sizes in prop::collection::vec(1usize..40_000, 1..12)) {
+#[test]
+fn files_roundtrip_any_size() {
+    for case in 0..12 {
+        let mut g = SplitMix64::derive(0xF11E, case);
+        let n = g.range(1, 12) as usize;
+        let sizes: Vec<usize> = (0..n).map(|_| g.range(1, 40_000) as usize).collect();
         Runtime::simulate(0, |rt| {
             let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
             let fs = Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default());

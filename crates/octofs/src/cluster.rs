@@ -10,14 +10,24 @@ use std::sync::Arc;
 
 use blocksim::{covering_blocks, DeviceConfig, NvmeDevice, NvmeTarget};
 use fabric::{Cluster, RpcClient};
-use parking_lot::Mutex;
+use simkit::plock::Mutex;
 use simkit::runtime::Runtime;
+use simkit::telemetry::{Counter, Registry, Snapshot};
 use simkit::time::Dur;
 
 use crate::meta::{owner_of, LookupReq, LookupResp, MetaEntry, MetaTable, SERVER_LOOKUP_COST};
 
 /// Client-side CPU per read: posting the RDMA read and handling completion.
 pub const CLIENT_POST_COST: Dur = Dur::nanos(900);
+
+/// RPC/read counters, living under `octofs.*` in the cluster's registry.
+struct OctoTelemetry {
+    lookups: Counter,
+    lookup_rpcs: Counter,
+    reads: Counter,
+    bytes_read: Counter,
+    read_retries: Counter,
+}
 
 /// A deployed Octopus-like file system across `nodes` nodes.
 pub struct OctopusFs {
@@ -27,6 +37,7 @@ pub struct OctopusFs {
     /// Append cursor per node's data region.
     cursors: Vec<Mutex<u64>>,
     tables: Vec<Arc<Mutex<MetaTable>>>,
+    tel: OctoTelemetry,
 }
 
 impl std::fmt::Debug for OctopusFs {
@@ -66,7 +77,15 @@ impl OctopusFs {
             );
             servers.push(client);
         }
+        let scope = cluster.registry().scoped("octofs");
         Arc::new(OctopusFs {
+            tel: OctoTelemetry {
+                lookups: scope.counter("lookups"),
+                lookup_rpcs: scope.counter("lookup_rpcs"),
+                reads: scope.counter("reads"),
+                bytes_read: scope.counter("bytes_read"),
+                read_retries: scope.counter("read_retries"),
+            },
             cluster,
             cursors: (0..nodes).map(|_| Mutex::new(0)).collect(),
             devices,
@@ -77,6 +96,16 @@ impl OctopusFs {
 
     pub fn nodes(&self) -> usize {
         self.devices.len()
+    }
+
+    /// The shared registry (cluster root): `octofs.*` plus `fabric.*`.
+    pub fn registry(&self) -> &Registry {
+        self.cluster.registry()
+    }
+
+    /// Snapshot of the octofs + fabric metrics.
+    pub fn metrics(&self) -> Snapshot {
+        self.cluster.registry().snapshot()
     }
 
     /// Store a file: data appended on the owner node's device, metadata
@@ -128,12 +157,14 @@ impl OctopusFs {
     /// round trip unless the owner is local, in which case only the server
     /// processing is paid).
     pub fn lookup(&self, rt: &Runtime, client_node: usize, name: &str) -> Option<MetaEntry> {
+        self.tel.lookups.inc();
         let owner = owner_of(name, self.nodes());
         if owner == client_node {
             // Local: hash-table access in shared memory.
             rt.work(SERVER_LOOKUP_COST);
             return self.tables[owner].lock().lookup(name);
         }
+        self.tel.lookup_rpcs.inc();
         let resp = self.servers[owner].call(rt, client_node, LookupReq(name.to_string()));
         resp.0
     }
@@ -155,10 +186,15 @@ impl OctopusFs {
         // Device (PM with injected delay) services the access, then the
         // payload crosses the fabric to the client (RDMA read response);
         // local reads skip the wire. Failed commands are retried.
+        self.tel.reads.inc();
+        self.tel.bytes_read.add(entry.len);
         let mut attempts = 0;
         loop {
             attempts += 1;
             assert!(attempts <= 8, "device keeps failing reads");
+            if attempts > 1 {
+                self.tel.read_retries.inc();
+            }
             rt.work(CLIENT_POST_COST);
             let fault = dev.fault_decide(false);
             let t_dev = dev.reserve_read(rt.now(), slba, nblocks) + fault.extra_latency;

@@ -2,16 +2,16 @@
 //!
 //! In simulation mode a blocked receiver/sender is descheduled through the
 //! deterministic scheduler; wake order is FIFO, so message delivery order is
-//! reproducible. In real mode the implementation delegates to
-//! `crossbeam_channel`. Sending and receiving consume **zero virtual time**;
-//! processing costs are modelled explicitly by the components via
-//! `Runtime::work`.
+//! reproducible. In real mode the implementation delegates to the in-tree
+//! blocking MPMC channel ([`crate::mpmc`]). Sending and receiving consume
+//! **zero virtual time**; processing costs are modelled explicitly by the
+//! components via `Runtime::work`.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
+use crate::mpmc;
+use crate::plock::Mutex;
 use crate::sched::{Pid, SimCore};
 
 /// Error returned by `recv` when the channel is empty and all senders are gone.
@@ -68,12 +68,12 @@ impl<T> SimChan<T> {
 
 enum SenderImpl<T> {
     Sim(Arc<SimChan<T>>),
-    Real(crossbeam::channel::Sender<T>),
+    Real(mpmc::Tx<T>),
 }
 
 enum ReceiverImpl<T> {
     Sim(Arc<SimChan<T>>),
-    Real(crossbeam::channel::Receiver<T>),
+    Real(mpmc::Rx<T>),
 }
 
 /// Sending half of a channel (cloneable; MPMC).
@@ -104,10 +104,7 @@ pub(crate) fn sim_channel<T: Send>(
 }
 
 pub(crate) fn real_channel<T: Send>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
-    let (s, r) = match cap {
-        Some(n) => crossbeam::channel::bounded(n),
-        None => crossbeam::channel::unbounded(),
-    };
+    let (s, r) = mpmc::channel(cap);
     (Sender(SenderImpl::Real(s)), Receiver(ReceiverImpl::Real(r)))
 }
 
@@ -133,7 +130,7 @@ impl<T: Send> Sender<T> {
                 // `block()` returns when a receiver frees space; retry.
                 ch.core.block();
             },
-            SenderImpl::Real(s) => s.send(value).map_err(|e| SendError(e.0)),
+            SenderImpl::Real(s) => s.send(value).map_err(SendError),
         }
     }
 
@@ -149,7 +146,7 @@ impl<T: Send> Sender<T> {
                 ch.wake_one_recv(&mut st);
                 Ok(())
             }
-            SenderImpl::Real(s) => s.try_send(value).map_err(|e| e.into_inner()),
+            SenderImpl::Real(s) => s.try_send(value),
         }
     }
 
@@ -204,8 +201,8 @@ impl<T: Send> Receiver<T> {
                 }
             }
             ReceiverImpl::Real(r) => r.try_recv().map_err(|e| match e {
-                crossbeam::channel::TryRecvError::Empty => TryRecvError::Empty,
-                crossbeam::channel::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                mpmc::TryRecvErr::Empty => TryRecvError::Empty,
+                mpmc::TryRecvErr::Disconnected => TryRecvError::Disconnected,
             }),
         }
     }

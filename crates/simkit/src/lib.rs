@@ -46,11 +46,14 @@
 #![forbid(unsafe_code)]
 
 pub mod chan;
+mod mpmc;
+pub mod plock;
 pub mod resource;
 pub mod rng;
 mod sched;
 pub mod stats;
 pub mod sync;
+pub mod telemetry;
 pub mod trace;
 pub mod time;
 
@@ -62,6 +65,7 @@ pub use rng::{fill_deterministic, fnv1a, SplitMix64};
 pub use runtime::{JoinHandle, Runtime};
 pub use stats::{fmt_bytes, fmt_bytes_rate, fmt_rate, Histogram, Meter, Summary};
 pub use sync::{Barrier, Gate, WaitGroup};
+pub use telemetry::{Registry, Snapshot};
 pub use trace::Tracer;
 pub use time::{Dur, Time};
 

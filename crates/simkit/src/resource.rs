@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::plock::Mutex;
 
 use crate::runtime::Runtime;
 use crate::time::{Dur, Time};

@@ -3,10 +3,9 @@
 //! Every stochastic component in the workspace (workload generators, shuffle
 //! sequences, timing jitter) draws from a [`SplitMix64`] stream derived from
 //! a single experiment seed, so whole multi-node simulations replay
-//! bit-identically. `SplitMix64` implements [`rand_core::RngCore`], so all of
-//! `rand`'s distribution and shuffling machinery works on top of it.
-
-use rand::RngCore;
+//! bit-identically. Distribution helpers (uniform, normal, shuffles,
+//! byte fills) are implemented directly on [`SplitMix64`], so the crate
+//! needs no external RNG machinery.
 
 /// Sebastiano Vigna's SplitMix64 generator.
 ///
@@ -116,20 +115,15 @@ impl SplitMix64 {
         self.shuffle(&mut v);
         v
     }
-}
 
-impl RngCore for SplitMix64 {
+    /// Next raw 32-bit value (the high half of [`SplitMix64::next`]).
     #[inline]
-    fn next_u32(&mut self) -> u32 {
+    pub fn next_u32(&mut self) -> u32 {
         (self.next() >> 32) as u32
     }
 
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill `dest` with pseudo-random bytes from this stream.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());

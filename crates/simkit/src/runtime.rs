@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use crate::plock::Mutex;
 
 use crate::chan::{real_channel, sim_channel, Receiver, Sender};
 use crate::rng::SplitMix64;

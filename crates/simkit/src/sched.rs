@@ -29,7 +29,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use crate::plock::{Condvar, Mutex, MutexGuard};
 
 use crate::time::{Dur, Time};
 

@@ -135,6 +135,11 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of all recorded values (exact, unlike the bucketed quantiles).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0

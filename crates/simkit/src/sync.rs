@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::plock::Mutex;
 
 use crate::chan::{Receiver, Sender};
 use crate::runtime::Runtime;

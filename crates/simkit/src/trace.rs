@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::plock::Mutex;
 
 use crate::runtime::Runtime;
 use crate::time::Time;

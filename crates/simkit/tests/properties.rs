@@ -1,43 +1,55 @@
-//! Property-based tests for simkit: timeline resources, RNG, statistics.
+//! Randomized property tests for simkit: timeline resources, RNG,
+//! statistics. Cases are generated from seeded [`SplitMix64`] streams so
+//! failures replay exactly.
 
-use proptest::prelude::*;
 use simkit::prelude::*;
 use simkit::rng::SplitMix64;
+use simkit::time::Time;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn link_reservations_never_overlap(
-        reqs in prop::collection::vec((0u64..1_000_000, 1u64..100_000), 1..80)
-    ) {
-        // Whatever order reservations arrive in (possibly out of time
-        // order), the wire must never carry two payloads at once and no
-        // reservation may start before its requested time.
+#[test]
+fn link_reservations_never_overlap() {
+    // Whatever order reservations arrive in (possibly out of time order),
+    // the wire must never carry two payloads at once and no reservation may
+    // start before its requested time.
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x11AC, case);
+        let n = g.range(1, 80) as usize;
+        let reqs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (g.below(1_000_000), g.range(1, 100_000)))
+            .collect();
         Runtime::simulate(0, |rt| {
             let _ = rt;
             let bw = 1e9; // 1 byte per ns
             let link = Link::new(bw, Dur::ZERO);
             let mut intervals: Vec<(u64, u64)> = Vec::new();
-            for (now, bytes) in reqs {
+            for &(now, bytes) in &reqs {
                 let end = link.reserve(Time(now), bytes).nanos();
                 let start = end - bytes; // 1 byte/ns
                 assert!(start >= now, "started {start} before requested {now}");
                 for &(s, e) in &intervals {
-                    assert!(end <= s || e <= start,
-                        "overlap: [{start},{end}) vs [{s},{e})");
+                    assert!(
+                        end <= s || e <= start,
+                        "overlap: [{start},{end}) vs [{s},{e})"
+                    );
                 }
                 intervals.push((start, end));
             }
         });
     }
+}
 
-    #[test]
-    fn servers_capacity_respected(
-        reqs in prop::collection::vec((0u64..500_000, 1u64..50_000), 1..60),
-        k in 1usize..5,
-    ) {
-        // At any instant, at most k requests may be in service.
+#[test]
+fn servers_capacity_respected() {
+    // At any instant, at most k requests may be in service.
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x5EB5, case);
+        let k = g.range(1, 5) as usize;
+        let n = g.range(1, 60) as usize;
+        let reqs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (g.below(500_000), g.range(1, 50_000)))
+            .collect();
         Runtime::simulate(0, |rt| {
             let _ = rt;
             let srv = Servers::new(k);
@@ -55,32 +67,47 @@ proptest! {
             }
         });
     }
+}
 
-    #[test]
-    fn rng_shuffle_is_permutation(n in 1usize..500, seed in 0u64..10_000) {
+#[test]
+fn rng_shuffle_is_permutation() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x50F1, case);
+        let n = g.range(1, 500) as usize;
+        let seed = g.below(10_000);
         let mut rng = SplitMix64::new(seed);
         let p = rng.permutation(n);
         let mut seen = vec![false; n];
         for &x in &p {
-            prop_assert!(!seen[x as usize]);
+            assert!(!seen[x as usize]);
             seen[x as usize] = true;
         }
     }
+}
 
-    #[test]
-    fn summary_mean_between_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn summary_mean_between_min_max() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x5A11, case);
+        let n = g.range(1, 200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| (g.f64() - 0.5) * 2e6).collect();
         let mut s = Summary::new();
         for &x in &xs {
             s.add(x);
         }
-        prop_assert!(s.mean() >= s.min() - 1e-9);
-        prop_assert!(s.mean() <= s.max() + 1e-9);
-        prop_assert!(s.variance() >= 0.0);
-        prop_assert_eq!(s.count(), xs.len() as u64);
+        assert!(s.mean() >= s.min() - 1e-9);
+        assert!(s.mean() <= s.max() + 1e-9);
+        assert!(s.variance() >= 0.0);
+        assert_eq!(s.count(), xs.len() as u64);
     }
+}
 
-    #[test]
-    fn histogram_quantiles_monotone(vals in prop::collection::vec(1u64..1_000_000, 1..300)) {
+#[test]
+fn histogram_quantiles_monotone() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x4157, case);
+        let n = g.range(1, 300) as usize;
+        let vals: Vec<u64> = (0..n).map(|_| g.range(1, 1_000_000)).collect();
         let mut h = Histogram::new();
         for &v in &vals {
             h.add(v);
@@ -88,18 +115,23 @@ proptest! {
         let q25 = h.quantile(0.25);
         let q50 = h.quantile(0.5);
         let q99 = h.quantile(0.99);
-        prop_assert!(q25 <= q50 && q50 <= q99);
-        prop_assert_eq!(h.count(), vals.len() as u64);
+        assert!(q25 <= q50 && q50 <= q99);
+        assert_eq!(h.count(), vals.len() as u64);
     }
+}
 
-    #[test]
-    fn virtual_sleep_sums_exactly(durs in prop::collection::vec(0u64..100_000, 1..50)) {
+#[test]
+fn virtual_sleep_sums_exactly() {
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0x51EE, case);
+        let n = g.range(1, 50) as usize;
+        let durs: Vec<u64> = (0..n).map(|_| g.below(100_000)).collect();
         let total: u64 = durs.iter().sum();
         let ((), end) = Runtime::simulate(0, |rt| {
             for &d in &durs {
                 rt.sleep(Dur::nanos(d));
             }
         });
-        prop_assert_eq!(end.nanos(), total);
+        assert_eq!(end.nanos(), total);
     }
 }

@@ -81,7 +81,7 @@ fn main() {
                     io.sequence(rt, seed, 0);
                     let mut got = 0usize;
                     while got < per_node {
-                        match io.bread(rt, 32, Dur::ZERO) {
+                        match io.submit(rt, &dlfs::ReadRequest::batch(32)) {
                             Ok(b) => got += b.len(),
                             Err(_) => break,
                         }

@@ -7,7 +7,6 @@
 
 use blocksim::{DeviceConfig, NvmeDevice};
 use dlfs::{mount_local, DlfsConfig, SyntheticSource};
-use simkit::prelude::*;
 use simkit::runtime::Runtime as Rt;
 
 fn main() {
@@ -30,7 +29,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut read = 0;
     while read < 2_000 {
-        let batch = io.bread(&rt, 32, Dur::ZERO).unwrap();
+        let batch = io.submit(&rt, &dlfs::ReadRequest::batch(32)).unwrap().into_copied();
         for (id, data) in &batch {
             assert_eq!(data, &dataset.expected(*id));
         }

@@ -1,5 +1,5 @@
 //! Quickstart: mount DLFS on a local NVMe device, generate a global random
-//! sample sequence, and read mini-batches through `dlfs_bread`.
+//! sample sequence, and read mini-batches through `submit(ReadRequest)`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -27,7 +27,7 @@ fn main() {
             rt.now()
         );
 
-        // 4. dlfs_sequence + dlfs_bread: mini-batches of random samples.
+        // 4. dlfs_sequence + submit(ReadRequest): mini-batches of random samples.
         let mut io = fs.io(0);
         let total = io.sequence(rt, /*seed=*/ 123, /*epoch=*/ 0);
         println!("epoch plan: {total} samples");
@@ -36,7 +36,7 @@ fn main() {
         let mut read = 0usize;
         let mut bytes = 0u64;
         while read < 10_000 {
-            let batch = io.bread(rt, 32, Dur::ZERO).unwrap();
+            let batch = io.submit(rt, &dlfs::ReadRequest::batch(32)).unwrap().into_copied();
             for (id, data) in &batch {
                 // Payloads are verifiable end-to-end.
                 assert_eq!(data, &dataset.expected(*id), "sample {id} corrupted");
@@ -60,6 +60,11 @@ fn main() {
         let name = dataset.name(1234);
         let data = io.read(rt, &name).unwrap();
         println!("dlfs_read({name}): {} bytes", data.len());
+
+        // 6. The epoch's telemetry report: every counter and per-stage
+        //    latency histogram, byte-identical for a given seed.
+        println!("\n--- telemetry epoch report ---");
+        print!("{}", io.metrics().render());
     });
     println!("simulation ended at {end}");
 }

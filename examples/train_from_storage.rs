@@ -55,8 +55,10 @@ fn main() {
         // Stage onto a local NVMe device; chunk-level batching kicks in
         // automatically (records are tiny).
         let device = NvmeDevice::new(DeviceConfig::optane(256 << 20));
-        let mut cfg = DlfsConfig::default();
-        cfg.chunk_size = 64 << 10;
+        let cfg = DlfsConfig {
+            chunk_size: 64 << 10,
+            ..Default::default()
+        };
         let fs = mount_local(rt, device, &dataset, cfg).unwrap();
         let mut io = fs.io(0);
 
@@ -69,7 +71,7 @@ fn main() {
             let mut read = 0usize;
             let mut loss_sum = 0.0f32;
             while read < total {
-                let batch = io.bread(rt, 32, Dur::ZERO).unwrap();
+                let batch = io.submit(rt, &dlfs::ReadRequest::batch(32)).unwrap().into_copied();
                 read += batch.len();
                 // Decode the raw bytes into a training batch.
                 let mut xs = Vec::with_capacity(batch.len() * features);

@@ -38,7 +38,7 @@ fn dlfs_bread_retries_through_media_errors() {
         }
         let m = b.io().metrics();
         (
-            m.retries,
+            m.counter("dlfs.io.retries"),
             fs.shared(0).cache.free_chunks() == fs.shared(0).cache.total_chunks(),
         )
     });
@@ -58,7 +58,7 @@ fn dlfs_sync_read_retries() {
             let data = io.read_by_id(rt, id).unwrap();
             assert_eq!(data, source.expected(id));
         }
-        assert!(io.metrics().retries > 0);
+        assert!(io.metrics().counter("dlfs.io.retries") > 0);
     });
 }
 
@@ -112,7 +112,7 @@ fn mount_retries_failed_uploads() {
         io.sequence(rt, 1, 0);
         let mut read = 0;
         while read < 800 {
-            let batch = io.bread(rt, 50, Dur::ZERO).unwrap();
+            let batch = io.submit(rt, &dlfs::ReadRequest::batch(50)).unwrap().into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &source.expected(*id), "staged sample {id} corrupted");
             }
@@ -135,7 +135,7 @@ fn fault_runs_are_deterministic() {
             while n < 1000 {
                 n += b.next_batch(rt, 32).unwrap().len();
             }
-            (b.io().metrics().retries, rt.now().nanos())
+            (b.io().metrics().counter("dlfs.io.retries"), rt.now().nanos())
         })
         .0
     };

@@ -64,7 +64,7 @@ fn dlfs_serves_hierarchical_names() {
         let mut seen = vec![false; total];
         let mut read = 0;
         while read < total {
-            let batch = io.bread(rt, 50, Dur::ZERO).unwrap();
+            let batch = io.submit(rt, &dlfs::ReadRequest::batch(50)).unwrap().into_copied();
             for (id, data) in &batch {
                 assert!(!seen[*id as usize]);
                 seen[*id as usize] = true;

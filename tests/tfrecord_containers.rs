@@ -60,7 +60,7 @@ fn bread_over_records_randomizes_within_containers() {
         let mut order = Vec::new();
         let mut read = 0;
         while read < 2000 {
-            let batch = io.bread(rt, 64, Dur::ZERO).unwrap();
+            let batch = io.submit(rt, &dlfs::ReadRequest::batch(64)).unwrap().into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &inner.expected(*id), "record {id}");
                 assert!(!seen[*id as usize]);
@@ -93,14 +93,14 @@ fn chunk_batching_still_applies_to_records() {
         io.sequence(rt, 1, 0);
         let mut read = 0;
         while read < 1000 {
-            read += io.bread(rt, 64, Dur::ZERO).unwrap().len();
+            read += io.submit(rt, &dlfs::ReadRequest::batch(64)).unwrap().into_copied().len();
         }
         let m = io.metrics();
         // ~1 MB of records read through far fewer chunk-sized requests.
         assert!(
-            m.requests_posted < 60,
+            m.counter("dlfs.io.requests_posted") < 60,
             "expected chunked record fetches, got {}",
-            m.requests_posted
+            m.counter("dlfs.io.requests_posted")
         );
         assert!(ds.record_count() > 0);
     });
