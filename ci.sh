@@ -2,8 +2,11 @@
 # CI gate for the DLFS reproduction.
 #
 #  1. tier-1: release build + the root test suite (ROADMAP.md);
-#  2. the full workspace test suite;
-#  3. clippy, warnings denied, across every target.
+#  2. the full workspace test suite (includes the deterministic chaos
+#     tests in crates/core/tests/chaos.rs and crates/fabric/tests/faults.rs);
+#  3. a small chaos-sweep run (fault injection + retry/failover, with
+#     built-in byte-correctness and determinism assertions);
+#  4. clippy, warnings denied, across every target.
 #
 # Everything runs offline: the workspace has no external dependencies.
 set -euo pipefail
@@ -15,6 +18,8 @@ echo "== tier-1: root test suite"
 cargo test -q --offline
 echo "== workspace tests"
 cargo test -q --offline --workspace
+echo "== chaos sweep (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin ext_fault_sweep -- n=256 size=2048
 echo "== clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== ci OK"

@@ -78,6 +78,19 @@ pub fn dlfs_disagg(
     source: &SyntheticSource,
     cfg: DlfsConfig,
 ) -> DlfsInstance {
+    dlfs_disagg_chaos(rt, readers, storage, source, cfg).0
+}
+
+/// Like [`dlfs_disagg`], additionally returning the fabric and the raw
+/// devices so chaos harnesses can attach fault injectors to both layers
+/// after the (fault-free) mount.
+pub fn dlfs_disagg_chaos(
+    rt: &Runtime,
+    readers: usize,
+    storage: usize,
+    source: &SyntheticSource,
+    cfg: DlfsConfig,
+) -> (DlfsInstance, Arc<Cluster>, Vec<Arc<NvmeDevice>>) {
     let collocated = readers == storage;
     let cluster_nodes = if collocated { readers } else { readers + storage };
     let cluster = Arc::new(Cluster::new(cluster_nodes, FabricConfig::default()));
@@ -104,17 +117,18 @@ pub fn dlfs_disagg(
         }
         targets.push(row);
     }
-    dlfs::mount(
+    let fs = dlfs::mount(
         rt,
         Deployment {
             targets,
-            cluster: Some(cluster),
+            cluster: Some(cluster.clone()),
         },
         source,
         cfg,
         MountOptions::default(),
     )
-    .expect("dlfs mount")
+    .expect("dlfs mount");
+    (fs, cluster, devices)
 }
 
 /// Device capacity for an ext4 shard: files consume whole 4 KiB blocks,

@@ -43,9 +43,12 @@ pub trait NvmeTarget: Send + Sync {
     /// Human-readable identification.
     fn describe(&self) -> String;
 
-    /// Decide the fate of the next command (fault injection); the default
-    /// is a healthy device. Remote targets delegate to the backing device.
-    fn fault_decide(&self, _is_write: bool) -> FaultOutcome {
+    /// Decide the fate of a command submitted at `now` (fault injection);
+    /// the default is a healthy device. Remote targets combine the backing
+    /// device's outcome with fabric-level faults, which is why the decision
+    /// is timestamped: link flaps and target crash windows are schedules in
+    /// virtual time.
+    fn fault_decide(&self, _now: Time, _is_write: bool) -> FaultOutcome {
         FaultOutcome::NONE
     }
 }
@@ -176,7 +179,7 @@ impl NvmeTarget for NvmeDevice {
         format!("local nvme '{}' ({} B)", self.config.name, self.config.capacity)
     }
 
-    fn fault_decide(&self, is_write: bool) -> FaultOutcome {
+    fn fault_decide(&self, _now: Time, is_write: bool) -> FaultOutcome {
         match self.faults.lock().as_ref() {
             Some(f) => f.decide(is_write),
             None => FaultOutcome::NONE,

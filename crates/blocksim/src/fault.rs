@@ -17,6 +17,10 @@ pub enum CmdStatus {
     /// Unrecoverable media error for this attempt; the command must be
     /// resubmitted by the initiator.
     MediaError,
+    /// The command never reached the target (dropped capsule, crashed or
+    /// unreachable node). The initiator observes it only after its I/O
+    /// timeout elapses, carried in [`FaultOutcome::extra_latency`].
+    TransportError,
 }
 
 impl CmdStatus {

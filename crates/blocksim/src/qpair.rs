@@ -107,6 +107,9 @@ struct QpTelemetry {
     bytes: Counter,
     /// Completions that carried a media error (initiator must retry).
     media_errors: Counter,
+    /// Completions that carried a transport error (command never reached
+    /// the target; surfaced after the I/O timeout).
+    timeouts: Counter,
     /// Device service latency (submit → device done) per command, ns.
     cmd_latency_ns: Histo,
 }
@@ -150,14 +153,16 @@ impl IoQPair {
 
     /// Register this qpair's metrics in `reg` (typically a registry scoped
     /// to the device, e.g. `blocksim.dev0`): `queue_depth`, `commands`,
-    /// `bytes`, `media_errors` (retryable failures) and the per-command
-    /// device service latency histogram `cmd_latency_ns`.
+    /// `bytes`, `media_errors` (retryable failures), `timeouts` (transport
+    /// errors) and the per-command device service latency histogram
+    /// `cmd_latency_ns`.
     pub fn attach_telemetry(&mut self, reg: &Registry) {
         self.telemetry = Some(QpTelemetry {
             queue_depth: reg.gauge("queue_depth"),
             commands: reg.counter("commands"),
             bytes: reg.counter("bytes"),
             media_errors: reg.counter("media_errors"),
+            timeouts: reg.counter("timeouts"),
             cmd_latency_ns: reg.histogram("cmd_latency_ns"),
         });
     }
@@ -224,7 +229,7 @@ impl IoQPair {
         let now = rt.now();
         // Fault injection: the command's fate (and any latency spike) is
         // decided up front so the simulation stays deterministic.
-        let fault = self.target.fault_decide(op == Op::Write);
+        let fault = self.target.fault_decide(now, op == Op::Write);
         let done = match op {
             Op::Read => self.target.reserve_read(now, slba, nblocks),
             Op::Write => {
@@ -283,8 +288,10 @@ impl IoQPair {
             if let Some(t) = &self.telemetry {
                 t.bytes.add(bytes);
                 t.cmd_latency_ns.record_dur(p.done - p.submitted);
-                if !p.status.is_ok() {
-                    t.media_errors.inc();
+                match p.status {
+                    CmdStatus::Ok => {}
+                    CmdStatus::MediaError => t.media_errors.inc(),
+                    CmdStatus::TransportError => t.timeouts.inc(),
                 }
                 t.queue_depth.set(self.pending.len() as i64);
             }

@@ -125,11 +125,74 @@ fn remote_target_propagates_faults() {
         d.set_faults(FaultInjector::new(5).with_read_failures(1_000_000));
         let tgt = fabric::NvmeOfTarget::new(1, d, fabric::TargetConfig::default());
         let remote = fabric::connect(cluster, 0, tgt);
-        assert_eq!(remote.fault_decide(false).status, CmdStatus::MediaError);
+        assert_eq!(remote.fault_decide(rt.now(), false).status, CmdStatus::MediaError);
         let mut qp = IoQPair::new(remote, 4);
         let b = DmaBuf::standalone(512);
         qp.submit_read(rt, 9, 0, 1, b, 0).unwrap();
         let comps = qp.drain(rt, Dur::nanos(50));
         assert_eq!(comps[0].status, CmdStatus::MediaError);
+    });
+}
+
+/// A target that drops every command on the wire: the initiator sees
+/// nothing until its I/O timeout, then a transport error.
+struct DroppingTarget {
+    inner: Arc<NvmeDevice>,
+    detect_after: Dur,
+}
+
+impl NvmeTarget for DroppingTarget {
+    fn reserve_read(&self, now: Time, slba: u64, nblocks: u32) -> Time {
+        self.inner.reserve_read(now, slba, nblocks)
+    }
+    fn reserve_write(&self, now: Time, slba: u64, nblocks: u32) -> Time {
+        self.inner.reserve_write(now, slba, nblocks)
+    }
+    fn dma_read(&self, slba: u64, dst: &mut [u8]) {
+        self.inner.dma_read(slba, dst)
+    }
+    fn dma_write(&self, slba: u64, src: &[u8]) {
+        self.inner.dma_write(slba, src)
+    }
+    fn max_queue_depth(&self) -> usize {
+        self.inner.max_queue_depth()
+    }
+    fn blocks(&self) -> u64 {
+        self.inner.blocks()
+    }
+    fn describe(&self) -> String {
+        format!("dropping({})", self.inner.describe())
+    }
+    fn fault_decide(&self, _now: Time, _is_write: bool) -> blocksim::FaultOutcome {
+        blocksim::FaultOutcome {
+            status: CmdStatus::TransportError,
+            extra_latency: self.detect_after,
+        }
+    }
+}
+
+#[test]
+fn transport_errors_count_as_timeouts_and_skip_dma() {
+    Runtime::simulate(0, |rt| {
+        let d = dev();
+        d.storage().write_at(0, &[0x77u8; 512]);
+        let target = Arc::new(DroppingTarget {
+            inner: d,
+            detect_after: Dur::micros(50),
+        });
+        let reg = simkit::telemetry::Registry::new();
+        let mut qp = IoQPair::new(target, 4);
+        qp.attach_telemetry(&reg.scoped("blocksim.dev0"));
+        let buf = DmaBuf::standalone(512);
+        let t0 = rt.now();
+        qp.submit_read(rt, 1, 0, 1, buf.clone(), 0).unwrap();
+        let comps = qp.drain(rt, Dur::micros(1));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].status, CmdStatus::TransportError);
+        assert!(rt.now() - t0 >= Dur::micros(50), "loss detected early");
+        buf.with(|d| assert!(d.iter().all(|&b| b == 0), "no DMA on a drop"));
+        let m = reg.snapshot();
+        assert_eq!(m.counter("blocksim.dev0.timeouts"), 1);
+        assert_eq!(m.counter("blocksim.dev0.media_errors"), 0);
     });
 }

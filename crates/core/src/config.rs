@@ -1,5 +1,6 @@
 //! DLFS configuration and user-level cost constants.
 
+use simkit::retry::RetryPolicy;
 use simkit::time::Dur;
 
 /// Costs of DLFS's own (user-level) processing. These are the *small*
@@ -84,6 +85,10 @@ pub struct DlfsConfig {
     /// instead of polling each qpair independently. Kept as a switch for
     /// the SCQ ablation benchmark.
     pub shared_completion_queue: bool,
+    /// Retry budget for failed device commands (media errors and fabric
+    /// timeouts): bounded attempts with exponential backoff in virtual
+    /// time. Exhaustion surfaces as [`crate::DlfsError::Io`].
+    pub retry: RetryPolicy,
     pub costs: DlfsCosts,
 }
 
@@ -97,6 +102,7 @@ impl Default for DlfsConfig {
             pool_chunks: 96,
             batch_mode: BatchMode::Auto,
             shared_completion_queue: true,
+            retry: RetryPolicy::default(),
             costs: DlfsCosts::default(),
         }
     }
@@ -124,6 +130,9 @@ impl DlfsConfig {
                 "pool_chunks ({}) must be >= window_chunks ({})",
                 self.pool_chunks, self.window_chunks
             ));
+        }
+        if self.retry.max_attempts == 0 {
+            return Err("retry.max_attempts must be >= 1 (1 = no retries)".into());
         }
         Ok(())
     }
@@ -176,6 +185,14 @@ mod tests {
         assert!(c.validate().is_err());
         let c = DlfsConfig {
             window_chunks: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = DlfsConfig {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!(c.validate().is_err());

@@ -1,5 +1,27 @@
 //! DLFS error type.
 
+/// Root cause of an exhausted I/O retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFailure {
+    /// The device failed the command with a media error on every attempt.
+    Media,
+    /// The command (or its completion) never arrived: the initiator's I/O
+    /// timeout fired on every attempt — a dropped capsule, a flapping link
+    /// or a crashed target.
+    Timeout,
+}
+
+impl std::fmt::Display for IoFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoFailure::Media => write!(f, "unrecoverable media error"),
+            IoFailure::Timeout => write!(f, "transport timeout"),
+        }
+    }
+}
+
+impl std::error::Error for IoFailure {}
+
 /// Errors surfaced by the DLFS API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DlfsError {
@@ -13,6 +35,15 @@ pub enum DlfsError {
     EpochExhausted,
     /// The huge-page sample cache cannot hold the requested working set.
     CacheExhausted,
+    /// An I/O command exhausted its retry budget against `target`.
+    Io {
+        /// Storage node whose device kept failing.
+        target: u32,
+        /// Submissions attempted before giving up.
+        attempts: u32,
+        /// What every attempt died of.
+        cause: IoFailure,
+    },
     /// Configuration rejected.
     Config(String),
     /// Directory construction found two names with the same 48-bit key that
@@ -28,10 +59,25 @@ impl std::fmt::Display for DlfsError {
             DlfsError::NoSequence => write!(f, "dlfs_sequence must be called before dlfs_bread"),
             DlfsError::EpochExhausted => write!(f, "sample sequence exhausted for this epoch"),
             DlfsError::CacheExhausted => write!(f, "sample cache (huge-page pool) exhausted"),
+            DlfsError::Io {
+                target,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "I/O to storage node {target} failed after {attempts} attempt(s): {cause}"
+            ),
             DlfsError::Config(m) => write!(f, "bad configuration: {m}"),
             DlfsError::KeyCollision(n) => write!(f, "48-bit key collision on: {n}"),
         }
     }
 }
 
-impl std::error::Error for DlfsError {}
+impl std::error::Error for DlfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DlfsError::Io { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}

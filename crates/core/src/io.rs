@@ -19,10 +19,11 @@
 //! all `DlfsIo` handles of a node share the directory, sample cache and
 //! copy pool through [`DlfsShared`].
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
-use blocksim::{covering_blocks, DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
+use blocksim::{covering_blocks, CmdStatus, DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
 use simkit::rng::SplitMix64;
 use simkit::runtime::Runtime;
 use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
@@ -32,7 +33,7 @@ use crate::config::DlfsConfig;
 use crate::copy::{CopyDone, CopyJob, Segment};
 use crate::directory::SampleDirectory;
 use crate::entry::SampleEntry;
-use crate::error::DlfsError;
+use crate::error::{DlfsError, IoFailure};
 use crate::plan::{build_epoch_plan, FetchItem, ReaderPlan};
 use crate::request::{Batch, Delivery, ReadRequest};
 use crate::zerocopy::{PinGuard, ZeroCopySample};
@@ -70,8 +71,11 @@ struct IoTelemetry {
     requests_posted: Counter,
     completions: Counter,
     poll_spins: Counter,
-    /// Commands resubmitted after a device media error.
+    /// Commands resubmitted after a device media error or fabric timeout.
     retries: Counter,
+    /// Commands the initiator gave up on after its I/O timeout (the fabric
+    /// dropped the capsule or the target was down).
+    timeouts: Counter,
     batches: Counter,
     deadline_misses: Counter,
     cache_hits: Counter,
@@ -98,6 +102,7 @@ impl IoTelemetry {
             completions: io.counter("completions"),
             poll_spins: io.counter("poll_spins"),
             retries: io.counter("retries"),
+            timeouts: io.counter("timeouts"),
             batches: io.counter("batches"),
             deadline_misses: io.counter("deadline_misses"),
             cache_hits: io.counter("cache.hits"),
@@ -127,6 +132,11 @@ struct ItemRt {
     base: u64,
 }
 
+/// A retry parked until its backoff elapses: readiness instant, insertion
+/// sequence (keeps same-instant pops deterministic), item idx, part,
+/// failed attempts.
+type DelayedPart = Reverse<(Time, u64, u32, u32, u32)>;
+
 /// Epoch execution state.
 struct EpochState {
     plan: ReaderPlan,
@@ -138,8 +148,12 @@ struct EpochState {
     total: usize,
     /// Next item to start fetching.
     next_fetch: usize,
-    /// Parts awaiting qpair submission: (item idx, part no).
-    pending_parts: VecDeque<(u32, u32)>,
+    /// Parts awaiting qpair submission: (item idx, part no, failed
+    /// attempts so far).
+    pending_parts: VecDeque<(u32, u32, u32)>,
+    /// Failed parts waiting out their retry backoff.
+    delayed_parts: BinaryHeap<DelayedPart>,
+    delay_seq: u64,
     /// Buffers per item while open.
     bufs: HashMap<u32, Vec<DmaBuf>>,
     /// Items fetched or fetching and not yet retired.
@@ -153,8 +167,14 @@ pub struct DlfsIo {
     shared: Arc<DlfsShared>,
     qpairs: Vec<IoQPair>,
     epoch: Option<EpochState>,
-    inflight: HashMap<u64, (u32, u32)>, // cmd id -> (item idx, part)
+    inflight: HashMap<u64, (u32, u32, u32)>, // cmd id -> (item idx, part, attempt)
     next_cmd: u64,
+    /// Fatal engine failure (a part exhausted its retry budget). Sticky
+    /// until the epoch is replaced: the plan can no longer be completed.
+    failed: Option<DlfsError>,
+    /// Deadline of the in-progress `submit` call; retry backoffs are
+    /// clamped so a resubmission is never pointlessly scheduled past it.
+    current_deadline: Option<Time>,
     registry: Registry,
     tel: IoTelemetry,
     /// Dispatch instant per copy slot of the in-progress `submit` call
@@ -198,6 +218,8 @@ impl DlfsIo {
             epoch: None,
             inflight: HashMap::new(),
             next_cmd: 1,
+            failed: None,
+            current_deadline: None,
             copy_dispatch_at: Vec::new(),
         }
     }
@@ -309,6 +331,7 @@ impl DlfsIo {
             })
             .collect();
         let n = mine.samples();
+        self.failed = None;
         self.epoch = Some(EpochState {
             plan: mine,
             items,
@@ -317,6 +340,8 @@ impl DlfsIo {
             total: n,
             next_fetch: 0,
             pending_parts: VecDeque::new(),
+            delayed_parts: BinaryHeap::new(),
+            delay_seq: 0,
             bufs: HashMap::new(),
             open_items: 0,
             rng: SplitMix64::derive(seed ^ 0xD15B, epoch * 7919 + self.shared.reader_id as u64),
@@ -356,7 +381,7 @@ impl DlfsIo {
         rt_item.base = slba * BLOCK_SIZE;
         st.bufs.insert(idx, bufs);
         for p in 0..parts {
-            st.pending_parts.push_back((idx, p));
+            st.pending_parts.push_back((idx, p, 0));
         }
         st.open_items += 1;
         true
@@ -394,10 +419,24 @@ impl DlfsIo {
             progressed += 1;
         }
 
+        // Move retry parts whose backoff has elapsed into the submit queue.
+        {
+            let now = rt.now();
+            let st = self.epoch.as_mut().expect("no epoch");
+            while let Some(&Reverse((ready_at, _, idx, part, attempt))) = st.delayed_parts.peek() {
+                if ready_at > now {
+                    break;
+                }
+                st.delayed_parts.pop();
+                st.pending_parts.push_back((idx, part, attempt));
+                progressed += 1;
+            }
+        }
+
         // Submit queued parts to the per-device qpairs (prep + post).
         let chunk = self.shared.cfg.chunk_size as usize;
         let costs = self.shared.cfg.costs.clone();
-        while let Some(&(idx, part)) = self
+        while let Some(&(idx, part, attempt)) = self
             .epoch
             .as_ref()
             .expect("no epoch")
@@ -425,7 +464,7 @@ impl DlfsIo {
                     self.tel.post_ns.record_dur(rt.now() - t1);
                     self.next_cmd += 1;
                     self.tel.requests_posted.inc();
-                    self.inflight.insert(cmd, (idx, part));
+                    self.inflight.insert(cmd, (idx, part, attempt));
                     self.epoch
                         .as_mut()
                         .expect("no epoch")
@@ -442,17 +481,45 @@ impl DlfsIo {
     /// Apply one harvested device completion belonging to the batched
     /// engine's in-flight set. Shared by the poll stage and the synchronous
     /// read path: both drain the same qpairs, so either may harvest the
-    /// other's completions.
-    fn engine_complete(&mut self, idx: u32, part: u32, ok: bool) {
-        if !ok {
-            // Media error: resubmit this part (paper-grade devices fail
-            // commands; the user-level initiator retries).
-            self.tel.retries.inc();
-            self.epoch
-                .as_mut()
-                .expect("no epoch")
-                .pending_parts
-                .push_back((idx, part));
+    /// other's completions — and either way a failed part must be re-queued
+    /// for retry, never just routed and forgotten.
+    fn engine_complete(&mut self, rt: &Runtime, idx: u32, part: u32, attempt: u32, status: CmdStatus) {
+        if !status.is_ok() {
+            // Failed command (media error or fabric timeout): resubmit
+            // under the retry policy, backing off in virtual time.
+            if status == CmdStatus::TransportError {
+                self.tel.timeouts.inc();
+            }
+            let failed_attempts = attempt + 1;
+            match self.shared.cfg.retry.next_delay(failed_attempts) {
+                Some(backoff) => {
+                    self.tel.retries.inc();
+                    let mut ready_at = rt.now() + backoff;
+                    if let Some(dl) = self.current_deadline {
+                        // Never park a retry past the batch deadline: the
+                        // caller is about to give up waiting anyway.
+                        ready_at = ready_at.min(dl.max(rt.now()));
+                    }
+                    let st = self.epoch.as_mut().expect("no epoch");
+                    st.delay_seq += 1;
+                    st.delayed_parts
+                        .push(Reverse((ready_at, st.delay_seq, idx, part, failed_attempts)));
+                }
+                None => {
+                    let target = self.epoch.as_ref().expect("no epoch").plan.items
+                        [idx as usize]
+                        .nid;
+                    let cause = match status {
+                        CmdStatus::TransportError => IoFailure::Timeout,
+                        _ => IoFailure::Media,
+                    };
+                    self.failed.get_or_insert(DlfsError::Io {
+                        target: target.into(),
+                        attempts: failed_attempts,
+                        cause,
+                    });
+                }
+            }
             return;
         }
         let st = self.epoch.as_mut().expect("no epoch");
@@ -492,11 +559,11 @@ impl DlfsIo {
                 rt.work(costs.per_completion);
                 self.tel.completions.inc();
                 harvested += 1;
-                let (idx, part) = self
+                let (idx, part, attempt) = self
                     .inflight
                     .remove(&comp.id)
                     .expect("completion for unknown command");
-                self.engine_complete(idx, part, comp.status.is_ok());
+                self.engine_complete(rt, idx, part, attempt, comp.status);
             }
         }
         if harvested == 0 {
@@ -605,6 +672,12 @@ impl DlfsIo {
         if self.epoch.is_none() {
             return Err(DlfsError::NoSequence);
         }
+        if let Some(e) = &self.failed {
+            // A part of this epoch is permanently lost; the plan cannot
+            // complete until `sequence` installs a fresh one.
+            return Err(e.clone());
+        }
+        self.current_deadline = req.deadline;
         let want = req.n.min(self.remaining());
         if want == 0 {
             return Err(DlfsError::EpochExhausted);
@@ -650,6 +723,16 @@ impl DlfsIo {
         self.copy_dispatch_at.clear();
 
         while received < want {
+            if self.failed.is_some() {
+                // Fatal I/O failure: drain the copies already dispatched
+                // (never tear a sample), then surface the error.
+                while received < dispatched {
+                    let done = done_rx.recv().map_err(|_| DlfsError::CacheExhausted)?;
+                    self.finish_copy(rt, &done);
+                    received += 1;
+                }
+                return Err(self.failed.clone().expect("checked above"));
+            }
             let expired = req.deadline.is_some_and(|dl| rt.now() >= dl);
             if expired && received == dispatched {
                 // Past the deadline with nothing outstanding: return short.
@@ -693,13 +776,9 @@ impl DlfsIo {
                     continue;
                 }
                 // Waiting on the devices: spin the poll loop forward to the
-                // next completion instant (busy polling, so it's CPU time).
-                let next = self
-                    .qpairs
-                    .iter()
-                    .filter_map(|q| q.next_completion_at())
-                    .min();
-                match next {
+                // next event — a completion, or a delayed part's retry
+                // instant (busy polling, so it's CPU time).
+                match self.next_engine_event() {
                     Some(t) => {
                         let now = rt.now();
                         if t > now {
@@ -717,6 +796,26 @@ impl DlfsIo {
             }
         }
         Ok(results.into_iter().flatten().collect())
+    }
+
+    /// Earliest instant at which the engine can make progress again: a
+    /// device completion or a delayed retry becoming due.
+    fn next_engine_event(&self) -> Option<Time> {
+        let next_dev = self
+            .qpairs
+            .iter()
+            .filter_map(|q| q.next_completion_at())
+            .min();
+        let next_retry = self
+            .epoch
+            .as_ref()
+            .and_then(|st| st.delayed_parts.peek())
+            .map(|Reverse((t, ..))| *t);
+        match (next_dev, next_retry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
     }
 
     /// Zero-copy `dlfs_bread` (the paper's future-work extension): deliver
@@ -745,6 +844,10 @@ impl DlfsIo {
         let costs = self.shared.cfg.costs.clone();
         let mut out: Vec<ZeroCopySample> = Vec::with_capacity(want);
         while out.len() < want {
+            if let Some(e) = &self.failed {
+                // Zero-copy delivery has nothing in the copy pool to drain.
+                return Err(e.clone());
+            }
             if req.deadline.is_some_and(|dl| rt.now() >= dl) {
                 // Zero-copy delivery is immediate, so past the deadline
                 // there is nothing left to drain: return short.
@@ -811,12 +914,7 @@ impl DlfsIo {
                     rt.work(req.inject_compute);
                     continue;
                 }
-                let next = self
-                    .qpairs
-                    .iter()
-                    .filter_map(|q| q.next_completion_at())
-                    .min();
-                match next {
+                match self.next_engine_event() {
                     Some(t) => {
                         let now = rt.now();
                         if t > now {
@@ -856,8 +954,60 @@ impl DlfsIo {
         self.read_entry(rt, entry)
     }
 
+    /// Submit every due (re)submission of the synchronous read path, lowest
+    /// part first, stopping at qpair backpressure (QueueFull).
+    #[allow(clippy::too_many_arguments)]
+    fn sync_submit_due(
+        &mut self,
+        rt: &Runtime,
+        nid: usize,
+        slba: u64,
+        nblocks: u32,
+        blocks_per_chunk: u32,
+        bufs: &[DmaBuf],
+        waiting: &mut Vec<(u32, u32, Time)>,
+        part_of: &mut HashMap<u64, (u32, u32)>,
+    ) {
+        let costs = self.shared.cfg.costs.clone();
+        loop {
+            let now = rt.now();
+            let Some(i) = waiting.iter().position(|&(_, _, nb)| nb <= now) else {
+                break;
+            };
+            let (p, attempt, _) = waiting[i];
+            let start = p * blocks_per_chunk;
+            let nb = (nblocks - start).min(blocks_per_chunk);
+            let t0 = rt.now();
+            rt.work(costs.prep_request);
+            let t1 = rt.now();
+            rt.work(costs.post_request);
+            let cmd = self.next_cmd;
+            match self.qpairs[nid].submit_read(
+                rt,
+                cmd,
+                slba + start as u64,
+                nb,
+                bufs[p as usize].clone(),
+                0,
+            ) {
+                Ok(()) => {
+                    self.next_cmd += 1;
+                    self.tel.requests_posted.inc();
+                    self.tel.prep_ns.record_dur(t1 - t0);
+                    self.tel.post_ns.record_dur(rt.now() - t1);
+                    part_of.insert(cmd, (p, attempt));
+                    waiting.remove(i);
+                }
+                Err(_) => break, // queue full: poll completions, then retry
+            }
+        }
+    }
+
     fn read_entry(&mut self, rt: &Runtime, entry: SampleEntry) -> Result<Vec<u8>, DlfsError> {
         let costs = self.shared.cfg.costs.clone();
+        // No batch deadline applies to engine retries harvested while this
+        // synchronous read drains the shared qpairs.
+        self.current_deadline = None;
         // Fast path (paper §III-C1): "we first check the sample entry and
         // return the data if the V field is on."
         if entry.valid() {
@@ -908,43 +1058,60 @@ impl DlfsIo {
             .cache
             .alloc_for(bytes)
             .ok_or(DlfsError::CacheExhausted)?;
-        // prep + post each part.
+        // prep + post each part; backpressure (a full qpair) and device
+        // failures park the part in `waiting` for a later submission pass.
         let chunk = self.shared.cfg.chunk_size as usize;
         let blocks_per_chunk = (chunk as u64 / BLOCK_SIZE) as u32;
-        let mut posted = Vec::new();
-        for (p, buf) in bufs.iter().enumerate() {
-            let start = p as u32 * blocks_per_chunk;
-            let nb = (nblocks - start).min(blocks_per_chunk);
-            let t0 = rt.now();
-            rt.work(costs.prep_request);
-            let t1 = rt.now();
-            rt.work(costs.post_request);
-            let cmd = self.next_cmd;
-            self.next_cmd += 1;
-            self.tel.requests_posted.inc();
-            self.qpairs[entry.nid() as usize]
-                .submit_read(rt, cmd, slba + start as u64, nb, buf.clone(), 0)
-                .expect("sync read exceeds queue depth");
-            self.tel.prep_ns.record_dur(t1 - t0);
-            self.tel.post_ns.record_dur(rt.now() - t1);
-            posted.push(cmd);
-        }
-        // poll until all parts complete (busy polling), resubmitting any
-        // command the device failed.
-        let mut part_of: HashMap<u64, u32> = posted
-            .iter()
-            .enumerate()
-            .map(|(p, &cmd)| (cmd, p as u32))
+        let retry = self.shared.cfg.retry;
+        let nid = entry.nid() as usize;
+        // Parts to (re)submit: (part, failed attempts so far, not before).
+        let mut waiting: Vec<(u32, u32, Time)> = (0..bufs.len() as u32)
+            .map(|p| (p, 0, Time::ZERO))
             .collect();
-        let mut left = posted.len();
+        let mut part_of: HashMap<u64, (u32, u32)> = HashMap::new();
+        let mut left = bufs.len();
+        let mut fatal: Option<DlfsError> = None;
+        self.sync_submit_due(
+            rt,
+            nid,
+            slba,
+            nblocks,
+            blocks_per_chunk,
+            &bufs,
+            &mut waiting,
+            &mut part_of,
+        );
+        // Poll until all parts complete (busy polling), resubmitting failed
+        // commands under the retry policy. On exhaustion, keep polling until
+        // our in-flight commands drain (SPDK cannot cancel a submitted
+        // command) before surfacing the error.
         let t_poll = rt.now();
-        while left > 0 {
+        while (left > 0 && fatal.is_none()) || !part_of.is_empty() {
+            if fatal.is_none() {
+                self.sync_submit_due(
+                    rt,
+                    nid,
+                    slba,
+                    nblocks,
+                    blocks_per_chunk,
+                    &bufs,
+                    &mut waiting,
+                    &mut part_of,
+                );
+            }
             rt.work(costs.poll_iteration);
             self.tel.poll_spins.inc();
-            let comps = self.qpairs[entry.nid() as usize].process_completions(rt, usize::MAX);
+            let comps = self.qpairs[nid].process_completions(rt, usize::MAX);
             if comps.is_empty() {
                 self.tel.scq_empty_polls.inc();
-                if let Some(t) = self.qpairs[entry.nid() as usize].next_completion_at() {
+                let next_dev = self.qpairs[nid].next_completion_at();
+                let next_retry = waiting.iter().map(|&(_, _, nb)| nb).min();
+                let next = match (next_dev, next_retry) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, None) => a,
+                    (None, b) => b,
+                };
+                if let Some(t) = next {
                     let now = rt.now();
                     if t > now {
                         rt.work(t - now);
@@ -956,34 +1123,52 @@ impl DlfsIo {
                 for c in &comps {
                     rt.work(costs.per_completion);
                     self.tel.completions.inc();
-                    let Some(p) = part_of.remove(&c.id) else {
+                    let Some((p, attempt)) = part_of.remove(&c.id) else {
                         // Not ours: the batched engine shares these qpairs
-                        // and its in-flight commands complete here too.
-                        let (idx, part) =
+                        // and its in-flight commands complete here too —
+                        // including failed ones, which must be re-queued
+                        // for retry, not merely routed.
+                        let (idx, part, att) =
                             self.inflight.remove(&c.id).expect("unknown command");
-                        self.engine_complete(idx, part, c.status.is_ok());
+                        self.engine_complete(rt, idx, part, att, c.status);
                         continue;
                     };
                     if c.status.is_ok() {
                         left -= 1;
                         continue;
                     }
-                    // Retry the failed part.
-                    self.tel.retries.inc();
-                    let start = p * blocks_per_chunk;
-                    let nb = (nblocks - start).min(blocks_per_chunk);
-                    rt.work(costs.prep_request + costs.post_request);
-                    let cmd = self.next_cmd;
-                    self.next_cmd += 1;
-                    self.tel.requests_posted.inc();
-                    self.qpairs[entry.nid() as usize]
-                        .submit_read(rt, cmd, slba + start as u64, nb, bufs[p as usize].clone(), 0)
-                        .expect("retry exceeds queue depth");
-                    part_of.insert(cmd, p);
+                    if c.status == CmdStatus::TransportError {
+                        self.tel.timeouts.inc();
+                    }
+                    let failed_attempts = attempt + 1;
+                    match retry.next_delay(failed_attempts) {
+                        Some(backoff) => {
+                            self.tel.retries.inc();
+                            waiting.push((p, failed_attempts, rt.now() + backoff));
+                        }
+                        None => {
+                            let cause = match c.status {
+                                CmdStatus::TransportError => IoFailure::Timeout,
+                                _ => IoFailure::Media,
+                            };
+                            fatal.get_or_insert(DlfsError::Io {
+                                target: entry.nid().into(),
+                                attempts: failed_attempts,
+                                cause,
+                            });
+                            waiting.clear();
+                        }
+                    }
                 }
             }
         }
         self.tel.poll_ns.record_dur(rt.now() - t_poll);
+        if let Some(e) = fatal {
+            for b in bufs {
+                self.shared.cache.free_raw(b);
+            }
+            return Err(e);
+        }
         // copy stage through the pool.
         let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
         let mut segments = Vec::new();

@@ -65,7 +65,7 @@ pub use cache::SampleCache;
 pub use config::{BatchMode, DlfsConfig, DlfsCosts};
 pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 pub use entry::SampleEntry;
-pub use error::DlfsError;
+pub use error::{DlfsError, IoFailure};
 pub use io::{DlfsIo, DlfsShared};
 pub use mount::{mount, mount_local, Deployment, DlfsInstance, MountOptions};
 pub use plan::{build_epoch_plan, full_random_order, EpochPlan, FetchItem, ReaderPlan};

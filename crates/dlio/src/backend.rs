@@ -311,7 +311,9 @@ impl ReaderBackend for OctoBackend {
                             e
                         }
                     };
-                    self.fs.read_entry(rt, self.client_node, &entry, &mut buf);
+                    self.fs
+                        .read_entry(rt, self.client_node, &entry, &mut buf)
+                        .expect("octopus read");
                 }
                 None => {
                     self.fs

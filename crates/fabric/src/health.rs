@@ -1,0 +1,165 @@
+//! Per-target health tracking with a simple circuit breaker.
+//!
+//! Consumers of remote targets (octofs reads, lookup clients) record
+//! per-target successes and failures here. After `threshold` consecutive
+//! failures the target's circuit *opens* for a virtual-time `cooldown`:
+//! [`TargetHealth::available`] reports it down, letting callers fail over
+//! to a replica instead of burning their retry budget on a dead node. Once
+//! the cooldown expires the circuit is half-open — the next caller may
+//! probe the target, and a recorded success closes it fully.
+
+use simkit::plock::Mutex;
+use simkit::telemetry::{Counter, Gauge, Registry};
+use simkit::time::{Dur, Time};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct HealthState {
+    consecutive_failures: u32,
+    open_until: Option<Time>,
+}
+
+struct HealthTel {
+    /// Per-target availability gauge (1 = circuit closed).
+    target_up: Vec<Gauge>,
+    /// Times any circuit transitioned closed → open.
+    circuit_opens: Counter,
+}
+
+/// Consecutive-failure circuit breaker over a fixed set of targets.
+pub struct TargetHealth {
+    threshold: u32,
+    cooldown: Dur,
+    states: Vec<Mutex<HealthState>>,
+    tel: Mutex<Option<HealthTel>>,
+}
+
+impl std::fmt::Debug for TargetHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetHealth")
+            .field("targets", &self.states.len())
+            .field("threshold", &self.threshold)
+            .field("cooldown", &self.cooldown)
+            .finish()
+    }
+}
+
+impl TargetHealth {
+    /// Track `targets` targets; open a circuit after `threshold`
+    /// consecutive failures, for `cooldown` of virtual time.
+    pub fn new(targets: usize, threshold: u32, cooldown: Dur) -> TargetHealth {
+        assert!(threshold > 0, "threshold must be at least 1");
+        TargetHealth {
+            threshold,
+            cooldown,
+            states: (0..targets).map(|_| Mutex::new(HealthState::default())).collect(),
+            tel: Mutex::new(None),
+        }
+    }
+
+    /// Register per-target `target_up` gauges and the `circuit_opens`
+    /// counter in `reg` (e.g. a registry scoped to `octofs.health`).
+    pub fn attach_telemetry(&self, reg: &Registry) {
+        let target_up: Vec<Gauge> = (0..self.states.len())
+            .map(|n| reg.gauge(&format!("node{n}.target_up")))
+            .collect();
+        for g in &target_up {
+            g.set(1);
+        }
+        *self.tel.lock() = Some(HealthTel {
+            target_up,
+            circuit_opens: reg.counter("circuit_opens"),
+        });
+    }
+
+    pub fn targets(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Is the target's circuit closed (or half-open) at `now`?
+    pub fn available(&self, target: usize, now: Time) -> bool {
+        match self.states[target].lock().open_until {
+            Some(until) => now >= until,
+            None => true,
+        }
+    }
+
+    /// Record a successful operation: closes the circuit and zeroes the
+    /// failure streak.
+    pub fn record_ok(&self, target: usize) {
+        let mut st = self.states[target].lock();
+        st.consecutive_failures = 0;
+        st.open_until = None;
+        if let Some(t) = self.tel.lock().as_ref() {
+            t.target_up[target].set(1);
+        }
+    }
+
+    /// Record a failed operation at `now`. Returns `true` when this failure
+    /// opened (or re-armed) the circuit.
+    pub fn record_failure(&self, target: usize, now: Time) -> bool {
+        let mut st = self.states[target].lock();
+        st.consecutive_failures += 1;
+        if st.consecutive_failures < self.threshold {
+            return false;
+        }
+        let was_open = st.open_until.is_some_and(|until| now < until);
+        st.open_until = Some(now + self.cooldown);
+        if let Some(t) = self.tel.lock().as_ref() {
+            t.target_up[target].set(0);
+            if !was_open {
+                t.circuit_opens.inc();
+            }
+        }
+        !was_open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_cools_down() {
+        let h = TargetHealth::new(2, 3, Dur::micros(100));
+        let t0 = Time::ZERO + Dur::micros(10);
+        assert!(h.available(0, t0));
+        assert!(!h.record_failure(0, t0));
+        assert!(!h.record_failure(0, t0));
+        assert!(h.available(0, t0), "still closed below threshold");
+        assert!(h.record_failure(0, t0), "third strike opens");
+        assert!(!h.available(0, t0));
+        assert!(!h.available(0, t0 + Dur::micros(99)));
+        // Half-open after the cooldown: callers may probe again.
+        assert!(h.available(0, t0 + Dur::micros(100)));
+        // Other targets unaffected.
+        assert!(h.available(1, t0));
+    }
+
+    #[test]
+    fn success_closes_and_resets_streak() {
+        let h = TargetHealth::new(1, 2, Dur::micros(50));
+        let t0 = Time::ZERO;
+        h.record_failure(0, t0);
+        h.record_ok(0);
+        assert!(!h.record_failure(0, t0), "streak was reset");
+        assert!(h.record_failure(0, t0));
+        assert!(!h.available(0, t0));
+        h.record_ok(0);
+        assert!(h.available(0, t0));
+    }
+
+    #[test]
+    fn telemetry_tracks_state() {
+        let reg = Registry::new();
+        let h = TargetHealth::new(2, 1, Dur::micros(10));
+        h.attach_telemetry(&reg.scoped("health"));
+        let t0 = Time::ZERO;
+        h.record_failure(1, t0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("health.node0.target_up"), 1);
+        assert_eq!(snap.gauge("health.node1.target_up"), 0);
+        assert_eq!(snap.counter("health.circuit_opens"), 1);
+        h.record_ok(1);
+        assert_eq!(reg.snapshot().gauge("health.node1.target_up"), 1);
+    }
+}

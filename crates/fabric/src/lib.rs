@@ -35,12 +35,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
+pub mod health;
 pub mod nvmeof;
 pub mod rdma;
 pub mod rpc;
 pub mod topology;
 
+pub use fault::{FabricFault, FabricFaultInjector};
+pub use health::TargetHealth;
 pub use nvmeof::{connect, NvmeOfTarget, RemoteTarget, TargetConfig, CAPSULE_BYTES};
 pub use rdma::{MemoryRegion, RdmaQp};
-pub use rpc::{serve, RpcClient, WireSize};
+pub use rpc::{serve, RpcClient, RpcError, WireSize};
 pub use topology::{Cluster, FabricConfig};

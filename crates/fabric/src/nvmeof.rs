@@ -186,8 +186,27 @@ impl NvmeTarget for RemoteTarget {
         )
     }
 
-    fn fault_decide(&self, is_write: bool) -> blocksim::FaultOutcome {
-        self.target.device.fault_decide(is_write)
+    fn fault_decide(&self, now: Time, is_write: bool) -> blocksim::FaultOutcome {
+        // Device-level fate first (media errors, latency spikes), then the
+        // fabric's verdict on the client ↔ target path layered on top. A
+        // dropped command surfaces as a transport error after the fabric's
+        // I/O timeout — the initiator's qpair sees it complete then, with
+        // no data transferred.
+        let dev = self.target.device.fault_decide(now, is_write);
+        match self
+            .cluster
+            .fault_decide(now, self.client_node, self.target.node)
+        {
+            crate::fault::FabricFault::Healthy => dev,
+            crate::fault::FabricFault::Delay(extra) => blocksim::FaultOutcome {
+                status: dev.status,
+                extra_latency: dev.extra_latency + extra,
+            },
+            crate::fault::FabricFault::Dropped { detect_after } => blocksim::FaultOutcome {
+                status: blocksim::CmdStatus::TransportError,
+                extra_latency: detect_after,
+            },
+        }
     }
 }
 

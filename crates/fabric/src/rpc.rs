@@ -8,11 +8,37 @@
 use std::sync::Arc;
 
 use simkit::chan::{Receiver, Sender};
+use simkit::retry::RetryPolicy;
 use simkit::runtime::Runtime;
 use simkit::telemetry::{Counter, Histo};
 use simkit::time::Time;
 
+use crate::fault::FabricFault;
 use crate::topology::Cluster;
+
+/// RPC failure surfaced to callers of [`RpcClient::try_call`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RpcError {
+    /// Every attempt timed out (dropped capsule or response, crashed or
+    /// unreachable server).
+    Timeout { server_node: usize, attempts: u32 },
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout {
+                server_node,
+                attempts,
+            } => write!(
+                f,
+                "rpc to node {server_node} timed out after {attempts} attempt(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
 
 /// Wire-size estimator for a message type.
 pub trait WireSize {
@@ -42,7 +68,10 @@ pub struct RpcClient<Req, Resp> {
     cluster: Arc<Cluster>,
     server_node: usize,
     tx: Sender<Envelope<Req, Resp>>,
+    retry: RetryPolicy,
     calls: Counter,
+    retries: Counter,
+    timeouts: Counter,
     latency_ns: Histo,
 }
 
@@ -52,7 +81,10 @@ impl<Req, Resp> Clone for RpcClient<Req, Resp> {
             cluster: self.cluster.clone(),
             server_node: self.server_node,
             tx: self.tx.clone(),
+            retry: self.retry,
             calls: self.calls.clone(),
+            retries: self.retries.clone(),
+            timeouts: self.timeouts.clone(),
             latency_ns: self.latency_ns.clone(),
         }
     }
@@ -67,11 +99,29 @@ impl<Req, Resp> std::fmt::Debug for RpcClient<Req, Resp> {
 }
 
 impl<Req: Send + WireSize + 'static, Resp: Send + WireSize + 'static> RpcClient<Req, Resp> {
+    /// Replace the retry policy used by [`RpcClient::try_call`].
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Issue a synchronous RPC from `from_node`. The calling task sleeps for
     /// the request's network time, the server's queueing + handler time, and
     /// the response's network time.
+    ///
+    /// This path is fault-oblivious (control-plane traffic during setup
+    /// phases); data-plane callers that must survive drops and crashed
+    /// servers use [`RpcClient::try_call`].
     pub fn call(&self, rt: &Runtime, from_node: usize, req: Req) -> Resp {
         let started = rt.now();
+        let resp = self.exchange(rt, from_node, req);
+        self.calls.inc();
+        self.latency_ns.record_dur(rt.now() - started);
+        resp
+    }
+
+    /// One fault-free request/response exchange.
+    fn exchange(&self, rt: &Runtime, from_node: usize, req: Req) -> Resp {
         // Request crosses the fabric.
         let req_bytes = req.wire_bytes();
         let arrive = self
@@ -104,9 +154,86 @@ impl<Req: Send + WireSize + 'static, Resp: Send + WireSize + 'static> RpcClient<
         if !wait.is_zero() {
             rt.sleep(wait);
         }
-        self.calls.inc();
-        self.latency_ns.record_dur(rt.now() - started);
         resp
+    }
+}
+
+impl<Req, Resp> RpcClient<Req, Resp>
+where
+    Req: Send + WireSize + Clone + 'static,
+    Resp: Send + WireSize + 'static,
+{
+    /// Fault-aware RPC: consults the cluster's fault injector on both
+    /// directions, waits out the fabric I/O timeout on a dropped message,
+    /// and retries under the client's [`RetryPolicy`] with deterministic
+    /// backoff. Errs with [`RpcError::Timeout`] once the attempt budget is
+    /// spent.
+    ///
+    /// A response-direction drop re-runs the handler on retry, so handlers
+    /// must be idempotent (metadata lookups are).
+    pub fn try_call(&self, rt: &Runtime, from_node: usize, req: Req) -> Result<Resp, RpcError> {
+        let started = rt.now();
+        let mut failed = 0u32;
+        loop {
+            let fate = match self
+                .cluster
+                .fault_decide(rt.now(), from_node, self.server_node)
+            {
+                FabricFault::Dropped { detect_after } => Err(detect_after),
+                FabricFault::Delay(extra) => {
+                    if !extra.is_zero() {
+                        rt.sleep(extra);
+                    }
+                    Ok(())
+                }
+                FabricFault::Healthy => Ok(()),
+            };
+            let fate = match fate {
+                Err(timeout) => Err(timeout),
+                Ok(()) => {
+                    let resp = self.exchange(rt, from_node, req.clone());
+                    // The response capsule can be lost independently.
+                    match self.cluster.fault_decide(rt.now(), self.server_node, from_node) {
+                        FabricFault::Dropped { detect_after } => Err(detect_after),
+                        FabricFault::Delay(extra) => {
+                            if !extra.is_zero() {
+                                rt.sleep(extra);
+                            }
+                            Ok(resp)
+                        }
+                        FabricFault::Healthy => Ok(resp),
+                    }
+                }
+            };
+            match fate {
+                Ok(resp) => {
+                    self.calls.inc();
+                    self.latency_ns.record_dur(rt.now() - started);
+                    return Ok(resp);
+                }
+                Err(timeout) => {
+                    self.timeouts.inc();
+                    if !timeout.is_zero() {
+                        rt.sleep(timeout);
+                    }
+                    failed += 1;
+                    match self.retry.next_delay(failed) {
+                        Some(backoff) => {
+                            self.retries.inc();
+                            if !backoff.is_zero() {
+                                rt.sleep(backoff);
+                            }
+                        }
+                        None => {
+                            return Err(RpcError::Timeout {
+                                server_node: self.server_node,
+                                attempts: failed,
+                            })
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -139,7 +266,10 @@ where
     let scope = cluster.registry().scoped(&format!("fabric.rpc.{name}"));
     RpcClient {
         calls: scope.counter("calls"),
+        retries: scope.counter("retries"),
+        timeouts: scope.counter("timeouts"),
         latency_ns: scope.histogram("latency_ns"),
+        retry: RetryPolicy::default(),
         cluster,
         server_node,
         tx,

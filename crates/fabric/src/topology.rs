@@ -8,9 +8,13 @@
 //! bottleneck: one client's ingress NIC caps the aggregate bandwidth of
 //! many remote NVMe devices.
 
+use std::sync::Arc;
+
 use simkit::resource::Link;
 use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
 use simkit::time::{Dur, Time};
+
+use crate::fault::{FabricFault, FabricFaultInjector};
 
 /// Network parameters.
 #[derive(Clone, Debug)]
@@ -58,6 +62,7 @@ pub struct Cluster {
     registry: Registry,
     transfers: Counter,
     transfer_ns: Histo,
+    faults: simkit::plock::Mutex<Option<Arc<FabricFaultInjector>>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -92,6 +97,31 @@ impl Cluster {
             transfer_ns: scope.histogram("transfer_ns"),
             registry: reg.clone(),
             cfg,
+            faults: simkit::plock::Mutex::new(None),
+        }
+    }
+
+    /// Attach a fabric fault injector; its counters and per-node
+    /// `target_up` gauges register under `fabric.faults.*`. Returns the
+    /// shared handle for schedule inspection in tests.
+    pub fn set_faults(&self, injector: FabricFaultInjector) -> Arc<FabricFaultInjector> {
+        injector.attach_telemetry(&self.registry.scoped("fabric.faults"), self.len());
+        let injector = Arc::new(injector);
+        *self.faults.lock() = Some(injector.clone());
+        injector
+    }
+
+    /// The attached fault injector, if any.
+    pub fn faults(&self) -> Option<Arc<FabricFaultInjector>> {
+        self.faults.lock().clone()
+    }
+
+    /// Decide the fate of one `from → to` message at `now`; healthy when no
+    /// injector is attached.
+    pub fn fault_decide(&self, now: Time, from: usize, to: usize) -> FabricFault {
+        match self.faults.lock().as_ref() {
+            Some(f) => f.decide(now, from, to),
+            None => FabricFault::Healthy,
         }
     }
 

@@ -69,7 +69,7 @@ impl BlockLayer {
             let mut failed = Vec::new();
             for &(start, len) in &queue {
                 rt.work(self.costs.bio_submit);
-                let fault = self.dev.fault_decide(false);
+                let fault = self.dev.fault_decide(rt.now(), false);
                 let done = self.dev.reserve_read(
                     rt.now(),
                     start * DEV_BLOCKS_PER_FS_BLOCK,
@@ -127,7 +127,7 @@ impl BlockLayer {
             let mut failed = Vec::new();
             for &(start, len) in &queue {
                 rt.work(self.costs.bio_submit);
-                let fault = self.dev.fault_decide(true);
+                let fault = self.dev.fault_decide(rt.now(), true);
                 let done = self.dev.reserve_write(
                     rt.now(),
                     start * DEV_BLOCKS_PER_FS_BLOCK,

@@ -36,5 +36,5 @@
 pub mod cluster;
 pub mod meta;
 
-pub use cluster::{OctopusFs, CLIENT_POST_COST};
+pub use cluster::{OctoConfig, OctoError, OctopusFs, CLIENT_POST_COST};
 pub use meta::{owner_of, MetaEntry, MetaTable, SERVER_LOOKUP_COST};

@@ -18,6 +18,9 @@ pub struct MetaEntry {
     pub offset: u64,
     /// Length in bytes.
     pub len: u64,
+    /// Replica location `(node, offset)` when the cluster keeps a second
+    /// copy; reads fail over here when the primary's circuit is open.
+    pub replica: Option<(u32, u64)>,
 }
 
 /// Which node owns a file's metadata (and, in our layout, its data).
@@ -110,7 +113,12 @@ mod tests {
     #[test]
     fn table_insert_lookup() {
         let mut t = MetaTable::new();
-        let e = MetaEntry { node: 3, offset: 4096, len: 512 };
+        let e = MetaEntry {
+            node: 3,
+            offset: 4096,
+            len: 512,
+            replica: None,
+        };
         assert!(t.insert("a", e).is_none());
         assert_eq!(t.lookup("a"), Some(e));
         assert_eq!(t.lookup("b"), None);

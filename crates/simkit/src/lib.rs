@@ -49,6 +49,7 @@ pub mod chan;
 mod mpmc;
 pub mod plock;
 pub mod resource;
+pub mod retry;
 pub mod rng;
 mod sched;
 pub mod stats;
@@ -61,6 +62,7 @@ pub mod runtime;
 
 pub use chan::{Receiver, RecvError, SendError, Sender, TryRecvError};
 pub use resource::{Link, Semaphore, Servers};
+pub use retry::RetryPolicy;
 pub use rng::{fill_deterministic, fnv1a, SplitMix64};
 pub use runtime::{JoinHandle, Runtime};
 pub use stats::{fmt_bytes, fmt_bytes_rate, fmt_rate, Histogram, Meter, Summary};
@@ -73,6 +75,7 @@ pub use time::{Dur, Time};
 pub mod prelude {
     pub use crate::chan::{Receiver, Sender};
     pub use crate::resource::{Link, Semaphore, Servers};
+    pub use crate::retry::RetryPolicy;
     pub use crate::rng::SplitMix64;
     pub use crate::runtime::{JoinHandle, Runtime};
     pub use crate::stats::{Histogram, Meter, Summary};
