@@ -5,13 +5,17 @@
 #  2. the full workspace test suite (includes the deterministic chaos
 #     tests in crates/core/tests/chaos.rs and crates/fabric/tests/faults.rs);
 #  3. a small chaos-sweep run (fault injection + retry/failover, with
-#     built-in byte-correctness and determinism assertions);
-#  4. clippy, warnings denied, across every target.
+#     built-in byte-correctness and determinism assertions) and a
+#     cache-ablation smoke run (cross-epoch residency + prefetch);
+#  4. rustfmt (check mode) and clippy, warnings denied, across every
+#     target.
 #
 # Everything runs offline: the workspace has no external dependencies.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== rustfmt (check)"
+cargo fmt --check
 echo "== tier-1: release build"
 cargo build --release --offline
 echo "== tier-1: root test suite"
@@ -20,6 +24,8 @@ echo "== workspace tests"
 cargo test -q --offline --workspace
 echo "== chaos sweep (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_fault_sweep -- n=256 size=2048
+echo "== cache ablation (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin ablation_cache -- samples=1024 epochs=2
 echo "== clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== ci OK"

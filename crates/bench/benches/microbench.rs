@@ -40,7 +40,9 @@ fn bench_avl() {
         });
     }
     let mut rng = SplitMix64::new(9);
-    let insert_keys: Vec<u64> = (0..10_000u64).map(|_| rng.next() & ((1 << 48) - 1)).collect();
+    let insert_keys: Vec<u64> = (0..10_000u64)
+        .map(|_| rng.next() & ((1 << 48) - 1))
+        .collect();
     bench("avl/insert_10k", 100, || {
         let mut t = AvlTree::with_capacity(insert_keys.len());
         for (i, &k) in insert_keys.iter().enumerate() {

@@ -55,7 +55,10 @@ fn main() {
             batch_mode: mode,
             ..Default::default()
         };
-        t.row(&[label.to_string(), fmt_sps(local_rate(seed, &tiny, cfg, 12_000))]);
+        t.row(&[
+            label.to_string(),
+            fmt_sps(local_rate(seed, &tiny, cfg, 12_000)),
+        ]);
     }
     t.print();
 
@@ -80,7 +83,11 @@ fn main() {
     // --- 3. Copy-thread pool size (128 KB samples, 4 remote devices).
     println!("\n# Ablation 3: copy-thread pool (128KB samples, 4 remote devices)\n");
     let big = setup::fixed_source(seed ^ 2, 128 << 10, 256 << 20, 30_000);
-    let mut t = Table::new(&["copy_threads", "fast memcpy (8GB/s)", "slow copy (2GB/s, e.g. decode)"]);
+    let mut t = Table::new(&[
+        "copy_threads",
+        "fast memcpy (8GB/s)",
+        "slow copy (2GB/s, e.g. decode)",
+    ]);
     for k in [1usize, 2, 4, 8] {
         let fast = DlfsConfig {
             copy_threads: k,
@@ -158,7 +165,12 @@ fn main() {
             (read as f64 / dt, cpu)
         });
         t.row(&[
-            if zero { "zero-copy (pinned chunks)" } else { "copy threads (paper)" }.into(),
+            if zero {
+                "zero-copy (pinned chunks)"
+            } else {
+                "copy threads (paper)"
+            }
+            .into(),
             fmt_sps(rate),
             format!("{cpu_per:.1}"),
         ]);

@@ -1,0 +1,218 @@
+//! Ablation: the cross-epoch sample cache (DESIGN.md §11).
+//!
+//! Sweeps the huge-page pool size as a fraction of the dataset's chunk
+//! working set and compares epoch-scoped residency (every epoch refetches)
+//! against cross-epoch residency with LRU eviction, cold epoch vs warm
+//! epochs: throughput, cache hit rate, evictions, and the device commands
+//! the warm epochs still issue. A final pair of rows isolates the
+//! plan-aware prefetcher.
+//!
+//! Headline: with the pool >= working set, warm epochs do *zero* device
+//! reads and run at memory speed; a half-size pool degrades gracefully
+//! through LRU eviction rather than falling off a cliff.
+
+use std::sync::Arc;
+
+use dlfs::{CacheMode, DlfsConfig, DlfsError, ReadRequest, SyntheticSource};
+use dlfs_bench::{arg, fmt_sps, ratio, setup, Table, DEFAULT_SEED};
+use simkit::prelude::*;
+use simkit::telemetry::{Registry, Snapshot};
+
+/// Aggregate of one epoch across all readers.
+#[derive(Clone, Default)]
+struct EpochAgg {
+    samples: u64,
+    elapsed_ns: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    prefetch_issued: u64,
+    prefetch_hits: u64,
+    dev_cmds: u64,
+}
+
+impl EpochAgg {
+    fn rate(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.samples as f64 / (self.elapsed_ns as f64 / 1e9)
+        }
+    }
+
+    fn hit_pct(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+}
+
+fn device_commands(snap: &Snapshot, nodes: usize) -> u64 {
+    (0..nodes)
+        .map(|n| snap.counter(&format!("blocksim.dev{n}.commands")))
+        .sum()
+}
+
+/// Run `epochs` epochs on every reader concurrently; each reader keeps one
+/// long-lived I/O handle (cache and prefetch state persist across its
+/// epochs). Returns per-epoch aggregates.
+fn run(
+    seed: u64,
+    source: &SyntheticSource,
+    cfg: &DlfsConfig,
+    nodes: usize,
+    epochs: u64,
+) -> Vec<EpochAgg> {
+    let cfg = cfg.clone();
+    let (rows, _) = Runtime::simulate(seed, |rt| {
+        let fs = Arc::new(setup::dlfs_disagg(rt, nodes, nodes, source, cfg));
+        let mut handles = Vec::new();
+        for r in 0..nodes {
+            let fs = fs.clone();
+            handles.push(rt.spawn_with(&format!("abl-reader{r}"), move |rt| {
+                let reg = Registry::new();
+                let mut io = fs.io_with_registry(r, &reg);
+                let mut rows = Vec::new();
+                let mut prev = Snapshot::default();
+                for epoch in 0..epochs {
+                    let t0 = rt.now();
+                    let total = io.sequence(rt, seed, epoch);
+                    let mut got = 0usize;
+                    while got < total {
+                        match io.submit(rt, &ReadRequest::batch(32)) {
+                            Ok(b) => got += b.len(),
+                            Err(DlfsError::EpochExhausted) => break,
+                            Err(e) => panic!("ablation epoch failed: {e}"),
+                        }
+                    }
+                    let snap = reg.snapshot();
+                    let d = snap.since(&prev);
+                    rows.push(EpochAgg {
+                        samples: got as u64,
+                        elapsed_ns: (rt.now() - t0).as_nanos(),
+                        hits: d.counter("dlfs.cache.hits"),
+                        misses: d.counter("dlfs.cache.misses"),
+                        evictions: d.counter("dlfs.cache.evictions"),
+                        prefetch_issued: d.counter("dlfs.cache.prefetch_issued"),
+                        prefetch_hits: d.counter("dlfs.cache.prefetch_hits"),
+                        dev_cmds: device_commands(&d, nodes),
+                    });
+                    prev = snap;
+                }
+                rows
+            }));
+        }
+        let mut agg: Vec<EpochAgg> = vec![EpochAgg::default(); epochs as usize];
+        for h in handles {
+            for (e, row) in h.join().into_iter().enumerate() {
+                agg[e].samples += row.samples;
+                agg[e].elapsed_ns = agg[e].elapsed_ns.max(row.elapsed_ns);
+                agg[e].hits += row.hits;
+                agg[e].misses += row.misses;
+                agg[e].evictions += row.evictions;
+                agg[e].prefetch_issued += row.prefetch_issued;
+                agg[e].prefetch_hits += row.prefetch_hits;
+                agg[e].dev_cmds += row.dev_cmds;
+            }
+        }
+        agg
+    });
+    rows
+}
+
+/// Average the warm (second and later) epochs.
+fn warm(rows: &[EpochAgg]) -> EpochAgg {
+    let mut w = EpochAgg::default();
+    let tail = &rows[1..];
+    for r in tail {
+        w.samples += r.samples;
+        w.elapsed_ns += r.elapsed_ns;
+        w.hits += r.hits;
+        w.misses += r.misses;
+        w.evictions += r.evictions;
+        w.prefetch_issued += r.prefetch_issued;
+        w.prefetch_hits += r.prefetch_hits;
+        w.dev_cmds += r.dev_cmds;
+    }
+    w
+}
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let nodes: usize = arg("nodes", 2);
+    let samples: usize = arg("samples", 4096);
+    let epochs: u64 = arg("epochs", 3);
+    let chunk: u64 = arg("chunk_kb", 8) * 1024;
+
+    let source = SyntheticSource::fixed(seed, samples, 512);
+    // Chunk working set of the whole dataset (what a reader can touch
+    // across epochs as the shuffle re-deals items).
+    let ws = (samples as u64 * 512).div_ceil(chunk) as usize;
+
+    println!("# Cache ablation: {samples} x 512B samples over {nodes} nodes");
+    println!(
+        "# chunk = {} KiB, working set = {ws} chunks, {epochs} epochs\n",
+        chunk / 1024
+    );
+
+    let base = |pool: usize, mode: CacheMode, pf: usize| DlfsConfig {
+        chunk_size: chunk,
+        pool_chunks: pool.max(16),
+        cache_mode: mode,
+        prefetch_window: pf,
+        ..DlfsConfig::default()
+    };
+
+    let mut t = Table::new(&[
+        "pool",
+        "mode",
+        "cold sps",
+        "warm sps",
+        "warm/cold",
+        "hit%",
+        "evict",
+        "warm dev cmds",
+    ]);
+    let mut sweeps: Vec<(String, DlfsConfig)> =
+        vec![(format!("{ws}ch"), base(ws, CacheMode::EpochScoped, 0))];
+    for frac in [4usize, 2, 1] {
+        let pool = (ws * 3 / (2 * frac)).max(16);
+        sweeps.push((format!("{pool}ch"), base(pool, CacheMode::CrossEpoch, 0)));
+    }
+    sweeps.push((
+        format!("{}ch+pf8", (ws * 3 / 2).max(16)),
+        base(ws * 3 / 2, CacheMode::CrossEpoch, 8),
+    ));
+
+    for (pool_label, cfg) in &sweeps {
+        let rows = run(seed, &source, cfg, nodes, epochs);
+        let cold = &rows[0];
+        let w = warm(&rows);
+        let mode = match (cfg.cache_mode, cfg.prefetch_window) {
+            (CacheMode::EpochScoped, _) => "epoch-scoped",
+            (CacheMode::CrossEpoch, 0) => "cross-epoch",
+            (CacheMode::CrossEpoch, _) => "cross+prefetch",
+        };
+        t.row(&[
+            pool_label.clone(),
+            mode.to_string(),
+            fmt_sps(cold.rate()),
+            fmt_sps(w.rate()),
+            format!("{:.2}x", ratio(w.rate(), cold.rate())),
+            format!("{:.1}", w.hit_pct()),
+            format!("{}", w.evictions),
+            format!("{}", w.dev_cmds),
+        ]);
+        if cfg.prefetch_window > 0 {
+            println!(
+                "# prefetch: issued={} consumed={}",
+                w.prefetch_issued, w.prefetch_hits
+            );
+        }
+    }
+    t.print();
+    println!("\n# csv\n{}", t.csv());
+}

@@ -54,7 +54,11 @@ fn main() {
 
     // --- Sorted vec + binary search.
     let t0 = Instant::now();
-    let mut sorted: Vec<(u64, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    let mut sorted: Vec<(u64, u32)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u32))
+        .collect();
     sorted.sort_unstable_by_key(|e| e.0);
     sorted.dedup_by_key(|e| e.0);
     let build = t0.elapsed();

@@ -46,67 +46,78 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
 
 /// One DLFS epoch on reader 0 of a 2-reader/2-device disaggregated
 /// deployment, with the given fault rates armed after the mount.
-fn dlfs_run(seed: u64, n: usize, size: u64, media_ppm: u32, drop_ppm: u32, crash: bool) -> RunOutcome {
-    let ((checksum, metrics, retries, timeouts, faults_seen, mut lats), end) = Runtime::simulate(seed, |rt| {
-        let source = SyntheticSource::fixed(seed ^ 0xD1F5, n, size);
-        let cfg = DlfsConfig {
-            // Small chunks: enough commands per epoch for per-command
-            // fault rates to matter.
-            chunk_size: 16 * 1024,
-            ..DlfsConfig::default()
-        };
-        let (fs, cluster, devices) = setup::dlfs_disagg_chaos(rt, 2, 2, &source, cfg);
-        for (i, d) in devices.iter().enumerate() {
-            d.set_faults(FaultInjector::new(seed ^ i as u64).with_read_failures(media_ppm));
-        }
-        let mut inj = FabricFaultInjector::new(seed ^ 0xFA)
-            .with_drops(drop_ppm)
-            .with_io_timeout(Dur::micros(40));
-        if crash {
-            // Node 1 (the remote device for reader 0) is dark as the epoch
-            // starts and restarts 1 ms later — well inside the ~10 ms
-            // default retry budget, so the epoch rides it out.
-            let now = rt.now();
-            inj = inj.with_crash(1, now, now + Dur::millis(1));
-        }
-        cluster.set_faults(inj);
-
-        let mut io = fs.io(0);
-        let total = io.sequence(rt, seed ^ 0xEF0C, 0);
-        let mut delivered = 0usize;
-        let mut checksum = 0u64;
-        let mut lats: Vec<u64> = Vec::new();
-        loop {
-            let t0 = rt.now();
-            match io.submit(rt, &ReadRequest::batch(32)).map(Batch::into_copied) {
-                Ok(batch) => {
-                    lats.push((rt.now() - t0).as_nanos());
-                    for (id, data) in batch {
-                        assert_eq!(data, source.expected(id), "torn sample {id}");
-                        delivered += 1;
-                        checksum = checksum
-                            .wrapping_mul(0x100000001b3)
-                            .wrapping_add(fnv1a(&data) ^ id as u64);
-                    }
-                }
-                Err(DlfsError::EpochExhausted) => break,
-                Err(e) => panic!("epoch failed under faults: {e}"),
+fn dlfs_run(
+    seed: u64,
+    n: usize,
+    size: u64,
+    media_ppm: u32,
+    drop_ppm: u32,
+    crash: bool,
+) -> RunOutcome {
+    let ((checksum, metrics, retries, timeouts, faults_seen, mut lats), end) =
+        Runtime::simulate(seed, |rt| {
+            let source = SyntheticSource::fixed(seed ^ 0xD1F5, n, size);
+            let cfg = DlfsConfig {
+                // Small chunks: enough commands per epoch for per-command
+                // fault rates to matter.
+                chunk_size: 16 * 1024,
+                ..DlfsConfig::default()
+            };
+            let (fs, cluster, devices) = setup::dlfs_disagg_chaos(rt, 2, 2, &source, cfg);
+            for (i, d) in devices.iter().enumerate() {
+                d.set_faults(FaultInjector::new(seed ^ i as u64).with_read_failures(media_ppm));
             }
-        }
-        assert_eq!(delivered, total, "epoch did not complete");
-        let m = io.metrics();
-        let faults_seen = m.counter("blocksim.dev0.media_errors")
-            + m.counter("blocksim.dev1.media_errors")
-            + m.counter("dlfs.io.timeouts");
-        (
-            checksum,
-            m.render(),
-            m.counter("dlfs.io.retries"),
-            m.counter("dlfs.io.timeouts"),
-            faults_seen,
-            lats,
-        )
-    });
+            let mut inj = FabricFaultInjector::new(seed ^ 0xFA)
+                .with_drops(drop_ppm)
+                .with_io_timeout(Dur::micros(40));
+            if crash {
+                // Node 1 (the remote device for reader 0) is dark as the epoch
+                // starts and restarts 1 ms later — well inside the ~10 ms
+                // default retry budget, so the epoch rides it out.
+                let now = rt.now();
+                inj = inj.with_crash(1, now, now + Dur::millis(1));
+            }
+            cluster.set_faults(inj);
+
+            let mut io = fs.io(0);
+            let total = io.sequence(rt, seed ^ 0xEF0C, 0);
+            let mut delivered = 0usize;
+            let mut checksum = 0u64;
+            let mut lats: Vec<u64> = Vec::new();
+            loop {
+                let t0 = rt.now();
+                match io
+                    .submit(rt, &ReadRequest::batch(32))
+                    .map(Batch::into_copied)
+                {
+                    Ok(batch) => {
+                        lats.push((rt.now() - t0).as_nanos());
+                        for (id, data) in batch {
+                            assert_eq!(data, source.expected(id), "torn sample {id}");
+                            delivered += 1;
+                            checksum = checksum
+                                .wrapping_mul(0x100000001b3)
+                                .wrapping_add(fnv1a(&data) ^ id as u64);
+                        }
+                    }
+                    Err(DlfsError::EpochExhausted) => break,
+                    Err(e) => panic!("epoch failed under faults: {e}"),
+                }
+            }
+            assert_eq!(delivered, total, "epoch did not complete");
+            let m = io.metrics();
+            let faults_seen = m.counter("blocksim.dev0.media_errors")
+                + m.counter("blocksim.dev1.media_errors")
+                + m.counter("dlfs.io.timeouts");
+            (
+                checksum,
+                m.render(),
+                m.counter("dlfs.io.retries"),
+                m.counter("dlfs.io.timeouts"),
+                faults_seen,
+                lats,
+            )
+        });
     lats.sort_unstable();
     RunOutcome {
         end_ns: end.nanos(),
@@ -226,7 +237,11 @@ fn main() {
         t.row(&[
             media.to_string(),
             drops.to_string(),
-            if crash { "node1/1ms".into() } else { "-".to_string() },
+            if crash {
+                "node1/1ms".into()
+            } else {
+                "-".to_string()
+            },
             a.retries.to_string(),
             a.timeouts.to_string(),
             format!("{}", Dur::nanos(a.p50)),

@@ -27,7 +27,12 @@ fn main() {
             let ((mean, p50, p95, p99), _) = Runtime::simulate(seed, |rt| {
                 let mut b = mk(rt);
                 let (_m, h) = read_n_latency(rt, b.as_mut(), seed, 0, n, 32);
-                (h.mean(), h.quantile(0.5), h.quantile(0.95), h.quantile(0.99))
+                (
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                )
             });
             t.row(&[
                 label.to_string(),

@@ -43,7 +43,8 @@ fn main() {
             let fs = {
                 use blocksim::NvmeTarget;
                 use std::sync::Arc;
-                let cluster = Arc::new(fabric::Cluster::new(nodes, fabric::FabricConfig::default()));
+                let cluster =
+                    Arc::new(fabric::Cluster::new(nodes, fabric::FabricConfig::default()));
                 let per_node = dataset_bytes / nodes as u64 + (64 << 10);
                 let devices: Vec<_> = (0..nodes)
                     .map(|_| setup::emulated_for(per_node * 2))

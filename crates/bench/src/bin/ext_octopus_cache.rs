@@ -25,9 +25,12 @@ fn main() {
     println!("# Extension: Octopus + client metadata cache vs DLFS ({nodes} nodes)\n");
 
     for size in [512u64, 128 << 10] {
-        let source = setup::fixed_source(seed ^ size, size, (nodes as u64) * (48 << 20), nodes * 3000);
+        let source =
+            setup::fixed_source(seed ^ size, size, (nodes as u64) * (48 << 20), nodes * 3000);
         // Whole-shard epochs: a warm second epoch then revisits every name.
-        let per = per_node.max(source.count() / nodes).min(source.count() / nodes);
+        let per = per_node
+            .max(source.count() / nodes)
+            .min(source.count() / nodes);
         println!("## {} samples\n", fmt_size(size));
         let mut t = Table::new(&["system", "epoch 0 (cold)", "epoch 1 (warm)", "cache hits"]);
 

@@ -155,7 +155,8 @@ fn main() {
         for c in 0..ds.container_count() as u32 {
             buf.resize(ds.size(c) as usize, 0);
             ds.fill(c, &mut buf);
-            fs.create_untimed(&format!("/data/{}", ds.name(c)), &buf).unwrap();
+            fs.create_untimed(&format!("/data/{}", ds.name(c)), &buf)
+                .unwrap();
         }
         fs.drop_caches();
         let t0 = rt.now();
@@ -178,7 +179,10 @@ fn main() {
         }
         records as f64 / (rt.now() - t0).as_secs_f64()
     });
-    t.row(&["Ext4 sequential + shuffle buffer".into(), fmt_sps(ext4_rate)]);
+    t.row(&[
+        "Ext4 sequential + shuffle buffer".into(),
+        fmt_sps(ext4_rate),
+    ]);
 
     // DLFS record-level random access.
     let (dlfs_rate, _) = Runtime::simulate(seed, |rt| {

@@ -34,6 +34,14 @@ fn main() {
     let p75_im = imdb.quantile(seed, n, 0.75);
     let p50_in = imagenet.quantile(seed, n, 0.50);
     let p50_im = imdb.quantile(seed, n, 0.50);
-    println!("paper: ImageNet p75 < 147 KB | measured p75 = {} (median {})", fmt_size(p75_in), fmt_size(p50_in));
-    println!("paper: IMDB     p75 < 1.6 KB | measured p75 = {} (median {})", fmt_size(p75_im), fmt_size(p50_im));
+    println!(
+        "paper: ImageNet p75 < 147 KB | measured p75 = {} (median {})",
+        fmt_size(p75_in),
+        fmt_size(p50_in)
+    );
+    println!(
+        "paper: IMDB     p75 < 1.6 KB | measured p75 = {} (median {})",
+        fmt_size(p75_im),
+        fmt_size(p50_im)
+    );
 }

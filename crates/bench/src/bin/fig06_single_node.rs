@@ -10,8 +10,11 @@
 //!   * Ext4-Base ~43.8 % below DLFS for sizes ≥ 16 KB.
 
 use dlfs::DlfsConfig;
-use dlfs_bench::{arg, fmt_size, fmt_sps, ratio, read_n, read_parallel, setup, BackendFactory, Table, DEFAULT_SEED};
 use dlfs::SampleSource;
+use dlfs_bench::{
+    arg, fmt_size, fmt_sps, ratio, read_n, read_parallel, setup, BackendFactory, Table,
+    DEFAULT_SEED,
+};
 use dlio::backend::{DlfsBackend, DlfsBaseBackend, Ext4Backend, ReaderBackend};
 use simkit::prelude::*;
 
@@ -42,7 +45,13 @@ fn main() {
     println!("# device: Optane-class NVMe; batch = 32 samples\n");
 
     let mut table = Table::new(&[
-        "size", "Ext4-Base", "Ext4-MC", "DLFS-Base", "DLFS", "DLFS/Ext4MC", "DLFSb/Ext4b",
+        "size",
+        "Ext4-Base",
+        "Ext4-MC",
+        "DLFS-Base",
+        "DLFS",
+        "DLFS/Ext4MC",
+        "DLFSb/Ext4b",
     ]);
     let mut small_ratios = Vec::new(); // DLFS vs Ext4-MC for ≤ 4 KB
     let mut base_ratios = Vec::new(); // DLFS-Base vs Ext4-Base for ≤ 4 KB
@@ -132,8 +141,14 @@ fn main() {
     }
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("paper: DLFS-Base >= 1.82x Ext4-Base at <=4KB   | measured avg: {:.2}x", avg(&base_ratios));
-    println!("paper: DLFS ~ 3.35x Ext4-MC for small samples  | measured avg: {:.2}x", avg(&small_ratios));
+    println!(
+        "paper: DLFS-Base >= 1.82x Ext4-Base at <=4KB   | measured avg: {:.2}x",
+        avg(&base_ratios)
+    );
+    println!(
+        "paper: DLFS ~ 3.35x Ext4-MC for small samples  | measured avg: {:.2}x",
+        avg(&small_ratios)
+    );
     let large = avg(&large_ratios);
     println!(
         "paper: Ext4-Base ~43.8% below DLFS at >=16KB   | measured: {:.1}% below ({:.2}x)",

@@ -35,12 +35,8 @@ fn part_a(seed: u64) {
             // DLFS: k reader threads share the one local device.
             let n_per = (3000 / k).max(64).min(source.count() / k.max(1));
             let (m, _) = Runtime::simulate(seed, |rt| {
-                let fs = std::sync::Arc::new(setup::dlfs_local(
-                    rt,
-                    &source,
-                    DlfsConfig::default(),
-                    k,
-                ));
+                let fs =
+                    std::sync::Arc::new(setup::dlfs_local(rt, &source, DlfsConfig::default(), k));
                 let factories: Vec<BackendFactory> = (0..k)
                     .map(|r| {
                         let fs = fs.clone();

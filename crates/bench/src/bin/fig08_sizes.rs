@@ -4,10 +4,11 @@
 //! Paper's headlines: DLFS ≈ 9.72x Ext4 and 6.05x Octopus at ≤ 4 KB;
 //! ≈ 1.31x / 1.12x at ≥ 16 KB.
 
+use dlfs::{CacheMode, DlfsConfig, SampleSource};
 use dlfs_bench::{
-    arg, cluster_throughput, fmt_size, fmt_sps, ratio, setup, System, Table, DEFAULT_SEED,
+    arg, cluster_throughput, cluster_throughput_with, fmt_size, fmt_sps, ratio, setup, System,
+    Table, DEFAULT_SEED,
 };
-use dlfs::SampleSource;
 
 const SIZES: &[u64] = &[
     512,
@@ -25,11 +26,18 @@ fn main() {
     let nodes: usize = arg("nodes", 16);
     let per_node: usize = arg("per_node", 1200);
     let budget: u64 = arg("budget_mb", 384u64) << 20;
+    // `cache=cross` reruns DLFS with the cross-epoch cache and appends a
+    // hit-rate column; the default output is unchanged.
+    let cross = arg("cache", String::from("epoch")) == "cross";
 
     println!("# Fig 8: aggregated read throughput over {nodes} nodes (samples/s)");
     println!("# one emulated NVMe device per node; batch = 32\n");
 
-    let mut t = Table::new(&["size", "Ext4", "Octopus", "DLFS", "DLFS/Ext4", "DLFS/Octo"]);
+    let mut headers = vec!["size", "Ext4", "Octopus", "DLFS", "DLFS/Ext4", "DLFS/Octo"];
+    if cross {
+        headers.push("DLFS hit%");
+    }
+    let mut t = Table::new(&headers);
     let (mut small_e, mut small_o, mut large_e, mut large_o) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
 
@@ -37,10 +45,28 @@ fn main() {
         let source = setup::fixed_source(seed ^ size, size, budget, nodes * 3000);
         let per = per_node.min(source.count() / nodes);
 
-        let dlfs = cluster_throughput(seed, System::Dlfs, nodes, &source, per, 32).sample_rate();
+        let (dlfs, hit_col) = if cross {
+            let cfg = DlfsConfig {
+                cache_mode: CacheMode::CrossEpoch,
+                ..DlfsConfig::default()
+            };
+            // Span epochs: a cold epoch, then `per` warm samples —
+            // otherwise no read ever revisits a chunk and the hit rate
+            // is trivially zero.
+            let span = per + source.count() / nodes;
+            let (m, snap) =
+                cluster_throughput_with(seed, System::Dlfs, nodes, &source, span, 32, &cfg);
+            let h = snap.counter("dlfs.cache.hits");
+            let miss = snap.counter("dlfs.cache.misses");
+            let pct = 100.0 * h as f64 / (h + miss).max(1) as f64;
+            (m.sample_rate(), Some(format!("{pct:.1}")))
+        } else {
+            let m = cluster_throughput(seed, System::Dlfs, nodes, &source, per, 32);
+            (m.sample_rate(), None)
+        };
         let ext4 = cluster_throughput(seed, System::Ext4, nodes, &source, per, 32).sample_rate();
-        let octo =
-            cluster_throughput(seed, System::Octopus, nodes, &source, per.min(600), 32).sample_rate();
+        let octo = cluster_throughput(seed, System::Octopus, nodes, &source, per.min(600), 32)
+            .sample_rate();
 
         if size <= 4 << 10 {
             small_e.push(ratio(dlfs, ext4));
@@ -49,21 +75,35 @@ fn main() {
             large_e.push(ratio(dlfs, ext4));
             large_o.push(ratio(dlfs, octo));
         }
-        t.row(&[
+        let mut row = vec![
             fmt_size(size),
             fmt_sps(ext4),
             fmt_sps(octo),
             fmt_sps(dlfs),
             format!("{:.2}x", ratio(dlfs, ext4)),
             format!("{:.2}x", ratio(dlfs, octo)),
-        ]);
+        ];
+        row.extend(hit_col);
+        t.row(&row);
     }
     t.print();
     println!("\n# csv\n{}", t.csv());
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("paper: DLFS ~9.72x Ext4 at <=4KB  | measured avg: {:.2}x", avg(&small_e));
-    println!("paper: DLFS ~6.05x Octopus <=4KB  | measured avg: {:.2}x", avg(&small_o));
-    println!("paper: DLFS ~1.31x Ext4 at >=16KB | measured avg: {:.2}x", avg(&large_e));
-    println!("paper: DLFS ~1.12x Octopus >=16KB | measured avg: {:.2}x", avg(&large_o));
+    println!(
+        "paper: DLFS ~9.72x Ext4 at <=4KB  | measured avg: {:.2}x",
+        avg(&small_e)
+    );
+    println!(
+        "paper: DLFS ~6.05x Octopus <=4KB  | measured avg: {:.2}x",
+        avg(&small_o)
+    );
+    println!(
+        "paper: DLFS ~1.31x Ext4 at >=16KB | measured avg: {:.2}x",
+        avg(&large_e)
+    );
+    println!(
+        "paper: DLFS ~1.12x Octopus >=16KB | measured avg: {:.2}x",
+        avg(&large_o)
+    );
 }

@@ -5,31 +5,57 @@
 //! on average, scaling near-linearly; at 128 KB, DLFS ≈ 1.65x Ext4
 //! ("65.1%") and Octopus ≈ 1.37x below DLFS.
 
-use dlfs::SampleSource;
+use dlfs::{CacheMode, DlfsConfig, SampleSource};
 use dlfs_bench::{
-    arg, cluster_throughput, fmt_size, fmt_sps, ratio, setup, System, Table, DEFAULT_SEED,
+    arg, cluster_throughput, cluster_throughput_with, fmt_size, fmt_sps, ratio, setup, System,
+    Table, DEFAULT_SEED,
 };
 
 fn main() {
     let seed: u64 = arg("seed", DEFAULT_SEED);
     let per_node: usize = arg("per_node", 1200);
     let nodes_list: Vec<usize> = vec![2, 4, 8, 16];
+    // `cache=cross` reruns DLFS with the cross-epoch cache and appends a
+    // hit-rate column; the default output is unchanged.
+    let cross = arg("cache", String::from("epoch")) == "cross";
 
     for (part, size) in [("a", 512u64), ("b", 128 << 10)] {
         println!(
             "# Fig 9{part}: aggregated throughput vs node count, {} samples (samples/s)\n",
             fmt_size(size)
         );
-        let mut t = Table::new(&["nodes", "Ext4", "Octopus", "DLFS", "DLFS/Ext4", "DLFS/Octo"]);
+        let mut headers = vec!["nodes", "Ext4", "Octopus", "DLFS", "DLFS/Ext4", "DLFS/Octo"];
+        if cross {
+            headers.push("DLFS hit%");
+        }
+        let mut t = Table::new(&headers);
         let mut ratios_e = Vec::new();
         let mut ratios_o = Vec::new();
         let mut dlfs_rates = Vec::new();
         for &nodes in &nodes_list {
             let budget = (nodes as u64) * (24 << 20);
-            let source = setup::fixed_source(seed ^ size ^ nodes as u64, size, budget, nodes * 3000);
+            let source =
+                setup::fixed_source(seed ^ size ^ nodes as u64, size, budget, nodes * 3000);
             let per = per_node.min(source.count() / nodes);
-            let dlfs =
-                cluster_throughput(seed, System::Dlfs, nodes, &source, per, 32).sample_rate();
+            let (dlfs, hit_col) = if cross {
+                let cfg = DlfsConfig {
+                    cache_mode: CacheMode::CrossEpoch,
+                    ..DlfsConfig::default()
+                };
+                // Span epochs: a cold epoch, then `per` warm samples —
+                // otherwise no read ever revisits a chunk and the hit
+                // rate is trivially zero.
+                let span = per + source.count() / nodes;
+                let (m, snap) =
+                    cluster_throughput_with(seed, System::Dlfs, nodes, &source, span, 32, &cfg);
+                let h = snap.counter("dlfs.cache.hits");
+                let miss = snap.counter("dlfs.cache.misses");
+                let pct = 100.0 * h as f64 / (h + miss).max(1) as f64;
+                (m.sample_rate(), Some(format!("{pct:.1}")))
+            } else {
+                let m = cluster_throughput(seed, System::Dlfs, nodes, &source, per, 32);
+                (m.sample_rate(), None)
+            };
             let ext4 =
                 cluster_throughput(seed, System::Ext4, nodes, &source, per, 32).sample_rate();
             let octo = cluster_throughput(seed, System::Octopus, nodes, &source, per.min(600), 32)
@@ -37,14 +63,16 @@ fn main() {
             ratios_e.push(ratio(dlfs, ext4));
             ratios_o.push(ratio(dlfs, octo));
             dlfs_rates.push(dlfs);
-            t.row(&[
+            let mut row = vec![
                 nodes.to_string(),
                 fmt_sps(ext4),
                 fmt_sps(octo),
                 fmt_sps(dlfs),
                 format!("{:.2}x", ratio(dlfs, ext4)),
                 format!("{:.2}x", ratio(dlfs, octo)),
-            ]);
+            ];
+            row.extend(hit_col);
+            t.row(&row);
         }
         t.print();
         println!("\n# csv\n{}", t.csv());
@@ -53,12 +81,24 @@ fn main() {
         // Linear-scaling check: rate(16) / rate(2) vs the ideal 8x.
         let scaling = dlfs_rates.last().unwrap() / dlfs_rates.first().unwrap();
         if size == 512 {
-            println!("paper: DLFS ~28.45x Ext4 (avg)    | measured: {:.2}x", avg(&ratios_e));
-            println!("paper: DLFS ~104.38x Octopus (avg)| measured: {:.2}x", avg(&ratios_o));
+            println!(
+                "paper: DLFS ~28.45x Ext4 (avg)    | measured: {:.2}x",
+                avg(&ratios_e)
+            );
+            println!(
+                "paper: DLFS ~104.38x Octopus (avg)| measured: {:.2}x",
+                avg(&ratios_o)
+            );
             println!("paper: near-linear scaling        | measured 2→16 nodes: {scaling:.2}x of ideal 8x");
         } else {
-            println!("paper: DLFS ~1.65x Ext4 (65.1%)   | measured: {:.2}x", avg(&ratios_e));
-            println!("paper: Octopus ~1.37x below DLFS  | measured: {:.2}x", avg(&ratios_o));
+            println!(
+                "paper: DLFS ~1.65x Ext4 (65.1%)   | measured: {:.2}x",
+                avg(&ratios_e)
+            );
+            println!(
+                "paper: Octopus ~1.37x below DLFS  | measured: {:.2}x",
+                avg(&ratios_o)
+            );
             println!("paper: near-linear scaling        | measured 2→16 nodes: {scaling:.2}x of ideal 8x");
         }
         println!();

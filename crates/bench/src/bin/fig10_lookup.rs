@@ -113,7 +113,8 @@ fn main() {
                     let p = probes.min(8_000); // RPCs are event-heavy
                     for _ in 0..p {
                         let id = rng.below(count as u64) as u32;
-                        fs.lookup(rt, 0, &format!("sample_{id:08}")).expect("present");
+                        fs.lookup(rt, 0, &format!("sample_{id:08}"))
+                            .expect("present");
                     }
                     (rt.now() - t0).as_secs_f64() / p as f64
                 });
@@ -139,7 +140,9 @@ fn main() {
         println!("\n# csv\n{}", t.csv());
         let lin = dlfs_totals.first().unwrap() / dlfs_totals.last().unwrap();
         println!("paper: Ext4 lookup ~2 orders of magnitude above DLFS; Octopus longest");
-        println!("paper: only DLFS decreases linearly | DLFS 2→16 nodes shrank {lin:.2}x (ideal 8x)\n");
+        println!(
+            "paper: only DLFS decreases linearly | DLFS 2→16 nodes shrank {lin:.2}x (ideal 8x)\n"
+        );
     }
 
     // Paper §IV-C: "the lookup time for 128-KB samples in DLFS takes only

@@ -47,7 +47,9 @@ fn main() {
     let devices_list: Vec<usize> = vec![1, 2, 4, 8, 16];
     let nic = FabricConfig::default().nic_bytes_per_sec;
 
-    println!("# Fig 11: effective sample throughput on disaggregated NVMe devices (128 KB samples)\n");
+    println!(
+        "# Fig 11: effective sample throughput on disaggregated NVMe devices (128 KB samples)\n"
+    );
     let mut t = Table::new(&[
         "devices", "NVMe-1C", "DLFS-1C", "eff-1C", "NVMe-16C", "DLFS-16C", "eff-16C",
     ]);
@@ -76,8 +78,14 @@ fn main() {
     println!("\n# csv\n{}", t.csv());
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("paper: DLFS-1C ~93.4% of ideal  | measured avg: {:.1}%", 100.0 * avg(&eff1));
-    println!("paper: DLFS-16C up to ~88%      | measured max: {:.1}%", 100.0 * eff16.iter().cloned().fold(0.0, f64::max));
+    println!(
+        "paper: DLFS-1C ~93.4% of ideal  | measured avg: {:.1}%",
+        100.0 * avg(&eff1)
+    );
+    println!(
+        "paper: DLFS-16C up to ~88%      | measured max: {:.1}%",
+        100.0 * eff16.iter().cloned().fold(0.0, f64::max)
+    );
     println!(
         "paper: 16C scales linearly      | measured 1→16 devices: {:.1}x (ideal 16x)",
         rates16.last().unwrap() / rates16.first().unwrap()

@@ -22,7 +22,12 @@ fn main() {
             fmt_size(size)
         );
         let mut t = Table::new(&[
-            "nodes", "Ext4-TF", "Octopus-TF", "DLFS-TF", "DLFS/Ext4", "DLFS/Octo",
+            "nodes",
+            "Ext4-TF",
+            "Octopus-TF",
+            "DLFS-TF",
+            "DLFS/Ext4",
+            "DLFS/Octo",
         ]);
         let mut re = Vec::new();
         let mut ro = Vec::new();
@@ -35,9 +40,15 @@ fn main() {
                 .sample_rate();
             let ext4 = cluster_pipeline_throughput(seed, System::Ext4, nodes, &source, per, 32)
                 .sample_rate();
-            let octo =
-                cluster_pipeline_throughput(seed, System::Octopus, nodes, &source, per.min(500), 32)
-                    .sample_rate();
+            let octo = cluster_pipeline_throughput(
+                seed,
+                System::Octopus,
+                nodes,
+                &source,
+                per.min(500),
+                32,
+            )
+            .sample_rate();
             re.push(ratio(dlfs, ext4));
             ro.push(ratio(dlfs, octo));
             t.row(&[
@@ -53,11 +64,23 @@ fn main() {
         println!("\n# csv\n{}", t.csv());
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         if size == 512 {
-            println!("paper: DLFS-TF ~102x Ext4-TF   | measured avg: {:.2}x", avg(&re));
-            println!("paper: DLFS-TF ~29.9x Octo-TF  | measured avg: {:.2}x", avg(&ro));
+            println!(
+                "paper: DLFS-TF ~102x Ext4-TF   | measured avg: {:.2}x",
+                avg(&re)
+            );
+            println!(
+                "paper: DLFS-TF ~29.9x Octo-TF  | measured avg: {:.2}x",
+                avg(&ro)
+            );
         } else {
-            println!("paper: DLFS-TF ~1.61x Ext4-TF  | measured avg: {:.2}x", avg(&re));
-            println!("paper: DLFS-TF ~1.25x Octo-TF  | measured avg: {:.2}x", avg(&ro));
+            println!(
+                "paper: DLFS-TF ~1.61x Ext4-TF  | measured avg: {:.2}x",
+                avg(&re)
+            );
+            println!(
+                "paper: DLFS-TF ~1.25x Octo-TF  | measured avg: {:.2}x",
+                avg(&ro)
+            );
         }
         println!();
     }

@@ -6,6 +6,7 @@ use dlfs::{DlfsConfig, SyntheticSource};
 use dlio::backend::{DlfsBackend, Ext4Backend, OctoBackend, ReaderBackend};
 use dlio::pipeline::{InputPipeline, PipelineCosts};
 use simkit::prelude::*;
+use simkit::telemetry::{Registry, Snapshot};
 
 use crate::measure::{read_parallel, BackendFactory, Measured};
 use crate::setup;
@@ -45,6 +46,30 @@ pub fn cluster_throughput(
     m
 }
 
+/// Like [`cluster_throughput`], with an explicit [`DlfsConfig`] (ignored
+/// by the baseline systems) and the run's aggregated telemetry snapshot —
+/// the cache-ablation harnesses read hit/miss/eviction counters and
+/// per-device command counts out of it.
+pub fn cluster_throughput_with(
+    seed: u64,
+    system: System,
+    nodes: usize,
+    source: &SyntheticSource,
+    per_node: usize,
+    batch: usize,
+    cfg: &DlfsConfig,
+) -> (Measured, Snapshot) {
+    let cfg = cfg.clone();
+    let (out, _) = Runtime::simulate(seed, |rt| {
+        let reg = Registry::new();
+        let factories =
+            backend_factories_with(rt, seed, system, nodes, source, cfg.clone(), Some(&reg));
+        let m = read_parallel(rt, factories, seed, 0, per_node, batch);
+        (m, reg.snapshot())
+    });
+    out
+}
+
 /// Build per-reader backend factories for one system on a fresh cluster.
 pub fn backend_factories(
     rt: &Runtime,
@@ -53,21 +78,35 @@ pub fn backend_factories(
     nodes: usize,
     source: &SyntheticSource,
 ) -> Vec<BackendFactory> {
+    backend_factories_with(rt, seed, system, nodes, source, DlfsConfig::default(), None)
+}
+
+/// [`backend_factories`] with an explicit DLFS configuration and an
+/// optional shared telemetry registry (DLFS readers aggregate into it).
+pub fn backend_factories_with(
+    rt: &Runtime,
+    seed: u64,
+    system: System,
+    nodes: usize,
+    source: &SyntheticSource,
+    cfg: DlfsConfig,
+    reg: Option<&Registry>,
+) -> Vec<BackendFactory> {
     let _ = seed;
     match system {
         System::Dlfs => {
-            let fs = std::sync::Arc::new(setup::dlfs_disagg(
-                rt,
-                nodes,
-                nodes,
-                source,
-                DlfsConfig::default(),
-            ));
+            let fs = std::sync::Arc::new(setup::dlfs_disagg(rt, nodes, nodes, source, cfg));
+            let reg = reg.cloned();
             (0..nodes)
                 .map(|r| {
                     let fs = fs.clone();
+                    let reg = reg.clone();
                     Box::new(move |_rt: &Runtime| {
-                        Box::new(DlfsBackend::new(&fs, r)) as Box<dyn ReaderBackend>
+                        let b = match &reg {
+                            Some(reg) => DlfsBackend::with_registry(&fs, r, reg),
+                            None => DlfsBackend::new(&fs, r),
+                        };
+                        Box::new(b) as Box<dyn ReaderBackend>
                     }) as BackendFactory
                 })
                 .collect()
@@ -116,15 +155,8 @@ pub fn cluster_pipeline_throughput(
         for (r, f) in factories.into_iter().enumerate() {
             handles.push(rt.spawn_with(&format!("consumer{r}"), move |rt| {
                 let backend = f(rt);
-                let pipe = InputPipeline::launch(
-                    rt,
-                    backend,
-                    seed,
-                    0,
-                    batch,
-                    4,
-                    PipelineCosts::default(),
-                );
+                let pipe =
+                    InputPipeline::launch(rt, backend, seed, 0, batch, 4, PipelineCosts::default());
                 let mut m = Measured::default();
                 while (m.samples as usize) < per_node {
                     match pipe.next() {

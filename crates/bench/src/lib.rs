@@ -17,7 +17,10 @@ pub mod report;
 pub mod setup;
 pub mod table;
 
-pub use cluster_runs::{backend_factories, cluster_pipeline_throughput, cluster_throughput, System};
+pub use cluster_runs::{
+    backend_factories, backend_factories_with, cluster_pipeline_throughput, cluster_throughput,
+    cluster_throughput_with, System,
+};
 pub use measure::{read_n, read_n_latency, read_parallel, BackendFactory, Measured};
 pub use report::{epoch_report, fmt_ns, print_stage_breakdown, stage_breakdown};
 pub use table::{fmt_size, fmt_sps, ratio, Table};

@@ -18,7 +18,12 @@ pub const EMU_DELAY: Dur = Dur::micros(10);
 
 /// Build a fixed-size synthetic dataset bounded by a byte budget (keeps
 /// host memory in check across the sweep).
-pub fn fixed_source(seed: u64, sample_size: u64, byte_budget: u64, max_count: usize) -> SyntheticSource {
+pub fn fixed_source(
+    seed: u64,
+    sample_size: u64,
+    byte_budget: u64,
+    max_count: usize,
+) -> SyntheticSource {
     let count = ((byte_budget / sample_size) as usize).clamp(64, max_count);
     SyntheticSource::fixed(seed, count, sample_size)
 }
@@ -37,7 +42,10 @@ pub fn optane_for(source: &SyntheticSource) -> Arc<NvmeDevice> {
 
 /// An emulated (RAM + delay) device sized for a per-node share.
 pub fn emulated_for(bytes: u64) -> Arc<NvmeDevice> {
-    NvmeDevice::new(DeviceConfig::emulated_ramdisk(capacity_for(bytes), EMU_DELAY))
+    NvmeDevice::new(DeviceConfig::emulated_ramdisk(
+        capacity_for(bytes),
+        EMU_DELAY,
+    ))
 }
 
 /// Mount DLFS on one local device with `readers` I/O threads sharing it
@@ -92,7 +100,11 @@ pub fn dlfs_disagg_chaos(
     cfg: DlfsConfig,
 ) -> (DlfsInstance, Arc<Cluster>, Vec<Arc<NvmeDevice>>) {
     let collocated = readers == storage;
-    let cluster_nodes = if collocated { readers } else { readers + storage };
+    let cluster_nodes = if collocated {
+        readers
+    } else {
+        readers + storage
+    };
     let cluster = Arc::new(Cluster::new(cluster_nodes, FabricConfig::default()));
     let total: u64 = (0..source.count() as u32).map(|i| source.size(i)).sum();
     let per_node = total / storage as u64 + (64 << 10);
@@ -199,10 +211,7 @@ pub fn shard_names(staged: &[(u32, String)], reader: usize, readers: usize) -> V
 
 /// Sizes closure for a source (backends need it for buffer allocation).
 pub fn sizer(source: &SyntheticSource) -> impl Fn(u32) -> u64 + Send + Clone + use<> {
-    let sizes: Arc<Vec<u64>> = Arc::new(
-        (0..source.count() as u32)
-            .map(|i| source.size(i))
-            .collect(),
-    );
+    let sizes: Arc<Vec<u64>> =
+        Arc::new((0..source.count() as u32).map(|i| source.size(i)).collect());
     move |id: u32| sizes[id as usize]
 }

@@ -176,7 +176,10 @@ impl NvmeTarget for NvmeDevice {
     }
 
     fn describe(&self) -> String {
-        format!("local nvme '{}' ({} B)", self.config.name, self.config.capacity)
+        format!(
+            "local nvme '{}' ({} B)",
+            self.config.name, self.config.capacity
+        )
     }
 
     fn fault_decide(&self, _now: Time, is_write: bool) -> FaultOutcome {
@@ -201,7 +204,6 @@ pub fn covering_blocks(offset: u64, len: u64) -> (u64, u32, usize) {
 mod tests {
     use super::*;
     use simkit::prelude::*;
-    
 
     fn dev() -> Arc<NvmeDevice> {
         NvmeDevice::new(DeviceConfig::optane(64 << 20))
@@ -222,7 +224,7 @@ mod tests {
         Runtime::simulate(0, |rt| {
             let d = dev();
             let done = d.reserve_read(rt.now(), 0, 8); // 4 KB
-            // overhead + latency + 4096/2.2GB/s ≈ 0.7 + 10 + 1.86 us.
+                                                       // overhead + latency + 4096/2.2GB/s ≈ 0.7 + 10 + 1.86 us.
             let expect_ns = 700 + 10_000 + (4096.0 / 2.2e9 * 1e9) as u64;
             assert!(
                 (done.nanos() as i64 - expect_ns as i64).abs() < 10,

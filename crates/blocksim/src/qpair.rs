@@ -343,7 +343,6 @@ mod tests {
     use super::*;
     use crate::config::DeviceConfig;
     use crate::device::NvmeDevice;
-    
 
     fn setup(rt: &Runtime) -> (Arc<NvmeDevice>, IoQPair) {
         let _ = rt;
@@ -402,7 +401,11 @@ mod tests {
         Runtime::simulate(0, |rt| {
             let (dev, mut qp) = setup(rt);
             let wbuf = DmaBuf::standalone(1024);
-            wbuf.with_mut(|d| d.iter_mut().enumerate().for_each(|(i, b)| *b = (i % 251) as u8));
+            wbuf.with_mut(|d| {
+                d.iter_mut()
+                    .enumerate()
+                    .for_each(|(i, b)| *b = (i % 251) as u8)
+            });
             qp.submit_write(rt, 1, 10, 2, wbuf.clone(), 0).unwrap();
             qp.drain(rt, Dur::nanos(50));
 
@@ -438,10 +441,7 @@ mod tests {
             while done < 64 {
                 while i < 64 {
                     let b = DmaBuf::standalone(4096);
-                    if qp
-                        .submit_read(rt, i, (i * 8) % 1024, 8, b, 0)
-                        .is_err()
-                    {
+                    if qp.submit_read(rt, i, (i * 8) % 1024, 8, b, 0).is_err() {
                         break;
                     }
                     i += 1;

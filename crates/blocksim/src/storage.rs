@@ -22,7 +22,10 @@ const EXTENT_SIZE: u64 = 1 << 20;
 
 impl Storage {
     pub fn new(capacity: u64) -> Storage {
-        assert!(capacity.is_multiple_of(BLOCK_SIZE), "capacity must be block aligned");
+        assert!(
+            capacity.is_multiple_of(BLOCK_SIZE),
+            "capacity must be block aligned"
+        );
         let n = capacity.div_ceil(EXTENT_SIZE) as usize;
         Storage {
             capacity,
@@ -101,7 +104,9 @@ mod tests {
     #[test]
     fn roundtrip_across_extents() {
         let s = Storage::new(4 << 20);
-        let payload: Vec<u8> = (0..3 * EXTENT_SIZE as usize / 2).map(|i| (i % 251) as u8).collect();
+        let payload: Vec<u8> = (0..3 * EXTENT_SIZE as usize / 2)
+            .map(|i| (i % 251) as u8)
+            .collect();
         let off = EXTENT_SIZE / 2 + 512;
         s.write_at(off, &payload);
         let mut out = vec![0u8; payload.len()];

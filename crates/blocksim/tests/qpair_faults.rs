@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use blocksim::{
-    CmdStatus, DeviceConfig, DmaBuf, FaultInjector, IoQPair, NvmeDevice, NvmeTarget,
-};
+use blocksim::{CmdStatus, DeviceConfig, DmaBuf, FaultInjector, IoQPair, NvmeDevice, NvmeTarget};
 use simkit::prelude::*;
 
 fn dev() -> Arc<NvmeDevice> {
@@ -59,9 +57,7 @@ fn latency_spikes_delay_completion() {
         };
         let spiked = {
             let d = dev();
-            d.set_faults(
-                FaultInjector::new(3).with_latency_spikes(1_000_000, Dur::millis(1)),
-            );
+            d.set_faults(FaultInjector::new(3).with_latency_spikes(1_000_000, Dur::millis(1)));
             let mut qp = IoQPair::new(d, 8);
             let buf = DmaBuf::standalone(512);
             qp.submit_read(rt, 1, 0, 1, buf, 0).unwrap();
@@ -125,7 +121,10 @@ fn remote_target_propagates_faults() {
         d.set_faults(FaultInjector::new(5).with_read_failures(1_000_000));
         let tgt = fabric::NvmeOfTarget::new(1, d, fabric::TargetConfig::default());
         let remote = fabric::connect(cluster, 0, tgt);
-        assert_eq!(remote.fault_decide(rt.now(), false).status, CmdStatus::MediaError);
+        assert_eq!(
+            remote.fault_decide(rt.now(), false).status,
+            CmdStatus::MediaError
+        );
         let mut qp = IoQPair::new(remote, 4);
         let b = DmaBuf::standalone(512);
         qp.submit_read(rt, 9, 0, 1, b, 0).unwrap();

@@ -9,38 +9,165 @@
 //! V field: `(storage node, range start)` → resident chunk buffers. A
 //! range can be *pinned* by a concurrent `dlfs_read` while the bread engine
 //! retires it; the free is deferred until the last pin drops.
+//!
+//! # Cross-epoch residency (`CacheMode::CrossEpoch`)
+//!
+//! With [`CacheMode::EpochScoped`] (the default) a drained range is
+//! *retired*: its chunks go straight back to the pool and every epoch
+//! refetches everything. With [`CacheMode::CrossEpoch`] a drained range is
+//! *released* instead: it stays resident on an evictable LRU tail, and
+//! [`SampleCache::alloc_for`] evicts least-recently-used released ranges
+//! under pool pressure. The engine and the synchronous read path probe
+//! residency ([`SampleCache::acquire`] / [`SampleCache::pin`]) before
+//! posting device fetches, so a working set that fits in the pool is read
+//! from the device exactly once across epochs.
+//!
+//! # Generations and zombies
+//!
+//! Retiring a pinned range cannot free its chunks: the free is deferred
+//! until the last pin drops (a *zombie*). Because `contains` reports a
+//! zombie absent, the engine may legitimately refetch and republish the
+//! same key while old pins are still live — so each publication gets a
+//! fresh *generation*, pins name the generation they took, and a zombie
+//! generation drains independently of the live one. (Publishing over a
+//! *live* generation is still a bug and still panics.)
 
 use std::collections::HashMap;
 
 use blocksim::{DmaBuf, DmaPool};
 use simkit::plock::Mutex;
+use simkit::telemetry::{Counter, Gauge, Registry};
+
+use crate::config::CacheMode;
 
 /// Key of a resident range: (storage node id, range start byte).
 pub type RangeKey = (u16, u64);
 
+/// A pinned view of a resident range, returned by [`SampleCache::pin`].
+/// `gen` names the publication generation the pin was taken on; pass it
+/// back to [`SampleCache::unpin`].
+#[derive(Debug)]
+pub struct Pinned {
+    pub bufs: Vec<DmaBuf>,
+    pub len: u64,
+    pub gen: u64,
+    /// The range was brought in by the prefetcher and this is its first
+    /// use (a prefetch hit).
+    pub prefetched: bool,
+}
+
 #[derive(Debug)]
 struct Resident {
+    gen: u64,
     bufs: Vec<DmaBuf>,
     len: u64,
     /// Readers currently copying out of the buffers.
     pinned: u32,
-    /// Retired while pinned: free when the last pin drops.
-    zombie: bool,
+    /// Fully drained by its epoch: parked on the evictable LRU tail
+    /// (`CrossEpoch` only; `EpochScoped` frees on release instead).
+    released: bool,
+    /// Monotonic recency stamp — larger is more recent; unique, so LRU
+    /// eviction order is deterministic.
+    stamp: u64,
+    /// Published by the prefetcher and not yet used.
+    prefetched: bool,
+}
+
+/// A generation that was retired (or whose key was republished) while
+/// still pinned: its chunks free when the last pin drops.
+#[derive(Debug)]
+struct Zombie {
+    bufs: Vec<DmaBuf>,
+    pinned: u32,
+}
+
+#[derive(Debug, Default)]
+struct CacheTel {
+    evictions: Option<Counter>,
+    resident_chunks: Option<Gauge>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    resident: HashMap<RangeKey, Resident>,
+    zombies: HashMap<(RangeKey, u64), Zombie>,
+    next_gen: u64,
+    clock: u64,
+    /// Chunks currently owned by published (non-zombie) ranges.
+    resident_chunks: usize,
+    evictions: u64,
+    tel: CacheTel,
+}
+
+impl Inner {
+    fn touch(&mut self, key: RangeKey) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(r) = self.resident.get_mut(&key) {
+            r.stamp = stamp;
+        }
+    }
+
+    fn sync_gauge(&self) {
+        if let Some(g) = &self.tel.resident_chunks {
+            g.set(self.resident_chunks as i64);
+        }
+    }
 }
 
 /// Fixed-chunk sample cache over a huge-page DMA pool.
-#[derive(Debug)]
 pub struct SampleCache {
     pool: DmaPool,
-    resident: Mutex<HashMap<RangeKey, Resident>>,
+    mode: CacheMode,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for SampleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleCache")
+            .field("mode", &self.mode)
+            .field("total_chunks", &self.pool.total_chunks())
+            .field("free_chunks", &self.pool.available())
+            .finish()
+    }
 }
 
 impl SampleCache {
     pub fn new(chunk_size: usize, chunks: usize) -> SampleCache {
+        SampleCache::with_mode(chunk_size, chunks, CacheMode::EpochScoped)
+    }
+
+    pub fn with_mode(chunk_size: usize, chunks: usize, mode: CacheMode) -> SampleCache {
         SampleCache {
             pool: DmaPool::new(chunk_size, chunks),
-            resident: Mutex::new(HashMap::new()),
+            mode,
+            inner: Mutex::new(Inner {
+                resident: HashMap::new(),
+                zombies: HashMap::new(),
+                next_gen: 1,
+                clock: 0,
+                resident_chunks: 0,
+                evictions: 0,
+                tel: CacheTel::default(),
+            }),
         }
+    }
+
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Record cache telemetry into `reg` (pass a registry scoped to
+    /// `dlfs.cache`): an `evictions` counter and a `resident_chunks`
+    /// gauge. Attaching twice with the same registry is idempotent
+    /// (metrics are get-or-create by name).
+    pub fn attach_telemetry(&self, reg: &Registry) {
+        let mut g = self.inner.lock();
+        g.tel = CacheTel {
+            evictions: Some(reg.counter("evictions")),
+            resident_chunks: Some(reg.gauge("resident_chunks")),
+        };
+        g.sync_gauge();
     }
 
     pub fn chunk_size(&self) -> usize {
@@ -55,10 +182,17 @@ impl SampleCache {
         self.pool.total_chunks()
     }
 
-    /// Allocate the DMA chunks needed to receive `len` bytes; `None` if the
-    /// pool can't satisfy the request right now (backpressure).
-    pub fn alloc_for(&self, len: u64) -> Option<Vec<DmaBuf>> {
-        let need = (len as usize).div_ceil(self.pool.chunk_size()).max(1);
+    /// Ranges evicted so far (diagnostics / benches).
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+
+    fn chunks_for(&self, len: u64) -> usize {
+        (len as usize).div_ceil(self.pool.chunk_size()).max(1)
+    }
+
+    /// Grab `need` chunks from the pool, all or nothing.
+    fn grab(&self, need: usize) -> Option<Vec<DmaBuf>> {
         if self.pool.available() < need {
             return None;
         }
@@ -77,88 +211,243 @@ impl SampleCache {
         Some(bufs)
     }
 
+    /// Evict the least-recently-used released, unpinned range; false when
+    /// nothing is evictable.
+    fn evict_one(&self) -> bool {
+        let freed = {
+            let mut g = self.inner.lock();
+            let victim = g
+                .resident
+                .iter()
+                .filter(|(_, r)| r.released && r.pinned == 0)
+                .min_by_key(|(_, r)| r.stamp)
+                .map(|(&k, _)| k);
+            let Some(key) = victim else {
+                return false;
+            };
+            let r = g.resident.remove(&key).expect("victim present");
+            g.resident_chunks -= r.bufs.len();
+            g.evictions += 1;
+            if let Some(c) = &g.tel.evictions {
+                c.inc();
+            }
+            g.sync_gauge();
+            r.bufs
+        };
+        for b in freed {
+            self.pool.free(b);
+        }
+        true
+    }
+
+    /// Allocate the DMA chunks needed to receive `len` bytes, evicting
+    /// released ranges (LRU-first) under pool pressure; `None` if the pool
+    /// can't satisfy the request even after eviction (backpressure —
+    /// everything left is pinned, in flight, or still undelivered).
+    pub fn alloc_for(&self, len: u64) -> Option<Vec<DmaBuf>> {
+        let need = self.chunks_for(len);
+        loop {
+            if let Some(bufs) = self.grab(need) {
+                return Some(bufs);
+            }
+            if !self.evict_one() {
+                return None;
+            }
+        }
+    }
+
+    /// Allocate chunks for a *prefetch*: never evicts, and refuses unless
+    /// at least `reserve` chunks would remain free afterwards — demand
+    /// fetches keep priority over speculative ones.
+    pub fn alloc_prefetch(&self, len: u64, reserve: usize) -> Option<Vec<DmaBuf>> {
+        let need = self.chunks_for(len);
+        if self.pool.available() < need + reserve {
+            return None;
+        }
+        self.grab(need)
+    }
+
     /// Return chunks that were never published (transient fetches).
     pub fn free_raw(&self, buf: DmaBuf) {
         self.pool.free(buf);
     }
 
-    /// Publish a fetched range as resident. The cache takes ownership of
-    /// the buffers and frees them on retire.
-    pub fn publish(&self, key: RangeKey, bufs: Vec<DmaBuf>, len: u64) {
-        let prev = self.resident.lock().insert(
+    fn publish_inner(&self, key: RangeKey, bufs: Vec<DmaBuf>, len: u64, prefetched: bool) {
+        let mut g = self.inner.lock();
+        g.next_gen += 1;
+        let gen = g.next_gen;
+        g.clock += 1;
+        let stamp = g.clock;
+        g.resident_chunks += bufs.len();
+        let prev = g.resident.insert(
             key,
             Resident {
+                gen,
                 bufs,
                 len,
                 pinned: 0,
-                zombie: false,
+                released: prefetched,
+                stamp,
+                prefetched,
             },
         );
         assert!(prev.is_none(), "range {key:?} published twice");
+        g.sync_gauge();
     }
 
-    /// Is the range resident (and not being torn down)?
+    /// Publish a fetched range as resident. The cache takes ownership of
+    /// the buffers and frees them on retire (or eviction). Publishing a
+    /// key whose previous generation is draining as a zombie starts a
+    /// fresh generation; publishing over a *live* range panics.
+    pub fn publish(&self, key: RangeKey, bufs: Vec<DmaBuf>, len: u64) {
+        self.publish_inner(key, bufs, len, false);
+    }
+
+    /// Publish a prefetched range: born released (evictable until a
+    /// demand acquire claims it) and flagged so the first use counts as a
+    /// prefetch hit.
+    pub fn publish_prefetched(&self, key: RangeKey, bufs: Vec<DmaBuf>, len: u64) {
+        self.publish_inner(key, bufs, len, true);
+    }
+
+    /// Is the range resident (and not a draining zombie)?
     pub fn contains(&self, key: RangeKey) -> bool {
-        self.resident
-            .lock()
-            .get(&key)
-            .is_some_and(|r| !r.zombie)
+        self.inner.lock().resident.contains_key(&key)
     }
 
-    /// Pin a resident range for copying; returns clones of its buffers.
-    pub fn pin(&self, key: RangeKey) -> Option<(Vec<DmaBuf>, u64)> {
-        let mut g = self.resident.lock();
-        let r = g.get_mut(&key)?;
-        if r.zombie {
-            return None;
-        }
+    /// Claim a resident range for a new epoch's fetch item: un-releases
+    /// it (it is in use again and must not be evicted) and touches its
+    /// recency. Returns the buffers, the published length, and whether
+    /// this was the first use of a prefetched range.
+    pub fn acquire(&self, key: RangeKey) -> Option<(Vec<DmaBuf>, u64, bool)> {
+        let mut g = self.inner.lock();
+        let r = g.resident.get_mut(&key)?;
+        r.released = false;
+        let was_prefetched = std::mem::take(&mut r.prefetched);
+        let out = (r.bufs.clone(), r.len);
+        g.touch(key);
+        Some((out.0, out.1, was_prefetched))
+    }
+
+    /// Pin a resident range for copying; returns clones of its buffers
+    /// plus the generation to pass back to [`SampleCache::unpin`].
+    pub fn pin(&self, key: RangeKey) -> Option<Pinned> {
+        let mut g = self.inner.lock();
+        let r = g.resident.get_mut(&key)?;
         r.pinned += 1;
-        Some((r.bufs.clone(), r.len))
+        let out = Pinned {
+            bufs: r.bufs.clone(),
+            len: r.len,
+            gen: r.gen,
+            prefetched: std::mem::take(&mut r.prefetched),
+        };
+        g.touch(key);
+        Some(out)
     }
 
-    /// Release one pin; frees the range if it was retired meanwhile.
-    pub fn unpin(&self, key: RangeKey) {
+    /// Release one pin taken on generation `gen`; frees the generation if
+    /// it was retired meanwhile and this was its last pin.
+    pub fn unpin(&self, key: RangeKey, gen: u64) {
         let freed = {
-            let mut g = self.resident.lock();
-            let r = g.get_mut(&key).expect("unpin of non-resident range");
-            assert!(r.pinned > 0, "unpin without pin");
-            r.pinned -= 1;
-            if r.pinned == 0 && r.zombie {
-                Some(g.remove(&key).expect("present").bufs)
+            let mut g = self.inner.lock();
+            if let Some(r) = g.resident.get_mut(&key) {
+                if r.gen == gen {
+                    assert!(r.pinned > 0, "unpin without pin");
+                    r.pinned -= 1;
+                    None
+                } else {
+                    // The key was republished under a newer generation;
+                    // our pin belongs to the zombie of `gen`.
+                    Some(g.unpin_zombie(key, gen))
+                }
             } else {
-                None
+                Some(g.unpin_zombie(key, gen))
             }
         };
-        if let Some(bufs) = freed {
+        if let Some(Some(bufs)) = freed {
             for b in bufs {
                 self.pool.free(b);
             }
         }
     }
 
-    /// Retire a range: frees its chunks now, or when the last pin drops.
+    /// Retire a range: frees its chunks now, or — if pins are live — when
+    /// the last pin drops (the generation becomes a zombie).
     pub fn retire(&self, key: RangeKey) {
         let freed = {
-            let mut g = self.resident.lock();
-            let r = g.get_mut(&key).expect("retire of non-resident range");
-            assert!(!r.zombie, "double retire of {key:?}");
+            let mut g = self.inner.lock();
+            let r = g
+                .resident
+                .remove(&key)
+                .expect("retire of non-resident range");
+            g.resident_chunks -= r.bufs.len();
+            g.sync_gauge();
             if r.pinned > 0 {
-                r.zombie = true;
+                let prev = g.zombies.insert(
+                    (key, r.gen),
+                    Zombie {
+                        bufs: r.bufs,
+                        pinned: r.pinned,
+                    },
+                );
+                assert!(prev.is_none(), "zombie generation collision");
                 None
             } else {
-                Some(g.remove(&key).expect("present").bufs)
+                Some(r.bufs)
             }
         };
         if let Some(bufs) = freed {
             for b in bufs {
                 self.pool.free(b);
+            }
+        }
+    }
+
+    /// An epoch is done with this range. [`CacheMode::EpochScoped`]:
+    /// identical to [`SampleCache::retire`]. [`CacheMode::CrossEpoch`]:
+    /// the range stays resident and joins the evictable LRU tail (pins,
+    /// if any, keep protecting it until they drop).
+    pub fn release(&self, key: RangeKey) {
+        match self.mode {
+            CacheMode::EpochScoped => self.retire(key),
+            CacheMode::CrossEpoch => {
+                let mut g = self.inner.lock();
+                let r = g
+                    .resident
+                    .get_mut(&key)
+                    .expect("release of non-resident range");
+                r.released = true;
+                g.touch(key);
             }
         }
     }
 
     /// Resident ranges (diagnostics).
     pub fn resident_count(&self) -> usize {
-        self.resident.lock().len()
+        self.inner.lock().resident.len()
+    }
+
+    /// Draining zombie generations (diagnostics).
+    pub fn zombie_count(&self) -> usize {
+        self.inner.lock().zombies.len()
+    }
+}
+
+impl Inner {
+    /// Drop one pin of zombie generation `gen`; returns the buffers once
+    /// the last pin is gone.
+    fn unpin_zombie(&mut self, key: RangeKey, gen: u64) -> Option<Vec<DmaBuf>> {
+        let z = self
+            .zombies
+            .get_mut(&(key, gen))
+            .expect("unpin of non-resident range");
+        assert!(z.pinned > 0, "unpin without pin");
+        z.pinned -= 1;
+        if z.pinned == 0 {
+            Some(self.zombies.remove(&(key, gen)).expect("present").bufs)
+        } else {
+            None
+        }
     }
 }
 
@@ -174,10 +463,10 @@ mod tests {
         assert_eq!(c.free_chunks(), 2);
         c.publish((0, 0), bufs, 6000);
         assert!(c.contains((0, 0)));
-        let (pinned, len) = c.pin((0, 0)).unwrap();
-        assert_eq!(pinned.len(), 2);
-        assert_eq!(len, 6000);
-        c.unpin((0, 0));
+        let p = c.pin((0, 0)).unwrap();
+        assert_eq!(p.bufs.len(), 2);
+        assert_eq!(p.len, 6000);
+        c.unpin((0, 0), p.gen);
         c.retire((0, 0));
         assert_eq!(c.free_chunks(), 4);
         assert!(!c.contains((0, 0)));
@@ -198,15 +487,16 @@ mod tests {
         let c = SampleCache::new(4096, 2);
         let b = c.alloc_for(100).unwrap();
         c.publish((1, 0), b, 100);
-        c.pin((1, 0)).unwrap();
+        let p = c.pin((1, 0)).unwrap();
         c.retire((1, 0));
         // Chunks not yet back in the pool; range no longer pinnable.
         assert_eq!(c.free_chunks(), 1);
         assert!(c.pin((1, 0)).is_none());
         assert!(!c.contains((1, 0)));
-        c.unpin((1, 0));
+        c.unpin((1, 0), p.gen);
         assert_eq!(c.free_chunks(), 2);
         assert_eq!(c.resident_count(), 0);
+        assert_eq!(c.zombie_count(), 0);
     }
 
     #[test]
@@ -221,7 +511,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "published twice")]
-    fn double_publish_panics() {
+    fn live_double_publish_panics() {
         let c = SampleCache::new(4096, 4);
         let a = c.alloc_for(10).unwrap();
         let b = c.alloc_for(10).unwrap();
@@ -229,9 +519,137 @@ mod tests {
         c.publish((1, 5), b, 10);
     }
 
+    /// Regression (pre-fix: `publish` panicked "published twice"): a range
+    /// retired while pinned is invisible to `contains`, so the engine
+    /// legitimately refetches and republishes the key while the old pin is
+    /// still live. The old generation must drain independently.
+    #[test]
+    fn republish_over_zombie_generation() {
+        let c = SampleCache::new(4096, 4);
+        let key = (3, 8192);
+        let a = c.alloc_for(10).unwrap();
+        c.publish(key, a, 10);
+        let old = c.pin(key).unwrap();
+        c.retire(key); // zombie: old pin still live
+        assert!(!c.contains(key));
+        // Engine refetches the same range and republishes it.
+        let b = c.alloc_for(10).unwrap();
+        c.publish(key, b, 10); // pre-fix: panic here
+        assert!(c.contains(key));
+        // New generation is independently pinnable…
+        let new = c.pin(key).unwrap();
+        assert_ne!(new.gen, old.gen);
+        // …and dropping the old pin frees only the zombie's chunk.
+        assert_eq!(c.free_chunks(), 2);
+        c.unpin(key, old.gen);
+        assert_eq!(c.free_chunks(), 3);
+        assert_eq!(c.zombie_count(), 0);
+        c.unpin(key, new.gen);
+        c.retire(key);
+        assert_eq!(c.free_chunks(), 4);
+    }
+
     #[test]
     fn pin_missing_is_none() {
         let c = SampleCache::new(4096, 1);
         assert!(c.pin((9, 9)).is_none());
+    }
+
+    #[test]
+    fn epoch_scoped_release_frees_immediately() {
+        let c = SampleCache::new(4096, 2);
+        let b = c.alloc_for(100).unwrap();
+        c.publish((0, 0), b, 100);
+        c.release((0, 0));
+        assert_eq!(c.free_chunks(), 2);
+        assert!(!c.contains((0, 0)));
+    }
+
+    #[test]
+    fn cross_epoch_release_keeps_resident_and_evicts_lru() {
+        let c = SampleCache::with_mode(4096, 2, CacheMode::CrossEpoch);
+        let a = c.alloc_for(100).unwrap();
+        c.publish((0, 0), a, 100);
+        let b = c.alloc_for(100).unwrap();
+        c.publish((0, 4096), b, 100);
+        c.release((0, 0));
+        c.release((0, 4096));
+        // Both stay resident; the pool is full but both are evictable.
+        assert_eq!(c.free_chunks(), 0);
+        assert!(c.contains((0, 0)));
+        // Touch (0,0) so (0,4096) becomes the LRU victim.
+        let (_bufs, len, _) = c.acquire((0, 0)).unwrap();
+        assert_eq!(len, 100);
+        c.release((0, 0));
+        let _c3 = c.alloc_for(100).unwrap();
+        assert!(c.contains((0, 0)), "recently-used range evicted");
+        assert!(!c.contains((0, 4096)), "LRU range not evicted");
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_never_touches_pinned_or_active_ranges() {
+        let c = SampleCache::with_mode(4096, 2, CacheMode::CrossEpoch);
+        let a = c.alloc_for(100).unwrap();
+        c.publish((0, 0), a, 100);
+        let b = c.alloc_for(100).unwrap();
+        c.publish((0, 4096), b, 100);
+        // (0,0) released but pinned; (0,4096) active (not released).
+        c.release((0, 0));
+        let p = c.pin((0, 0)).unwrap();
+        assert!(c.alloc_for(1).is_none(), "evicted a pinned/active range");
+        c.unpin((0, 0), p.gen);
+        assert!(c.alloc_for(1).is_some(), "released+unpinned must evict");
+    }
+
+    #[test]
+    fn prefetched_ranges_are_evictable_and_flag_first_use() {
+        let c = SampleCache::with_mode(4096, 2, CacheMode::CrossEpoch);
+        let a = c.alloc_prefetch(100, 0).unwrap();
+        c.publish_prefetched((1, 0), a, 100);
+        // Prefetched ⇒ born released ⇒ evictable under pressure.
+        let (_b1, _b2) = (c.alloc_for(100).unwrap(), c.alloc_for(100).unwrap());
+        assert!(!c.contains((1, 0)));
+        assert_eq!(c.evictions(), 1);
+        // First use of a surviving prefetched range reports the hit once.
+        let d = c.alloc_prefetch(100, 0);
+        assert!(d.is_none(), "pool exhausted, prefetch must not evict");
+    }
+
+    #[test]
+    fn acquire_reports_prefetch_hit_once() {
+        let c = SampleCache::with_mode(4096, 4, CacheMode::CrossEpoch);
+        let a = c.alloc_prefetch(100, 1).unwrap();
+        c.publish_prefetched((1, 0), a, 100);
+        let (_, _, first) = c.acquire((1, 0)).unwrap();
+        assert!(first);
+        c.release((1, 0));
+        let (_, _, second) = c.acquire((1, 0)).unwrap();
+        assert!(!second);
+    }
+
+    #[test]
+    fn alloc_prefetch_honors_reserve() {
+        let c = SampleCache::new(4096, 3);
+        let _held = c.alloc_for(4096).unwrap();
+        // 2 free; need 1 + reserve 2 ⇒ refuse.
+        assert!(c.alloc_prefetch(100, 2).is_none());
+        assert!(c.alloc_prefetch(100, 1).is_some());
+    }
+
+    #[test]
+    fn telemetry_tracks_evictions_and_residency() {
+        let reg = Registry::new();
+        let c = SampleCache::with_mode(4096, 2, CacheMode::CrossEpoch);
+        c.attach_telemetry(&reg.scoped("dlfs.cache"));
+        let a = c.alloc_for(100).unwrap();
+        c.publish((0, 0), a, 100);
+        assert_eq!(reg.snapshot().gauge("dlfs.cache.resident_chunks"), 1);
+        c.release((0, 0));
+        let b = c.alloc_for(8000).unwrap(); // needs both chunks ⇒ evicts
+        assert_eq!(reg.snapshot().counter("dlfs.cache.evictions"), 1);
+        assert_eq!(reg.snapshot().gauge("dlfs.cache.resident_chunks"), 0);
+        c.publish((0, 4096), b, 8000);
+        assert_eq!(reg.snapshot().gauge("dlfs.cache.resident_chunks"), 2);
     }
 }

@@ -66,6 +66,23 @@ pub enum BatchMode {
     Auto,
 }
 
+/// Sample-cache residency policy across epochs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// A fetched range lives exactly as long as its epoch needs it: the
+    /// moment the last sample is delivered, its chunks go back to the pool
+    /// (today's behavior; every epoch refetches everything).
+    #[default]
+    EpochScoped,
+    /// A fully-drained range is *released* to an evictable LRU tail
+    /// instead of freed. Later epochs (and the synchronous read path)
+    /// probe residency before posting device fetches, so a working set
+    /// that fits in the pool is read from the device exactly once.
+    /// `alloc_for` evicts least-recently-used released ranges under pool
+    /// pressure; pinned or in-flight ranges are never evicted.
+    CrossEpoch,
+}
+
 /// DLFS instance configuration.
 #[derive(Clone, Debug)]
 pub struct DlfsConfig {
@@ -89,6 +106,14 @@ pub struct DlfsConfig {
     /// timeouts): bounded attempts with exponential backoff in virtual
     /// time. Exhaustion surfaces as [`crate::DlfsError::Io`].
     pub retry: RetryPolicy,
+    /// Cross-epoch residency policy of the sample cache.
+    pub cache_mode: CacheMode,
+    /// With [`CacheMode::CrossEpoch`]: number of next-epoch chunk fetches
+    /// the engine keeps in flight ahead of the copy frontier once the
+    /// current epoch's fetch list is exhausted (the plan-aware
+    /// prefetcher). `0` disables prefetching. Clamped by pool headroom
+    /// (never below `window_chunks` free) and qpair depth.
+    pub prefetch_window: usize,
     pub costs: DlfsCosts,
 }
 
@@ -103,6 +128,8 @@ impl Default for DlfsConfig {
             batch_mode: BatchMode::Auto,
             shared_completion_queue: true,
             retry: RetryPolicy::default(),
+            cache_mode: CacheMode::default(),
+            prefetch_window: 0,
             costs: DlfsCosts::default(),
         }
     }
@@ -133,6 +160,13 @@ impl DlfsConfig {
         }
         if self.retry.max_attempts == 0 {
             return Err("retry.max_attempts must be >= 1 (1 = no retries)".into());
+        }
+        if self.prefetch_window > 0 && self.cache_mode != CacheMode::CrossEpoch {
+            return Err(format!(
+                "prefetch_window ({}) requires cache_mode CrossEpoch: prefetched \
+                 chunks are only useful if they survive into the next epoch",
+                self.prefetch_window
+            ));
         }
         Ok(())
     }
@@ -196,6 +230,19 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        // Prefetching without cross-epoch residency is a misconfiguration…
+        let c = DlfsConfig {
+            prefetch_window: 4,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        // …but is valid once the cache keeps ranges across epochs.
+        let c = DlfsConfig {
+            prefetch_window: 4,
+            cache_mode: CacheMode::CrossEpoch,
+            ..Default::default()
+        };
+        c.validate().unwrap();
     }
 
     #[test]

@@ -108,7 +108,6 @@ impl CopyPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn copies_assemble_segments_in_order() {
@@ -123,8 +122,16 @@ mod tests {
                 tag: 9,
                 sample: 3,
                 segments: vec![
-                    Segment { buf: a, offset: 0, len: 6 },
-                    Segment { buf: b, offset: 10, len: 5 },
+                    Segment {
+                        buf: a,
+                        offset: 0,
+                        len: 6,
+                    },
+                    Segment {
+                        buf: b,
+                        offset: 10,
+                        len: 5,
+                    },
                 ],
                 done: tx,
             });
@@ -147,7 +154,11 @@ mod tests {
                     pool.submit(CopyJob {
                         tag: i,
                         sample: i as u32,
-                        segments: vec![Segment { buf: buf.clone(), offset: 0, len: 1 << 20 }],
+                        segments: vec![Segment {
+                            buf: buf.clone(),
+                            offset: 0,
+                            len: 1 << 20,
+                        }],
                         done: tx.clone(),
                     });
                 }
@@ -175,7 +186,11 @@ mod tests {
                 pool.submit(CopyJob {
                     tag: i,
                     sample: 0,
-                    segments: vec![Segment { buf: buf.clone(), offset: 0, len: 4096 }],
+                    segments: vec![Segment {
+                        buf: buf.clone(),
+                        offset: 0,
+                        len: 4096,
+                    }],
                     done: tx.clone(),
                 });
             }

@@ -179,7 +179,12 @@ impl SampleDirectory {
     /// The paper's metadata lookup: hash the name, search the right AVL
     /// tree, charging traversal cost in virtual time (Fig. 10 measures
     /// exactly this).
-    pub fn lookup(&self, rt: &Runtime, costs: &DlfsCosts, name: &str) -> Option<(u32, SampleEntry)> {
+    pub fn lookup(
+        &self,
+        rt: &Runtime,
+        costs: &DlfsCosts,
+        name: &str,
+    ) -> Option<(u32, SampleEntry)> {
         let key = SampleEntry::key_for(name);
         let tree = &self.trees[(key % self.nodes as u64) as usize];
         let (found, depth) = tree.get_with_depth(key);
@@ -210,7 +215,6 @@ impl SampleDirectory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn build(n_nodes: usize, n_samples: usize) -> SampleDirectory {
         let mut b = DirectoryBuilder::new(n_nodes, n_samples);

@@ -42,7 +42,10 @@ impl SampleEntry {
     pub fn new(nid: u16, key: u64, offset: u64, len: u64, valid: bool) -> SampleEntry {
         assert!(key <= KEY_MASK, "key exceeds 48 bits");
         assert!(offset <= MAX_OFFSET, "offset exceeds 40 bits");
-        assert!(len > 0 && len <= MAX_LEN, "len must fit in 23 bits and be nonzero");
+        assert!(
+            len > 0 && len <= MAX_LEN,
+            "len must fit in 23 bits and be nonzero"
+        );
         SampleEntry {
             unit1: ((nid as u64) << 48) | key,
             unit2: (offset << 24) | (len << 1) | (valid as u64),

@@ -33,7 +33,10 @@ pub enum DlfsError {
     NoSequence,
     /// The epoch's sample plan is exhausted.
     EpochExhausted,
-    /// The huge-page sample cache cannot hold the requested working set.
+    /// The huge-page sample cache cannot hold the requested working set:
+    /// surfaced only after bounded, deadline-clamped backoff (the shared
+    /// [`simkit::retry::RetryPolicy`]) failed to find free or evictable
+    /// chunks — transient pressure is waited out, not reported.
     CacheExhausted,
     /// An I/O command exhausted its retry budget against `target`.
     Io {

@@ -29,12 +29,13 @@ use simkit::runtime::Runtime;
 use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
 use simkit::time::{Dur, Time};
 
-use crate::config::DlfsConfig;
+use crate::cache::RangeKey;
+use crate::config::{CacheMode, DlfsConfig};
 use crate::copy::{CopyDone, CopyJob, Segment};
 use crate::directory::SampleDirectory;
 use crate::entry::SampleEntry;
 use crate::error::{DlfsError, IoFailure};
-use crate::plan::{build_epoch_plan, FetchItem, ReaderPlan};
+use crate::plan::{build_epoch_plan, reader_item_ranges, FetchItem, ReaderPlan};
 use crate::request::{Batch, Delivery, ReadRequest};
 use crate::zerocopy::{PinGuard, ZeroCopySample};
 use crate::{cache::SampleCache, copy::CopyPool};
@@ -81,6 +82,14 @@ struct IoTelemetry {
     cache_hits: Counter,
     cache_misses: Counter,
     cache_pins: Counter,
+    /// Cross-epoch cache counters under `dlfs.cache.*`. Registered only
+    /// with [`CacheMode::CrossEpoch`] — under the zero-knob default they
+    /// are bound to a detached registry so metric renders stay
+    /// byte-identical to the pre-cache engine.
+    ce_hits: Counter,
+    ce_misses: Counter,
+    prefetch_issued: Counter,
+    prefetch_hits: Counter,
     /// Shared-completion-queue drain stats.
     scq_drains: Counter,
     scq_empty_polls: Counter,
@@ -93,9 +102,18 @@ struct IoTelemetry {
 }
 
 impl IoTelemetry {
-    fn new(reg: &Registry) -> IoTelemetry {
+    fn new(reg: &Registry, cross_epoch: bool) -> IoTelemetry {
         let io = reg.scoped("dlfs.io");
+        let cache = if cross_epoch {
+            reg.scoped("dlfs.cache")
+        } else {
+            Registry::new().scoped("dlfs.cache")
+        };
         IoTelemetry {
+            ce_hits: cache.counter("hits"),
+            ce_misses: cache.counter("misses"),
+            prefetch_issued: cache.counter("prefetch_issued"),
+            prefetch_hits: cache.counter("prefetch_hits"),
             samples_delivered: io.counter("samples_delivered"),
             bytes_delivered: io.counter("bytes_delivered"),
             requests_posted: io.counter("requests_posted"),
@@ -139,6 +157,10 @@ type DelayedPart = Reverse<(Time, u64, u32, u32, u32)>;
 
 /// Epoch execution state.
 struct EpochState {
+    /// The collective seed and epoch number `sequence` was called with
+    /// (the prefetcher derives the *next* epoch's item deal from them).
+    seed: u64,
+    epoch: u64,
     plan: ReaderPlan,
     items: Vec<ItemRt>,
     /// Items resident with undelivered samples (the sample-cache draw set).
@@ -162,6 +184,34 @@ struct EpochState {
     rng: SplitMix64,
 }
 
+/// Outcome of [`DlfsIo::start_fetch`].
+enum FetchStart {
+    /// The item is being fetched (or was already resident).
+    Started,
+    /// No cache chunks available even after eviction; retry after a
+    /// release frees or unpins something.
+    Backpressure,
+    /// A prefetch of exactly this range is in flight: don't double-fetch,
+    /// its completion will publish the range.
+    AwaitPrefetch,
+}
+
+/// Plan-aware prefetcher state: once the current epoch's fetch list is
+/// exhausted, the engine warms the *next* epoch's items (this reader's
+/// share of the `(seed, epoch+1)` deal) into the cross-epoch cache.
+#[derive(Default)]
+struct PrefetchState {
+    /// `(seed, epoch)` the queue was built for; rebuilt when it goes
+    /// stale.
+    built_for: Option<(u64, u64)>,
+    /// Upcoming ranges to warm, in the next epoch's first-use order.
+    queue: VecDeque<(u16, u64, u64)>,
+    /// In-flight prefetches: range key → (chunk, published length).
+    inflight: HashMap<RangeKey, (DmaBuf, u64)>,
+    /// Device command id → range key of an in-flight prefetch.
+    cmds: HashMap<u64, RangeKey>,
+}
+
 /// A per-thread DLFS I/O handle.
 pub struct DlfsIo {
     shared: Arc<DlfsShared>,
@@ -180,6 +230,9 @@ pub struct DlfsIo {
     /// Dispatch instant per copy slot of the in-progress `submit` call
     /// (slot indices restart at zero each call).
     copy_dispatch_at: Vec<Time>,
+    /// Plan-aware prefetcher (active only with `CacheMode::CrossEpoch`
+    /// and `prefetch_window > 0`).
+    prefetch: PrefetchState,
 }
 
 impl std::fmt::Debug for DlfsIo {
@@ -210,8 +263,12 @@ impl DlfsIo {
                 qp
             })
             .collect();
+        let cross_epoch = shared.cfg.cache_mode == CacheMode::CrossEpoch;
+        if cross_epoch {
+            shared.cache.attach_telemetry(&reg.scoped("dlfs.cache"));
+        }
         DlfsIo {
-            tel: IoTelemetry::new(reg),
+            tel: IoTelemetry::new(reg, cross_epoch),
             registry: reg.clone(),
             shared,
             qpairs,
@@ -221,6 +278,7 @@ impl DlfsIo {
             failed: None,
             current_deadline: None,
             copy_dispatch_at: Vec::new(),
+            prefetch: PrefetchState::default(),
         }
     }
 
@@ -245,22 +303,25 @@ impl DlfsIo {
     /// range the plan still holds. Called by `sequence` when an epoch is
     /// replaced before being fully consumed.
     fn abort_epoch(&mut self, rt: &Runtime) {
-        if self.epoch.is_none() {
+        if self.epoch.is_none() && self.prefetch.cmds.is_empty() {
             return;
         }
-        // Drain outstanding commands.
-        while !self.inflight.is_empty() {
+        // Drain outstanding commands (including in-flight prefetches:
+        // their chunks would leak if merely forgotten).
+        while !self.inflight.is_empty() || !self.prefetch.cmds.is_empty() {
             let mut harvested = 0;
-            for qp in &mut self.qpairs {
-                if qp.outstanding() == 0 {
+            for q in 0..self.qpairs.len() {
+                if self.qpairs[q].outstanding() == 0 {
                     continue;
                 }
-                for comp in qp.process_completions(rt, usize::MAX) {
-                    self.inflight.remove(&comp.id);
+                for comp in self.qpairs[q].process_completions(rt, usize::MAX) {
+                    if self.inflight.remove(&comp.id).is_none() {
+                        self.prefetch_complete(comp.id, comp.status);
+                    }
                     harvested += 1;
                 }
             }
-            if self.inflight.is_empty() {
+            if self.inflight.is_empty() && self.prefetch.cmds.is_empty() {
                 break;
             }
             if harvested == 0 {
@@ -280,14 +341,18 @@ impl DlfsIo {
                 }
             }
         }
-        let st = self.epoch.take().expect("checked above");
+        let Some(st) = self.epoch.take() else {
+            return; // only prefetches were outstanding
+        };
         for (idx, bufs) in st.bufs {
             let it = &st.plan.items[idx as usize];
             let key = (it.nid, it.offset);
             if self.shared.cache.contains(key) {
-                // Published: the cache owns the chunks; retire frees them
-                // (deferred if zero-copy samples still pin the range).
-                self.shared.cache.retire(key);
+                // Published: the cache owns the chunks. EpochScoped:
+                // release retires them (deferred if zero-copy samples
+                // still pin the range). CrossEpoch: the range survives on
+                // the evictable LRU tail for the replacing epoch.
+                self.shared.cache.release(key);
             } else {
                 // Never became resident: return our chunks directly.
                 for b in bufs {
@@ -332,7 +397,14 @@ impl DlfsIo {
             .collect();
         let n = mine.samples();
         self.failed = None;
+        // A queue built during the previous epoch targeted *this* one;
+        // whatever it already warmed is found by the demand probes, the
+        // rest is stale.
+        self.prefetch.queue.clear();
+        self.prefetch.built_for = None;
         self.epoch = Some(EpochState {
+            seed,
+            epoch,
             plan: mine,
             items,
             resident_ready: Vec::new(),
@@ -364,15 +436,48 @@ impl DlfsIo {
         self.epoch.as_ref().map(|e| &e.plan.order[..])
     }
 
-    /// Start fetching item `idx`: allocate cache chunks and queue its parts.
-    /// Returns false when the cache has no room (backpressure).
-    fn start_fetch(&mut self, idx: u32) -> bool {
+    /// Start fetching item `idx`: probe the cross-epoch cache first, else
+    /// allocate cache chunks and queue the item's parts for the device.
+    fn start_fetch(&mut self, idx: u32) -> FetchStart {
+        let cross = self.shared.cfg.cache_mode == CacheMode::CrossEpoch;
         let st = self.epoch.as_mut().expect("no epoch");
         let it = &st.plan.items[idx as usize];
+        let key = (it.nid, it.offset);
         let (slba, nblocks, _head) = covering_blocks(it.offset, it.len);
+        if cross {
+            // Residency probe: a previous epoch (or the prefetcher) may
+            // already hold this exact range — warm items skip the device
+            // entirely.
+            if let Some((bufs, len, was_prefetched)) = self.shared.cache.acquire(key) {
+                debug_assert_eq!(len, it.len, "cached range geometry drifted");
+                self.tel.ce_hits.inc();
+                if was_prefetched {
+                    self.tel.prefetch_hits.inc();
+                }
+                let rt_item = &mut st.items[idx as usize];
+                rt_item.parts_left = 0;
+                rt_item.fetched = true;
+                rt_item.base = slba * BLOCK_SIZE;
+                st.bufs.insert(idx, bufs);
+                st.open_items += 1;
+                let it = &st.plan.items[idx as usize];
+                for &s in &it.samples {
+                    self.shared.dir.set_valid(s, true);
+                }
+                st.resident_ready.push(idx);
+                return FetchStart::Started;
+            }
+            if self.prefetch.inflight.contains_key(&key) {
+                // The range is already on the wire as a prefetch; fetching
+                // it again would double-publish. Its completion will
+                // publish it, and the next probe will hit.
+                return FetchStart::AwaitPrefetch;
+            }
+            self.tel.ce_misses.inc();
+        }
         let bytes = nblocks as u64 * BLOCK_SIZE;
         let Some(bufs) = self.shared.cache.alloc_for(bytes) else {
-            return false;
+            return FetchStart::Backpressure;
         };
         let parts = bufs.len() as u32;
         let rt_item = &mut st.items[idx as usize];
@@ -384,7 +489,7 @@ impl DlfsIo {
             st.pending_parts.push_back((idx, p, 0));
         }
         st.open_items += 1;
-        true
+        FetchStart::Started
     }
 
     /// Pump stage: keep the fetch window full and the qpairs fed.
@@ -407,16 +512,25 @@ impl DlfsIo {
             if open >= 2 * window && !starving {
                 break;
             }
-            if !self.start_fetch(next_fetch as u32) {
-                assert!(
-                    !starving,
-                    "DLFS sample cache too small for a single fetch item; \
-                     increase pool_chunks"
-                );
-                break; // cache backpressure; retry after retires
+            match self.start_fetch(next_fetch as u32) {
+                FetchStart::Started => {
+                    self.epoch.as_mut().expect("no epoch").next_fetch += 1;
+                    progressed += 1;
+                }
+                FetchStart::AwaitPrefetch => {
+                    // An in-flight prefetch owns this range; progress
+                    // comes from polling its completion.
+                    break;
+                }
+                FetchStart::Backpressure => {
+                    assert!(
+                        !starving,
+                        "DLFS sample cache too small for a single fetch item; \
+                         increase pool_chunks"
+                    );
+                    break; // cache backpressure; retry after releases
+                }
             }
-            self.epoch.as_mut().expect("no epoch").next_fetch += 1;
-            progressed += 1;
         }
 
         // Move retry parts whose backoff has elapsed into the submit queue.
@@ -436,12 +550,8 @@ impl DlfsIo {
         // Submit queued parts to the per-device qpairs (prep + post).
         let chunk = self.shared.cfg.chunk_size as usize;
         let costs = self.shared.cfg.costs.clone();
-        while let Some(&(idx, part, attempt)) = self
-            .epoch
-            .as_ref()
-            .expect("no epoch")
-            .pending_parts
-            .front()
+        while let Some(&(idx, part, attempt)) =
+            self.epoch.as_ref().expect("no epoch").pending_parts.front()
         {
             let (nid, slba_part, nblocks_part, buf) = {
                 let st = self.epoch.as_ref().expect("no epoch");
@@ -475,7 +585,136 @@ impl DlfsIo {
                 Err(_) => break, // queue full; poll first
             }
         }
+
+        // With the epoch's own fetch list exhausted, spend the idle tail
+        // warming the next epoch (plan-aware prefetch).
+        progressed += self.pump_prefetch(rt);
         progressed
+    }
+
+    /// Plan-aware prefetch (paper-adjacent: the epoch access sequence is
+    /// known at `dlfs_sequence` time, so the *next* epoch's is too). Once
+    /// the current epoch has no more items to open, post single-chunk
+    /// fetches for the ranges epoch+1 will deal to this reader — newest
+    /// data lands in the cross-epoch cache as released (evictable)
+    /// ranges, warming the next epoch's head during this one's tail.
+    /// Clamped by the prefetch window, pool headroom (demand fetches keep
+    /// `window_chunks` of reserve) and qpair depth.
+    fn pump_prefetch(&mut self, rt: &Runtime) -> usize {
+        let cfg = &self.shared.cfg;
+        let pf_window = cfg.prefetch_window;
+        if pf_window == 0 || cfg.cache_mode != CacheMode::CrossEpoch {
+            return 0;
+        }
+        let Some(st) = self.epoch.as_ref() else {
+            return 0;
+        };
+        if st.next_fetch < st.plan.items.len() {
+            return 0; // demand fetches still pending; they have priority
+        }
+        let (seed, epoch) = (st.seed, st.epoch);
+        if self.prefetch.built_for != Some((seed, epoch + 1)) {
+            let mode = cfg.effective_mode(self.shared.dir.avg_sample_bytes());
+            self.prefetch.queue = reader_item_ranges(
+                &self.shared.dir,
+                cfg.chunk_size,
+                self.shared.readers,
+                mode,
+                seed,
+                epoch + 1,
+                self.shared.reader_id,
+            )
+            .into();
+            self.prefetch.built_for = Some((seed, epoch + 1));
+        }
+        let chunk = cfg.chunk_size;
+        let reserve = cfg.window_chunks;
+        let costs = cfg.costs.clone();
+        let mut progressed = 0;
+        while self.prefetch.inflight.len() < pf_window {
+            let Some(&(nid, offset, len)) = self.prefetch.queue.front() else {
+                break;
+            };
+            let key = (nid, offset);
+            let (slba, nblocks, _) = covering_blocks(offset, len);
+            let bytes = nblocks as u64 * BLOCK_SIZE;
+            if bytes > chunk
+                || self.shared.cache.contains(key)
+                || self.prefetch.inflight.contains_key(&key)
+                || self.demand_fetch_in_flight(key)
+            {
+                // Multi-chunk edge items aren't worth speculative slots;
+                // already-resident or in-flight ranges need no warming.
+                self.prefetch.queue.pop_front();
+                continue;
+            }
+            let Some(mut bufs) = self.shared.cache.alloc_prefetch(bytes, reserve) else {
+                break; // no speculative headroom; retry when pressure drops
+            };
+            debug_assert_eq!(bufs.len(), 1);
+            let buf = bufs.pop().expect("single chunk");
+            let cmd = self.next_cmd;
+            let t0 = rt.now();
+            rt.work(costs.prep_request);
+            let t1 = rt.now();
+            rt.work(costs.post_request);
+            match self.qpairs[nid as usize].submit_read(rt, cmd, slba, nblocks, buf.clone(), 0) {
+                Ok(()) => {
+                    self.tel.prep_ns.record_dur(t1 - t0);
+                    self.tel.post_ns.record_dur(rt.now() - t1);
+                    self.next_cmd += 1;
+                    self.tel.requests_posted.inc();
+                    self.tel.prefetch_issued.inc();
+                    self.prefetch.queue.pop_front();
+                    self.prefetch.cmds.insert(cmd, key);
+                    self.prefetch.inflight.insert(key, (buf, len));
+                    progressed += 1;
+                }
+                Err(_) => {
+                    self.shared.cache.free_raw(buf);
+                    break; // qpair full; demand completions first
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Is `key` currently being fetched by the demand path (allocated but
+    /// not yet published)? The prefetcher must not double-fetch it.
+    fn demand_fetch_in_flight(&self, key: RangeKey) -> bool {
+        let Some(st) = self.epoch.as_ref() else {
+            return false;
+        };
+        st.bufs.keys().any(|&idx| {
+            let it = &st.plan.items[idx as usize];
+            (it.nid, it.offset) == key && st.items[idx as usize].parts_left > 0
+        })
+    }
+
+    /// Route the completion of a prefetch command: publish the warmed
+    /// range (born released/evictable), or — on failure, or if the range
+    /// became resident meanwhile — return the chunk. Prefetches are
+    /// best-effort: no retries; a miss simply falls back to a demand
+    /// fetch next epoch.
+    fn prefetch_complete(&mut self, cmd: u64, status: CmdStatus) {
+        let key = self
+            .prefetch
+            .cmds
+            .remove(&cmd)
+            .expect("completion for unknown command");
+        let (buf, len) = self
+            .prefetch
+            .inflight
+            .remove(&key)
+            .expect("prefetch buffer tracked");
+        if status.is_ok() && !self.shared.cache.contains(key) {
+            self.shared.cache.publish_prefetched(key, vec![buf], len);
+        } else {
+            if status == CmdStatus::TransportError {
+                self.tel.timeouts.inc();
+            }
+            self.shared.cache.free_raw(buf);
+        }
     }
 
     /// Apply one harvested device completion belonging to the batched
@@ -483,7 +722,14 @@ impl DlfsIo {
     /// read path: both drain the same qpairs, so either may harvest the
     /// other's completions — and either way a failed part must be re-queued
     /// for retry, never just routed and forgotten.
-    fn engine_complete(&mut self, rt: &Runtime, idx: u32, part: u32, attempt: u32, status: CmdStatus) {
+    fn engine_complete(
+        &mut self,
+        rt: &Runtime,
+        idx: u32,
+        part: u32,
+        attempt: u32,
+        status: CmdStatus,
+    ) {
         if !status.is_ok() {
             // Failed command (media error or fabric timeout): resubmit
             // under the retry policy, backing off in virtual time.
@@ -502,13 +748,17 @@ impl DlfsIo {
                     }
                     let st = self.epoch.as_mut().expect("no epoch");
                     st.delay_seq += 1;
-                    st.delayed_parts
-                        .push(Reverse((ready_at, st.delay_seq, idx, part, failed_attempts)));
+                    st.delayed_parts.push(Reverse((
+                        ready_at,
+                        st.delay_seq,
+                        idx,
+                        part,
+                        failed_attempts,
+                    )));
                 }
                 None => {
-                    let target = self.epoch.as_ref().expect("no epoch").plan.items
-                        [idx as usize]
-                        .nid;
+                    let target =
+                        self.epoch.as_ref().expect("no epoch").plan.items[idx as usize].nid;
                     let cause = match status {
                         CmdStatus::TransportError => IoFailure::Timeout,
                         _ => IoFailure::Media,
@@ -559,11 +809,12 @@ impl DlfsIo {
                 rt.work(costs.per_completion);
                 self.tel.completions.inc();
                 harvested += 1;
-                let (idx, part, attempt) = self
-                    .inflight
-                    .remove(&comp.id)
-                    .expect("completion for unknown command");
-                self.engine_complete(rt, idx, part, attempt, comp.status);
+                match self.inflight.remove(&comp.id) {
+                    Some((idx, part, attempt)) => {
+                        self.engine_complete(rt, idx, part, attempt, comp.status);
+                    }
+                    None => self.prefetch_complete(comp.id, comp.status),
+                }
             }
         }
         if harvested == 0 {
@@ -629,9 +880,11 @@ impl DlfsIo {
         dispatched
     }
 
-    /// Account one delivered sample of `idx`; retire its item when fully
-    /// drained (chunks go back to the pool — or, if zero-copy samples still
-    /// pin them, when the last pin drops).
+    /// Account one delivered sample of `idx`; release its item when fully
+    /// drained. `EpochScoped`: chunks go back to the pool (or, if
+    /// zero-copy samples still pin them, when the last pin drops).
+    /// `CrossEpoch`: the range joins the evictable LRU tail and may serve
+    /// the next epoch without device I/O.
     fn account_delivery(&mut self, idx: u32) {
         let st = self.epoch.as_mut().expect("no epoch");
         let item = &mut st.items[idx as usize];
@@ -639,7 +892,7 @@ impl DlfsIo {
         if item.copies_done == item.samples_total {
             st.bufs.remove(&idx);
             let it = &st.plan.items[idx as usize];
-            self.shared.cache.retire((it.nid, it.offset));
+            self.shared.cache.release((it.nid, it.offset));
             st.open_items -= 1;
             for &s in &it.samples {
                 self.shared.dir.set_valid(s, false);
@@ -893,11 +1146,8 @@ impl DlfsIo {
                     )
                 };
                 // Pin the range for the sample's lifetime; no memcpy.
-                self.shared
-                    .cache
-                    .pin(key)
-                    .expect("resident range pinnable");
-                let pin = PinGuard::new(self.shared.cache.clone(), key);
+                let pinned = self.shared.cache.pin(key).expect("resident range pinnable");
+                let pin = PinGuard::new(self.shared.cache.clone(), key, pinned.gen);
                 rt.work(costs.frontend_per_sample);
                 self.tel.cache_pins.inc();
                 self.tel.samples_delivered.inc();
@@ -942,16 +1192,37 @@ impl DlfsIo {
             .lookup(rt, &costs, name)
             .ok_or_else(|| DlfsError::NotFound(name.to_string()))?;
         let _ = id;
-        self.read_entry(rt, entry)
+        self.read_entry(rt, entry, None)
     }
 
     /// `dlfs_read` by sample id (no name lookup).
     pub fn read_by_id(&mut self, rt: &Runtime, id: u32) -> Result<Vec<u8>, DlfsError> {
+        self.read_by_id_opt(rt, id, None)
+    }
+
+    /// [`DlfsIo::read_by_id`] with a deadline: cache-pressure backoff
+    /// never waits past it (the read surfaces
+    /// [`DlfsError::CacheExhausted`] instead).
+    pub fn read_by_id_before(
+        &mut self,
+        rt: &Runtime,
+        id: u32,
+        deadline: Time,
+    ) -> Result<Vec<u8>, DlfsError> {
+        self.read_by_id_opt(rt, id, Some(deadline))
+    }
+
+    fn read_by_id_opt(
+        &mut self,
+        rt: &Runtime,
+        id: u32,
+        deadline: Option<Time>,
+    ) -> Result<Vec<u8>, DlfsError> {
         if id as usize >= self.shared.dir.len() {
             return Err(DlfsError::BadSampleId(id));
         }
         let entry = self.shared.dir.entry(id);
-        self.read_entry(rt, entry)
+        self.read_entry(rt, entry, deadline)
     }
 
     /// Submit every due (re)submission of the synchronous read path, lowest
@@ -1003,71 +1274,154 @@ impl DlfsIo {
         }
     }
 
-    fn read_entry(&mut self, rt: &Runtime, entry: SampleEntry) -> Result<Vec<u8>, DlfsError> {
+    /// Serve `entry` out of a pinned resident range, if one covers it.
+    /// `keys` pairs each candidate `RangeKey` with the byte base its
+    /// buffers start at.
+    fn read_pinned(
+        &mut self,
+        rt: &Runtime,
+        entry: SampleEntry,
+        keys: &[(RangeKey, u64)],
+    ) -> Option<Vec<u8>> {
+        let costs = self.shared.cfg.costs.clone();
+        let (key, base, pinned) = keys.iter().find_map(|&(key, base)| {
+            let p = self.shared.cache.pin(key)?;
+            // The pinned range must actually cover the sample (an edge
+            // sample's chunk-base key can name a different, shorter
+            // range).
+            if entry.offset() + entry.len() <= key.1 + p.len {
+                Some((key, base, p))
+            } else {
+                self.shared.cache.unpin(key, p.gen);
+                None
+            }
+        })?;
+        self.tel.cache_hits.inc();
+        self.tel.cache_pins.inc();
+        if pinned.prefetched {
+            self.tel.prefetch_hits.inc();
+        }
+        let chunk = self.shared.cfg.chunk_size as usize;
+        let within = (entry.offset() - base) as usize;
+        let mut segments = Vec::new();
+        let mut remaining = entry.len() as usize;
+        let mut pos = within;
+        while remaining > 0 {
+            let b = pos / chunk;
+            let off = pos % chunk;
+            let take = (chunk - off).min(remaining);
+            segments.push(Segment {
+                buf: pinned.bufs[b].clone(),
+                offset: off,
+                len: take,
+            });
+            pos += take;
+            remaining -= take;
+        }
+        let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
+        let t_copy = rt.now();
+        rt.work(costs.copy_dispatch);
+        self.shared.copy.submit(CopyJob {
+            tag: 0,
+            sample: 0,
+            segments,
+            done: done_tx,
+        });
+        let done = done_rx.recv().expect("copy pool alive");
+        self.shared.cache.unpin(key, pinned.gen);
+        self.tel.samples_delivered.inc();
+        self.tel.bytes_delivered.add(done.data.len() as u64);
+        self.tel.copy_ns.record_dur(rt.now() - t_copy);
+        Some(done.data)
+    }
+
+    fn read_entry(
+        &mut self,
+        rt: &Runtime,
+        entry: SampleEntry,
+        deadline: Option<Time>,
+    ) -> Result<Vec<u8>, DlfsError> {
         let costs = self.shared.cfg.costs.clone();
         // No batch deadline applies to engine retries harvested while this
         // synchronous read drains the shared qpairs.
         self.current_deadline = None;
+        let cross = self.shared.cfg.cache_mode == CacheMode::CrossEpoch;
+        let chunk_base = entry.offset() / self.shared.cfg.chunk_size * self.shared.cfg.chunk_size;
         // Fast path (paper §III-C1): "we first check the sample entry and
         // return the data if the V field is on."
         if entry.valid() {
-            let chunk_base =
-                entry.offset() / self.shared.cfg.chunk_size * self.shared.cfg.chunk_size;
-            if let Some((bufs, _len)) = self.shared.cache.pin((entry.nid(), chunk_base)) {
-                self.tel.cache_hits.inc();
-                self.tel.cache_pins.inc();
-                let chunk = self.shared.cfg.chunk_size as usize;
-                let within = (entry.offset() - chunk_base) as usize;
-                let mut segments = Vec::new();
-                let mut remaining = entry.len() as usize;
-                let mut pos = within;
-                while remaining > 0 {
-                    let b = pos / chunk;
-                    let off = pos % chunk;
-                    let take = (chunk - off).min(remaining);
-                    segments.push(Segment {
-                        buf: bufs[b].clone(),
-                        offset: off,
-                        len: take,
-                    });
-                    pos += take;
-                    remaining -= take;
+            if let Some(data) =
+                self.read_pinned(rt, entry, &[((entry.nid(), chunk_base), chunk_base)])
+            {
+                if cross {
+                    self.tel.ce_hits.inc();
                 }
-                let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
-                let t_copy = rt.now();
-                rt.work(costs.copy_dispatch);
-                self.shared.copy.submit(CopyJob {
-                    tag: 0,
-                    sample: 0,
-                    segments,
-                    done: done_tx,
-                });
-                let done = done_rx.recv().expect("copy pool alive");
-                self.shared.cache.unpin((entry.nid(), chunk_base));
-                self.tel.samples_delivered.inc();
-                self.tel.bytes_delivered.add(done.data.len() as u64);
-                self.tel.copy_ns.record_dur(rt.now() - t_copy);
-                return Ok(done.data);
+                return Ok(data);
+            }
+        } else if cross {
+            // Cross-epoch probe: release clears the V field, but the data
+            // may still sit on the cache's LRU tail — under its chunk's
+            // key, or (edge/sample-level items) under its own offset.
+            let (_, _, head) = covering_blocks(entry.offset(), entry.len());
+            let mut keys = vec![((entry.nid(), chunk_base), chunk_base)];
+            if entry.offset() != chunk_base {
+                keys.push(((entry.nid(), entry.offset()), entry.offset() - head as u64));
+            }
+            if let Some(data) = self.read_pinned(rt, entry, &keys) {
+                self.tel.ce_hits.inc();
+                return Ok(data);
             }
         }
         self.tel.cache_misses.inc();
-        let (slba, nblocks, head) = covering_blocks(entry.offset(), entry.len());
+        if cross {
+            self.tel.ce_misses.inc();
+        }
+        let nid = entry.nid() as usize;
+        // Epoch-scoped mode fetches exactly the sample's covering blocks
+        // and frees them after the copy. Cross-epoch mode fetches the whole
+        // covering chunk instead and parks it on the cache's LRU tail, so
+        // later reads of this sample — or its chunk neighbors — skip the
+        // device entirely.
+        let (slba, nblocks, head) = if cross {
+            let sample_end = entry.offset() + entry.len();
+            let dev_end = self.shared.targets[nid].blocks() * BLOCK_SIZE;
+            let end = (chunk_base + self.shared.cfg.chunk_size)
+                .min(dev_end)
+                .max(sample_end);
+            let nblocks = (end - chunk_base).div_ceil(BLOCK_SIZE) as u32;
+            let head = (entry.offset() - chunk_base) as usize;
+            (chunk_base / BLOCK_SIZE, nblocks, head)
+        } else {
+            covering_blocks(entry.offset(), entry.len())
+        };
         let bytes = nblocks as u64 * BLOCK_SIZE;
-        let bufs = self
-            .shared
-            .cache
-            .alloc_for(bytes)
-            .ok_or(DlfsError::CacheExhausted)?;
+        // Bugfix (satellite): a momentarily full pool used to surface
+        // `CacheExhausted` immediately, while the batched path parks and
+        // retries after releases. Wait under the shared retry policy —
+        // bounded, deadline-clamped exponential backoff in virtual time —
+        // before giving up.
+        let retry = self.shared.cfg.retry;
+        let mut alloc_failures = 0u32;
+        let bufs = loop {
+            if let Some(b) = self.shared.cache.alloc_for(bytes) {
+                break b;
+            }
+            alloc_failures += 1;
+            let Some(backoff) = retry.next_delay_before(alloc_failures, rt.now(), deadline) else {
+                return Err(DlfsError::CacheExhausted);
+            };
+            // Busy-wait (virtual CPU time): another thread's release or a
+            // dropped zero-copy sample may free chunks meanwhile.
+            rt.work(backoff);
+        };
         // prep + post each part; backpressure (a full qpair) and device
         // failures park the part in `waiting` for a later submission pass.
         let chunk = self.shared.cfg.chunk_size as usize;
         let blocks_per_chunk = (chunk as u64 / BLOCK_SIZE) as u32;
         let retry = self.shared.cfg.retry;
-        let nid = entry.nid() as usize;
         // Parts to (re)submit: (part, failed attempts so far, not before).
-        let mut waiting: Vec<(u32, u32, Time)> = (0..bufs.len() as u32)
-            .map(|p| (p, 0, Time::ZERO))
-            .collect();
+        let mut waiting: Vec<(u32, u32, Time)> =
+            (0..bufs.len() as u32).map(|p| (p, 0, Time::ZERO)).collect();
         let mut part_of: HashMap<u64, (u32, u32)> = HashMap::new();
         let mut left = bufs.len();
         let mut fatal: Option<DlfsError> = None;
@@ -1124,13 +1478,17 @@ impl DlfsIo {
                     rt.work(costs.per_completion);
                     self.tel.completions.inc();
                     let Some((p, attempt)) = part_of.remove(&c.id) else {
-                        // Not ours: the batched engine shares these qpairs
-                        // and its in-flight commands complete here too —
+                        // Not ours: the batched engine (and its
+                        // prefetcher) share these qpairs and their
+                        // in-flight commands complete here too —
                         // including failed ones, which must be re-queued
                         // for retry, not merely routed.
-                        let (idx, part, att) =
-                            self.inflight.remove(&c.id).expect("unknown command");
-                        self.engine_complete(rt, idx, part, att, c.status);
+                        match self.inflight.remove(&c.id) {
+                            Some((idx, part, att)) => {
+                                self.engine_complete(rt, idx, part, att, c.status);
+                            }
+                            None => self.prefetch_complete(c.id, c.status),
+                        }
                         continue;
                     };
                     if c.status.is_ok() {
@@ -1199,8 +1557,23 @@ impl DlfsIo {
         self.tel.samples_delivered.inc();
         self.tel.bytes_delivered.add(done.data.len() as u64);
         self.tel.copy_ns.record_dur(rt.now() - t_copy);
-        for b in bufs {
-            self.shared.cache.free_raw(b);
+        if cross {
+            // Park the fetched chunk on the evictable LRU tail (unless the
+            // batched engine published the same key while we polled).
+            let key = (entry.nid(), chunk_base);
+            if self.shared.cache.contains(key) {
+                for b in bufs {
+                    self.shared.cache.free_raw(b);
+                }
+            } else {
+                let len = nblocks as u64 * BLOCK_SIZE;
+                self.shared.cache.publish(key, bufs, len);
+                self.shared.cache.release(key);
+            }
+        } else {
+            for b in bufs {
+                self.shared.cache.free_raw(b);
+            }
         }
         Ok(done.data)
     }

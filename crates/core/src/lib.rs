@@ -62,13 +62,15 @@ pub mod source;
 pub mod zerocopy;
 
 pub use cache::SampleCache;
-pub use config::{BatchMode, DlfsConfig, DlfsCosts};
+pub use config::{BatchMode, CacheMode, DlfsConfig, DlfsCosts};
 pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 pub use entry::SampleEntry;
 pub use error::{DlfsError, IoFailure};
 pub use io::{DlfsIo, DlfsShared};
 pub use mount::{mount, mount_local, Deployment, DlfsInstance, MountOptions};
-pub use plan::{build_epoch_plan, full_random_order, EpochPlan, FetchItem, ReaderPlan};
+pub use plan::{
+    build_epoch_plan, full_random_order, reader_item_ranges, EpochPlan, FetchItem, ReaderPlan,
+};
 pub use request::{Batch, Delivery, ReadRequest};
 pub use source::{SampleSource, SyntheticSource};
 pub use zerocopy::ZeroCopySample;

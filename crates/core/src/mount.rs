@@ -124,9 +124,10 @@ impl DlfsInstance {
             .iter()
             .map(|s| {
                 let cfg = s.cfg.clone();
-                let cache = Arc::new(SampleCache::new(
+                let cache = Arc::new(SampleCache::with_mode(
                     cfg.chunk_size as usize,
                     cfg.pool_chunks,
+                    cfg.cache_mode,
                 ));
                 let copy = CopyPool::spawn(
                     rt,
@@ -163,10 +164,7 @@ pub fn mount(
     assert!(readers > 0, "need at least one reader");
     let storage_nodes = deployment.targets[0].len();
     assert!(
-        deployment
-            .targets
-            .iter()
-            .all(|t| t.len() == storage_nodes),
+        deployment.targets.iter().all(|t| t.len() == storage_nodes),
         "all readers must see the same storage nodes"
     );
 
@@ -210,10 +208,7 @@ pub fn mount(
             .iter()
             .map(|&n| deployment.targets[r][n].clone())
             .collect();
-        let ids: Vec<Vec<u32>> = my_nodes
-            .iter()
-            .map(|&n| per_node_ids[n].clone())
-            .collect();
+        let ids: Vec<Vec<u32>> = my_nodes.iter().map(|&n| per_node_ids[n].clone()).collect();
         // The source is only borrowed; spawned tasks need owned access.
         // Gather the payloads for this reader's nodes up front (setup-time
         // memory, released after upload).
@@ -339,9 +334,10 @@ pub fn mount(
     // ---- Per-reader runtime state.
     let shared = (0..readers)
         .map(|r| {
-            let cache = Arc::new(SampleCache::new(
+            let cache = Arc::new(SampleCache::with_mode(
                 cfg.chunk_size as usize,
                 cfg.pool_chunks,
+                cfg.cache_mode,
             ));
             let copy = CopyPool::spawn(rt, &format!("dlfs-r{r}"), cfg.copy_threads, &cfg.costs);
             Arc::new(DlfsShared {
@@ -356,10 +352,7 @@ pub fn mount(
         })
         .collect();
 
-    Ok(DlfsInstance {
-        dir,
-        shared,
-    })
+    Ok(DlfsInstance { dir, shared })
 }
 
 /// Convenience: single reader, single local device, no fabric.

@@ -152,9 +152,39 @@ pub fn build_epoch_plan(
     seed: u64,
     epoch: u64,
 ) -> EpochPlan {
-    assert!(readers > 0);
-    assert!(!matches!(mode, BatchMode::Auto), "resolve Auto before planning");
     let base = SplitMix64::derive(seed, epoch.wrapping_mul(0xD1CE).wrapping_add(7));
+    let per_reader = dealt_items(dir, chunk_size, readers, mode, &base);
+    // Derive each reader's delivery order with the windowed random draw.
+    let readers_plans = per_reader
+        .into_iter()
+        .enumerate()
+        .map(|(r, items)| {
+            let mut rng = base.child(STREAM_WINDOW + r as u64 * 1000);
+            windowed_delivery(items, window, &mut rng)
+        })
+        .collect();
+    EpochPlan {
+        readers: readers_plans,
+        mode,
+    }
+}
+
+/// Gather, shuffle and deal the epoch's fetch items: steps 1–3 of the plan,
+/// shared by [`build_epoch_plan`] and [`reader_item_ranges`]. Item
+/// *geometry* (nid, offset, len) is a pure function of the directory, so
+/// only the shuffle and the deal vary across epochs.
+fn dealt_items(
+    dir: &SampleDirectory,
+    chunk_size: u64,
+    readers: usize,
+    mode: BatchMode,
+    base: &SplitMix64,
+) -> Vec<Vec<FetchItem>> {
+    assert!(readers > 0);
+    assert!(
+        !matches!(mode, BatchMode::Auto),
+        "resolve Auto before planning"
+    );
 
     // 1. Gather fetch items from every storage node.
     let mut items: Vec<FetchItem> = Vec::new();
@@ -188,33 +218,39 @@ pub fn build_epoch_plan(
         rng_within.shuffle(&mut it.samples);
     }
 
-    // 3. Deal items round-robin to readers, then derive each reader's
-    //    delivery order with the windowed random draw.
+    // 3. Deal items round-robin to readers.
     let mut per_reader: Vec<Vec<FetchItem>> = vec![Vec::new(); readers];
     for (i, it) in items.into_iter().enumerate() {
         per_reader[i % readers].push(it);
     }
-    let readers_plans = per_reader
+    per_reader
+}
+
+/// The device ranges `(nid, offset, len)` epoch `epoch` deals to `reader`,
+/// in first-use order, *without* deriving the delivery order — cheap
+/// enough for the prefetcher to call at the tail of the previous epoch to
+/// learn what to warm next.
+pub fn reader_item_ranges(
+    dir: &SampleDirectory,
+    chunk_size: u64,
+    readers: usize,
+    mode: BatchMode,
+    seed: u64,
+    epoch: u64,
+    reader: usize,
+) -> Vec<(u16, u64, u64)> {
+    let base = SplitMix64::derive(seed, epoch.wrapping_mul(0xD1CE).wrapping_add(7));
+    let mut per_reader = dealt_items(dir, chunk_size, readers, mode, &base);
+    per_reader
+        .swap_remove(reader)
         .into_iter()
-        .enumerate()
-        .map(|(r, items)| {
-            let mut rng = base.child(STREAM_WINDOW + r as u64 * 1000);
-            windowed_delivery(items, window, &mut rng)
-        })
-        .collect();
-    EpochPlan {
-        readers: readers_plans,
-        mode,
-    }
+        .map(|it| (it.nid, it.offset, it.len))
+        .collect()
 }
 
 /// Derive the delivery order for one reader: keep up to `window` items
 /// open; each next sample comes from a uniformly random open item.
-pub fn windowed_delivery(
-    items: Vec<FetchItem>,
-    window: usize,
-    rng: &mut SplitMix64,
-) -> ReaderPlan {
+pub fn windowed_delivery(items: Vec<FetchItem>, window: usize, rng: &mut SplitMix64) -> ReaderPlan {
     let window = window.max(1);
     let total: usize = items.iter().map(|i| i.samples.len()).sum();
     let mut order = Vec::with_capacity(total);
@@ -308,7 +344,10 @@ mod tests {
             .iter()
             .filter(|it| it.samples.len() == 1 && it.len == 3000)
             .count();
-        assert!(edge_items > 10, "expected many edge items, got {edge_items}");
+        assert!(
+            edge_items > 10,
+            "expected many edge items, got {edge_items}"
+        );
         all_samples_once(&plan, 64);
     }
 
@@ -389,6 +428,43 @@ mod tests {
         let plan = build_epoch_plan(&dir, 8192, 1, BatchMode::ChunkLevel, 6, 9, 0);
         let r = &plan.readers[0];
         assert!(r.item_of[0] < 6);
+    }
+
+    #[test]
+    fn reader_item_ranges_match_full_plan() {
+        let dir = dir_with(3, 1500, |_| 512);
+        for epoch in 0..3u64 {
+            let plan = build_epoch_plan(&dir, 16384, 2, BatchMode::ChunkLevel, 8, 11, epoch);
+            for r in 0..2 {
+                let ranges =
+                    reader_item_ranges(&dir, 16384, 2, BatchMode::ChunkLevel, 11, epoch, r);
+                let expect: Vec<(u16, u64, u64)> = plan.readers[r]
+                    .items
+                    .iter()
+                    .map(|it| (it.nid, it.offset, it.len))
+                    .collect();
+                assert_eq!(ranges, expect, "epoch {epoch} reader {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn item_geometry_is_identical_across_epochs() {
+        // The cross-epoch cache relies on this: only the shuffle, the
+        // deal and the delivery order vary per epoch — the set of device
+        // ranges does not.
+        let dir = dir_with(2, 800, |_| 700);
+        let ranges_of = |epoch| {
+            let mut v: Vec<(u16, u64, u64)> = (0..3)
+                .flat_map(|r| {
+                    reader_item_ranges(&dir, 8192, 3, BatchMode::ChunkLevel, 21, epoch, r)
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ranges_of(0), ranges_of(1));
+        assert_eq!(ranges_of(0), ranges_of(5));
     }
 
     #[test]

@@ -15,22 +15,25 @@ use crate::cache::{RangeKey, SampleCache};
 use crate::copy::Segment;
 
 /// Keeps one cache range pinned for the lifetime of the samples built on
-/// it.
+/// it. Remembers the publication generation the pin was taken on, so the
+/// drop releases exactly that generation even if the key was republished
+/// meanwhile (zombie drain).
 #[derive(Debug)]
 pub(crate) struct PinGuard {
     cache: Arc<SampleCache>,
     key: RangeKey,
+    gen: u64,
 }
 
 impl PinGuard {
-    pub(crate) fn new(cache: Arc<SampleCache>, key: RangeKey) -> Arc<PinGuard> {
-        Arc::new(PinGuard { cache, key })
+    pub(crate) fn new(cache: Arc<SampleCache>, key: RangeKey, gen: u64) -> Arc<PinGuard> {
+        Arc::new(PinGuard { cache, key, gen })
     }
 }
 
 impl Drop for PinGuard {
     fn drop(&mut self) {
-        self.cache.unpin(self.key);
+        self.cache.unpin(self.key, self.gen);
     }
 }
 
@@ -126,13 +129,21 @@ mod tests {
         let c = cache();
         let content: Vec<u8> = (0..100u8).collect();
         let bufs = resident(&c, (0, 0), &content);
-        let (_pins, _len) = c.pin((0, 0)).unwrap();
-        let pin = PinGuard::new(c.clone(), (0, 0));
+        let pinned = c.pin((0, 0)).unwrap();
+        let pin = PinGuard::new(c.clone(), (0, 0), pinned.gen);
         let sample = ZeroCopySample::new(
             7,
             vec![
-                Segment { buf: bufs[0].clone(), offset: 0, len: 64 },
-                Segment { buf: bufs[1].clone(), offset: 0, len: 36 },
+                Segment {
+                    buf: bufs[0].clone(),
+                    offset: 0,
+                    len: 64,
+                },
+                Segment {
+                    buf: bufs[1].clone(),
+                    offset: 0,
+                    len: 36,
+                },
             ],
             pin,
         );
@@ -146,17 +157,25 @@ mod tests {
         let c = cache();
         let content = vec![9u8; 64];
         let bufs = resident(&c, (1, 0), &content);
-        let (_pins, _) = c.pin((1, 0)).unwrap();
+        let p1 = c.pin((1, 0)).unwrap();
         let s1 = ZeroCopySample::new(
             0,
-            vec![Segment { buf: bufs[0].clone(), offset: 0, len: 64 }],
-            PinGuard::new(c.clone(), (1, 0)),
+            vec![Segment {
+                buf: bufs[0].clone(),
+                offset: 0,
+                len: 64,
+            }],
+            PinGuard::new(c.clone(), (1, 0), p1.gen),
         );
-        let (_pins2, _) = c.pin((1, 0)).unwrap();
+        let p2 = c.pin((1, 0)).unwrap();
         let s2 = ZeroCopySample::new(
             1,
-            vec![Segment { buf: bufs[0].clone(), offset: 0, len: 32 }],
-            PinGuard::new(c.clone(), (1, 0)),
+            vec![Segment {
+                buf: bufs[0].clone(),
+                offset: 0,
+                len: 32,
+            }],
+            PinGuard::new(c.clone(), (1, 0), p2.gen),
         );
         // Engine retires the range; chunks stay alive while pinned.
         c.retire((1, 0));

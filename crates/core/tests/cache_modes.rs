@@ -1,0 +1,389 @@
+//! Cross-epoch sample-cache behavior: warm epochs served entirely from
+//! resident chunks, LRU eviction under pool pressure, the plan-aware
+//! prefetcher, and the two bugfix regressions (zombie republish, sync-path
+//! transient cache exhaustion).
+
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, NvmeDevice, NvmeTarget};
+use dlfs::{
+    mount, mount_local, Batch, CacheMode, Deployment, DlfsConfig, DlfsError, DlfsInstance,
+    MountOptions, ReadRequest, SyntheticSource,
+};
+use simkit::prelude::*;
+use simkit::telemetry::Registry;
+
+/// Two storage nodes reached directly (no fabric) by `readers` readers.
+/// Device commands are observable through the engine registry as
+/// `blocksim.dev{n}.commands`.
+fn direct_deployment(
+    rt: &Runtime,
+    readers: usize,
+    source: &SyntheticSource,
+    cfg: DlfsConfig,
+) -> DlfsInstance {
+    let devices: Vec<Arc<NvmeDevice>> = (0..2)
+        .map(|_| NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(500))))
+        .collect();
+    let targets: Vec<Vec<Arc<dyn NvmeTarget>>> = (0..readers)
+        .map(|_| {
+            devices
+                .iter()
+                .map(|d| d.clone() as Arc<dyn NvmeTarget>)
+                .collect()
+        })
+        .collect();
+    mount(
+        rt,
+        Deployment {
+            targets,
+            cluster: None,
+        },
+        source,
+        cfg,
+        MountOptions::default(),
+    )
+    .unwrap()
+}
+
+/// Drain reader `io`'s whole epoch, verifying every payload byte.
+fn drain_epoch_verified(rt: &Runtime, io: &mut dlfs::DlfsIo, source: &SyntheticSource) -> usize {
+    let mut delivered = 0usize;
+    loop {
+        match io
+            .submit(rt, &ReadRequest::batch(32))
+            .map(Batch::into_copied)
+        {
+            Ok(batch) => {
+                for (id, data) in batch {
+                    assert_eq!(data, source.expected(id), "sample {id} corrupted");
+                    delivered += 1;
+                }
+            }
+            Err(DlfsError::EpochExhausted) => break,
+            Err(e) => panic!("epoch failed: {e}"),
+        }
+    }
+    delivered
+}
+
+fn device_commands(reg: &Registry) -> u64 {
+    let snap = reg.snapshot();
+    (0..2)
+        .map(|n| snap.counter(&format!("blocksim.dev{n}.commands")))
+        .sum()
+}
+
+/// The headline acceptance: with `CrossEpoch` and a pool that holds the
+/// working set, epoch 2+ of a 512 B disaggregated run performs **zero**
+/// device reads and runs at least 2x faster than the cold epoch.
+#[test]
+fn warm_epoch_does_zero_device_reads() {
+    Runtime::simulate(101, |rt| {
+        // 1024 x 512 B = 512 KiB working set = 64 chunks of 8 KiB; the
+        // 96-chunk pool holds it all.
+        let source = SyntheticSource::fixed(5, 1024, 512);
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            pool_chunks: 96,
+            cache_mode: CacheMode::CrossEpoch,
+            ..DlfsConfig::default()
+        };
+        let fs = direct_deployment(rt, 1, &source, cfg);
+        let reg = Registry::new();
+        let mut io = fs.io_with_registry(0, &reg);
+
+        let cold_start = rt.now();
+        let total = io.sequence(rt, 42, 0);
+        assert_eq!(drain_epoch_verified(rt, &mut io, &source), total);
+        let cold = rt.now().since(cold_start);
+        let cmds_after_cold = device_commands(&reg);
+        assert!(cmds_after_cold > 0, "cold epoch must hit the devices");
+
+        for epoch in 1..3u64 {
+            let warm_start = rt.now();
+            let total = io.sequence(rt, 42 + epoch, epoch);
+            assert_eq!(drain_epoch_verified(rt, &mut io, &source), total);
+            let warm = rt.now().since(warm_start);
+            assert_eq!(
+                device_commands(&reg),
+                cmds_after_cold,
+                "warm epoch {epoch} must perform zero device reads"
+            );
+            assert!(
+                warm.as_nanos() * 2 <= cold.as_nanos(),
+                "warm epoch {epoch} must be >= 2x faster: cold {cold:?}, warm {warm:?}"
+            );
+        }
+
+        let snap = reg.snapshot();
+        assert!(snap.counter("dlfs.cache.hits") > 0);
+        assert_eq!(snap.counter("dlfs.cache.evictions"), 0);
+        assert_eq!(snap.gauge("dlfs.cache.resident_chunks"), 64);
+    });
+}
+
+/// Same run with the zero-knob default config: every epoch refetches, the
+/// cross-epoch counters never register, device traffic grows per epoch.
+#[test]
+fn epoch_scoped_default_refetches_every_epoch() {
+    Runtime::simulate(102, |rt| {
+        let source = SyntheticSource::fixed(5, 1024, 512);
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            pool_chunks: 96,
+            ..DlfsConfig::default()
+        };
+        let fs = direct_deployment(rt, 1, &source, cfg);
+        let reg = Registry::new();
+        let mut io = fs.io_with_registry(0, &reg);
+
+        let total = io.sequence(rt, 42, 0);
+        assert_eq!(drain_epoch_verified(rt, &mut io, &source), total);
+        let cmds_cold = device_commands(&reg);
+        let total = io.sequence(rt, 43, 1);
+        assert_eq!(drain_epoch_verified(rt, &mut io, &source), total);
+        assert_eq!(
+            device_commands(&reg),
+            cmds_cold * 2,
+            "epoch-scoped mode refetches the full working set"
+        );
+        // The cross-epoch metrics stay out of the registry entirely so
+        // default-mode telemetry reports are byte-identical to before.
+        assert_eq!(reg.snapshot().counter("dlfs.cache.hits"), 0);
+        assert!(!reg.snapshot().render().contains("dlfs.cache."));
+        // Everything went back to the pool at the epoch boundary.
+        let cache = &fs.shared(0).cache;
+        assert_eq!(cache.free_chunks(), cache.total_chunks());
+    });
+}
+
+/// A pool smaller than the working set still completes every epoch
+/// byte-correct; the LRU tail absorbs the pressure and evictions show up
+/// in the cache counters.
+#[test]
+fn cross_epoch_evicts_lru_under_pool_pressure() {
+    Runtime::simulate(103, |rt| {
+        // 64-chunk working set vs a 24-chunk pool.
+        let source = SyntheticSource::fixed(5, 1024, 512);
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            pool_chunks: 24,
+            window_chunks: 8,
+            cache_mode: CacheMode::CrossEpoch,
+            ..DlfsConfig::default()
+        };
+        let fs = direct_deployment(rt, 1, &source, cfg);
+        let reg = Registry::new();
+        let mut io = fs.io_with_registry(0, &reg);
+        for epoch in 0..2u64 {
+            let total = io.sequence(rt, 7 + epoch, epoch);
+            assert_eq!(drain_epoch_verified(rt, &mut io, &source), total);
+        }
+        let cache = &fs.shared(0).cache;
+        assert!(cache.evictions() > 0, "a thrashing pool must evict");
+        let snap = reg.snapshot();
+        assert!(snap.counter("dlfs.cache.evictions") > 0);
+        assert!(snap.gauge("dlfs.cache.resident_chunks") <= 24);
+        assert_eq!(cache.zombie_count(), 0);
+    });
+}
+
+/// With two readers an epoch leaves each reader holding only its half of
+/// the dataset; the prefetcher warms the *next* epoch's missing head
+/// during the current epoch's tail, and those fetches register as hits
+/// when the next epoch starts.
+#[test]
+fn prefetcher_warms_next_epoch_head() {
+    Runtime::simulate(104, |rt| {
+        let source = SyntheticSource::fixed(9, 512, 512);
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            pool_chunks: 96,
+            cache_mode: CacheMode::CrossEpoch,
+            prefetch_window: 8,
+            ..DlfsConfig::default()
+        };
+        let fs = direct_deployment(rt, 2, &source, cfg);
+        let reg = Registry::new();
+        let mut io = fs.io_with_registry(0, &reg);
+
+        // Same seed across epochs: the prefetcher reads epoch e+1's plan.
+        let mut delivered = 0usize;
+        for epoch in 0..3u64 {
+            io.sequence(rt, 42, epoch);
+            delivered += drain_epoch_verified(rt, &mut io, &source);
+        }
+        assert!(delivered > 0);
+        let snap = reg.snapshot();
+        assert!(
+            snap.counter("dlfs.cache.prefetch_issued") > 0,
+            "epoch tails must post next-epoch fetches"
+        );
+        assert!(
+            snap.counter("dlfs.cache.prefetch_hits") > 0,
+            "prefetched chunks must be consumed by the next epoch"
+        );
+        // Prefetch never leaks: sequencing once more drains the last
+        // epoch's in-flight prefetches, after which every pool chunk is
+        // either free or accounted resident.
+        io.sequence(rt, 42, 3);
+        let cache = &fs.shared(0).cache;
+        assert_eq!(cache.zombie_count(), 0);
+        let resident = reg.snapshot().gauge("dlfs.cache.resident_chunks") as usize;
+        assert_eq!(cache.free_chunks() + resident, 96);
+    });
+}
+
+/// Satellite regression: a range retired while the application still holds
+/// a zero-copy pin (a *zombie*) must tolerate the next epoch refetching
+/// and republishing the same key. Pre-fix this panicked with "published
+/// twice" inside the engine.
+#[test]
+fn zombie_range_republished_across_epochs() {
+    Runtime::simulate(105, |rt| {
+        // 64 x 2048 B = 128 KiB: one 256 KiB chunk item holds the epoch.
+        let source = SyntheticSource::fixed(3, 64, 2048);
+        let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+
+        // Epoch 0: take one sample zero-copy and keep it alive.
+        io.sequence(rt, 11, 0);
+        let held = io
+            .submit(rt, &ReadRequest::batch(1).zero_copy())
+            .unwrap()
+            .into_zero_copy()
+            .remove(0);
+        let held_expected = source.expected(held.id);
+        // Drain the rest: the chunk item closes and is retired while the
+        // held sample still pins it -> zombie.
+        drain_epoch_verified(rt, &mut io, &source);
+        let cache = fs.shared(0).cache.clone();
+        assert_eq!(cache.zombie_count(), 1, "held pin must keep a zombie");
+
+        // Epoch 1 refetches and republishes the same (nid, offset) key.
+        // Pre-fix: panic "published twice". Post-fix: fresh generation.
+        io.sequence(rt, 12, 1);
+        drain_epoch_verified(rt, &mut io, &source);
+
+        // The zombie's bytes were never recycled under the live pin.
+        assert_eq!(held.to_vec(), held_expected, "torn zero-copy read");
+        drop(held);
+        assert_eq!(cache.zombie_count(), 0);
+        assert_eq!(cache.free_chunks(), cache.total_chunks());
+    });
+}
+
+/// Satellite regression: the synchronous read path must *wait out* a
+/// momentarily full pool with bounded backoff instead of failing fast.
+/// Pre-fix this returned `CacheExhausted` immediately.
+#[test]
+fn sync_read_waits_out_transient_cache_pressure() {
+    Runtime::simulate(106, |rt| {
+        let source = SyntheticSource::fixed(9, 64, 2048);
+        let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let cache = fs.shared(0).cache.clone();
+
+        // Hog the entire pool, then give it back 50 us into the read.
+        let chunk = cache.chunk_size() as u64;
+        let mut hogged = Vec::new();
+        while let Some(bufs) = cache.alloc_for(chunk) {
+            hogged.extend(bufs);
+        }
+        assert_eq!(cache.free_chunks(), 0);
+        let releaser = cache.clone();
+        rt.spawn("hog-release", move |rt| {
+            rt.sleep(Dur::micros(50));
+            for b in hogged {
+                releaser.free_raw(b);
+            }
+        });
+
+        let mut io = fs.io(0);
+        let start = rt.now();
+        let data = io
+            .read_by_id(rt, 3)
+            .expect("transient pool pressure must be waited out, not failed");
+        assert_eq!(data, source.expected(3));
+        assert!(
+            rt.now().since(start) >= Dur::micros(50),
+            "the read must actually have waited for the pool"
+        );
+    });
+}
+
+/// ...but *permanent* exhaustion still surfaces as `CacheExhausted` after
+/// the bounded retry budget, and a request deadline clamps the wait.
+#[test]
+fn sync_read_bounds_the_wait_and_honors_deadlines() {
+    Runtime::simulate(107, |rt| {
+        let source = SyntheticSource::fixed(9, 64, 2048);
+        let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let cache = fs.shared(0).cache.clone();
+        let chunk = cache.chunk_size() as u64;
+        let mut hogged = Vec::new();
+        while let Some(bufs) = cache.alloc_for(chunk) {
+            hogged.extend(bufs);
+        }
+
+        // No deadline: bounded by the retry policy's total backoff.
+        let mut io = fs.io(0);
+        let start = rt.now();
+        assert_eq!(io.read_by_id(rt, 3), Err(DlfsError::CacheExhausted));
+        let waited = rt.now().since(start);
+        let budget = fs.shared(0).cfg.retry.total_backoff();
+        assert!(!waited.is_zero(), "must back off before giving up");
+        assert!(
+            waited <= budget,
+            "wait {waited:?} exceeds budget {budget:?}"
+        );
+
+        // With a deadline: give up strictly before it would be blown.
+        let deadline = rt.now() + Dur::micros(100);
+        assert_eq!(
+            io.read_by_id_before(rt, 3, deadline),
+            Err(DlfsError::CacheExhausted)
+        );
+        assert!(rt.now() <= deadline, "deadline must clamp the backoff");
+        drop(hogged);
+    });
+}
+
+/// The synchronous path also probes cross-epoch residency: a sample read
+/// twice touches the device once.
+#[test]
+fn sync_reads_hit_the_cross_epoch_cache() {
+    Runtime::simulate(108, |rt| {
+        // One storage node so samples 16 and 17 (offsets 8192 and 8704)
+        // provably share the 8 KiB chunk at 8192.
+        let source = SyntheticSource::fixed(9, 256, 512);
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            cache_mode: CacheMode::CrossEpoch,
+            ..DlfsConfig::default()
+        };
+        let dev = NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(10)));
+        let fs = mount_local(rt, dev, &source, cfg).unwrap();
+        let reg = Registry::new();
+        let mut io = fs.io_with_registry(0, &reg);
+
+        let a = io.read_by_id(rt, 17).unwrap();
+        let cmds = device_commands(&reg);
+        assert!(cmds > 0);
+        let b = io.read_by_id(rt, 17).unwrap();
+        // A different sample in the same chunk is also resident already.
+        let c = io.read_by_id(rt, 16).unwrap();
+        assert_eq!(a, source.expected(17));
+        assert_eq!(b, a);
+        assert_eq!(c, source.expected(16));
+        assert_eq!(
+            device_commands(&reg),
+            cmds,
+            "warm sync reads skip the device"
+        );
+        assert!(reg.snapshot().counter("dlfs.cache.hits") >= 2);
+    });
+}

@@ -83,7 +83,10 @@ fn drain_epoch_verified(
     let mut delivered = 0usize;
     let mut checksum = 0u64;
     loop {
-        match io.submit(rt, &ReadRequest::batch(32)).map(Batch::into_copied) {
+        match io
+            .submit(rt, &ReadRequest::batch(32))
+            .map(Batch::into_copied)
+        {
             Ok(batch) => {
                 for (id, data) in batch {
                     assert_eq!(
@@ -290,7 +293,10 @@ fn sync_read_requeues_engine_failures() {
         let total = io.sequence(rt, 31, 0);
         // Half of all reads fail while the engine prefetches ahead.
         dev.set_faults(FaultInjector::new(6).with_read_failures(500_000));
-        let batch = io.submit(rt, &ReadRequest::batch(16)).unwrap().into_copied();
+        let batch = io
+            .submit(rt, &ReadRequest::batch(16))
+            .unwrap()
+            .into_copied();
         let mut seen = vec![false; source.count()];
         let mut delivered = 0usize;
         for (id, data) in &batch {
@@ -309,7 +315,10 @@ fn sync_read_requeues_engine_failures() {
         // sync read intercepted as failed must still arrive, exactly once.
         dev.set_faults(FaultInjector::new(6));
         loop {
-            match io.submit(rt, &ReadRequest::batch(64)).map(Batch::into_copied) {
+            match io
+                .submit(rt, &ReadRequest::batch(64))
+                .map(Batch::into_copied)
+            {
                 Ok(batch) => {
                     for (id, data) in batch {
                         assert_eq!(data, source.expected(id));
@@ -325,6 +334,53 @@ fn sync_read_requeues_engine_failures() {
         assert_eq!(delivered, total);
         assert!(io.metrics().counter("dlfs.io.retries") > 0);
     });
+}
+
+/// Multi-epoch chaos with the cross-epoch cache and prefetcher armed:
+/// media errors + fabric drops across three epochs, every byte correct,
+/// and same-seed runs bit-identical (checksums, virtual end time and the
+/// full telemetry render, cache counters included).
+fn cross_epoch_chaos_run(seed: u64) -> (u64, u64, String) {
+    let ((checksum, metrics), end) = Runtime::simulate(seed, |rt| {
+        let source = SyntheticSource::fixed(6, 1200, 2048);
+        let cfg = DlfsConfig {
+            cache_mode: dlfs::CacheMode::CrossEpoch,
+            prefetch_window: 6,
+            ..small_chunks()
+        };
+        let (fs, cluster, devices) = disaggregated(rt, 3, &source, cfg);
+        for (i, d) in devices.iter().enumerate() {
+            d.set_faults(FaultInjector::new(seed ^ i as u64).with_read_failures(20_000));
+        }
+        cluster.set_faults(
+            FabricFaultInjector::new(seed ^ 0xCE)
+                .with_drops(10_000)
+                .with_io_timeout(Dur::micros(40)),
+        );
+        let reg = simkit::telemetry::Registry::new();
+        let mut io = fs.io_with_registry(0, &reg);
+        let mut checksum = 0u64;
+        for epoch in 0..3u64 {
+            let total = io.sequence(rt, 17, epoch);
+            checksum ^= drain_epoch_verified(rt, &mut io, &source, total).rotate_left(epoch as u32);
+        }
+        // Faults must not corrupt the residency bookkeeping either.
+        let cache = &fs.shared(0).cache;
+        assert_eq!(cache.zombie_count(), 0);
+        (checksum, reg.snapshot().render())
+    });
+    (checksum, end.nanos(), metrics)
+}
+
+#[test]
+fn cross_epoch_chaos_is_correct_and_replayable() {
+    let a = cross_epoch_chaos_run(28);
+    let b = cross_epoch_chaos_run(28);
+    assert_eq!(a.0, b.0, "delivered bytes diverged");
+    assert_eq!(a.1, b.1, "virtual end time diverged");
+    assert_eq!(a.2, b.2, "telemetry snapshots diverged");
+    // The warm epochs actually exercised the cache under faults.
+    assert!(a.2.contains("dlfs.cache.hits"));
 }
 
 #[test]

@@ -35,7 +35,11 @@ fn disaggregated(rt: &Runtime, n: usize) -> Deployment {
             if r == t {
                 row.push(devices[t].clone());
             } else {
-                row.push(fabric::connect(cluster.clone(), r, targets_exported[t].clone()));
+                row.push(fabric::connect(
+                    cluster.clone(),
+                    r,
+                    targets_exported[t].clone(),
+                ));
             }
         }
         targets.push(row);
@@ -61,7 +65,10 @@ fn local_mount_bread_verifies_payloads() {
         let mut seen = vec![false; 5000];
         let mut read = 0;
         while read < 2000 {
-            let batch = io.submit(rt, &ReadRequest::batch(32)).unwrap().into_copied();
+            let batch = io
+                .submit(rt, &ReadRequest::batch(32))
+                .unwrap()
+                .into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &source.expected(*id), "payload mismatch for {id}");
                 assert!(!seen[*id as usize], "duplicate delivery {id}");
@@ -95,7 +102,10 @@ fn full_epoch_delivers_every_sample_once() {
         let total = io.sequence(rt, 5, 0);
         let mut seen = vec![false; total];
         loop {
-            match io.submit(rt, &ReadRequest::batch(64)).map(Batch::into_copied) {
+            match io
+                .submit(rt, &ReadRequest::batch(64))
+                .map(Batch::into_copied)
+            {
                 Ok(batch) => {
                     for (id, data) in batch {
                         assert!(!seen[id as usize]);
@@ -109,7 +119,10 @@ fn full_epoch_delivers_every_sample_once() {
         }
         assert!(seen.iter().all(|&s| s));
         // Sample cache fully drained after the epoch.
-        assert_eq!(fs.shared(0).cache.free_chunks(), fs.shared(0).cache.total_chunks());
+        assert_eq!(
+            fs.shared(0).cache.free_chunks(),
+            fs.shared(0).cache.total_chunks()
+        );
     });
 }
 
@@ -131,7 +144,10 @@ fn dlfs_read_by_name_and_open_close() {
             io.read(rt, "missing"),
             Err(DlfsError::NotFound(_))
         ));
-        assert!(matches!(io.read_by_id(rt, 5000), Err(DlfsError::BadSampleId(_))));
+        assert!(matches!(
+            io.read_by_id(rt, 5000),
+            Err(DlfsError::BadSampleId(_))
+        ));
     });
 }
 
@@ -165,7 +181,10 @@ fn sample_level_mode_for_large_samples() {
         );
         let mut io = fs.io(0);
         io.sequence(rt, 1, 0);
-        let batch = io.submit(rt, &ReadRequest::batch(16)).unwrap().into_copied();
+        let batch = io
+            .submit(rt, &ReadRequest::batch(16))
+            .unwrap()
+            .into_copied();
         for (id, data) in &batch {
             assert_eq!(data, &source.expected(*id));
         }
@@ -191,7 +210,10 @@ fn edge_samples_cross_chunk_boundaries_correctly() {
         let total = io.sequence(rt, 9, 0);
         let mut delivered = 0;
         while delivered < total {
-            let batch = io.submit(rt, &ReadRequest::batch(50)).unwrap().into_copied();
+            let batch = io
+                .submit(rt, &ReadRequest::batch(50))
+                .unwrap()
+                .into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &source.expected(*id), "edge sample {id} corrupted");
             }
@@ -213,7 +235,10 @@ fn multi_epoch_reshuffles() {
         io.sequence(rt, 42, 1);
         let e1: Vec<u32> = io.planned_order().unwrap().to_vec();
         assert_ne!(e0, e1);
-        let batch = io.submit(rt, &ReadRequest::batch(32)).unwrap().into_copied();
+        let batch = io
+            .submit(rt, &ReadRequest::batch(32))
+            .unwrap()
+            .into_copied();
         assert_eq!(batch.len(), 32);
     });
 }
@@ -246,7 +271,10 @@ fn disaggregated_mount_and_bread_all_readers() {
                 let mut io = fs.io(r);
                 let mine = io.sequence(rt, 99, 0);
                 let mut got = Vec::with_capacity(mine);
-                while let Ok(batch) = io.submit(rt, &ReadRequest::batch(32)).map(Batch::into_copied) {
+                while let Ok(batch) = io
+                    .submit(rt, &ReadRequest::batch(32))
+                    .map(Batch::into_copied)
+                {
                     for (id, data) in batch {
                         assert_eq!(data, source.expected(id));
                         got.push(id);
@@ -312,7 +340,11 @@ fn batching_beats_synchronous_reads() {
         let t0 = rt.now();
         let mut got = 0;
         while got < 2000 {
-            got += io.submit(rt, &ReadRequest::batch(32)).unwrap().into_copied().len();
+            got += io
+                .submit(rt, &ReadRequest::batch(32))
+                .unwrap()
+                .into_copied()
+                .len();
         }
         (rt.now() - t0).as_nanos()
     })
@@ -365,7 +397,10 @@ fn compute_injection_overlaps_with_io() {
         small < base * 1.25,
         "small inject hurt: base {base} small {small}"
     );
-    assert!(huge > base * 2.0, "huge inject should dominate: {huge} vs {base}");
+    assert!(
+        huge > base * 2.0,
+        "huge inject should dominate: {huge} vs {base}"
+    );
 }
 
 #[test]
@@ -404,7 +439,10 @@ fn mid_epoch_resequence_releases_everything() {
         for epoch in 0..6u64 {
             io.sequence(rt, 21, epoch);
             // Read only a fragment, leaving the pipeline full.
-            let batch = io.submit(rt, &ReadRequest::batch(40)).unwrap().into_copied();
+            let batch = io
+                .submit(rt, &ReadRequest::batch(40))
+                .unwrap()
+                .into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &source.expected(*id), "epoch {epoch} sample {id}");
             }
@@ -414,7 +452,10 @@ fn mid_epoch_resequence_releases_everything() {
         let mut seen = vec![false; total];
         let mut read = 0;
         while read < total {
-            let batch = io.submit(rt, &ReadRequest::batch(64)).unwrap().into_copied();
+            let batch = io
+                .submit(rt, &ReadRequest::batch(64))
+                .unwrap()
+                .into_copied();
             for (id, data) in &batch {
                 assert!(!seen[*id as usize], "duplicate {id}");
                 seen[*id as usize] = true;

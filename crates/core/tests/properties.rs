@@ -1,11 +1,12 @@
 //! Randomized property tests for DLFS core data structures: the AVL
-//! directory, packed entries, and the batching planner's coverage
-//! invariants. Cases come from seeded [`SplitMix64`] streams so failures
-//! replay exactly.
+//! directory, packed entries, the batching planner's coverage invariants,
+//! and the sample cache's pin/retire/evict lifecycle. Cases come from
+//! seeded [`SplitMix64`] streams so failures replay exactly.
 
 use dlfs::avl::AvlTree;
+use dlfs::cache::RangeKey;
 use dlfs::plan::{build_epoch_plan, windowed_delivery, FetchItem};
-use dlfs::{BatchMode, DirectoryBuilder, SampleEntry};
+use dlfs::{BatchMode, CacheMode, DirectoryBuilder, SampleCache, SampleEntry};
 use simkit::rng::SplitMix64;
 
 const CASES: u64 = 64;
@@ -124,6 +125,122 @@ fn plan_covers_each_sample_once() {
             }
         }
         assert!(seen.iter().all(|&x| x));
+    }
+}
+
+/// Random interleavings of publish / pin / unpin / retire / release /
+/// acquire / republish across both cache modes: never a panic, never a
+/// torn read (every pinned buffer keeps its generation's byte pattern for
+/// the pin's whole lifetime, across zombie republishes and evictions), and
+/// never a chunk leak (the pool refills completely once all pins drop).
+#[test]
+fn cache_interleavings_never_panic_leak_or_tear() {
+    const CHUNK: usize = 512;
+    let verify = |bufs: &[blocksim::DmaBuf], tag: u8| {
+        assert!(
+            bufs.iter().all(|b| b.with(|d| d.iter().all(|&x| x == tag))),
+            "torn read: pinned bytes no longer match tag {tag}"
+        );
+    };
+    for case in 0..CASES {
+        let mut g = SplitMix64::derive(0xCAC4E, case);
+        let total = g.range(2, 12) as usize;
+        let mode = if g.below(2) == 1 {
+            CacheMode::CrossEpoch
+        } else {
+            CacheMode::EpochScoped
+        };
+        let cache = SampleCache::with_mode(CHUNK, total, mode);
+        let keys: Vec<RangeKey> = (0..6).map(|i| (0u16, i * 4 * CHUNK as u64)).collect();
+        // Latest published byte tag per key; stale entries are pruned on
+        // retire (and on release in epoch-scoped mode, where release frees).
+        let mut tags: std::collections::HashMap<RangeKey, u8> = Default::default();
+        let mut pins: Vec<(RangeKey, u64, u8, Vec<blocksim::DmaBuf>)> = Vec::new();
+        let steps = g.range(50, 250);
+        for step in 0..steps {
+            let key = keys[g.below(keys.len() as u64) as usize];
+            match g.below(7) {
+                0 | 1 => {
+                    // (Re)publish under a fresh byte tag.
+                    if cache.contains(key) {
+                        continue;
+                    }
+                    let nbufs = g.range(1, 3);
+                    let Some(bufs) = cache.alloc_for(nbufs * CHUNK as u64) else {
+                        continue;
+                    };
+                    let tag = (case * 37 + step + 1) as u8;
+                    for b in &bufs {
+                        b.copy_from(0, &vec![tag; CHUNK]);
+                    }
+                    let len = bufs.len() as u64 * CHUNK as u64;
+                    if g.below(4) == 0 {
+                        cache.publish_prefetched(key, bufs, len);
+                    } else {
+                        cache.publish(key, bufs, len);
+                    }
+                    tags.insert(key, tag);
+                }
+                2 => {
+                    if let Some(p) = cache.pin(key) {
+                        let tag = tags[&key];
+                        verify(&p.bufs, tag);
+                        pins.push((key, p.gen, tag, p.bufs));
+                    }
+                }
+                3 => {
+                    if pins.is_empty() {
+                        continue;
+                    }
+                    let (key, gen, tag, bufs) =
+                        pins.swap_remove(g.below(pins.len() as u64) as usize);
+                    verify(&bufs, tag);
+                    cache.unpin(key, gen);
+                }
+                4 => {
+                    // Retire — a zombie if pins are still out on the key.
+                    if cache.contains(key) {
+                        cache.retire(key);
+                        tags.remove(&key);
+                    }
+                }
+                5 => {
+                    if cache.contains(key) {
+                        cache.release(key);
+                        if mode == CacheMode::EpochScoped {
+                            tags.remove(&key);
+                        }
+                    }
+                }
+                _ => {
+                    // Allocation churn: drives LRU eviction of released
+                    // ranges in cross-epoch mode.
+                    if let Some(bufs) = cache.alloc_for(CHUNK as u64) {
+                        for b in bufs {
+                            cache.free_raw(b);
+                        }
+                    }
+                }
+            }
+        }
+        // Drain: every pin unpins with its bytes intact, every live range
+        // retires, and the pool must be whole again.
+        for (key, gen, tag, bufs) in pins.drain(..) {
+            verify(&bufs, tag);
+            cache.unpin(key, gen);
+        }
+        for &key in &keys {
+            if cache.contains(key) {
+                cache.retire(key);
+            }
+        }
+        assert_eq!(cache.zombie_count(), 0, "case {case}: zombies leaked");
+        assert_eq!(cache.resident_count(), 0, "case {case}: residents leaked");
+        assert_eq!(
+            cache.free_chunks(),
+            cache.total_chunks(),
+            "case {case}: chunks leaked"
+        );
     }
 }
 

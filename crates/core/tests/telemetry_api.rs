@@ -82,7 +82,9 @@ fn submit_equals_deprecated_bread() {
             let mut samples = Vec::new();
             for _ in 0..20 {
                 let batch = if use_submit {
-                    io.submit(rt, &ReadRequest::batch(40)).unwrap().into_copied()
+                    io.submit(rt, &ReadRequest::batch(40))
+                        .unwrap()
+                        .into_copied()
                 } else {
                     io.bread(rt, 40, Dur::ZERO).unwrap()
                 };

@@ -18,7 +18,10 @@ fn zero_copy_payloads_verify() {
         io.sequence(rt, 7, 0);
         let mut read = 0;
         while read < 1500 {
-            let batch = io.submit(rt, &ReadRequest::batch(32).zero_copy()).unwrap().into_zero_copy();
+            let batch = io
+                .submit(rt, &ReadRequest::batch(32).zero_copy())
+                .unwrap()
+                .into_zero_copy();
             for s in &batch {
                 assert_eq!(s.len(), 2048);
                 assert_eq!(s.fnv1a(), simkit::fnv1a(&source.expected(s.id)));
@@ -42,7 +45,11 @@ fn chunks_return_only_after_samples_drop() {
         // chunks even after the engine has moved on.
         let mut held = Vec::new();
         for _ in 0..10 {
-            held.extend(io.submit(rt, &ReadRequest::batch(64).zero_copy()).unwrap().into_zero_copy());
+            held.extend(
+                io.submit(rt, &ReadRequest::batch(64).zero_copy())
+                    .unwrap()
+                    .into_zero_copy(),
+            );
         }
         let free_while_held = fs.shared(0).cache.free_chunks();
         assert!(
@@ -69,7 +76,10 @@ fn zero_copy_covers_epoch_exactly_once() {
         let total = io.sequence(rt, 9, 0);
         let mut seen = vec![false; total];
         loop {
-            match io.submit(rt, &ReadRequest::batch(50).zero_copy()).map(Batch::into_zero_copy) {
+            match io
+                .submit(rt, &ReadRequest::batch(50).zero_copy())
+                .map(Batch::into_zero_copy)
+            {
                 Ok(batch) => {
                     for s in batch {
                         assert!(!seen[s.id as usize]);
@@ -99,9 +109,17 @@ fn zero_copy_is_cheaper_in_cpu_time() {
             let mut read = 0;
             while read < 1000 {
                 if zero_copy {
-                    read += io.submit(rt, &ReadRequest::batch(32).zero_copy()).unwrap().into_zero_copy().len();
+                    read += io
+                        .submit(rt, &ReadRequest::batch(32).zero_copy())
+                        .unwrap()
+                        .into_zero_copy()
+                        .len();
                 } else {
-                    read += io.submit(rt, &ReadRequest::batch(32)).unwrap().into_copied().len();
+                    read += io
+                        .submit(rt, &ReadRequest::batch(32))
+                        .unwrap()
+                        .into_copied()
+                        .len();
                 }
             }
             (rt.total_busy() - before).as_nanos()
@@ -128,8 +146,14 @@ fn mixed_bread_and_zero_copy_share_the_epoch() {
         let fs = mount(rt, &source);
         let mut io = fs.io(0);
         let total = io.sequence(rt, 1, 0);
-        let a = io.submit(rt, &ReadRequest::batch(200)).unwrap().into_copied();
-        let b = io.submit(rt, &ReadRequest::batch(200).zero_copy()).unwrap().into_zero_copy();
+        let a = io
+            .submit(rt, &ReadRequest::batch(200))
+            .unwrap()
+            .into_copied();
+        let b = io
+            .submit(rt, &ReadRequest::batch(200).zero_copy())
+            .unwrap()
+            .into_zero_copy();
         let mut ids: Vec<u32> = a.iter().map(|(id, _)| *id).collect();
         ids.extend(b.iter().map(|s| s.id));
         ids.sort_unstable();

@@ -58,6 +58,20 @@ impl DlfsBackend {
         }
     }
 
+    /// Like [`DlfsBackend::new`], recording engine telemetry into `reg`
+    /// (several backends may share one registry; counters then aggregate
+    /// across readers).
+    pub fn with_registry(
+        fs: &DlfsInstance,
+        reader: usize,
+        reg: &simkit::telemetry::Registry,
+    ) -> DlfsBackend {
+        DlfsBackend {
+            io: fs.io_with_registry(reader, reg),
+            inject_compute: Dur::ZERO,
+        }
+    }
+
     pub fn io(&self) -> &DlfsIo {
         &self.io
     }
@@ -165,7 +179,11 @@ pub struct Ext4Backend {
 }
 
 impl Ext4Backend {
-    pub fn new(fs: Arc<Ext4Fs>, staged: Vec<(u32, String)>, sizes: impl Fn(u32) -> u64) -> Ext4Backend {
+    pub fn new(
+        fs: Arc<Ext4Fs>,
+        staged: Vec<(u32, String)>,
+        sizes: impl Fn(u32) -> u64,
+    ) -> Ext4Backend {
         let files = staged
             .into_iter()
             .map(|(id, path)| {

@@ -160,7 +160,7 @@ mod tests {
     use blocksim::{DeviceConfig, NvmeDevice};
     use fabric::{Cluster, FabricConfig};
     use kernsim::{FsOptions, KernelCosts};
-    
+
     use simkit::time::Dur;
 
     #[test]

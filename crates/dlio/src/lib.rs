@@ -38,8 +38,12 @@ pub mod sizedist;
 
 pub use backend::{DlfsBackend, DlfsBaseBackend, Ext4Backend, OctoBackend, ReaderBackend, Sample};
 pub use container::TfRecordDataset;
-pub use dataset::{generate, shard_of, stage_ext4, stage_ext4_untimed, stage_octopus, HierarchicalSource};
-pub use formats::{crc32c, masked_crc, tfrecord_index, tfrecord_read, tfrecord_write, CifarGeometry};
+pub use dataset::{
+    generate, shard_of, stage_ext4, stage_ext4_untimed, stage_octopus, HierarchicalSource,
+};
+pub use formats::{
+    crc32c, masked_crc, tfrecord_index, tfrecord_read, tfrecord_write, CifarGeometry,
+};
 pub use pfs::Pfs;
 pub use pipeline::{shuffle_quality, InputPipeline, PipelineCosts, ShuffleBuffer};
 pub use sizedist::SizeDist;

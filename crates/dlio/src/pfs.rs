@@ -90,7 +90,6 @@ impl Pfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn put_get_roundtrip() {

@@ -117,7 +117,9 @@ pub struct InputPipeline {
 
 impl std::fmt::Debug for InputPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InputPipeline").field("label", &self.label).finish()
+        f.debug_struct("InputPipeline")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -143,7 +145,10 @@ impl InputPipeline {
                 for s in &samples {
                     rt.work(costs.per_sample);
                     if costs.decode_bytes_per_sec > 0.0 {
-                        rt.work(Dur::for_bytes(s.bytes.len() as u64, costs.decode_bytes_per_sec));
+                        rt.work(Dur::for_bytes(
+                            s.bytes.len() as u64,
+                            costs.decode_bytes_per_sec,
+                        ));
                     }
                 }
                 if tx.send(samples).is_err() {

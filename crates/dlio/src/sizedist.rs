@@ -56,9 +56,12 @@ impl SizeDist {
     pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
         match *self {
             SizeDist::Fixed(b) => b,
-            SizeDist::LogNormal { mu, sigma, min, max } => {
-                (rng.lognormal(mu, sigma).round() as u64).clamp(min, max)
-            }
+            SizeDist::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => (rng.lognormal(mu, sigma).round() as u64).clamp(min, max),
             SizeDist::Uniform(lo, hi) => rng.range(lo, hi + 1),
         }
     }
@@ -98,10 +101,7 @@ mod tests {
     fn imagenet_p75_matches_paper() {
         let p75 = SizeDist::imagenet().quantile(1, 50_000, 0.75);
         // Paper: "about 75% of samples are less than 147 KB".
-        assert!(
-            (120_000..175_000).contains(&p75),
-            "ImageNet p75 = {p75}"
-        );
+        assert!((120_000..175_000).contains(&p75), "ImageNet p75 = {p75}");
     }
 
     #[test]

@@ -255,7 +255,7 @@ mod tests {
         conv.backward_update(&dy, 1.0, 0.0);
         let mut analytic = w_before.clone();
         analytic.axpy(-1.0, conv.weights()); // w_before - w_after = dW
-        // Restore weights.
+                                             // Restore weights.
         *conv.weights_mut() = w_before.clone();
 
         // Finite differences on a few weights.
@@ -328,7 +328,7 @@ mod tests {
 
         let mut conv = Conv1d::new(1, 4, 5, &mut rng);
         let conv_out = conv.out_len(len); // 20
-        // Pool each half separately so position survives pooling.
+                                          // Pool each half separately so position survives pooling.
         let mut pool = MaxPool1d::new(conv_out / 2);
         let pooled_cols = 4 * 2;
         let mut head = crate::net::Mlp::new(&[pooled_cols, 2], 7);
@@ -369,7 +369,10 @@ mod tests {
             }
             last_acc = correct as f64 / n as f64;
         }
-        assert!(last_acc > 0.9, "conv net should learn the bump task: {last_acc}");
+        assert!(
+            last_acc > 0.9,
+            "conv net should learn the bump task: {last_acc}"
+        );
     }
 
     /// Transposed weight matrix of a single-layer Mlp head (test helper).

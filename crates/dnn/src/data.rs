@@ -27,7 +27,13 @@ impl ClassData {
 
     /// Gaussian class clusters: class prototypes drawn from N(0, 1), each
     /// sample = prototype + `noise` · N(0, 1). Harder with more noise.
-    pub fn synthetic(seed: u64, n: usize, features: usize, classes: usize, noise: f32) -> ClassData {
+    pub fn synthetic(
+        seed: u64,
+        n: usize,
+        features: usize,
+        classes: usize,
+        noise: f32,
+    ) -> ClassData {
         let mut rng = SplitMix64::derive(seed, 0xDA7A);
         let protos: Vec<f32> = (0..classes * features)
             .map(|_| rng.normal() as f32)

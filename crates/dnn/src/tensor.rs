@@ -25,7 +25,12 @@ impl Matrix {
     }
 
     /// He-style random init.
-    pub fn randn(rows: usize, cols: usize, scale: f32, rng: &mut simkit::rng::SplitMix64) -> Matrix {
+    pub fn randn(
+        rows: usize,
+        cols: usize,
+        scale: f32,
+        rng: &mut simkit::rng::SplitMix64,
+    ) -> Matrix {
         let data = (0..rows * cols)
             .map(|_| rng.normal() as f32 * scale)
             .collect();

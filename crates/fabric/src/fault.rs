@@ -150,7 +150,11 @@ impl FabricFaultInjector {
     /// Crash `node` at `down_at`, restarting it at `up_at`.
     pub fn with_crash(mut self, node: usize, down_at: Time, up_at: Time) -> Self {
         assert!(down_at < up_at, "crash window must be non-empty");
-        self.crashes.push(CrashWindow { node, down_at, up_at });
+        self.crashes.push(CrashWindow {
+            node,
+            down_at,
+            up_at,
+        });
         self
     }
 
@@ -164,7 +168,10 @@ impl FabricFaultInjector {
         period: Dur,
         cycles: u32,
     ) -> Self {
-        assert!(down_for < period, "flap must come back up within its period");
+        assert!(
+            down_for < period,
+            "flap must come back up within its period"
+        );
         self.flaps.push(LinkFlap {
             node,
             first_down,
@@ -265,7 +272,10 @@ mod tests {
     fn healthy_by_default() {
         let f = FabricFaultInjector::new(1);
         for i in 0..1000 {
-            assert_eq!(f.decide(Time::ZERO + Dur::nanos(i), 0, 1), FabricFault::Healthy);
+            assert_eq!(
+                f.decide(Time::ZERO + Dur::nanos(i), 0, 1),
+                FabricFault::Healthy
+            );
         }
     }
 
@@ -291,13 +301,22 @@ mod tests {
             Time::ZERO + Dur::micros(10),
             Time::ZERO + Dur::micros(20),
         );
-        assert_eq!(f.decide(Time::ZERO + Dur::micros(5), 0, 1), FabricFault::Healthy);
+        assert_eq!(
+            f.decide(Time::ZERO + Dur::micros(5), 0, 1),
+            FabricFault::Healthy
+        );
         assert!(f.decide(Time::ZERO + Dur::micros(10), 0, 1).is_dropped());
         // Direction does not matter: the node is gone.
         assert!(f.decide(Time::ZERO + Dur::micros(15), 1, 0).is_dropped());
         // Other nodes unaffected.
-        assert_eq!(f.decide(Time::ZERO + Dur::micros(15), 0, 2), FabricFault::Healthy);
-        assert_eq!(f.decide(Time::ZERO + Dur::micros(20), 0, 1), FabricFault::Healthy);
+        assert_eq!(
+            f.decide(Time::ZERO + Dur::micros(15), 0, 2),
+            FabricFault::Healthy
+        );
+        assert_eq!(
+            f.decide(Time::ZERO + Dur::micros(20), 0, 1),
+            FabricFault::Healthy
+        );
     }
 
     #[test]
@@ -330,9 +349,11 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         let plain = FabricFaultInjector::new(4).with_drops(100_000);
-        let scheduled = FabricFaultInjector::new(4)
-            .with_drops(100_000)
-            .with_crash(2, Time::ZERO + Dur::micros(1), Time::ZERO + Dur::micros(2));
+        let scheduled = FabricFaultInjector::new(4).with_drops(100_000).with_crash(
+            2,
+            Time::ZERO + Dur::micros(1),
+            Time::ZERO + Dur::micros(2),
+        );
         assert_eq!(seq(&plain), seq(&scheduled));
     }
 

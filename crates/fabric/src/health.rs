@@ -51,7 +51,9 @@ impl TargetHealth {
         TargetHealth {
             threshold,
             cooldown,
-            states: (0..targets).map(|_| Mutex::new(HealthState::default())).collect(),
+            states: (0..targets)
+                .map(|_| Mutex::new(HealthState::default()))
+                .collect(),
             tel: Mutex::new(None),
         }
     }

@@ -120,9 +120,9 @@ impl NvmeTarget for RemoteTarget {
     fn reserve_read(&self, now: Time, slba: u64, nblocks: u32) -> Time {
         let data_bytes = nblocks as u64 * BLOCK_SIZE;
         // 1. Command capsule to the target.
-        let t1 = self
-            .cluster
-            .reserve_transfer(now, self.client_node, self.target.node, CAPSULE_BYTES);
+        let t1 =
+            self.cluster
+                .reserve_transfer(now, self.client_node, self.target.node, CAPSULE_BYTES);
         // 2. Target-side SPDK processing.
         let t2 = self
             .target
@@ -253,7 +253,11 @@ mod tests {
             let mut qp = IoQPair::new(remote, 16);
 
             let wbuf = DmaBuf::standalone(2048);
-            wbuf.with_mut(|d| d.iter_mut().enumerate().for_each(|(i, b)| *b = (i * 7 % 256) as u8));
+            wbuf.with_mut(|d| {
+                d.iter_mut()
+                    .enumerate()
+                    .for_each(|(i, b)| *b = (i * 7 % 256) as u8)
+            });
             qp.submit_write(rt, 1, 100, 4, wbuf, 0).unwrap();
             qp.drain(rt, Dur::nanos(100));
 

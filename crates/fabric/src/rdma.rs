@@ -79,7 +79,9 @@ pub struct RdmaQp {
 
 impl std::fmt::Debug for RdmaQp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RdmaQp").field("local", &self.local).finish()
+        f.debug_struct("RdmaQp")
+            .field("local", &self.local)
+            .finish()
     }
 }
 
@@ -100,9 +102,9 @@ impl RdmaQp {
         rt.work(VERB_POST_COST);
         if mr.node != self.local {
             // Request header out, payload back.
-            let t1 = self
-                .cluster
-                .reserve_transfer(rt.now(), self.local, mr.node, VERB_HEADER_BYTES);
+            let t1 =
+                self.cluster
+                    .reserve_transfer(rt.now(), self.local, mr.node, VERB_HEADER_BYTES);
             let t2 = self
                 .cluster
                 .reserve_transfer(t1, mr.node, self.local, dst.len() as u64);
@@ -137,9 +139,9 @@ impl RdmaQp {
     pub fn fetch_add_u64(&self, rt: &Runtime, mr: &MemoryRegion, offset: usize, delta: u64) -> u64 {
         rt.work(VERB_POST_COST);
         if mr.node != self.local {
-            let t1 = self
-                .cluster
-                .reserve_transfer(rt.now(), self.local, mr.node, VERB_HEADER_BYTES + 8);
+            let t1 =
+                self.cluster
+                    .reserve_transfer(rt.now(), self.local, mr.node, VERB_HEADER_BYTES + 8);
             let t2 = self.cluster.reserve_transfer(t1, mr.node, self.local, 8);
             let now = rt.now();
             if t2 > now {
@@ -159,7 +161,6 @@ impl RdmaQp {
 mod tests {
     use super::*;
     use crate::topology::FabricConfig;
-    
 
     fn cluster(n: usize) -> Arc<Cluster> {
         Arc::new(Cluster::new(n, FabricConfig::default()))

@@ -124,9 +124,9 @@ impl<Req: Send + WireSize + 'static, Resp: Send + WireSize + 'static> RpcClient<
     fn exchange(&self, rt: &Runtime, from_node: usize, req: Req) -> Resp {
         // Request crosses the fabric.
         let req_bytes = req.wire_bytes();
-        let arrive = self
-            .cluster
-            .reserve_transfer(rt.now(), from_node, self.server_node, req_bytes);
+        let arrive =
+            self.cluster
+                .reserve_transfer(rt.now(), from_node, self.server_node, req_bytes);
         let wait = arrive - rt.now();
         if !wait.is_zero() {
             rt.sleep(wait);
@@ -193,7 +193,10 @@ where
                 Ok(()) => {
                     let resp = self.exchange(rt, from_node, req.clone());
                     // The response capsule can be lost independently.
-                    match self.cluster.fault_decide(rt.now(), self.server_node, from_node) {
+                    match self
+                        .cluster
+                        .fault_decide(rt.now(), self.server_node, from_node)
+                    {
                         FabricFault::Dropped { detect_after } => Err(detect_after),
                         FabricFault::Delay(extra) => {
                             if !extra.is_zero() {
@@ -280,7 +283,7 @@ where
 mod tests {
     use super::*;
     use crate::topology::FabricConfig;
-    
+
     use simkit::time::Dur;
 
     #[test]

@@ -156,7 +156,10 @@ impl Cluster {
     /// uncontended transfer pays the wire once; under contention the busier
     /// of the two ports governs.
     pub fn reserve_transfer(&self, now: Time, from: usize, to: usize, bytes: u64) -> Time {
-        assert!(from < self.nodes.len() && to < self.nodes.len(), "bad node id");
+        assert!(
+            from < self.nodes.len() && to < self.nodes.len(),
+            "bad node id"
+        );
         self.transfers.inc();
         if from == to {
             let done = now + self.cfg.rdma_overhead;
@@ -165,7 +168,9 @@ impl Cluster {
         }
         let t0 = now + self.cfg.rdma_overhead;
         let tx_done = self.nodes[from].tx.reserve(t0, bytes) + self.cfg.switch_latency;
-        let rx_done = self.nodes[to].rx.reserve(t0 + self.cfg.switch_latency, bytes);
+        let rx_done = self.nodes[to]
+            .rx
+            .reserve(t0 + self.cfg.switch_latency, bytes);
         self.nodes[from].tx_bytes.add(bytes);
         self.nodes[to].rx_bytes.add(bytes);
         let done = tx_done.max(rx_done);
@@ -194,7 +199,10 @@ mod tests {
             let t = c.reserve_transfer(rt.now(), 0, 1, 64);
             // overhead + 2 nic latencies + switch + tiny serialization.
             let base = c.config().base_one_way().as_nanos();
-            assert!(t.nanos() >= base && t.nanos() < base + 100, "{t:?} vs {base}");
+            assert!(
+                t.nanos() >= base && t.nanos() < base + 100,
+                "{t:?} vs {base}"
+            );
         });
     }
 

@@ -11,9 +11,7 @@ use fabric::{
 };
 use simkit::prelude::*;
 
-fn two_node_remote(
-    cluster: &Arc<Cluster>,
-) -> (Arc<NvmeDevice>, Arc<fabric::RemoteTarget>) {
+fn two_node_remote(cluster: &Arc<Cluster>) -> (Arc<NvmeDevice>, Arc<fabric::RemoteTarget>) {
     let dev = NvmeDevice::new(DeviceConfig::emulated_ramdisk(16 << 20, Dur::micros(10)));
     let target = NvmeOfTarget::new(1, dev.clone(), TargetConfig::default());
     let remote = connect(cluster.clone(), 0, target);
@@ -167,7 +165,11 @@ fn seeded_fault_stream_replays_bit_identically() {
 fn zero_knob_injector_never_faults() {
     let inj = FabricFaultInjector::new(9);
     for i in 0..512u64 {
-        let fate = inj.decide(Time::ZERO + Dur::nanos(i), (i % 3) as usize, ((i + 1) % 3) as usize);
+        let fate = inj.decide(
+            Time::ZERO + Dur::nanos(i),
+            (i % 3) as usize,
+            ((i + 1) % 3) as usize,
+        );
         assert_eq!(fate, FabricFault::Healthy);
     }
     assert_eq!(inj.decisions(), 512);

@@ -55,7 +55,10 @@ impl BlockLayer {
     /// the last bio completes; charges bio submission, IRQ and wakeup costs.
     pub fn read_blocks(&self, rt: &Runtime, runs: &[(u64, u64)], dst: &mut [u8]) {
         let total_blocks: u64 = runs.iter().map(|r| r.1).sum();
-        assert!(dst.len() as u64 >= total_blocks * PAGE_SIZE, "dst too small");
+        assert!(
+            dst.len() as u64 >= total_blocks * PAGE_SIZE,
+            "dst too small"
+        );
         let bios = self.split_bios(runs);
         // Submit all bios (the kernel plugs the queue, so they pipeline).
         // Bios failed by the device are retried, as the kernel block layer
@@ -106,7 +109,10 @@ impl BlockLayer {
     /// O_DIRECT/fsync'd write (used by dataset loading and journal commits).
     pub fn write_blocks(&self, rt: &Runtime, runs: &[(u64, u64)], src: &[u8]) {
         let total_blocks: u64 = runs.iter().map(|r| r.1).sum();
-        assert!(src.len() as u64 <= total_blocks * PAGE_SIZE, "src too large");
+        assert!(
+            src.len() as u64 <= total_blocks * PAGE_SIZE,
+            "src too large"
+        );
         let bios = self.split_bios(runs);
         let mut cursor = 0usize;
         for &(start, len) in runs {
@@ -114,8 +120,10 @@ impl BlockLayer {
             if bytes == 0 {
                 break;
             }
-            self.dev
-                .dma_write(start * DEV_BLOCKS_PER_FS_BLOCK, &src[cursor..cursor + bytes]);
+            self.dev.dma_write(
+                start * DEV_BLOCKS_PER_FS_BLOCK,
+                &src[cursor..cursor + bytes],
+            );
             cursor += bytes;
         }
         let mut queue: Vec<(u64, u64)> = bios.clone();
@@ -155,7 +163,7 @@ impl BlockLayer {
 mod tests {
     use super::*;
     use blocksim::{DeviceConfig, NvmeDevice};
-    
+
     use simkit::time::Dur;
 
     fn layer() -> BlockLayer {
@@ -167,7 +175,9 @@ mod tests {
     fn read_write_roundtrip() {
         Runtime::simulate(0, |rt| {
             let bl = layer();
-            let data: Vec<u8> = (0..2 * PAGE_SIZE as usize).map(|i| (i % 253) as u8).collect();
+            let data: Vec<u8> = (0..2 * PAGE_SIZE as usize)
+                .map(|i| (i % 253) as u8)
+                .collect();
             bl.write_blocks(rt, &[(100, 2)], &data);
             let mut out = vec![0u8; data.len()];
             bl.read_blocks(rt, &[(100, 2)], &mut out);

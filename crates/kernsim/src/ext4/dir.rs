@@ -34,7 +34,9 @@ impl Directory {
 
     /// Number of leaf blocks the directory occupies.
     pub fn leaf_blocks(&self) -> u64 {
-        (self.entries.len() as u64).div_ceil(ENTRIES_PER_BLOCK).max(1)
+        (self.entries.len() as u64)
+            .div_ceil(ENTRIES_PER_BLOCK)
+            .max(1)
     }
 
     /// Htree depth: 0 while a single block suffices, then 1 level of index

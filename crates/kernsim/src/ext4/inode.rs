@@ -93,9 +93,7 @@ impl Inode {
                 .map_block(lb)
                 .unwrap_or_else(|| panic!("unmapped logical block {lb} of ino {}", self.ino));
             // Extend the run as far as this extent allows.
-            let idx = self
-                .extents
-                .partition_point(|e| e.logical + e.len <= lb);
+            let idx = self.extents.partition_point(|e| e.logical + e.len <= lb);
             let e = self.extents[idx];
             let run = (e.logical + e.len - lb).min(end - lb);
             match out.last_mut() {
@@ -141,7 +139,14 @@ mod tests {
     fn append_merges_adjacent() {
         let ino = file_with(&[(100, 4), (104, 4)]);
         assert_eq!(ino.extents().len(), 1);
-        assert_eq!(ino.extents()[0], Extent { logical: 0, physical: 100, len: 8 });
+        assert_eq!(
+            ino.extents()[0],
+            Extent {
+                logical: 0,
+                physical: 100,
+                len: 8
+            }
+        );
     }
 
     #[test]

@@ -101,7 +101,8 @@ impl Ext4Meta {
             dir_block_len: HashMap::new(),
             next_ino: ROOT_INO + 1,
         };
-        meta.inodes.insert(ROOT_INO, Inode::new(ROOT_INO, InodeKind::Dir));
+        meta.inodes
+            .insert(ROOT_INO, Inode::new(ROOT_INO, InodeKind::Dir));
         meta.dirs.insert(ROOT_INO, Directory::new());
         meta
     }
@@ -241,7 +242,10 @@ impl Ext4Meta {
 
     /// Extend a file by `blocks`, returning the allocated extents.
     pub fn extend_file(&mut self, ino: u64, blocks: u64) -> Result<Vec<(u64, u64)>, FsError> {
-        let exts = self.allocator.alloc_blocks(blocks).ok_or(FsError::NoSpace)?;
+        let exts = self
+            .allocator
+            .alloc_blocks(blocks)
+            .ok_or(FsError::NoSpace)?;
         let inode = self.inodes.get_mut(&ino).ok_or(FsError::BadDescriptor)?;
         for &(p, l) in &exts {
             inode.append_extent(p, l);
@@ -279,10 +283,7 @@ mod tests {
     #[test]
     fn resolve_missing_component_errors() {
         let m = Ext4Meta::mkfs(1 << 28, 1000);
-        assert!(matches!(
-            m.resolve("/nope/file"),
-            Err(FsError::NotFound(_))
-        ));
+        assert!(matches!(m.resolve("/nope/file"), Err(FsError::NotFound(_))));
     }
 
     #[test]
@@ -299,10 +300,7 @@ mod tests {
     fn file_through_dir_component_fails() {
         let mut m = Ext4Meta::mkfs(1 << 28, 1000);
         m.create_file("/a").unwrap();
-        assert!(matches!(
-            m.resolve("/a/b"),
-            Err(FsError::NotADirectory(_))
-        ));
+        assert!(matches!(m.resolve("/a/b"), Err(FsError::NotADirectory(_))));
     }
 
     #[test]

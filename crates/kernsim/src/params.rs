@@ -81,7 +81,10 @@ mod tests {
         let c = KernelCosts::default();
         let one_mb = c.copy(1 << 20);
         // 1 MiB at 6 GB/s ≈ 175 us.
-        assert!((170_000..180_000).contains(&one_mb.as_nanos()), "{one_mb:?}");
+        assert!(
+            (170_000..180_000).contains(&one_mb.as_nanos()),
+            "{one_mb:?}"
+        );
         assert_eq!(c.copy(0), Dur::ZERO);
     }
 

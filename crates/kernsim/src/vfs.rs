@@ -198,10 +198,7 @@ impl Ext4Fs {
             let exts = meta.extend_file(ino, blocks)?;
             // Journal the inode block and the parent directory's leaf block.
             let (parent, name, _) = meta.resolve(path)?;
-            let leaf = meta
-                .dir(parent)
-                .expect("parent dir")
-                .leaf_block_of(&name);
+            let leaf = meta.dir(parent).expect("parent dir").leaf_block_of(&name);
             let leaf_phys = meta.dir_leaf_physical(parent, leaf)?;
             let ino_block = meta.inode_block_of(ino);
             let io = meta.journal.handle(&[ino_block, leaf_phys]);
@@ -213,8 +210,11 @@ impl Ext4Fs {
         rt.work(self.costs.copy(data.len() as u64));
         self.block.write_blocks(rt, &runs, data);
         if let Some(io) = journal_io {
-            self.block
-                .write_blocks(rt, &[(io.start, io.blocks)], &vec![0u8; (io.blocks * PAGE_SIZE) as usize]);
+            self.block.write_blocks(
+                rt,
+                &[(io.start, io.blocks)],
+                &vec![0u8; (io.blocks * PAGE_SIZE) as usize],
+            );
         }
         self.syscall_cost(rt); // close()
         Ok(())
@@ -267,9 +267,7 @@ impl Ext4Fs {
             }
         };
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
-        self.fds
-            .lock()
-            .insert(fd, OpenFile { ino, last_end: 0 });
+        self.fds.lock().insert(fd, OpenFile { ino, last_end: 0 });
         Ok(Fd(fd))
     }
 
@@ -288,7 +286,13 @@ impl Ext4Fs {
 
     /// `pread(2)`: read `dst.len()` bytes at `offset`. Returns bytes read
     /// (truncated at end of file).
-    pub fn pread(&self, rt: &Runtime, fd: Fd, offset: u64, dst: &mut [u8]) -> Result<usize, FsError> {
+    pub fn pread(
+        &self,
+        rt: &Runtime,
+        fd: Fd,
+        offset: u64,
+        dst: &mut [u8],
+    ) -> Result<usize, FsError> {
         let started = rt.now();
         self.tel.preads.inc();
         self.syscall_cost(rt);
@@ -564,7 +568,12 @@ impl Ext4Fs {
         if !offset.is_multiple_of(PAGE_SIZE) || !(dst.len() as u64).is_multiple_of(PAGE_SIZE) {
             return Err(FsError::BadDescriptor);
         }
-        let ino = self.fds.lock().get(&fd.0).ok_or(FsError::BadDescriptor)?.ino;
+        let ino = self
+            .fds
+            .lock()
+            .get(&fd.0)
+            .ok_or(FsError::BadDescriptor)?
+            .ino;
         let size = {
             let meta = self.meta.lock();
             let inode = meta.inode(ino).ok_or(FsError::BadDescriptor)?;
@@ -577,8 +586,7 @@ impl Ext4Fs {
         if offset >= size {
             return Ok(0);
         }
-        let len_pages = (dst.len() as u64 / PAGE_SIZE)
-            .min((size - offset).div_ceil(PAGE_SIZE));
+        let len_pages = (dst.len() as u64 / PAGE_SIZE).min((size - offset).div_ceil(PAGE_SIZE));
         if len_pages == 0 {
             return Ok(0);
         }
@@ -609,7 +617,7 @@ impl Ext4Fs {
 mod tests {
     use super::*;
     use blocksim::{DeviceConfig, NvmeDevice};
-    
+
     use simkit::time::Dur;
 
     fn mkfs() -> Arc<Ext4Fs> {
@@ -663,7 +671,8 @@ mod tests {
             let fs = mkfs();
             fs.mkdir_p("/d").unwrap();
             for i in 0..200 {
-                fs.create_with_size(rt, &format!("/d/f{i}"), &[0u8; 512]).unwrap();
+                fs.create_with_size(rt, &format!("/d/f{i}"), &[0u8; 512])
+                    .unwrap();
             }
             fs.drop_caches();
             let t0 = rt.now();
@@ -697,7 +706,10 @@ mod tests {
             let t1 = rt.now();
             fs.pread(rt, fd, 0, &mut out).unwrap();
             let hot = rt.now() - t1;
-            assert!(cold.as_nanos() > hot.as_nanos() * 2, "cold {cold:?} hot {hot:?}");
+            assert!(
+                cold.as_nanos() > hot.as_nanos() * 2,
+                "cold {cold:?} hot {hot:?}"
+            );
             let (hits, _misses) = fs.page_cache_stats();
             assert!(hits > 0);
         });

@@ -16,9 +16,7 @@ fn allocator_never_double_allocates() {
     for case in 0..CASES {
         let mut g = SplitMix64::derive(0xA110, case);
         let n = g.range(1, 120) as usize;
-        let ops: Vec<(u64, bool)> = (0..n)
-            .map(|_| (g.range(1, 50), g.below(2) == 1))
-            .collect();
+        let ops: Vec<(u64, bool)> = (0..n).map(|_| (g.range(1, 50), g.below(2) == 1)).collect();
         let mut a = BitmapAllocator::new(10, 512);
         let mut held: Vec<(u64, u64)> = Vec::new();
         for (want, free_first) in ops {

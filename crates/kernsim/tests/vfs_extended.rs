@@ -16,7 +16,8 @@ fn readdir_lists_everything() {
         let fs = mkfs();
         fs.mkdir_p("/d").unwrap();
         for i in 0..250 {
-            fs.create_untimed(&format!("/d/f{i:03}"), &[1u8; 100]).unwrap();
+            fs.create_untimed(&format!("/d/f{i:03}"), &[1u8; 100])
+                .unwrap();
         }
         let mut names = fs.readdir(rt, "/d").unwrap();
         names.sort();
@@ -38,10 +39,12 @@ fn readdir_cost_scales_with_directory_size() {
         fs.mkdir_p("/small").unwrap();
         fs.mkdir_p("/big").unwrap();
         for i in 0..10 {
-            fs.create_untimed(&format!("/small/f{i}"), &[0u8; 64]).unwrap();
+            fs.create_untimed(&format!("/small/f{i}"), &[0u8; 64])
+                .unwrap();
         }
         for i in 0..2000 {
-            fs.create_untimed(&format!("/big/f{i}"), &[0u8; 64]).unwrap();
+            fs.create_untimed(&format!("/big/f{i}"), &[0u8; 64])
+                .unwrap();
         }
         fs.drop_caches();
         let t0 = rt.now();
@@ -50,7 +53,10 @@ fn readdir_cost_scales_with_directory_size() {
         let t1 = rt.now();
         fs.readdir(rt, "/big").unwrap();
         let big = rt.now() - t1;
-        assert!(big.as_nanos() > small.as_nanos() * 5, "small {small:?} big {big:?}");
+        assert!(
+            big.as_nanos() > small.as_nanos() * 5,
+            "small {small:?} big {big:?}"
+        );
     });
 }
 
@@ -210,7 +216,8 @@ fn fsync_commits_the_journal() {
         // A handful of creates join the running transaction (batch = 32, so
         // nothing commits on its own).
         for i in 0..5 {
-            fs.create_with_size(rt, &format!("/j{i}"), &[1u8; 128]).unwrap();
+            fs.create_with_size(rt, &format!("/j{i}"), &[1u8; 128])
+                .unwrap();
         }
         let (commits_before, _) = fs.journal_stats();
         let fd = fs.open(rt, "/j0").unwrap();

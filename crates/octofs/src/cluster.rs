@@ -39,10 +39,16 @@ impl std::fmt::Display for OctoError {
         match self {
             OctoError::NotFound(name) => write!(f, "no such file: {name}"),
             OctoError::Unavailable { node, attempts } => {
-                write!(f, "metadata node {node} unreachable after {attempts} attempt(s)")
+                write!(
+                    f,
+                    "metadata node {node} unreachable after {attempts} attempt(s)"
+                )
             }
             OctoError::ReadFailed { node, attempts } => {
-                write!(f, "read from node {node} failed after {attempts} attempt(s)")
+                write!(
+                    f,
+                    "read from node {node} failed after {attempts} attempt(s)"
+                )
             }
         }
     }
@@ -403,7 +409,8 @@ impl OctopusFs {
                     let t = if node == client_node {
                         t_dev
                     } else {
-                        self.cluster.reserve_transfer(t_dev, node, client_node, bytes)
+                        self.cluster
+                            .reserve_transfer(t_dev, node, client_node, bytes)
                     };
                     (dev_fault.status.is_ok(), t)
                 }
@@ -454,7 +461,6 @@ impl OctopusFs {
 mod tests {
     use super::*;
     use fabric::FabricConfig;
-    
 
     fn deploy(rt: &Runtime, nodes: usize) -> Arc<OctopusFs> {
         let cluster = Arc::new(Cluster::new(nodes, FabricConfig::default()));
@@ -523,9 +529,7 @@ mod tests {
             for i in 0..200 {
                 fs.store(rt, &format!("sample_{i:04}"), &[7u8; 256]);
             }
-            let with_data = (0..4)
-                .filter(|&n| fs.device(n).stats().1 > 0)
-                .count();
+            let with_data = (0..4).filter(|&n| fs.device(n).stats().1 > 0).count();
             assert_eq!(with_data, 4, "all nodes should own some files");
         });
     }

@@ -55,8 +55,8 @@ mod sched;
 pub mod stats;
 pub mod sync;
 pub mod telemetry;
-pub mod trace;
 pub mod time;
+pub mod trace;
 
 pub mod runtime;
 
@@ -68,8 +68,8 @@ pub use runtime::{JoinHandle, Runtime};
 pub use stats::{fmt_bytes, fmt_bytes_rate, fmt_rate, Histogram, Meter, Summary};
 pub use sync::{Barrier, Gate, WaitGroup};
 pub use telemetry::{Registry, Snapshot};
-pub use trace::Tracer;
 pub use time::{Dur, Time};
+pub use trace::Tracer;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {

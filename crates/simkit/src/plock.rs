@@ -106,11 +106,7 @@ impl<T> RwLock<T> {
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(
-            self.0
-                .write()
-                .unwrap_or_else(sync::PoisonError::into_inner),
-        )
+        RwLockWriteGuard(self.0.write().unwrap_or_else(sync::PoisonError::into_inner))
     }
 }
 

@@ -338,7 +338,7 @@ mod tests {
             let link = Link::new(1e9, Dur::ZERO);
             link.reserve(Time(0), 1_000); // [0, 1us)
             link.reserve(Time(10_000), 1_000); // [10us, 11us)
-            // 5us fits between them.
+                                               // 5us fits between them.
             let mid = link.reserve(Time(1_000), 5_000);
             assert_eq!(mid, Time(6_000));
             // 5us does NOT fit between 6us and 10us: goes after 11us.
@@ -357,7 +357,11 @@ mod tests {
             }
             // Jump far ahead: old intervals get pruned.
             link.reserve(Time(10_000_000_000), 500);
-            assert!(link.pending_intervals() < 10, "{}", link.pending_intervals());
+            assert!(
+                link.pending_intervals() < 10,
+                "{}",
+                link.pending_intervals()
+            );
         });
     }
 
@@ -396,7 +400,10 @@ mod tests {
             let _ = rt;
             let srv = Servers::new(1);
             // Future booking at 1 ms.
-            assert_eq!(srv.reserve(Time(1_000_000), Dur::micros(100)), Time(1_100_000));
+            assert_eq!(
+                srv.reserve(Time(1_000_000), Dur::micros(100)),
+                Time(1_100_000)
+            );
             // Present request slots in before it.
             assert_eq!(srv.reserve(Time(0), Dur::micros(50)), Time(50_000));
         });

@@ -42,7 +42,8 @@ impl SplitMix64 {
     pub fn derive(seed: u64, stream: u64) -> Self {
         // Mix the label in twice with different offsets so that
         // (seed, stream) and (seed + 1, stream - GOLDEN) don't collide.
-        let s = mix(seed ^ 0x9e3779b97f4a7c15).wrapping_add(mix(stream.wrapping_mul(0xd1342543de82ef95)));
+        let s = mix(seed ^ 0x9e3779b97f4a7c15)
+            .wrapping_add(mix(stream.wrapping_mul(0xd1342543de82ef95)));
         SplitMix64 { state: mix(s) }
     }
 
@@ -110,7 +111,10 @@ impl SplitMix64 {
 
     /// A random permutation of `0..n` as `u32` indices (n must fit in u32).
     pub fn permutation(&mut self, n: usize) -> Vec<u32> {
-        assert!(n <= u32::MAX as usize, "permutation too large for u32 indices");
+        assert!(
+            n <= u32::MAX as usize,
+            "permutation too large for u32 indices"
+        );
         let mut v: Vec<u32> = (0..n as u32).collect();
         self.shuffle(&mut v);
         v

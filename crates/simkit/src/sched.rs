@@ -182,7 +182,6 @@ impl SimCore {
         Dur(self.state.lock().parts.iter().map(|p| p.busy_ns).sum())
     }
 
-
     /// Register the calling thread as root participant (pid 0).
     pub(crate) fn enter_root(self: &Arc<Self>) {
         let mut g = self.state.lock();
@@ -387,10 +386,7 @@ impl SimCore {
         f: Box<dyn FnOnce() + Send>,
     ) -> Pid {
         let mut g = self.state.lock();
-        let my = CURRENT
-            .get()
-            .map(|(_, p)| p)
-            .unwrap_or(0);
+        let my = CURRENT.get().map(|(_, p)| p).unwrap_or(0);
         self.raise_if_stopping(&g, my);
         let pid = g.parts.len();
         let parker = Parker::new();

@@ -281,7 +281,11 @@ mod tests {
             rx.drain()
         });
         assert_eq!(leaders.len(), 15);
-        assert_eq!(leaders.iter().filter(|&&l| l).count(), 5, "one leader per round");
+        assert_eq!(
+            leaders.iter().filter(|&&l| l).count(),
+            5,
+            "one leader per round"
+        );
     }
 
     #[test]

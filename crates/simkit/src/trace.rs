@@ -86,7 +86,12 @@ impl Tracer {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in self.events.lock().iter() {
-            out.push_str(&format!("{:>14}  {:<16} {}\n", format!("{}", e.at), e.task, e.label));
+            out.push_str(&format!(
+                "{:>14}  {:<16} {}\n",
+                format!("{}", e.at),
+                e.task,
+                e.label
+            ));
         }
         out
     }
@@ -130,7 +135,10 @@ mod tests {
             rt.sleep(Dur::micros(120));
             t2.event(rt, "io", "fetch:end");
         });
-        assert_eq!(tracer.span("fetch:begin", "fetch:end"), Some(Dur::micros(120)));
+        assert_eq!(
+            tracer.span("fetch:begin", "fetch:end"),
+            Some(Dur::micros(120))
+        );
         assert_eq!(tracer.matching("fetch").len(), 2);
         assert_eq!(tracer.span("nope", "fetch:end"), None);
     }

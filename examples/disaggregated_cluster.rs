@@ -35,9 +35,7 @@ fn main() {
     let (dlfs_rate, _) = Runtime::simulate(seed, |rt| {
         let cluster = Arc::new(Cluster::new(nodes, FabricConfig::default()));
         let devices: Vec<Arc<NvmeDevice>> = (0..nodes)
-            .map(|_| {
-                NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(10)))
-            })
+            .map(|_| NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(10))))
             .collect();
         let exported: Vec<Arc<NvmeOfTarget>> = devices
             .iter()
@@ -102,10 +100,8 @@ fn main() {
             .map(|r| {
                 let source = source.clone();
                 rt.spawn_with(&format!("ext4-{r}"), move |rt| {
-                    let dev = NvmeDevice::new(DeviceConfig::emulated_ramdisk(
-                        256 << 20,
-                        Dur::micros(10),
-                    ));
+                    let dev =
+                        NvmeDevice::new(DeviceConfig::emulated_ramdisk(256 << 20, Dur::micros(10)));
                     let fs = Ext4Fs::mkfs(dev, KernelCosts::default(), FsOptions::default());
                     let staged = dlio::stage_ext4_untimed(&fs, &source, r, nodes);
                     let mut rng = simkit::rng::SplitMix64::derive(seed, r as u64);
@@ -153,8 +149,19 @@ fn main() {
         total as f64 / (rt.now() - start).as_secs_f64()
     });
 
-    println!("aggregated random-read throughput ({}B samples):", sample_size);
+    println!(
+        "aggregated random-read throughput ({}B samples):",
+        sample_size
+    );
     println!("  DLFS    : {:>12.0} samples/s", dlfs_rate);
-    println!("  Ext4    : {:>12.0} samples/s   (DLFS is {:.1}x)", ext4_rate, dlfs_rate / ext4_rate);
-    println!("  Octopus : {:>12.0} samples/s   (DLFS is {:.1}x)", octo_rate, dlfs_rate / octo_rate);
+    println!(
+        "  Ext4    : {:>12.0} samples/s   (DLFS is {:.1}x)",
+        ext4_rate,
+        dlfs_rate / ext4_rate
+    );
+    println!(
+        "  Octopus : {:>12.0} samples/s   (DLFS is {:.1}x)",
+        octo_rate,
+        dlfs_rate / octo_rate
+    );
 }

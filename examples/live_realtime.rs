@@ -29,7 +29,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut read = 0;
     while read < 2_000 {
-        let batch = io.submit(&rt, &dlfs::ReadRequest::batch(32)).unwrap().into_copied();
+        let batch = io
+            .submit(&rt, &dlfs::ReadRequest::batch(32))
+            .unwrap()
+            .into_copied();
         for (id, data) in &batch {
             assert_eq!(data, &dataset.expected(*id));
         }

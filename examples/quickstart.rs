@@ -36,7 +36,10 @@ fn main() {
         let mut read = 0usize;
         let mut bytes = 0u64;
         while read < 10_000 {
-            let batch = io.submit(rt, &dlfs::ReadRequest::batch(32)).unwrap().into_copied();
+            let batch = io
+                .submit(rt, &dlfs::ReadRequest::batch(32))
+                .unwrap()
+                .into_copied();
             for (id, data) in &batch {
                 // Payloads are verifiable end-to-end.
                 assert_eq!(data, &dataset.expected(*id), "sample {id} corrupted");

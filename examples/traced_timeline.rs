@@ -79,7 +79,10 @@ fn main() {
                 let mut read = 0;
                 let mut batch_no = 0;
                 while read < mine {
-                    let batch = io.submit(rt, &dlfs::ReadRequest::batch(64)).unwrap().into_copied();
+                    let batch = io
+                        .submit(rt, &dlfs::ReadRequest::batch(64))
+                        .unwrap()
+                        .into_copied();
                     read += batch.len();
                     if batch_no % 8 == 0 {
                         t.event(rt, &task, format!("batch {batch_no} ({read}/{mine})"));

@@ -71,7 +71,10 @@ fn main() {
             let mut read = 0usize;
             let mut loss_sum = 0.0f32;
             while read < total {
-                let batch = io.submit(rt, &dlfs::ReadRequest::batch(32)).unwrap().into_copied();
+                let batch = io
+                    .submit(rt, &dlfs::ReadRequest::batch(32))
+                    .unwrap()
+                    .into_copied();
                 read += batch.len();
                 // Decode the raw bytes into a training batch.
                 let mut xs = Vec::with_capacity(batch.len() * features);

@@ -42,7 +42,10 @@ fn dlfs_bread_retries_through_media_errors() {
             fs.shared(0).cache.free_chunks() == fs.shared(0).cache.total_chunks(),
         )
     });
-    assert!(retries > 0, "with 20% command failures some retries must happen");
+    assert!(
+        retries > 0,
+        "with 20% command failures some retries must happen"
+    );
     let _ = failed_free;
 }
 
@@ -112,7 +115,10 @@ fn mount_retries_failed_uploads() {
         io.sequence(rt, 1, 0);
         let mut read = 0;
         while read < 800 {
-            let batch = io.submit(rt, &dlfs::ReadRequest::batch(50)).unwrap().into_copied();
+            let batch = io
+                .submit(rt, &dlfs::ReadRequest::batch(50))
+                .unwrap()
+                .into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &source.expected(*id), "staged sample {id} corrupted");
             }
@@ -135,7 +141,10 @@ fn fault_runs_are_deterministic() {
             while n < 1000 {
                 n += b.next_batch(rt, 32).unwrap().len();
             }
-            (b.io().metrics().counter("dlfs.io.retries"), rt.now().nanos())
+            (
+                b.io().metrics().counter("dlfs.io.retries"),
+                rt.now().nanos(),
+            )
         })
         .0
     };

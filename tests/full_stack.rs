@@ -113,15 +113,8 @@ fn pipeline_over_dlfs_delivers_everything() {
         let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
         let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
         let backend = Box::new(DlfsBackend::new(&fs, 0));
-        let pipe = dlio::InputPipeline::launch(
-            rt,
-            backend,
-            7,
-            0,
-            32,
-            4,
-            dlio::PipelineCosts::default(),
-        );
+        let pipe =
+            dlio::InputPipeline::launch(rt, backend, 7, 0, 32, 4, dlio::PipelineCosts::default());
         let mut seen = vec![false; 2000];
         let mut n = 0;
         while let Some(batch) = pipe.next() {
@@ -182,8 +175,16 @@ fn dlfs_order_trains_as_well_as_full_shuffle() {
     }
     let dir = builder.finish();
     let dlfs_run = train_with_orders(&train, &val, &cfg, |e| {
-        dlfs::build_epoch_plan(&dir, 8 << 10, 1, dlfs::BatchMode::ChunkLevel, 12, 3, e as u64)
-            .readers[0]
+        dlfs::build_epoch_plan(
+            &dir,
+            8 << 10,
+            1,
+            dlfs::BatchMode::ChunkLevel,
+            12,
+            3,
+            e as u64,
+        )
+        .readers[0]
             .order
             .clone()
     });

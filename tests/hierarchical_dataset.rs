@@ -64,7 +64,10 @@ fn dlfs_serves_hierarchical_names() {
         let mut seen = vec![false; total];
         let mut read = 0;
         while read < total {
-            let batch = io.submit(rt, &dlfs::ReadRequest::batch(50)).unwrap().into_copied();
+            let batch = io
+                .submit(rt, &dlfs::ReadRequest::batch(50))
+                .unwrap()
+                .into_copied();
             for (id, data) in &batch {
                 assert!(!seen[*id as usize]);
                 seen[*id as usize] = true;

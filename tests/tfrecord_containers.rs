@@ -60,7 +60,10 @@ fn bread_over_records_randomizes_within_containers() {
         let mut order = Vec::new();
         let mut read = 0;
         while read < 2000 {
-            let batch = io.submit(rt, &dlfs::ReadRequest::batch(64)).unwrap().into_copied();
+            let batch = io
+                .submit(rt, &dlfs::ReadRequest::batch(64))
+                .unwrap()
+                .into_copied();
             for (id, data) in &batch {
                 assert_eq!(data, &inner.expected(*id), "record {id}");
                 assert!(!seen[*id as usize]);
@@ -93,7 +96,11 @@ fn chunk_batching_still_applies_to_records() {
         io.sequence(rt, 1, 0);
         let mut read = 0;
         while read < 1000 {
-            read += io.submit(rt, &dlfs::ReadRequest::batch(64)).unwrap().into_copied().len();
+            read += io
+                .submit(rt, &dlfs::ReadRequest::batch(64))
+                .unwrap()
+                .into_copied()
+                .len();
         }
         let m = io.metrics();
         // ~1 MB of records read through far fewer chunk-sized requests.
