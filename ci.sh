@@ -4,9 +4,10 @@
 #  1. tier-1: release build + the root test suite (ROADMAP.md);
 #  2. the full workspace test suite (includes the deterministic chaos
 #     tests in crates/core/tests/chaos.rs and crates/fabric/tests/faults.rs);
-#  3. a small chaos-sweep run (fault injection + retry/failover, with
-#     built-in byte-correctness and determinism assertions) and a
-#     cache-ablation smoke run (cross-epoch residency + prefetch);
+#  3. smoke runs: chaos sweep (fault injection + retry/failover, with
+#     built-in byte-correctness and determinism assertions), cache
+#     ablation (cross-epoch residency + prefetch), and the persistence
+#     paths (cold import vs warm remount, checkpoint interference, fsck);
 #  4. rustfmt (check mode) and clippy, warnings denied, across every
 #     target.
 #
@@ -26,6 +27,12 @@ echo "== chaos sweep (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_fault_sweep -- n=256 size=2048
 echo "== cache ablation (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ablation_cache -- samples=1024 epochs=2
+echo "== persistence: cold import vs warm remount (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin ext_mount_time -- total_mb=32 max_nodes=4
+echo "== persistence: checkpoint interference (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin ext_checkpoint -- samples=512 appends=4
+echo "== persistence: fsck demo (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin dlfs_fsck -- nodes=2 samples=256
 echo "== clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== ci OK"

@@ -1,0 +1,119 @@
+//! Extension experiment: checkpoint-stream write bandwidth and its
+//! interference with epoch reads.
+//!
+//! Training jobs checkpoint while the input pipeline keeps reading. The
+//! checkpoint region shares the device with the data extents, so appends
+//! contend with sample reads for the same media bandwidth. This bench
+//! measures, per checkpoint payload size: the isolated append bandwidth,
+//! the clean epoch read rate, and the epoch read rate while a concurrent
+//! task streams checkpoints — the slowdown is the interference cost.
+
+use dlfs::{import_local, Batch, DlfsConfig, DlfsError, ReadRequest, SampleSource};
+use dlfs_bench::{arg, fmt_size, setup, Table, DEFAULT_SEED};
+use simkit::prelude::*;
+
+/// Drain `n` samples from an epoch, returning (bytes, seconds).
+fn drain_epoch(
+    rt: &Runtime,
+    fs: &dlfs::DlfsInstance,
+    seed: u64,
+    epoch: u64,
+    n: usize,
+) -> (u64, f64) {
+    let mut io = fs.io(0);
+    io.sequence(rt, seed, epoch);
+    let t0 = rt.now();
+    let mut bytes = 0u64;
+    let mut left = n;
+    while left > 0 {
+        match io
+            .submit(rt, &ReadRequest::batch(32.min(left)))
+            .map(Batch::into_copied)
+        {
+            Ok(batch) => {
+                for (_, data) in batch {
+                    bytes += data.len() as u64;
+                    left -= 1;
+                }
+            }
+            Err(DlfsError::EpochExhausted) => break,
+            Err(e) => panic!("epoch failed: {e}"),
+        }
+    }
+    (bytes, (rt.now() - t0).as_secs_f64())
+}
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let samples: usize = arg("samples", 4096);
+    let sample_size: u64 = arg("size", 64 << 10);
+    let appends: u64 = arg("appends", 16);
+
+    println!(
+        "# Extension: checkpoint write bandwidth vs epoch read interference\n\
+         # ({samples} samples x {}, {appends} appends per window)\n",
+        fmt_size(sample_size)
+    );
+
+    let source = dlfs::SyntheticSource::fixed(seed, samples, sample_size);
+    let dataset: u64 = (0..source.count() as u32).map(|i| source.size(i)).sum();
+
+    let mut t = Table::new(&[
+        "ckpt payload",
+        "ckpt bandwidth",
+        "epoch (clean)",
+        "epoch (ckpting)",
+        "read slowdown",
+    ]);
+    for payload in [256u64 << 10, 1 << 20, 4 << 20] {
+        let ((bw, clean, busy), _) = Runtime::simulate(seed, |rt| {
+            // Checkpoint region sized for three windows of appends.
+            let cfg = DlfsConfig {
+                ckpt_region_bytes: 3 * appends * (payload + 4096) + (1 << 20),
+                ..DlfsConfig::default()
+            };
+            let dev = setup::emulated_for(dataset * 2 + cfg.ckpt_region_bytes);
+            let fs = import_local(rt, dev, &source, cfg).expect("import");
+
+            // Isolated checkpoint append bandwidth.
+            let mut w = fs.checkpoint_writer(rt, 0, 0, None).expect("ckpt writer");
+            let blob = vec![0x5au8; payload as usize];
+            let t0 = rt.now();
+            for _ in 0..appends {
+                w.append(rt, &blob).expect("append");
+            }
+            let bw = (appends * payload) as f64 / (rt.now() - t0).as_secs_f64();
+
+            // Clean epoch read rate.
+            let (bytes, secs) = drain_epoch(rt, &fs, seed, 0, samples);
+            let clean = bytes as f64 / secs;
+
+            // Epoch read rate with a concurrent checkpoint stream.
+            let ckpt_task = rt.spawn_with("ckpt-stream", {
+                let blob = blob.clone();
+                move |rt| {
+                    for _ in 0..appends {
+                        w.append(rt, &blob).expect("append");
+                        rt.sleep(Dur::micros(200));
+                    }
+                }
+            });
+            let (bytes, secs) = drain_epoch(rt, &fs, seed, 1, samples);
+            ckpt_task.join();
+            let busy = bytes as f64 / secs;
+            (bw, clean, busy)
+        });
+        t.row(&[
+            fmt_size(payload),
+            format!("{:.2} GB/s", bw / 1e9),
+            format!("{:.2} GB/s", clean / 1e9),
+            format!("{:.2} GB/s", busy / 1e9),
+            format!("{:.0}%", 100.0 * (clean - busy) / clean),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("appends coalesce into chunk-sized device commands, so checkpoint");
+    println!("bandwidth tracks the device; interference grows with payload size");
+    println!("as larger appends occupy the shared media for longer stretches.");
+}

@@ -143,6 +143,63 @@ pub fn dlfs_disagg_chaos(
     (fs, cluster, devices)
 }
 
+/// A collocated full-mesh cluster whose deployment can be rebuilt — the
+/// persistence benches run `import` and then `remount` over the *same*
+/// devices, and each operation consumes a [`Deployment`], so they need
+/// the parts rather than a mounted instance.
+pub struct Mesh {
+    pub cluster: Arc<Cluster>,
+    pub devices: Vec<Arc<NvmeDevice>>,
+    exported: Vec<Arc<NvmeOfTarget>>,
+}
+
+impl Mesh {
+    /// `nodes` emulated devices, each sized for its share of
+    /// `dataset_bytes` plus layout/checkpoint headroom.
+    pub fn collocated(nodes: usize, dataset_bytes: u64) -> Mesh {
+        let cluster = Arc::new(Cluster::new(nodes, FabricConfig::default()));
+        let per_node = dataset_bytes / nodes as u64 + (64 << 10);
+        let devices: Vec<Arc<NvmeDevice>> =
+            (0..nodes).map(|_| emulated_for(per_node * 2)).collect();
+        let exported = devices
+            .iter()
+            .enumerate()
+            .map(|(n, d)| NvmeOfTarget::new(n, d.clone(), TargetConfig::default()))
+            .collect();
+        Mesh {
+            cluster,
+            devices,
+            exported,
+        }
+    }
+
+    /// A fresh full-mesh deployment (reader i local to device i, NVMe-oF
+    /// elsewhere) over the cluster's devices.
+    pub fn deployment(&self) -> Deployment {
+        let nodes = self.devices.len();
+        let mut targets: Vec<Vec<Arc<dyn NvmeTarget>>> = Vec::with_capacity(nodes);
+        for r in 0..nodes {
+            let mut row: Vec<Arc<dyn NvmeTarget>> = Vec::with_capacity(nodes);
+            for n in 0..nodes {
+                if r == n {
+                    row.push(self.devices[n].clone());
+                } else {
+                    row.push(fabric::connect(
+                        self.cluster.clone(),
+                        r,
+                        self.exported[n].clone(),
+                    ));
+                }
+            }
+            targets.push(row);
+        }
+        Deployment {
+            targets,
+            cluster: Some(self.cluster.clone()),
+        }
+    }
+}
+
 /// Device capacity for an ext4 shard: files consume whole 4 KiB blocks,
 /// and the inode table may occupy up to 1/8 of the device.
 fn ext4_capacity(source: &SyntheticSource, reader: usize, readers: usize) -> u64 {

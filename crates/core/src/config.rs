@@ -114,6 +114,15 @@ pub struct DlfsConfig {
     /// prefetcher). `0` disables prefetching. Clamped by pool headroom
     /// (never below `window_chunks` free) and qpair depth.
     pub prefetch_window: usize,
+    /// Bytes reserved at the tail of each device for the checkpoint
+    /// region when the dataset is `import`ed (persistent layout). `0`
+    /// disables checkpointing on that instance.
+    pub ckpt_region_bytes: u64,
+    /// Samples buffered per reader between the staging producer and each
+    /// upload task during `mount`/`import`: bounds setup memory to
+    /// O(`import_stream_depth` samples) per reader instead of the whole
+    /// data share.
+    pub import_stream_depth: usize,
     pub costs: DlfsCosts,
 }
 
@@ -130,6 +139,8 @@ impl Default for DlfsConfig {
             retry: RetryPolicy::default(),
             cache_mode: CacheMode::default(),
             prefetch_window: 0,
+            ckpt_region_bytes: 8 << 20,
+            import_stream_depth: 4,
             costs: DlfsCosts::default(),
         }
     }
@@ -160,6 +171,9 @@ impl DlfsConfig {
         }
         if self.retry.max_attempts == 0 {
             return Err("retry.max_attempts must be >= 1 (1 = no retries)".into());
+        }
+        if self.import_stream_depth == 0 {
+            return Err("import_stream_depth must be > 0".into());
         }
         if self.prefetch_window > 0 && self.cache_mode != CacheMode::CrossEpoch {
             return Err(format!(

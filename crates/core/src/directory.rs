@@ -78,6 +78,34 @@ impl DirectoryBuilder {
         Ok(())
     }
 
+    /// Register sample `id` from its serialized 128-bit entry (the
+    /// metadata region read back by `remount`). The key travels inside
+    /// `unit1`, so no name is needed; the V bit in `unit2` is cleared
+    /// (validity is a property of the in-memory cache, never persisted).
+    pub fn add_raw(&mut self, id: u32, unit1: u64, unit2: u64) -> Result<(), DlfsError> {
+        use crate::error::LayoutError;
+        let idx = id as usize;
+        if idx >= self.filled.len() {
+            return Err(LayoutError::Inconsistent(format!(
+                "metadata names sample id {id} but the dataset holds {}",
+                self.filled.len()
+            ))
+            .into());
+        }
+        if self.filled[idx] {
+            return Err(LayoutError::Inconsistent(format!("sample id {id} appears twice")).into());
+        }
+        let entry = SampleEntry::from_raw(unit1, unit2 & !1u64);
+        self.trees[(entry.key() % self.nodes as u64) as usize]
+            .insert(entry.key(), id)
+            .map_err(|_| DlfsError::KeyCollision(format!("sample id {id}")))?;
+        let (u1, u2) = entry.raw();
+        self.unit1[idx] = u1;
+        self.unit2[idx] = u2;
+        self.filled[idx] = true;
+        Ok(())
+    }
+
     pub fn finish(self) -> SampleDirectory {
         assert!(
             self.filled.iter().all(|&f| f),

@@ -22,6 +22,56 @@ impl std::fmt::Display for IoFailure {
 
 impl std::error::Error for IoFailure {}
 
+/// What the on-device persistent layout (superblock / metadata region /
+/// checkpoint region) found wrong. Surfaced as [`DlfsError::Layout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Block 0 does not carry a DLFS superblock (never formatted, or
+    /// overwritten).
+    BadMagic { node: u16 },
+    /// The superblock's format version is not one this build understands.
+    Version { node: u16, found: u32 },
+    /// The two generation stamps disagree: an `import` started but never
+    /// committed (crash / fault exhaustion mid-import). The device must be
+    /// re-imported; serving from it would expose partial data.
+    TornImport { node: u16, generation: u64 },
+    /// A checksummed region (superblock or sample metadata) failed
+    /// verification.
+    ChecksumMismatch { node: u16, region: &'static str },
+    /// Superblocks disagree with each other or with the deployment (node
+    /// count, sample totals, dataset stamp).
+    Inconsistent(String),
+    /// The checkpoint region cannot hold the record being appended.
+    CheckpointFull { need: u64, capacity: u64 },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::BadMagic { node } => {
+                write!(f, "storage node {node}: no DLFS superblock (not formatted)")
+            }
+            LayoutError::Version { node, found } => {
+                write!(f, "storage node {node}: unsupported layout version {found}")
+            }
+            LayoutError::TornImport { node, generation } => write!(
+                f,
+                "storage node {node}: torn import (generation {generation} never committed)"
+            ),
+            LayoutError::ChecksumMismatch { node, region } => {
+                write!(f, "storage node {node}: {region} checksum mismatch")
+            }
+            LayoutError::Inconsistent(m) => write!(f, "inconsistent layout: {m}"),
+            LayoutError::CheckpointFull { need, capacity } => write!(
+                f,
+                "checkpoint region full: record needs {need} B of {capacity} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// Errors surfaced by the DLFS API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DlfsError {
@@ -52,6 +102,14 @@ pub enum DlfsError {
     /// Directory construction found two names with the same 48-bit key that
     /// could not be disambiguated.
     KeyCollision(String),
+    /// A storage node's device is too small for the data assigned to it.
+    Capacity { node: u16, need: u64, have: u64 },
+    /// The deployment shape is unusable (no readers, ragged target rows,
+    /// or an operation that needs a persistent instance got an ephemeral
+    /// one).
+    Deployment(String),
+    /// The on-device persistent layout rejected what it found.
+    Layout(LayoutError),
 }
 
 impl std::fmt::Display for DlfsError {
@@ -72,6 +130,12 @@ impl std::fmt::Display for DlfsError {
             ),
             DlfsError::Config(m) => write!(f, "bad configuration: {m}"),
             DlfsError::KeyCollision(n) => write!(f, "48-bit key collision on: {n}"),
+            DlfsError::Capacity { node, need, have } => write!(
+                f,
+                "storage node {node} too small: need {need} B, device holds {have} B"
+            ),
+            DlfsError::Deployment(m) => write!(f, "bad deployment: {m}"),
+            DlfsError::Layout(e) => write!(f, "layout: {e}"),
         }
     }
 }
@@ -80,7 +144,14 @@ impl std::error::Error for DlfsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DlfsError::Io { cause, .. } => Some(cause),
+            DlfsError::Layout(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<LayoutError> for DlfsError {
+    fn from(e: LayoutError) -> DlfsError {
+        DlfsError::Layout(e)
     }
 }

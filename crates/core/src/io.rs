@@ -52,6 +52,9 @@ pub struct DlfsShared {
     pub reader_id: usize,
     /// Total readers participating in `dlfs_sequence`.
     pub readers: usize,
+    /// Per-storage-node on-device layouts when this instance is persistent
+    /// (created by `import`/`remount`); `None` for ephemeral mounts.
+    pub layouts: Option<Arc<Vec<crate::layout::Superblock>>>,
 }
 
 impl std::fmt::Debug for DlfsShared {

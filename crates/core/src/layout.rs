@@ -1,0 +1,614 @@
+//! The on-device persistent layout.
+//!
+//! The paper's `dlfs_mount` rebuilds everything from the PFS at every job
+//! start; this module gives DLFS a durable format so an imported dataset
+//! survives job restarts (`remount` skips staging entirely) and training
+//! jobs get a write workload (the checkpoint region). Everything here is a
+//! pure *client* of the block API — `blocksim` knows nothing about the
+//! format.
+//!
+//! Per-device layout (all offsets in bytes, all regions block-aligned):
+//!
+//! ```text
+//! ┌──────────────┬───────────────────────┬──────────────────┬────────────┐
+//! │ superblock   │ sample metadata       │ sample data      │ checkpoint │
+//! │ (block 0)    │ (28 B / sample + crc) │ (chunk-aligned)  │ stream     │
+//! └──────────────┴───────────────────────┴──────────────────┴────────────┘
+//! 0              meta_base               data_base          ckpt_base
+//! ```
+//!
+//! **Two-phase commit.** `import` first writes the superblock with the new
+//! generation in the *head* stamp only (`generation_tail = 0`), stages data
+//! and metadata, then rewrites the superblock with both stamps equal. A
+//! crash anywhere in between leaves the stamps disagreeing, `remount`
+//! refuses with [`LayoutError::TornImport`], and a fresh `import` repairs
+//! the device. A 512 B superblock write is atomic at block granularity, so
+//! there is no window where the superblock itself is half-written.
+//!
+//! **Checkpoint records** are self-describing: a one-block header (magic,
+//! generation, sequence number, payload length + checksum) followed by the
+//! block-padded payload. The header is written *after* the payload, so a
+//! torn append leaves an invalid header and the reader simply sees the
+//! stream end one record earlier.
+
+use std::sync::Arc;
+
+use blocksim::{NvmeTarget, BLOCK_SIZE};
+use simkit::rng::fnv1a;
+
+use crate::entry::MAX_OFFSET;
+use crate::error::{DlfsError, LayoutError};
+
+/// Superblock magic ("DLFSLAY1" little-endian).
+pub const SUPERBLOCK_MAGIC: u64 = 0x3159_414c_5346_4c44;
+
+/// Checkpoint record header magic ("DLFSCKP1").
+pub const CKPT_MAGIC: u64 = 0x3150_4b43_5346_4c44;
+
+/// On-device format version this build reads and writes.
+pub const LAYOUT_VERSION: u32 = 1;
+
+/// Serialized size of one sample metadata record: id (4) + unit1 (8) +
+/// unit2 (8) + payload checksum (8).
+pub const META_RECORD_BYTES: u64 = 28;
+
+/// Checkpoint record header size (one block; the payload follows).
+pub const CKPT_HEADER_BYTES: u64 = BLOCK_SIZE;
+
+const SB_CHECKSUM_AT: usize = 128;
+
+/// One sample's serialized directory entry plus a content checksum over
+/// its payload (verified by deep fsck and the roundtrip tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetaRecord {
+    pub id: u32,
+    /// `SampleEntry` unit 1 (NID | key).
+    pub unit1: u64,
+    /// `SampleEntry` unit 2 with the volatile V bit masked off.
+    pub unit2: u64,
+    /// FNV-1a of the sample payload as staged at import time.
+    pub payload_checksum: u64,
+}
+
+/// The per-device superblock: geometry + generation stamps. This is also
+/// the in-memory handle a persistent [`crate::DlfsInstance`] keeps per
+/// storage node (checkpoint streams are opened against it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Superblock {
+    pub node_id: u16,
+    pub storage_nodes: u32,
+    /// Import generation; bumped by every `import` of this device.
+    pub generation: u64,
+    /// Both generation stamps matched when this superblock was decoded
+    /// (encode writes the tail stamp only when asked to commit).
+    pub committed: bool,
+    /// Samples placed on this device.
+    pub node_samples: u64,
+    /// Samples across the whole dataset.
+    pub total_samples: u64,
+    pub meta_base: u64,
+    /// Serialized metadata length ([`META_RECORD_BYTES`] × samples).
+    pub meta_bytes: u64,
+    pub meta_checksum: u64,
+    /// Chunk-aligned start of the sample data region.
+    pub data_base: u64,
+    /// Payload bytes actually staged.
+    pub data_bytes: u64,
+    /// Bytes available between `data_base` and `ckpt_base`.
+    pub data_capacity: u64,
+    pub ckpt_base: u64,
+    pub ckpt_capacity: u64,
+    /// Hash of the global placement (per-node sample counts and byte
+    /// totals). Identical on every device of one import, so `remount`
+    /// detects devices mixed from different imports.
+    pub dataset_stamp: u64,
+}
+
+fn put_u32(b: &mut [u8], at: usize, v: u32) {
+    b[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut [u8], at: usize, v: u64) {
+    b[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().expect("u32 slice"))
+}
+
+fn get_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("u64 slice"))
+}
+
+impl Superblock {
+    /// Plan the geometry for a device of `device_bytes` holding
+    /// `node_samples` samples totalling `data_bytes`, with a checkpoint
+    /// region of (about) `ckpt_region_bytes` at the end. Generation and
+    /// metadata checksum are filled in during import.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan(
+        node_id: u16,
+        storage_nodes: u32,
+        total_samples: u64,
+        node_samples: u64,
+        data_bytes: u64,
+        device_bytes: u64,
+        chunk_size: u64,
+        ckpt_region_bytes: u64,
+    ) -> Result<Superblock, DlfsError> {
+        let meta_base = BLOCK_SIZE;
+        let meta_bytes = node_samples * META_RECORD_BYTES;
+        let meta_capacity = meta_bytes.next_multiple_of(BLOCK_SIZE);
+        let data_base = (meta_base + meta_capacity).next_multiple_of(chunk_size);
+        let ckpt_capacity = ckpt_region_bytes.next_multiple_of(BLOCK_SIZE);
+        let need = data_base + data_bytes + ckpt_capacity;
+        if need > device_bytes {
+            return Err(DlfsError::Capacity {
+                node: node_id,
+                need,
+                have: device_bytes,
+            });
+        }
+        let ckpt_base = (device_bytes - ckpt_capacity) / BLOCK_SIZE * BLOCK_SIZE;
+        if ckpt_base < data_base || data_bytes > ckpt_base - data_base {
+            return Err(DlfsError::Capacity {
+                node: node_id,
+                need,
+                have: device_bytes,
+            });
+        }
+        if data_base + data_bytes > MAX_OFFSET {
+            return Err(DlfsError::Layout(LayoutError::Inconsistent(format!(
+                "node {node_id}: data region end {} exceeds the 40-bit entry offset",
+                data_base + data_bytes
+            ))));
+        }
+        Ok(Superblock {
+            node_id,
+            storage_nodes,
+            generation: 0,
+            committed: false,
+            node_samples,
+            total_samples,
+            meta_base,
+            meta_bytes,
+            meta_checksum: 0,
+            data_base,
+            data_bytes,
+            data_capacity: ckpt_base - data_base,
+            ckpt_base,
+            ckpt_capacity,
+            dataset_stamp: 0,
+        })
+    }
+
+    /// Serialize into one block. With `committed == false` the tail stamp
+    /// stays zero — the phase-A ("import in progress") form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; BLOCK_SIZE as usize];
+        put_u64(&mut b, 0, SUPERBLOCK_MAGIC);
+        put_u32(&mut b, 8, LAYOUT_VERSION);
+        put_u32(&mut b, 12, self.node_id as u32);
+        put_u32(&mut b, 16, self.storage_nodes);
+        put_u64(&mut b, 24, self.generation);
+        put_u64(&mut b, 32, self.node_samples);
+        put_u64(&mut b, 40, self.total_samples);
+        put_u64(&mut b, 48, self.meta_base);
+        put_u64(&mut b, 56, self.meta_bytes);
+        put_u64(&mut b, 64, self.meta_checksum);
+        put_u64(&mut b, 72, self.data_base);
+        put_u64(&mut b, 80, self.data_bytes);
+        put_u64(&mut b, 88, self.data_capacity);
+        put_u64(&mut b, 96, self.ckpt_base);
+        put_u64(&mut b, 104, self.ckpt_capacity);
+        put_u64(&mut b, 112, self.dataset_stamp);
+        put_u64(
+            &mut b,
+            120,
+            if self.committed { self.generation } else { 0 },
+        );
+        let crc = fnv1a(&b[..SB_CHECKSUM_AT]);
+        put_u64(&mut b, SB_CHECKSUM_AT, crc);
+        b
+    }
+
+    /// Parse block 0. `node` is the deployment's idea of which storage
+    /// node this device is (used for error attribution and verified
+    /// against the stored id). A torn import decodes successfully with
+    /// `committed == false`; callers that need a servable device must
+    /// check [`Superblock::committed`].
+    pub fn decode(node: u16, b: &[u8]) -> Result<Superblock, LayoutError> {
+        if b.len() < BLOCK_SIZE as usize || get_u64(b, 0) != SUPERBLOCK_MAGIC {
+            return Err(LayoutError::BadMagic { node });
+        }
+        let version = get_u32(b, 8);
+        if version != LAYOUT_VERSION {
+            return Err(LayoutError::Version {
+                node,
+                found: version,
+            });
+        }
+        if fnv1a(&b[..SB_CHECKSUM_AT]) != get_u64(b, SB_CHECKSUM_AT) {
+            return Err(LayoutError::ChecksumMismatch {
+                node,
+                region: "superblock",
+            });
+        }
+        let stored_node = get_u32(b, 12) as u16;
+        if stored_node != node {
+            return Err(LayoutError::Inconsistent(format!(
+                "device claims node {stored_node}, deployment mounts it as node {node}"
+            )));
+        }
+        let generation = get_u64(b, 24);
+        Ok(Superblock {
+            node_id: stored_node,
+            storage_nodes: get_u32(b, 16),
+            generation,
+            committed: get_u64(b, 120) == generation && generation > 0,
+            node_samples: get_u64(b, 32),
+            total_samples: get_u64(b, 40),
+            meta_base: get_u64(b, 48),
+            meta_bytes: get_u64(b, 56),
+            meta_checksum: get_u64(b, 64),
+            data_base: get_u64(b, 72),
+            data_bytes: get_u64(b, 80),
+            data_capacity: get_u64(b, 88),
+            ckpt_base: get_u64(b, 96),
+            ckpt_capacity: get_u64(b, 104),
+            dataset_stamp: get_u64(b, 112),
+        })
+    }
+}
+
+/// Serialize one node's sample metadata region.
+pub fn encode_meta(records: &[MetaRecord]) -> Vec<u8> {
+    let mut out = vec![0u8; records.len() * META_RECORD_BYTES as usize];
+    for (i, r) in records.iter().enumerate() {
+        let at = i * META_RECORD_BYTES as usize;
+        put_u32(&mut out, at, r.id);
+        put_u64(&mut out, at + 4, r.unit1);
+        put_u64(&mut out, at + 12, r.unit2 & !1u64);
+        put_u64(&mut out, at + 20, r.payload_checksum);
+    }
+    out
+}
+
+/// Parse a metadata region previously produced by [`encode_meta`]. The
+/// caller verifies the region checksum against the superblock first.
+pub fn decode_meta(node: u16, bytes: &[u8]) -> Result<Vec<MetaRecord>, LayoutError> {
+    if !bytes.len().is_multiple_of(META_RECORD_BYTES as usize) {
+        return Err(LayoutError::Inconsistent(format!(
+            "node {node}: metadata region length {} is not a record multiple",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(META_RECORD_BYTES as usize)
+        .map(|c| MetaRecord {
+            id: get_u32(c, 0),
+            unit1: get_u64(c, 4),
+            unit2: get_u64(c, 12),
+            payload_checksum: get_u64(c, 20),
+        })
+        .collect())
+}
+
+/// A checkpoint record header (one block on the device).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CkptHeader {
+    /// Import generation the record belongs to; records from earlier
+    /// generations terminate the stream.
+    pub generation: u64,
+    /// 1-based position in the stream.
+    pub seq: u64,
+    pub payload_len: u64,
+    pub payload_checksum: u64,
+}
+
+impl CkptHeader {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; BLOCK_SIZE as usize];
+        put_u64(&mut b, 0, CKPT_MAGIC);
+        put_u64(&mut b, 8, self.generation);
+        put_u64(&mut b, 16, self.seq);
+        put_u64(&mut b, 24, self.payload_len);
+        put_u64(&mut b, 32, self.payload_checksum);
+        let crc = fnv1a(&b[..40]);
+        put_u64(&mut b, 40, crc);
+        b
+    }
+
+    /// `None` means "not a record": end of the stream.
+    pub fn decode(b: &[u8]) -> Option<CkptHeader> {
+        if b.len() < BLOCK_SIZE as usize || get_u64(b, 0) != CKPT_MAGIC {
+            return None;
+        }
+        if fnv1a(&b[..40]) != get_u64(b, 40) {
+            return None;
+        }
+        Some(CkptHeader {
+            generation: get_u64(b, 8),
+            seq: get_u64(b, 16),
+            payload_len: get_u64(b, 24),
+            payload_checksum: get_u64(b, 32),
+        })
+    }
+
+    /// Total on-device footprint of a record with `payload_len` bytes.
+    pub fn record_bytes(payload_len: u64) -> u64 {
+        CKPT_HEADER_BYTES + payload_len.next_multiple_of(BLOCK_SIZE)
+    }
+}
+
+/// Untimed block-granular read (debug / verification paths only — the
+/// timed I/O goes through qpairs).
+pub(crate) fn read_untimed(target: &Arc<dyn NvmeTarget>, offset: u64, len: usize) -> Vec<u8> {
+    let slba = offset / BLOCK_SIZE;
+    let head = (offset % BLOCK_SIZE) as usize;
+    let span = (head + len).next_multiple_of(BLOCK_SIZE as usize);
+    let mut raw = vec![0u8; span];
+    target.dma_read(slba, &mut raw);
+    raw[head..head + len].to_vec()
+}
+
+/// What `fsck` concluded about one device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsckState {
+    /// No superblock (or an unreadable one): never imported.
+    Unformatted(LayoutError),
+    /// An import started but never committed.
+    Torn { generation: u64 },
+    /// Committed and internally consistent.
+    Clean { generation: u64 },
+    /// Committed superblock, but a region failed verification.
+    Corrupt { generation: u64, what: String },
+}
+
+/// Per-device fsck report (see the `dlfs_fsck` binary).
+#[derive(Clone, Debug)]
+pub struct FsckNodeReport {
+    pub node: u16,
+    pub state: FsckState,
+    /// Metadata records found (0 unless decodable).
+    pub entries: u64,
+    pub meta_checksum_ok: bool,
+    /// Deep mode only: every sample payload matched its stored checksum.
+    pub data_checksum_ok: Option<bool>,
+    /// Valid checkpoint records in the stream.
+    pub checkpoints: u64,
+    /// Payload bytes across those records.
+    pub checkpoint_bytes: u64,
+}
+
+/// Walk one device's metadata (untimed; a debug tool, not a data path).
+/// `deep` additionally re-reads every sample payload and verifies its
+/// stored checksum.
+pub fn fsck_node(target: &Arc<dyn NvmeTarget>, node: u16, deep: bool) -> FsckNodeReport {
+    let mut report = FsckNodeReport {
+        node,
+        state: FsckState::Unformatted(LayoutError::BadMagic { node }),
+        entries: 0,
+        meta_checksum_ok: false,
+        data_checksum_ok: None,
+        checkpoints: 0,
+        checkpoint_bytes: 0,
+    };
+    let sb_block = read_untimed(target, 0, BLOCK_SIZE as usize);
+    let sb = match Superblock::decode(node, &sb_block) {
+        Ok(sb) => sb,
+        Err(e) => {
+            report.state = FsckState::Unformatted(e);
+            return report;
+        }
+    };
+    if !sb.committed {
+        report.state = FsckState::Torn {
+            generation: sb.generation,
+        };
+        return report;
+    }
+    let meta = read_untimed(target, sb.meta_base, sb.meta_bytes as usize);
+    report.meta_checksum_ok = fnv1a(&meta) == sb.meta_checksum;
+    if !report.meta_checksum_ok {
+        report.state = FsckState::Corrupt {
+            generation: sb.generation,
+            what: "metadata checksum".into(),
+        };
+        return report;
+    }
+    let records = match decode_meta(node, &meta) {
+        Ok(r) => r,
+        Err(e) => {
+            report.state = FsckState::Corrupt {
+                generation: sb.generation,
+                what: e.to_string(),
+            };
+            return report;
+        }
+    };
+    report.entries = records.len() as u64;
+    if deep {
+        let mut ok = true;
+        for r in &records {
+            let e = crate::entry::SampleEntry::from_raw(r.unit1, r.unit2);
+            let data = read_untimed(target, e.offset(), e.len() as usize);
+            if fnv1a(&data) != r.payload_checksum {
+                ok = false;
+                break;
+            }
+        }
+        report.data_checksum_ok = Some(ok);
+        if !ok {
+            report.state = FsckState::Corrupt {
+                generation: sb.generation,
+                what: "sample payload checksum".into(),
+            };
+            return report;
+        }
+    }
+    // Walk the checkpoint stream.
+    let mut pos = sb.ckpt_base;
+    let mut seq = 0u64;
+    while pos + CKPT_HEADER_BYTES <= sb.ckpt_base + sb.ckpt_capacity {
+        let hdr = read_untimed(target, pos, BLOCK_SIZE as usize);
+        let Some(h) = CkptHeader::decode(&hdr) else {
+            break;
+        };
+        if h.generation != sb.generation || h.seq != seq + 1 {
+            break;
+        }
+        let span = CkptHeader::record_bytes(h.payload_len);
+        if pos + span > sb.ckpt_base + sb.ckpt_capacity {
+            break;
+        }
+        let payload = read_untimed(target, pos + CKPT_HEADER_BYTES, h.payload_len as usize);
+        if fnv1a(&payload) != h.payload_checksum {
+            break;
+        }
+        seq = h.seq;
+        report.checkpoints += 1;
+        report.checkpoint_bytes += h.payload_len;
+        pos += span;
+    }
+    report.state = FsckState::Clean {
+        generation: sb.generation,
+    };
+    report
+}
+
+/// The dataset stamp shared by all superblocks of one import: a hash of
+/// the global placement, so mixing devices from different imports (or
+/// differently-shaped imports of the same data) is detected at remount.
+pub fn dataset_stamp(total_samples: u64, per_node: &[(u64, u64)]) -> u64 {
+    let mut bytes = Vec::with_capacity(16 + per_node.len() * 16);
+    bytes.extend_from_slice(&total_samples.to_le_bytes());
+    bytes.extend_from_slice(&(per_node.len() as u64).to_le_bytes());
+    for &(count, size) in per_node {
+        bytes.extend_from_slice(&count.to_le_bytes());
+        bytes.extend_from_slice(&size.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sb() -> Superblock {
+        let mut sb = Superblock::plan(3, 4, 10_000, 2_500, 40 << 20, 128 << 20, 256 << 10, 8 << 20)
+            .expect("plan");
+        sb.generation = 7;
+        sb.committed = true;
+        sb.meta_checksum = 0xdead_beef;
+        sb.dataset_stamp = 42;
+        sb
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = sample_sb();
+        let b = sb.encode();
+        assert_eq!(b.len(), BLOCK_SIZE as usize);
+        let back = Superblock::decode(3, &b).unwrap();
+        assert_eq!(back, sb);
+    }
+
+    #[test]
+    fn torn_form_decodes_uncommitted() {
+        let mut sb = sample_sb();
+        sb.committed = false;
+        let back = Superblock::decode(3, &sb.encode()).unwrap();
+        assert!(!back.committed);
+        assert_eq!(back.generation, 7);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_tampering() {
+        assert_eq!(
+            Superblock::decode(0, &[0u8; 512]),
+            Err(LayoutError::BadMagic { node: 0 })
+        );
+        let mut b = sample_sb().encode();
+        b[60] ^= 0xff;
+        assert_eq!(
+            Superblock::decode(3, &b),
+            Err(LayoutError::ChecksumMismatch {
+                node: 3,
+                region: "superblock"
+            })
+        );
+        // Mounted as the wrong node.
+        let b = sample_sb().encode();
+        assert!(matches!(
+            Superblock::decode(1, &b),
+            Err(LayoutError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn geometry_is_aligned_and_bounded() {
+        let sb = sample_sb();
+        assert_eq!(sb.data_base % (256 << 10), 0);
+        assert_eq!(sb.ckpt_base % BLOCK_SIZE, 0);
+        assert!(sb.meta_base + sb.meta_bytes <= sb.data_base);
+        assert!(sb.data_base + sb.data_bytes <= sb.ckpt_base);
+        assert_eq!(sb.ckpt_base + sb.ckpt_capacity, 128 << 20);
+    }
+
+    #[test]
+    fn plan_rejects_undersized_device() {
+        let err = Superblock::plan(1, 2, 100, 50, 60 << 20, 32 << 20, 256 << 10, 8 << 20)
+            .expect_err("too small");
+        assert!(matches!(err, DlfsError::Capacity { node: 1, .. }));
+    }
+
+    #[test]
+    fn meta_roundtrip_masks_v_bit() {
+        let recs: Vec<MetaRecord> = (0..100)
+            .map(|i| MetaRecord {
+                id: i,
+                unit1: ((i as u64) << 48) | (0xabc + i as u64),
+                unit2: ((i as u64 * 4096) << 24) | (512 << 1) | 1, // V set
+                payload_checksum: fnv1a(&i.to_le_bytes()),
+            })
+            .collect();
+        let bytes = encode_meta(&recs);
+        assert_eq!(bytes.len() as u64, 100 * META_RECORD_BYTES);
+        let back = decode_meta(0, &bytes).unwrap();
+        for (a, b) in recs.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.unit1, b.unit1);
+            assert_eq!(a.unit2 & !1, b.unit2); // V bit dropped
+            assert_eq!(a.payload_checksum, b.payload_checksum);
+        }
+        assert!(decode_meta(0, &bytes[..27]).is_err());
+    }
+
+    #[test]
+    fn ckpt_header_roundtrip_and_rejection() {
+        let h = CkptHeader {
+            generation: 3,
+            seq: 9,
+            payload_len: 5000,
+            payload_checksum: 77,
+        };
+        let b = h.encode();
+        assert_eq!(CkptHeader::decode(&b), Some(h));
+        let mut bad = b.clone();
+        bad[20] ^= 1;
+        assert_eq!(CkptHeader::decode(&bad), None);
+        assert_eq!(CkptHeader::decode(&[0u8; 512]), None);
+        assert_eq!(CkptHeader::record_bytes(5000), 512 + 5120);
+        assert_eq!(CkptHeader::record_bytes(512), 1024);
+    }
+
+    #[test]
+    fn stamp_is_order_and_shape_sensitive() {
+        let a = dataset_stamp(100, &[(50, 1000), (50, 2000)]);
+        let b = dataset_stamp(100, &[(50, 2000), (50, 1000)]);
+        let c = dataset_stamp(100, &[(50, 1000), (50, 2000)]);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+}

@@ -55,22 +55,29 @@ pub mod directory;
 pub mod entry;
 pub mod error;
 pub mod io;
+pub mod layout;
 pub mod mount;
 pub mod plan;
 pub mod request;
 pub mod source;
+pub mod writer;
 pub mod zerocopy;
 
 pub use cache::SampleCache;
 pub use config::{BatchMode, CacheMode, DlfsConfig, DlfsCosts};
 pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 pub use entry::SampleEntry;
-pub use error::{DlfsError, IoFailure};
+pub use error::{DlfsError, IoFailure, LayoutError};
 pub use io::{DlfsIo, DlfsShared};
-pub use mount::{mount, mount_local, Deployment, DlfsInstance, MountOptions};
+pub use layout::{fsck_node, FsckNodeReport, FsckState, Superblock};
+pub use mount::{
+    import, import_local, mount, mount_local, remount, remount_local, Deployment, DlfsInstance,
+    MountOptions,
+};
 pub use plan::{
     build_epoch_plan, full_random_order, reader_item_ranges, EpochPlan, FetchItem, ReaderPlan,
 };
 pub use request::{Batch, Delivery, ReadRequest};
 pub use source::{SampleSource, SyntheticSource};
+pub use writer::{BatchedWriter, CheckpointReader, CheckpointWriter};
 pub use zerocopy::ZeroCopySample;

@@ -1,6 +1,9 @@
 //! `dlfs_mount`: the collective that stages a dataset from the persistent
 //! file system onto the allocated NVMe devices and builds the replicated
-//! in-memory sample directory (paper §III-A, §III-B2).
+//! in-memory sample directory (paper §III-A, §III-B2) — plus the
+//! persistent variants: [`import`] writes the on-device layout of
+//! [`crate::layout`] so a later [`remount`] can rebuild the directory from
+//! the devices alone, skipping PFS staging entirely.
 //!
 //! "The mount call is a collective call from all processes in a DL
 //! application. ... All nodes load their share of files into the local
@@ -8,20 +11,30 @@
 //! nodes then invoke a collective communication to gather all AVL trees,
 //! forming an identical copy of the in-memory sample directory at every
 //! node."
+//!
+//! Staging streams samples through a bounded per-reader pipe (the caller's
+//! task produces, one spawned task per reader consumes and writes through
+//! a [`BatchedWriter`]), so setup memory is O(`import_stream_depth`
+//! samples) per reader, not O(dataset share).
 
 use std::sync::Arc;
 
-use blocksim::{DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
+use blocksim::{NvmeTarget, BLOCK_SIZE};
 use fabric::Cluster;
+use simkit::chan::{Receiver, Sender};
 use simkit::resource::Link;
+use simkit::rng::fnv1a;
 use simkit::runtime::Runtime;
+use simkit::telemetry::{Counter, Registry};
 use simkit::time::Dur;
 
 use crate::config::DlfsConfig;
 use crate::directory::{node_for_name, DirectoryBuilder, SampleDirectory};
-use crate::error::DlfsError;
+use crate::error::{DlfsError, LayoutError};
 use crate::io::{DlfsIo, DlfsShared};
+use crate::layout::{self, decode_meta, encode_meta, MetaRecord, Superblock};
 use crate::source::SampleSource;
+use crate::writer::{read_timed, BatchedWriter, CheckpointReader, CheckpointWriter};
 use crate::{cache::SampleCache, copy::CopyPool};
 
 /// How readers reach the storage devices.
@@ -55,6 +68,10 @@ pub struct MountOptions {
     pub build_per_entry: Dur,
     /// CPU cost to merge one remote entry during the allgather.
     pub merge_per_entry: Dur,
+    /// Registry for the mount-time counters (`dlfs.write.*` during
+    /// staging, `dlfs.remount.*` during remount). `None` binds them to a
+    /// throwaway registry, keeping default outputs unchanged.
+    pub telemetry: Option<Registry>,
 }
 
 impl Default for MountOptions {
@@ -63,6 +80,7 @@ impl Default for MountOptions {
             pfs: None,
             build_per_entry: Dur::nanos(120),
             merge_per_entry: Dur::nanos(25),
+            telemetry: None,
         }
     }
 }
@@ -78,6 +96,9 @@ impl std::fmt::Debug for MountOptions {
 pub struct DlfsInstance {
     pub dir: Arc<SampleDirectory>,
     shared: Vec<Arc<DlfsShared>>,
+    /// Per-storage-node superblocks when this instance was created by
+    /// [`import`]/[`remount`]; `None` for ephemeral [`mount`]s.
+    layouts: Option<Arc<Vec<Superblock>>>,
 }
 
 impl std::fmt::Debug for DlfsInstance {
@@ -85,6 +106,7 @@ impl std::fmt::Debug for DlfsInstance {
         f.debug_struct("DlfsInstance")
             .field("samples", &self.dir.len())
             .field("readers", &self.shared.len())
+            .field("persistent", &self.layouts.is_some())
             .finish()
     }
 }
@@ -110,6 +132,69 @@ impl DlfsInstance {
     /// Shared per-reader state (cache stats etc.).
     pub fn shared(&self, r: usize) -> &Arc<DlfsShared> {
         &self.shared[r]
+    }
+
+    /// Whether this instance sits on a durable on-device layout
+    /// (created by [`import`]/[`remount`] rather than [`mount`]).
+    pub fn is_persistent(&self) -> bool {
+        self.layouts.is_some()
+    }
+
+    /// Storage node `nid`'s superblock (persistent instances only).
+    pub fn layout(&self, nid: u16) -> Option<&Superblock> {
+        self.layouts.as_ref().and_then(|l| l.get(nid as usize))
+    }
+
+    fn persistent_layout(&self, nid: u16) -> Result<&Superblock, DlfsError> {
+        self.layout(nid).ok_or_else(|| {
+            DlfsError::Deployment(
+                "checkpoint streams need a persistent instance (import/remount, not mount)".into(),
+            )
+        })
+    }
+
+    /// Open a checkpoint append stream on storage node `nid` through
+    /// reader `r`'s target handle. Fails with [`DlfsError::Deployment`]
+    /// on an ephemeral instance.
+    pub fn checkpoint_writer(
+        &self,
+        rt: &Runtime,
+        r: usize,
+        nid: u16,
+        reg: Option<&Registry>,
+    ) -> Result<CheckpointWriter, DlfsError> {
+        let sb = self.persistent_layout(nid)?;
+        if sb.ckpt_capacity == 0 {
+            return Err(DlfsError::Config(
+                "ckpt_region_bytes was 0 at import: no checkpoint region on this device".into(),
+            ));
+        }
+        let shared = &self.shared[r];
+        CheckpointWriter::open(
+            rt,
+            shared.targets[nid as usize].clone(),
+            sb,
+            &shared.cfg,
+            reg,
+        )
+    }
+
+    /// Open a checkpoint replay stream on storage node `nid` through
+    /// reader `r`'s target handle.
+    pub fn checkpoint_reader(
+        &self,
+        r: usize,
+        nid: u16,
+        reg: Option<&Registry>,
+    ) -> Result<CheckpointReader, DlfsError> {
+        let sb = self.persistent_layout(nid)?;
+        let shared = &self.shared[r];
+        Ok(CheckpointReader::open(
+            shared.targets[nid as usize].clone(),
+            sb,
+            &shared.cfg,
+            reg,
+        ))
     }
 
     /// A view of the same mounted data through a different sample
@@ -143,34 +228,52 @@ impl DlfsInstance {
                     targets: s.targets.clone(),
                     reader_id: s.reader_id,
                     readers: s.readers,
+                    layouts: s.layouts.clone(),
                 })
             })
             .collect();
-        DlfsInstance { dir, shared }
+        DlfsInstance {
+            dir,
+            shared,
+            layouts: self.layouts.clone(),
+        }
     }
 }
 
-/// Perform the collective mount. Returns the instance once every reader
-/// has finished loading and the allgather completed.
-pub fn mount(
-    rt: &Runtime,
-    deployment: Deployment,
-    source: &dyn SampleSource,
-    cfg: DlfsConfig,
-    opts: MountOptions,
-) -> Result<DlfsInstance, DlfsError> {
-    cfg.validate().map_err(DlfsError::Config)?;
-    let readers = deployment.targets.len();
-    assert!(readers > 0, "need at least one reader");
-    let storage_nodes = deployment.targets[0].len();
-    assert!(
-        deployment.targets.iter().all(|t| t.len() == storage_nodes),
-        "all readers must see the same storage nodes"
-    );
+/// Shape-check the deployment (library code must return typed errors, not
+/// abort the simulation).
+fn validate_deployment(d: &Deployment) -> Result<(usize, usize), DlfsError> {
+    let readers = d.targets.len();
+    if readers == 0 {
+        return Err(DlfsError::Deployment("need at least one reader".into()));
+    }
+    let storage_nodes = d.targets[0].len();
+    if storage_nodes == 0 {
+        return Err(DlfsError::Deployment(
+            "need at least one storage node".into(),
+        ));
+    }
+    if !d.targets.iter().all(|t| t.len() == storage_nodes) {
+        return Err(DlfsError::Deployment(
+            "all readers must see the same storage nodes".into(),
+        ));
+    }
+    Ok((readers, storage_nodes))
+}
 
-    // ---- Plan placement: hash-partition samples over storage nodes and
-    // assign packed offsets (this is metadata-only; every reader derives
-    // the same result from the names, so no coordination is needed).
+/// The shared directory, per-node sample id lists and per-node byte
+/// totals produced by [`plan_placement`].
+type Placement = (Arc<SampleDirectory>, Vec<Vec<u32>>, Vec<u64>);
+
+/// Hash-partition samples over storage nodes and assign packed offsets
+/// starting at each node's `data_base` (0 for ephemeral mounts; the
+/// chunk-aligned data region for imports). Metadata-only: every reader
+/// derives the same result from the names, so no coordination is needed.
+fn plan_placement(
+    source: &dyn SampleSource,
+    storage_nodes: usize,
+    data_base: &[u64],
+) -> Result<Placement, DlfsError> {
     let count = source.count();
     let mut builder = DirectoryBuilder::new(storage_nodes, count);
     let mut cursors = vec![0u64; storage_nodes];
@@ -179,135 +282,299 @@ pub fn mount(
         let name = source.name(id);
         let nid = node_for_name(&name, storage_nodes);
         let len = source.size(id);
-        builder.add(id, &name, nid, cursors[nid as usize], len)?;
+        builder.add(
+            id,
+            &name,
+            nid,
+            data_base[nid as usize] + cursors[nid as usize],
+            len,
+        )?;
         cursors[nid as usize] += len;
         per_node_ids[nid as usize].push(id);
     }
-    let dir = Arc::new(builder.finish());
+    Ok((Arc::new(builder.finish()), per_node_ids, cursors))
+}
 
-    // Capacity check: each storage node must hold its share.
-    for (nid, &used) in cursors.iter().enumerate() {
-        let blocks = deployment.targets[0][nid].blocks();
-        assert!(
-            used <= blocks * BLOCK_SIZE,
-            "storage node {nid} too small: need {used} bytes"
-        );
+/// Per-node (sample count, payload bytes) of the hash placement, needed
+/// before the directory exists to plan import geometry.
+fn node_shares(source: &dyn SampleSource, storage_nodes: usize) -> Vec<(u64, u64)> {
+    let mut shares = vec![(0u64, 0u64); storage_nodes];
+    for id in 0..source.count() as u32 {
+        let nid = node_for_name(&source.name(id), storage_nodes) as usize;
+        shares[nid].0 += 1;
+        shares[nid].1 += source.size(id);
     }
+    shares
+}
 
-    // ---- Upload: reader r stages the data of storage nodes n ≡ r (mod
-    // readers), writing through its own target handle in chunk-sized
-    // pieces, pipelined on a write qpair.
-    let mut uploads = Vec::new();
-    for r in 0..readers {
-        let dir = dir.clone();
-        let cfg = cfg.clone();
-        let opts_pfs = opts.pfs.clone();
-        let build_per_entry = opts.build_per_entry;
-        let my_nodes: Vec<usize> = (0..storage_nodes).filter(|n| n % readers == r).collect();
-        let targets: Vec<Arc<dyn NvmeTarget>> = my_nodes
+/// One sample travelling from the staging producer to an upload task.
+#[derive(Debug)]
+struct StagedSample {
+    /// Index into the consumer's `my_nodes`.
+    node_pos: usize,
+    id: u32,
+    unit1: u64,
+    unit2: u64,
+    offset: u64,
+    bytes: Vec<u8>,
+}
+
+/// Everything one reader's upload task needs, moved into the spawn.
+struct UploadTask {
+    r: usize,
+    /// Global storage-node ids this reader stages (n ≡ r mod readers).
+    my_nodes: Vec<usize>,
+    targets: Vec<Arc<dyn NvmeTarget>>,
+    /// Per-node superblock drafts: `Some` = import (persist layout).
+    drafts: Option<Vec<Superblock>>,
+    cfg: DlfsConfig,
+    pfs: Option<Link>,
+    build_per_entry: Dur,
+    reg: Option<Registry>,
+    rx: Receiver<StagedSample>,
+    credit: Sender<usize>,
+}
+
+impl UploadTask {
+    /// Receive samples and write them through per-node [`BatchedWriter`]s;
+    /// for imports, run the two-phase superblock commit around the data.
+    /// On an I/O failure the task keeps draining its pipe (so the producer
+    /// never blocks on a dead consumer) and reports the error at the end.
+    fn run(mut self, rt: &Runtime) -> Result<Vec<(usize, Superblock)>, DlfsError> {
+        let reg = self.reg.as_ref();
+        let mut writers: Vec<BatchedWriter> = self
+            .my_nodes
             .iter()
-            .map(|&n| deployment.targets[r][n].clone())
-            .collect();
-        let ids: Vec<Vec<u32>> = my_nodes.iter().map(|&n| per_node_ids[n].clone()).collect();
-        // The source is only borrowed; spawned tasks need owned access.
-        // Gather the payloads for this reader's nodes up front (setup-time
-        // memory, released after upload).
-        let payloads: Vec<Vec<(u64, u64, Vec<u8>)>> = ids
-            .iter()
-            .map(|node_ids| {
-                node_ids
-                    .iter()
-                    .map(|&id| {
-                        let mut buf = vec![0u8; source.size(id) as usize];
-                        source.fill(id, &mut buf);
-                        let e = dir.entry(id);
-                        (e.offset(), e.len(), buf)
-                    })
-                    .collect()
+            .enumerate()
+            .map(|(pos, &n)| {
+                BatchedWriter::new(self.targets[pos].clone(), n as u16, &self.cfg, reg)
             })
             .collect();
-        uploads.push(rt.spawn(&format!("dlfs-mount-r{r}"), move |rt| {
-            for (node_pos, samples) in payloads.into_iter().enumerate() {
-                let target = &targets[node_pos];
-                let mut qp = IoQPair::new(target.clone(), cfg.queue_depth);
-                let chunk = cfg.chunk_size as usize;
-                let mut staging = vec![0u8; chunk];
-                let mut staged_base = 0u64; // device offset of staging[0]
-                let mut staged_len = 0usize;
-                let mut cmd = 0u64;
-                let flush =
-                    |qp: &mut IoQPair, rt: &Runtime, base: u64, data: &[u8], cmd: &mut u64| {
-                        if data.is_empty() {
-                            return;
-                        }
-                        let nblocks = (data.len() as u64).div_ceil(BLOCK_SIZE) as u32;
-                        let buf = DmaBuf::standalone(nblocks as usize * BLOCK_SIZE as usize);
-                        buf.copy_from(0, data);
-                        debug_assert_eq!(base % BLOCK_SIZE, 0);
-                        // Synchronous write with retry on media error (the
-                        // upload must be durable before the directory goes
-                        // live).
-                        loop {
-                            loop {
-                                match qp.submit_write(
-                                    rt,
-                                    *cmd,
-                                    base / BLOCK_SIZE,
-                                    nblocks,
-                                    buf.clone(),
-                                    0,
-                                ) {
-                                    Ok(()) => break,
-                                    Err(_) => {
-                                        qp.drain(rt, Dur::nanos(100));
-                                    }
-                                }
-                            }
-                            *cmd += 1;
-                            let comps = qp.drain(rt, Dur::nanos(100));
-                            if comps.iter().all(|c| c.status.is_ok()) {
-                                break;
-                            }
-                        }
-                    };
-                for (offset, len, bytes) in samples {
-                    // Charge the PFS read feeding the staging buffer.
-                    if let Some(pfs) = &opts_pfs {
-                        pfs.transfer(rt, len);
-                    }
-                    // Directory entry construction cost.
-                    rt.work(build_per_entry);
-                    // Copy into the chunk-aligned staging window, flushing
-                    // filled chunks to the device.
-                    let mut written = 0usize;
-                    while written < bytes.len() {
-                        let pos_in_chunk = (offset + written as u64 - staged_base) as usize;
-                        debug_assert!(pos_in_chunk <= chunk);
-                        if pos_in_chunk == chunk {
-                            flush(&mut qp, rt, staged_base, &staging[..staged_len], &mut cmd);
-                            staged_base += chunk as u64;
-                            staged_len = 0;
-                            continue;
-                        }
-                        let n = (chunk - pos_in_chunk).min(bytes.len() - written);
-                        staging[pos_in_chunk..pos_in_chunk + n]
-                            .copy_from_slice(&bytes[written..written + n]);
-                        staged_len = staged_len.max(pos_in_chunk + n);
-                        written += n;
-                    }
-                }
-                flush(&mut qp, rt, staged_base, &staging[..staged_len], &mut cmd);
-                qp.drain(rt, Dur::nanos(100));
+        let mut records: Vec<Vec<MetaRecord>> = vec![Vec::new(); self.my_nodes.len()];
+        // Phase A (import only): stamp each node with the new, uncommitted
+        // generation before any data lands, and invalidate the previous
+        // generation's checkpoint stream head. A crash from here until the
+        // committed superblock below leaves the stamps disagreeing.
+        if let Some(drafts) = self.drafts.as_mut() {
+            for (pos, &n) in self.my_nodes.iter().enumerate() {
+                let prev = read_timed(
+                    rt,
+                    &self.targets[pos],
+                    n as u16,
+                    0,
+                    BLOCK_SIZE as usize,
+                    &self.cfg,
+                )?;
+                let prev_gen = Superblock::decode(n as u16, &prev)
+                    .map(|sb| sb.generation)
+                    .unwrap_or(0);
+                drafts[pos].generation = prev_gen + 1;
+                drafts[pos].committed = false;
+                writers[pos].write(rt, 0, &drafts[pos].encode())?;
+                writers[pos].write(rt, drafts[pos].ckpt_base, &[0u8; BLOCK_SIZE as usize])?;
+                writers[pos].flush(rt)?;
             }
-        }));
+        }
+        let mut failed: Option<DlfsError> = None;
+        // recv() errors once the producer is done and drops the sender.
+        while let Ok(item) = self.rx.recv() {
+            // Refill the producer's window before doing timed work, so the
+            // pipe stays as full as the memory bound allows.
+            let _ = self.credit.send(self.r);
+            if failed.is_some() {
+                continue; // drain mode: keep the producer unblocked
+            }
+            // Charge the PFS read feeding the staging buffer, then the
+            // directory-entry construction this sample already paid for at
+            // planning time.
+            if let Some(pfs) = &self.pfs {
+                pfs.transfer(rt, item.bytes.len() as u64);
+            }
+            rt.work(self.build_per_entry);
+            if let Err(e) = writers[item.node_pos].write(rt, item.offset, &item.bytes) {
+                failed = Some(e);
+                continue;
+            }
+            if self.drafts.is_some() {
+                records[item.node_pos].push(MetaRecord {
+                    id: item.id,
+                    unit1: item.unit1,
+                    unit2: item.unit2,
+                    payload_checksum: fnv1a(&item.bytes),
+                });
+            }
+        }
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        // Finalize every node (zero-sample nodes included): drain data
+        // writes; for imports, persist metadata and only then the
+        // committed superblock — strictly after everything else is
+        // durable, which is what makes the commit two-phase.
+        let mut out = Vec::new();
+        for (pos, &n) in self.my_nodes.iter().enumerate() {
+            writers[pos].flush(rt)?;
+            if let Some(drafts) = self.drafts.as_mut() {
+                let sb = &mut drafts[pos];
+                let meta = encode_meta(&records[pos]);
+                debug_assert_eq!(meta.len() as u64, sb.meta_bytes);
+                sb.meta_checksum = fnv1a(&meta);
+                if !meta.is_empty() {
+                    writers[pos].write(rt, sb.meta_base, &meta)?;
+                }
+                writers[pos].flush(rt)?;
+                sb.committed = true;
+                writers[pos].write(rt, 0, &sb.encode())?;
+                writers[pos].flush(rt)?;
+                out.push((n, sb.clone()));
+            }
+        }
+        Ok(out)
     }
-    for h in uploads {
-        h.join();
-    }
+}
 
-    // ---- Allgather the per-node trees so every reader holds the full
-    // directory (functionally `dir` is already complete; we charge the
-    // network + merge time the collective would take).
+/// Stage the dataset onto the devices: the caller's task produces samples
+/// into bounded per-reader pipes (capacity `cfg.import_stream_depth`);
+/// one spawned task per reader consumes and writes. Returns the committed
+/// superblocks when `drafts` is given (import mode).
+#[allow(clippy::too_many_arguments)]
+fn stream_upload(
+    rt: &Runtime,
+    deployment: &Deployment,
+    dir: &Arc<SampleDirectory>,
+    per_node_ids: &[Vec<u32>],
+    source: &dyn SampleSource,
+    cfg: &DlfsConfig,
+    opts: &MountOptions,
+    drafts: Option<Vec<Superblock>>,
+) -> Result<Option<Vec<Superblock>>, DlfsError> {
+    let readers = deployment.targets.len();
+    let storage_nodes = per_node_ids.len();
+    let import = drafts.is_some();
+    let depth = cfg.import_stream_depth;
+    let (credit_tx, credit_rx) = rt.channel::<usize>(None);
+    let mut senders: Vec<Option<Sender<StagedSample>>> = Vec::with_capacity(readers);
+    // (node_pos, id) per reader, in node order then placement order — the
+    // order that keeps each node's writes contiguous for coalescing.
+    let mut items: Vec<Vec<(usize, u32)>> = vec![Vec::new(); readers];
+    let mut handles = Vec::with_capacity(readers);
+    for (r, reader_items) in items.iter_mut().enumerate() {
+        let my_nodes: Vec<usize> = (0..storage_nodes).filter(|n| n % readers == r).collect();
+        for (pos, &n) in my_nodes.iter().enumerate() {
+            reader_items.extend(per_node_ids[n].iter().map(|&id| (pos, id)));
+        }
+        let (tx, rx) = rt.channel::<StagedSample>(Some(depth));
+        senders.push(Some(tx));
+        let task = UploadTask {
+            r,
+            targets: my_nodes
+                .iter()
+                .map(|&n| deployment.targets[r][n].clone())
+                .collect(),
+            drafts: drafts
+                .as_ref()
+                .map(|d| my_nodes.iter().map(|&n| d[n].clone()).collect()),
+            my_nodes,
+            cfg: cfg.clone(),
+            pfs: opts.pfs.clone(),
+            build_per_entry: opts.build_per_entry,
+            reg: opts.telemetry.clone(),
+            rx,
+            credit: credit_tx.clone(),
+        };
+        handles.push(rt.spawn_with(&format!("dlfs-mount-r{r}"), move |rt| task.run(rt)));
+    }
+    drop(credit_tx);
+    // Produce: fill every pipe to its bound, then send one sample per
+    // returned credit. Memory in flight is bounded by depth × readers.
+    let mut cursor = vec![0usize; readers];
+    let stage = |r: usize, cursor: &mut [usize]| -> Option<StagedSample> {
+        let &(node_pos, id) = items[r].get(cursor[r])?;
+        cursor[r] += 1;
+        let e = dir.entry(id);
+        let mut bytes = vec![0u8; e.len() as usize];
+        source.fill(id, &mut bytes);
+        let (unit1, unit2) = e.raw();
+        Some(StagedSample {
+            node_pos,
+            id,
+            unit1,
+            unit2,
+            offset: e.offset(),
+            bytes,
+        })
+    };
+    for r in 0..readers {
+        for _ in 0..depth {
+            match stage(r, &mut cursor) {
+                Some(s) => senders[r]
+                    .as_ref()
+                    .expect("sender live")
+                    .send(s)
+                    .expect("consumer alive"),
+                None => break,
+            }
+        }
+        if cursor[r] == items[r].len() {
+            senders[r] = None; // close: lets the consumer finalize
+        }
+    }
+    while senders.iter().any(|s| s.is_some()) {
+        let r = credit_rx.recv().expect("upload tasks alive");
+        if let Some(s) = stage(r, &mut cursor) {
+            senders[r]
+                .as_ref()
+                .expect("credited sender live")
+                .send(s)
+                .expect("consumer alive");
+        }
+        if cursor[r] == items[r].len() {
+            senders[r] = None;
+        }
+    }
+    let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+    let mut finals: Vec<Option<Superblock>> = (0..storage_nodes).map(|_| None).collect();
+    let mut first_err = None;
+    for res in results {
+        match res {
+            Ok(list) => {
+                for (n, sb) in list {
+                    finals[n] = Some(sb);
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    if import {
+        Ok(Some(
+            finals
+                .into_iter()
+                .map(|o| o.expect("every node finalized"))
+                .collect(),
+        ))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Charge the mount-time allgather: every reader ships its nodes' trees to
+/// every other reader, then merges (functionally the directory is already
+/// complete; this charges the network + merge time the collective takes).
+fn allgather(
+    rt: &Runtime,
+    deployment: &Deployment,
+    dir: &Arc<SampleDirectory>,
+    opts: &MountOptions,
+    readers: usize,
+    storage_nodes: usize,
+) {
     if let Some(cluster) = &deployment.cluster {
         if readers > 1 {
             let mut latest = rt.now();
@@ -330,8 +597,17 @@ pub fn mount(
             rt.work(opts.merge_per_entry * dir.len() as u64);
         }
     }
+}
 
-    // ---- Per-reader runtime state.
+/// Per-reader runtime state (caches, copy pools) for a finished mount.
+fn build_instance(
+    rt: &Runtime,
+    deployment: &Deployment,
+    dir: Arc<SampleDirectory>,
+    cfg: DlfsConfig,
+    layouts: Option<Arc<Vec<Superblock>>>,
+) -> DlfsInstance {
+    let readers = deployment.targets.len();
     let shared = (0..readers)
         .map(|r| {
             let cache = Arc::new(SampleCache::with_mode(
@@ -348,11 +624,290 @@ pub fn mount(
                 targets: deployment.targets[r].clone(),
                 reader_id: r,
                 readers,
+                layouts: layouts.clone(),
             })
         })
         .collect();
+    DlfsInstance {
+        dir,
+        shared,
+        layouts,
+    }
+}
 
-    Ok(DlfsInstance { dir, shared })
+/// Perform the collective mount. Returns the instance once every reader
+/// has finished loading and the allgather completed. The devices hold
+/// raw sample data with no persistent layout; use [`import`] for a
+/// layout a later job can [`remount`].
+pub fn mount(
+    rt: &Runtime,
+    deployment: Deployment,
+    source: &dyn SampleSource,
+    cfg: DlfsConfig,
+    opts: MountOptions,
+) -> Result<DlfsInstance, DlfsError> {
+    cfg.validate().map_err(DlfsError::Config)?;
+    let (readers, storage_nodes) = validate_deployment(&deployment)?;
+    let (dir, per_node_ids, node_bytes) =
+        plan_placement(source, storage_nodes, &vec![0u64; storage_nodes])?;
+    for (nid, &need) in node_bytes.iter().enumerate() {
+        let have = deployment.targets[0][nid].blocks() * BLOCK_SIZE;
+        if need > have {
+            return Err(DlfsError::Capacity {
+                node: nid as u16,
+                need,
+                have,
+            });
+        }
+    }
+    stream_upload(
+        rt,
+        &deployment,
+        &dir,
+        &per_node_ids,
+        source,
+        &cfg,
+        &opts,
+        None,
+    )?;
+    allgather(rt, &deployment, &dir, &opts, readers, storage_nodes);
+    Ok(build_instance(rt, &deployment, dir, cfg, None))
+}
+
+/// Stage the dataset *and* persist the on-device layout: superblock,
+/// serialized sample metadata, checksummed data extents and an empty
+/// checkpoint region per device. Costs one staging pass like [`mount`];
+/// every later job start can use [`remount`] instead and skip the PFS
+/// entirely. The commit is two-phase per device — a crash mid-import
+/// leaves a torn generation stamp that `remount` rejects with
+/// [`LayoutError::TornImport`], never silently serving partial data.
+pub fn import(
+    rt: &Runtime,
+    deployment: Deployment,
+    source: &dyn SampleSource,
+    cfg: DlfsConfig,
+    opts: MountOptions,
+) -> Result<DlfsInstance, DlfsError> {
+    cfg.validate().map_err(DlfsError::Config)?;
+    let (readers, storage_nodes) = validate_deployment(&deployment)?;
+    let shares = node_shares(source, storage_nodes);
+    let total = source.count() as u64;
+    let stamp = layout::dataset_stamp(total, &shares);
+    let mut drafts = Vec::with_capacity(storage_nodes);
+    for (n, &(count, bytes)) in shares.iter().enumerate() {
+        let device_bytes = deployment.targets[0][n].blocks() * BLOCK_SIZE;
+        let mut sb = Superblock::plan(
+            n as u16,
+            storage_nodes as u32,
+            total,
+            count,
+            bytes,
+            device_bytes,
+            cfg.chunk_size,
+            cfg.ckpt_region_bytes,
+        )?;
+        sb.dataset_stamp = stamp;
+        drafts.push(sb);
+    }
+    let data_base: Vec<u64> = drafts.iter().map(|sb| sb.data_base).collect();
+    let (dir, per_node_ids, _) = plan_placement(source, storage_nodes, &data_base)?;
+    let finals = stream_upload(
+        rt,
+        &deployment,
+        &dir,
+        &per_node_ids,
+        source,
+        &cfg,
+        &opts,
+        Some(drafts),
+    )?
+    .expect("import returns superblocks");
+    allgather(rt, &deployment, &dir, &opts, readers, storage_nodes);
+    Ok(build_instance(
+        rt,
+        &deployment,
+        dir,
+        cfg,
+        Some(Arc::new(finals)),
+    ))
+}
+
+/// The warm path: rebuild the sample directory from the devices' own
+/// metadata regions — zero PFS traffic, zero data-region writes. Every
+/// reader reads and verifies the superblocks + metadata of its share of
+/// nodes (n ≡ r mod readers), the directory is rebuilt from the
+/// serialized entries, and the usual allgather is charged. Rejects torn
+/// imports, checksum mismatches and devices mixed from different imports
+/// with typed [`LayoutError`]s.
+pub fn remount(
+    rt: &Runtime,
+    deployment: Deployment,
+    cfg: DlfsConfig,
+    opts: MountOptions,
+) -> Result<DlfsInstance, DlfsError> {
+    cfg.validate().map_err(DlfsError::Config)?;
+    let (readers, storage_nodes) = validate_deployment(&deployment)?;
+    let tel = RemountTelemetry::new(opts.telemetry.as_ref());
+    let mut handles = Vec::with_capacity(readers);
+    for r in 0..readers {
+        let my_nodes: Vec<usize> = (0..storage_nodes).filter(|n| n % readers == r).collect();
+        let targets: Vec<Arc<dyn NvmeTarget>> = my_nodes
+            .iter()
+            .map(|&n| deployment.targets[r][n].clone())
+            .collect();
+        let cfg = cfg.clone();
+        let build_per_entry = opts.build_per_entry;
+        let tel = tel.clone();
+        handles.push(rt.spawn_with(&format!("dlfs-remount-r{r}"), move |rt| {
+            read_node_metadata(rt, &my_nodes, &targets, &cfg, build_per_entry, &tel)
+        }));
+    }
+    let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+    let mut per_node: Vec<Option<(Superblock, Vec<MetaRecord>)>> =
+        (0..storage_nodes).map(|_| None).collect();
+    let mut first_err = None;
+    for res in results {
+        match res {
+            Ok(list) => {
+                for (n, sb, recs) in list {
+                    per_node[n] = Some((sb, recs));
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let nodes: Vec<(Superblock, Vec<MetaRecord>)> = per_node
+        .into_iter()
+        .map(|o| o.expect("every node read"))
+        .collect();
+    // Cross-node consistency: all devices must come from one import of
+    // one dataset, shaped for this deployment.
+    let total = nodes[0].0.total_samples;
+    let stamp = nodes[0].0.dataset_stamp;
+    let mut sum = 0u64;
+    for (n, (sb, recs)) in nodes.iter().enumerate() {
+        if sb.storage_nodes != storage_nodes as u32 {
+            return Err(LayoutError::Inconsistent(format!(
+                "node {n} was imported for {} storage nodes, deployment has {storage_nodes}",
+                sb.storage_nodes
+            ))
+            .into());
+        }
+        if sb.total_samples != total || sb.dataset_stamp != stamp {
+            return Err(LayoutError::Inconsistent(format!(
+                "node {n} belongs to a different import than node 0"
+            ))
+            .into());
+        }
+        if sb.node_samples != recs.len() as u64 {
+            return Err(LayoutError::Inconsistent(format!(
+                "node {n} superblock claims {} samples, metadata holds {}",
+                sb.node_samples,
+                recs.len()
+            ))
+            .into());
+        }
+        sum += sb.node_samples;
+    }
+    if sum != total || total > u32::MAX as u64 {
+        return Err(LayoutError::Inconsistent(format!(
+            "per-node sample counts sum to {sum}, superblocks claim {total}"
+        ))
+        .into());
+    }
+    let mut builder = DirectoryBuilder::new(storage_nodes, total as usize);
+    for (_, recs) in &nodes {
+        for rec in recs {
+            builder.add_raw(rec.id, rec.unit1, rec.unit2)?;
+        }
+    }
+    let dir = Arc::new(builder.finish());
+    allgather(rt, &deployment, &dir, &opts, readers, storage_nodes);
+    let layouts: Vec<Superblock> = nodes.into_iter().map(|(sb, _)| sb).collect();
+    Ok(build_instance(
+        rt,
+        &deployment,
+        dir,
+        cfg,
+        Some(Arc::new(layouts)),
+    ))
+}
+
+/// Counters under `dlfs.remount.*` (throwaway registry by default).
+#[derive(Clone)]
+struct RemountTelemetry {
+    superblocks: Counter,
+    meta_bytes: Counter,
+    entries: Counter,
+}
+
+impl RemountTelemetry {
+    fn new(reg: Option<&Registry>) -> RemountTelemetry {
+        let scope = match reg {
+            Some(r) => r.scoped("dlfs.remount"),
+            None => Registry::new().scoped("dlfs.remount"),
+        };
+        RemountTelemetry {
+            superblocks: scope.counter("superblocks"),
+            meta_bytes: scope.counter("meta_bytes"),
+            entries: scope.counter("entries"),
+        }
+    }
+}
+
+/// One reader's share of the remount: read + verify each of its nodes'
+/// superblock and metadata region (timed reads through qpairs).
+fn read_node_metadata(
+    rt: &Runtime,
+    my_nodes: &[usize],
+    targets: &[Arc<dyn NvmeTarget>],
+    cfg: &DlfsConfig,
+    build_per_entry: Dur,
+    tel: &RemountTelemetry,
+) -> Result<Vec<(usize, Superblock, Vec<MetaRecord>)>, DlfsError> {
+    let mut out = Vec::with_capacity(my_nodes.len());
+    for (pos, &n) in my_nodes.iter().enumerate() {
+        let block = read_timed(rt, &targets[pos], n as u16, 0, BLOCK_SIZE as usize, cfg)?;
+        let sb = Superblock::decode(n as u16, &block).map_err(DlfsError::Layout)?;
+        if !sb.committed {
+            return Err(LayoutError::TornImport {
+                node: n as u16,
+                generation: sb.generation,
+            }
+            .into());
+        }
+        tel.superblocks.inc();
+        let meta = read_timed(
+            rt,
+            &targets[pos],
+            n as u16,
+            sb.meta_base,
+            sb.meta_bytes as usize,
+            cfg,
+        )?;
+        if fnv1a(&meta) != sb.meta_checksum {
+            return Err(LayoutError::ChecksumMismatch {
+                node: n as u16,
+                region: "metadata",
+            }
+            .into());
+        }
+        let records = decode_meta(n as u16, &meta).map_err(DlfsError::Layout)?;
+        tel.meta_bytes.add(meta.len() as u64);
+        tel.entries.add(records.len() as u64);
+        // Rebuilding the AVL trees costs the same per-entry insert work as
+        // building them from names at mount time.
+        rt.work(build_per_entry * records.len() as u64);
+        out.push((n, sb, records));
+    }
+    Ok(out)
 }
 
 /// Convenience: single reader, single local device, no fabric.
@@ -369,6 +924,42 @@ pub fn mount_local(
             cluster: None,
         },
         source,
+        cfg,
+        MountOptions::default(),
+    )
+}
+
+/// Convenience: [`import`] onto a single local device.
+pub fn import_local(
+    rt: &Runtime,
+    device: Arc<dyn NvmeTarget>,
+    source: &dyn SampleSource,
+    cfg: DlfsConfig,
+) -> Result<DlfsInstance, DlfsError> {
+    import(
+        rt,
+        Deployment {
+            targets: vec![vec![device]],
+            cluster: None,
+        },
+        source,
+        cfg,
+        MountOptions::default(),
+    )
+}
+
+/// Convenience: [`remount`] a single previously-imported local device.
+pub fn remount_local(
+    rt: &Runtime,
+    device: Arc<dyn NvmeTarget>,
+    cfg: DlfsConfig,
+) -> Result<DlfsInstance, DlfsError> {
+    remount(
+        rt,
+        Deployment {
+            targets: vec![vec![device]],
+            cluster: None,
+        },
         cfg,
         MountOptions::default(),
     )

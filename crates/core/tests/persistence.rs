@@ -1,0 +1,503 @@
+//! Persistence subsystem tests: format/import two-phase commit, warm
+//! remount, checkpoint streams and dlfs_fsck — all typed-error, all
+//! deterministic. The core roundtrip property: `import → remount` yields
+//! a byte-identical `SampleDirectory` and byte-correct epoch reads for
+//! arbitrary name/size distributions, with zero PFS traffic and zero
+//! device writes on the warm path.
+
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, FaultInjector, NvmeDevice, NvmeTarget};
+use dlfs::source::SampleSource;
+use dlfs::{
+    fsck_node, import, import_local, remount, remount_local, Batch, Deployment, DlfsConfig,
+    DlfsError, DlfsInstance, FsckState, LayoutError, MountOptions, ReadRequest, SyntheticSource,
+};
+use fabric::{Cluster, FabricConfig, NvmeOfTarget, TargetConfig};
+use simkit::prelude::*;
+use simkit::resource::Link;
+use simkit::rng::SplitMix64;
+use simkit::telemetry::Registry;
+
+fn ramdisk(bytes: u64) -> Arc<NvmeDevice> {
+    NvmeDevice::new(DeviceConfig::emulated_ramdisk(bytes, Dur::micros(10)))
+}
+
+/// Single-reader deployment over `devices` as local storage nodes.
+fn local_deployment(devices: &[Arc<NvmeDevice>]) -> Deployment {
+    Deployment {
+        targets: vec![devices
+            .iter()
+            .map(|d| d.clone() as Arc<dyn NvmeTarget>)
+            .collect()],
+        cluster: None,
+    }
+}
+
+/// Drain one full epoch across every reader, verifying each payload
+/// byte-for-byte against the source and global exactly-once delivery.
+fn drain_all_readers(rt: &Runtime, fs: &DlfsInstance, source: &SyntheticSource, seed: u64) {
+    let mut seen = vec![false; source.count()];
+    let mut delivered = 0usize;
+    for r in 0..fs.readers() {
+        let mut io = fs.io(r);
+        io.sequence(rt, seed, 0);
+        loop {
+            match io
+                .submit(rt, &ReadRequest::batch(32))
+                .map(Batch::into_copied)
+            {
+                Ok(batch) => {
+                    for (id, data) in batch {
+                        assert_eq!(data, source.expected(id), "sample {id} corrupted");
+                        assert!(!seen[id as usize], "sample {id} delivered twice");
+                        seen[id as usize] = true;
+                        delivered += 1;
+                    }
+                }
+                Err(DlfsError::EpochExhausted) => break,
+                Err(e) => panic!("epoch failed: {e}"),
+            }
+        }
+    }
+    assert_eq!(delivered, source.count(), "epoch must cover the dataset");
+}
+
+/// Roundtrip property over randomized shapes: for arbitrary sample
+/// counts, size distributions, name prefixes and node counts, a remount
+/// rebuilds the exact directory the import produced (same 128-bit entry
+/// words per id, same name lookups) without writing a single byte, and
+/// epoch reads through the remounted instance are byte-correct.
+#[test]
+fn roundtrip_import_remount_arbitrary_distributions() {
+    const CASES: u64 = 6;
+    for case in 0..CASES {
+        Runtime::simulate(1000 + case, |rt| {
+            let mut rng = SplitMix64::derive(0x9e22, case);
+            let nodes = 1 + rng.below(4) as usize;
+            let count = 64 + rng.below(400) as usize;
+            let sizes: Vec<u64> = (0..count).map(|_| 1 + rng.below(20_000)).collect();
+            let source =
+                SyntheticSource::new(40 + case, sizes).with_prefix(&format!("case{case}/shard"));
+            let devices: Vec<Arc<NvmeDevice>> = (0..nodes).map(|_| ramdisk(64 << 20)).collect();
+
+            let fs = import(
+                rt,
+                local_deployment(&devices),
+                &source,
+                DlfsConfig::default(),
+                MountOptions::default(),
+            )
+            .unwrap();
+            assert!(fs.is_persistent());
+            let imported: Vec<(u64, u64)> =
+                (0..count as u32).map(|id| fs.dir.entry(id).raw()).collect();
+            drop(fs);
+
+            let before: Vec<_> = devices.iter().map(|d| d.stats()).collect();
+            let warm = remount(
+                rt,
+                local_deployment(&devices),
+                DlfsConfig::default(),
+                MountOptions::default(),
+            )
+            .unwrap();
+            // Warm path is read-only: zero writes, zero bytes written.
+            for (d, b) in devices.iter().zip(&before) {
+                let after = d.stats();
+                assert_eq!(after.1, b.1, "remount wrote commands to a device");
+                assert_eq!(after.3, b.3, "remount wrote bytes to a device");
+            }
+            // The rebuilt directory is byte-identical entry-for-entry…
+            assert_eq!(warm.dir.len(), count);
+            for id in 0..count as u32 {
+                assert_eq!(
+                    warm.dir.entry(id).raw(),
+                    imported[id as usize],
+                    "case {case}: entry {id} differs after remount"
+                );
+            }
+            // …and name lookups still resolve.
+            let probe = rng.below(count as u64) as u32;
+            let (found, _) = warm.dir.find(&source.name(probe)).unwrap();
+            assert_eq!(found, probe);
+            drain_all_readers(rt, &warm, &source, 100 + case);
+        });
+    }
+}
+
+/// The paper's warm-start claim (ext_mount_time): a remount does no PFS
+/// staging and no data writes, so it is far cheaper than the cold
+/// import, even with the PFS link configured. Also checks the
+/// `dlfs.remount.*` counters.
+#[test]
+fn warm_remount_skips_pfs_and_beats_cold_import() {
+    Runtime::simulate(77, |rt| {
+        let nodes = 4;
+        let devices: Vec<Arc<NvmeDevice>> = (0..nodes).map(|_| ramdisk(64 << 20)).collect();
+        let source = SyntheticSource::fixed(5, 3000, 4096);
+        let pfs = || Some(Link::new(1.0e9, Dur::micros(40)));
+
+        let t0 = rt.now();
+        let fs = import(
+            rt,
+            local_deployment(&devices),
+            &source,
+            DlfsConfig::default(),
+            MountOptions {
+                pfs: pfs(),
+                ..MountOptions::default()
+            },
+        )
+        .unwrap();
+        let cold = (rt.now() - t0).as_nanos();
+        drop(fs);
+
+        let reg = Registry::new();
+        let before: Vec<_> = devices.iter().map(|d| d.stats()).collect();
+        let t1 = rt.now();
+        let warm_fs = remount(
+            rt,
+            local_deployment(&devices),
+            DlfsConfig::default(),
+            MountOptions {
+                pfs: pfs(), // configured but must go unused
+                telemetry: Some(reg.clone()),
+                ..MountOptions::default()
+            },
+        )
+        .unwrap();
+        let warm = (rt.now() - t1).as_nanos();
+
+        for (d, b) in devices.iter().zip(&before) {
+            assert_eq!(d.stats().1, b.1, "warm remount issued device writes");
+        }
+        assert!(
+            warm * 10 < cold,
+            "warm remount {warm}ns not ≪ cold import {cold}ns"
+        );
+        assert_eq!(reg.counter("dlfs.remount.superblocks").get(), nodes as u64);
+        assert_eq!(reg.counter("dlfs.remount.entries").get(), 3000);
+        drain_all_readers(rt, &warm_fs, &source, 9);
+    });
+}
+
+/// Chaos: a device that starts failing writes mid-import leaves a torn
+/// (uncommitted) superblock. `remount` must reject it with a typed
+/// `TornImport` — never silently serve partial data — and a fresh
+/// `import` on the healed device repairs it.
+#[test]
+fn torn_import_rejected_typed_and_repaired_by_reimport() {
+    Runtime::simulate(31, |rt| {
+        let dev = ramdisk(64 << 20);
+        let source = SyntheticSource::fixed(3, 2000, 2048);
+
+        let importer = {
+            let dev = dev.clone();
+            let source = source.clone();
+            rt.spawn_with("crashing-import", move |rt| {
+                import_local(rt, dev, &source, DlfsConfig::default())
+            })
+        };
+        // Let phase A (uncommitted superblock) land, then fail every
+        // write: the data upload dies mid-flight, before the commit.
+        rt.sleep(Dur::micros(300));
+        dev.set_faults(FaultInjector::new(7).with_write_failures(1_000_000));
+        match importer.join() {
+            Err(DlfsError::Io { .. }) => {}
+            other => panic!("import under write faults must fail with Io, got {other:?}"),
+        }
+
+        // The torn state is visible to fsck and typed on remount.
+        let target: Arc<dyn NvmeTarget> = dev.clone();
+        let report = fsck_node(&target, 0, false);
+        assert!(
+            matches!(report.state, FsckState::Torn { generation: 1 }),
+            "fsck saw {:?}",
+            report.state
+        );
+        match remount_local(rt, dev.clone(), DlfsConfig::default()) {
+            Err(DlfsError::Layout(LayoutError::TornImport {
+                node: 0,
+                generation: 1,
+            })) => {}
+            other => panic!("remount of torn device must fail typed, got {other:?}"),
+        }
+
+        // Heal the device and re-import: generation advances and the
+        // dataset is fully served again.
+        dev.set_faults(FaultInjector::new(7));
+        let fs = import_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        assert_eq!(fs.layout(0).unwrap().generation, 2);
+        drop(fs);
+        let report = fsck_node(&target, 0, true);
+        assert!(matches!(report.state, FsckState::Clean { generation: 2 }));
+        assert_eq!(report.data_checksum_ok, Some(true));
+        let warm = remount_local(rt, dev, DlfsConfig::default()).unwrap();
+        drain_all_readers(rt, &warm, &source, 13);
+    });
+}
+
+/// Checkpoint streams: append/replay roundtrip, persistence across
+/// remount, torn-tail detection (a corrupted record header truncates the
+/// stream instead of serving garbage) and overwrite of the torn tail.
+#[test]
+fn checkpoint_stream_roundtrip_and_torn_tail() {
+    Runtime::simulate(55, |rt| {
+        let dev = ramdisk(64 << 20);
+        let source = SyntheticSource::fixed(11, 200, 1024);
+        let fs = import_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+
+        let payloads: Vec<Vec<u8>> = vec![vec![0xa1; 1024], vec![0xb2; 3000], vec![0xc3; 512]];
+        let mut w = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
+        assert_eq!(w.records(), 0);
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(w.append(rt, p).unwrap(), i as u64 + 1);
+        }
+        let mut r = w.reader(None);
+        for p in &payloads {
+            assert_eq!(r.next(rt).unwrap().as_ref(), Some(p));
+        }
+        assert!(r.next(rt).unwrap().is_none());
+
+        // The stream survives a remount: a fresh writer resumes at the
+        // tail, the reader replays everything including the new record.
+        drop(fs);
+        let fs = remount_local(rt, dev.clone(), DlfsConfig::default()).unwrap();
+        let mut w = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
+        assert_eq!(w.records(), 3);
+        w.append(rt, &[0xd4; 2048]).unwrap();
+        let mut r = fs.checkpoint_reader(0, 0, None).unwrap();
+        assert_eq!(r.last(rt).unwrap(), Some(vec![0xd4; 2048]));
+
+        // Tear the 4th record's header (crash mid-checkpoint): the
+        // stream truncates to the last intact record.
+        let ckpt_base = fs.layout(0).unwrap().ckpt_base;
+        // record_bytes = 512 header + payload rounded up to blocks:
+        // 1536 + 3584 + 1024 = 6144 bytes into the region.
+        let tear_at = ckpt_base + 6144;
+        let mut b = [0u8; 1];
+        dev.storage().read_at(tear_at, &mut b);
+        dev.storage().write_at(tear_at, &[b[0] ^ 0xff]);
+        let mut r = fs.checkpoint_reader(0, 0, None).unwrap();
+        let mut survived = 0;
+        while r.next(rt).unwrap().is_some() {
+            survived += 1;
+        }
+        assert_eq!(survived, 3, "torn tail must truncate, not corrupt");
+        // A writer opened on the torn stream overwrites the tail.
+        let mut w = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
+        assert_eq!(w.records(), 3);
+        w.append(rt, &[0xe5; 100]).unwrap();
+        let mut r = fs.checkpoint_reader(0, 0, None).unwrap();
+        assert_eq!(r.last(rt).unwrap(), Some(vec![0xe5; 100]));
+    });
+}
+
+/// A checkpoint region sized at import is a hard budget: appends beyond
+/// it fail typed with `CheckpointFull`, and the error reports both the
+/// need and the capacity.
+#[test]
+fn checkpoint_region_exhaustion_is_typed() {
+    Runtime::simulate(56, |rt| {
+        let dev = ramdisk(64 << 20);
+        let source = SyntheticSource::fixed(12, 50, 1024);
+        let cfg = DlfsConfig {
+            ckpt_region_bytes: 4096,
+            ..DlfsConfig::default()
+        };
+        let fs = import_local(rt, dev, &source, cfg).unwrap();
+        let mut w = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
+        // 512B header + 2048B payload = 2560 of 4096; a second append
+        // needs another 2560 with only 1536 left.
+        w.append(rt, &[1u8; 2048]).unwrap();
+        match w.append(rt, &[2u8; 2048]) {
+            Err(DlfsError::Layout(LayoutError::CheckpointFull { need, capacity })) => {
+                assert_eq!(need, 2560);
+                assert_eq!(capacity, 1536);
+            }
+            other => panic!("overflow must be CheckpointFull, got {other:?}"),
+        }
+    });
+}
+
+/// Every bad shape surfaces as a typed error: undersized devices,
+/// malformed deployments, unformatted or mismatched devices, and
+/// checkpoint access on ephemeral mounts.
+#[test]
+fn typed_errors_for_bad_shapes() {
+    Runtime::simulate(91, |rt| {
+        let tiny = ramdisk(1 << 20);
+        let source = SyntheticSource::fixed(9, 2048, 2048); // 4 MiB > 1 MiB
+        match import_local(rt, tiny.clone(), &source, DlfsConfig::default()) {
+            Err(DlfsError::Capacity {
+                node: 0,
+                need,
+                have,
+            }) => {
+                assert!(need > have);
+            }
+            other => panic!("undersized import must be Capacity, got {other:?}"),
+        }
+        match dlfs::mount_local(rt, tiny, &source, DlfsConfig::default()) {
+            Err(DlfsError::Capacity { .. }) => {}
+            other => panic!("undersized mount must be Capacity, got {other:?}"),
+        }
+
+        let empty = Deployment {
+            targets: vec![],
+            cluster: None,
+        };
+        assert!(matches!(
+            remount(rt, empty, DlfsConfig::default(), MountOptions::default()),
+            Err(DlfsError::Deployment(_))
+        ));
+        let ragged = Deployment {
+            targets: vec![
+                vec![ramdisk(8 << 20) as Arc<dyn NvmeTarget>],
+                vec![
+                    ramdisk(8 << 20) as Arc<dyn NvmeTarget>,
+                    ramdisk(8 << 20) as Arc<dyn NvmeTarget>,
+                ],
+            ],
+            cluster: None,
+        };
+        assert!(matches!(
+            remount(rt, ragged, DlfsConfig::default(), MountOptions::default()),
+            Err(DlfsError::Deployment(_))
+        ));
+
+        // Unformatted device: remount rejects, fsck reports Unformatted.
+        let blank = ramdisk(8 << 20);
+        assert!(matches!(
+            remount_local(rt, blank.clone(), DlfsConfig::default()),
+            Err(DlfsError::Layout(LayoutError::BadMagic { node: 0 }))
+        ));
+        let blank_t: Arc<dyn NvmeTarget> = blank;
+        assert!(matches!(
+            fsck_node(&blank_t, 0, false).state,
+            FsckState::Unformatted(_)
+        ));
+
+        // A device imported as part of a 2-node set cannot be remounted
+        // alone as a 1-node deployment.
+        let pair: Vec<Arc<NvmeDevice>> = (0..2).map(|_| ramdisk(16 << 20)).collect();
+        let small = SyntheticSource::fixed(14, 100, 512);
+        import(
+            rt,
+            local_deployment(&pair),
+            &small,
+            DlfsConfig::default(),
+            MountOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            remount_local(rt, pair[0].clone(), DlfsConfig::default()),
+            Err(DlfsError::Layout(_))
+        ));
+
+        // Checkpoint streams need a persistent instance.
+        let dev = ramdisk(16 << 20);
+        let eph = dlfs::mount_local(rt, dev, &small, DlfsConfig::default()).unwrap();
+        assert!(!eph.is_persistent());
+        assert!(matches!(
+            eph.checkpoint_writer(rt, 0, 0, None),
+            Err(DlfsError::Deployment(_))
+        ));
+    });
+}
+
+/// Import and remount work identically over NVMe-oF: a full-mesh
+/// disaggregated deployment imports through remote write qpairs, then a
+/// second job remounts the same devices through fresh fabric handles —
+/// still read-only, still byte-correct.
+#[test]
+fn remote_import_and_remount_over_fabric() {
+    Runtime::simulate(42, |rt| {
+        let n = 4;
+        let cluster = Arc::new(Cluster::new(n, FabricConfig::default()));
+        let devices: Vec<Arc<NvmeDevice>> = (0..n).map(|_| ramdisk(128 << 20)).collect();
+        let exported: Vec<Arc<NvmeOfTarget>> = devices
+            .iter()
+            .enumerate()
+            .map(|(node, d)| NvmeOfTarget::new(node, d.clone(), TargetConfig::default()))
+            .collect();
+        let mesh = || {
+            let mut targets: Vec<Vec<Arc<dyn NvmeTarget>>> = Vec::new();
+            for r in 0..n {
+                let mut row: Vec<Arc<dyn NvmeTarget>> = Vec::new();
+                for t in 0..n {
+                    if r == t {
+                        row.push(devices[t].clone());
+                    } else {
+                        row.push(fabric::connect(cluster.clone(), r, exported[t].clone()));
+                    }
+                }
+                targets.push(row);
+            }
+            Deployment {
+                targets,
+                cluster: Some(cluster.clone()),
+            }
+        };
+
+        let source = SyntheticSource::fixed(21, 1500, 4096);
+        let fs = import(
+            rt,
+            mesh(),
+            &source,
+            DlfsConfig::default(),
+            MountOptions::default(),
+        )
+        .unwrap();
+        drain_all_readers(rt, &fs, &source, 17);
+        let entries: Vec<(u64, u64)> = (0..1500u32).map(|id| fs.dir.entry(id).raw()).collect();
+        drop(fs);
+
+        let before: Vec<_> = devices.iter().map(|d| d.stats()).collect();
+        let warm = remount(rt, mesh(), DlfsConfig::default(), MountOptions::default()).unwrap();
+        for (d, b) in devices.iter().zip(&before) {
+            assert_eq!(d.stats().1, b.1, "remote remount wrote to a device");
+        }
+        for id in 0..1500u32 {
+            assert_eq!(warm.dir.entry(id).raw(), entries[id as usize]);
+        }
+        drain_all_readers(rt, &warm, &source, 19);
+    });
+}
+
+/// Same seed ⇒ byte-identical persistent runs: end-of-run virtual time,
+/// device write counters and every directory entry must match across two
+/// independent simulations.
+#[test]
+fn same_seed_persistent_runs_byte_identical() {
+    let run = || {
+        Runtime::simulate(64, |rt| {
+            let devices: Vec<Arc<NvmeDevice>> = (0..3).map(|_| ramdisk(64 << 20)).collect();
+            let source = SyntheticSource::fixed(8, 900, 3000);
+            let fs = import(
+                rt,
+                local_deployment(&devices),
+                &source,
+                DlfsConfig::default(),
+                MountOptions::default(),
+            )
+            .unwrap();
+            let mut w = fs.checkpoint_writer(rt, 0, 1, None).unwrap();
+            w.append(rt, &[7u8; 4096]).unwrap();
+            drop(fs);
+            let warm = remount(
+                rt,
+                local_deployment(&devices),
+                DlfsConfig::default(),
+                MountOptions::default(),
+            )
+            .unwrap();
+            drain_all_readers(rt, &warm, &source, 3);
+            let entries: Vec<(u64, u64)> = (0..900u32).map(|id| warm.dir.entry(id).raw()).collect();
+            let stats: Vec<_> = devices.iter().map(|d| d.stats()).collect();
+            (rt.now().nanos(), entries, stats)
+        })
+    };
+    assert_eq!(run(), run());
+}

@@ -35,4 +35,7 @@ pub use conv::{Conv1d, MaxPool1d};
 pub use data::ClassData;
 pub use net::{softmax_xent, Mlp};
 pub use tensor::Matrix;
-pub use train::{final_accuracy, tail_accuracy, train_with_orders, EpochStat, TrainConfig};
+pub use train::{
+    final_accuracy, tail_accuracy, train_with_orders, train_with_orders_resumable, CkptAction,
+    EpochStat, TrainConfig, TrainState,
+};

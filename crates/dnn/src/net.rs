@@ -130,6 +130,62 @@ impl Mlp {
         &self.layers[0].w
     }
 
+    /// Serialize the full optimizer state (weights, biases and momentum
+    /// buffers, f32 little-endian) — the payload of a training checkpoint.
+    /// [`Mlp::from_state_bytes`] restores a network that continues
+    /// training bit-identically.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.classes as u32).to_le_bytes());
+        for l in &self.layers {
+            out.extend_from_slice(&(l.w.rows as u32).to_le_bytes());
+            out.extend_from_slice(&(l.w.cols as u32).to_le_bytes());
+            out.push(l.relu as u8);
+            for m in [&l.w, &l.vw] {
+                for &v in &m.data {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            for &v in l.b.iter().chain(&l.vb) {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restore a network from [`Mlp::state_bytes`]; `None` on truncated or
+    /// malformed input.
+    pub fn from_state_bytes(bytes: &[u8]) -> Option<Mlp> {
+        let mut at = 0usize;
+        let n_layers = rd_u32(bytes, &mut at)? as usize;
+        let classes = rd_u32(bytes, &mut at)? as usize;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let rows = rd_u32(bytes, &mut at)? as usize;
+            let cols = rd_u32(bytes, &mut at)? as usize;
+            let relu = *bytes.get(at)? != 0;
+            at += 1;
+            let w = Matrix::from_vec(rows, cols, rd_f32s(bytes, &mut at, rows * cols)?);
+            let vw = Matrix::from_vec(rows, cols, rd_f32s(bytes, &mut at, rows * cols)?);
+            let b = rd_f32s(bytes, &mut at, cols)?;
+            let vb = rd_f32s(bytes, &mut at, cols)?;
+            layers.push(Dense {
+                w,
+                b,
+                vw,
+                vb,
+                relu,
+                input: Matrix::zeros(0, 0),
+                pre: Matrix::zeros(0, 0),
+            });
+        }
+        if at != bytes.len() || layers.is_empty() {
+            return None;
+        }
+        Some(Mlp { layers, classes })
+    }
+
     /// Classification accuracy on (x, labels).
     pub fn accuracy(&mut self, x: &Matrix, labels: &[u8]) -> f64 {
         let logits = self.forward(x, false);
@@ -148,6 +204,22 @@ impl Mlp {
         }
         correct as f64 / labels.len().max(1) as f64
     }
+}
+
+fn rd_u32(b: &[u8], at: &mut usize) -> Option<u32> {
+    let v = u32::from_le_bytes(b.get(*at..*at + 4)?.try_into().ok()?);
+    *at += 4;
+    Some(v)
+}
+
+fn rd_f32s(b: &[u8], at: &mut usize, n: usize) -> Option<Vec<f32>> {
+    let s = b.get(*at..*at + n * 4)?;
+    *at += n * 4;
+    Some(
+        s.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect(),
+    )
 }
 
 /// Softmax cross-entropy: returns (mean loss, dL/dlogits).
@@ -228,6 +300,27 @@ mod tests {
             last = net.train_step(&x, &y, 0.05, 0.0);
         }
         assert!(last < first * 0.8, "first {first} last {last}");
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 16, 2], 7);
+        for _ in 0..50 {
+            net.train_step(&x, &y, 0.1, 0.9);
+        }
+        let bytes = net.state_bytes();
+        let mut back = Mlp::from_state_bytes(&bytes).unwrap();
+        assert_eq!(back.classes, 2);
+        // Identical next step (weights AND momentum restored)…
+        let la = net.train_step(&x, &y, 0.1, 0.9);
+        let lb = back.train_step(&x, &y, 0.1, 0.9);
+        assert_eq!(la, lb);
+        // …and identical state afterwards.
+        assert_eq!(net.state_bytes(), back.state_bytes());
+        // Truncated input is rejected, not misparsed.
+        assert!(Mlp::from_state_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(Mlp::from_state_bytes(&[]).is_none());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! End-to-end checkpoint/restart through the DLFS persistence layer: a
+//! training job imports its dataset, periodically appends `TrainState`
+//! records to the device's checkpoint stream, gets preempted mid-epoch,
+//! and a second job remounts the device (warm, no PFS), replays the last
+//! checkpoint and finishes the run — with epoch stats bitwise identical
+//! to an uninterrupted run.
+
+use blocksim::{DeviceConfig, NvmeDevice};
+use dlfs::{import_local, remount_local, DlfsConfig, SyntheticSource};
+use dnn::{
+    train_with_orders, train_with_orders_resumable, CkptAction, ClassData, TrainConfig, TrainState,
+};
+use simkit::prelude::*;
+use simkit::rng::SplitMix64;
+
+#[test]
+fn preempted_training_resumes_from_dlfs_checkpoint_bit_identically() {
+    let (train, val) = ClassData::synthetic(1, 1600, 16, 4, 0.55).split(0.25);
+    let cfg = TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    };
+    let n = train.len();
+    let order = |e: usize| {
+        let mut rng = SplitMix64::derive(7, e as u64);
+        rng.permutation(n)
+    };
+
+    // Ground truth: the same run with no preemption.
+    let full = train_with_orders(&train, &val, &cfg, order);
+
+    Runtime::simulate(3, |rt| {
+        let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
+        let source = SyntheticSource::fixed(2, 400, 2048);
+
+        // Job 1: import (persistent layout + checkpoint region), train,
+        // checkpoint every 5 batches, and get preempted in epoch 1.
+        let fs = import_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let mut ckpt = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
+        let partial = train_with_orders_resumable(
+            &train,
+            &val,
+            &cfg,
+            order,
+            None,
+            |e, b| {
+                if e == 1 && b == 7 {
+                    CkptAction::Halt
+                } else if b % 5 == 0 {
+                    CkptAction::Checkpoint
+                } else {
+                    CkptAction::Continue
+                }
+            },
+            |st| {
+                ckpt.append(rt, &st.to_bytes()).unwrap();
+            },
+        );
+        assert_eq!(partial.len(), 1, "halted before finishing epoch 1");
+        assert!(ckpt.records() > 1, "periodic checkpoints were written");
+        drop(ckpt);
+        drop(fs); // the job dies; only the device persists
+
+        // Job 2: warm remount — no staging — then replay the latest
+        // checkpoint and finish the run.
+        let fs = remount_local(rt, dev, DlfsConfig::default()).unwrap();
+        let mut reader = fs.checkpoint_reader(0, 0, None).unwrap();
+        let last = reader.last(rt).unwrap().expect("a checkpoint exists");
+        let st = TrainState::from_bytes(&last).expect("checkpoint parses");
+        assert_eq!((st.epoch, st.batches_done), (1, 7));
+        let resumed = train_with_orders_resumable(
+            &train,
+            &val,
+            &cfg,
+            order,
+            Some(&st),
+            |_, _| CkptAction::Continue,
+            |_| {},
+        );
+
+        // The stitched run matches the uninterrupted one bitwise.
+        assert_eq!(partial[0].train_loss, full[0].train_loss);
+        assert_eq!(resumed.len(), full.len() - 1);
+        for (a, b) in full[1..].iter().zip(&resumed) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.train_loss, b.train_loss, "epoch {} loss differs", a.epoch);
+            assert_eq!(a.val_accuracy, b.val_accuracy);
+        }
+    });
+}
