@@ -8,7 +8,10 @@
 #     built-in byte-correctness and determinism assertions), cache
 #     ablation (cross-epoch residency + prefetch), and the persistence
 #     paths (cold import vs warm remount, checkpoint interference, fsck);
-#  4. rustfmt (check mode) and clippy, warnings denied, across every
+#  4. perf-trajectory gate: the pinned-seed perf_gate suite emits
+#     BENCH_<rev>.json and fails on >10% regression against the
+#     committed baseline (crates/bench/baseline/BENCH_baseline.json);
+#  5. rustfmt (check mode) and clippy, warnings denied, across every
 #     target.
 #
 # Everything runs offline: the workspace has no external dependencies.
@@ -33,6 +36,12 @@ echo "== persistence: checkpoint interference (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_checkpoint -- samples=512 appends=4
 echo "== persistence: fsck demo (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin dlfs_fsck -- nodes=2 samples=256
+echo "== perf-trajectory gate"
+REV="$(git rev-parse --short HEAD 2>/dev/null || echo worktree)"
+mkdir -p target/bench
+cargo run -q --release --offline -p dlfs-bench --bin perf_gate -- \
+  "rev=${REV}" out=target/bench \
+  baseline=crates/bench/baseline/BENCH_baseline.json
 echo "== clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== ci OK"

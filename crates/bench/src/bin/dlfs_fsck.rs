@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use blocksim::{FaultInjector, NvmeDevice, NvmeTarget};
-use dlfs::{fsck_node, import, Deployment, DlfsConfig, FsckState, MountOptions, SyntheticSource};
+use dlfs::{fsck_node, Deployment, DlfsConfig, FsckState, MountOptions, SyntheticSource};
 use dlfs_bench::{arg, fmt_size, setup, Table, DEFAULT_SEED};
 use simkit::prelude::*;
 
@@ -80,14 +80,12 @@ fn main() {
         let devices: Vec<Arc<NvmeDevice>> = (0..nodes)
             .map(|_| setup::emulated_for(size * samples as u64))
             .collect();
-        import(
-            rt,
-            deployment(&devices),
-            &source,
-            DlfsConfig::default(),
-            MountOptions::default(),
-        )
-        .expect("import");
+        dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .expect("import");
         println!("## after import");
         report(&devices, deep);
 
@@ -98,15 +96,13 @@ fn main() {
             let dep = deployment(&devices);
             let source = source.clone();
             rt.spawn_with("crashing-reimport", move |rt| {
-                import(
-                    rt,
-                    dep,
-                    &source,
-                    DlfsConfig::default(),
-                    MountOptions::default(),
-                )
-                .err()
-                .map(|e| e.to_string())
+                dlfs::MountBuilder::new(DlfsConfig::default())
+                    .deployment(dep)
+                    .options(MountOptions::default())
+                    .persistent()
+                    .mount(rt, &source)
+                    .err()
+                    .map(|e| e.to_string())
             })
         };
         rt.sleep(Dur::micros(300));
@@ -121,14 +117,12 @@ fn main() {
         // Heal and repair: a fresh import bumps the generation past the
         // torn one and recommits everywhere.
         devices[0].set_faults(FaultInjector::new(seed));
-        import(
-            rt,
-            deployment(&devices),
-            &source,
-            DlfsConfig::default(),
-            MountOptions::default(),
-        )
-        .expect("repair import");
+        dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .expect("repair import");
         println!("## after repair import");
         report(&devices, deep);
     });

@@ -8,7 +8,7 @@
 //! the clean epoch read rate, and the epoch read rate while a concurrent
 //! task streams checkpoints — the slowdown is the interference cost.
 
-use dlfs::{import_local, Batch, DlfsConfig, DlfsError, ReadRequest, SampleSource};
+use dlfs::{Completions, DlfsConfig, DlfsError, ReadRequest, SampleSource};
 use dlfs_bench::{arg, fmt_size, setup, Table, DEFAULT_SEED};
 use simkit::prelude::*;
 
@@ -28,7 +28,7 @@ fn drain_epoch(
     while left > 0 {
         match io
             .submit(rt, &ReadRequest::batch(32.min(left)))
-            .map(Batch::into_copied)
+            .map(Completions::into_copied)
         {
             Ok(batch) => {
                 for (_, data) in batch {
@@ -73,7 +73,11 @@ fn main() {
                 ..DlfsConfig::default()
             };
             let dev = setup::emulated_for(dataset * 2 + cfg.ckpt_region_bytes);
-            let fs = import_local(rt, dev, &source, cfg).expect("import");
+            let fs = dlfs::MountBuilder::new(cfg)
+                .local(dev)
+                .persistent()
+                .mount(rt, &source)
+                .expect("import");
 
             // Isolated checkpoint append bandwidth.
             let mut w = fs.checkpoint_writer(rt, 0, 0, None).expect("ckpt writer");

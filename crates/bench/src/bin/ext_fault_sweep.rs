@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use blocksim::FaultInjector;
-use dlfs::{Batch, DlfsConfig, DlfsError, ReadRequest, SyntheticSource};
+use dlfs::{Completions, DlfsConfig, DlfsError, ReadRequest, SyntheticSource};
 use dlfs_bench::{arg, setup, Table, DEFAULT_SEED};
 use fabric::{Cluster, FabricFaultInjector};
 use octofs::{OctoConfig, OctopusFs};
@@ -88,7 +88,7 @@ fn dlfs_run(
                 let t0 = rt.now();
                 match io
                     .submit(rt, &ReadRequest::batch(32))
-                    .map(Batch::into_copied)
+                    .map(Completions::into_copied)
                 {
                     Ok(batch) => {
                         lats.push((rt.now() - t0).as_nanos());

@@ -50,37 +50,31 @@ fn main() {
             };
 
             let t0 = rt.now();
-            let eph = dlfs::mount(
-                rt,
-                mesh.deployment(),
-                &source,
-                DlfsConfig::default(),
-                pfs_opts(),
-            )
-            .expect("mount");
+            let eph = dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(mesh.deployment())
+                .options(pfs_opts())
+                .mount(rt, &source)
+                .expect("mount");
             let mount_s = (rt.now() - t0).as_secs_f64();
             drop(eph);
 
             let t1 = rt.now();
-            let fs = dlfs::import(
-                rt,
-                mesh.deployment(),
-                &source,
-                DlfsConfig::default(),
-                pfs_opts(),
-            )
-            .expect("import");
+            let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(mesh.deployment())
+                .options(pfs_opts())
+                .persistent()
+                .mount(rt, &source)
+                .expect("import");
             let cold_s = (rt.now() - t1).as_secs_f64();
             drop(fs);
 
             let t2 = rt.now();
-            let warm = dlfs::remount(
-                rt,
-                mesh.deployment(),
-                DlfsConfig::default(),
-                MountOptions::default(),
-            )
-            .expect("remount");
+            let warm = dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(mesh.deployment())
+                .options(MountOptions::default())
+                .warm()
+                .remount(rt)
+                .expect("remount");
             let warm_s = (rt.now() - t2).as_secs_f64();
             drop(warm);
             (mount_s, cold_s, warm_s)

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{mount_local, DlfsConfig, SampleSource};
+use dlfs::{DlfsConfig, SampleSource};
 use dlfs_bench::{arg, fmt_sps, Table, DEFAULT_SEED};
 use dlio::pipeline::{shuffle_quality, ShuffleBuffer};
 use dlio::TfRecordDataset;
@@ -91,7 +91,10 @@ fn main() {
     let ds = TfRecordDataset::package(&enc, 128);
     let (record_dir, _) = Runtime::simulate(seed, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
-        let containers = mount_local(rt, dev, &ds, DlfsConfig::default()).unwrap();
+        let containers = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &ds)
+            .unwrap();
         ds.record_directory(&containers.dir).unwrap()
     });
     let dlfs_order = |epoch: usize| -> Vec<u32> {
@@ -187,7 +190,10 @@ fn main() {
     // DLFS record-level random access.
     let (dlfs_rate, _) = Runtime::simulate(seed, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
-        let containers = mount_local(rt, dev, &ds, DlfsConfig::default()).unwrap();
+        let containers = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &ds)
+            .unwrap();
         let rd = ds.record_directory(&containers.dir).unwrap();
         let records = containers.with_directory(rt, Arc::clone(&rd));
         let mut io = records.io(0);

@@ -150,7 +150,10 @@ fn main() {
     let source = setup::fixed_source(seed, 128 << 10, 192 << 20, 20_000);
     let (share, _) = simkit::Runtime::simulate(seed, |rt| {
         let dev = blocksim::NvmeDevice::new(blocksim::DeviceConfig::optane(1 << 30));
-        let fs = dlfs::mount_local(rt, dev, &source, dlfs::DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(dlfs::DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         // Per-sample read time (synchronous, as the paper compares).
         let t0 = rt.now();

@@ -1,0 +1,186 @@
+//! Performance-trajectory gate: a pinned-seed suite whose metrics are
+//! exact (virtual time, deterministic schedules), emitted as
+//! `BENCH_<rev>.json` and compared against a committed baseline.
+//!
+//! Metrics:
+//! - `epoch_throughput_sps` — batched copied delivery, one full epoch,
+//!   samples per virtual second (higher is better);
+//! - `p99_read_latency_ns` — synchronous single-sample reads, 99th
+//!   percentile virtual latency (lower is better);
+//! - `warm_remount_ns` — persistent-layout warm remount time (lower is
+//!   better);
+//! - `reactor_wakeups_per_epoch` — event-loop wakeups taken to drain one
+//!   epoch (lower is better: fewer wakeups = better completion
+//!   coalescing).
+//!
+//! Usage:
+//!   perf_gate rev=<id> [out=<dir>] [baseline=<file>] [tolerance=0.10]
+//!
+//! With `baseline=`, exits non-zero when any metric regresses beyond the
+//! tolerance fraction in its bad direction. Because every metric is
+//! deterministic, a clean run reproduces the baseline bit-for-bit; the
+//! tolerance only absorbs *intentional* small shifts, not noise.
+
+use dlfs::{DlfsConfig, ReadRequest, SyntheticSource};
+use dlfs_bench::{arg, setup, DEFAULT_SEED};
+use simkit::prelude::*;
+
+struct Metrics {
+    epoch_throughput_sps: f64,
+    p99_read_latency_ns: u64,
+    warm_remount_ns: u64,
+    reactor_wakeups_per_epoch: u64,
+}
+
+fn epoch_throughput_and_wakeups(seed: u64) -> (f64, u64) {
+    Runtime::simulate(seed, |rt| {
+        let source = SyntheticSource::fixed(seed, 4000, 2048);
+        let cfg = DlfsConfig {
+            reactor_stats: true,
+            ..DlfsConfig::default()
+        };
+        let fs = dlfs::MountBuilder::new(cfg)
+            .local(setup::optane_for(&source))
+            .mount(rt, &source)
+            .unwrap();
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 7, 0);
+        let t0 = rt.now();
+        let mut got = 0usize;
+        while got < total {
+            got += io.submit(rt, &ReadRequest::batch(48)).unwrap().len();
+        }
+        let secs = (rt.now() - t0).as_secs_f64();
+        let wakeups = io.metrics().counter("dlfs.reactor.wakeups");
+        (got as f64 / secs, wakeups)
+    })
+    .0
+}
+
+fn p99_read_latency(seed: u64) -> u64 {
+    Runtime::simulate(seed, |rt| {
+        let source = SyntheticSource::fixed(seed, 2000, 4096);
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(setup::optane_for(&source))
+            .mount(rt, &source)
+            .unwrap();
+        let mut io = fs.io(0);
+        let mut lat: Vec<u64> = Vec::new();
+        for id in 0..512u32 {
+            let t0 = rt.now();
+            io.read_by_id(rt, id).unwrap();
+            lat.push((rt.now() - t0).as_nanos());
+        }
+        lat.sort_unstable();
+        lat[(lat.len() * 99) / 100]
+    })
+    .0
+}
+
+fn warm_remount(seed: u64) -> u64 {
+    Runtime::simulate(seed, |rt| {
+        let source = SyntheticSource::fixed(seed, 1000, 8192);
+        let dev = setup::optane_for(&source);
+        let cold = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
+        drop(cold);
+        let t0 = rt.now();
+        let warm = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .warm()
+            .remount(rt)
+            .unwrap();
+        let dt = (rt.now() - t0).as_nanos();
+        drop(warm);
+        dt
+    })
+    .0
+}
+
+fn render_json(rev: &str, m: &Metrics) -> String {
+    format!(
+        "{{\n  \"rev\": \"{}\",\n  \"epoch_throughput_sps\": {:.3},\n  \
+         \"p99_read_latency_ns\": {},\n  \"warm_remount_ns\": {},\n  \
+         \"reactor_wakeups_per_epoch\": {}\n}}\n",
+        rev,
+        m.epoch_throughput_sps,
+        m.p99_read_latency_ns,
+        m.warm_remount_ns,
+        m.reactor_wakeups_per_epoch
+    )
+}
+
+/// Pull `"key": value` out of the flat JSON the gate itself writes.
+fn json_num(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let seed: u64 = arg("seed", DEFAULT_SEED);
+    let rev: String = arg("rev", "worktree".to_string());
+    let out: String = arg("out", ".".to_string());
+    let baseline: String = arg("baseline", String::new());
+    let tolerance: f64 = arg("tolerance", 0.10);
+
+    let (epoch_throughput_sps, reactor_wakeups_per_epoch) = epoch_throughput_and_wakeups(seed);
+    let m = Metrics {
+        epoch_throughput_sps,
+        p99_read_latency_ns: p99_read_latency(seed),
+        warm_remount_ns: warm_remount(seed),
+        reactor_wakeups_per_epoch,
+    };
+
+    let json = render_json(&rev, &m);
+    let path = format!("{out}/BENCH_{rev}.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    print!("{json}");
+    eprintln!("wrote {path}");
+
+    if baseline.is_empty() {
+        return;
+    }
+    let base = std::fs::read_to_string(&baseline)
+        .unwrap_or_else(|e| panic!("read baseline {baseline}: {e}"));
+    // (key, current value, higher-is-better)
+    let checks: [(&str, f64, bool); 4] = [
+        ("epoch_throughput_sps", m.epoch_throughput_sps, true),
+        ("p99_read_latency_ns", m.p99_read_latency_ns as f64, false),
+        ("warm_remount_ns", m.warm_remount_ns as f64, false),
+        (
+            "reactor_wakeups_per_epoch",
+            m.reactor_wakeups_per_epoch as f64,
+            false,
+        ),
+    ];
+    let mut failed = false;
+    for (key, now, higher_better) in checks {
+        let Some(was) = json_num(&base, key) else {
+            eprintln!("baseline missing {key}; skipping");
+            continue;
+        };
+        let drift = if was == 0.0 { 0.0 } else { (now - was) / was };
+        let bad = if higher_better { -drift } else { drift };
+        let verdict = if bad > tolerance { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "{key}: baseline {was:.3} -> {now:.3} ({:+.2}% {verdict})",
+            drift * 100.0
+        );
+        if bad > tolerance {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("perf gate FAILED (tolerance {:.0}%)", tolerance * 100.0);
+        std::process::exit(1);
+    }
+    eprintln!("perf gate OK");
+}

@@ -60,17 +60,14 @@ pub fn dlfs_local(
     let targets = (0..readers)
         .map(|_| vec![dev.clone() as Arc<dyn NvmeTarget>])
         .collect();
-    dlfs::mount(
-        rt,
-        Deployment {
+    dlfs::MountBuilder::new(cfg)
+        .deployment(Deployment {
             targets,
             cluster: None,
-        },
-        source,
-        cfg,
-        MountOptions::default(),
-    )
-    .expect("dlfs mount")
+        })
+        .options(MountOptions::default())
+        .mount(rt, source)
+        .expect("dlfs mount")
 }
 
 /// Mount DLFS across a disaggregated cluster.
@@ -129,17 +126,14 @@ pub fn dlfs_disagg_chaos(
         }
         targets.push(row);
     }
-    let fs = dlfs::mount(
-        rt,
-        Deployment {
+    let fs = dlfs::MountBuilder::new(cfg)
+        .deployment(Deployment {
             targets,
             cluster: Some(cluster.clone()),
-        },
-        source,
-        cfg,
-        MountOptions::default(),
-    )
-    .expect("dlfs mount");
+        })
+        .options(MountOptions::default())
+        .mount(rt, source)
+        .expect("dlfs mount");
     (fs, cluster, devices)
 }
 

@@ -8,12 +8,25 @@
 //! the real constraint that forces DLFS to copy from its sample cache to
 //! application buffers with copy threads.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use simkit::plock::Mutex;
 
 /// Simulated huge-page size (2 MiB).
 pub const HUGE_PAGE: u64 = 2 << 20;
+
+/// Process-wide count of CPU memcpys through DMA buffers
+/// ([`DmaBuf::copy_to`] / [`DmaBuf::copy_from`]). Device-side DMA
+/// (`with`/`with_mut`) is *not* counted — that transfer is done by the
+/// device engine, not the host CPU. Zero-copy tests snapshot this before
+/// and after a read to prove the steady-state path never touches memcpy.
+static COPY_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total `copy_to`/`copy_from` operations since process start.
+pub fn copy_ops() -> u64 {
+    COPY_OPS.load(Ordering::Relaxed)
+}
 
 /// A DMA-registered buffer: a fixed-size chunk from a [`DmaPool`].
 ///
@@ -45,14 +58,18 @@ impl DmaBuf {
         self.len() == 0
     }
 
-    /// Copy bytes out of the buffer.
+    /// Copy bytes out of the buffer (a host-CPU memcpy; counted in
+    /// [`copy_ops`]).
     pub fn copy_to(&self, offset: usize, dst: &mut [u8]) {
+        COPY_OPS.fetch_add(1, Ordering::Relaxed);
         let g = self.data.lock();
         dst.copy_from_slice(&g[offset..offset + dst.len()]);
     }
 
-    /// Copy bytes into the buffer.
+    /// Copy bytes into the buffer (a host-CPU memcpy; counted in
+    /// [`copy_ops`]).
     pub fn copy_from(&self, offset: usize, src: &[u8]) {
+        COPY_OPS.fetch_add(1, Ordering::Relaxed);
         let mut g = self.data.lock();
         g[offset..offset + src.len()].copy_from_slice(src);
     }

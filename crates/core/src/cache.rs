@@ -345,6 +345,35 @@ impl SampleCache {
         Some(out)
     }
 
+    /// Pin a resident range *without cloning its buffer list*: the
+    /// allocation-free twin of [`SampleCache::pin`] for the zero-copy
+    /// steady state. Returns `(generation, published length, first use of
+    /// a prefetched range)`; reach the buffers through
+    /// [`SampleCache::with_resident`] and drop the pin with
+    /// [`SampleCache::unpin`].
+    pub fn pin_key(&self, key: RangeKey) -> Option<(u64, u64, bool)> {
+        let mut g = self.inner.lock();
+        let r = g.resident.get_mut(&key)?;
+        r.pinned += 1;
+        let out = (r.gen, r.len, std::mem::take(&mut r.prefetched));
+        g.touch(key);
+        Some(out)
+    }
+
+    /// Run `f` over the buffers and published length of a resident range
+    /// without cloning anything (hold a pin across the call if the range
+    /// could be retired concurrently). `None` when the range is not
+    /// resident.
+    pub fn with_resident<R>(
+        &self,
+        key: RangeKey,
+        f: impl FnOnce(&[DmaBuf], u64) -> R,
+    ) -> Option<R> {
+        let g = self.inner.lock();
+        let r = g.resident.get(&key)?;
+        Some(f(&r.bufs, r.len))
+    }
+
     /// Release one pin taken on generation `gen`; frees the generation if
     /// it was retired meanwhile and this was its last pin.
     pub fn unpin(&self, key: RangeKey, gen: u64) {

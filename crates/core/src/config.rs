@@ -123,6 +123,12 @@ pub struct DlfsConfig {
     /// O(`import_stream_depth` samples) per reader instead of the whole
     /// data share.
     pub import_stream_depth: usize,
+    /// Publish the completion reactor's counters
+    /// (`dlfs.reactor.{wakeups,doorbells,parked_ns}`) into the instance's
+    /// metric registry. Off by default so reports rendered from the
+    /// registry stay stable across engine-internal changes; the reactor
+    /// still tracks them internally either way.
+    pub reactor_stats: bool,
     pub costs: DlfsCosts,
 }
 
@@ -141,6 +147,7 @@ impl Default for DlfsConfig {
             prefetch_window: 0,
             ckpt_region_bytes: 8 << 20,
             import_stream_depth: 4,
+            reactor_stats: false,
             costs: DlfsCosts::default(),
         }
     }

@@ -20,6 +20,84 @@ pub struct Segment {
     pub len: usize,
 }
 
+/// A segment list that stores up to two segments inline. Nearly every
+/// sample spans one chunk (two when it straddles a chunk boundary), so the
+/// steady-state read path never heap-allocates for segment bookkeeping;
+/// pathological spans spill to a `Vec`.
+#[derive(Clone, Debug, Default)]
+pub struct SegList(Segs);
+
+#[derive(Clone, Debug, Default)]
+enum Segs {
+    #[default]
+    Empty,
+    One([Segment; 1]),
+    Two([Segment; 2]),
+    Many(Vec<Segment>),
+}
+
+impl SegList {
+    pub fn new() -> SegList {
+        SegList(Segs::Empty)
+    }
+
+    pub fn push(&mut self, s: Segment) {
+        self.0 = match std::mem::take(&mut self.0) {
+            Segs::Empty => Segs::One([s]),
+            Segs::One([a]) => Segs::Two([a, s]),
+            Segs::Two([a, b]) => Segs::Many(vec![a, b, s]),
+            Segs::Many(mut v) => {
+                v.push(s);
+                Segs::Many(v)
+            }
+        };
+    }
+
+    pub fn as_slice(&self) -> &[Segment] {
+        match &self.0 {
+            Segs::Empty => &[],
+            Segs::One(a) => a,
+            Segs::Two(a) => a,
+            Segs::Many(v) => v,
+        }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Segment> {
+        self.as_slice().iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Total payload bytes across all segments.
+    pub fn total_bytes(&self) -> usize {
+        self.iter().map(|s| s.len).sum()
+    }
+}
+
+impl FromIterator<Segment> for SegList {
+    fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> SegList {
+        let mut out = SegList::new();
+        for s in iter {
+            out.push(s);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a SegList {
+    type Item = &'a Segment;
+    type IntoIter = std::slice::Iter<'a, Segment>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A sample copy job: cache → application buffer.
 pub struct CopyJob {
     /// Caller-defined tag (delivery slot).
@@ -27,7 +105,7 @@ pub struct CopyJob {
     /// Sample id being delivered.
     pub sample: u32,
     /// Pieces to concatenate.
-    pub segments: Vec<Segment>,
+    pub segments: SegList,
     /// Where the finished sample goes.
     pub done: Sender<CopyDone>,
 }
@@ -121,7 +199,7 @@ mod tests {
             pool.submit(CopyJob {
                 tag: 9,
                 sample: 3,
-                segments: vec![
+                segments: SegList::from_iter([
                     Segment {
                         buf: a,
                         offset: 0,
@@ -132,7 +210,7 @@ mod tests {
                         offset: 10,
                         len: 5,
                     },
-                ],
+                ]),
                 done: tx,
             });
             let done = rx.recv().unwrap();
@@ -154,11 +232,11 @@ mod tests {
                     pool.submit(CopyJob {
                         tag: i,
                         sample: i as u32,
-                        segments: vec![Segment {
+                        segments: SegList::from_iter([Segment {
                             buf: buf.clone(),
                             offset: 0,
                             len: 1 << 20,
-                        }],
+                        }]),
                         done: tx.clone(),
                     });
                 }
@@ -186,11 +264,11 @@ mod tests {
                 pool.submit(CopyJob {
                     tag: i,
                     sample: 0,
-                    segments: vec![Segment {
+                    segments: SegList::from_iter([Segment {
                         buf: buf.clone(),
                         offset: 0,
                         len: 4096,
-                    }],
+                    }]),
                     done: tx.clone(),
                 });
             }

@@ -27,17 +27,18 @@ use blocksim::{covering_blocks, CmdStatus, DmaBuf, IoQPair, NvmeTarget, BLOCK_SI
 use simkit::rng::SplitMix64;
 use simkit::runtime::Runtime;
 use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
-use simkit::time::{Dur, Time};
+use simkit::time::Time;
 
 use crate::cache::RangeKey;
 use crate::config::{CacheMode, DlfsConfig};
-use crate::copy::{CopyDone, CopyJob, Segment};
+use crate::copy::{CopyDone, CopyJob, SegList, Segment};
 use crate::directory::SampleDirectory;
 use crate::entry::SampleEntry;
 use crate::error::{DlfsError, IoFailure};
 use crate::plan::{build_epoch_plan, reader_item_ranges, FetchItem, ReaderPlan};
-use crate::request::{Batch, Delivery, ReadRequest};
-use crate::zerocopy::{PinGuard, ZeroCopySample};
+use crate::reactor::{CompletionClock, ReactorStats};
+use crate::request::{Completions, Delivery, ReadRequest};
+use crate::zerocopy::{Pin, PinGuard, ZeroCopySample};
 use crate::{cache::SampleCache, copy::CopyPool};
 
 /// State shared by every I/O thread of one compute node.
@@ -236,6 +237,13 @@ pub struct DlfsIo {
     /// Plan-aware prefetcher (active only with `CacheMode::CrossEpoch`
     /// and `prefetch_window > 0`).
     prefetch: PrefetchState,
+    /// Completion-event feed: every qpair submit reports its completion
+    /// instant here, so the engine advances straight to the next event
+    /// instead of spinning poll iterations toward it.
+    clock: Arc<CompletionClock>,
+    /// Reactor activity counters (`dlfs.reactor.*`; detached from the
+    /// registry unless [`DlfsConfig::reactor_stats`] is set).
+    rstats: ReactorStats,
 }
 
 impl std::fmt::Debug for DlfsIo {
@@ -256,6 +264,7 @@ impl DlfsIo {
     /// `blocksim.dev{n}.*`.
     pub fn with_registry(shared: Arc<DlfsShared>, reg: &Registry) -> DlfsIo {
         let qd = shared.cfg.queue_depth;
+        let clock = CompletionClock::new();
         let qpairs = shared
             .targets
             .iter()
@@ -263,6 +272,7 @@ impl DlfsIo {
             .map(|(nid, t)| {
                 let mut qp = IoQPair::new(t.clone(), qd);
                 qp.attach_telemetry(&reg.scoped(&format!("blocksim.dev{nid}")));
+                qp.attach_completion_hook(clock.clone(), nid);
                 qp
             })
             .collect();
@@ -272,6 +282,7 @@ impl DlfsIo {
         }
         DlfsIo {
             tel: IoTelemetry::new(reg, cross_epoch),
+            rstats: ReactorStats::new(reg, shared.cfg.reactor_stats),
             registry: reg.clone(),
             shared,
             qpairs,
@@ -282,6 +293,7 @@ impl DlfsIo {
             current_deadline: None,
             copy_dispatch_at: Vec::new(),
             prefetch: PrefetchState::default(),
+            clock,
         }
     }
 
@@ -329,17 +341,10 @@ impl DlfsIo {
             }
             if harvested == 0 {
                 match self
-                    .qpairs
-                    .iter()
-                    .filter_map(|q| q.next_completion_at())
-                    .min()
+                    .clock
+                    .next_due(|tag| self.qpairs[tag].next_completion_at())
                 {
-                    Some(t) => {
-                        let now = rt.now();
-                        if t > now {
-                            rt.work(t - now);
-                        }
-                    }
+                    Some(t) => self.advance_to(rt, t),
                     None => break,
                 }
             }
@@ -550,9 +555,18 @@ impl DlfsIo {
             }
         }
 
-        // Submit queued parts to the per-device qpairs (prep + post).
+        // Doorbell flush: stage every queued part the qpairs have room for
+        // and submit them in one pass (prep + post per request). Capacity
+        // is checked up front — the queue-full probe of the legacy loop is
+        // replaced by a bookkeeping check — but the virtual-time charges
+        // are identical: a flush that stops at a full qpair still pays one
+        // prep+post (the legacy rejected-submit charge, unrecorded in the
+        // stage histograms then and now).
         let chunk = self.shared.cfg.chunk_size as usize;
         let costs = self.shared.cfg.costs.clone();
+        let qd = self.shared.cfg.queue_depth;
+        let mut flushed = false;
+        let mut blocked = false;
         while let Some(&(idx, part, attempt)) =
             self.epoch.as_ref().expect("no epoch").pending_parts.front()
         {
@@ -566,27 +580,39 @@ impl DlfsIo {
                 let buf = st.bufs[&idx][part as usize].clone();
                 (it.nid, slba + start as u64, n, buf)
             };
+            if self.qpairs[nid as usize].outstanding() >= qd {
+                blocked = true;
+                break; // queue full; poll first
+            }
             let cmd = self.next_cmd;
             let t0 = rt.now();
             rt.work(costs.prep_request);
             let t1 = rt.now();
             rt.work(costs.post_request);
-            match self.qpairs[nid as usize].submit_read(rt, cmd, slba_part, nblocks_part, buf, 0) {
-                Ok(()) => {
-                    self.tel.prep_ns.record_dur(t1 - t0);
-                    self.tel.post_ns.record_dur(rt.now() - t1);
-                    self.next_cmd += 1;
-                    self.tel.requests_posted.inc();
-                    self.inflight.insert(cmd, (idx, part, attempt));
-                    self.epoch
-                        .as_mut()
-                        .expect("no epoch")
-                        .pending_parts
-                        .pop_front();
-                    progressed += 1;
-                }
-                Err(_) => break, // queue full; poll first
-            }
+            self.qpairs[nid as usize]
+                .submit_read(rt, cmd, slba_part, nblocks_part, buf, 0)
+                .expect("capacity checked before staging");
+            self.tel.prep_ns.record_dur(t1 - t0);
+            self.tel.post_ns.record_dur(rt.now() - t1);
+            self.next_cmd += 1;
+            self.tel.requests_posted.inc();
+            self.inflight.insert(cmd, (idx, part, attempt));
+            self.epoch
+                .as_mut()
+                .expect("no epoch")
+                .pending_parts
+                .pop_front();
+            progressed += 1;
+            flushed = true;
+        }
+        if blocked {
+            // The legacy engine discovered the full queue by paying a
+            // prep+post for the rejected submit; keep the clock identical.
+            rt.work(costs.prep_request);
+            rt.work(costs.post_request);
+        }
+        if flushed {
+            self.rstats.doorbells.inc();
         }
 
         // With the epoch's own fetch list exhausted, spend the idle tail
@@ -656,28 +682,34 @@ impl DlfsIo {
             };
             debug_assert_eq!(bufs.len(), 1);
             let buf = bufs.pop().expect("single chunk");
+            // Capacity bookkeeping replaces the legacy rejected-submit
+            // probe; the prep+post charge for a blocked flush is kept so
+            // the virtual clock is unchanged.
+            let full = self.qpairs[nid as usize].outstanding() >= self.shared.cfg.queue_depth;
             let cmd = self.next_cmd;
             let t0 = rt.now();
             rt.work(costs.prep_request);
             let t1 = rt.now();
             rt.work(costs.post_request);
-            match self.qpairs[nid as usize].submit_read(rt, cmd, slba, nblocks, buf.clone(), 0) {
-                Ok(()) => {
-                    self.tel.prep_ns.record_dur(t1 - t0);
-                    self.tel.post_ns.record_dur(rt.now() - t1);
-                    self.next_cmd += 1;
-                    self.tel.requests_posted.inc();
-                    self.tel.prefetch_issued.inc();
-                    self.prefetch.queue.pop_front();
-                    self.prefetch.cmds.insert(cmd, key);
-                    self.prefetch.inflight.insert(key, (buf, len));
-                    progressed += 1;
-                }
-                Err(_) => {
-                    self.shared.cache.free_raw(buf);
-                    break; // qpair full; demand completions first
-                }
+            if full {
+                self.shared.cache.free_raw(buf);
+                break; // qpair full; demand completions first
             }
+            self.qpairs[nid as usize]
+                .submit_read(rt, cmd, slba, nblocks, buf.clone(), 0)
+                .expect("capacity checked before staging");
+            self.tel.prep_ns.record_dur(t1 - t0);
+            self.tel.post_ns.record_dur(rt.now() - t1);
+            self.next_cmd += 1;
+            self.tel.requests_posted.inc();
+            self.tel.prefetch_issued.inc();
+            self.prefetch.queue.pop_front();
+            self.prefetch.cmds.insert(cmd, key);
+            self.prefetch.inflight.insert(key, (buf, len));
+            progressed += 1;
+        }
+        if progressed > 0 {
+            self.rstats.doorbells.inc();
         }
         progressed
     }
@@ -805,8 +837,15 @@ impl DlfsIo {
         }
         let mut harvested = 0;
         for q in 0..self.qpairs.len() {
-            if self.qpairs[q].outstanding() == 0 {
-                continue;
+            // Event-driven sweep: only queues whose earliest completion is
+            // due get a harvest pass. The check is live (per-completion
+            // work advances the clock mid-sweep, so a later queue may
+            // become due during this pass) and in index order — both are
+            // load-bearing for determinism. An empty harvest charges and
+            // records nothing, so the skip is unobservable.
+            match self.qpairs[q].next_completion_at() {
+                Some(t) if t <= rt.now() => {}
+                _ => continue,
             }
             for comp in self.qpairs[q].process_completions(rt, usize::MAX) {
                 rt.work(costs.per_completion);
@@ -916,15 +955,16 @@ impl DlfsIo {
         slot
     }
 
-    /// Execute a [`ReadRequest`] against the current epoch plan: the
-    /// redesigned entry point unifying the copied and zero-copy delivery
-    /// paths (previously `bread` / `bread_zero_copy`).
+    /// Execute a [`ReadRequest`] against the current epoch plan: the one
+    /// entry point unifying the copied and zero-copy delivery paths, and
+    /// the only batched-read API (the interim `bread`/`bread_zero_copy`
+    /// wrappers are gone).
     ///
     /// Returns `EpochExhausted` once the plan is drained and `NoSequence`
     /// before the first [`DlfsIo::sequence`]. With a deadline, the batch
     /// may come back shorter than `req.n` (but never torn: samples already
     /// handed to the copy threads always drain).
-    pub fn submit(&mut self, rt: &Runtime, req: &ReadRequest) -> Result<Batch, DlfsError> {
+    pub fn submit(&mut self, rt: &Runtime, req: &ReadRequest) -> Result<Completions, DlfsError> {
         if self.epoch.is_none() {
             return Err(DlfsError::NoSequence);
         }
@@ -940,29 +980,13 @@ impl DlfsIo {
         }
         self.tel.batches.inc();
         let batch = match req.delivery {
-            Delivery::Copied => self.run_copied(rt, want, req).map(Batch::Copied)?,
-            Delivery::ZeroCopy => self.run_zero_copy(rt, want, req).map(Batch::ZeroCopy)?,
+            Delivery::Copied => Completions::copied(self.run_copied(rt, want, req)?),
+            Delivery::ZeroCopy => Completions::zero_copy(self.run_zero_copy(rt, want, req)?),
         };
         if batch.len() < want {
             self.tel.deadline_misses.inc();
         }
         Ok(batch)
-    }
-
-    /// `dlfs_bread`: deliver the next `n` samples of the epoch plan.
-    /// Returns `(sample id, payload)` pairs.
-    ///
-    /// `inject_compute` models application computation executed inside the
-    /// polling loop (the Fig. 7b experiment); pass `Dur::ZERO` normally.
-    #[deprecated(note = "use `ReadRequest::batch(n)` with `DlfsIo::submit`")]
-    pub fn bread(
-        &mut self,
-        rt: &Runtime,
-        n: usize,
-        inject_compute: Dur,
-    ) -> Result<Vec<(u32, Vec<u8>)>, DlfsError> {
-        self.submit(rt, &ReadRequest::batch(n).inject_compute(inject_compute))
-            .map(Batch::into_copied)
     }
 
     /// The copied-delivery engine loop (prep → post → poll → copy).
@@ -1035,12 +1059,7 @@ impl DlfsIo {
                 // next event — a completion, or a delayed part's retry
                 // instant (busy polling, so it's CPU time).
                 match self.next_engine_event() {
-                    Some(t) => {
-                        let now = rt.now();
-                        if t > now {
-                            rt.work(t - now);
-                        }
-                    }
+                    Some(t) => self.advance_to(rt, t),
                     None => {
                         panic!(
                             "dlfs submit stalled: nothing in flight, nothing \
@@ -1057,11 +1076,12 @@ impl DlfsIo {
     /// Earliest instant at which the engine can make progress again: a
     /// device completion or a delayed retry becoming due.
     fn next_engine_event(&self) -> Option<Time> {
+        // The completion clock already holds the earliest instant across
+        // every qpair (validated lazily against the authoritative per-qpair
+        // state), so this is one heap peek instead of a scan.
         let next_dev = self
-            .qpairs
-            .iter()
-            .filter_map(|q| q.next_completion_at())
-            .min();
+            .clock
+            .next_due(|tag| self.qpairs[tag].next_completion_at());
         let next_retry = self
             .epoch
             .as_ref()
@@ -1074,19 +1094,25 @@ impl DlfsIo {
         }
     }
 
-    /// Zero-copy `dlfs_bread` (the paper's future-work extension): deliver
-    /// the next `n` samples as [`ZeroCopySample`]s referencing pinned
-    /// sample-cache chunks — the copy stage (and the copy-thread pool) is
-    /// bypassed entirely. Chunks return to the pool when the application
-    /// drops the last sample referencing them.
-    #[deprecated(note = "use `ReadRequest::batch(n).zero_copy()` with `DlfsIo::submit`")]
-    pub fn bread_zero_copy(
-        &mut self,
-        rt: &Runtime,
-        n: usize,
-    ) -> Result<Vec<ZeroCopySample>, DlfsError> {
-        self.submit(rt, &ReadRequest::batch(n).zero_copy())
-            .map(Batch::into_zero_copy)
+    /// Advance the calling thread to `t`, the next engine event. Counted
+    /// as a reactor wakeup. While any qpair has commands in flight this is
+    /// hot-polling (busy CPU, exactly as before); with *nothing* in flight
+    /// anywhere — a pure retry-backoff wait — the reactor parks the thread
+    /// instead (idle). Virtual time advances identically either way; only
+    /// the busy/idle ledger differs, and a parked wait can never coincide
+    /// with in-flight commands by construction.
+    fn advance_to(&mut self, rt: &Runtime, t: Time) {
+        let now = rt.now();
+        if t <= now {
+            return;
+        }
+        self.rstats.wakeups.inc();
+        if self.qpairs.iter().all(|q| q.outstanding() == 0) {
+            self.rstats.park(t - now);
+            rt.sleep_until(t);
+        } else {
+            rt.work_until(t);
+        }
     }
 
     /// The zero-copy engine loop: prep → post → poll, then pin + hand out
@@ -1099,6 +1125,11 @@ impl DlfsIo {
     ) -> Result<Vec<ZeroCopySample>, DlfsError> {
         let costs = self.shared.cfg.costs.clone();
         let mut out: Vec<ZeroCopySample> = Vec::with_capacity(want);
+        // One cache pin per fetch item, shared by every sample delivered
+        // from it in this call (an `Arc` clone per sample instead of a
+        // buffer-list clone per sample). Pin counts still balance: each
+        // guard releases the one pin it took when its last sample drops.
+        let mut item_pins: HashMap<u32, Arc<PinGuard>> = HashMap::new();
         while out.len() < want {
             if let Some(e) = &self.failed {
                 // Zero-copy delivery has nothing in the copy pool to drain.
@@ -1148,9 +1179,20 @@ impl DlfsIo {
                         ),
                     )
                 };
-                // Pin the range for the sample's lifetime; no memcpy.
-                let pinned = self.shared.cache.pin(key).expect("resident range pinnable");
-                let pin = PinGuard::new(self.shared.cache.clone(), key, pinned.gen);
+                // Pin the range for the samples' lifetime; no memcpy.
+                let pin = match item_pins.get(&idx) {
+                    Some(guard) => Pin::Shared(guard.clone()),
+                    None => {
+                        let (gen, _, _) = self
+                            .shared
+                            .cache
+                            .pin_key(key)
+                            .expect("resident range pinnable");
+                        let guard = PinGuard::new(self.shared.cache.clone(), key, gen);
+                        item_pins.insert(idx, guard.clone());
+                        Pin::Shared(guard)
+                    }
+                };
                 rt.work(costs.frontend_per_sample);
                 self.tel.cache_pins.inc();
                 self.tel.samples_delivered.inc();
@@ -1168,12 +1210,7 @@ impl DlfsIo {
                     continue;
                 }
                 match self.next_engine_event() {
-                    Some(t) => {
-                        let now = rt.now();
-                        if t > now {
-                            rt.work(t - now);
-                        }
-                    }
+                    Some(t) => self.advance_to(rt, t),
                     None => panic!(
                         "dlfs zero-copy submit stalled (reader {})",
                         self.shared.reader_id
@@ -1226,6 +1263,19 @@ impl DlfsIo {
         }
         let entry = self.shared.dir.entry(id);
         self.read_entry(rt, entry, deadline)
+    }
+
+    /// `dlfs_read` by sample id, zero-copy: the returned sample references
+    /// pinned sample-cache chunks directly. On a warm cache this path does
+    /// no memcpy and no heap allocation — the segment list stays inline
+    /// and the pin is embedded in the sample. The chunks return to the
+    /// pool (or the cross-epoch LRU tail) when the sample drops.
+    pub fn read_zero_copy(&mut self, rt: &Runtime, id: u32) -> Result<ZeroCopySample, DlfsError> {
+        if id as usize >= self.shared.dir.len() {
+            return Err(DlfsError::BadSampleId(id));
+        }
+        let entry = self.shared.dir.entry(id);
+        self.read_entry_zero_copy(rt, id, entry)
     }
 
     /// Submit every due (re)submission of the synchronous read path, lowest
@@ -1306,21 +1356,7 @@ impl DlfsIo {
         }
         let chunk = self.shared.cfg.chunk_size as usize;
         let within = (entry.offset() - base) as usize;
-        let mut segments = Vec::new();
-        let mut remaining = entry.len() as usize;
-        let mut pos = within;
-        while remaining > 0 {
-            let b = pos / chunk;
-            let off = pos % chunk;
-            let take = (chunk - off).min(remaining);
-            segments.push(Segment {
-                buf: pinned.bufs[b].clone(),
-                offset: off,
-                len: take,
-            });
-            pos += take;
-            remaining -= take;
-        }
+        let segments = segments_at(&pinned.bufs, chunk, within, entry.len() as usize);
         let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
         let t_copy = rt.now();
         rt.work(costs.copy_dispatch);
@@ -1336,6 +1372,157 @@ impl DlfsIo {
         self.tel.bytes_delivered.add(done.data.len() as u64);
         self.tel.copy_ns.record_dur(rt.now() - t_copy);
         Some(done.data)
+    }
+
+    /// Synchronously fetch `nblocks` device blocks starting at `slba` from
+    /// qpair `nid` into freshly allocated sample-cache chunks.
+    ///
+    /// Submits every part, then polls the qpair until they all drain —
+    /// harvesting (and routing) any batched-engine or prefetcher strays
+    /// that complete meanwhile — resubmitting failed commands under the
+    /// shared retry policy. On retry exhaustion the buffers go back to the
+    /// pool and the error names `target_nid`.
+    fn fetch_range(
+        &mut self,
+        rt: &Runtime,
+        nid: usize,
+        target_nid: u16,
+        slba: u64,
+        nblocks: u32,
+        deadline: Option<Time>,
+    ) -> Result<Vec<DmaBuf>, DlfsError> {
+        let costs = self.shared.cfg.costs.clone();
+        let bytes = nblocks as u64 * BLOCK_SIZE;
+        // Bugfix (satellite): a momentarily full pool used to surface
+        // `CacheExhausted` immediately, while the batched path parks and
+        // retries after releases. Wait under the shared retry policy —
+        // bounded, deadline-clamped exponential backoff in virtual time —
+        // before giving up.
+        let retry = self.shared.cfg.retry;
+        let mut alloc_failures = 0u32;
+        let bufs = loop {
+            if let Some(b) = self.shared.cache.alloc_for(bytes) {
+                break b;
+            }
+            alloc_failures += 1;
+            let Some(backoff) = retry.next_delay_before(alloc_failures, rt.now(), deadline) else {
+                return Err(DlfsError::CacheExhausted);
+            };
+            // Busy-wait (virtual CPU time): another thread's release or a
+            // dropped zero-copy sample may free chunks meanwhile.
+            rt.work(backoff);
+        };
+        // prep + post each part; backpressure (a full qpair) and device
+        // failures park the part in `waiting` for a later submission pass.
+        let blocks_per_chunk = (self.shared.cfg.chunk_size / BLOCK_SIZE) as u32;
+        // Parts to (re)submit: (part, failed attempts so far, not before).
+        let mut waiting: Vec<(u32, u32, Time)> =
+            (0..bufs.len() as u32).map(|p| (p, 0, Time::ZERO)).collect();
+        let mut part_of: HashMap<u64, (u32, u32)> = HashMap::new();
+        let mut left = bufs.len();
+        let mut fatal: Option<DlfsError> = None;
+        self.sync_submit_due(
+            rt,
+            nid,
+            slba,
+            nblocks,
+            blocks_per_chunk,
+            &bufs,
+            &mut waiting,
+            &mut part_of,
+        );
+        // Poll until all parts complete, resubmitting failed commands under
+        // the retry policy. On exhaustion, keep polling until our in-flight
+        // commands drain (SPDK cannot cancel a submitted command) before
+        // surfacing the error. Empty polls advance straight to the next
+        // known event (device completion or retry deadline) instead of
+        // spinning toward it.
+        let t_poll = rt.now();
+        while (left > 0 && fatal.is_none()) || !part_of.is_empty() {
+            if fatal.is_none() {
+                self.sync_submit_due(
+                    rt,
+                    nid,
+                    slba,
+                    nblocks,
+                    blocks_per_chunk,
+                    &bufs,
+                    &mut waiting,
+                    &mut part_of,
+                );
+            }
+            rt.work(costs.poll_iteration);
+            self.tel.poll_spins.inc();
+            let comps = self.qpairs[nid].process_completions(rt, usize::MAX);
+            if comps.is_empty() {
+                self.tel.scq_empty_polls.inc();
+                let next_dev = self.qpairs[nid].next_completion_at();
+                let next_retry = waiting.iter().map(|&(_, _, nb)| nb).min();
+                let next = match (next_dev, next_retry) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, None) => a,
+                    (None, b) => b,
+                };
+                if let Some(t) = next {
+                    self.advance_to(rt, t);
+                }
+            } else {
+                self.tel.scq_drains.inc();
+                self.tel.scq_drain_batch.record(comps.len() as u64);
+                for c in &comps {
+                    rt.work(costs.per_completion);
+                    self.tel.completions.inc();
+                    let Some((p, attempt)) = part_of.remove(&c.id) else {
+                        // Not ours: the batched engine (and its
+                        // prefetcher) share these qpairs and their
+                        // in-flight commands complete here too —
+                        // including failed ones, which must be re-queued
+                        // for retry, not merely routed.
+                        match self.inflight.remove(&c.id) {
+                            Some((idx, part, att)) => {
+                                self.engine_complete(rt, idx, part, att, c.status);
+                            }
+                            None => self.prefetch_complete(c.id, c.status),
+                        }
+                        continue;
+                    };
+                    if c.status.is_ok() {
+                        left -= 1;
+                        continue;
+                    }
+                    if c.status == CmdStatus::TransportError {
+                        self.tel.timeouts.inc();
+                    }
+                    let failed_attempts = attempt + 1;
+                    match retry.next_delay(failed_attempts) {
+                        Some(backoff) => {
+                            self.tel.retries.inc();
+                            waiting.push((p, failed_attempts, rt.now() + backoff));
+                        }
+                        None => {
+                            let cause = match c.status {
+                                CmdStatus::TransportError => IoFailure::Timeout,
+                                _ => IoFailure::Media,
+                            };
+                            fatal.get_or_insert(DlfsError::Io {
+                                target: target_nid.into(),
+                                attempts: failed_attempts,
+                                cause,
+                            });
+                            waiting.clear();
+                        }
+                    }
+                }
+            }
+        }
+        self.tel.poll_ns.record_dur(rt.now() - t_poll);
+        if let Some(e) = fatal {
+            for b in bufs {
+                self.shared.cache.free_raw(b);
+            }
+            return Err(e);
+        }
+        Ok(bufs)
     }
 
     fn read_entry(
@@ -1397,157 +1584,11 @@ impl DlfsIo {
         } else {
             covering_blocks(entry.offset(), entry.len())
         };
-        let bytes = nblocks as u64 * BLOCK_SIZE;
-        // Bugfix (satellite): a momentarily full pool used to surface
-        // `CacheExhausted` immediately, while the batched path parks and
-        // retries after releases. Wait under the shared retry policy —
-        // bounded, deadline-clamped exponential backoff in virtual time —
-        // before giving up.
-        let retry = self.shared.cfg.retry;
-        let mut alloc_failures = 0u32;
-        let bufs = loop {
-            if let Some(b) = self.shared.cache.alloc_for(bytes) {
-                break b;
-            }
-            alloc_failures += 1;
-            let Some(backoff) = retry.next_delay_before(alloc_failures, rt.now(), deadline) else {
-                return Err(DlfsError::CacheExhausted);
-            };
-            // Busy-wait (virtual CPU time): another thread's release or a
-            // dropped zero-copy sample may free chunks meanwhile.
-            rt.work(backoff);
-        };
-        // prep + post each part; backpressure (a full qpair) and device
-        // failures park the part in `waiting` for a later submission pass.
+        let bufs = self.fetch_range(rt, nid, entry.nid(), slba, nblocks, deadline)?;
         let chunk = self.shared.cfg.chunk_size as usize;
-        let blocks_per_chunk = (chunk as u64 / BLOCK_SIZE) as u32;
-        let retry = self.shared.cfg.retry;
-        // Parts to (re)submit: (part, failed attempts so far, not before).
-        let mut waiting: Vec<(u32, u32, Time)> =
-            (0..bufs.len() as u32).map(|p| (p, 0, Time::ZERO)).collect();
-        let mut part_of: HashMap<u64, (u32, u32)> = HashMap::new();
-        let mut left = bufs.len();
-        let mut fatal: Option<DlfsError> = None;
-        self.sync_submit_due(
-            rt,
-            nid,
-            slba,
-            nblocks,
-            blocks_per_chunk,
-            &bufs,
-            &mut waiting,
-            &mut part_of,
-        );
-        // Poll until all parts complete (busy polling), resubmitting failed
-        // commands under the retry policy. On exhaustion, keep polling until
-        // our in-flight commands drain (SPDK cannot cancel a submitted
-        // command) before surfacing the error.
-        let t_poll = rt.now();
-        while (left > 0 && fatal.is_none()) || !part_of.is_empty() {
-            if fatal.is_none() {
-                self.sync_submit_due(
-                    rt,
-                    nid,
-                    slba,
-                    nblocks,
-                    blocks_per_chunk,
-                    &bufs,
-                    &mut waiting,
-                    &mut part_of,
-                );
-            }
-            rt.work(costs.poll_iteration);
-            self.tel.poll_spins.inc();
-            let comps = self.qpairs[nid].process_completions(rt, usize::MAX);
-            if comps.is_empty() {
-                self.tel.scq_empty_polls.inc();
-                let next_dev = self.qpairs[nid].next_completion_at();
-                let next_retry = waiting.iter().map(|&(_, _, nb)| nb).min();
-                let next = match (next_dev, next_retry) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, None) => a,
-                    (None, b) => b,
-                };
-                if let Some(t) = next {
-                    let now = rt.now();
-                    if t > now {
-                        rt.work(t - now);
-                    }
-                }
-            } else {
-                self.tel.scq_drains.inc();
-                self.tel.scq_drain_batch.record(comps.len() as u64);
-                for c in &comps {
-                    rt.work(costs.per_completion);
-                    self.tel.completions.inc();
-                    let Some((p, attempt)) = part_of.remove(&c.id) else {
-                        // Not ours: the batched engine (and its
-                        // prefetcher) share these qpairs and their
-                        // in-flight commands complete here too —
-                        // including failed ones, which must be re-queued
-                        // for retry, not merely routed.
-                        match self.inflight.remove(&c.id) {
-                            Some((idx, part, att)) => {
-                                self.engine_complete(rt, idx, part, att, c.status);
-                            }
-                            None => self.prefetch_complete(c.id, c.status),
-                        }
-                        continue;
-                    };
-                    if c.status.is_ok() {
-                        left -= 1;
-                        continue;
-                    }
-                    if c.status == CmdStatus::TransportError {
-                        self.tel.timeouts.inc();
-                    }
-                    let failed_attempts = attempt + 1;
-                    match retry.next_delay(failed_attempts) {
-                        Some(backoff) => {
-                            self.tel.retries.inc();
-                            waiting.push((p, failed_attempts, rt.now() + backoff));
-                        }
-                        None => {
-                            let cause = match c.status {
-                                CmdStatus::TransportError => IoFailure::Timeout,
-                                _ => IoFailure::Media,
-                            };
-                            fatal.get_or_insert(DlfsError::Io {
-                                target: entry.nid().into(),
-                                attempts: failed_attempts,
-                                cause,
-                            });
-                            waiting.clear();
-                        }
-                    }
-                }
-            }
-        }
-        self.tel.poll_ns.record_dur(rt.now() - t_poll);
-        if let Some(e) = fatal {
-            for b in bufs {
-                self.shared.cache.free_raw(b);
-            }
-            return Err(e);
-        }
         // copy stage through the pool.
         let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
-        let mut segments = Vec::new();
-        let mut remaining = entry.len() as usize;
-        let mut off = head;
-        for buf in &bufs {
-            if remaining == 0 {
-                break;
-            }
-            let take = (chunk - off).min(remaining);
-            segments.push(Segment {
-                buf: buf.clone(),
-                offset: off,
-                len: take,
-            });
-            remaining -= take;
-            off = 0;
-        }
+        let segments = segments_at(&bufs, chunk, head, entry.len() as usize);
         let t_copy = rt.now();
         rt.work(costs.copy_dispatch);
         self.shared.copy.submit(CopyJob {
@@ -1581,6 +1622,158 @@ impl DlfsIo {
         Ok(done.data)
     }
 
+    /// Synchronous zero-copy read of one directory entry.
+    ///
+    /// Warm path: pin a resident range covering the sample and hand out
+    /// chunk-backed segments — no memcpy, no allocation. Miss path: fetch
+    /// through [`DlfsIo::fetch_range`], publish the range into the cache,
+    /// pin it, and release it so the pool reclaims it after the sample
+    /// drops (cross-epoch mode parks it on the LRU tail instead).
+    fn read_entry_zero_copy(
+        &mut self,
+        rt: &Runtime,
+        id: u32,
+        entry: SampleEntry,
+    ) -> Result<ZeroCopySample, DlfsError> {
+        // No batch deadline applies to engine retries harvested while this
+        // synchronous read drains the shared qpairs.
+        self.current_deadline = None;
+        let cross = self.shared.cfg.cache_mode == CacheMode::CrossEpoch;
+        let chunk_base = entry.offset() / self.shared.cfg.chunk_size * self.shared.cfg.chunk_size;
+        let (_, _, head) = covering_blocks(entry.offset(), entry.len());
+        loop {
+            // Warm path: candidate keys in a fixed array (no allocation) —
+            // the covering chunk's key, plus (edge/sample-level items) the
+            // sample's own offset.
+            let mut keys: [Option<(RangeKey, u64)>; 2] =
+                [Some(((entry.nid(), chunk_base), chunk_base)), None];
+            if entry.offset() != chunk_base {
+                keys[1] = Some(((entry.nid(), entry.offset()), entry.offset() - head as u64));
+            }
+            if let Some(s) = self.pin_zero_copy(rt, id, entry, keys) {
+                if cross {
+                    self.tel.ce_hits.inc();
+                }
+                return Ok(s);
+            }
+            self.tel.cache_misses.inc();
+            if cross {
+                self.tel.ce_misses.inc();
+            }
+            let nid = entry.nid() as usize;
+            // Same fetch geometry as the copied path: the whole covering
+            // chunk in cross-epoch mode (parked on the LRU tail after the
+            // sample drops), exactly the covering blocks otherwise.
+            let (slba, nblocks, base, key) = if cross {
+                let sample_end = entry.offset() + entry.len();
+                let dev_end = self.shared.targets[nid].blocks() * BLOCK_SIZE;
+                let end = (chunk_base + self.shared.cfg.chunk_size)
+                    .min(dev_end)
+                    .max(sample_end);
+                let nblocks = (end - chunk_base).div_ceil(BLOCK_SIZE) as u32;
+                (
+                    chunk_base / BLOCK_SIZE,
+                    nblocks,
+                    chunk_base,
+                    (entry.nid(), chunk_base),
+                )
+            } else {
+                let (slba, nblocks, _) = covering_blocks(entry.offset(), entry.len());
+                (
+                    slba,
+                    nblocks,
+                    entry.offset() - head as u64,
+                    (entry.nid(), entry.offset()),
+                )
+            };
+            let bufs = self.fetch_range(rt, nid, entry.nid(), slba, nblocks, None)?;
+            if self.shared.cache.contains(key) {
+                // Published concurrently (batched engine or another
+                // reader) while we polled: drop our fetch and pin the
+                // resident copy on the next pass.
+                for b in bufs {
+                    self.shared.cache.free_raw(b);
+                }
+                continue;
+            }
+            // publish + pin + release run back to back with no virtual-time
+            // advance between them, so no other participant can interleave:
+            // the live-double-publish panic in `publish` cannot fire, and
+            // the range cannot be evicted before we hold the pin.
+            let len = nblocks as u64 * BLOCK_SIZE;
+            self.shared.cache.publish(key, bufs, len);
+            let (gen, _, _) = self.shared.cache.pin_key(key).expect("just published");
+            self.shared.cache.release(key);
+            return Ok(self.finish_zero_copy(rt, id, entry, key, base, gen));
+        }
+    }
+
+    /// Warm zero-copy pin: try each candidate `(key, buffer byte base)`;
+    /// on a resident range covering the sample, take a pin and build the
+    /// sample in place.
+    fn pin_zero_copy(
+        &mut self,
+        rt: &Runtime,
+        id: u32,
+        entry: SampleEntry,
+        keys: [Option<(RangeKey, u64)>; 2],
+    ) -> Option<ZeroCopySample> {
+        for (key, base) in keys.into_iter().flatten() {
+            let Some((gen, len, prefetched)) = self.shared.cache.pin_key(key) else {
+                continue;
+            };
+            // The pinned range must actually cover the sample (an edge
+            // sample's chunk-base key can name a different, shorter
+            // range).
+            if entry.offset() + entry.len() > key.1 + len {
+                self.shared.cache.unpin(key, gen);
+                continue;
+            }
+            self.tel.cache_hits.inc();
+            if prefetched {
+                self.tel.prefetch_hits.inc();
+            }
+            return Some(self.finish_zero_copy(rt, id, entry, key, base, gen));
+        }
+        None
+    }
+
+    /// Build the delivered sample from a pin already taken on `key` whose
+    /// buffers start at byte `base`. Allocation-free: the segment list
+    /// stays inline and the pin is embedded in the sample.
+    fn finish_zero_copy(
+        &mut self,
+        rt: &Runtime,
+        id: u32,
+        entry: SampleEntry,
+        key: RangeKey,
+        base: u64,
+        gen: u64,
+    ) -> ZeroCopySample {
+        let chunk = self.shared.cfg.chunk_size as usize;
+        let within = (entry.offset() - base) as usize;
+        let segments = self
+            .shared
+            .cache
+            .with_resident(key, |bufs, _| {
+                segments_at(bufs, chunk, within, entry.len() as usize)
+            })
+            .expect("pinned range is resident");
+        rt.work(self.shared.cfg.costs.frontend_per_sample);
+        self.tel.cache_pins.inc();
+        self.tel.samples_delivered.inc();
+        self.tel.bytes_delivered.add(entry.len());
+        ZeroCopySample::new(
+            id,
+            segments,
+            Pin::Own {
+                cache: self.shared.cache.clone(),
+                key,
+                gen,
+            },
+        )
+    }
+
     /// `dlfs_open`: name lookup through the sample directory (returns the
     /// sample id as the handle — DLFS handles are directory references).
     pub fn open(&mut self, rt: &Runtime, name: &str) -> Result<u32, DlfsError> {
@@ -1598,18 +1791,24 @@ impl DlfsIo {
 }
 
 /// Compute the copy segments of `entry` within an item's fetched buffers.
+/// Nearly always one segment (two when the sample straddles a chunk
+/// boundary), so the returned [`SegList`] stays inline and allocation-free.
 fn segments_for(
     item: &FetchItem,
     base: u64,
     bufs: &[DmaBuf],
     chunk: usize,
     entry: SampleEntry,
-) -> Vec<Segment> {
+) -> SegList {
     debug_assert_eq!(entry.nid(), item.nid);
     let within = (entry.offset() - base) as usize;
-    let mut segs = Vec::new();
-    let mut remaining = entry.len() as usize;
-    let mut pos = within;
+    segments_at(bufs, chunk, within, entry.len() as usize)
+}
+
+/// Slice `len` payload bytes starting at `pos` (relative to the buffers'
+/// base) into chunk-bounded segments.
+fn segments_at(bufs: &[DmaBuf], chunk: usize, mut pos: usize, mut remaining: usize) -> SegList {
+    let mut segs = SegList::new();
     while remaining > 0 {
         let b = pos / chunk;
         let off = pos % chunk;

@@ -20,14 +20,17 @@
 //! ```
 //! use simkit::prelude::*;
 //! use blocksim::{DeviceConfig, NvmeDevice};
-//! use dlfs::{mount_local, DlfsConfig, SyntheticSource};
+//! use dlfs::{DlfsConfig, MountBuilder, SyntheticSource};
 //! use dlfs::source::SampleSource;
 //!
 //! let ((), _end) = Runtime::simulate(42, |rt| {
 //!     // A local NVMe device holding a small synthetic dataset.
 //!     let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
 //!     let source = SyntheticSource::fixed(7, 2000, 4096);
-//!     let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+//!     let fs = MountBuilder::new(DlfsConfig::default())
+//!         .local(dev)
+//!         .mount(rt, &source)
+//!         .unwrap();
 //!
 //!     // dlfs_sequence + dlfs_bread: mini-batches of random samples.
 //!     let mut io = fs.io(0);
@@ -58,6 +61,7 @@ pub mod io;
 pub mod layout;
 pub mod mount;
 pub mod plan;
+pub mod reactor;
 pub mod request;
 pub mod source;
 pub mod writer;
@@ -70,14 +74,14 @@ pub use entry::SampleEntry;
 pub use error::{DlfsError, IoFailure, LayoutError};
 pub use io::{DlfsIo, DlfsShared};
 pub use layout::{fsck_node, FsckNodeReport, FsckState, Superblock};
-pub use mount::{
-    import, import_local, mount, mount_local, remount, remount_local, Deployment, DlfsInstance,
-    MountOptions,
-};
+#[allow(deprecated)]
+pub use mount::{import, import_local, mount, mount_local, remount, remount_local};
+pub use mount::{Deployment, DlfsInstance, MountBuilder, MountOptions};
 pub use plan::{
     build_epoch_plan, full_random_order, reader_item_ranges, EpochPlan, FetchItem, ReaderPlan,
 };
-pub use request::{Batch, Delivery, ReadRequest};
+pub use reactor::CompletionClock;
+pub use request::{Completion, Completions, Delivery, ReadRequest};
 pub use source::{SampleSource, SyntheticSource};
 pub use writer::{BatchedWriter, CheckpointReader, CheckpointWriter};
 pub use zerocopy::ZeroCopySample;

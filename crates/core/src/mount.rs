@@ -637,9 +637,9 @@ fn build_instance(
 
 /// Perform the collective mount. Returns the instance once every reader
 /// has finished loading and the allgather completed. The devices hold
-/// raw sample data with no persistent layout; use [`import`] for a
-/// layout a later job can [`remount`].
-pub fn mount(
+/// raw sample data with no persistent layout; use the builder's
+/// `.persistent()` for a layout a later job can remount warm.
+fn mount_impl(
     rt: &Runtime,
     deployment: Deployment,
     source: &dyn SampleSource,
@@ -681,7 +681,7 @@ pub fn mount(
 /// entirely. The commit is two-phase per device — a crash mid-import
 /// leaves a torn generation stamp that `remount` rejects with
 /// [`LayoutError::TornImport`], never silently serving partial data.
-pub fn import(
+fn import_impl(
     rt: &Runtime,
     deployment: Deployment,
     source: &dyn SampleSource,
@@ -739,7 +739,7 @@ pub fn import(
 /// serialized entries, and the usual allgather is charged. Rejects torn
 /// imports, checksum mismatches and devices mixed from different imports
 /// with typed [`LayoutError`]s.
-pub fn remount(
+fn remount_impl(
     rt: &Runtime,
     deployment: Deployment,
     cfg: DlfsConfig,
@@ -910,57 +910,240 @@ fn read_node_metadata(
     Ok(out)
 }
 
-/// Convenience: single reader, single local device, no fabric.
+/// One front door for every way a DLFS instance comes up.
+///
+/// The six historical entry points (`mount`/`import`/`remount` and their
+/// `_local` twins) collapsed into a single builder:
+///
+/// ```
+/// use simkit::prelude::*;
+/// use blocksim::{DeviceConfig, NvmeDevice};
+/// use dlfs::{DlfsConfig, MountBuilder, SyntheticSource};
+///
+/// Runtime::simulate(7, |rt| {
+///     let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
+///     let source = SyntheticSource::fixed(3, 500, 4096);
+///     // Ephemeral staging onto one local device:
+///     let fs = MountBuilder::new(DlfsConfig::default())
+///         .local(dev.clone())
+///         .mount(rt, &source)
+///         .unwrap();
+///     assert!(!fs.is_persistent());
+///     // Persistent import, then a warm remount from the device alone:
+///     MountBuilder::new(DlfsConfig::default())
+///         .local(dev.clone())
+///         .persistent()
+///         .mount(rt, &source)
+///         .unwrap();
+///     let warm = MountBuilder::new(DlfsConfig::default())
+///         .local(dev)
+///         .warm()
+///         .remount(rt)
+///         .unwrap();
+///     assert!(warm.is_persistent());
+/// });
+/// ```
+///
+/// * `.mount(rt, &source)` stages the dataset (cold path); with
+///   [`persistent`](MountBuilder::persistent) it also writes the
+///   on-device layout (the old `import`).
+/// * `.remount(rt)` is the warm path: rebuild the directory from the
+///   devices' own metadata, no source and no PFS traffic (the old
+///   `remount`). [`warm`](MountBuilder::warm) documents the intent; it
+///   is implied by calling `remount`.
+pub struct MountBuilder {
+    cfg: DlfsConfig,
+    deployment: Option<Deployment>,
+    opts: MountOptions,
+    persistent: bool,
+    warm: bool,
+    faults: Option<fabric::FabricFaultInjector>,
+}
+
+impl MountBuilder {
+    /// Start a builder for the given configuration.
+    pub fn new(cfg: DlfsConfig) -> MountBuilder {
+        MountBuilder {
+            cfg,
+            deployment: None,
+            opts: MountOptions::default(),
+            persistent: false,
+            warm: false,
+            faults: None,
+        }
+    }
+
+    /// Single reader, single local device, no fabric.
+    pub fn local(mut self, device: Arc<dyn NvmeTarget>) -> MountBuilder {
+        self.deployment = Some(Deployment {
+            targets: vec![vec![device]],
+            cluster: None,
+        });
+        self
+    }
+
+    /// Full deployment shape: reader×node target matrix plus the fabric.
+    pub fn deployment(mut self, deployment: Deployment) -> MountBuilder {
+        self.deployment = Some(deployment);
+        self
+    }
+
+    /// Replace the mount-time tuning knobs wholesale.
+    pub fn options(mut self, opts: MountOptions) -> MountBuilder {
+        self.opts = opts;
+        self
+    }
+
+    /// Charge dataset staging against this shared PFS link.
+    pub fn pfs(mut self, link: Link) -> MountBuilder {
+        self.opts.pfs = Some(link);
+        self
+    }
+
+    /// Record mount-time counters (`dlfs.write.*`, `dlfs.remount.*`) into
+    /// `reg` instead of a throwaway registry.
+    pub fn with_registry(mut self, reg: Registry) -> MountBuilder {
+        self.opts.telemetry = Some(reg);
+        self
+    }
+
+    /// Arm the deployment's fabric with this fault injector before any
+    /// mount traffic flows. Requires a clustered deployment.
+    pub fn with_faults(mut self, injector: fabric::FabricFaultInjector) -> MountBuilder {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Also write the on-device persistent layout (the old `import`), so
+    /// a later job can come up via [`remount`](MountBuilder::remount).
+    pub fn persistent(mut self) -> MountBuilder {
+        self.persistent = true;
+        self
+    }
+
+    /// Declare the warm path: the devices already hold an imported
+    /// layout and the directory is rebuilt from them alone. Terminal is
+    /// [`remount`](MountBuilder::remount); `mount` then refuses to stage.
+    pub fn warm(mut self) -> MountBuilder {
+        self.warm = true;
+        self
+    }
+
+    fn take_deployment(&mut self) -> Result<Deployment, DlfsError> {
+        let deployment = self.deployment.take().ok_or_else(|| {
+            DlfsError::Deployment("MountBuilder needs .local() or .deployment()".into())
+        })?;
+        if let Some(injector) = self.faults.take() {
+            match &deployment.cluster {
+                Some(cluster) => {
+                    cluster.set_faults(injector);
+                }
+                None => {
+                    return Err(DlfsError::Deployment(
+                        "with_faults() needs a clustered deployment".into(),
+                    ))
+                }
+            }
+        }
+        Ok(deployment)
+    }
+
+    /// Cold path: stage `source` onto the devices (and persist the
+    /// layout when [`persistent`](MountBuilder::persistent) was set).
+    pub fn mount(
+        mut self,
+        rt: &Runtime,
+        source: &dyn SampleSource,
+    ) -> Result<DlfsInstance, DlfsError> {
+        if self.warm {
+            return Err(DlfsError::Deployment(
+                "warm() reads the on-device layout and takes no source; use remount()".into(),
+            ));
+        }
+        let deployment = self.take_deployment()?;
+        if self.persistent {
+            import_impl(rt, deployment, source, self.cfg, self.opts)
+        } else {
+            mount_impl(rt, deployment, source, self.cfg, self.opts)
+        }
+    }
+
+    /// Warm path: rebuild the directory from the devices' own metadata
+    /// regions — zero PFS traffic, zero data-region writes.
+    pub fn remount(mut self, rt: &Runtime) -> Result<DlfsInstance, DlfsError> {
+        let deployment = self.take_deployment()?;
+        remount_impl(rt, deployment, self.cfg, self.opts)
+    }
+}
+
+/// Back-compat shim for the pre-builder API.
+#[deprecated(note = "use MountBuilder::new(cfg).deployment(d).options(opts).mount(rt, source)")]
+pub fn mount(
+    rt: &Runtime,
+    deployment: Deployment,
+    source: &dyn SampleSource,
+    cfg: DlfsConfig,
+    opts: MountOptions,
+) -> Result<DlfsInstance, DlfsError> {
+    mount_impl(rt, deployment, source, cfg, opts)
+}
+
+/// Back-compat shim for the pre-builder API.
+#[deprecated(
+    note = "use MountBuilder::new(cfg).deployment(d).options(opts).persistent().mount(rt, source)"
+)]
+pub fn import(
+    rt: &Runtime,
+    deployment: Deployment,
+    source: &dyn SampleSource,
+    cfg: DlfsConfig,
+    opts: MountOptions,
+) -> Result<DlfsInstance, DlfsError> {
+    import_impl(rt, deployment, source, cfg, opts)
+}
+
+/// Back-compat shim for the pre-builder API.
+#[deprecated(note = "use MountBuilder::new(cfg).deployment(d).options(opts).warm().remount(rt)")]
+pub fn remount(
+    rt: &Runtime,
+    deployment: Deployment,
+    cfg: DlfsConfig,
+    opts: MountOptions,
+) -> Result<DlfsInstance, DlfsError> {
+    remount_impl(rt, deployment, cfg, opts)
+}
+
+/// Back-compat shim for the pre-builder API.
+#[deprecated(note = "use MountBuilder::new(cfg).local(device).mount(rt, source)")]
 pub fn mount_local(
     rt: &Runtime,
     device: Arc<dyn NvmeTarget>,
     source: &dyn SampleSource,
     cfg: DlfsConfig,
 ) -> Result<DlfsInstance, DlfsError> {
-    mount(
-        rt,
-        Deployment {
-            targets: vec![vec![device]],
-            cluster: None,
-        },
-        source,
-        cfg,
-        MountOptions::default(),
-    )
+    MountBuilder::new(cfg).local(device).mount(rt, source)
 }
 
-/// Convenience: [`import`] onto a single local device.
+/// Back-compat shim for the pre-builder API.
+#[deprecated(note = "use MountBuilder::new(cfg).local(device).persistent().mount(rt, source)")]
 pub fn import_local(
     rt: &Runtime,
     device: Arc<dyn NvmeTarget>,
     source: &dyn SampleSource,
     cfg: DlfsConfig,
 ) -> Result<DlfsInstance, DlfsError> {
-    import(
-        rt,
-        Deployment {
-            targets: vec![vec![device]],
-            cluster: None,
-        },
-        source,
-        cfg,
-        MountOptions::default(),
-    )
+    MountBuilder::new(cfg)
+        .local(device)
+        .persistent()
+        .mount(rt, source)
 }
 
-/// Convenience: [`remount`] a single previously-imported local device.
+/// Back-compat shim for the pre-builder API.
+#[deprecated(note = "use MountBuilder::new(cfg).local(device).warm().remount(rt)")]
 pub fn remount_local(
     rt: &Runtime,
     device: Arc<dyn NvmeTarget>,
     cfg: DlfsConfig,
 ) -> Result<DlfsInstance, DlfsError> {
-    remount(
-        rt,
-        Deployment {
-            targets: vec![vec![device]],
-            cluster: None,
-        },
-        cfg,
-        MountOptions::default(),
-    )
+    MountBuilder::new(cfg).local(device).warm().remount(rt)
 }

@@ -1,6 +1,7 @@
 //! The batched read-request API: a builder describing *what* to deliver
-//! (`ReadRequest`) and a tagged result carrying *how* it was delivered
-//! (`Batch`), executed by [`DlfsIo::submit`](crate::DlfsIo::submit).
+//! (`ReadRequest`) and a typed completion iterator carrying *how* it was
+//! delivered (`Completions`), executed by
+//! [`DlfsIo::submit`](crate::DlfsIo::submit).
 //!
 //! This replaces the older positional `bread(rt, n, inject)` /
 //! `bread_zero_copy(rt, n)` pair: one entry point, with the delivery mode,
@@ -86,21 +87,73 @@ impl ReadRequest {
     }
 }
 
-/// The result of one [`ReadRequest`], tagged by delivery mode.
+/// One delivered sample, tagged by how its payload reached the
+/// application.
 #[derive(Debug)]
-pub enum Batch {
-    /// `(sample id, payload)` pairs from the copy pool.
-    Copied(Vec<(u32, Vec<u8>)>),
-    /// Zero-copy samples referencing pinned sample-cache chunks.
-    ZeroCopy(Vec<ZeroCopySample>),
+pub enum Completion {
+    /// Sample id plus a private payload copy from the copy pool.
+    Copied { id: u32, data: Vec<u8> },
+    /// A zero-copy sample referencing pinned sample-cache chunks.
+    ZeroCopy(ZeroCopySample),
 }
 
-impl Batch {
-    /// Samples delivered.
+impl Completion {
+    /// The delivered sample id.
+    pub fn id(&self) -> u32 {
+        match self {
+            Completion::Copied { id, .. } => *id,
+            Completion::ZeroCopy(s) => s.id,
+        }
+    }
+
+    /// Payload length in bytes.
     pub fn len(&self) -> usize {
         match self {
-            Batch::Copied(v) => v.len(),
-            Batch::ZeroCopy(v) => v.len(),
+            Completion::Copied { data, .. } => data.len(),
+            Completion::ZeroCopy(s) => s.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The result of one [`ReadRequest`]: a typed iterator of
+/// [`Completion`]s in delivery order.
+///
+/// All samples of a batch share one delivery mode, so the whole-batch
+/// unwrappers [`Completions::into_copied`] / [`Completions::into_zero_copy`]
+/// stay available; iterate for mode-agnostic consumption.
+#[derive(Debug)]
+pub struct Completions {
+    inner: CompletionsInner,
+}
+
+#[derive(Debug)]
+enum CompletionsInner {
+    Copied(std::vec::IntoIter<(u32, Vec<u8>)>),
+    ZeroCopy(std::vec::IntoIter<ZeroCopySample>),
+}
+
+impl Completions {
+    pub(crate) fn copied(v: Vec<(u32, Vec<u8>)>) -> Completions {
+        Completions {
+            inner: CompletionsInner::Copied(v.into_iter()),
+        }
+    }
+
+    pub(crate) fn zero_copy(v: Vec<ZeroCopySample>) -> Completions {
+        Completions {
+            inner: CompletionsInner::ZeroCopy(v.into_iter()),
+        }
+    }
+
+    /// Samples remaining (all of them, before any `next()` call).
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            CompletionsInner::Copied(it) => it.len(),
+            CompletionsInner::ZeroCopy(it) => it.len(),
         }
     }
 
@@ -108,11 +161,11 @@ impl Batch {
         self.len() == 0
     }
 
-    /// The delivered sample ids, in delivery order.
+    /// The remaining sample ids, in delivery order (does not consume).
     pub fn sample_ids(&self) -> Vec<u32> {
-        match self {
-            Batch::Copied(v) => v.iter().map(|(id, _)| *id).collect(),
-            Batch::ZeroCopy(v) => v.iter().map(|s| s.id).collect(),
+        match &self.inner {
+            CompletionsInner::Copied(it) => it.as_slice().iter().map(|(id, _)| *id).collect(),
+            CompletionsInner::ZeroCopy(it) => it.as_slice().iter().map(|s| s.id).collect(),
         }
     }
 
@@ -121,9 +174,9 @@ impl Batch {
     /// # Panics
     /// If the batch was delivered zero-copy.
     pub fn into_copied(self) -> Vec<(u32, Vec<u8>)> {
-        match self {
-            Batch::Copied(v) => v,
-            Batch::ZeroCopy(_) => panic!("batch was delivered zero-copy"),
+        match self.inner {
+            CompletionsInner::Copied(it) => it.collect(),
+            CompletionsInner::ZeroCopy(_) => panic!("batch was delivered zero-copy"),
         }
     }
 
@@ -132,12 +185,32 @@ impl Batch {
     /// # Panics
     /// If the batch was delivered through the copy pool.
     pub fn into_zero_copy(self) -> Vec<ZeroCopySample> {
-        match self {
-            Batch::ZeroCopy(v) => v,
-            Batch::Copied(_) => panic!("batch was delivered through the copy pool"),
+        match self.inner {
+            CompletionsInner::ZeroCopy(it) => it.collect(),
+            CompletionsInner::Copied(_) => panic!("batch was delivered through the copy pool"),
         }
     }
 }
+
+impl Iterator for Completions {
+    type Item = Completion;
+
+    fn next(&mut self) -> Option<Completion> {
+        match &mut self.inner {
+            CompletionsInner::Copied(it) => {
+                it.next().map(|(id, data)| Completion::Copied { id, data })
+            }
+            CompletionsInner::ZeroCopy(it) => it.next().map(Completion::ZeroCopy),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Completions {}
 
 #[cfg(test)]
 mod tests {
@@ -162,8 +235,8 @@ mod tests {
     }
 
     #[test]
-    fn batch_accessors() {
-        let b = Batch::Copied(vec![(3, vec![1, 2]), (5, vec![4])]);
+    fn completions_accessors() {
+        let b = Completions::copied(vec![(3, vec![1, 2]), (5, vec![4])]);
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());
         assert_eq!(b.sample_ids(), vec![3, 5]);
@@ -171,8 +244,26 @@ mod tests {
     }
 
     #[test]
+    fn completions_iterate_in_delivery_order() {
+        let mut b = Completions::copied(vec![(3, vec![1, 2]), (5, vec![4])]);
+        assert_eq!(b.size_hint(), (2, Some(2)));
+        let first = b.next().unwrap();
+        assert_eq!(first.id(), 3);
+        assert_eq!(first.len(), 2);
+        assert_eq!(b.len(), 1, "len tracks the un-consumed remainder");
+        match b.next().unwrap() {
+            Completion::Copied { id, data } => {
+                assert_eq!(id, 5);
+                assert_eq!(data, vec![4]);
+            }
+            Completion::ZeroCopy(_) => panic!("copied batch"),
+        }
+        assert!(b.next().is_none());
+    }
+
+    #[test]
     #[should_panic(expected = "zero-copy")]
     fn wrong_variant_panics() {
-        Batch::ZeroCopy(Vec::new()).into_copied();
+        Completions::zero_copy(Vec::new()).into_copied();
     }
 }

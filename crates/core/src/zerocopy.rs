@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use crate::cache::{RangeKey, SampleCache};
-use crate::copy::Segment;
+use crate::copy::SegList;
 
 /// Keeps one cache range pinned for the lifetime of the samples built on
 /// it. Remembers the publication generation the pin was taken on, so the
@@ -37,13 +37,38 @@ impl Drop for PinGuard {
     }
 }
 
+/// How a sample holds its cache pin.
+///
+/// `Shared` refcounts one [`PinGuard`] across every sample of a batch
+/// (one `Arc::clone` per sample, no allocation after the first). `Own`
+/// embeds the pin inline — the sample *is* the guard — so the synchronous
+/// zero-copy read path allocates nothing at all.
+#[derive(Debug)]
+pub(crate) enum Pin {
+    // The guard is held for its Drop alone, never read.
+    Shared(#[allow(dead_code)] Arc<PinGuard>),
+    Own {
+        cache: Arc<SampleCache>,
+        key: RangeKey,
+        gen: u64,
+    },
+}
+
+impl Drop for Pin {
+    fn drop(&mut self) {
+        if let Pin::Own { cache, key, gen } = self {
+            cache.unpin(*key, *gen);
+        }
+    }
+}
+
 /// A sample delivered without copying: segments point straight into pinned
 /// huge-page chunks of the sample cache.
 pub struct ZeroCopySample {
     pub id: u32,
-    segments: Vec<Segment>,
+    segments: SegList,
     len: usize,
-    _pin: Arc<PinGuard>,
+    _pin: Pin,
 }
 
 impl std::fmt::Debug for ZeroCopySample {
@@ -57,8 +82,8 @@ impl std::fmt::Debug for ZeroCopySample {
 }
 
 impl ZeroCopySample {
-    pub(crate) fn new(id: u32, segments: Vec<Segment>, pin: Arc<PinGuard>) -> ZeroCopySample {
-        let len = segments.iter().map(|s| s.len).sum();
+    pub(crate) fn new(id: u32, segments: SegList, pin: Pin) -> ZeroCopySample {
+        let len = segments.total_bytes();
         ZeroCopySample {
             id,
             segments,
@@ -106,6 +131,7 @@ impl ZeroCopySample {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::copy::Segment;
     use blocksim::DmaBuf;
 
     fn cache() -> Arc<SampleCache> {
@@ -133,7 +159,7 @@ mod tests {
         let pin = PinGuard::new(c.clone(), (0, 0), pinned.gen);
         let sample = ZeroCopySample::new(
             7,
-            vec![
+            SegList::from_iter([
                 Segment {
                     buf: bufs[0].clone(),
                     offset: 0,
@@ -144,8 +170,8 @@ mod tests {
                     offset: 0,
                     len: 36,
                 },
-            ],
-            pin,
+            ]),
+            Pin::Shared(pin),
         );
         assert_eq!(sample.len(), 100);
         assert_eq!(sample.to_vec(), content);
@@ -160,22 +186,22 @@ mod tests {
         let p1 = c.pin((1, 0)).unwrap();
         let s1 = ZeroCopySample::new(
             0,
-            vec![Segment {
+            SegList::from_iter([Segment {
                 buf: bufs[0].clone(),
                 offset: 0,
                 len: 64,
-            }],
-            PinGuard::new(c.clone(), (1, 0), p1.gen),
+            }]),
+            Pin::Shared(PinGuard::new(c.clone(), (1, 0), p1.gen)),
         );
         let p2 = c.pin((1, 0)).unwrap();
         let s2 = ZeroCopySample::new(
             1,
-            vec![Segment {
+            SegList::from_iter([Segment {
                 buf: bufs[0].clone(),
                 offset: 0,
                 len: 32,
-            }],
-            PinGuard::new(c.clone(), (1, 0), p2.gen),
+            }]),
+            Pin::Shared(PinGuard::new(c.clone(), (1, 0), p2.gen)),
         );
         // Engine retires the range; chunks stay alive while pinned.
         c.retire((1, 0));
@@ -184,5 +210,30 @@ mod tests {
         assert_eq!(c.free_chunks(), 3);
         drop(s2);
         assert_eq!(c.free_chunks(), 4, "last drop must free the chunk");
+    }
+    #[test]
+    fn own_pin_releases_on_drop() {
+        let c = cache();
+        let content = vec![3u8; 64];
+        let bufs = resident(&c, (2, 0), &content);
+        let (gen, len, _) = c.pin_key((2, 0)).unwrap();
+        assert_eq!(len, 64);
+        let s = ZeroCopySample::new(
+            5,
+            SegList::from_iter([Segment {
+                buf: bufs[0].clone(),
+                offset: 0,
+                len: 64,
+            }]),
+            Pin::Own {
+                cache: c.clone(),
+                key: (2, 0),
+                gen,
+            },
+        );
+        c.retire((2, 0));
+        assert_eq!(c.free_chunks(), 3);
+        drop(s);
+        assert_eq!(c.free_chunks(), 4, "own pin must unpin on drop");
     }
 }

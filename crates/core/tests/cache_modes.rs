@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use blocksim::{DeviceConfig, NvmeDevice, NvmeTarget};
 use dlfs::{
-    mount, mount_local, Batch, CacheMode, Deployment, DlfsConfig, DlfsError, DlfsInstance,
-    MountOptions, ReadRequest, SyntheticSource,
+    CacheMode, Completions, Deployment, DlfsConfig, DlfsError, DlfsInstance, MountOptions,
+    ReadRequest, SyntheticSource,
 };
 use simkit::prelude::*;
 use simkit::telemetry::Registry;
@@ -33,17 +33,14 @@ fn direct_deployment(
                 .collect()
         })
         .collect();
-    mount(
-        rt,
-        Deployment {
+    dlfs::MountBuilder::new(cfg)
+        .deployment(Deployment {
             targets,
             cluster: None,
-        },
-        source,
-        cfg,
-        MountOptions::default(),
-    )
-    .unwrap()
+        })
+        .options(MountOptions::default())
+        .mount(rt, source)
+        .unwrap()
 }
 
 /// Drain reader `io`'s whole epoch, verifying every payload byte.
@@ -52,7 +49,7 @@ fn drain_epoch_verified(rt: &Runtime, io: &mut dlfs::DlfsIo, source: &SyntheticS
     loop {
         match io
             .submit(rt, &ReadRequest::batch(32))
-            .map(Batch::into_copied)
+            .map(Completions::into_copied)
         {
             Ok(batch) => {
                 for (id, data) in batch {
@@ -245,7 +242,10 @@ fn zombie_range_republished_across_epochs() {
         // 64 x 2048 B = 128 KiB: one 256 KiB chunk item holds the epoch.
         let source = SyntheticSource::fixed(3, 64, 2048);
         let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
-        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
 
         // Epoch 0: take one sample zero-copy and keep it alive.
@@ -283,7 +283,10 @@ fn sync_read_waits_out_transient_cache_pressure() {
     Runtime::simulate(106, |rt| {
         let source = SyntheticSource::fixed(9, 64, 2048);
         let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
-        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let cache = fs.shared(0).cache.clone();
 
         // Hog the entire pool, then give it back 50 us into the read.
@@ -321,7 +324,10 @@ fn sync_read_bounds_the_wait_and_honors_deadlines() {
     Runtime::simulate(107, |rt| {
         let source = SyntheticSource::fixed(9, 64, 2048);
         let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
-        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let cache = fs.shared(0).cache.clone();
         let chunk = cache.chunk_size() as u64;
         let mut hogged = Vec::new();
@@ -366,7 +372,10 @@ fn sync_reads_hit_the_cross_epoch_cache() {
             ..DlfsConfig::default()
         };
         let dev = NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(10)));
-        let fs = mount_local(rt, dev, &source, cfg).unwrap();
+        let fs = dlfs::MountBuilder::new(cfg)
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let reg = Registry::new();
         let mut io = fs.io_with_registry(0, &reg);
 

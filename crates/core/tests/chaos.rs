@@ -8,8 +8,8 @@ use std::sync::Arc;
 use blocksim::{DeviceConfig, FaultInjector, NvmeDevice, NvmeTarget};
 use dlfs::source::SampleSource;
 use dlfs::{
-    mount, mount_local, Batch, Deployment, DlfsConfig, DlfsError, DlfsInstance, IoFailure,
-    MountOptions, ReadRequest, SyntheticSource,
+    Completions, Deployment, DlfsConfig, DlfsError, DlfsInstance, IoFailure, MountOptions,
+    ReadRequest, SyntheticSource,
 };
 use fabric::{Cluster, FabricConfig, FabricFaultInjector, NvmeOfTarget, TargetConfig};
 use simkit::prelude::*;
@@ -57,17 +57,14 @@ fn disaggregated(
         }
         targets.push(row);
     }
-    let fs = mount(
-        rt,
-        Deployment {
+    let fs = dlfs::MountBuilder::new(cfg)
+        .deployment(Deployment {
             targets,
             cluster: Some(cluster.clone()),
-        },
-        source,
-        cfg,
-        MountOptions::default(),
-    )
-    .unwrap();
+        })
+        .options(MountOptions::default())
+        .mount(rt, source)
+        .unwrap();
     (fs, cluster, devices)
 }
 
@@ -85,7 +82,7 @@ fn drain_epoch_verified(
     loop {
         match io
             .submit(rt, &ReadRequest::batch(32))
-            .map(Batch::into_copied)
+            .map(Completions::into_copied)
         {
             Ok(batch) => {
                 for (id, data) in batch {
@@ -115,7 +112,10 @@ fn media_errors_retry_until_byte_correct() {
     Runtime::simulate(20, |rt| {
         let source = SyntheticSource::fixed(3, 2000, 2048);
         let dev = local_device();
-        let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .mount(rt, &source)
+            .unwrap();
         // One read in five fails at the media.
         dev.set_faults(FaultInjector::new(5).with_read_failures(200_000));
         let mut io = fs.io(0);
@@ -241,7 +241,10 @@ fn exhausted_retries_surface_typed_error() {
             },
             ..Default::default()
         };
-        let fs = mount_local(rt, dev.clone(), &source, cfg).unwrap();
+        let fs = dlfs::MountBuilder::new(cfg)
+            .local(dev.clone())
+            .mount(rt, &source)
+            .unwrap();
         // Every read fails: the budget (3 attempts) must exhaust and
         // surface as a typed error, not a panic.
         dev.set_faults(FaultInjector::new(4).with_read_failures(1_000_000));
@@ -288,7 +291,10 @@ fn sync_read_requeues_engine_failures() {
     Runtime::simulate(26, |rt| {
         let source = SyntheticSource::fixed(9, 3000, 2048);
         let dev = local_device();
-        let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         let total = io.sequence(rt, 31, 0);
         // Half of all reads fail while the engine prefetches ahead.
@@ -317,7 +323,7 @@ fn sync_read_requeues_engine_failures() {
         loop {
             match io
                 .submit(rt, &ReadRequest::batch(64))
-                .map(Batch::into_copied)
+                .map(Completions::into_copied)
             {
                 Ok(batch) => {
                     for (id, data) in batch {
@@ -388,7 +394,10 @@ fn zero_copy_epoch_survives_media_errors() {
     Runtime::simulate(27, |rt| {
         let source = SyntheticSource::fixed(10, 1000, 2048);
         let dev = local_device();
-        let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .mount(rt, &source)
+            .unwrap();
         dev.set_faults(FaultInjector::new(8).with_read_failures(200_000));
         let mut io = fs.io(0);
         let total = io.sequence(rt, 37, 0);

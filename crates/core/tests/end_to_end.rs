@@ -6,8 +6,8 @@ use std::sync::Arc;
 use blocksim::{DeviceConfig, NvmeDevice, NvmeTarget};
 use dlfs::source::SampleSource;
 use dlfs::{
-    mount, mount_local, Batch, BatchMode, Deployment, DlfsConfig, DlfsError, MountOptions,
-    ReadRequest, SyntheticSource,
+    BatchMode, Completions, Deployment, DlfsConfig, DlfsError, MountOptions, ReadRequest,
+    SyntheticSource,
 };
 use fabric::{Cluster, FabricConfig, NvmeOfTarget, TargetConfig};
 use simkit::prelude::*;
@@ -55,7 +55,10 @@ fn disaggregated(rt: &Runtime, n: usize) -> Deployment {
 fn local_mount_bread_verifies_payloads() {
     Runtime::simulate(1, |rt| {
         let source = SyntheticSource::fixed(9, 5000, 2048);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         assert_eq!(fs.dir.len(), 5000);
         fs.dir.validate().unwrap();
 
@@ -97,14 +100,17 @@ fn local_mount_bread_verifies_payloads() {
 fn full_epoch_delivers_every_sample_once() {
     Runtime::simulate(2, |rt| {
         let source = SyntheticSource::fixed(3, 3000, 700);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         let total = io.sequence(rt, 5, 0);
         let mut seen = vec![false; total];
         loop {
             match io
                 .submit(rt, &ReadRequest::batch(64))
-                .map(Batch::into_copied)
+                .map(Completions::into_copied)
             {
                 Ok(batch) => {
                     for (id, data) in batch {
@@ -130,7 +136,10 @@ fn full_epoch_delivers_every_sample_once() {
 fn dlfs_read_by_name_and_open_close() {
     Runtime::simulate(3, |rt| {
         let source = SyntheticSource::fixed(4, 1000, 4096);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         for id in [0u32, 17, 999] {
             let name = source.name(id);
@@ -155,7 +164,10 @@ fn dlfs_read_by_name_and_open_close() {
 fn bread_before_sequence_errors() {
     Runtime::simulate(4, |rt| {
         let source = SyntheticSource::fixed(1, 100, 512);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         assert!(matches!(
             io.submit(rt, &ReadRequest::batch(8)),
@@ -174,7 +186,10 @@ fn sample_level_mode_for_large_samples() {
             pool_chunks: 128,
             ..Default::default()
         };
-        let fs = mount_local(rt, local_device(), &source, cfg.clone()).unwrap();
+        let fs = dlfs::MountBuilder::new(cfg.clone())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         assert_eq!(
             cfg.effective_mode(fs.dir.avg_sample_bytes()),
             BatchMode::SampleLevel
@@ -205,7 +220,10 @@ fn edge_samples_cross_chunk_boundaries_correctly() {
             batch_mode: BatchMode::ChunkLevel,
             ..Default::default()
         };
-        let fs = mount_local(rt, local_device(), &source, cfg).unwrap();
+        let fs = dlfs::MountBuilder::new(cfg)
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         let total = io.sequence(rt, 9, 0);
         let mut delivered = 0;
@@ -226,7 +244,10 @@ fn edge_samples_cross_chunk_boundaries_correctly() {
 fn multi_epoch_reshuffles() {
     Runtime::simulate(7, |rt| {
         let source = SyntheticSource::fixed(5, 600, 1024);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         io.sequence(rt, 42, 0);
         let e0: Vec<u32> = io.planned_order().unwrap().to_vec();
@@ -250,14 +271,11 @@ fn disaggregated_mount_and_bread_all_readers() {
         let deployment = disaggregated(rt, n);
         let source = SyntheticSource::fixed(11, 4000, 1500);
         let fs = Arc::new(
-            mount(
-                rt,
-                deployment,
-                &source,
-                DlfsConfig::default(),
-                MountOptions::default(),
-            )
-            .unwrap(),
+            dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(deployment)
+                .options(MountOptions::default())
+                .mount(rt, &source)
+                .unwrap(),
         );
         // Every reader reads its slice concurrently; together they must
         // cover every sample exactly once.
@@ -273,7 +291,7 @@ fn disaggregated_mount_and_bread_all_readers() {
                 let mut got = Vec::with_capacity(mine);
                 while let Ok(batch) = io
                     .submit(rt, &ReadRequest::batch(32))
-                    .map(Batch::into_copied)
+                    .map(Completions::into_copied)
                 {
                     for (id, data) in batch {
                         assert_eq!(data, source.expected(id));
@@ -303,14 +321,11 @@ fn same_seed_same_global_plan_across_readers() {
     Runtime::simulate(9, |rt| {
         let deployment = disaggregated(rt, 3);
         let source = SyntheticSource::fixed(1, 900, 800);
-        let fs = mount(
-            rt,
-            deployment,
-            &source,
-            DlfsConfig::default(),
-            MountOptions::default(),
-        )
-        .unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(deployment)
+            .options(MountOptions::default())
+            .mount(rt, &source)
+            .unwrap();
         let mut io0 = fs.io(0);
         let mut io1 = fs.io(1);
         let mut io2 = fs.io(2);
@@ -334,7 +349,10 @@ fn batching_beats_synchronous_reads() {
     // (synchronous dlfs_read) by a wide margin on small samples.
     let t_batched = Runtime::simulate(10, |rt| {
         let source = SyntheticSource::fixed(2, 4000, 4096);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         io.sequence(rt, 1, 0);
         let t0 = rt.now();
@@ -351,7 +369,10 @@ fn batching_beats_synchronous_reads() {
     .0;
     let t_sync = Runtime::simulate(10, |rt| {
         let source = SyntheticSource::fixed(2, 4000, 4096);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         let order = dlfs::full_random_order(4000, 1, 0);
         let t0 = rt.now();
@@ -375,7 +396,10 @@ fn compute_injection_overlaps_with_io() {
         Runtime::simulate(11, |rt| {
             let source = SyntheticSource::fixed(2, 3000, 128 * 1024);
             let dev = NvmeDevice::new(DeviceConfig::optane(1 << 30));
-            let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+            let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+                .local(dev)
+                .mount(rt, &source)
+                .unwrap();
             let mut io = fs.io(0);
             io.sequence(rt, 1, 0);
             let t0 = rt.now();
@@ -407,7 +431,10 @@ fn compute_injection_overlaps_with_io() {
 fn v_bit_fast_path_serves_from_cache() {
     Runtime::simulate(12, |rt| {
         let source = SyntheticSource::fixed(6, 2000, 1024);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         io.sequence(rt, 3, 0);
         // Fetch one batch so some chunks are resident with V bits set.
@@ -433,7 +460,10 @@ fn mid_epoch_resequence_releases_everything() {
     // cache chunk (this used to leak ranges and corrupt the next epoch).
     Runtime::simulate(13, |rt| {
         let source = SyntheticSource::fixed(4, 6000, 2048);
-        let fs = mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(local_device())
+            .mount(rt, &source)
+            .unwrap();
         let total_chunks = fs.shared(0).cache.total_chunks();
         let mut io = fs.io(0);
         for epoch in 0..6u64 {
@@ -469,5 +499,26 @@ fn mid_epoch_resequence_releases_everything() {
             total_chunks,
             "all chunks must return to the pool"
         );
+    });
+}
+
+/// The pre-builder mount shims stay callable (back-compat contract): one
+/// deliberate use of the deprecated surface, equivalent to the builder.
+#[test]
+#[allow(deprecated)]
+fn deprecated_mount_shims_still_work() {
+    Runtime::simulate(61, |rt| {
+        let source = SyntheticSource::fixed(12, 500, 2048);
+        let fs = dlfs::mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
+        let mut io = fs.io(0);
+        io.sequence(rt, 9, 0);
+        let batch = io
+            .submit(rt, &ReadRequest::batch(16))
+            .unwrap()
+            .into_copied();
+        assert_eq!(batch.len(), 16);
+        for (id, data) in batch {
+            assert_eq!(data, source.expected(id));
+        }
     });
 }

@@ -10,8 +10,8 @@ use std::sync::Arc;
 use blocksim::{DeviceConfig, FaultInjector, NvmeDevice, NvmeTarget};
 use dlfs::source::SampleSource;
 use dlfs::{
-    fsck_node, import, import_local, remount, remount_local, Batch, Deployment, DlfsConfig,
-    DlfsError, DlfsInstance, FsckState, LayoutError, MountOptions, ReadRequest, SyntheticSource,
+    fsck_node, Completions, Deployment, DlfsConfig, DlfsError, DlfsInstance, FsckState,
+    LayoutError, MountOptions, ReadRequest, SyntheticSource,
 };
 use fabric::{Cluster, FabricConfig, NvmeOfTarget, TargetConfig};
 use simkit::prelude::*;
@@ -45,7 +45,7 @@ fn drain_all_readers(rt: &Runtime, fs: &DlfsInstance, source: &SyntheticSource, 
         loop {
             match io
                 .submit(rt, &ReadRequest::batch(32))
-                .map(Batch::into_copied)
+                .map(Completions::into_copied)
             {
                 Ok(batch) => {
                     for (id, data) in batch {
@@ -81,27 +81,24 @@ fn roundtrip_import_remount_arbitrary_distributions() {
                 SyntheticSource::new(40 + case, sizes).with_prefix(&format!("case{case}/shard"));
             let devices: Vec<Arc<NvmeDevice>> = (0..nodes).map(|_| ramdisk(64 << 20)).collect();
 
-            let fs = import(
-                rt,
-                local_deployment(&devices),
-                &source,
-                DlfsConfig::default(),
-                MountOptions::default(),
-            )
-            .unwrap();
+            let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(local_deployment(&devices))
+                .options(MountOptions::default())
+                .persistent()
+                .mount(rt, &source)
+                .unwrap();
             assert!(fs.is_persistent());
             let imported: Vec<(u64, u64)> =
                 (0..count as u32).map(|id| fs.dir.entry(id).raw()).collect();
             drop(fs);
 
             let before: Vec<_> = devices.iter().map(|d| d.stats()).collect();
-            let warm = remount(
-                rt,
-                local_deployment(&devices),
-                DlfsConfig::default(),
-                MountOptions::default(),
-            )
-            .unwrap();
+            let warm = dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(local_deployment(&devices))
+                .options(MountOptions::default())
+                .warm()
+                .remount(rt)
+                .unwrap();
             // Warm path is read-only: zero writes, zero bytes written.
             for (d, b) in devices.iter().zip(&before) {
                 let after = d.stats();
@@ -139,34 +136,31 @@ fn warm_remount_skips_pfs_and_beats_cold_import() {
         let pfs = || Some(Link::new(1.0e9, Dur::micros(40)));
 
         let t0 = rt.now();
-        let fs = import(
-            rt,
-            local_deployment(&devices),
-            &source,
-            DlfsConfig::default(),
-            MountOptions {
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(local_deployment(&devices))
+            .options(MountOptions {
                 pfs: pfs(),
                 ..MountOptions::default()
-            },
-        )
-        .unwrap();
+            })
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
         let cold = (rt.now() - t0).as_nanos();
         drop(fs);
 
         let reg = Registry::new();
         let before: Vec<_> = devices.iter().map(|d| d.stats()).collect();
         let t1 = rt.now();
-        let warm_fs = remount(
-            rt,
-            local_deployment(&devices),
-            DlfsConfig::default(),
-            MountOptions {
+        let warm_fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(local_deployment(&devices))
+            .options(MountOptions {
                 pfs: pfs(), // configured but must go unused
                 telemetry: Some(reg.clone()),
                 ..MountOptions::default()
-            },
-        )
-        .unwrap();
+            })
+            .warm()
+            .remount(rt)
+            .unwrap();
         let warm = (rt.now() - t1).as_nanos();
 
         for (d, b) in devices.iter().zip(&before) {
@@ -196,7 +190,10 @@ fn torn_import_rejected_typed_and_repaired_by_reimport() {
             let dev = dev.clone();
             let source = source.clone();
             rt.spawn_with("crashing-import", move |rt| {
-                import_local(rt, dev, &source, DlfsConfig::default())
+                dlfs::MountBuilder::new(DlfsConfig::default())
+                    .local(dev)
+                    .persistent()
+                    .mount(rt, &source)
             })
         };
         // Let phase A (uncommitted superblock) land, then fail every
@@ -216,7 +213,11 @@ fn torn_import_rejected_typed_and_repaired_by_reimport() {
             "fsck saw {:?}",
             report.state
         );
-        match remount_local(rt, dev.clone(), DlfsConfig::default()) {
+        match dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .warm()
+            .remount(rt)
+        {
             Err(DlfsError::Layout(LayoutError::TornImport {
                 node: 0,
                 generation: 1,
@@ -227,13 +228,21 @@ fn torn_import_rejected_typed_and_repaired_by_reimport() {
         // Heal the device and re-import: generation advances and the
         // dataset is fully served again.
         dev.set_faults(FaultInjector::new(7));
-        let fs = import_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
         assert_eq!(fs.layout(0).unwrap().generation, 2);
         drop(fs);
         let report = fsck_node(&target, 0, true);
         assert!(matches!(report.state, FsckState::Clean { generation: 2 }));
         assert_eq!(report.data_checksum_ok, Some(true));
-        let warm = remount_local(rt, dev, DlfsConfig::default()).unwrap();
+        let warm = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .warm()
+            .remount(rt)
+            .unwrap();
         drain_all_readers(rt, &warm, &source, 13);
     });
 }
@@ -246,7 +255,11 @@ fn checkpoint_stream_roundtrip_and_torn_tail() {
     Runtime::simulate(55, |rt| {
         let dev = ramdisk(64 << 20);
         let source = SyntheticSource::fixed(11, 200, 1024);
-        let fs = import_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
 
         let payloads: Vec<Vec<u8>> = vec![vec![0xa1; 1024], vec![0xb2; 3000], vec![0xc3; 512]];
         let mut w = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
@@ -263,7 +276,11 @@ fn checkpoint_stream_roundtrip_and_torn_tail() {
         // The stream survives a remount: a fresh writer resumes at the
         // tail, the reader replays everything including the new record.
         drop(fs);
-        let fs = remount_local(rt, dev.clone(), DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .warm()
+            .remount(rt)
+            .unwrap();
         let mut w = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
         assert_eq!(w.records(), 3);
         w.append(rt, &[0xd4; 2048]).unwrap();
@@ -306,7 +323,11 @@ fn checkpoint_region_exhaustion_is_typed() {
             ckpt_region_bytes: 4096,
             ..DlfsConfig::default()
         };
-        let fs = import_local(rt, dev, &source, cfg).unwrap();
+        let fs = dlfs::MountBuilder::new(cfg)
+            .local(dev)
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
         let mut w = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
         // 512B header + 2048B payload = 2560 of 4096; a second append
         // needs another 2560 with only 1536 left.
@@ -329,7 +350,11 @@ fn typed_errors_for_bad_shapes() {
     Runtime::simulate(91, |rt| {
         let tiny = ramdisk(1 << 20);
         let source = SyntheticSource::fixed(9, 2048, 2048); // 4 MiB > 1 MiB
-        match import_local(rt, tiny.clone(), &source, DlfsConfig::default()) {
+        match dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(tiny.clone())
+            .persistent()
+            .mount(rt, &source)
+        {
             Err(DlfsError::Capacity {
                 node: 0,
                 need,
@@ -339,7 +364,10 @@ fn typed_errors_for_bad_shapes() {
             }
             other => panic!("undersized import must be Capacity, got {other:?}"),
         }
-        match dlfs::mount_local(rt, tiny, &source, DlfsConfig::default()) {
+        match dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(tiny)
+            .mount(rt, &source)
+        {
             Err(DlfsError::Capacity { .. }) => {}
             other => panic!("undersized mount must be Capacity, got {other:?}"),
         }
@@ -349,7 +377,11 @@ fn typed_errors_for_bad_shapes() {
             cluster: None,
         };
         assert!(matches!(
-            remount(rt, empty, DlfsConfig::default(), MountOptions::default()),
+            dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(empty)
+                .options(MountOptions::default())
+                .warm()
+                .remount(rt),
             Err(DlfsError::Deployment(_))
         ));
         let ragged = Deployment {
@@ -363,14 +395,21 @@ fn typed_errors_for_bad_shapes() {
             cluster: None,
         };
         assert!(matches!(
-            remount(rt, ragged, DlfsConfig::default(), MountOptions::default()),
+            dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(ragged)
+                .options(MountOptions::default())
+                .warm()
+                .remount(rt),
             Err(DlfsError::Deployment(_))
         ));
 
         // Unformatted device: remount rejects, fsck reports Unformatted.
         let blank = ramdisk(8 << 20);
         assert!(matches!(
-            remount_local(rt, blank.clone(), DlfsConfig::default()),
+            dlfs::MountBuilder::new(DlfsConfig::default())
+                .local(blank.clone())
+                .warm()
+                .remount(rt),
             Err(DlfsError::Layout(LayoutError::BadMagic { node: 0 }))
         ));
         let blank_t: Arc<dyn NvmeTarget> = blank;
@@ -383,22 +422,26 @@ fn typed_errors_for_bad_shapes() {
         // alone as a 1-node deployment.
         let pair: Vec<Arc<NvmeDevice>> = (0..2).map(|_| ramdisk(16 << 20)).collect();
         let small = SyntheticSource::fixed(14, 100, 512);
-        import(
-            rt,
-            local_deployment(&pair),
-            &small,
-            DlfsConfig::default(),
-            MountOptions::default(),
-        )
-        .unwrap();
+        dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(local_deployment(&pair))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &small)
+            .unwrap();
         assert!(matches!(
-            remount_local(rt, pair[0].clone(), DlfsConfig::default()),
+            dlfs::MountBuilder::new(DlfsConfig::default())
+                .local(pair[0].clone())
+                .warm()
+                .remount(rt),
             Err(DlfsError::Layout(_))
         ));
 
         // Checkpoint streams need a persistent instance.
         let dev = ramdisk(16 << 20);
-        let eph = dlfs::mount_local(rt, dev, &small, DlfsConfig::default()).unwrap();
+        let eph = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &small)
+            .unwrap();
         assert!(!eph.is_persistent());
         assert!(matches!(
             eph.checkpoint_writer(rt, 0, 0, None),
@@ -442,20 +485,23 @@ fn remote_import_and_remount_over_fabric() {
         };
 
         let source = SyntheticSource::fixed(21, 1500, 4096);
-        let fs = import(
-            rt,
-            mesh(),
-            &source,
-            DlfsConfig::default(),
-            MountOptions::default(),
-        )
-        .unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(mesh())
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
         drain_all_readers(rt, &fs, &source, 17);
         let entries: Vec<(u64, u64)> = (0..1500u32).map(|id| fs.dir.entry(id).raw()).collect();
         drop(fs);
 
         let before: Vec<_> = devices.iter().map(|d| d.stats()).collect();
-        let warm = remount(rt, mesh(), DlfsConfig::default(), MountOptions::default()).unwrap();
+        let warm = dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(mesh())
+            .options(MountOptions::default())
+            .warm()
+            .remount(rt)
+            .unwrap();
         for (d, b) in devices.iter().zip(&before) {
             assert_eq!(d.stats().1, b.1, "remote remount wrote to a device");
         }
@@ -475,24 +521,21 @@ fn same_seed_persistent_runs_byte_identical() {
         Runtime::simulate(64, |rt| {
             let devices: Vec<Arc<NvmeDevice>> = (0..3).map(|_| ramdisk(64 << 20)).collect();
             let source = SyntheticSource::fixed(8, 900, 3000);
-            let fs = import(
-                rt,
-                local_deployment(&devices),
-                &source,
-                DlfsConfig::default(),
-                MountOptions::default(),
-            )
-            .unwrap();
+            let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(local_deployment(&devices))
+                .options(MountOptions::default())
+                .persistent()
+                .mount(rt, &source)
+                .unwrap();
             let mut w = fs.checkpoint_writer(rt, 0, 1, None).unwrap();
             w.append(rt, &[7u8; 4096]).unwrap();
             drop(fs);
-            let warm = remount(
-                rt,
-                local_deployment(&devices),
-                DlfsConfig::default(),
-                MountOptions::default(),
-            )
-            .unwrap();
+            let warm = dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(local_deployment(&devices))
+                .options(MountOptions::default())
+                .warm()
+                .remount(rt)
+                .unwrap();
             drain_all_readers(rt, &warm, &source, 3);
             let entries: Vec<(u64, u64)> = (0..900u32).map(|id| warm.dir.entry(id).raw()).collect();
             let stats: Vec<_> = devices.iter().map(|d| d.stats()).collect();

@@ -1,12 +1,15 @@
 //! End-to-end tests of the zero-copy delivery extension.
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{mount_local, Batch, DlfsConfig, DlfsError, ReadRequest, SyntheticSource};
+use dlfs::{Completions, DlfsConfig, DlfsError, ReadRequest, SyntheticSource};
 use simkit::prelude::*;
 
 fn mount(rt: &Runtime, source: &SyntheticSource) -> dlfs::DlfsInstance {
     let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
-    mount_local(rt, dev, source, DlfsConfig::default()).unwrap()
+    dlfs::MountBuilder::new(DlfsConfig::default())
+        .local(dev)
+        .mount(rt, source)
+        .unwrap()
 }
 
 #[test]
@@ -78,7 +81,7 @@ fn zero_copy_covers_epoch_exactly_once() {
         loop {
             match io
                 .submit(rt, &ReadRequest::batch(50).zero_copy())
-                .map(Batch::into_zero_copy)
+                .map(Completions::into_zero_copy)
             {
                 Ok(batch) => {
                     for s in batch {
@@ -102,7 +105,10 @@ fn zero_copy_is_cheaper_in_cpu_time() {
         let source = SyntheticSource::fixed(7, 3000, 128 << 10);
         Runtime::simulate(4, |rt| {
             let dev = NvmeDevice::new(DeviceConfig::optane(1 << 30));
-            let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+            let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+                .local(dev)
+                .mount(rt, &source)
+                .unwrap();
             let mut io = fs.io(0);
             io.sequence(rt, 5, 0);
             let before = rt.total_busy();

@@ -100,6 +100,26 @@ impl Runtime {
         }
     }
 
+    /// Sleep until the absolute instant `t` (idle time). A no-op when `t`
+    /// is not in the future. The event-driven idiom for parking until a
+    /// known completion instant.
+    pub fn sleep_until(&self, t: Time) {
+        let now = self.now();
+        if t > now {
+            self.sleep(t - now);
+        }
+    }
+
+    /// Spin until the absolute instant `t` (busy time). A no-op when `t`
+    /// is not in the future. Models a polling loop that would have kept
+    /// the CPU hot until then anyway.
+    pub fn work_until(&self, t: Time) {
+        let now = self.now();
+        if t > now {
+            self.work(t - now);
+        }
+    }
+
     /// Yield to other runnable tasks without advancing time.
     pub fn yield_now(&self) {
         match &self.0 {
@@ -121,6 +141,25 @@ impl Runtime {
     pub fn total_busy(&self) -> Dur {
         match &self.0 {
             RtImpl::Sim(c) => c.total_busy(),
+            RtImpl::Real(_) => Dur::ZERO,
+        }
+    }
+
+    /// Idle (parked) time spent so far by the calling task in `sleep`
+    /// (sim mode only). The complement of [`Runtime::my_busy`]: an
+    /// event-driven loop parks instead of spinning, and the difference
+    /// shows up here.
+    pub fn my_idle(&self) -> Dur {
+        match &self.0 {
+            RtImpl::Sim(c) => c.my_idle(),
+            RtImpl::Real(_) => Dur::ZERO,
+        }
+    }
+
+    /// Total parked idle time across all tasks (sim mode only).
+    pub fn total_idle(&self) -> Dur {
+        match &self.0 {
+            RtImpl::Sim(c) => c.total_idle(),
             RtImpl::Real(_) => Dur::ZERO,
         }
     }

@@ -118,6 +118,9 @@ struct Part {
     status: Status,
     /// Virtual nanoseconds this participant spent in `work()` (busy CPU).
     busy_ns: u64,
+    /// Virtual nanoseconds this participant spent in `sleep()` (parked,
+    /// CPU idle — the complement of `busy_ns` for event-driven loops).
+    idle_ns: u64,
     /// Participants blocked in `join()` on this one.
     join_waiters: Vec<Pid>,
     handle: Option<std::thread::JoinHandle<()>>,
@@ -182,6 +185,15 @@ impl SimCore {
         Dur(self.state.lock().parts.iter().map(|p| p.busy_ns).sum())
     }
 
+    pub(crate) fn my_idle(&self) -> Dur {
+        let pid = self.my_pid();
+        Dur(self.state.lock().parts[pid].idle_ns)
+    }
+
+    pub(crate) fn total_idle(&self) -> Dur {
+        Dur(self.state.lock().parts.iter().map(|p| p.idle_ns).sum())
+    }
+
     /// Register the calling thread as root participant (pid 0).
     pub(crate) fn enter_root(self: &Arc<Self>) {
         let mut g = self.state.lock();
@@ -191,6 +203,7 @@ impl SimCore {
             parker: Parker::new(),
             status: Status::Running,
             busy_ns: 0,
+            idle_ns: 0,
             join_waiters: Vec::new(),
             handle: None,
         });
@@ -321,8 +334,19 @@ impl SimCore {
         debug_assert_eq!(g.parts[my].status, Status::Running);
     }
 
-    /// Advance virtual time for the calling participant.
+    /// Advance virtual time for the calling participant, parked idle.
     pub(crate) fn sleep(&self, d: Dur) {
+        if !d.is_zero() {
+            let my = self.my_pid();
+            self.state.lock().parts[my].idle_ns += d.as_nanos();
+        }
+        self.advance(d);
+    }
+
+    /// Advance virtual time without touching busy/idle accounting. `sleep`
+    /// and `work` differ only in which ledger they charge; the scheduling
+    /// (and therefore every timestamp) is identical.
+    fn advance(&self, d: Dur) {
         let my = self.my_pid();
         let mut g = self.state.lock();
         self.raise_if_stopping(&g, my);
@@ -351,7 +375,7 @@ impl SimCore {
             let mut g = self.state.lock();
             g.parts[my].busy_ns += d.as_nanos();
         }
-        self.sleep(d);
+        self.advance(d);
     }
 
     /// Block the calling participant (channel/join wait). The waker must call
@@ -395,6 +419,7 @@ impl SimCore {
             parker: parker.clone(),
             status: Status::Ready,
             busy_ns: 0,
+            idle_ns: 0,
             join_waiters: Vec::new(),
             handle: None,
         });

@@ -57,17 +57,14 @@ fn main() {
             );
         }
         let fs = Arc::new(
-            dlfs::mount(
-                rt,
-                dlfs::Deployment {
+            dlfs::MountBuilder::new(dlfs::DlfsConfig::default())
+                .deployment(dlfs::Deployment {
                     targets,
                     cluster: Some(cluster),
-                },
-                &source,
-                dlfs::DlfsConfig::default(),
-                dlfs::MountOptions::default(),
-            )
-            .unwrap(),
+                })
+                .options(dlfs::MountOptions::default())
+                .mount(rt, &source)
+                .unwrap(),
         );
         // All readers pull their slices concurrently.
         let start = rt.now();

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example live_realtime`
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{mount_local, DlfsConfig, SyntheticSource};
+use dlfs::{DlfsConfig, SyntheticSource};
 use simkit::runtime::Runtime as Rt;
 
 fn main() {
@@ -17,7 +17,10 @@ fn main() {
     let dataset = SyntheticSource::fixed(3, 4_000, 4096);
 
     let t0 = std::time::Instant::now();
-    let fs = mount_local(&rt, device, &dataset, DlfsConfig::default()).unwrap();
+    let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+        .local(device)
+        .mount(&rt, &dataset)
+        .unwrap();
     println!(
         "mounted {} samples in {:.1} ms wall time",
         fs.dir.len(),

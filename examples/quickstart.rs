@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{mount_local, DlfsConfig, SampleSource, SyntheticSource};
+use dlfs::{DlfsConfig, SampleSource, SyntheticSource};
 use simkit::prelude::*;
 
 fn main() {
@@ -19,7 +19,10 @@ fn main() {
 
         // 3. dlfs_mount: stage the dataset onto the device and build the
         //    in-memory sample directory.
-        let fs = mount_local(rt, device, &dataset, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(device)
+            .mount(rt, &dataset)
+            .unwrap();
         println!(
             "mounted: {} samples, directory height {} (virtual time {})",
             fs.dir.len(),

@@ -48,17 +48,14 @@ fn main() {
             );
         }
         let fs = Arc::new(
-            dlfs::mount(
-                rt,
-                dlfs::Deployment {
+            dlfs::MountBuilder::new(DlfsConfig::default())
+                .deployment(dlfs::Deployment {
                     targets,
                     cluster: Some(cluster),
-                },
-                &source,
-                DlfsConfig::default(),
-                dlfs::MountOptions::default(),
-            )
-            .unwrap(),
+                })
+                .options(dlfs::MountOptions::default())
+                .mount(rt, &source)
+                .unwrap(),
         );
         t.event(rt, "root", "mount:end");
 

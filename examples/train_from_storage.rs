@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example train_from_storage`
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{mount_local, DlfsConfig, SampleSource};
+use dlfs::{DlfsConfig, SampleSource};
 use dnn::{ClassData, Mlp};
 use simkit::prelude::*;
 
@@ -59,7 +59,10 @@ fn main() {
             chunk_size: 64 << 10,
             ..Default::default()
         };
-        let fs = mount_local(rt, device, &dataset, cfg).unwrap();
+        let fs = dlfs::MountBuilder::new(cfg)
+            .local(device)
+            .mount(rt, &dataset)
+            .unwrap();
         let mut io = fs.io(0);
 
         let mut net = Mlp::new(&[features, 64, classes], seed);

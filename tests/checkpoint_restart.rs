@@ -6,7 +6,7 @@
 //! to an uninterrupted run.
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{import_local, remount_local, DlfsConfig, SyntheticSource};
+use dlfs::{DlfsConfig, SyntheticSource};
 use dnn::{
     train_with_orders, train_with_orders_resumable, CkptAction, ClassData, TrainConfig, TrainState,
 };
@@ -35,7 +35,11 @@ fn preempted_training_resumes_from_dlfs_checkpoint_bit_identically() {
 
         // Job 1: import (persistent layout + checkpoint region), train,
         // checkpoint every 5 batches, and get preempted in epoch 1.
-        let fs = import_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
         let mut ckpt = fs.checkpoint_writer(rt, 0, 0, None).unwrap();
         let partial = train_with_orders_resumable(
             &train,
@@ -63,7 +67,11 @@ fn preempted_training_resumes_from_dlfs_checkpoint_bit_identically() {
 
         // Job 2: warm remount — no staging — then replay the latest
         // checkpoint and finish the run.
-        let fs = remount_local(rt, dev, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .warm()
+            .remount(rt)
+            .unwrap();
         let mut reader = fs.checkpoint_reader(0, 0, None).unwrap();
         let last = reader.last(rt).unwrap().expect("a checkpoint exists");
         let st = TrainState::from_bytes(&last).expect("checkpoint parses");

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use blocksim::{DeviceConfig, FaultInjector, NvmeDevice};
-use dlfs::{mount_local, DlfsConfig, SyntheticSource};
+use dlfs::{DlfsConfig, SyntheticSource};
 use dlio::backend::{DlfsBackend, ReaderBackend};
 use fabric::{Cluster, FabricConfig};
 use kernsim::{Ext4Fs, FsOptions, KernelCosts};
@@ -16,7 +16,10 @@ fn dlfs_bread_retries_through_media_errors() {
     let source = SyntheticSource::fixed(5, 4000, 2048);
     let ((retries, failed_free), _) = Runtime::simulate(1, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
-        let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .mount(rt, &source)
+            .unwrap();
         // Inject after mount so staging stays clean; 3% read failures plus
         // occasional latency spikes.
         // Chunk batching means few large requests: use a high per-command
@@ -54,7 +57,10 @@ fn dlfs_sync_read_retries() {
     let source = SyntheticSource::fixed(2, 500, 4096);
     Runtime::simulate(2, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
-        let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev.clone())
+            .mount(rt, &source)
+            .unwrap();
         dev.set_faults(FaultInjector::new(4).with_read_failures(80_000)); // 8%
         let mut io = fs.io(0);
         for id in 0..200u32 {
@@ -110,7 +116,10 @@ fn mount_retries_failed_uploads() {
     Runtime::simulate(5, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
         dev.set_faults(FaultInjector::new(13).with_write_failures(40_000)); // 4%
-        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let mut io = fs.io(0);
         io.sequence(rt, 1, 0);
         let mut read = 0;
@@ -133,7 +142,10 @@ fn fault_runs_are_deterministic() {
         let source = SyntheticSource::fixed(8, 1500, 1024);
         Runtime::simulate(6, |rt| {
             let dev = NvmeDevice::new(DeviceConfig::optane(64 << 20));
-            let fs = mount_local(rt, dev.clone(), &source, DlfsConfig::default()).unwrap();
+            let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+                .local(dev.clone())
+                .mount(rt, &source)
+                .unwrap();
             dev.set_faults(FaultInjector::new(21).with_read_failures(60_000));
             let mut b = DlfsBackend::new(&fs, 0);
             b.begin_epoch(rt, 9, 0);

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{mount_local, DlfsConfig, SampleSource, SyntheticSource};
+use dlfs::{DlfsConfig, SampleSource, SyntheticSource};
 use dlio::backend::{DlfsBackend, Ext4Backend, OctoBackend, ReaderBackend};
 use dlio::{stage_ext4_untimed, stage_octopus};
 use fabric::{Cluster, FabricConfig};
@@ -45,7 +45,10 @@ fn all_three_systems_serve_identical_payloads() {
     // DLFS.
     let ((ids, sums, _), _) = Runtime::simulate(1, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
-        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let mut b = DlfsBackend::new(&fs, 0);
         drive(&mut b, rt, 500)
     });
@@ -88,7 +91,10 @@ fn dlfs_outruns_ext4_on_small_random_reads() {
     let source = SyntheticSource::fixed(3, 8000, 2048);
     let (dlfs_ns, _) = Runtime::simulate(2, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
-        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let mut b = DlfsBackend::new(&fs, 0);
         drive(&mut b, rt, 2000).2
     });
@@ -111,7 +117,10 @@ fn pipeline_over_dlfs_delivers_everything() {
     let source = SyntheticSource::fixed(9, 2000, 1024);
     let (count, _) = Runtime::simulate(4, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
-        let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &source)
+            .unwrap();
         let backend = Box::new(DlfsBackend::new(&fs, 0));
         let pipe =
             dlio::InputPipeline::launch(rt, backend, 7, 0, 32, 4, dlio::PipelineCosts::default());
@@ -136,7 +145,10 @@ fn whole_benchmark_run_is_deterministic() {
         let source = SyntheticSource::fixed(5, 3000, 4096);
         Runtime::simulate(99, |rt| {
             let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
-            let fs = mount_local(rt, dev, &source, DlfsConfig::default()).unwrap();
+            let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+                .local(dev)
+                .mount(rt, &source)
+                .unwrap();
             let mut b = DlfsBackend::new(&fs, 0);
             let (ids, sums, ns) = drive(&mut b, rt, 1500);
             (ids, sums, ns, rt.now().nanos())

@@ -2,7 +2,7 @@
 //! directories on ext4, flat names on Octopus, hash placement on DLFS.
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{mount_local, DlfsConfig, SampleSource};
+use dlfs::{DlfsConfig, SampleSource};
 use dlio::{HierarchicalSource, SizeDist};
 use kernsim::{Ext4Fs, FsOptions, KernelCosts};
 use simkit::prelude::*;
@@ -52,7 +52,10 @@ fn dlfs_serves_hierarchical_names() {
     Runtime::simulate(2, |rt| {
         let dev = NvmeDevice::new(DeviceConfig::optane(128 << 20));
         let s = source();
-        let fs = mount_local(rt, dev, &s, DlfsConfig::default()).unwrap();
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(dev)
+            .mount(rt, &s)
+            .unwrap();
         let mut io = fs.io(0);
         // Name-based open/read with the nested names.
         for id in [0u32, 123, 599] {

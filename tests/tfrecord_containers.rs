@@ -3,7 +3,7 @@
 //! "direct access to any samples in a TFRecord file".
 
 use blocksim::{DeviceConfig, NvmeDevice};
-use dlfs::{mount_local, BatchMode, DlfsConfig, SampleSource, SyntheticSource};
+use dlfs::{BatchMode, DlfsConfig, SampleSource, SyntheticSource};
 use dlio::TfRecordDataset;
 use simkit::prelude::*;
 
@@ -11,7 +11,10 @@ fn setup(rt: &Runtime) -> (SyntheticSource, TfRecordDataset, dlfs::DlfsInstance)
     let inner = SyntheticSource::new(7, (0..2000u64).map(|i| 400 + (i % 11) * 150).collect());
     let ds = TfRecordDataset::package(&inner, 64);
     let dev = NvmeDevice::new(DeviceConfig::optane(256 << 20));
-    let containers = mount_local(rt, dev, &ds, DlfsConfig::default()).unwrap();
+    let containers = dlfs::MountBuilder::new(DlfsConfig::default())
+        .local(dev)
+        .mount(rt, &ds)
+        .unwrap();
     (inner, ds, containers)
 }
 
