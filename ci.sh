@@ -4,10 +4,12 @@
 #  1. tier-1: release build + the root test suite (ROADMAP.md);
 #  2. the full workspace test suite (includes the deterministic chaos
 #     tests in crates/core/tests/chaos.rs and crates/fabric/tests/faults.rs);
-#  3. smoke runs: chaos sweep (fault injection + retry/failover, with
-#     built-in byte-correctness and determinism assertions), cache
-#     ablation (cross-epoch residency + prefetch), and the persistence
-#     paths (cold import vs warm remount, checkpoint interference, fsck);
+#  3. smoke runs: chaos sweep (fault injection + retry/failover plus the
+#     replicated corruption grid: silent bit flips, sticky bad extents,
+#     scrub + read-repair — all with built-in byte-correctness and
+#     determinism assertions), cache ablation (cross-epoch residency +
+#     prefetch), and the persistence paths (cold import vs warm remount,
+#     checkpoint interference, fsck + replica repair);
 #  4. perf-trajectory gate: the pinned-seed perf_gate suite emits
 #     BENCH_<rev>.json and fails on >10% regression against the
 #     committed baseline (crates/bench/baseline/BENCH_baseline.json);
@@ -34,8 +36,8 @@ echo "== persistence: cold import vs warm remount (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_mount_time -- total_mb=32 max_nodes=4
 echo "== persistence: checkpoint interference (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_checkpoint -- samples=512 appends=4
-echo "== persistence: fsck demo (smoke)"
-cargo run -q --release --offline -p dlfs-bench --bin dlfs_fsck -- nodes=2 samples=256
+echo "== persistence: fsck demo + replica repair (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin dlfs_fsck -- nodes=2 samples=256 repair=1
 echo "== perf-trajectory gate"
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo worktree)"
 mkdir -p target/bench

@@ -5,6 +5,9 @@
 //! Metrics:
 //! - `epoch_throughput_sps` — batched copied delivery, one full epoch,
 //!   samples per virtual second (higher is better);
+//! - `verified_epoch_throughput_sps` — the same epoch with per-block
+//!   checksum verification (`verify_reads`) on; the gate asserts inline
+//!   that the verification tax stays within 10% of the unverified run;
 //! - `p99_read_latency_ns` — synchronous single-sample reads, 99th
 //!   percentile virtual latency (lower is better);
 //! - `warm_remount_ns` — persistent-layout warm remount time (lower is
@@ -27,16 +30,18 @@ use simkit::prelude::*;
 
 struct Metrics {
     epoch_throughput_sps: f64,
+    verified_epoch_throughput_sps: f64,
     p99_read_latency_ns: u64,
     warm_remount_ns: u64,
     reactor_wakeups_per_epoch: u64,
 }
 
-fn epoch_throughput_and_wakeups(seed: u64) -> (f64, u64) {
+fn epoch_throughput_and_wakeups(seed: u64, verify: bool) -> (f64, u64) {
     Runtime::simulate(seed, |rt| {
         let source = SyntheticSource::fixed(seed, 4000, 2048);
         let cfg = DlfsConfig {
             reactor_stats: true,
+            verify_reads: verify,
             ..DlfsConfig::default()
         };
         let fs = dlfs::MountBuilder::new(cfg)
@@ -103,10 +108,12 @@ fn warm_remount(seed: u64) -> u64 {
 fn render_json(rev: &str, m: &Metrics) -> String {
     format!(
         "{{\n  \"rev\": \"{}\",\n  \"epoch_throughput_sps\": {:.3},\n  \
+         \"verified_epoch_throughput_sps\": {:.3},\n  \
          \"p99_read_latency_ns\": {},\n  \"warm_remount_ns\": {},\n  \
          \"reactor_wakeups_per_epoch\": {}\n}}\n",
         rev,
         m.epoch_throughput_sps,
+        m.verified_epoch_throughput_sps,
         m.p99_read_latency_ns,
         m.warm_remount_ns,
         m.reactor_wakeups_per_epoch
@@ -131,9 +138,22 @@ fn main() {
     let baseline: String = arg("baseline", String::new());
     let tolerance: f64 = arg("tolerance", 0.10);
 
-    let (epoch_throughput_sps, reactor_wakeups_per_epoch) = epoch_throughput_and_wakeups(seed);
+    let (epoch_throughput_sps, reactor_wakeups_per_epoch) =
+        epoch_throughput_and_wakeups(seed, false);
+    let (verified_epoch_throughput_sps, _) = epoch_throughput_and_wakeups(seed, true);
+    // The verification tax is bounded by construction (one FNV-1a pass per
+    // delivered block, `costs.verify_block` each): gate it inline so a
+    // hot-path regression in the verify plumbing cannot hide behind a
+    // stale baseline.
+    let overhead = 1.0 - verified_epoch_throughput_sps / epoch_throughput_sps;
+    assert!(
+        overhead <= 0.10,
+        "checksum verification costs {:.1}% of epoch throughput (gate: 10%)",
+        overhead * 100.0
+    );
     let m = Metrics {
         epoch_throughput_sps,
+        verified_epoch_throughput_sps,
         p99_read_latency_ns: p99_read_latency(seed),
         warm_remount_ns: warm_remount(seed),
         reactor_wakeups_per_epoch,
@@ -151,8 +171,13 @@ fn main() {
     let base = std::fs::read_to_string(&baseline)
         .unwrap_or_else(|e| panic!("read baseline {baseline}: {e}"));
     // (key, current value, higher-is-better)
-    let checks: [(&str, f64, bool); 4] = [
+    let checks: [(&str, f64, bool); 5] = [
         ("epoch_throughput_sps", m.epoch_throughput_sps, true),
+        (
+            "verified_epoch_throughput_sps",
+            m.verified_epoch_throughput_sps,
+            true,
+        ),
         ("p99_read_latency_ns", m.p99_read_latency_ns as f64, false),
         ("warm_remount_ns", m.warm_remount_ns as f64, false),
         (

@@ -51,6 +51,27 @@ pub trait NvmeTarget: Send + Sync {
     fn fault_decide(&self, _now: Time, _is_write: bool) -> FaultOutcome {
         FaultOutcome::NONE
     }
+
+    /// Range-aware fault decision: like [`NvmeTarget::fault_decide`] but
+    /// the command's block range is known, so persistent bad extents can
+    /// fail exactly the reads that touch them. The default delegates to the
+    /// range-oblivious decision (identical draw stream).
+    fn fault_decide_range(
+        &self,
+        now: Time,
+        is_write: bool,
+        _slba: u64,
+        _nblocks: u32,
+    ) -> FaultOutcome {
+        self.fault_decide(now, is_write)
+    }
+
+    /// Does the range overlap a persistent fault (sticky bad extent or
+    /// silent corruption)? Draw-free — scrubbers and offline checkers use
+    /// it to locate latent damage without perturbing fault replay.
+    fn probe_extent(&self, _slba: u64, _nblocks: u32) -> bool {
+        false
+    }
 }
 
 /// A simulated local NVMe SSD.
@@ -161,10 +182,18 @@ impl NvmeTarget for NvmeDevice {
 
     fn dma_read(&self, slba: u64, dst: &mut [u8]) {
         self.storage.read_at(slba * BLOCK_SIZE, dst);
+        // Silent corruption lives "on the media": every read path (timed or
+        // untimed) observes the same flipped bits until a rewrite heals it.
+        if let Some(f) = self.faults.lock().as_ref() {
+            f.corrupt_read(slba, dst);
+        }
     }
 
     fn dma_write(&self, slba: u64, src: &[u8]) {
         self.storage.write_at(slba * BLOCK_SIZE, src);
+        if let Some(f) = self.faults.lock().as_ref() {
+            f.clear_marks(slba, src.len().div_ceil(BLOCK_SIZE as usize) as u32);
+        }
     }
 
     fn max_queue_depth(&self) -> usize {
@@ -186,6 +215,26 @@ impl NvmeTarget for NvmeDevice {
         match self.faults.lock().as_ref() {
             Some(f) => f.decide(is_write),
             None => FaultOutcome::NONE,
+        }
+    }
+
+    fn fault_decide_range(
+        &self,
+        _now: Time,
+        is_write: bool,
+        slba: u64,
+        nblocks: u32,
+    ) -> FaultOutcome {
+        match self.faults.lock().as_ref() {
+            Some(f) => f.decide_range(is_write, slba, nblocks),
+            None => FaultOutcome::NONE,
+        }
+    }
+
+    fn probe_extent(&self, slba: u64, nblocks: u32) -> bool {
+        match self.faults.lock().as_ref() {
+            Some(f) => f.persistent_fault(slba, nblocks),
+            None => false,
         }
     }
 }

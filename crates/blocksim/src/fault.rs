@@ -7,7 +7,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use simkit::plock::Mutex;
 use simkit::time::Dur;
+
+use crate::config::BLOCK_SIZE;
 
 /// Outcome of one block command.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -43,6 +46,34 @@ impl FaultOutcome {
     };
 }
 
+/// A block extent `[slba, slba + nblocks)` carrying a persistent fault.
+type Extent = (u64, u64);
+
+fn overlaps(extents: &[Extent], slba: u64, nblocks: u32) -> bool {
+    let end = slba + nblocks as u64;
+    extents.iter().any(|&(s, n)| slba < s + n && s < end)
+}
+
+/// Remove `[slba, slba + nblocks)` from every extent, splitting survivors.
+fn clear_overlap(extents: &mut Vec<Extent>, slba: u64, nblocks: u32) {
+    let end = slba + nblocks as u64;
+    let mut out = Vec::with_capacity(extents.len());
+    for &(s, n) in extents.iter() {
+        let e = s + n;
+        if e <= slba || end <= s {
+            out.push((s, n));
+            continue;
+        }
+        if s < slba {
+            out.push((s, slba - s));
+        }
+        if end < e {
+            out.push((end, e - end));
+        }
+    }
+    *extents = out;
+}
+
 /// Seeded fault model attached to a device.
 #[derive(Debug)]
 pub struct FaultInjector {
@@ -56,6 +87,13 @@ pub struct FaultInjector {
     pub slow_ppm: u32,
     /// Added service latency on a spike.
     pub slow_extra: Dur,
+    /// Sticky bad extents: every timed read overlapping one fails with a
+    /// `MediaError` until the blocks are rewritten.
+    sticky: Mutex<Vec<Extent>>,
+    /// Silent-corruption extents: reads return `Ok` but each overlapping
+    /// block comes back with one deterministically chosen bit flipped,
+    /// until the blocks are rewritten.
+    flips: Mutex<Vec<Extent>>,
 }
 
 impl FaultInjector {
@@ -67,6 +105,8 @@ impl FaultInjector {
             write_fail_ppm: 0,
             slow_ppm: 0,
             slow_extra: Dur::ZERO,
+            sticky: Mutex::new(Vec::new()),
+            flips: Mutex::new(Vec::new()),
         }
     }
 
@@ -83,6 +123,22 @@ impl FaultInjector {
     pub fn with_latency_spikes(mut self, ppm: u32, extra: Dur) -> Self {
         self.slow_ppm = ppm;
         self.slow_extra = extra;
+        self
+    }
+
+    /// Mark `[slba, slba + nblocks)` as a sticky bad extent: every timed
+    /// read overlapping it fails with `MediaError` until rewritten.
+    pub fn with_bad_extent(self, slba: u64, nblocks: u64) -> Self {
+        self.sticky.lock().push((slba, nblocks));
+        self
+    }
+
+    /// Mark `[slba, slba + nblocks)` as silently corrupted: reads succeed
+    /// but each block returns with one bit flipped (position keyed on the
+    /// seed and the absolute block number, so replays and repeated reads
+    /// see identical corruption) until rewritten.
+    pub fn with_bit_flips(self, slba: u64, nblocks: u64) -> Self {
+        self.flips.lock().push((slba, nblocks));
         self
     }
 
@@ -117,6 +173,66 @@ impl FaultInjector {
             status,
             extra_latency: extra,
         }
+    }
+
+    /// Decide the fate of a command covering `[slba, slba + nblocks)`.
+    /// Draws exactly one outcome from the per-command stream (so attaching
+    /// extents never perturbs the transient-fault replay), then overrides
+    /// reads overlapping a sticky bad extent to `MediaError`.
+    pub fn decide_range(&self, is_write: bool, slba: u64, nblocks: u32) -> FaultOutcome {
+        let mut out = self.decide(is_write);
+        if !is_write && out.status == CmdStatus::Ok && overlaps(&self.sticky.lock(), slba, nblocks)
+        {
+            out.status = CmdStatus::MediaError;
+        }
+        out
+    }
+
+    /// Does `[slba, slba + nblocks)` overlap a sticky bad extent? Draw-free
+    /// (scrubbers and offline checkers probe without perturbing replay).
+    pub fn sticky_probe(&self, slba: u64, nblocks: u32) -> bool {
+        overlaps(&self.sticky.lock(), slba, nblocks)
+    }
+
+    /// Apply silent corruption to a read of `dst` starting at `slba`: each
+    /// whole or partial block overlapping a flip extent gets one bit
+    /// flipped at a position derived from (seed, absolute block number).
+    /// Draw-free and idempotent per block.
+    pub fn corrupt_read(&self, slba: u64, dst: &mut [u8]) {
+        let flips = self.flips.lock();
+        if flips.is_empty() {
+            return;
+        }
+        let nblocks = dst.len().div_ceil(BLOCK_SIZE as usize) as u32;
+        for b in 0..nblocks as u64 {
+            let abs = slba + b;
+            if !overlaps(&flips, abs, 1) {
+                continue;
+            }
+            // SplitMix64 keyed on (seed, block): stable flip position.
+            let mut z = self.seed ^ abs.wrapping_mul(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            let start = (b * BLOCK_SIZE) as usize;
+            let span = dst.len().min(start + BLOCK_SIZE as usize) - start;
+            let byte = start + (z as usize >> 3) % span;
+            dst[byte] ^= 1 << (z & 7);
+        }
+    }
+
+    /// A rewrite of `[slba, slba + nblocks)` heals persistent faults there:
+    /// overlapping sticky and flip extents are cleared (split if the write
+    /// covers them partially).
+    pub fn clear_marks(&self, slba: u64, nblocks: u32) {
+        clear_overlap(&mut self.sticky.lock(), slba, nblocks);
+        clear_overlap(&mut self.flips.lock(), slba, nblocks);
+    }
+
+    /// Any persistent fault (sticky or flip) overlapping the range? Used by
+    /// scrub/fsck to locate latent damage without a timed read.
+    pub fn persistent_fault(&self, slba: u64, nblocks: u32) -> bool {
+        overlaps(&self.sticky.lock(), slba, nblocks) || overlaps(&self.flips.lock(), slba, nblocks)
     }
 
     /// Commands decided so far.
@@ -179,5 +295,70 @@ mod tests {
             .filter(|_| !f.decide(false).extra_latency.is_zero())
             .count();
         assert!((800..1200).contains(&spikes), "{spikes}");
+    }
+
+    #[test]
+    fn sticky_extent_fails_reads_until_rewritten() {
+        let f = FaultInjector::new(5).with_bad_extent(10, 4);
+        assert_eq!(f.decide_range(false, 0, 8).status, CmdStatus::Ok);
+        assert_eq!(f.decide_range(false, 12, 2).status, CmdStatus::MediaError);
+        assert_eq!(f.decide_range(false, 13, 8).status, CmdStatus::MediaError);
+        // Writes into the extent are unaffected and heal what they cover.
+        assert_eq!(f.decide_range(true, 10, 2).status, CmdStatus::Ok);
+        f.clear_marks(10, 2);
+        assert_eq!(f.decide_range(false, 10, 2).status, CmdStatus::Ok);
+        assert!(f.sticky_probe(12, 1), "uncovered half still bad");
+        f.clear_marks(0, 64);
+        assert!(!f.sticky_probe(0, 64));
+        assert_eq!(f.decide_range(false, 12, 2).status, CmdStatus::Ok);
+    }
+
+    #[test]
+    fn sticky_overlap_draws_exactly_one_outcome() {
+        // decide_range consumes one draw whether or not an extent overlaps,
+        // so the transient stream replays identically with extents armed.
+        let plain = FaultInjector::new(6).with_read_failures(10_000);
+        let marked = FaultInjector::new(6)
+            .with_read_failures(10_000)
+            .with_bad_extent(1_000_000, 1);
+        let a: Vec<_> = (0..500).map(|i| plain.decide_range(false, i, 1)).collect();
+        let b: Vec<_> = (0..500).map(|i| marked.decide_range(false, i, 1)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_flips_are_stable_and_healed_by_rewrite() {
+        let f = FaultInjector::new(7).with_bit_flips(2, 1);
+        let clean = vec![0u8; 2 * BLOCK_SIZE as usize];
+        let mut a = clean.clone();
+        f.corrupt_read(2, &mut a);
+        assert_ne!(a, clean, "flip extent must corrupt");
+        // Exactly one bit differs, inside the first block (abs block 2).
+        let diff: u32 = a
+            .iter()
+            .zip(&clean)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        assert_eq!(&a[BLOCK_SIZE as usize..], &clean[BLOCK_SIZE as usize..]);
+        // Same position on every read.
+        let mut b = clean.clone();
+        f.corrupt_read(2, &mut b);
+        assert_eq!(a, b);
+        assert!(f.persistent_fault(2, 1));
+        f.clear_marks(2, 1);
+        let mut c = clean.clone();
+        f.corrupt_read(2, &mut c);
+        assert_eq!(c, clean, "rewrite heals the flip");
+        assert!(!f.persistent_fault(0, 16));
+    }
+
+    #[test]
+    fn clear_overlap_splits_ranges() {
+        let mut v = vec![(10u64, 10u64)];
+        clear_overlap(&mut v, 13, 4);
+        assert_eq!(v, vec![(10, 3), (17, 3)]);
+        clear_overlap(&mut v, 0, 100);
+        assert!(v.is_empty());
     }
 }

@@ -11,7 +11,7 @@
 //!   submitters need their own qpairs, exactly as in SPDK.
 
 use std::cmp::Ordering as CmpOrd;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
 
 use simkit::runtime::Runtime;
@@ -137,6 +137,7 @@ pub struct IoQPair {
     completed: u64,
     telemetry: Option<QpTelemetry>,
     hook: Option<(Arc<dyn CompletionHook>, usize)>,
+    cancelled: HashSet<u64>,
 }
 
 impl std::fmt::Debug for IoQPair {
@@ -163,6 +164,7 @@ impl IoQPair {
             completed: 0,
             telemetry: None,
             hook: None,
+            cancelled: HashSet::new(),
         }
     }
 
@@ -251,7 +253,9 @@ impl IoQPair {
         let now = rt.now();
         // Fault injection: the command's fate (and any latency spike) is
         // decided up front so the simulation stays deterministic.
-        let fault = self.target.fault_decide(now, op == Op::Write);
+        let fault = self
+            .target
+            .fault_decide_range(now, op == Op::Write, slba, nblocks);
         let done = match op {
             Op::Read => self.target.reserve_read(now, slba, nblocks),
             Op::Write => {
@@ -289,6 +293,20 @@ impl IoQPair {
         Ok(())
     }
 
+    /// Cancel an outstanding command by id (hedged-read loser): it is
+    /// discarded at harvest time without a DMA and without emitting a
+    /// completion. Returns whether an outstanding command matched. The
+    /// device still spends its reserved service time — cancellation only
+    /// stops the payload from landing in the buffer.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        if self.pending.iter().any(|p| p.id == id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Poll the completion queue: harvest up to `max` commands whose device
     /// completion time has passed. Read payloads are DMA'd into their
     /// buffers here (the data was in flight until now). Returns completions
@@ -302,6 +320,13 @@ impl IoQPair {
                 _ => break,
             }
             let p = self.pending.pop().expect("peeked entry");
+            if self.cancelled.remove(&p.id) {
+                self.completed += 1;
+                if let Some(t) = &self.telemetry {
+                    t.queue_depth.set(self.pending.len() as i64);
+                }
+                continue;
+            }
             let bytes = p.nblocks as u64 * BLOCK_SIZE;
             if p.op == Op::Read && p.status.is_ok() {
                 p.buf.with_mut(|d| {

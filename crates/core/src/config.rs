@@ -27,6 +27,9 @@ pub struct DlfsCosts {
     pub lookup_per_level: Dur,
     /// Fixed lookup overhead (hash the name, pick the tree).
     pub lookup_base: Dur,
+    /// CPU cost to checksum-verify one 512 B device block of fetched data
+    /// (charged only when [`DlfsConfig::verify_reads`] is on).
+    pub verify_block: Dur,
 }
 
 impl Default for DlfsCosts {
@@ -41,6 +44,7 @@ impl Default for DlfsCosts {
             memcpy_bytes_per_sec: 8.0e9,
             lookup_per_level: Dur::nanos(18),
             lookup_base: Dur::nanos(60),
+            verify_block: Dur::nanos(20),
         }
     }
 }
@@ -129,6 +133,30 @@ pub struct DlfsConfig {
     /// registry stay stable across engine-internal changes; the reactor
     /// still tracks them internally either way.
     pub reactor_stats: bool,
+    /// Number of copies of every data chunk placed across storage nodes
+    /// (deterministic placement: replica `r` of home node `h` lives on
+    /// node `(h + r) % N`). `1` — the default — is today's single-copy
+    /// layout, byte-identical to builds without replication. With `k > 1`
+    /// the engine routes reads by target health and fails in-flight parts
+    /// over to a healthy replica on media errors, checksum mismatches or
+    /// an open circuit.
+    pub replicas: usize,
+    /// Verify per-block checksums (computed at mount/import, persisted in
+    /// the layout's integrity region) on every read path before any byte
+    /// is exposed — batched completions, synchronous reads and zero-copy
+    /// publications. A mismatch is treated like a media error: the part is
+    /// retried/failed over, and (with replicas) the bad extent is
+    /// rewritten from a healthy copy (read-repair). Off by default.
+    pub verify_reads: bool,
+    /// Walk and verify data extents during idle reactor gaps, repairing
+    /// latent corruption from replicas before demand reads hit it.
+    /// Requires `verify_reads`.
+    pub scrub: bool,
+    /// Hedge slow batched reads: once a part has been in flight for a
+    /// deadline-derived delay, issue a duplicate to the next healthy
+    /// replica; the first completion wins and the loser is cancelled.
+    /// Requires `replicas >= 2`.
+    pub hedge_reads: bool,
     pub costs: DlfsCosts,
 }
 
@@ -148,6 +176,10 @@ impl Default for DlfsConfig {
             ckpt_region_bytes: 8 << 20,
             import_stream_depth: 4,
             reactor_stats: false,
+            replicas: 1,
+            verify_reads: false,
+            scrub: false,
+            hedge_reads: false,
             costs: DlfsCosts::default(),
         }
     }
@@ -187,6 +219,23 @@ impl DlfsConfig {
                 "prefetch_window ({}) requires cache_mode CrossEpoch: prefetched \
                  chunks are only useful if they survive into the next epoch",
                 self.prefetch_window
+            ));
+        }
+        if self.replicas == 0 {
+            return Err("replicas must be >= 1 (1 = no replication)".into());
+        }
+        if self.scrub && !self.verify_reads {
+            return Err(
+                "scrub requires verify_reads: the scrubber walks extents against \
+                 the persisted checksum table"
+                    .into(),
+            );
+        }
+        if self.hedge_reads && self.replicas < 2 {
+            return Err(format!(
+                "hedge_reads requires replicas >= 2 (have {}): a hedge needs a \
+                 second copy to race",
+                self.replicas
             ));
         }
         Ok(())
@@ -261,6 +310,31 @@ mod tests {
         let c = DlfsConfig {
             prefetch_window: 4,
             cache_mode: CacheMode::CrossEpoch,
+            ..Default::default()
+        };
+        c.validate().unwrap();
+        let c = DlfsConfig {
+            replicas: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        // Scrub needs the checksum table; hedging needs a second copy…
+        let c = DlfsConfig {
+            scrub: true,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = DlfsConfig {
+            hedge_reads: true,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        // …and both are valid once their prerequisites hold.
+        let c = DlfsConfig {
+            replicas: 2,
+            verify_reads: true,
+            scrub: true,
+            hedge_reads: true,
             ..Default::default()
         };
         c.validate().unwrap();

@@ -110,6 +110,15 @@ pub enum DlfsError {
     Deployment(String),
     /// The on-device persistent layout rejected what it found.
     Layout(LayoutError),
+    /// Every replica of a data chunk was exhausted with at least one
+    /// checksum mismatch along the way: the chunk is corrupt beyond what
+    /// failover and read-repair could recover (degraded mode).
+    Corrupt {
+        /// Byte offset of the corrupt chunk on its home node.
+        chunk: u64,
+        /// Replica reads attempted before giving up.
+        tried: u32,
+    },
 }
 
 impl std::fmt::Display for DlfsError {
@@ -136,6 +145,10 @@ impl std::fmt::Display for DlfsError {
             ),
             DlfsError::Deployment(m) => write!(f, "bad deployment: {m}"),
             DlfsError::Layout(e) => write!(f, "layout: {e}"),
+            DlfsError::Corrupt { chunk, tried } => write!(
+                f,
+                "chunk at offset {chunk} corrupt on every replica ({tried} read(s) tried)"
+            ),
         }
     }
 }

@@ -20,14 +20,14 @@
 //! copy pool through [`DlfsShared`].
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use blocksim::{covering_blocks, CmdStatus, DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
 use simkit::rng::SplitMix64;
 use simkit::runtime::Runtime;
 use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
-use simkit::time::Time;
+use simkit::time::{Dur, Time};
 
 use crate::cache::RangeKey;
 use crate::config::{CacheMode, DlfsConfig};
@@ -35,11 +35,15 @@ use crate::copy::{CopyDone, CopyJob, SegList, Segment};
 use crate::directory::SampleDirectory;
 use crate::entry::SampleEntry;
 use crate::error::{DlfsError, IoFailure};
+use crate::integrity::Redundancy;
 use crate::plan::{build_epoch_plan, reader_item_ranges, FetchItem, ReaderPlan};
 use crate::reactor::{CompletionClock, ReactorStats};
 use crate::request::{Completions, Delivery, ReadRequest};
 use crate::zerocopy::{Pin, PinGuard, ZeroCopySample};
 use crate::{cache::SampleCache, copy::CopyPool};
+
+/// Blocks the background scrubber walks per idle reactor gap.
+const SCRUB_GAP_BLOCKS: u64 = 64;
 
 /// State shared by every I/O thread of one compute node.
 pub struct DlfsShared {
@@ -56,6 +60,10 @@ pub struct DlfsShared {
     /// Per-storage-node on-device layouts when this instance is persistent
     /// (created by `import`/`remount`); `None` for ephemeral mounts.
     pub layouts: Option<Arc<Vec<crate::layout::Superblock>>>,
+    /// Replica routing, per-block integrity tables and target health;
+    /// `None` on the default (`replicas == 1`, no `verify_reads`) path —
+    /// every read then takes its historical branch unchanged.
+    pub redundancy: Option<Arc<Redundancy>>,
 }
 
 impl std::fmt::Debug for DlfsShared {
@@ -103,17 +111,40 @@ struct IoTelemetry {
     post_ns: Histo,
     poll_ns: Histo,
     copy_ns: Histo,
+    /// Integrity/replication counters under `dlfs.integrity.*`. Registered
+    /// only when the instance carries a [`Redundancy`] — under the
+    /// zero-knob default they bind to a detached registry so metric
+    /// renders stay byte-identical.
+    iv_verified: Counter,
+    iv_mismatches: Counter,
+    iv_repairs: Counter,
+    iv_scrubbed: Counter,
+    iv_failovers: Counter,
+    iv_hedges: Counter,
+    iv_hedge_wins: Counter,
 }
 
 impl IoTelemetry {
-    fn new(reg: &Registry, cross_epoch: bool) -> IoTelemetry {
+    fn new(reg: &Registry, cross_epoch: bool, integrity: bool) -> IoTelemetry {
         let io = reg.scoped("dlfs.io");
         let cache = if cross_epoch {
             reg.scoped("dlfs.cache")
         } else {
             Registry::new().scoped("dlfs.cache")
         };
+        let iv = if integrity {
+            reg.scoped("dlfs.integrity")
+        } else {
+            Registry::new().scoped("dlfs.integrity")
+        };
         IoTelemetry {
+            iv_verified: iv.counter("verified"),
+            iv_mismatches: iv.counter("mismatches"),
+            iv_repairs: iv.counter("repairs"),
+            iv_scrubbed: iv.counter("scrubbed"),
+            iv_failovers: iv.counter("failovers"),
+            iv_hedges: iv.counter("hedges"),
+            iv_hedge_wins: iv.counter("hedge_wins"),
             ce_hits: cache.counter("hits"),
             ce_misses: cache.counter("misses"),
             prefetch_issued: cache.counter("prefetch_issued"),
@@ -156,8 +187,8 @@ struct ItemRt {
 
 /// A retry parked until its backoff elapses: readiness instant, insertion
 /// sequence (keeps same-instant pops deterministic), item idx, part,
-/// failed attempts.
-type DelayedPart = Reverse<(Time, u64, u32, u32, u32)>;
+/// failed attempts, preferred replica for the resubmission.
+type DelayedPart = Reverse<(Time, u64, u32, u32, u32, u32)>;
 
 /// Epoch execution state.
 struct EpochState {
@@ -175,8 +206,8 @@ struct EpochState {
     /// Next item to start fetching.
     next_fetch: usize,
     /// Parts awaiting qpair submission: (item idx, part no, failed
-    /// attempts so far).
-    pending_parts: VecDeque<(u32, u32, u32)>,
+    /// attempts so far, preferred replica).
+    pending_parts: VecDeque<(u32, u32, u32, u32)>,
     /// Failed parts waiting out their retry backoff.
     delayed_parts: BinaryHeap<DelayedPart>,
     delay_seq: u64,
@@ -221,8 +252,22 @@ pub struct DlfsIo {
     shared: Arc<DlfsShared>,
     qpairs: Vec<IoQPair>,
     epoch: Option<EpochState>,
-    inflight: HashMap<u64, (u32, u32, u32)>, // cmd id -> (item idx, part, attempt)
+    inflight: HashMap<u64, (u32, u32, u32, u32)>, // cmd -> (item idx, part, attempt, replica)
     next_cmd: u64,
+    /// Parts whose delivered bytes failed checksum verification at least
+    /// once this epoch: a verified success from a replica then read-repairs
+    /// the home extent, and retry exhaustion surfaces `Corrupt` instead of
+    /// a plain I/O error.
+    mismatched: HashSet<(u32, u32)>,
+    /// Hedge pairing: cmd → (partner cmd, partner's qpair, whether *this*
+    /// cmd is the late-issued duplicate). The first verified completion of
+    /// a pair delivers; its partner is cancelled (or silently dropped).
+    hedges: HashMap<u64, (u64, usize, bool)>,
+    /// Primaries due for a hedged duplicate: (due instant, cmd).
+    hedge_due: BinaryHeap<Reverse<(Time, u64)>>,
+    /// Background scrub position: (storage node, block within its data
+    /// region).
+    scrub_cursor: (usize, u64),
     /// Fatal engine failure (a part exhausted its retry budget). Sticky
     /// until the epoch is replaced: the plan can no longer be completed.
     failed: Option<DlfsError>,
@@ -281,7 +326,7 @@ impl DlfsIo {
             shared.cache.attach_telemetry(&reg.scoped("dlfs.cache"));
         }
         DlfsIo {
-            tel: IoTelemetry::new(reg, cross_epoch),
+            tel: IoTelemetry::new(reg, cross_epoch, shared.redundancy.is_some()),
             rstats: ReactorStats::new(reg, shared.cfg.reactor_stats),
             registry: reg.clone(),
             shared,
@@ -289,6 +334,10 @@ impl DlfsIo {
             epoch: None,
             inflight: HashMap::new(),
             next_cmd: 1,
+            mismatched: HashSet::new(),
+            hedges: HashMap::new(),
+            hedge_due: BinaryHeap::new(),
+            scrub_cursor: (0, 0),
             failed: None,
             current_deadline: None,
             copy_dispatch_at: Vec::new(),
@@ -331,7 +380,7 @@ impl DlfsIo {
                 }
                 for comp in self.qpairs[q].process_completions(rt, usize::MAX) {
                     if self.inflight.remove(&comp.id).is_none() {
-                        self.prefetch_complete(comp.id, comp.status);
+                        self.prefetch_complete(rt, comp.id, comp.status);
                     }
                     harvested += 1;
                 }
@@ -349,6 +398,9 @@ impl DlfsIo {
                 }
             }
         }
+        self.hedges.clear();
+        self.hedge_due.clear();
+        self.mismatched.clear();
         let Some(st) = self.epoch.take() else {
             return; // only prefetches were outstanding
         };
@@ -494,7 +546,7 @@ impl DlfsIo {
         rt_item.base = slba * BLOCK_SIZE;
         st.bufs.insert(idx, bufs);
         for p in 0..parts {
-            st.pending_parts.push_back((idx, p, 0));
+            st.pending_parts.push_back((idx, p, 0, 0));
         }
         st.open_items += 1;
         FetchStart::Started
@@ -545,12 +597,14 @@ impl DlfsIo {
         {
             let now = rt.now();
             let st = self.epoch.as_mut().expect("no epoch");
-            while let Some(&Reverse((ready_at, _, idx, part, attempt))) = st.delayed_parts.peek() {
+            while let Some(&Reverse((ready_at, _, idx, part, attempt, replica))) =
+                st.delayed_parts.peek()
+            {
                 if ready_at > now {
                     break;
                 }
                 st.delayed_parts.pop();
-                st.pending_parts.push_back((idx, part, attempt));
+                st.pending_parts.push_back((idx, part, attempt, replica));
                 progressed += 1;
             }
         }
@@ -565,12 +619,18 @@ impl DlfsIo {
         let chunk = self.shared.cfg.chunk_size as usize;
         let costs = self.shared.cfg.costs.clone();
         let qd = self.shared.cfg.queue_depth;
+        let hedging = self.shared.cfg.hedge_reads
+            && self
+                .shared
+                .redundancy
+                .as_deref()
+                .is_some_and(|r| r.replicas > 1);
         let mut flushed = false;
         let mut blocked = false;
-        while let Some(&(idx, part, attempt)) =
+        while let Some(&(idx, part, attempt, replica)) =
             self.epoch.as_ref().expect("no epoch").pending_parts.front()
         {
-            let (nid, slba_part, nblocks_part, buf) = {
+            let (dev, slba_dev, nblocks_part, replica, buf) = {
                 let st = self.epoch.as_ref().expect("no epoch");
                 let it = &st.plan.items[idx as usize];
                 let (slba, nblocks, _) = covering_blocks(it.offset, it.len);
@@ -578,9 +638,19 @@ impl DlfsIo {
                 let start = part * blocks_per_chunk;
                 let n = (nblocks - start).min(blocks_per_chunk);
                 let buf = st.bufs[&idx][part as usize].clone();
-                (it.nid, slba + start as u64, n, buf)
+                // Route through the replica map (health-aware) when the
+                // instance is redundant; replica 0 is the home copy.
+                let (r, dev, slba_dev) = match self.shared.redundancy.as_deref() {
+                    Some(red) if red.replicas > 1 => {
+                        let r = red.pick_replica(it.nid, replica, rt.now());
+                        let (d, s) = red.route(it.nid, r, slba + start as u64);
+                        (r, d as usize, s)
+                    }
+                    _ => (0, it.nid as usize, slba + start as u64),
+                };
+                (dev, slba_dev, n, r, buf)
             };
-            if self.qpairs[nid as usize].outstanding() >= qd {
+            if self.qpairs[dev].outstanding() >= qd {
                 blocked = true;
                 break; // queue full; poll first
             }
@@ -589,14 +659,18 @@ impl DlfsIo {
             rt.work(costs.prep_request);
             let t1 = rt.now();
             rt.work(costs.post_request);
-            self.qpairs[nid as usize]
-                .submit_read(rt, cmd, slba_part, nblocks_part, buf, 0)
+            self.qpairs[dev]
+                .submit_read(rt, cmd, slba_dev, nblocks_part, buf, 0)
                 .expect("capacity checked before staging");
             self.tel.prep_ns.record_dur(t1 - t0);
             self.tel.post_ns.record_dur(rt.now() - t1);
             self.next_cmd += 1;
             self.tel.requests_posted.inc();
-            self.inflight.insert(cmd, (idx, part, attempt));
+            self.inflight.insert(cmd, (idx, part, attempt, replica));
+            if hedging {
+                self.hedge_due
+                    .push(Reverse((rt.now() + self.hedge_delay(rt.now()), cmd)));
+            }
             self.epoch
                 .as_mut()
                 .expect("no epoch")
@@ -614,11 +688,87 @@ impl DlfsIo {
         if flushed {
             self.rstats.doorbells.inc();
         }
+        if hedging {
+            progressed += self.fire_hedges(rt);
+        }
 
         // With the epoch's own fetch list exhausted, spend the idle tail
         // warming the next epoch (plan-aware prefetch).
         progressed += self.pump_prefetch(rt);
         progressed
+    }
+
+    /// Delay before a demand read is hedged with a duplicate on the next
+    /// replica: a quarter of the remaining deadline budget, floored so
+    /// near-deadline batches don't hedge instantly.
+    fn hedge_delay(&self, now: Time) -> Dur {
+        match self.current_deadline {
+            Some(dl) if dl > now => {
+                let quarter = Dur::nanos((dl - now).as_nanos() / 4);
+                quarter.max(Dur::micros(5))
+            }
+            _ => Dur::micros(50),
+        }
+    }
+
+    /// Issue hedged duplicates for primaries that have been in flight past
+    /// their hedge delay (config `hedge_reads`, replicas >= 2). The
+    /// duplicate reads the *next* replica into the same buffer; whichever
+    /// command completes (and verifies) first delivers the part, and its
+    /// partner is cancelled on the device.
+    fn fire_hedges(&mut self, rt: &Runtime) -> usize {
+        let Some(red) = self.shared.redundancy.clone() else {
+            return 0;
+        };
+        let qd = self.shared.cfg.queue_depth;
+        let costs = self.shared.cfg.costs.clone();
+        let chunk = self.shared.cfg.chunk_size;
+        let mut fired = 0;
+        while let Some(&Reverse((due, cmd))) = self.hedge_due.peek() {
+            if due > rt.now() {
+                break;
+            }
+            self.hedge_due.pop();
+            // Already completed, or already hedged: nothing to do.
+            let Some(&(idx, part, attempt, replica)) = self.inflight.get(&cmd) else {
+                continue;
+            };
+            if self.hedges.contains_key(&cmd) {
+                continue;
+            }
+            let Some(st) = self.epoch.as_ref() else {
+                continue;
+            };
+            let it = &st.plan.items[idx as usize];
+            let (slba, nblocks, _) = covering_blocks(it.offset, it.len);
+            let blocks_per_chunk = (chunk / BLOCK_SIZE) as u32;
+            let start = part * blocks_per_chunk;
+            let n = (nblocks - start).min(blocks_per_chunk);
+            let buf = st.bufs[&idx][part as usize].clone();
+            let r2 = (replica + 1) % red.replicas;
+            let (dev1, _) = red.route(it.nid, replica, slba + start as u64);
+            let (dev2, slba2) = red.route(it.nid, r2, slba + start as u64);
+            if r2 == replica || dev2 == dev1 {
+                continue; // no distinct copy to hedge onto
+            }
+            if self.qpairs[dev2 as usize].outstanding() >= qd {
+                continue; // no room; the primary keeps sole ownership
+            }
+            let cmd2 = self.next_cmd;
+            rt.work(costs.prep_request);
+            rt.work(costs.post_request);
+            self.qpairs[dev2 as usize]
+                .submit_read(rt, cmd2, slba2, n, buf, 0)
+                .expect("capacity checked before staging");
+            self.next_cmd += 1;
+            self.tel.requests_posted.inc();
+            self.tel.iv_hedges.inc();
+            self.inflight.insert(cmd2, (idx, part, attempt, r2));
+            self.hedges.insert(cmd, (cmd2, dev2 as usize, false));
+            self.hedges.insert(cmd2, (cmd, dev1 as usize, true));
+            fired += 1;
+        }
+        fired
     }
 
     /// Plan-aware prefetch (paper-adjacent: the epoch access sequence is
@@ -731,7 +881,7 @@ impl DlfsIo {
     /// became resident meanwhile — return the chunk. Prefetches are
     /// best-effort: no retries; a miss simply falls back to a demand
     /// fetch next epoch.
-    fn prefetch_complete(&mut self, cmd: u64, status: CmdStatus) {
+    fn prefetch_complete(&mut self, rt: &Runtime, cmd: u64, status: CmdStatus) {
         let key = self
             .prefetch
             .cmds
@@ -742,7 +892,25 @@ impl DlfsIo {
             .inflight
             .remove(&key)
             .expect("prefetch buffer tracked");
-        if status.is_ok() && !self.shared.cache.contains(key) {
+        // Prefetched bytes are published into the cache, so they must pass
+        // checksum verification like any demand read; a corrupt prefetch is
+        // simply dropped (demand reads repair via replicas).
+        let verified = match self.shared.redundancy.as_deref().filter(|r| r.verify()) {
+            Some(red) if status.is_ok() => {
+                let (slba, nblocks, _) = covering_blocks(key.1, len);
+                rt.work(self.shared.cfg.costs.verify_block * nblocks as u64);
+                self.tel.iv_verified.add(nblocks as u64);
+                let ok = buf.with(|d| {
+                    red.verify_blocks(key.0, slba, &d[..nblocks as usize * BLOCK_SIZE as usize])
+                });
+                if !ok {
+                    self.tel.iv_mismatches.inc();
+                }
+                ok
+            }
+            _ => true,
+        };
+        if status.is_ok() && verified && !self.shared.cache.contains(key) {
             self.shared.cache.publish_prefetched(key, vec![buf], len);
         } else {
             if status == CmdStatus::TransportError {
@@ -757,24 +925,127 @@ impl DlfsIo {
     /// read path: both drain the same qpairs, so either may harvest the
     /// other's completions — and either way a failed part must be re-queued
     /// for retry, never just routed and forgotten.
+    ///
+    /// With a [`Redundancy`] attached this is also where integrity is
+    /// enforced: delivered bytes are checksum-verified *before* the part
+    /// can publish, mismatches and device errors fail straight over to the
+    /// next replica, a verified replica copy read-repairs a home extent
+    /// that mismatched, and hedge pairs are resolved first-wins.
+    #[allow(clippy::too_many_arguments)]
     fn engine_complete(
         &mut self,
         rt: &Runtime,
+        cmd: u64,
         idx: u32,
         part: u32,
         attempt: u32,
+        replica: u32,
         status: CmdStatus,
     ) {
-        if !status.is_ok() {
-            // Failed command (media error or fabric timeout): resubmit
-            // under the retry policy, backing off in virtual time.
-            if status == CmdStatus::TransportError {
-                self.tel.timeouts.inc();
+        // Resolve hedge pairing up front: at most one of the pair delivers.
+        let hedge = self.hedges.remove(&cmd);
+        if let Some((pcmd, _, _)) = hedge {
+            self.hedges.remove(&pcmd);
+        }
+        let red = self.shared.redundancy.clone();
+        let (nid, home_slba, nblocks) = {
+            let st = self.epoch.as_ref().expect("no epoch");
+            let it = &st.plan.items[idx as usize];
+            let (slba, total, _) = covering_blocks(it.offset, it.len);
+            let bpc = (self.shared.cfg.chunk_size / BLOCK_SIZE) as u32;
+            let start = part * bpc;
+            (it.nid, slba + start as u64, (total - start).min(bpc))
+        };
+        let serving = red
+            .as_deref()
+            .map(|r| r.route(nid, replica, home_slba).0)
+            .unwrap_or(nid);
+        // Verify the delivered bytes before anything is published.
+        let mut verify_failed = false;
+        if status.is_ok() {
+            if let Some(red) = red.as_deref().filter(|r| r.verify()) {
+                rt.work(self.shared.cfg.costs.verify_block * nblocks as u64);
+                self.tel.iv_verified.add(nblocks as u64);
+                let buf = self.epoch.as_ref().expect("no epoch").bufs[&idx][part as usize].clone();
+                let span = nblocks as usize * BLOCK_SIZE as usize;
+                let ok = buf.with(|d| red.verify_blocks(nid, home_slba, &d[..span]));
+                if ok {
+                    if replica > 0 && self.mismatched.remove(&(idx, part)) {
+                        // Read-repair: the home copy failed its checksum
+                        // earlier; rewrite it from this verified replica
+                        // (clears sticky media faults too).
+                        let home = self.shared.targets[nid as usize].clone();
+                        buf.with(|d| home.dma_write(home_slba, &d[..span]));
+                        self.tel.iv_repairs.inc();
+                    } else {
+                        self.mismatched.remove(&(idx, part));
+                    }
+                } else {
+                    self.tel.iv_mismatches.inc();
+                    self.mismatched.insert((idx, part));
+                    verify_failed = true;
+                }
             }
-            let failed_attempts = attempt + 1;
-            match self.shared.cfg.retry.next_delay(failed_attempts) {
-                Some(backoff) => {
-                    self.tel.retries.inc();
+        }
+        if status.is_ok() && !verify_failed {
+            if let Some(red) = red.as_deref().filter(|r| r.replicas > 1) {
+                red.health.record_ok(serving as usize);
+            }
+            if let Some((pcmd, pdev, secondary)) = hedge {
+                // First verified completion wins: cancel the partner on its
+                // device (it never DMAs) and drop its in-flight entry.
+                if self.inflight.remove(&pcmd).is_some() {
+                    self.qpairs[pdev].cancel(pcmd);
+                }
+                if secondary {
+                    self.tel.iv_hedge_wins.inc();
+                }
+            }
+            let st = self.epoch.as_mut().expect("no epoch");
+            let item = &mut st.items[idx as usize];
+            item.parts_left -= 1;
+            if item.parts_left == 0 {
+                // Item fully resident: publish it in the sample cache, flip
+                // the V field of its samples and offer it to the delivery
+                // draw.
+                let it = &st.plan.items[idx as usize];
+                self.shared
+                    .cache
+                    .publish((it.nid, it.offset), st.bufs[&idx].clone(), it.len);
+                for &s in &it.samples {
+                    self.shared.dir.set_valid(s, true);
+                }
+                st.resident_ready.push(idx);
+            }
+            return;
+        }
+        // Failed command: device media error, fabric timeout, or delivered
+        // bytes that failed their checksum.
+        if status == CmdStatus::TransportError {
+            self.tel.timeouts.inc();
+        }
+        if let Some(red) = red.as_deref().filter(|r| r.replicas > 1) {
+            red.health.record_failure(serving as usize, rt.now());
+        }
+        if let Some((pcmd, _, _)) = hedge {
+            if self.inflight.contains_key(&pcmd) {
+                // The hedged twin is still racing and becomes the part's
+                // sole owner: this loss consumes no retry budget.
+                return;
+            }
+        }
+        let failed_attempts = attempt + 1;
+        match self.shared.cfg.retry.next_delay(failed_attempts) {
+            Some(backoff) => {
+                self.tel.retries.inc();
+                if red.as_deref().is_some_and(|r| r.replicas > 1) {
+                    // Fail straight over to the next replica in rotation —
+                    // another copy can serve *now*, so no backoff.
+                    self.tel.iv_failovers.inc();
+                    let st = self.epoch.as_mut().expect("no epoch");
+                    st.pending_parts
+                        .push_back((idx, part, failed_attempts, replica + 1));
+                } else {
                     let mut ready_at = rt.now() + backoff;
                     if let Some(dl) = self.current_deadline {
                         // Never park a retry past the batch deadline: the
@@ -789,38 +1060,30 @@ impl DlfsIo {
                         idx,
                         part,
                         failed_attempts,
+                        replica,
                     )));
                 }
-                None => {
-                    let target =
-                        self.epoch.as_ref().expect("no epoch").plan.items[idx as usize].nid;
-                    let cause = match status {
-                        CmdStatus::TransportError => IoFailure::Timeout,
-                        _ => IoFailure::Media,
-                    };
-                    self.failed.get_or_insert(DlfsError::Io {
-                        target: target.into(),
-                        attempts: failed_attempts,
-                        cause,
+            }
+            None => {
+                let chunk_off =
+                    self.epoch.as_ref().expect("no epoch").plan.items[idx as usize].offset;
+                self.failed
+                    .get_or_insert(if self.mismatched.contains(&(idx, part)) {
+                        DlfsError::Corrupt {
+                            chunk: chunk_off,
+                            tried: failed_attempts,
+                        }
+                    } else {
+                        DlfsError::Io {
+                            target: nid.into(),
+                            attempts: failed_attempts,
+                            cause: match status {
+                                CmdStatus::TransportError => IoFailure::Timeout,
+                                _ => IoFailure::Media,
+                            },
+                        }
                     });
-                }
             }
-            return;
-        }
-        let st = self.epoch.as_mut().expect("no epoch");
-        let item = &mut st.items[idx as usize];
-        item.parts_left -= 1;
-        if item.parts_left == 0 {
-            // Item fully resident: publish it in the sample cache, flip the
-            // V field of its samples and offer it to the delivery draw.
-            let it = &st.plan.items[idx as usize];
-            self.shared
-                .cache
-                .publish((it.nid, it.offset), st.bufs[&idx].clone(), it.len);
-            for &s in &it.samples {
-                self.shared.dir.set_valid(s, true);
-            }
-            st.resident_ready.push(idx);
         }
     }
 
@@ -852,10 +1115,10 @@ impl DlfsIo {
                 self.tel.completions.inc();
                 harvested += 1;
                 match self.inflight.remove(&comp.id) {
-                    Some((idx, part, attempt)) => {
-                        self.engine_complete(rt, idx, part, attempt, comp.status);
+                    Some((idx, part, attempt, replica)) => {
+                        self.engine_complete(rt, comp.id, idx, part, attempt, replica, comp.status);
                     }
-                    None => self.prefetch_complete(comp.id, comp.status),
+                    None => self.prefetch_complete(rt, comp.id, comp.status),
                 }
             }
         }
@@ -1087,11 +1350,17 @@ impl DlfsIo {
             .as_ref()
             .and_then(|st| st.delayed_parts.peek())
             .map(|Reverse((t, ..))| *t);
-        match (next_dev, next_retry) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, None) => a,
-            (None, b) => b,
-        }
+        // A pending hedge is an engine event too: the reactor must wake at
+        // its due instant, not sleep through to the (slow) primary.
+        let next_hedge = if self.shared.cfg.hedge_reads {
+            self.hedge_due.peek().map(|Reverse((t, _))| *t)
+        } else {
+            None
+        };
+        [next_dev, next_retry, next_hedge]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Advance the calling thread to `t`, the next engine event. Counted
@@ -1108,11 +1377,101 @@ impl DlfsIo {
         }
         self.rstats.wakeups.inc();
         if self.qpairs.iter().all(|q| q.outstanding() == 0) {
+            // Nothing in flight: the reactor parks. Spend the idle gap on a
+            // slice of background scrubbing first (untimed bookkeeping — it
+            // models a housekeeping thread, not reactor CPU).
+            if self.shared.cfg.scrub {
+                self.scrub_blocks(SCRUB_GAP_BLOCKS);
+            }
             self.rstats.park(t - now);
             rt.sleep_until(t);
         } else {
             rt.work_until(t);
         }
+    }
+
+    /// Walk `budget` data blocks of the scrub cursor, verifying each block
+    /// against the integrity tables (and probing for latent media faults),
+    /// repairing bad blocks from the first healthy replica. Returns the
+    /// number of blocks scrubbed. No-op without checksums.
+    fn scrub_blocks(&mut self, budget: u64) -> u64 {
+        let Some(red) = self.shared.redundancy.clone() else {
+            return 0;
+        };
+        if !red.verify() {
+            return 0;
+        }
+        let nodes = self.shared.targets.len();
+        let mut scrubbed = 0u64;
+        let mut hops = 0usize;
+        let mut left = budget;
+        while left > 0 && hops <= nodes {
+            let (n, blk) = self.scrub_cursor;
+            let total = red.data_blocks(n as u16);
+            if blk >= total {
+                self.scrub_cursor = ((n + 1) % nodes, 0);
+                hops += 1;
+                continue;
+            }
+            let run = left.min(total - blk);
+            let base_blk = red.slots[n].0 / BLOCK_SIZE + blk;
+            let mut data = vec![0u8; (run * BLOCK_SIZE) as usize];
+            self.shared.targets[n].dma_read(base_blk, &mut data);
+            for i in 0..run {
+                let slba = base_blk + i;
+                let span = &data[(i * BLOCK_SIZE) as usize..][..BLOCK_SIZE as usize];
+                let good = red.verify_blocks(n as u16, slba, span)
+                    && !self.shared.targets[n].probe_extent(slba, 1);
+                if !good {
+                    self.scrub_repair(&red, n, slba);
+                }
+            }
+            scrubbed += run;
+            left -= run;
+            self.scrub_cursor = (n, blk + run);
+        }
+        self.tel.iv_scrubbed.add(scrubbed);
+        scrubbed
+    }
+
+    /// Rewrite one bad home block from the first replica whose copy
+    /// verifies. Unrepairable blocks (no healthy copy) are left for the
+    /// read path to surface as [`DlfsError::Corrupt`].
+    fn scrub_repair(&mut self, red: &Redundancy, n: usize, slba: u64) {
+        for r in 1..red.replicas {
+            let (peer, pslba) = red.route(n as u16, r, slba);
+            let src = &self.shared.targets[peer as usize];
+            if src.probe_extent(pslba, 1) {
+                continue;
+            }
+            let mut blk = vec![0u8; BLOCK_SIZE as usize];
+            src.dma_read(pslba, &mut blk);
+            if !red.verify_blocks(n as u16, slba, &blk) {
+                continue;
+            }
+            self.shared.targets[n].dma_write(slba, &blk);
+            self.tel.iv_repairs.inc();
+            return;
+        }
+    }
+
+    /// One full background-scrub sweep over every node's data region:
+    /// verify every covered block and repair what a healthy replica can
+    /// provide. Returns the number of blocks scrubbed. Exposed for tests
+    /// and the fsck/CI tooling; the engine otherwise scrubs incrementally
+    /// during idle reactor gaps (config `scrub`).
+    pub fn scrub_pass(&mut self) -> u64 {
+        let Some(red) = self.shared.redundancy.as_deref() else {
+            return 0;
+        };
+        let total: u64 = (0..self.shared.targets.len())
+            .map(|n| red.data_blocks(n as u16))
+            .sum();
+        if total == 0 {
+            return 0;
+        }
+        self.scrub_cursor = (0, 0);
+        self.scrub_blocks(total)
     }
 
     /// The zero-copy engine loop: prep → post → poll, then pin + hand out
@@ -1279,47 +1638,51 @@ impl DlfsIo {
     }
 
     /// Submit every due (re)submission of the synchronous read path, lowest
-    /// part first, stopping at qpair backpressure (QueueFull).
+    /// part first, stopping at qpair backpressure (QueueFull). Each entry
+    /// is routed through the replica map (health-aware) when the instance
+    /// is redundant.
     #[allow(clippy::too_many_arguments)]
     fn sync_submit_due(
         &mut self,
         rt: &Runtime,
         nid: usize,
+        target_nid: u16,
         slba: u64,
         nblocks: u32,
         blocks_per_chunk: u32,
         bufs: &[DmaBuf],
-        waiting: &mut Vec<(u32, u32, Time)>,
-        part_of: &mut HashMap<u64, (u32, u32)>,
+        waiting: &mut Vec<(u32, u32, Time, u32)>,
+        part_of: &mut HashMap<u64, (u32, u32, u32)>,
     ) {
         let costs = self.shared.cfg.costs.clone();
         loop {
             let now = rt.now();
-            let Some(i) = waiting.iter().position(|&(_, _, nb)| nb <= now) else {
+            let Some(i) = waiting.iter().position(|&(_, _, nb, _)| nb <= now) else {
                 break;
             };
-            let (p, attempt, _) = waiting[i];
+            let (p, attempt, _, replica) = waiting[i];
             let start = p * blocks_per_chunk;
             let nb = (nblocks - start).min(blocks_per_chunk);
+            let (r, dev, dev_slba) = match self.shared.redundancy.as_deref() {
+                Some(red) if red.replicas > 1 => {
+                    let r = red.pick_replica(target_nid, replica, rt.now());
+                    let (d, s) = red.route(target_nid, r, slba + start as u64);
+                    (r, d as usize, s)
+                }
+                _ => (0, nid, slba + start as u64),
+            };
             let t0 = rt.now();
             rt.work(costs.prep_request);
             let t1 = rt.now();
             rt.work(costs.post_request);
             let cmd = self.next_cmd;
-            match self.qpairs[nid].submit_read(
-                rt,
-                cmd,
-                slba + start as u64,
-                nb,
-                bufs[p as usize].clone(),
-                0,
-            ) {
+            match self.qpairs[dev].submit_read(rt, cmd, dev_slba, nb, bufs[p as usize].clone(), 0) {
                 Ok(()) => {
                     self.next_cmd += 1;
                     self.tel.requests_posted.inc();
                     self.tel.prep_ns.record_dur(t1 - t0);
                     self.tel.post_ns.record_dur(rt.now() - t1);
-                    part_of.insert(cmd, (p, attempt));
+                    part_of.insert(cmd, (p, attempt, r));
                     waiting.remove(i);
                 }
                 Err(_) => break, // queue full: poll completions, then retry
@@ -1415,15 +1778,28 @@ impl DlfsIo {
         // prep + post each part; backpressure (a full qpair) and device
         // failures park the part in `waiting` for a later submission pass.
         let blocks_per_chunk = (self.shared.cfg.chunk_size / BLOCK_SIZE) as u32;
-        // Parts to (re)submit: (part, failed attempts so far, not before).
-        let mut waiting: Vec<(u32, u32, Time)> =
-            (0..bufs.len() as u32).map(|p| (p, 0, Time::ZERO)).collect();
-        let mut part_of: HashMap<u64, (u32, u32)> = HashMap::new();
+        let red = self.shared.redundancy.clone();
+        // Devices that may serve this range (home + replicas): the poll
+        // loop below must harvest all of them once reads fail over.
+        let devs: Vec<usize> = match red.as_deref() {
+            Some(r) if r.replicas > 1 => (0..r.replicas)
+                .map(|i| r.route(target_nid, i, slba).0 as usize)
+                .collect(),
+            _ => vec![nid],
+        };
+        // Parts to (re)submit: (part, failed attempts so far, not before,
+        // preferred replica).
+        let mut waiting: Vec<(u32, u32, Time, u32)> = (0..bufs.len() as u32)
+            .map(|p| (p, 0, Time::ZERO, 0))
+            .collect();
+        let mut part_of: HashMap<u64, (u32, u32, u32)> = HashMap::new();
+        let mut mismatched_parts: HashSet<u32> = HashSet::new();
         let mut left = bufs.len();
         let mut fatal: Option<DlfsError> = None;
         self.sync_submit_due(
             rt,
             nid,
+            target_nid,
             slba,
             nblocks,
             blocks_per_chunk,
@@ -1443,6 +1819,7 @@ impl DlfsIo {
                 self.sync_submit_due(
                     rt,
                     nid,
+                    target_nid,
                     slba,
                     nblocks,
                     blocks_per_chunk,
@@ -1453,11 +1830,17 @@ impl DlfsIo {
             }
             rt.work(costs.poll_iteration);
             self.tel.poll_spins.inc();
-            let comps = self.qpairs[nid].process_completions(rt, usize::MAX);
+            let mut comps = Vec::new();
+            for &d in &devs {
+                comps.extend(self.qpairs[d].process_completions(rt, usize::MAX));
+            }
             if comps.is_empty() {
                 self.tel.scq_empty_polls.inc();
-                let next_dev = self.qpairs[nid].next_completion_at();
-                let next_retry = waiting.iter().map(|&(_, _, nb)| nb).min();
+                let next_dev = devs
+                    .iter()
+                    .filter_map(|&d| self.qpairs[d].next_completion_at())
+                    .min();
+                let next_retry = waiting.iter().map(|&(_, _, nb, _)| nb).min();
                 let next = match (next_dev, next_retry) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, None) => a,
@@ -1472,42 +1855,93 @@ impl DlfsIo {
                 for c in &comps {
                     rt.work(costs.per_completion);
                     self.tel.completions.inc();
-                    let Some((p, attempt)) = part_of.remove(&c.id) else {
+                    let Some((p, attempt, replica)) = part_of.remove(&c.id) else {
                         // Not ours: the batched engine (and its
                         // prefetcher) share these qpairs and their
                         // in-flight commands complete here too —
                         // including failed ones, which must be re-queued
                         // for retry, not merely routed.
                         match self.inflight.remove(&c.id) {
-                            Some((idx, part, att)) => {
-                                self.engine_complete(rt, idx, part, att, c.status);
+                            Some((idx, part, att, rep)) => {
+                                self.engine_complete(rt, c.id, idx, part, att, rep, c.status);
                             }
-                            None => self.prefetch_complete(c.id, c.status),
+                            None => self.prefetch_complete(rt, c.id, c.status),
                         }
                         continue;
                     };
+                    let start = p * blocks_per_chunk;
+                    let nb = (nblocks - start).min(blocks_per_chunk);
+                    let serving = red
+                        .as_deref()
+                        .map(|r| r.route(target_nid, replica, slba + start as u64).0)
+                        .unwrap_or(target_nid);
+                    // Verify before the bytes can reach the caller (and,
+                    // on the cross-epoch path, the sample cache).
+                    let mut verify_failed = false;
                     if c.status.is_ok() {
+                        if let Some(red) = red.as_deref().filter(|r| r.verify()) {
+                            rt.work(costs.verify_block * nb as u64);
+                            self.tel.iv_verified.add(nb as u64);
+                            let span = nb as usize * BLOCK_SIZE as usize;
+                            let home_slba = slba + start as u64;
+                            let ok = bufs[p as usize]
+                                .with(|d| red.verify_blocks(target_nid, home_slba, &d[..span]));
+                            if ok {
+                                if replica > 0 && mismatched_parts.remove(&p) {
+                                    // Read-repair the home extent from this
+                                    // verified replica copy.
+                                    let home = self.shared.targets[target_nid as usize].clone();
+                                    bufs[p as usize]
+                                        .with(|d| home.dma_write(home_slba, &d[..span]));
+                                    self.tel.iv_repairs.inc();
+                                }
+                            } else {
+                                self.tel.iv_mismatches.inc();
+                                mismatched_parts.insert(p);
+                                verify_failed = true;
+                            }
+                        }
+                    }
+                    if c.status.is_ok() && !verify_failed {
+                        if let Some(red) = red.as_deref().filter(|r| r.replicas > 1) {
+                            red.health.record_ok(serving as usize);
+                        }
                         left -= 1;
                         continue;
                     }
                     if c.status == CmdStatus::TransportError {
                         self.tel.timeouts.inc();
                     }
+                    if let Some(red) = red.as_deref().filter(|r| r.replicas > 1) {
+                        red.health.record_failure(serving as usize, rt.now());
+                    }
                     let failed_attempts = attempt + 1;
                     match retry.next_delay(failed_attempts) {
                         Some(backoff) => {
                             self.tel.retries.inc();
-                            waiting.push((p, failed_attempts, rt.now() + backoff));
+                            if red.as_deref().is_some_and(|r| r.replicas > 1) {
+                                // Immediate failover to the next replica.
+                                self.tel.iv_failovers.inc();
+                                waiting.push((p, failed_attempts, rt.now(), replica + 1));
+                            } else {
+                                waiting.push((p, failed_attempts, rt.now() + backoff, replica));
+                            }
                         }
                         None => {
-                            let cause = match c.status {
-                                CmdStatus::TransportError => IoFailure::Timeout,
-                                _ => IoFailure::Media,
-                            };
-                            fatal.get_or_insert(DlfsError::Io {
-                                target: target_nid.into(),
-                                attempts: failed_attempts,
-                                cause,
+                            fatal.get_or_insert(if mismatched_parts.contains(&p) {
+                                DlfsError::Corrupt {
+                                    chunk: (slba + start as u64) * BLOCK_SIZE,
+                                    tried: failed_attempts,
+                                }
+                            } else {
+                                DlfsError::Io {
+                                    target: target_nid.into(),
+                                    attempts: failed_attempts,
+                                    cause: match c.status {
+                                        CmdStatus::TransportError => IoFailure::Timeout,
+                                        _ => IoFailure::Media,
+                                    },
+                                }
                             });
                             waiting.clear();
                         }

@@ -57,6 +57,7 @@ pub mod copy;
 pub mod directory;
 pub mod entry;
 pub mod error;
+pub mod integrity;
 pub mod io;
 pub mod layout;
 pub mod mount;
@@ -72,10 +73,11 @@ pub use config::{BatchMode, CacheMode, DlfsConfig, DlfsCosts};
 pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 pub use entry::SampleEntry;
 pub use error::{DlfsError, IoFailure, LayoutError};
+pub use integrity::Redundancy;
 pub use io::{DlfsIo, DlfsShared};
-pub use layout::{fsck_node, FsckNodeReport, FsckState, Superblock};
-#[allow(deprecated)]
-pub use mount::{import, import_local, mount, mount_local, remount, remount_local};
+pub use layout::{
+    fsck_node, fsck_repair, BlockChecksums, FsckNodeReport, FsckRepairReport, FsckState, Superblock,
+};
 pub use mount::{Deployment, DlfsInstance, MountBuilder, MountOptions};
 pub use plan::{
     build_epoch_plan, full_random_order, reader_item_ranges, EpochPlan, FetchItem, ReaderPlan,

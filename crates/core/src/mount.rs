@@ -1,9 +1,10 @@
 //! `dlfs_mount`: the collective that stages a dataset from the persistent
 //! file system onto the allocated NVMe devices and builds the replicated
 //! in-memory sample directory (paper §III-A, §III-B2) — plus the
-//! persistent variants: [`import`] writes the on-device layout of
-//! [`crate::layout`] so a later [`remount`] can rebuild the directory from
-//! the devices alone, skipping PFS staging entirely.
+//! persistent variants: [`MountBuilder::persistent`] writes the on-device
+//! layout of [`crate::layout`] so a later [`MountBuilder::remount`] can
+//! rebuild the directory from the devices alone, skipping PFS staging
+//! entirely.
 //!
 //! "The mount call is a collective call from all processes in a DL
 //! application. ... All nodes load their share of files into the local
@@ -31,8 +32,12 @@ use simkit::time::Dur;
 use crate::config::DlfsConfig;
 use crate::directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 use crate::error::{DlfsError, LayoutError};
+use crate::integrity::Redundancy;
 use crate::io::{DlfsIo, DlfsShared};
-use crate::layout::{self, decode_meta, encode_meta, MetaRecord, Superblock};
+use crate::layout::{
+    self, decode_integrity, decode_meta, encode_integrity, encode_meta, BlockChecksums, MetaRecord,
+    Superblock,
+};
 use crate::source::SampleSource;
 use crate::writer::{read_timed, BatchedWriter, CheckpointReader, CheckpointWriter};
 use crate::{cache::SampleCache, copy::CopyPool};
@@ -96,9 +101,13 @@ impl std::fmt::Debug for MountOptions {
 pub struct DlfsInstance {
     pub dir: Arc<SampleDirectory>,
     shared: Vec<Arc<DlfsShared>>,
-    /// Per-storage-node superblocks when this instance was created by
-    /// [`import`]/[`remount`]; `None` for ephemeral [`mount`]s.
+    /// Per-storage-node superblocks when this instance was created
+    /// persistently (builder `.persistent()` / `.remount()`); `None` for
+    /// ephemeral mounts.
     layouts: Option<Arc<Vec<Superblock>>>,
+    /// Replica routing + integrity tables; `None` on the default
+    /// (`replicas == 1`, no `verify_reads`) path.
+    redundancy: Option<Arc<Redundancy>>,
 }
 
 impl std::fmt::Debug for DlfsInstance {
@@ -135,7 +144,7 @@ impl DlfsInstance {
     }
 
     /// Whether this instance sits on a durable on-device layout
-    /// (created by [`import`]/[`remount`] rather than [`mount`]).
+    /// (created via `.persistent()` / `.remount()` rather than `.mount()`).
     pub fn is_persistent(&self) -> bool {
         self.layouts.is_some()
     }
@@ -143,6 +152,12 @@ impl DlfsInstance {
     /// Storage node `nid`'s superblock (persistent instances only).
     pub fn layout(&self, nid: u16) -> Option<&Superblock> {
         self.layouts.as_ref().and_then(|l| l.get(nid as usize))
+    }
+
+    /// Replica routing + integrity state, when the configuration asked
+    /// for `replicas > 1` and/or `verify_reads`.
+    pub fn redundancy(&self) -> Option<&Arc<Redundancy>> {
+        self.redundancy.as_ref()
     }
 
     fn persistent_layout(&self, nid: u16) -> Result<&Superblock, DlfsError> {
@@ -229,6 +244,7 @@ impl DlfsInstance {
                     reader_id: s.reader_id,
                     readers: s.readers,
                     layouts: s.layouts.clone(),
+                    redundancy: s.redundancy.clone(),
                 })
             })
             .collect();
@@ -236,6 +252,7 @@ impl DlfsInstance {
             dir,
             shared,
             layouts: self.layouts.clone(),
+            redundancy: self.redundancy.clone(),
         }
     }
 }
@@ -319,12 +336,29 @@ struct StagedSample {
     bytes: Vec<u8>,
 }
 
+/// What one upload task hands back: committed superblocks (import mode)
+/// and per-node integrity tables (`verify_reads` mode), both keyed by
+/// global storage-node id.
+#[derive(Default)]
+struct UploadOutcome {
+    finals: Vec<(usize, Superblock)>,
+    sums: Vec<(usize, Vec<u64>)>,
+}
+
 /// Everything one reader's upload task needs, moved into the spawn.
 struct UploadTask {
     r: usize,
     /// Global storage-node ids this reader stages (n ≡ r mod readers).
     my_nodes: Vec<usize>,
     targets: Vec<Arc<dyn NvmeTarget>>,
+    /// The reader's full target row, only carried when `replicas > 1`
+    /// (replica mirrors land on peer nodes outside `my_nodes`).
+    row: Option<Vec<Arc<dyn NvmeTarget>>>,
+    /// Per storage node `(data_base, replica_slot_bytes)` when
+    /// `replicas > 1`; routes each sample's mirror writes.
+    geometry: Option<Arc<Vec<(u64, u64)>>>,
+    /// Build per-node integrity tables while streaming (`verify_reads`).
+    verify: bool,
     /// Per-node superblock drafts: `Some` = import (persist layout).
     drafts: Option<Vec<Superblock>>,
     cfg: DlfsConfig,
@@ -338,10 +372,15 @@ struct UploadTask {
 impl UploadTask {
     /// Receive samples and write them through per-node [`BatchedWriter`]s;
     /// for imports, run the two-phase superblock commit around the data.
+    /// With `replicas > 1` every sample is also mirrored to its k−1
+    /// replica slots on peer nodes; with `verify_reads` a rolling
+    /// [`BlockChecksums`] accumulates each node's per-block table as the
+    /// stream flows — no read-back pass.
     /// On an I/O failure the task keeps draining its pipe (so the producer
     /// never blocks on a dead consumer) and reports the error at the end.
-    fn run(mut self, rt: &Runtime) -> Result<Vec<(usize, Superblock)>, DlfsError> {
+    fn run(mut self, rt: &Runtime) -> Result<UploadOutcome, DlfsError> {
         let reg = self.reg.as_ref();
+        let replicas = self.cfg.replicas;
         let mut writers: Vec<BatchedWriter> = self
             .my_nodes
             .iter()
@@ -349,6 +388,15 @@ impl UploadTask {
             .map(|(pos, &n)| {
                 BatchedWriter::new(self.targets[pos].clone(), n as u16, &self.cfg, reg)
             })
+            .collect();
+        // Mirror writers, keyed by global peer node, created on demand
+        // (only the peers that actually host one of my nodes' replicas).
+        let storage_nodes = self.geometry.as_ref().map(|g| g.len()).unwrap_or(0);
+        let mut mirrors: Vec<Option<BatchedWriter>> = (0..storage_nodes).map(|_| None).collect();
+        let mut checks: Vec<BlockChecksums> = self
+            .my_nodes
+            .iter()
+            .map(|_| BlockChecksums::new())
             .collect();
         let mut records: Vec<Vec<MetaRecord>> = vec![Vec::new(); self.my_nodes.len()];
         // Phase A (import only): stamp each node with the new, uncommitted
@@ -395,6 +443,30 @@ impl UploadTask {
                 failed = Some(e);
                 continue;
             }
+            if self.verify {
+                // Samples arrive per node in packed offset order, so the
+                // rolling hasher sees the data region as one stream.
+                checks[item.node_pos].update(&item.bytes);
+            }
+            if let (Some(geometry), Some(row)) = (self.geometry.as_ref(), self.row.as_ref()) {
+                let home = self.my_nodes[item.node_pos];
+                let (home_base, _) = geometry[home];
+                for r in 1..replicas as u64 {
+                    let peer = (home + r as usize) % geometry.len();
+                    let (peer_base, peer_slot) = geometry[peer];
+                    let off = peer_base + r * peer_slot + (item.offset - home_base);
+                    let w = mirrors[peer].get_or_insert_with(|| {
+                        BatchedWriter::new(row[peer].clone(), peer as u16, &self.cfg, reg)
+                    });
+                    if let Err(e) = w.write(rt, off, &item.bytes) {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                if failed.is_some() {
+                    continue;
+                }
+            }
             if self.drafts.is_some() {
                 records[item.node_pos].push(MetaRecord {
                     id: item.id,
@@ -407,15 +479,31 @@ impl UploadTask {
         if let Some(e) = failed {
             return Err(e);
         }
+        // Replica mirrors drain before any superblock commits. (The
+        // mirrors this task wrote land on *peer* nodes whose own commit
+        // runs in a different task; replica slots are best-effort spare
+        // copies, not covered by the two-phase generation stamp.)
+        for w in mirrors.iter_mut().flatten() {
+            w.flush(rt)?;
+        }
         // Finalize every node (zero-sample nodes included): drain data
-        // writes; for imports, persist metadata and only then the
-        // committed superblock — strictly after everything else is
-        // durable, which is what makes the commit two-phase.
-        let mut out = Vec::new();
+        // writes; for imports, persist the integrity table and metadata,
+        // and only then the committed superblock — strictly after
+        // everything else is durable, which is what makes the commit
+        // two-phase.
+        let mut out = UploadOutcome::default();
+        let mut tables: Vec<Vec<u64>> = checks.drain(..).map(|c| c.finish()).collect();
         for (pos, &n) in self.my_nodes.iter().enumerate() {
             writers[pos].flush(rt)?;
             if let Some(drafts) = self.drafts.as_mut() {
                 let sb = &mut drafts[pos];
+                if sb.integrity_bytes > 0 {
+                    let enc = encode_integrity(&tables[pos]);
+                    debug_assert_eq!(enc.len() as u64, sb.integrity_bytes);
+                    if !enc.is_empty() {
+                        writers[pos].write(rt, sb.integrity_base, &enc)?;
+                    }
+                }
                 let meta = encode_meta(&records[pos]);
                 debug_assert_eq!(meta.len() as u64, sb.meta_bytes);
                 sb.meta_checksum = fnv1a(&meta);
@@ -426,7 +514,10 @@ impl UploadTask {
                 sb.committed = true;
                 writers[pos].write(rt, 0, &sb.encode())?;
                 writers[pos].flush(rt)?;
-                out.push((n, sb.clone()));
+                out.finals.push((n, sb.clone()));
+            }
+            if self.verify {
+                out.sums.push((n, std::mem::take(&mut tables[pos])));
             }
         }
         Ok(out)
@@ -436,8 +527,10 @@ impl UploadTask {
 /// Stage the dataset onto the devices: the caller's task produces samples
 /// into bounded per-reader pipes (capacity `cfg.import_stream_depth`);
 /// one spawned task per reader consumes and writes. Returns the committed
-/// superblocks when `drafts` is given (import mode).
-#[allow(clippy::too_many_arguments)]
+/// superblocks when `drafts` is given (import mode) and the per-node
+/// integrity tables when `cfg.verify_reads` is on. `geometry` carries the
+/// per-node `(data_base, replica_slot_bytes)` pairs when `replicas > 1`.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn stream_upload(
     rt: &Runtime,
     deployment: &Deployment,
@@ -447,7 +540,8 @@ fn stream_upload(
     cfg: &DlfsConfig,
     opts: &MountOptions,
     drafts: Option<Vec<Superblock>>,
-) -> Result<Option<Vec<Superblock>>, DlfsError> {
+    geometry: Option<Arc<Vec<(u64, u64)>>>,
+) -> Result<(Option<Vec<Superblock>>, Vec<Arc<Vec<u64>>>), DlfsError> {
     let readers = deployment.targets.len();
     let storage_nodes = per_node_ids.len();
     let import = drafts.is_some();
@@ -471,6 +565,9 @@ fn stream_upload(
                 .iter()
                 .map(|&n| deployment.targets[r][n].clone())
                 .collect(),
+            row: (cfg.replicas > 1).then(|| deployment.targets[r].clone()),
+            geometry: geometry.clone(),
+            verify: cfg.verify_reads,
             drafts: drafts
                 .as_ref()
                 .map(|d| my_nodes.iter().map(|&n| d[n].clone()).collect()),
@@ -534,12 +631,19 @@ fn stream_upload(
     }
     let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
     let mut finals: Vec<Option<Superblock>> = (0..storage_nodes).map(|_| None).collect();
+    let mut sums: Vec<Arc<Vec<u64>>> = Vec::new();
+    if cfg.verify_reads {
+        sums = (0..storage_nodes).map(|_| Arc::new(Vec::new())).collect();
+    }
     let mut first_err = None;
     for res in results {
         match res {
-            Ok(list) => {
-                for (n, sb) in list {
+            Ok(out) => {
+                for (n, sb) in out.finals {
                     finals[n] = Some(sb);
+                }
+                for (n, table) in out.sums {
+                    sums[n] = Arc::new(table);
                 }
             }
             Err(e) => {
@@ -552,16 +656,13 @@ fn stream_upload(
     if let Some(e) = first_err {
         return Err(e);
     }
-    if import {
-        Ok(Some(
-            finals
-                .into_iter()
-                .map(|o| o.expect("every node finalized"))
-                .collect(),
-        ))
-    } else {
-        Ok(None)
-    }
+    let finals = import.then(|| {
+        finals
+            .into_iter()
+            .map(|o| o.expect("every node finalized"))
+            .collect()
+    });
+    Ok((finals, sums))
 }
 
 /// Charge the mount-time allgather: every reader ships its nodes' trees to
@@ -606,6 +707,7 @@ fn build_instance(
     dir: Arc<SampleDirectory>,
     cfg: DlfsConfig,
     layouts: Option<Arc<Vec<Superblock>>>,
+    redundancy: Option<Arc<Redundancy>>,
 ) -> DlfsInstance {
     let readers = deployment.targets.len();
     let shared = (0..readers)
@@ -625,6 +727,7 @@ fn build_instance(
                 reader_id: r,
                 readers,
                 layouts: layouts.clone(),
+                redundancy: redundancy.clone(),
             })
         })
         .collect();
@@ -632,7 +735,59 @@ fn build_instance(
         dir,
         shared,
         layouts,
+        redundancy,
     }
+}
+
+/// Per-node `(data_base, replica_slot_bytes)` for an *ephemeral* mount:
+/// there is no on-device layout, so slot `r` of a node's device simply
+/// starts at `r * slot_bytes`, with the device split into `replicas`
+/// chunk-aligned slots. Checks every home share fits each slot that will
+/// host one of its copies.
+fn volatile_geometry(
+    deployment: &Deployment,
+    cfg: &DlfsConfig,
+    node_bytes: &[u64],
+) -> Result<Vec<(u64, u64)>, DlfsError> {
+    let k = cfg.replicas as u64;
+    let n = node_bytes.len();
+    let slots: Vec<(u64, u64)> = (0..n)
+        .map(|nid| {
+            let device = deployment.targets[0][nid].blocks() * BLOCK_SIZE;
+            let slot = if k == 1 {
+                device
+            } else {
+                device / k / cfg.chunk_size * cfg.chunk_size
+            };
+            (0u64, slot)
+        })
+        .collect();
+    for (h, &need) in node_bytes.iter().enumerate() {
+        for r in 0..cfg.replicas {
+            let p = (h + r) % n;
+            if need > slots[p].1 {
+                return Err(DlfsError::Capacity {
+                    node: p as u16,
+                    need,
+                    have: slots[p].1,
+                });
+            }
+        }
+    }
+    Ok(slots)
+}
+
+/// `replicas` must not exceed the deployment's storage nodes (replica `r`
+/// of home `h` lives on node `(h + r) mod N`; more copies than nodes
+/// would fold two copies onto one device).
+fn check_replica_count(cfg: &DlfsConfig, storage_nodes: usize) -> Result<(), DlfsError> {
+    if cfg.replicas > storage_nodes {
+        return Err(DlfsError::Config(format!(
+            "replicas = {} exceeds the {storage_nodes} storage node(s) in the deployment",
+            cfg.replicas
+        )));
+    }
+    Ok(())
 }
 
 /// Perform the collective mount. Returns the instance once every reader
@@ -648,6 +803,7 @@ fn mount_impl(
 ) -> Result<DlfsInstance, DlfsError> {
     cfg.validate().map_err(DlfsError::Config)?;
     let (readers, storage_nodes) = validate_deployment(&deployment)?;
+    check_replica_count(&cfg, storage_nodes)?;
     let (dir, per_node_ids, node_bytes) =
         plan_placement(source, storage_nodes, &vec![0u64; storage_nodes])?;
     for (nid, &need) in node_bytes.iter().enumerate() {
@@ -660,7 +816,11 @@ fn mount_impl(
             });
         }
     }
-    stream_upload(
+    let geometry = (cfg.replicas > 1 || cfg.verify_reads)
+        .then(|| volatile_geometry(&deployment, &cfg, &node_bytes))
+        .transpose()?
+        .map(Arc::new);
+    let (_, sums) = stream_upload(
         rt,
         &deployment,
         &dir,
@@ -669,16 +829,19 @@ fn mount_impl(
         &cfg,
         &opts,
         None,
+        geometry.clone(),
     )?;
     allgather(rt, &deployment, &dir, &opts, readers, storage_nodes);
-    Ok(build_instance(rt, &deployment, dir, cfg, None))
+    let redundancy =
+        geometry.map(|g| Arc::new(Redundancy::new(cfg.replicas as u32, (*g).clone(), sums)));
+    Ok(build_instance(rt, &deployment, dir, cfg, None, redundancy))
 }
 
 /// Stage the dataset *and* persist the on-device layout: superblock,
 /// serialized sample metadata, checksummed data extents and an empty
-/// checkpoint region per device. Costs one staging pass like [`mount`];
-/// every later job start can use [`remount`] instead and skip the PFS
-/// entirely. The commit is two-phase per device — a crash mid-import
+/// checkpoint region per device. Costs one staging pass like an ephemeral
+/// mount; every later job start can use [`MountBuilder::remount`] instead
+/// and skip the PFS entirely. The commit is two-phase per device — a crash mid-import
 /// leaves a torn generation stamp that `remount` rejects with
 /// [`LayoutError::TornImport`], never silently serving partial data.
 fn import_impl(
@@ -690,13 +853,14 @@ fn import_impl(
 ) -> Result<DlfsInstance, DlfsError> {
     cfg.validate().map_err(DlfsError::Config)?;
     let (readers, storage_nodes) = validate_deployment(&deployment)?;
+    check_replica_count(&cfg, storage_nodes)?;
     let shares = node_shares(source, storage_nodes);
     let total = source.count() as u64;
     let stamp = layout::dataset_stamp(total, &shares);
     let mut drafts = Vec::with_capacity(storage_nodes);
     for (n, &(count, bytes)) in shares.iter().enumerate() {
         let device_bytes = deployment.targets[0][n].blocks() * BLOCK_SIZE;
-        let mut sb = Superblock::plan(
+        let mut sb = Superblock::plan_redundant(
             n as u16,
             storage_nodes as u32,
             total,
@@ -705,13 +869,23 @@ fn import_impl(
             device_bytes,
             cfg.chunk_size,
             cfg.ckpt_region_bytes,
+            cfg.replicas as u32,
+            cfg.verify_reads,
         )?;
         sb.dataset_stamp = stamp;
         drafts.push(sb);
     }
     let data_base: Vec<u64> = drafts.iter().map(|sb| sb.data_base).collect();
+    let geometry = (cfg.replicas > 1).then(|| {
+        Arc::new(
+            drafts
+                .iter()
+                .map(|sb| (sb.data_base, sb.replica_slot_bytes))
+                .collect::<Vec<_>>(),
+        )
+    });
     let (dir, per_node_ids, _) = plan_placement(source, storage_nodes, &data_base)?;
-    let finals = stream_upload(
+    let (finals, sums) = stream_upload(
         rt,
         &deployment,
         &dir,
@@ -720,15 +894,24 @@ fn import_impl(
         &cfg,
         &opts,
         Some(drafts),
-    )?
-    .expect("import returns superblocks");
+        geometry,
+    )?;
+    let finals = finals.expect("import returns superblocks");
     allgather(rt, &deployment, &dir, &opts, readers, storage_nodes);
+    let redundancy = (cfg.replicas > 1 || cfg.verify_reads).then(|| {
+        let slots = finals
+            .iter()
+            .map(|sb| (sb.data_base, sb.replica_slot_bytes))
+            .collect();
+        Arc::new(Redundancy::new(cfg.replicas as u32, slots, sums))
+    });
     Ok(build_instance(
         rt,
         &deployment,
         dir,
         cfg,
         Some(Arc::new(finals)),
+        redundancy,
     ))
 }
 
@@ -763,14 +946,15 @@ fn remount_impl(
         }));
     }
     let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-    let mut per_node: Vec<Option<(Superblock, Vec<MetaRecord>)>> =
+    #[allow(clippy::type_complexity)]
+    let mut per_node: Vec<Option<(Superblock, Vec<MetaRecord>, Vec<u64>)>> =
         (0..storage_nodes).map(|_| None).collect();
     let mut first_err = None;
     for res in results {
         match res {
             Ok(list) => {
-                for (n, sb, recs) in list {
-                    per_node[n] = Some((sb, recs));
+                for (n, sb, recs, sums) in list {
+                    per_node[n] = Some((sb, recs, sums));
                 }
             }
             Err(e) => {
@@ -783,7 +967,7 @@ fn remount_impl(
     if let Some(e) = first_err {
         return Err(e);
     }
-    let nodes: Vec<(Superblock, Vec<MetaRecord>)> = per_node
+    let nodes: Vec<(Superblock, Vec<MetaRecord>, Vec<u64>)> = per_node
         .into_iter()
         .map(|o| o.expect("every node read"))
         .collect();
@@ -791,8 +975,9 @@ fn remount_impl(
     // one dataset, shaped for this deployment.
     let total = nodes[0].0.total_samples;
     let stamp = nodes[0].0.dataset_stamp;
+    let replicas = nodes[0].0.replicas;
     let mut sum = 0u64;
-    for (n, (sb, recs)) in nodes.iter().enumerate() {
+    for (n, (sb, recs, _)) in nodes.iter().enumerate() {
         if sb.storage_nodes != storage_nodes as u32 {
             return Err(LayoutError::Inconsistent(format!(
                 "node {n} was imported for {} storage nodes, deployment has {storage_nodes}",
@@ -800,7 +985,7 @@ fn remount_impl(
             ))
             .into());
         }
-        if sb.total_samples != total || sb.dataset_stamp != stamp {
+        if sb.total_samples != total || sb.dataset_stamp != stamp || sb.replicas != replicas {
             return Err(LayoutError::Inconsistent(format!(
                 "node {n} belongs to a different import than node 0"
             ))
@@ -814,7 +999,21 @@ fn remount_impl(
             ))
             .into());
         }
+        if cfg.verify_reads && sb.integrity_bytes == 0 {
+            return Err(LayoutError::Inconsistent(format!(
+                "verify_reads needs an integrity table, but node {n} was imported without one \
+                 (re-import with verify_reads on)"
+            ))
+            .into());
+        }
         sum += sb.node_samples;
+    }
+    if cfg.replicas > 1 && cfg.replicas as u32 != replicas {
+        return Err(LayoutError::Inconsistent(format!(
+            "config asks for {} replicas, devices were imported with {replicas}",
+            cfg.replicas
+        ))
+        .into());
     }
     if sum != total || total > u32::MAX as u64 {
         return Err(LayoutError::Inconsistent(format!(
@@ -823,20 +1022,33 @@ fn remount_impl(
         .into());
     }
     let mut builder = DirectoryBuilder::new(storage_nodes, total as usize);
-    for (_, recs) in &nodes {
+    for (_, recs, _) in &nodes {
         for rec in recs {
             builder.add_raw(rec.id, rec.unit1, rec.unit2)?;
         }
     }
     let dir = Arc::new(builder.finish());
     allgather(rt, &deployment, &dir, &opts, readers, storage_nodes);
-    let layouts: Vec<Superblock> = nodes.into_iter().map(|(sb, _)| sb).collect();
+    let redundancy = (replicas > 1 || cfg.verify_reads).then(|| {
+        let slots = nodes
+            .iter()
+            .map(|(sb, _, _)| (sb.data_base, sb.replica_slot_bytes))
+            .collect();
+        let sums = if cfg.verify_reads {
+            nodes.iter().map(|(_, _, s)| Arc::new(s.clone())).collect()
+        } else {
+            Vec::new()
+        };
+        Arc::new(Redundancy::new(replicas, slots, sums))
+    });
+    let layouts: Vec<Superblock> = nodes.into_iter().map(|(sb, _, _)| sb).collect();
     Ok(build_instance(
         rt,
         &deployment,
         dir,
         cfg,
         Some(Arc::new(layouts)),
+        redundancy,
     ))
 }
 
@@ -863,7 +1075,11 @@ impl RemountTelemetry {
 }
 
 /// One reader's share of the remount: read + verify each of its nodes'
-/// superblock and metadata region (timed reads through qpairs).
+/// superblock and metadata region (timed reads through qpairs), plus the
+/// persisted per-block integrity table when `cfg.verify_reads` asks for
+/// checksummed reads (skipped otherwise, keeping the default remount's
+/// timing untouched).
+#[allow(clippy::type_complexity)]
 fn read_node_metadata(
     rt: &Runtime,
     my_nodes: &[usize],
@@ -871,7 +1087,7 @@ fn read_node_metadata(
     cfg: &DlfsConfig,
     build_per_entry: Dur,
     tel: &RemountTelemetry,
-) -> Result<Vec<(usize, Superblock, Vec<MetaRecord>)>, DlfsError> {
+) -> Result<Vec<(usize, Superblock, Vec<MetaRecord>, Vec<u64>)>, DlfsError> {
     let mut out = Vec::with_capacity(my_nodes.len());
     for (pos, &n) in my_nodes.iter().enumerate() {
         let block = read_timed(rt, &targets[pos], n as u16, 0, BLOCK_SIZE as usize, cfg)?;
@@ -902,10 +1118,23 @@ fn read_node_metadata(
         let records = decode_meta(n as u16, &meta).map_err(DlfsError::Layout)?;
         tel.meta_bytes.add(meta.len() as u64);
         tel.entries.add(records.len() as u64);
+        let sums = if cfg.verify_reads && sb.integrity_bytes > 0 {
+            let raw = read_timed(
+                rt,
+                &targets[pos],
+                n as u16,
+                sb.integrity_base,
+                sb.integrity_bytes as usize,
+                cfg,
+            )?;
+            decode_integrity(&raw)
+        } else {
+            Vec::new()
+        };
         // Rebuilding the AVL trees costs the same per-entry insert work as
         // building them from names at mount time.
         rt.work(build_per_entry * records.len() as u64);
-        out.push((n, sb, records));
+        out.push((n, sb, records, sums));
     }
     Ok(out)
 }
@@ -1074,76 +1303,4 @@ impl MountBuilder {
         let deployment = self.take_deployment()?;
         remount_impl(rt, deployment, self.cfg, self.opts)
     }
-}
-
-/// Back-compat shim for the pre-builder API.
-#[deprecated(note = "use MountBuilder::new(cfg).deployment(d).options(opts).mount(rt, source)")]
-pub fn mount(
-    rt: &Runtime,
-    deployment: Deployment,
-    source: &dyn SampleSource,
-    cfg: DlfsConfig,
-    opts: MountOptions,
-) -> Result<DlfsInstance, DlfsError> {
-    mount_impl(rt, deployment, source, cfg, opts)
-}
-
-/// Back-compat shim for the pre-builder API.
-#[deprecated(
-    note = "use MountBuilder::new(cfg).deployment(d).options(opts).persistent().mount(rt, source)"
-)]
-pub fn import(
-    rt: &Runtime,
-    deployment: Deployment,
-    source: &dyn SampleSource,
-    cfg: DlfsConfig,
-    opts: MountOptions,
-) -> Result<DlfsInstance, DlfsError> {
-    import_impl(rt, deployment, source, cfg, opts)
-}
-
-/// Back-compat shim for the pre-builder API.
-#[deprecated(note = "use MountBuilder::new(cfg).deployment(d).options(opts).warm().remount(rt)")]
-pub fn remount(
-    rt: &Runtime,
-    deployment: Deployment,
-    cfg: DlfsConfig,
-    opts: MountOptions,
-) -> Result<DlfsInstance, DlfsError> {
-    remount_impl(rt, deployment, cfg, opts)
-}
-
-/// Back-compat shim for the pre-builder API.
-#[deprecated(note = "use MountBuilder::new(cfg).local(device).mount(rt, source)")]
-pub fn mount_local(
-    rt: &Runtime,
-    device: Arc<dyn NvmeTarget>,
-    source: &dyn SampleSource,
-    cfg: DlfsConfig,
-) -> Result<DlfsInstance, DlfsError> {
-    MountBuilder::new(cfg).local(device).mount(rt, source)
-}
-
-/// Back-compat shim for the pre-builder API.
-#[deprecated(note = "use MountBuilder::new(cfg).local(device).persistent().mount(rt, source)")]
-pub fn import_local(
-    rt: &Runtime,
-    device: Arc<dyn NvmeTarget>,
-    source: &dyn SampleSource,
-    cfg: DlfsConfig,
-) -> Result<DlfsInstance, DlfsError> {
-    MountBuilder::new(cfg)
-        .local(device)
-        .persistent()
-        .mount(rt, source)
-}
-
-/// Back-compat shim for the pre-builder API.
-#[deprecated(note = "use MountBuilder::new(cfg).local(device).warm().remount(rt)")]
-pub fn remount_local(
-    rt: &Runtime,
-    device: Arc<dyn NvmeTarget>,
-    cfg: DlfsConfig,
-) -> Result<DlfsInstance, DlfsError> {
-    MountBuilder::new(cfg).local(device).warm().remount(rt)
 }

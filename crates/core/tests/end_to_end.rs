@@ -501,24 +501,3 @@ fn mid_epoch_resequence_releases_everything() {
         );
     });
 }
-
-/// The pre-builder mount shims stay callable (back-compat contract): one
-/// deliberate use of the deprecated surface, equivalent to the builder.
-#[test]
-#[allow(deprecated)]
-fn deprecated_mount_shims_still_work() {
-    Runtime::simulate(61, |rt| {
-        let source = SyntheticSource::fixed(12, 500, 2048);
-        let fs = dlfs::mount_local(rt, local_device(), &source, DlfsConfig::default()).unwrap();
-        let mut io = fs.io(0);
-        io.sequence(rt, 9, 0);
-        let batch = io
-            .submit(rt, &ReadRequest::batch(16))
-            .unwrap()
-            .into_copied();
-        assert_eq!(batch.len(), 16);
-        for (id, data) in batch {
-            assert_eq!(data, source.expected(id));
-        }
-    });
-}

@@ -1,0 +1,445 @@
+//! End-to-end integrity and self-healing tests: checksummed reads,
+//! replica failover under permanent target death, read-repair of silent
+//! bit flips, background scrubbing, hedged reads, and typed `Corrupt`
+//! errors when no healthy copy exists. All deterministic: same-seed runs
+//! are byte-identical, and the default configuration builds none of it.
+
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, FaultInjector, NvmeDevice, NvmeTarget, BLOCK_SIZE};
+use dlfs::source::SampleSource;
+use dlfs::{
+    fsck_repair, Completions, Deployment, DlfsConfig, DlfsError, DlfsInstance, MountOptions,
+    ReadRequest, SyntheticSource,
+};
+use fabric::{Cluster, FabricConfig, FabricFaultInjector, NvmeOfTarget, TargetConfig};
+use simkit::prelude::*;
+use simkit::rng::fnv1a;
+
+fn ramdisk(bytes: u64) -> Arc<NvmeDevice> {
+    NvmeDevice::new(DeviceConfig::emulated_ramdisk(bytes, Dur::micros(10)))
+}
+
+/// Replicated + verified config over small chunks (many commands, many
+/// verification points).
+fn redundant_cfg(replicas: usize) -> DlfsConfig {
+    DlfsConfig {
+        chunk_size: 8 * 1024,
+        replicas,
+        verify_reads: true,
+        ..DlfsConfig::default()
+    }
+}
+
+/// Single-reader deployment over `devices` as local storage nodes.
+fn local_deployment(devices: &[Arc<NvmeDevice>]) -> Deployment {
+    Deployment {
+        targets: vec![devices
+            .iter()
+            .map(|d| d.clone() as Arc<dyn NvmeTarget>)
+            .collect()],
+        cluster: None,
+    }
+}
+
+/// Disaggregated full-mesh deployment (as in chaos.rs), returning the
+/// cluster and raw devices so faults can be armed after the mount.
+fn disaggregated(
+    rt: &Runtime,
+    n: usize,
+    source: &SyntheticSource,
+    cfg: DlfsConfig,
+) -> (DlfsInstance, Arc<Cluster>, Vec<Arc<NvmeDevice>>) {
+    let cluster = Arc::new(Cluster::new(n, FabricConfig::default()));
+    let devices: Vec<Arc<NvmeDevice>> = (0..n).map(|_| ramdisk(128 << 20)).collect();
+    let exported: Vec<Arc<NvmeOfTarget>> = devices
+        .iter()
+        .enumerate()
+        .map(|(node, d)| NvmeOfTarget::new(node, d.clone(), TargetConfig::default()))
+        .collect();
+    let mut targets: Vec<Vec<Arc<dyn NvmeTarget>>> = Vec::new();
+    for r in 0..n {
+        let mut row: Vec<Arc<dyn NvmeTarget>> = Vec::new();
+        for t in 0..n {
+            if r == t {
+                row.push(devices[t].clone());
+            } else {
+                row.push(fabric::connect(cluster.clone(), r, exported[t].clone()));
+            }
+        }
+        targets.push(row);
+    }
+    let fs = dlfs::MountBuilder::new(cfg)
+        .deployment(Deployment {
+            targets,
+            cluster: Some(cluster.clone()),
+        })
+        .options(MountOptions::default())
+        .mount(rt, source)
+        .unwrap();
+    (fs, cluster, devices)
+}
+
+/// Drain reader 0's whole epoch, verifying every payload, and fold the
+/// delivery into an order-insensitive checksum (failover shifts delivery
+/// *order*; the delivered *bytes* must not move).
+fn drain_epoch_verified(
+    rt: &Runtime,
+    io: &mut dlfs::DlfsIo,
+    source: &SyntheticSource,
+    total: usize,
+) -> u64 {
+    let mut seen = vec![false; source.count()];
+    let mut delivered = 0usize;
+    let mut checksum = 0u64;
+    loop {
+        match io
+            .submit(rt, &ReadRequest::batch(32))
+            .map(Completions::into_copied)
+        {
+            Ok(batch) => {
+                for (id, data) in batch {
+                    assert_eq!(data, source.expected(id), "sample {id} corrupted");
+                    assert!(!seen[id as usize], "sample {id} delivered twice");
+                    seen[id as usize] = true;
+                    delivered += 1;
+                    checksum ^= fnv1a(&data).wrapping_mul(2 * id as u64 + 1);
+                }
+            }
+            Err(DlfsError::EpochExhausted) => break,
+            Err(e) => panic!("epoch failed: {e}"),
+        }
+    }
+    assert_eq!(delivered, total, "epoch must complete");
+    checksum
+}
+
+/// The zero-knob default builds no redundancy machinery at all and
+/// registers no `dlfs.integrity.*` metrics; asking for verification (or
+/// replicas) builds it.
+#[test]
+fn defaults_build_no_redundancy() {
+    Runtime::simulate(70, |rt| {
+        let source = SyntheticSource::fixed(1, 300, 2048);
+        let fs = dlfs::MountBuilder::new(DlfsConfig::default())
+            .local(ramdisk(64 << 20))
+            .mount(rt, &source)
+            .unwrap();
+        assert!(fs.redundancy().is_none());
+        let mut io = fs.io(0);
+        io.sequence(rt, 1, 0);
+        io.submit(rt, &ReadRequest::batch(8)).unwrap();
+        assert!(!io.metrics().render().contains("dlfs.integrity"));
+
+        let cfg = DlfsConfig {
+            verify_reads: true,
+            ..DlfsConfig::default()
+        };
+        let fs = dlfs::MountBuilder::new(cfg)
+            .local(ramdisk(64 << 20))
+            .mount(rt, &source)
+            .unwrap();
+        let red = fs.redundancy().expect("verify_reads builds redundancy");
+        assert!(red.verify());
+        assert_eq!(red.replicas, 1);
+        let mut io = fs.io(0);
+        io.sequence(rt, 1, 0);
+        io.submit(rt, &ReadRequest::batch(8)).unwrap();
+        let m = io.metrics();
+        assert!(m.counter("dlfs.integrity.verified") > 0);
+        assert_eq!(m.counter("dlfs.integrity.mismatches"), 0);
+    });
+}
+
+/// Asking for more replicas than storage nodes is a typed config error.
+#[test]
+fn too_many_replicas_is_typed() {
+    Runtime::simulate(71, |rt| {
+        let source = SyntheticSource::fixed(2, 100, 2048);
+        let err = dlfs::MountBuilder::new(redundant_cfg(3))
+            .deployment(local_deployment(&[ramdisk(64 << 20), ramdisk(64 << 20)]))
+            .mount(rt, &source)
+            .unwrap_err();
+        assert!(matches!(err, DlfsError::Config(_)), "got {err:?}");
+    });
+}
+
+/// A target dies permanently mid-epoch: with `replicas = 2` every sample
+/// still arrives byte-identical to a fault-free run, served from replica
+/// copies, and the health circuit stops retries from burning budget.
+#[test]
+fn permanent_target_death_completes_epoch_from_replicas() {
+    let run = |kill: bool| {
+        Runtime::simulate(72, |rt| {
+            let source = SyntheticSource::fixed(3, 1500, 2048);
+            let (fs, cluster, _devices) = disaggregated(rt, 3, &source, redundant_cfg(2));
+            if kill {
+                // Node 1 goes dark right after the import and never comes
+                // back — far past any retry budget.
+                let now = rt.now();
+                cluster.set_faults(
+                    FabricFaultInjector::new(31)
+                        .with_io_timeout(Dur::micros(40))
+                        .with_crash(1, now, now + Dur::millis(60_000)),
+                );
+            }
+            let mut io = fs.io(0);
+            let total = io.sequence(rt, 5, 0);
+            let checksum = drain_epoch_verified(rt, &mut io, &source, total);
+            (checksum, io.metrics())
+        })
+    };
+    let ((clean, _), _) = run(false);
+    let ((under_death, m), _) = run(true);
+    assert_eq!(
+        clean, under_death,
+        "delivered bytes must not depend on the dead target"
+    );
+    assert!(m.counter("dlfs.integrity.failovers") > 0, "no failovers");
+    assert!(m.counter("dlfs.io.timeouts") > 0, "death went unnoticed");
+}
+
+/// Silent bit flips on a home copy are caught by checksum verification,
+/// served from the replica, and read-repaired in place: the second epoch
+/// reads a healed device and verifies clean.
+#[test]
+fn bit_flips_are_detected_failed_over_and_read_repaired() {
+    Runtime::simulate(73, |rt| {
+        let source = SyntheticSource::fixed(4, 800, 2048);
+        let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20)];
+        let fs = dlfs::MountBuilder::new(redundant_cfg(2))
+            .deployment(local_deployment(&devices))
+            .mount(rt, &source)
+            .unwrap();
+        // Flip bits across the front of node 0's data region (volatile
+        // layout: slot 0 starts at block 0). Marks are sticky until a
+        // rewrite heals them.
+        devices[0].set_faults(FaultInjector::new(9).with_bit_flips(0, 64));
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 7, 0);
+        drain_epoch_verified(rt, &mut io, &source, total);
+        let m = io.metrics();
+        assert!(m.counter("dlfs.integrity.mismatches") > 0, "flips unseen");
+        assert!(m.counter("dlfs.integrity.repairs") > 0, "nothing repaired");
+        let mismatches_after_heal = m.counter("dlfs.integrity.mismatches");
+        // Read-repair rewrote the bad extents: a second epoch must verify
+        // clean against the same device.
+        let total = io.sequence(rt, 7, 1);
+        drain_epoch_verified(rt, &mut io, &source, total);
+        assert_eq!(
+            io.metrics().counter("dlfs.integrity.mismatches"),
+            mismatches_after_heal,
+            "repaired extents mismatched again"
+        );
+        assert!(
+            !devices[0].as_ref().probe_extent(0, 64),
+            "marks not cleared"
+        );
+    });
+}
+
+/// Zero-copy delivery verifies too: corrupt bytes never reach a pinned
+/// sample.
+#[test]
+fn zero_copy_reads_verify_and_repair() {
+    Runtime::simulate(74, |rt| {
+        let source = SyntheticSource::fixed(5, 600, 2048);
+        let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20)];
+        // Sync zero-copy misses publish into the cache, which needs the
+        // cross-epoch (resident) mode — same as reactor.rs.
+        let cfg = DlfsConfig {
+            cache_mode: dlfs::CacheMode::CrossEpoch,
+            ..redundant_cfg(2)
+        };
+        let fs = dlfs::MountBuilder::new(cfg)
+            .deployment(local_deployment(&devices))
+            .mount(rt, &source)
+            .unwrap();
+        devices[0].set_faults(FaultInjector::new(11).with_bit_flips(0, 48));
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 9, 0);
+        let mut delivered = 0usize;
+        loop {
+            match io.submit(rt, &ReadRequest::batch(32).zero_copy()) {
+                Ok(batch) => {
+                    for s in batch.into_zero_copy() {
+                        assert_eq!(s.to_vec(), source.expected(s.id), "corrupt zero-copy bytes");
+                        delivered += 1;
+                    }
+                }
+                Err(DlfsError::EpochExhausted) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(delivered, total);
+        let m = io.metrics();
+        assert!(m.counter("dlfs.integrity.mismatches") > 0);
+        assert!(m.counter("dlfs.integrity.repairs") > 0);
+        // The synchronous zero-copy single read verifies as well.
+        let s = io.read_zero_copy(rt, 0).unwrap();
+        assert_eq!(s.to_vec(), source.expected(0));
+    });
+}
+
+/// The background scrubber walks the integrity tables during idle reactor
+/// gaps and heals latent corruption before demand reads ever see it; an
+/// explicit full pass leaves a deep fsck clean.
+#[test]
+fn scrub_pass_heals_latent_corruption_to_fsck_clean() {
+    Runtime::simulate(75, |rt| {
+        let source = SyntheticSource::fixed(6, 700, 2048);
+        let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20), ramdisk(64 << 20)];
+        let cfg = DlfsConfig {
+            scrub: true,
+            ..redundant_cfg(2)
+        };
+        let fs = dlfs::MountBuilder::new(cfg)
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
+        let sb0 = fs.shared(0).layouts.as_ref().unwrap()[0].clone();
+        // Latent damage on node 0's data region: silent flips plus a
+        // sticky unreadable extent. Nothing has read it yet.
+        let data_blk = sb0.data_base / BLOCK_SIZE;
+        devices[0].set_faults(
+            FaultInjector::new(13)
+                .with_bit_flips(data_blk, 32)
+                .with_bad_extent(data_blk + 100, 8),
+        );
+        let mut io = fs.io(0);
+        let scrubbed = io.scrub_pass();
+        assert!(scrubbed > 0, "scrubber walked nothing");
+        let m = io.metrics();
+        assert_eq!(m.counter("dlfs.integrity.scrubbed"), scrubbed);
+        assert!(m.counter("dlfs.integrity.repairs") > 0, "nothing healed");
+        // Deep offline verification agrees: every node clean, nothing left
+        // to repair.
+        let targets = &fs.shared(0).targets;
+        for node in 0..devices.len() as u16 {
+            let rep = fsck_repair(targets, node).unwrap();
+            assert_eq!(
+                (rep.detected, rep.repaired, rep.unrepairable),
+                (0, 0, 0),
+                "node {node} not clean after scrub"
+            );
+        }
+        // And demand reads see a healed device: zero mismatches.
+        let total = io.sequence(rt, 11, 0);
+        drain_epoch_verified(rt, &mut io, &source, total);
+        assert_eq!(io.metrics().counter("dlfs.integrity.mismatches"), 0);
+    });
+}
+
+/// With no replica to heal from, persistent corruption exhausts the retry
+/// budget and surfaces as a typed `Corrupt` error naming the chunk — not
+/// a plain I/O error, and never silently delivered bytes.
+#[test]
+fn unrepairable_corruption_surfaces_typed_corrupt() {
+    Runtime::simulate(76, |rt| {
+        let source = SyntheticSource::fixed(7, 300, 2048);
+        let dev = ramdisk(64 << 20);
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            verify_reads: true,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..Default::default()
+            },
+            ..DlfsConfig::default()
+        };
+        let fs = dlfs::MountBuilder::new(cfg)
+            .local(dev.clone())
+            .mount(rt, &source)
+            .unwrap();
+        // Flip bits everywhere: single node, no replica, no healing.
+        dev.set_faults(FaultInjector::new(15).with_bit_flips(0, (64 << 20) / BLOCK_SIZE));
+        let mut io = fs.io(0);
+        io.sequence(rt, 13, 0);
+        match io.submit(rt, &ReadRequest::batch(8)).unwrap_err() {
+            DlfsError::Corrupt { tried, .. } => assert_eq!(tried, 3),
+            other => panic!("want Corrupt, got {other:?}"),
+        }
+        // The synchronous path types it the same way.
+        assert!(matches!(
+            io.read_by_id(rt, 0),
+            Err(DlfsError::Corrupt { .. })
+        ));
+    });
+}
+
+/// Hedged reads: when the home copy is slow, a duplicate fired at the
+/// hedge delay races the next replica and the first verified completion
+/// wins. Bytes stay correct; the loser is cancelled.
+#[test]
+fn hedged_reads_win_against_slow_target() {
+    Runtime::simulate(77, |rt| {
+        let source = SyntheticSource::fixed(8, 600, 2048);
+        // Node 0 is an order of magnitude slower than node 1.
+        let slow = NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(500)));
+        let fast = ramdisk(64 << 20);
+        let devices = vec![slow, fast];
+        let cfg = DlfsConfig {
+            hedge_reads: true,
+            ..redundant_cfg(2)
+        };
+        let fs = dlfs::MountBuilder::new(cfg)
+            .deployment(local_deployment(&devices))
+            .mount(rt, &source)
+            .unwrap();
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 17, 0);
+        drain_epoch_verified(rt, &mut io, &source, total);
+        let m = io.metrics();
+        assert!(m.counter("dlfs.integrity.hedges") > 0, "no hedges fired");
+        assert!(
+            m.counter("dlfs.integrity.hedge_wins") > 0,
+            "hedges never won against a 50x slower home"
+        );
+        assert_eq!(m.counter("dlfs.integrity.mismatches"), 0);
+    });
+}
+
+/// One corruption scenario end to end, twice, same seed: delivered bytes,
+/// virtual end time and the full telemetry render (integrity counters
+/// included) must be bit-identical.
+fn corruption_run(seed: u64) -> (u64, u64, String) {
+    let ((checksum, metrics), end) = Runtime::simulate(seed, |rt| {
+        let source = SyntheticSource::fixed(9, 900, 2048);
+        let cfg = DlfsConfig {
+            scrub: true,
+            ..redundant_cfg(2)
+        };
+        let (fs, cluster, devices) = disaggregated(rt, 3, &source, cfg);
+        devices[0].set_faults(
+            FaultInjector::new(seed ^ 0xB1)
+                .with_bit_flips(0, 96)
+                .with_read_failures(20_000),
+        );
+        cluster.set_faults(
+            FabricFaultInjector::new(seed ^ 0xFA)
+                .with_drops(10_000)
+                .with_io_timeout(Dur::micros(40)),
+        );
+        let mut io = fs.io(0);
+        let mut checksum = 0u64;
+        for epoch in 0..2u64 {
+            let total = io.sequence(rt, 19, epoch);
+            checksum ^= drain_epoch_verified(rt, &mut io, &source, total).rotate_left(epoch as u32);
+        }
+        io.scrub_pass();
+        (checksum, io.metrics().render())
+    });
+    (checksum, end.nanos(), metrics)
+}
+
+#[test]
+fn same_seed_corruption_runs_are_byte_identical() {
+    let a = corruption_run(78);
+    let b = corruption_run(78);
+    assert_eq!(a.0, b.0, "delivered bytes diverged");
+    assert_eq!(a.1, b.1, "virtual end time diverged");
+    assert_eq!(a.2, b.2, "telemetry snapshots diverged");
+    assert!(a.2.contains("dlfs.integrity.verified"));
+}

@@ -544,3 +544,119 @@ fn same_seed_persistent_runs_byte_identical() {
     };
     assert_eq!(run(), run());
 }
+
+/// A replicated, verified import survives the drop/remount boundary: the
+/// warm instance rebuilds the redundancy machinery from the superblock,
+/// serves a byte-correct epoch while one node's data region carries
+/// silent bit flips, and `fsck_repair` heals the node from its replica
+/// until a deep fsck reports clean.
+#[test]
+fn replicated_import_remounts_and_heals_corruption() {
+    Runtime::simulate(90, |rt| {
+        let devices: Vec<Arc<NvmeDevice>> = (0..3).map(|_| ramdisk(64 << 20)).collect();
+        let source = SyntheticSource::fixed(9, 700, 2500);
+        let cfg = || DlfsConfig {
+            chunk_size: 8 * 1024,
+            replicas: 2,
+            verify_reads: true,
+            ..DlfsConfig::default()
+        };
+        let fs = dlfs::MountBuilder::new(cfg())
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
+        drop(fs);
+
+        let warm = dlfs::MountBuilder::new(cfg())
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .warm()
+            .remount(rt)
+            .unwrap();
+        let red = warm.redundancy().expect("remount rebuilds redundancy");
+        assert_eq!(red.replicas, 2);
+        assert!(red.verify());
+        let sb0 = warm.shared(0).layouts.as_ref().unwrap()[0].clone();
+        // Flip bits across the front of node 0's persistent data region.
+        devices[0].set_faults(
+            FaultInjector::new(17).with_bit_flips(sb0.data_base / blocksim::BLOCK_SIZE, 48),
+        );
+        // Demand reads stay byte-correct throughout (verified failover).
+        drain_all_readers(rt, &warm, &source, 5);
+        // Offline repair from the replica finishes the job…
+        let rep = dlfs::fsck_repair(&warm.shared(0).targets, 0).unwrap();
+        assert_eq!(rep.unrepairable, 0, "replica copy must cover every block");
+        // …and a deep fsck agrees the node is clean again.
+        let t0 = warm.shared(0).targets[0].clone();
+        let report = fsck_node(&t0, 0, true);
+        assert!(
+            matches!(report.state, FsckState::Clean { .. }),
+            "node 0 not clean after repair: {:?}",
+            report.state
+        );
+    });
+}
+
+/// Remount configuration must agree with what the devices were imported
+/// with: a replica-count mismatch and a verify-reads request against an
+/// import that persisted no integrity table are both typed config errors.
+#[test]
+fn remount_integrity_config_mismatches_are_typed() {
+    Runtime::simulate(91, |rt| {
+        let devices: Vec<Arc<NvmeDevice>> = (0..3).map(|_| ramdisk(64 << 20)).collect();
+        let source = SyntheticSource::fixed(10, 300, 2000);
+        // Imported with 2 replicas, no integrity table.
+        let fs = dlfs::MountBuilder::new(DlfsConfig {
+            replicas: 2,
+            ..DlfsConfig::default()
+        })
+        .deployment(local_deployment(&devices))
+        .options(MountOptions::default())
+        .persistent()
+        .mount(rt, &source)
+        .unwrap();
+        drop(fs);
+        // Wrong replica count: typed, not a panic or a silent downgrade.
+        let err = dlfs::MountBuilder::new(DlfsConfig {
+            replicas: 3,
+            ..DlfsConfig::default()
+        })
+        .deployment(local_deployment(&devices))
+        .options(MountOptions::default())
+        .warm()
+        .remount(rt)
+        .unwrap_err();
+        assert!(
+            matches!(err, DlfsError::Layout(LayoutError::Inconsistent(_))),
+            "got {err:?}"
+        );
+        // Asking to verify reads without a persisted table: same.
+        let err = dlfs::MountBuilder::new(DlfsConfig {
+            replicas: 2,
+            verify_reads: true,
+            ..DlfsConfig::default()
+        })
+        .deployment(local_deployment(&devices))
+        .options(MountOptions::default())
+        .warm()
+        .remount(rt)
+        .unwrap_err();
+        assert!(
+            matches!(err, DlfsError::Layout(LayoutError::Inconsistent(_))),
+            "got {err:?}"
+        );
+        // The matching configuration still remounts fine.
+        let warm = dlfs::MountBuilder::new(DlfsConfig {
+            replicas: 2,
+            ..DlfsConfig::default()
+        })
+        .deployment(local_deployment(&devices))
+        .options(MountOptions::default())
+        .warm()
+        .remount(rt)
+        .unwrap();
+        drain_all_readers(rt, &warm, &source, 7);
+    });
+}

@@ -193,6 +193,30 @@ impl NvmeTarget for RemoteTarget {
         // I/O timeout — the initiator's qpair sees it complete then, with
         // no data transferred.
         let dev = self.target.device.fault_decide(now, is_write);
+        self.layer_fabric(now, dev)
+    }
+
+    fn fault_decide_range(
+        &self,
+        now: Time,
+        is_write: bool,
+        slba: u64,
+        nblocks: u32,
+    ) -> blocksim::FaultOutcome {
+        let dev = self
+            .target
+            .device
+            .fault_decide_range(now, is_write, slba, nblocks);
+        self.layer_fabric(now, dev)
+    }
+
+    fn probe_extent(&self, slba: u64, nblocks: u32) -> bool {
+        self.target.device.probe_extent(slba, nblocks)
+    }
+}
+
+impl RemoteTarget {
+    fn layer_fabric(&self, now: Time, dev: blocksim::FaultOutcome) -> blocksim::FaultOutcome {
         match self
             .cluster
             .fault_decide(now, self.client_node, self.target.node)
