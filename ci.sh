@@ -3,7 +3,10 @@
 #
 #  1. tier-1: release build + the root test suite (ROADMAP.md);
 #  2. the full workspace test suite (includes the deterministic chaos
-#     tests in crates/core/tests/chaos.rs and crates/fabric/tests/faults.rs);
+#     tests in crates/core/tests/chaos.rs and crates/fabric/tests/faults.rs),
+#     then the chaos / integrity / membership suites again under a second
+#     seed (DLFS_TEST_SEED_OFFSET) so byte-correctness, determinism, and
+#     the kill-one-target rebuild path are exercised on two timelines;
 #  3. smoke runs: chaos sweep (fault injection + retry/failover plus the
 #     replicated corruption grid: silent bit flips, sticky bad extents,
 #     scrub + read-repair — all with built-in byte-correctness and
@@ -28,6 +31,9 @@ echo "== tier-1: root test suite"
 cargo test -q --offline
 echo "== workspace tests"
 cargo test -q --offline --workspace
+echo "== chaos/integrity/membership under a second seed"
+DLFS_TEST_SEED_OFFSET=1000 cargo test -q --offline -p dlfs \
+  --test chaos --test integrity --test membership
 echo "== chaos sweep (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_fault_sweep -- n=256 size=2048
 echo "== cache ablation (smoke)"
@@ -38,6 +44,8 @@ echo "== persistence: checkpoint interference (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_checkpoint -- samples=512 appends=4
 echo "== persistence: fsck demo + replica repair (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin dlfs_fsck -- nodes=2 samples=256 repair=1
+echo "== rebuild after permanent target loss (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin ext_rebuild -- n=512
 echo "== perf-trajectory gate"
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo worktree)"
 mkdir -p target/bench

@@ -14,7 +14,13 @@
 //!   better);
 //! - `reactor_wakeups_per_epoch` — event-loop wakeups taken to drain one
 //!   epoch (lower is better: fewer wakeups = better completion
-//!   coalescing).
+//!   coalescing);
+//! - `degraded_p99_read_latency_ns` — synchronous single-sample reads
+//!   with one storage node declared Dead, replicas serving its homes
+//!   (lower is better: the cost of routing around a lost target);
+//! - `rebuild_time_ns` — virtual time from `begin_rebuild` to full
+//!   redundancy restored onto a fresh replacement, rebuilding
+//!   cooperatively while a foreground epoch drains (lower is better).
 //!
 //! Usage:
 //!   perf_gate rev=<id> [out=<dir>] [baseline=<file>] [tolerance=0.10]
@@ -24,7 +30,10 @@
 //! deterministic, a clean run reproduces the baseline bit-for-bit; the
 //! tolerance only absorbs *intentional* small shifts, not noise.
 
-use dlfs::{DlfsConfig, ReadRequest, SyntheticSource};
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, NvmeDevice, NvmeTarget};
+use dlfs::{Deployment, DlfsConfig, MountOptions, ReadRequest, SyntheticSource};
 use dlfs_bench::{arg, setup, DEFAULT_SEED};
 use simkit::prelude::*;
 
@@ -34,6 +43,8 @@ struct Metrics {
     p99_read_latency_ns: u64,
     warm_remount_ns: u64,
     reactor_wakeups_per_epoch: u64,
+    degraded_p99_read_latency_ns: u64,
+    rebuild_time_ns: u64,
 }
 
 fn epoch_throughput_and_wakeups(seed: u64, verify: bool) -> (f64, u64) {
@@ -105,18 +116,106 @@ fn warm_remount(seed: u64) -> u64 {
     .0
 }
 
+/// Kill one of three replicated storage nodes mid-epoch, let the
+/// membership view escalate it to Dead, then measure (a) the synchronous
+/// read tail while replicas serve the dead node's homes and (b) how long
+/// restoring full redundancy onto a factory-fresh replacement takes while
+/// a foreground epoch drains (cooperative `rebuild_step` quanta between
+/// batches). Fully deterministic; runs in its own simulation so the
+/// legacy metrics above stay bit-identical.
+fn degraded_and_rebuild(seed: u64) -> (u64, u64) {
+    const DEV_BYTES: u64 = 64 << 20;
+    Runtime::simulate(seed, |rt| {
+        let source = SyntheticSource::fixed(seed ^ 0x8E, 1000, 2048);
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            replicas: 2,
+            verify_reads: true,
+            fail_dead_after: Some(Dur::micros(300)),
+            rebuild_gap_blocks: 128,
+            ..DlfsConfig::default()
+        };
+        let devices: Vec<Arc<NvmeDevice>> = (0..3)
+            .map(|_| NvmeDevice::new(DeviceConfig::emulated_ramdisk(DEV_BYTES, Dur::micros(10))))
+            .collect();
+        let fs = dlfs::MountBuilder::new(cfg)
+            .deployment(Deployment {
+                targets: vec![devices
+                    .iter()
+                    .map(|d| d.clone() as Arc<dyn NvmeTarget>)
+                    .collect()],
+                cluster: None,
+            })
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
+        let red = fs.redundancy().expect("redundancy built").clone();
+        let mut io = fs.io(0);
+
+        // Epoch 0: node 1 dies permanently a quarter of the way in.
+        let total = io.sequence(rt, seed ^ 0x51, 0);
+        let mut got = 0usize;
+        while got < total {
+            got += io.submit(rt, &ReadRequest::batch(32)).unwrap().len();
+            if got >= total / 4 {
+                devices[1].kill();
+            }
+        }
+        assert!(red.is_dead(1), "sustained outage must escalate to Dead");
+
+        // Degraded tail: synchronous reads, replicas covering node 1.
+        let mut lat: Vec<u64> = Vec::new();
+        for id in 0..512u32 {
+            let t0 = rt.now();
+            io.read_by_id(rt, id).unwrap();
+            lat.push((rt.now() - t0).as_nanos());
+        }
+        lat.sort_unstable();
+        let degraded_p99 = lat[(lat.len() * 99) / 100];
+
+        // Fresh replacement under the same index; rebuild rides along a
+        // foreground epoch, `rebuild_gap_blocks` after every batch.
+        devices[1].revive();
+        devices[1].dma_write(0, &vec![0u8; DEV_BYTES as usize]);
+        let t_begin = rt.now();
+        let planned = io.begin_rebuild(1);
+        assert!(planned > 0, "a dead node's slots are never empty here");
+        let total = io.sequence(rt, seed ^ 0x51, 1);
+        let mut got = 0usize;
+        let mut t_done = None;
+        while got < total {
+            got += io.submit(rt, &ReadRequest::batch(32)).unwrap().len();
+            if io.rebuild_active() {
+                io.rebuild_step(128);
+                if !io.rebuild_active() {
+                    t_done = Some(rt.now());
+                }
+            }
+        }
+        io.drive_rebuild();
+        let rebuild_ns = (t_done.unwrap_or_else(|| rt.now()) - t_begin).as_nanos();
+        assert!(!red.is_dead(1), "rebuilt node must rejoin");
+        (degraded_p99, rebuild_ns)
+    })
+    .0
+}
+
 fn render_json(rev: &str, m: &Metrics) -> String {
     format!(
         "{{\n  \"rev\": \"{}\",\n  \"epoch_throughput_sps\": {:.3},\n  \
          \"verified_epoch_throughput_sps\": {:.3},\n  \
          \"p99_read_latency_ns\": {},\n  \"warm_remount_ns\": {},\n  \
-         \"reactor_wakeups_per_epoch\": {}\n}}\n",
+         \"reactor_wakeups_per_epoch\": {},\n  \
+         \"degraded_p99_read_latency_ns\": {},\n  \"rebuild_time_ns\": {}\n}}\n",
         rev,
         m.epoch_throughput_sps,
         m.verified_epoch_throughput_sps,
         m.p99_read_latency_ns,
         m.warm_remount_ns,
-        m.reactor_wakeups_per_epoch
+        m.reactor_wakeups_per_epoch,
+        m.degraded_p99_read_latency_ns,
+        m.rebuild_time_ns
     )
 }
 
@@ -151,12 +250,15 @@ fn main() {
         "checksum verification costs {:.1}% of epoch throughput (gate: 10%)",
         overhead * 100.0
     );
+    let (degraded_p99_read_latency_ns, rebuild_time_ns) = degraded_and_rebuild(seed);
     let m = Metrics {
         epoch_throughput_sps,
         verified_epoch_throughput_sps,
         p99_read_latency_ns: p99_read_latency(seed),
         warm_remount_ns: warm_remount(seed),
         reactor_wakeups_per_epoch,
+        degraded_p99_read_latency_ns,
+        rebuild_time_ns,
     };
 
     let json = render_json(&rev, &m);
@@ -171,7 +273,7 @@ fn main() {
     let base = std::fs::read_to_string(&baseline)
         .unwrap_or_else(|e| panic!("read baseline {baseline}: {e}"));
     // (key, current value, higher-is-better)
-    let checks: [(&str, f64, bool); 5] = [
+    let checks: [(&str, f64, bool); 7] = [
         ("epoch_throughput_sps", m.epoch_throughput_sps, true),
         (
             "verified_epoch_throughput_sps",
@@ -185,6 +287,12 @@ fn main() {
             m.reactor_wakeups_per_epoch as f64,
             false,
         ),
+        (
+            "degraded_p99_read_latency_ns",
+            m.degraded_p99_read_latency_ns as f64,
+            false,
+        ),
+        ("rebuild_time_ns", m.rebuild_time_ns as f64, false),
     ];
     let mut failed = false;
     for (key, now, higher_better) in checks {

@@ -142,6 +142,26 @@ impl NvmeDevice {
         *self.faults.lock() = Some(injector);
     }
 
+    /// Kill the device permanently: every command fails, writes are
+    /// dropped, and reads return zeros until [`revive`](Self::revive).
+    /// Attaches a healthy injector first if none is present.
+    pub fn kill(&self) {
+        let mut f = self.faults.lock();
+        f.get_or_insert_with(|| FaultInjector::new(0)).kill();
+    }
+
+    /// Bring a killed device back (a replacement target behind the same
+    /// endpoint). The caller is responsible for resyncing its contents.
+    pub fn revive(&self) {
+        if let Some(f) = self.faults.lock().as_ref() {
+            f.revive();
+        }
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.faults.lock().as_ref().is_some_and(|f| f.is_dead())
+    }
+
     /// Lifetime statistics: (reads, writes, bytes_read, bytes_written).
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (
@@ -181,6 +201,14 @@ impl NvmeTarget for NvmeDevice {
     }
 
     fn dma_read(&self, slba: u64, dst: &mut [u8]) {
+        // A dead device returns no data: zeros, never stale media bytes a
+        // repair path might mistake for a good copy.
+        if let Some(f) = self.faults.lock().as_ref() {
+            if f.is_dead() {
+                dst.fill(0);
+                return;
+            }
+        }
         self.storage.read_at(slba * BLOCK_SIZE, dst);
         // Silent corruption lives "on the media": every read path (timed or
         // untimed) observes the same flipped bits until a rewrite heals it.
@@ -190,6 +218,11 @@ impl NvmeTarget for NvmeDevice {
     }
 
     fn dma_write(&self, slba: u64, src: &[u8]) {
+        if let Some(f) = self.faults.lock().as_ref() {
+            if f.is_dead() {
+                return; // writes to a dead device vanish
+            }
+        }
         self.storage.write_at(slba * BLOCK_SIZE, src);
         if let Some(f) = self.faults.lock().as_ref() {
             f.clear_marks(slba, src.len().div_ceil(BLOCK_SIZE as usize) as u32);
@@ -349,6 +382,33 @@ mod tests {
             let (r, w, br, bw) = d.stats();
             assert_eq!((r, w), (1, 1));
             assert_eq!((br, bw), (1024, 1024));
+        });
+    }
+
+    #[test]
+    fn killed_device_drops_writes_and_zeroes_reads() {
+        Runtime::simulate(0, |rt| {
+            let d = dev();
+            let payload = vec![0xabu8; 512];
+            d.reserve_write(rt.now(), 0, 1);
+            d.dma_write(0, &payload);
+            d.kill();
+            assert!(d.is_dead());
+            assert!(
+                !d.fault_decide_range(rt.now(), false, 0, 1).status.is_ok(),
+                "commands fail while dead"
+            );
+            let mut out = vec![0xffu8; 512];
+            d.dma_read(0, &mut out);
+            assert_eq!(out, vec![0u8; 512], "dead reads return zeros");
+            d.dma_write(8, &payload); // vanishes
+            d.revive();
+            assert!(!d.is_dead());
+            let mut out = vec![0u8; 512];
+            d.dma_read(0, &mut out);
+            assert_eq!(out, payload, "media survives a kill/revive cycle");
+            d.dma_read(8, &mut out);
+            assert_eq!(out, vec![0u8; 512], "dead-window write never landed");
         });
     }
 

@@ -5,7 +5,7 @@
 //! draws per-command outcomes from a seeded stream, so failing runs replay
 //! exactly — a crashing retry path reproduces on every execution.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use simkit::plock::Mutex;
 use simkit::time::Dur;
@@ -94,6 +94,11 @@ pub struct FaultInjector {
     /// block comes back with one deterministically chosen bit flipped,
     /// until the blocks are rewritten.
     flips: Mutex<Vec<Extent>>,
+    /// Permanent death: every command (read *and* write) fails with a
+    /// `MediaError` until [`revive`](Self::revive). Unlike a fabric crash
+    /// window this never heals on its own — it models a device that is
+    /// gone for good, not a node that reboots.
+    dead: AtomicBool,
 }
 
 impl FaultInjector {
@@ -107,7 +112,28 @@ impl FaultInjector {
             slow_extra: Dur::ZERO,
             sticky: Mutex::new(Vec::new()),
             flips: Mutex::new(Vec::new()),
+            dead: AtomicBool::new(false),
         }
+    }
+
+    /// Kill the device permanently: every subsequent command fails with a
+    /// `MediaError` until [`revive`](Self::revive). Imperative rather than
+    /// scheduled — tests and chaos harnesses pull the plug at a virtual
+    /// instant of their choosing, and the decision paths stay time-free.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+    }
+
+    /// Bring a killed device back, modeling a replacement target behind
+    /// the same endpoint. The media contents are whatever the device holds
+    /// (callers model a fresh disk by resyncing every extent the node
+    /// should own — see the core rebuild planner).
+    pub fn revive(&self) {
+        self.dead.store(false, Ordering::Relaxed);
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
     }
 
     pub fn with_read_failures(mut self, ppm: u32) -> Self {
@@ -181,6 +207,10 @@ impl FaultInjector {
     /// reads overlapping a sticky bad extent to `MediaError`.
     pub fn decide_range(&self, is_write: bool, slba: u64, nblocks: u32) -> FaultOutcome {
         let mut out = self.decide(is_write);
+        if self.is_dead() {
+            out.status = CmdStatus::MediaError;
+            return out;
+        }
         if !is_write && out.status == CmdStatus::Ok && overlaps(&self.sticky.lock(), slba, nblocks)
         {
             out.status = CmdStatus::MediaError;
@@ -229,10 +259,13 @@ impl FaultInjector {
         clear_overlap(&mut self.flips.lock(), slba, nblocks);
     }
 
-    /// Any persistent fault (sticky or flip) overlapping the range? Used by
-    /// scrub/fsck to locate latent damage without a timed read.
+    /// Any persistent fault (death, sticky, or flip) overlapping the
+    /// range? Used by scrub/fsck to locate latent damage without a timed
+    /// read. A dead device reports every range faulted.
     pub fn persistent_fault(&self, slba: u64, nblocks: u32) -> bool {
-        overlaps(&self.sticky.lock(), slba, nblocks) || overlaps(&self.flips.lock(), slba, nblocks)
+        self.is_dead()
+            || overlaps(&self.sticky.lock(), slba, nblocks)
+            || overlaps(&self.flips.lock(), slba, nblocks)
     }
 
     /// Commands decided so far.
@@ -351,6 +384,41 @@ mod tests {
         f.corrupt_read(2, &mut c);
         assert_eq!(c, clean, "rewrite heals the flip");
         assert!(!f.persistent_fault(0, 16));
+    }
+
+    #[test]
+    fn killed_device_fails_everything_until_revived() {
+        let f = FaultInjector::new(8);
+        assert_eq!(f.decide_range(false, 0, 8).status, CmdStatus::Ok);
+        f.kill();
+        assert!(f.is_dead());
+        assert_eq!(f.decide_range(false, 0, 8).status, CmdStatus::MediaError);
+        assert_eq!(f.decide_range(true, 100, 1).status, CmdStatus::MediaError);
+        assert!(f.persistent_fault(0, 1), "dead device is all damage");
+        f.revive();
+        assert!(!f.is_dead());
+        assert_eq!(f.decide_range(false, 0, 8).status, CmdStatus::Ok);
+        assert_eq!(f.decide_range(true, 100, 1).status, CmdStatus::Ok);
+        assert!(!f.persistent_fault(0, 1));
+    }
+
+    #[test]
+    fn death_consumes_one_draw_like_any_command() {
+        // Killing a device must not perturb the transient-fault stream of
+        // commands issued around the death window.
+        let run = |kill_at: Option<usize>| {
+            let f = FaultInjector::new(9).with_read_failures(10_000);
+            (0..200)
+                .map(|i| {
+                    if Some(i) == kill_at {
+                        f.kill();
+                        f.revive();
+                    }
+                    f.decide_range(false, i as u64, 1)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(100)));
     }
 
     #[test]

@@ -157,6 +157,21 @@ pub struct DlfsConfig {
     /// replica; the first completion wins and the loser is cancelled.
     /// Requires `replicas >= 2`.
     pub hedge_reads: bool,
+    /// Membership policy: a target whose health circuit has been
+    /// continuously open for at least this long is declared permanently
+    /// Dead — it is never routed to or probed again, writes targeting it
+    /// fail fast with [`crate::DlfsError::Degraded`], and the rebuild
+    /// planner restores full redundancy from surviving copies. `None`
+    /// (the default) disables membership entirely: circuits re-close on a
+    /// successful probe forever, exactly as before. Requires
+    /// `replicas >= 2` — with a single copy there is nothing to serve
+    /// from once a node is written off.
+    pub fail_dead_after: Option<Dur>,
+    /// Block budget the online rebuild copies per idle reactor gap — the
+    /// rebuild bandwidth cap. Rebuild I/O runs only while every qpair is
+    /// idle, so foreground epoch reads keep their latency; this bounds
+    /// how much of each gap the rebuild may consume. Must be > 0.
+    pub rebuild_gap_blocks: u64,
     pub costs: DlfsCosts,
 }
 
@@ -180,6 +195,8 @@ impl Default for DlfsConfig {
             verify_reads: false,
             scrub: false,
             hedge_reads: false,
+            fail_dead_after: None,
+            rebuild_gap_blocks: 64,
             costs: DlfsCosts::default(),
         }
     }
@@ -237,6 +254,16 @@ impl DlfsConfig {
                  second copy to race",
                 self.replicas
             ));
+        }
+        if self.fail_dead_after.is_some() && self.replicas < 2 {
+            return Err(format!(
+                "fail_dead_after requires replicas >= 2 (have {}): declaring a \
+                 node dead only helps if its data survives elsewhere",
+                self.replicas
+            ));
+        }
+        if self.rebuild_gap_blocks == 0 {
+            return Err("rebuild_gap_blocks must be > 0".into());
         }
         Ok(())
     }
@@ -338,6 +365,24 @@ mod tests {
             ..Default::default()
         };
         c.validate().unwrap();
+        // Membership needs a surviving copy to serve from…
+        let c = DlfsConfig {
+            fail_dead_after: Some(Dur::millis(1)),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        // …and is valid with replication.
+        let c = DlfsConfig {
+            replicas: 2,
+            fail_dead_after: Some(Dur::millis(1)),
+            ..Default::default()
+        };
+        c.validate().unwrap();
+        let c = DlfsConfig {
+            rebuild_gap_blocks: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -22,6 +22,35 @@ impl std::fmt::Display for IoFailure {
 
 impl std::error::Error for IoFailure {}
 
+/// Why the last replica read of a corrupt chunk was rejected — the cause
+/// chain under [`DlfsError::Corrupt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptCause {
+    /// The final attempt returned bytes, but they failed per-block
+    /// checksum verification.
+    Checksum,
+    /// The final attempt never returned good bytes at all.
+    Io(IoFailure),
+}
+
+impl std::fmt::Display for CorruptCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorruptCause::Checksum => write!(f, "block checksum mismatch"),
+            CorruptCause::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorruptCause {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorruptCause::Io(e) => Some(e),
+            CorruptCause::Checksum => None,
+        }
+    }
+}
+
 /// What the on-device persistent layout (superblock / metadata region /
 /// checkpoint region) found wrong. Surfaced as [`DlfsError::Layout`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +147,18 @@ pub enum DlfsError {
         chunk: u64,
         /// Replica reads attempted before giving up.
         tried: u32,
+        /// Why the final attempt was rejected (the `Error::source` chain).
+        cause: CorruptCause,
+    },
+    /// The operation targets a storage node the cluster membership view
+    /// has declared permanently Dead. Writes and imports fail fast with
+    /// this instead of burning their retry budget timing out; reads never
+    /// see it (they route around the dead node via replicas).
+    Degraded {
+        /// The dead storage node.
+        node: u16,
+        /// Membership view epoch under which the refusal was made.
+        view_epoch: u64,
     },
 }
 
@@ -145,9 +186,13 @@ impl std::fmt::Display for DlfsError {
             ),
             DlfsError::Deployment(m) => write!(f, "bad deployment: {m}"),
             DlfsError::Layout(e) => write!(f, "layout: {e}"),
-            DlfsError::Corrupt { chunk, tried } => write!(
+            DlfsError::Corrupt { chunk, tried, .. } => write!(
                 f,
                 "chunk at offset {chunk} corrupt on every replica ({tried} read(s) tried)"
+            ),
+            DlfsError::Degraded { node, view_epoch } => write!(
+                f,
+                "storage node {node} is dead (membership view epoch {view_epoch}); writes refused in degraded mode"
             ),
         }
     }
@@ -158,6 +203,7 @@ impl std::error::Error for DlfsError {
         match self {
             DlfsError::Io { cause, .. } => Some(cause),
             DlfsError::Layout(e) => Some(e),
+            DlfsError::Corrupt { cause, .. } => Some(cause),
             _ => None,
         }
     }

@@ -29,7 +29,7 @@
 use std::sync::Arc;
 
 use blocksim::BLOCK_SIZE;
-use fabric::TargetHealth;
+use fabric::{Membership, MembershipPolicy, TargetHealth};
 use simkit::rng::fnv1a;
 use simkit::time::{Dur, Time};
 
@@ -55,6 +55,11 @@ pub struct Redundancy {
     pub sums: Vec<Arc<Vec<u64>>>,
     /// Circuit breaker over the storage nodes, shared by every reader.
     pub health: TargetHealth,
+    /// Cluster membership view, present when the configuration set
+    /// [`crate::DlfsConfig::fail_dead_after`]: sustained circuit-open
+    /// escalates a target to permanently Dead, which routing then skips
+    /// entirely (no probes, no retries — replicas serve).
+    pub membership: Option<Membership>,
 }
 
 impl std::fmt::Debug for Redundancy {
@@ -79,7 +84,57 @@ impl Redundancy {
             slots,
             sums,
             health,
+            membership: None,
         }
+    }
+
+    /// Enable the membership layer: a target continuously circuit-open for
+    /// `dead_after` is escalated to Dead on the next failure observation.
+    pub fn with_membership(mut self, dead_after: Dur) -> Redundancy {
+        self.membership = Some(Membership::new(
+            self.slots.len(),
+            MembershipPolicy { dead_after },
+        ));
+        self
+    }
+
+    /// Is `target` declared permanently Dead by the membership view?
+    /// Always `false` without a membership layer.
+    pub fn is_dead(&self, target: usize) -> bool {
+        self.membership.as_ref().is_some_and(|m| m.is_dead(target))
+    }
+
+    /// Record a successful operation against `target`: closes its health
+    /// circuit and clears a Suspect membership state (Dead stays Dead).
+    pub fn record_ok(&self, target: usize) {
+        self.health.record_ok(target);
+        if let Some(m) = &self.membership {
+            m.observe_alive(target);
+        }
+    }
+
+    /// Re-admit a rebuilt target: close its health circuit *and* clear the
+    /// Dead membership state. The circuit reset is load-bearing — the
+    /// outage's stale `open_since` would otherwise survive the rejoin and
+    /// the next routing decision would re-declare the node Dead on sight.
+    pub fn rejoin(&self, target: usize) {
+        self.health.record_ok(target);
+        if let Some(m) = &self.membership {
+            m.rejoin(target);
+        }
+    }
+
+    /// Record a failed operation against `target` at `now`, escalating a
+    /// sustained outage through the membership policy. Returns `true` when
+    /// this failure opened (or re-armed) the circuit.
+    pub fn record_failure(&self, target: usize, now: Time) -> bool {
+        let opened = self.health.record_failure(target, now);
+        if let Some(m) = &self.membership {
+            if let Some(since) = self.health.open_since(target) {
+                m.observe_open(target, since, now);
+            }
+        }
+        opened
     }
 
     /// Are reads checksum-verified on this instance?
@@ -107,23 +162,44 @@ impl Redundancy {
         )
     }
 
-    /// First replica index, rotating from `start`, whose serving target's
-    /// circuit is closed at `now`. Falls back to `start` when every
-    /// circuit is open (better to probe a quarantined target than to give
-    /// up without trying).
+    /// First replica index, rotating from `start`, whose serving target is
+    /// routable at `now`: not membership-Dead, and with a closed circuit —
+    /// or the single half-open probe this cooldown expiry grants
+    /// ([`TargetHealth::try_probe`]; concurrent callers at the same expiry
+    /// don't all hammer the recovering target). Falls back to the first
+    /// non-Dead replica when every circuit is open (better to probe a
+    /// quarantined target than to give up without trying), and to `start`
+    /// only when the whole rotation is Dead.
     pub fn pick_replica(&self, home: u16, start: u32, now: Time) -> u32 {
         if self.replicas == 1 {
             return 0;
         }
         let start = start % self.replicas;
+        let mut fallback = None;
         for i in 0..self.replicas {
             let r = (start + i) % self.replicas;
             let (t, _) = self.route(home, r, self.slots[home as usize].0 / BLOCK_SIZE);
-            if self.health.available(t as usize, now) {
+            let t = t as usize;
+            if self.is_dead(t) {
+                continue;
+            }
+            // Routing-time escalation: a target whose circuit has been
+            // continuously open past the death policy is declared Dead
+            // right here, without waiting for a half-open probe to burn
+            // another request on it.
+            if let (Some(m), Some(since)) = (&self.membership, self.health.open_since(t)) {
+                if m.observe_open(t, since, now) == fabric::NodeState::Dead {
+                    continue;
+                }
+            }
+            if fallback.is_none() {
+                fallback = Some(r);
+            }
+            if self.health.try_probe(t, now) {
                 return r;
             }
         }
-        start
+        fallback.unwrap_or(start)
     }
 
     /// Verify whole blocks read from home coordinates `(home, slba)`.
@@ -204,6 +280,47 @@ mod tests {
         assert_eq!(r.pick_replica(0, 0, now), 0);
         // Cooldown expiry half-opens node 0 again.
         assert_eq!(r.pick_replica(0, 0, now + health_cooldown()), 0);
+    }
+
+    #[test]
+    fn pick_replica_never_routes_to_dead_targets() {
+        let slots = vec![(0u64, 4096u64); 3];
+        let r = Redundancy::new(2, slots, vec![]).with_membership(Dur::micros(100));
+        let now = Time::ZERO + Dur::micros(10);
+        // Sustained failures on node 0 escalate it to Dead.
+        for _ in 0..HEALTH_THRESHOLD {
+            r.record_failure(0, now);
+        }
+        assert!(!r.is_dead(0), "circuit open but outage not sustained yet");
+        r.record_failure(0, now + Dur::micros(100));
+        assert!(r.is_dead(0));
+        // Replica 1 of home 0 (on node 1) serves; node 0 is skipped even
+        // after its cooldown expires — Dead targets are never probed.
+        let later = now + health_cooldown() * 10;
+        assert_eq!(r.pick_replica(0, 0, later), 1);
+        assert_eq!(r.pick_replica(0, 0, later), 1, "no half-open probe granted");
+        // A stray success does not resurrect it…
+        r.record_ok(0);
+        assert!(r.is_dead(0));
+        // …only an explicit rejoin does.
+        r.membership.as_ref().unwrap().rejoin(0);
+        assert!(!r.is_dead(0));
+        assert_eq!(r.pick_replica(0, 0, later), 0);
+    }
+
+    #[test]
+    fn wrappers_track_suspect_recovery() {
+        let slots = vec![(0u64, 4096u64); 2];
+        let r = Redundancy::new(2, slots, vec![]).with_membership(Dur::micros(500));
+        let now = Time::ZERO;
+        for _ in 0..HEALTH_THRESHOLD {
+            r.record_failure(1, now);
+        }
+        let m = r.membership.as_ref().unwrap();
+        assert_eq!(m.state(1), fabric::NodeState::Suspect);
+        r.record_ok(1);
+        assert_eq!(m.state(1), fabric::NodeState::Alive);
+        assert!(r.health.available(1, now));
     }
 
     #[test]

@@ -24,9 +24,10 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use blocksim::{covering_blocks, CmdStatus, DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
+use simkit::rng::fnv1a;
 use simkit::rng::SplitMix64;
 use simkit::runtime::Runtime;
-use simkit::telemetry::{Counter, Histo, Registry, Snapshot};
+use simkit::telemetry::{Counter, Gauge, Histo, Registry, Snapshot};
 use simkit::time::{Dur, Time};
 
 use crate::cache::RangeKey;
@@ -34,10 +35,12 @@ use crate::config::{CacheMode, DlfsConfig};
 use crate::copy::{CopyDone, CopyJob, SegList, Segment};
 use crate::directory::SampleDirectory;
 use crate::entry::SampleEntry;
-use crate::error::{DlfsError, IoFailure};
+use crate::error::{CorruptCause, DlfsError, IoFailure};
 use crate::integrity::Redundancy;
+use crate::layout::{encode_integrity, encode_meta, MetaRecord};
 use crate::plan::{build_epoch_plan, reader_item_ranges, FetchItem, ReaderPlan};
 use crate::reactor::{CompletionClock, ReactorStats};
+use crate::rebuild::RebuildPlan;
 use crate::request::{Completions, Delivery, ReadRequest};
 use crate::zerocopy::{Pin, PinGuard, ZeroCopySample};
 use crate::{cache::SampleCache, copy::CopyPool};
@@ -122,10 +125,25 @@ struct IoTelemetry {
     iv_failovers: Counter,
     iv_hedges: Counter,
     iv_hedge_wins: Counter,
+    /// Rebuild counters under `dlfs.rebuild.*`. Registered only when the
+    /// instance carries a cluster [`fabric::Membership`] view
+    /// ([`crate::DlfsConfig::fail_dead_after`]) — otherwise they bind to a
+    /// detached registry, keeping metric renders of every pre-membership
+    /// configuration byte-identical.
+    rb_blocks: Counter,
+    /// Blocks a catch-up resync found already verified on the replacement
+    /// device (a restarted node that kept its media skips them).
+    rb_clean: Counter,
+    /// Blocks no surviving replica could serve cleanly.
+    rb_failed: Counter,
+    rb_completed: Counter,
+    /// Chunks with less than full redundancy right now (drops toward zero
+    /// as the rebuild progresses).
+    rb_at_risk: Gauge,
 }
 
 impl IoTelemetry {
-    fn new(reg: &Registry, cross_epoch: bool, integrity: bool) -> IoTelemetry {
+    fn new(reg: &Registry, cross_epoch: bool, integrity: bool, membership: bool) -> IoTelemetry {
         let io = reg.scoped("dlfs.io");
         let cache = if cross_epoch {
             reg.scoped("dlfs.cache")
@@ -137,7 +155,17 @@ impl IoTelemetry {
         } else {
             Registry::new().scoped("dlfs.integrity")
         };
+        let rb = if membership {
+            reg.scoped("dlfs.rebuild")
+        } else {
+            Registry::new().scoped("dlfs.rebuild")
+        };
         IoTelemetry {
+            rb_blocks: rb.counter("blocks_rebuilt"),
+            rb_clean: rb.counter("blocks_clean"),
+            rb_failed: rb.counter("blocks_failed"),
+            rb_completed: rb.counter("completed"),
+            rb_at_risk: rb.gauge("chunks_at_risk"),
             iv_verified: iv.counter("verified"),
             iv_mismatches: iv.counter("mismatches"),
             iv_repairs: iv.counter("repairs"),
@@ -247,6 +275,20 @@ struct PrefetchState {
     cmds: HashMap<u64, RangeKey>,
 }
 
+/// In-flight re-replication of one dead node, executed in slices through
+/// idle reactor gaps (see [`DlfsIo::begin_rebuild`]).
+struct RebuildState {
+    plan: RebuildPlan,
+    /// Current extent index into `plan.extents`.
+    ext: usize,
+    /// Next block within the current extent.
+    blk: u64,
+    /// Blocks walked so far (copied, found clean, or failed).
+    walked: u64,
+    /// Blocks no surviving replica could serve.
+    failed: u64,
+}
+
 /// A per-thread DLFS I/O handle.
 pub struct DlfsIo {
     shared: Arc<DlfsShared>,
@@ -268,6 +310,10 @@ pub struct DlfsIo {
     /// Background scrub position: (storage node, block within its data
     /// region).
     scrub_cursor: (usize, u64),
+    /// In-flight node rebuild, throttled through idle reactor gaps
+    /// (`rebuild_gap_blocks` per gap) so foreground reads keep their
+    /// latency; `None` when full redundancy holds.
+    rebuild: Option<RebuildState>,
     /// Fatal engine failure (a part exhausted its retry budget). Sticky
     /// until the epoch is replaced: the plan can no longer be completed.
     failed: Option<DlfsError>,
@@ -325,8 +371,16 @@ impl DlfsIo {
         if cross_epoch {
             shared.cache.attach_telemetry(&reg.scoped("dlfs.cache"));
         }
+        let membership = shared
+            .redundancy
+            .as_deref()
+            .and_then(|r| r.membership.as_ref());
+        if let Some(m) = membership {
+            m.attach_telemetry(&reg.scoped("dlfs.membership"));
+        }
+        let membership = membership.is_some();
         DlfsIo {
-            tel: IoTelemetry::new(reg, cross_epoch, shared.redundancy.is_some()),
+            tel: IoTelemetry::new(reg, cross_epoch, shared.redundancy.is_some(), membership),
             rstats: ReactorStats::new(reg, shared.cfg.reactor_stats),
             registry: reg.clone(),
             shared,
@@ -338,6 +392,7 @@ impl DlfsIo {
             hedges: HashMap::new(),
             hedge_due: BinaryHeap::new(),
             scrub_cursor: (0, 0),
+            rebuild: None,
             failed: None,
             current_deadline: None,
             copy_dispatch_at: Vec::new(),
@@ -989,7 +1044,7 @@ impl DlfsIo {
         }
         if status.is_ok() && !verify_failed {
             if let Some(red) = red.as_deref().filter(|r| r.replicas > 1) {
-                red.health.record_ok(serving as usize);
+                red.record_ok(serving as usize);
             }
             if let Some((pcmd, pdev, secondary)) = hedge {
                 // First verified completion wins: cancel the partner on its
@@ -1025,7 +1080,7 @@ impl DlfsIo {
             self.tel.timeouts.inc();
         }
         if let Some(red) = red.as_deref().filter(|r| r.replicas > 1) {
-            red.health.record_failure(serving as usize, rt.now());
+            red.record_failure(serving as usize, rt.now());
         }
         if let Some((pcmd, _, _)) = hedge {
             if self.inflight.contains_key(&pcmd) {
@@ -1072,6 +1127,14 @@ impl DlfsIo {
                         DlfsError::Corrupt {
                             chunk: chunk_off,
                             tried: failed_attempts,
+                            cause: if status.is_ok() {
+                                CorruptCause::Checksum
+                            } else {
+                                CorruptCause::Io(match status {
+                                    CmdStatus::TransportError => IoFailure::Timeout,
+                                    _ => IoFailure::Media,
+                                })
+                            },
                         }
                     } else {
                         DlfsError::Io {
@@ -1383,6 +1446,10 @@ impl DlfsIo {
             if self.shared.cfg.scrub {
                 self.scrub_blocks(SCRUB_GAP_BLOCKS);
             }
+            if self.rebuild.is_some() {
+                let gap = self.shared.cfg.rebuild_gap_blocks;
+                self.rebuild_blocks(gap);
+            }
             self.rstats.park(t - now);
             rt.sleep_until(t);
         } else {
@@ -1472,6 +1539,228 @@ impl DlfsIo {
         }
         self.scrub_cursor = (0, 0);
         self.scrub_blocks(total)
+    }
+
+    /// Start automated re-replication of storage node `node` after a
+    /// permanent loss: enumerate every replica slot the node hosted
+    /// ([`RebuildPlan::for_dead_node`]) and copy each block back from a
+    /// surviving verified replica, `rebuild_gap_blocks` per idle reactor
+    /// gap (call [`DlfsIo::drive_rebuild`] to finish synchronously). The
+    /// replacement device — the revived node, or a fresh one mounted under
+    /// the same index — must be attached and serving writes first. Returns
+    /// the total blocks to rebuild; 0 (and no rebuild) without redundancy.
+    pub fn begin_rebuild(&mut self, node: u16) -> u64 {
+        let Some(red) = self.shared.redundancy.as_deref() else {
+            return 0;
+        };
+        if red.replicas < 2 || red.membership.is_none() {
+            return 0;
+        }
+        let blocks_of: Vec<u64> = (0..self.shared.targets.len())
+            .map(|h| match self.shared.layouts.as_deref() {
+                Some(l) => l[h].data_bytes.div_ceil(BLOCK_SIZE),
+                None => red.data_blocks(h as u16),
+            })
+            .collect();
+        let plan = RebuildPlan::for_dead_node(red, node, &blocks_of);
+        let total = plan.total_blocks;
+        self.tel.rb_at_risk.set(self.chunks_at_risk(total) as i64);
+        self.rebuild = Some(RebuildState {
+            plan,
+            ext: 0,
+            blk: 0,
+            walked: 0,
+            failed: 0,
+        });
+        total
+    }
+
+    /// Is a node rebuild still in flight?
+    pub fn rebuild_active(&self) -> bool {
+        self.rebuild.is_some()
+    }
+
+    /// Blocks the in-flight rebuild has not walked yet (0 when idle).
+    pub fn rebuild_remaining(&self) -> u64 {
+        self.rebuild
+            .as_ref()
+            .map(|r| r.plan.total_blocks - r.walked)
+            .unwrap_or(0)
+    }
+
+    /// Walk up to `budget` blocks of the in-flight rebuild — the same
+    /// slice the engine takes per idle reactor gap, exposed so tests and
+    /// the `ext_rebuild` bench can interleave rebuild progress with
+    /// foreground work (or mid-rebuild faults) at a controlled pace.
+    pub fn rebuild_step(&mut self, budget: u64) -> u64 {
+        self.rebuild_blocks(budget)
+    }
+
+    /// Run the in-flight rebuild to completion in one call (tests, the
+    /// `ext_rebuild` bench, and operators who want redundancy back *now*
+    /// rather than trickled through idle gaps). Returns blocks walked.
+    pub fn drive_rebuild(&mut self) -> u64 {
+        let mut done = 0;
+        while self.rebuild.is_some() {
+            done += self.rebuild_blocks(u64::MAX);
+        }
+        done
+    }
+
+    /// Chunks not yet at full redundancy when `blocks` blocks are missing.
+    fn chunks_at_risk(&self, blocks: u64) -> u64 {
+        let per_chunk = (self.shared.cfg.chunk_size / BLOCK_SIZE).max(1);
+        blocks.div_ceil(per_chunk)
+    }
+
+    /// Walk up to `budget` blocks of the in-flight rebuild: verify what
+    /// the replacement device already holds (a restarted node keeps its
+    /// media — catch-up resync skips clean blocks), copy the rest from the
+    /// first surviving replica whose bytes verify, and finish with the
+    /// on-device layout restore + membership rejoin once the plan is
+    /// exhausted. Untimed bookkeeping, same as the scrubber: it models a
+    /// housekeeping thread running in reactor idle gaps, not reactor CPU.
+    fn rebuild_blocks(&mut self, budget: u64) -> u64 {
+        let Some(red) = self.shared.redundancy.clone() else {
+            self.rebuild = None;
+            return 0;
+        };
+        let Some(mut rb) = self.rebuild.take() else {
+            return 0;
+        };
+        let mut left = budget;
+        let mut walked = 0u64;
+        while left > 0 {
+            let Some(ext) = rb.plan.extents.get(rb.ext).copied() else {
+                break;
+            };
+            if rb.blk >= ext.blocks {
+                rb.ext += 1;
+                rb.blk = 0;
+                continue;
+            }
+            let run = left.min(ext.blocks - rb.blk).min(128);
+            let home_base_blk = red.slots[ext.home as usize].0 / BLOCK_SIZE;
+            for i in 0..run {
+                let home_blk = home_base_blk + rb.blk + i;
+                let (dt, dslba) = red.route(ext.home, ext.slot_r, home_blk);
+                debug_assert_eq!(dt, rb.plan.node);
+                let dest = self.shared.targets[dt as usize].clone();
+                if red.verify() {
+                    let mut have = vec![0u8; BLOCK_SIZE as usize];
+                    dest.dma_read(dslba, &mut have);
+                    if red.verify_blocks(ext.home, home_blk, &have) && !dest.probe_extent(dslba, 1)
+                    {
+                        self.tel.rb_clean.inc();
+                        continue;
+                    }
+                }
+                let mut copied = false;
+                for s in rb.plan.sources(&ext, &red) {
+                    let (st, sslba) = red.route(ext.home, s, home_blk);
+                    if st == rb.plan.node || red.is_dead(st as usize) {
+                        continue;
+                    }
+                    let src = &self.shared.targets[st as usize];
+                    if src.probe_extent(sslba, 1) {
+                        continue;
+                    }
+                    let mut blk = vec![0u8; BLOCK_SIZE as usize];
+                    src.dma_read(sslba, &mut blk);
+                    if !red.verify_blocks(ext.home, home_blk, &blk) {
+                        continue;
+                    }
+                    dest.dma_write(dslba, &blk);
+                    copied = true;
+                    break;
+                }
+                if copied {
+                    self.tel.rb_blocks.inc();
+                } else {
+                    rb.failed += 1;
+                    self.tel.rb_failed.inc();
+                }
+            }
+            rb.blk += run;
+            rb.walked += run;
+            walked += run;
+            left -= run;
+        }
+        while rb
+            .plan
+            .extents
+            .get(rb.ext)
+            .is_some_and(|e| rb.blk >= e.blocks)
+        {
+            rb.ext += 1;
+            rb.blk = 0;
+        }
+        let remaining = rb.plan.total_blocks - rb.walked;
+        self.tel
+            .rb_at_risk
+            .set(self.chunks_at_risk(remaining + rb.failed) as i64);
+        if rb.ext >= rb.plan.extents.len() {
+            self.rebuild_finish(&red, rb.plan.node, rb.failed);
+        } else {
+            self.rebuild = Some(rb);
+        }
+        walked
+    }
+
+    /// Final pass of a completed rebuild: on persistent instances, restore
+    /// the replacement device's metadata region (reconstructed from the
+    /// sample directory, payload checksums re-hashed from the rebuilt
+    /// bytes), integrity table, and committed superblock — a fresh device
+    /// comes out `fsck`-clean, indistinguishable from the import, except
+    /// for the checkpoint region, whose stream died with the old node (the
+    /// fsck checkpoint walk treats the zeroed region as an empty stream).
+    /// Only a fully successful rebuild rejoins the node into the
+    /// membership view; failed blocks leave it Dead for another attempt.
+    fn rebuild_finish(&mut self, red: &Redundancy, node: u16, failed: u64) {
+        if let Some(layouts) = self.shared.layouts.clone() {
+            let dest = self.shared.targets[node as usize].clone();
+            let mut sb = layouts[node as usize].clone();
+            let mut records = Vec::with_capacity(sb.node_samples as usize);
+            for &id in self.shared.dir.samples_on(node) {
+                let e = self.shared.dir.entry(id);
+                let (unit1, unit2) = e.raw();
+                records.push(MetaRecord {
+                    id,
+                    unit1,
+                    unit2,
+                    payload_checksum: fnv1a(&self.read_back(&dest, e.offset(), e.len())),
+                });
+            }
+            let meta = encode_meta(&records);
+            debug_assert_eq!(meta.len() as u64, sb.meta_bytes);
+            if !meta.is_empty() {
+                dest.dma_write(sb.meta_base / BLOCK_SIZE, &meta);
+            }
+            if sb.integrity_bytes > 0 {
+                let enc = encode_integrity(&red.sums[node as usize]);
+                debug_assert_eq!(enc.len() as u64, sb.integrity_bytes);
+                dest.dma_write(sb.integrity_base / BLOCK_SIZE, &enc);
+            }
+            sb.meta_checksum = fnv1a(&meta);
+            sb.committed = true;
+            dest.dma_write(0, &sb.encode());
+        }
+        if failed == 0 {
+            red.rejoin(node as usize);
+        }
+        self.tel.rb_completed.inc();
+        self.tel.rb_at_risk.set(self.chunks_at_risk(failed) as i64);
+    }
+
+    /// Read `len` bytes at absolute device byte offset `off` (block math
+    /// for the payload re-hash of [`DlfsIo::rebuild_finish`]).
+    fn read_back(&self, dev: &Arc<dyn NvmeTarget>, off: u64, len: u64) -> Vec<u8> {
+        let first = off / BLOCK_SIZE;
+        let end = (off + len).div_ceil(BLOCK_SIZE);
+        let mut buf = vec![0u8; ((end - first) * BLOCK_SIZE) as usize];
+        dev.dma_read(first, &mut buf);
+        let at = (off - first * BLOCK_SIZE) as usize;
+        buf[at..at + len as usize].to_vec()
     }
 
     /// The zero-copy engine loop: prep → post → poll, then pin + hand out
@@ -1904,7 +2193,7 @@ impl DlfsIo {
                     }
                     if c.status.is_ok() && !verify_failed {
                         if let Some(red) = red.as_deref().filter(|r| r.replicas > 1) {
-                            red.health.record_ok(serving as usize);
+                            red.record_ok(serving as usize);
                         }
                         left -= 1;
                         continue;
@@ -1913,7 +2202,7 @@ impl DlfsIo {
                         self.tel.timeouts.inc();
                     }
                     if let Some(red) = red.as_deref().filter(|r| r.replicas > 1) {
-                        red.health.record_failure(serving as usize, rt.now());
+                        red.record_failure(serving as usize, rt.now());
                     }
                     let failed_attempts = attempt + 1;
                     match retry.next_delay(failed_attempts) {
@@ -1932,6 +2221,14 @@ impl DlfsIo {
                                 DlfsError::Corrupt {
                                     chunk: (slba + start as u64) * BLOCK_SIZE,
                                     tried: failed_attempts,
+                                    cause: if c.status.is_ok() {
+                                        CorruptCause::Checksum
+                                    } else {
+                                        CorruptCause::Io(match c.status {
+                                            CmdStatus::TransportError => IoFailure::Timeout,
+                                            _ => IoFailure::Media,
+                                        })
+                                    },
                                 }
                             } else {
                                 DlfsError::Io {

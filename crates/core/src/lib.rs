@@ -63,6 +63,7 @@ pub mod layout;
 pub mod mount;
 pub mod plan;
 pub mod reactor;
+pub mod rebuild;
 pub mod request;
 pub mod source;
 pub mod writer;
@@ -72,7 +73,7 @@ pub use cache::SampleCache;
 pub use config::{BatchMode, CacheMode, DlfsConfig, DlfsCosts};
 pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 pub use entry::SampleEntry;
-pub use error::{DlfsError, IoFailure, LayoutError};
+pub use error::{CorruptCause, DlfsError, IoFailure, LayoutError};
 pub use integrity::Redundancy;
 pub use io::{DlfsIo, DlfsShared};
 pub use layout::{
@@ -83,6 +84,7 @@ pub use plan::{
     build_epoch_plan, full_random_order, reader_item_ranges, EpochPlan, FetchItem, ReaderPlan,
 };
 pub use reactor::CompletionClock;
+pub use rebuild::{RebuildExtent, RebuildPlan};
 pub use request::{Completion, Completions, Delivery, ReadRequest};
 pub use source::{SampleSource, SyntheticSource};
 pub use writer::{BatchedWriter, CheckpointReader, CheckpointWriter};

@@ -184,6 +184,18 @@ impl DlfsInstance {
                 "ckpt_region_bytes was 0 at import: no checkpoint region on this device".into(),
             ));
         }
+        // Degraded mode: fail fast with a typed error instead of letting
+        // every append burn its retry budget timing out against a node the
+        // membership view already declared Dead.
+        if let Some(red) = &self.redundancy {
+            if red.is_dead(nid as usize) {
+                let view_epoch = red.membership.as_ref().map(|m| m.view_epoch()).unwrap_or(0);
+                return Err(DlfsError::Degraded {
+                    node: nid,
+                    view_epoch,
+                });
+            }
+        }
         let shared = &self.shared[r];
         CheckpointWriter::open(
             rt,
@@ -792,6 +804,17 @@ fn check_replica_count(cfg: &DlfsConfig, storage_nodes: usize) -> Result<(), Dlf
 
 /// Perform the collective mount. Returns the instance once every reader
 /// has finished loading and the allgather completed. The devices hold
+/// Layer the cluster membership view onto a freshly built [`Redundancy`]
+/// when the configuration asked for failure detection
+/// ([`crate::DlfsConfig::fail_dead_after`]); the plain circuit-breaker
+/// behavior is untouched otherwise.
+fn apply_membership(red: Redundancy, cfg: &DlfsConfig) -> Redundancy {
+    match cfg.fail_dead_after {
+        Some(dead_after) => red.with_membership(dead_after),
+        None => red,
+    }
+}
+
 /// raw sample data with no persistent layout; use the builder's
 /// `.persistent()` for a layout a later job can remount warm.
 fn mount_impl(
@@ -832,8 +855,12 @@ fn mount_impl(
         geometry.clone(),
     )?;
     allgather(rt, &deployment, &dir, &opts, readers, storage_nodes);
-    let redundancy =
-        geometry.map(|g| Arc::new(Redundancy::new(cfg.replicas as u32, (*g).clone(), sums)));
+    let redundancy = geometry.map(|g| {
+        Arc::new(apply_membership(
+            Redundancy::new(cfg.replicas as u32, (*g).clone(), sums),
+            &cfg,
+        ))
+    });
     Ok(build_instance(rt, &deployment, dir, cfg, None, redundancy))
 }
 
@@ -903,7 +930,10 @@ fn import_impl(
             .iter()
             .map(|sb| (sb.data_base, sb.replica_slot_bytes))
             .collect();
-        Arc::new(Redundancy::new(cfg.replicas as u32, slots, sums))
+        Arc::new(apply_membership(
+            Redundancy::new(cfg.replicas as u32, slots, sums),
+            &cfg,
+        ))
     });
     Ok(build_instance(
         rt,
@@ -1039,7 +1069,10 @@ fn remount_impl(
         } else {
             Vec::new()
         };
-        Arc::new(Redundancy::new(replicas, slots, sums))
+        Arc::new(apply_membership(
+            Redundancy::new(replicas, slots, sums),
+            &cfg,
+        ))
     });
     let layouts: Vec<Superblock> = nodes.into_iter().map(|(sb, _, _)| sb).collect();
     Ok(build_instance(

@@ -1,0 +1,170 @@
+//! Rebuild planning after permanent target loss.
+//!
+//! When the membership view declares a storage node Dead, every replica
+//! slot that node hosted has lost one copy. This module enumerates those
+//! slots deterministically so re-replication can restore full redundancy
+//! onto a replacement device (a revived node, or a fresh one joining under
+//! the same index):
+//!
+//! * **Slot 0** of dead node `d` held `d`'s own data. Surviving copies are
+//!   replicas `1..k` of home `d`, hosted by peers `(d + r) mod N`.
+//! * **Slot `r`** (`1 <= r < k`) of `d` held replica `r` of home
+//!   `h = (d + N - r) mod N` (the inverse of [`Redundancy::route`]'s
+//!   `(h + r) mod N` placement). Surviving copies are `h`'s other
+//!   replicas, including the home copy itself.
+//!
+//! The plan is pure geometry — no I/O, no clock — so the same dead node
+//! under the same deployment always yields the same extent list, and a
+//! same-seed rerun of a chaos scenario replays the rebuild byte-for-byte.
+//! Execution (copying blocks through idle reactor gaps, verifying against
+//! the integrity tables, and the final superblock/metadata restore) lives
+//! in [`crate::io::DlfsIo`] and [`crate::mount`].
+
+use crate::integrity::Redundancy;
+
+/// One contiguous run of blocks the dead node must get back: the copy of
+/// `home`'s data that lived in the dead node's replica slot `slot_r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildExtent {
+    /// Home node whose data this extent mirrors.
+    pub home: u16,
+    /// Replica slot index on the dead node (`0` = the node's own data).
+    pub slot_r: u32,
+    /// Blocks of staged data in the extent.
+    pub blocks: u64,
+}
+
+/// Deterministic work list for re-replicating one dead node.
+#[derive(Debug, Clone)]
+pub struct RebuildPlan {
+    /// The node being rebuilt.
+    pub node: u16,
+    /// Extents in fixed order: slot 0 first, then replica slots ascending.
+    pub extents: Vec<RebuildExtent>,
+    /// Sum of `blocks` over all extents.
+    pub total_blocks: u64,
+}
+
+impl RebuildPlan {
+    /// Enumerate everything dead node `node` hosted. `blocks_of[h]` is the
+    /// number of staged data blocks on home node `h` (from the superblock's
+    /// `data_bytes` on persistent instances, or the integrity table length
+    /// on verified ephemeral mounts).
+    pub fn for_dead_node(red: &Redundancy, node: u16, blocks_of: &[u64]) -> RebuildPlan {
+        let n = red.slots.len();
+        assert_eq!(blocks_of.len(), n);
+        assert!((node as usize) < n);
+        let mut extents = Vec::with_capacity(red.replicas as usize);
+        extents.push(RebuildExtent {
+            home: node,
+            slot_r: 0,
+            blocks: blocks_of[node as usize],
+        });
+        for r in 1..red.replicas {
+            let home = ((node as u32 + n as u32 - r) % n as u32) as u16;
+            extents.push(RebuildExtent {
+                home,
+                slot_r: r,
+                blocks: blocks_of[home as usize],
+            });
+        }
+        let total_blocks = extents.iter().map(|e| e.blocks).sum();
+        RebuildPlan {
+            node,
+            extents,
+            total_blocks,
+        }
+    }
+
+    /// Surviving replica indices a block of `ext` can be read from, in
+    /// deterministic preference order (lowest replica index first). Every
+    /// entry routes away from the dead node by construction — the dead
+    /// node hosted exactly the one slot being rebuilt.
+    pub fn sources(&self, ext: &RebuildExtent, red: &Redundancy) -> Vec<u32> {
+        (0..red.replicas)
+            .filter(|&r| r != ext.slot_r)
+            .inspect(|&r| {
+                let home_blk = red.slots[ext.home as usize].0 / blocksim::BLOCK_SIZE;
+                debug_assert_ne!(red.route(ext.home, r, home_blk).0, self.node);
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blocksim::BLOCK_SIZE;
+
+    fn red(nodes: usize, k: u32) -> Redundancy {
+        Redundancy::new(k, vec![(4096u64, 1 << 20); nodes], vec![])
+    }
+
+    #[test]
+    fn plan_covers_every_slot_the_dead_node_hosted() {
+        let r = red(4, 3);
+        let blocks = [10u64, 20, 30, 40];
+        let plan = RebuildPlan::for_dead_node(&r, 2, &blocks);
+        assert_eq!(plan.node, 2);
+        // Slot 0: node 2's own data. Slot 1: replica 1 of home 1
+        // (1 + 1 = 2). Slot 2: replica 2 of home 0 (0 + 2 = 2).
+        assert_eq!(
+            plan.extents,
+            vec![
+                RebuildExtent {
+                    home: 2,
+                    slot_r: 0,
+                    blocks: 30
+                },
+                RebuildExtent {
+                    home: 1,
+                    slot_r: 1,
+                    blocks: 20
+                },
+                RebuildExtent {
+                    home: 0,
+                    slot_r: 2,
+                    blocks: 10
+                },
+            ]
+        );
+        assert_eq!(plan.total_blocks, 60);
+        // Every extent's destination routes onto the dead node.
+        for e in &plan.extents {
+            let home_blk = r.slots[e.home as usize].0 / BLOCK_SIZE;
+            assert_eq!(r.route(e.home, e.slot_r, home_blk).0, 2);
+        }
+    }
+
+    #[test]
+    fn sources_avoid_the_dead_node_and_rebuilt_slot() {
+        let r = red(4, 3);
+        let plan = RebuildPlan::for_dead_node(&r, 2, &[10, 10, 10, 10]);
+        for e in &plan.extents {
+            let srcs = plan.sources(e, &r);
+            assert_eq!(srcs.len(), 2);
+            assert!(!srcs.contains(&e.slot_r));
+            let home_blk = r.slots[e.home as usize].0 / BLOCK_SIZE;
+            for s in srcs {
+                assert_ne!(r.route(e.home, s, home_blk).0, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_wraps_homes() {
+        let r = red(3, 2);
+        let a = RebuildPlan::for_dead_node(&r, 0, &[5, 6, 7]);
+        let b = RebuildPlan::for_dead_node(&r, 0, &[5, 6, 7]);
+        assert_eq!(a.extents, b.extents);
+        // Replica 1 of home 2 lives on node (2 + 1) % 3 = 0.
+        assert_eq!(
+            a.extents[1],
+            RebuildExtent {
+                home: 2,
+                slot_r: 1,
+                blocks: 7
+            }
+        );
+    }
+}

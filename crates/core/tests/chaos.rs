@@ -15,6 +15,14 @@ use fabric::{Cluster, FabricConfig, FabricFaultInjector, NvmeOfTarget, TargetCon
 use simkit::prelude::*;
 use simkit::rng::fnv1a;
 
+/// Base seed plus the CI sweep offset (`DLFS_TEST_SEED_OFFSET`), so the
+/// whole suite can re-run under a second seed without code changes.
+fn test_seed(base: u64) -> u64 {
+    base + std::env::var("DLFS_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
 fn local_device() -> Arc<NvmeDevice> {
     NvmeDevice::new(DeviceConfig::optane(256 << 20))
 }
@@ -109,7 +117,7 @@ fn drain_epoch_verified(
 
 #[test]
 fn media_errors_retry_until_byte_correct() {
-    Runtime::simulate(20, |rt| {
+    Runtime::simulate(test_seed(20), |rt| {
         let source = SyntheticSource::fixed(3, 2000, 2048);
         let dev = local_device();
         let fs = dlfs::MountBuilder::new(DlfsConfig::default())
@@ -129,7 +137,7 @@ fn media_errors_retry_until_byte_correct() {
 
 #[test]
 fn fabric_drops_timeout_and_retry() {
-    Runtime::simulate(21, |rt| {
+    Runtime::simulate(test_seed(21), |rt| {
         let source = SyntheticSource::fixed(4, 1500, 2048);
         let (fs, cluster, _devices) = disaggregated(rt, 3, &source, small_chunks());
         // 8% of remote commands vanish; the initiator times out and
@@ -150,7 +158,7 @@ fn fabric_drops_timeout_and_retry() {
 
 #[test]
 fn target_crash_and_restart_completes_epoch() {
-    Runtime::simulate(22, |rt| {
+    Runtime::simulate(test_seed(22), |rt| {
         let source = SyntheticSource::fixed(5, 1500, 2048);
         let (fs, cluster, _devices) = disaggregated(rt, 3, &source, DlfsConfig::default());
         // Node 1 goes dark for 1 ms right as the epoch starts — well within
@@ -198,8 +206,8 @@ fn chaos_run(seed: u64) -> (u64, u64, String) {
 
 #[test]
 fn same_seed_chaos_runs_are_byte_identical() {
-    let a = chaos_run(23);
-    let b = chaos_run(23);
+    let a = chaos_run(test_seed(23));
+    let b = chaos_run(test_seed(23));
     assert_eq!(a.0, b.0, "delivered bytes diverged");
     assert_eq!(a.1, b.1, "virtual end time diverged");
     assert_eq!(a.2, b.2, "telemetry snapshots diverged");
@@ -210,7 +218,7 @@ fn zero_rate_injector_changes_nothing() {
     // An attached injector with every knob at zero must be invisible: same
     // bytes, same virtual time, same engine telemetry as no injector.
     let run = |armed: bool| {
-        Runtime::simulate(24, |rt| {
+        Runtime::simulate(test_seed(24), |rt| {
             let source = SyntheticSource::fixed(7, 1000, 2048);
             let (fs, cluster, _devices) = disaggregated(rt, 3, &source, DlfsConfig::default());
             if armed {
@@ -231,7 +239,7 @@ fn zero_rate_injector_changes_nothing() {
 
 #[test]
 fn exhausted_retries_surface_typed_error() {
-    Runtime::simulate(25, |rt| {
+    Runtime::simulate(test_seed(25), |rt| {
         let source = SyntheticSource::fixed(8, 400, 2048);
         let dev = local_device();
         let cfg = DlfsConfig {
@@ -288,7 +296,7 @@ fn sync_read_requeues_engine_failures() {
     // harvest the batched engine's *failed* completions — those parts must
     // be re-queued for retry, not just routed and forgotten, or the epoch
     // wedges with samples that never arrive.
-    Runtime::simulate(26, |rt| {
+    Runtime::simulate(test_seed(26), |rt| {
         let source = SyntheticSource::fixed(9, 3000, 2048);
         let dev = local_device();
         let fs = dlfs::MountBuilder::new(DlfsConfig::default())
@@ -380,8 +388,8 @@ fn cross_epoch_chaos_run(seed: u64) -> (u64, u64, String) {
 
 #[test]
 fn cross_epoch_chaos_is_correct_and_replayable() {
-    let a = cross_epoch_chaos_run(28);
-    let b = cross_epoch_chaos_run(28);
+    let a = cross_epoch_chaos_run(test_seed(28));
+    let b = cross_epoch_chaos_run(test_seed(28));
     assert_eq!(a.0, b.0, "delivered bytes diverged");
     assert_eq!(a.1, b.1, "virtual end time diverged");
     assert_eq!(a.2, b.2, "telemetry snapshots diverged");
@@ -391,7 +399,7 @@ fn cross_epoch_chaos_is_correct_and_replayable() {
 
 #[test]
 fn zero_copy_epoch_survives_media_errors() {
-    Runtime::simulate(27, |rt| {
+    Runtime::simulate(test_seed(27), |rt| {
         let source = SyntheticSource::fixed(10, 1000, 2048);
         let dev = local_device();
         let fs = dlfs::MountBuilder::new(DlfsConfig::default())

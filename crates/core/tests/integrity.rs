@@ -16,6 +16,14 @@ use fabric::{Cluster, FabricConfig, FabricFaultInjector, NvmeOfTarget, TargetCon
 use simkit::prelude::*;
 use simkit::rng::fnv1a;
 
+/// Base seed plus the CI sweep offset (`DLFS_TEST_SEED_OFFSET`), so the
+/// whole suite can re-run under a second seed without code changes.
+fn test_seed(base: u64) -> u64 {
+    base + std::env::var("DLFS_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
 fn ramdisk(bytes: u64) -> Arc<NvmeDevice> {
     NvmeDevice::new(DeviceConfig::emulated_ramdisk(bytes, Dur::micros(10)))
 }
@@ -119,7 +127,7 @@ fn drain_epoch_verified(
 /// replicas) builds it.
 #[test]
 fn defaults_build_no_redundancy() {
-    Runtime::simulate(70, |rt| {
+    Runtime::simulate(test_seed(70), |rt| {
         let source = SyntheticSource::fixed(1, 300, 2048);
         let fs = dlfs::MountBuilder::new(DlfsConfig::default())
             .local(ramdisk(64 << 20))
@@ -154,7 +162,7 @@ fn defaults_build_no_redundancy() {
 /// Asking for more replicas than storage nodes is a typed config error.
 #[test]
 fn too_many_replicas_is_typed() {
-    Runtime::simulate(71, |rt| {
+    Runtime::simulate(test_seed(71), |rt| {
         let source = SyntheticSource::fixed(2, 100, 2048);
         let err = dlfs::MountBuilder::new(redundant_cfg(3))
             .deployment(local_deployment(&[ramdisk(64 << 20), ramdisk(64 << 20)]))
@@ -170,7 +178,7 @@ fn too_many_replicas_is_typed() {
 #[test]
 fn permanent_target_death_completes_epoch_from_replicas() {
     let run = |kill: bool| {
-        Runtime::simulate(72, |rt| {
+        Runtime::simulate(test_seed(72), |rt| {
             let source = SyntheticSource::fixed(3, 1500, 2048);
             let (fs, cluster, _devices) = disaggregated(rt, 3, &source, redundant_cfg(2));
             if kill {
@@ -204,7 +212,7 @@ fn permanent_target_death_completes_epoch_from_replicas() {
 /// reads a healed device and verifies clean.
 #[test]
 fn bit_flips_are_detected_failed_over_and_read_repaired() {
-    Runtime::simulate(73, |rt| {
+    Runtime::simulate(test_seed(73), |rt| {
         let source = SyntheticSource::fixed(4, 800, 2048);
         let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20)];
         let fs = dlfs::MountBuilder::new(redundant_cfg(2))
@@ -242,7 +250,7 @@ fn bit_flips_are_detected_failed_over_and_read_repaired() {
 /// sample.
 #[test]
 fn zero_copy_reads_verify_and_repair() {
-    Runtime::simulate(74, |rt| {
+    Runtime::simulate(test_seed(74), |rt| {
         let source = SyntheticSource::fixed(5, 600, 2048);
         let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20)];
         // Sync zero-copy misses publish into the cache, which needs the
@@ -286,7 +294,7 @@ fn zero_copy_reads_verify_and_repair() {
 /// explicit full pass leaves a deep fsck clean.
 #[test]
 fn scrub_pass_heals_latent_corruption_to_fsck_clean() {
-    Runtime::simulate(75, |rt| {
+    Runtime::simulate(test_seed(75), |rt| {
         let source = SyntheticSource::fixed(6, 700, 2048);
         let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20), ramdisk(64 << 20)];
         let cfg = DlfsConfig {
@@ -337,7 +345,7 @@ fn scrub_pass_heals_latent_corruption_to_fsck_clean() {
 /// a plain I/O error, and never silently delivered bytes.
 #[test]
 fn unrepairable_corruption_surfaces_typed_corrupt() {
-    Runtime::simulate(76, |rt| {
+    Runtime::simulate(test_seed(76), |rt| {
         let source = SyntheticSource::fixed(7, 300, 2048);
         let dev = ramdisk(64 << 20);
         let cfg = DlfsConfig {
@@ -374,7 +382,7 @@ fn unrepairable_corruption_surfaces_typed_corrupt() {
 /// wins. Bytes stay correct; the loser is cancelled.
 #[test]
 fn hedged_reads_win_against_slow_target() {
-    Runtime::simulate(77, |rt| {
+    Runtime::simulate(test_seed(77), |rt| {
         let source = SyntheticSource::fixed(8, 600, 2048);
         // Node 0 is an order of magnitude slower than node 1.
         let slow = NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(500)));
@@ -436,8 +444,8 @@ fn corruption_run(seed: u64) -> (u64, u64, String) {
 
 #[test]
 fn same_seed_corruption_runs_are_byte_identical() {
-    let a = corruption_run(78);
-    let b = corruption_run(78);
+    let a = corruption_run(test_seed(78));
+    let b = corruption_run(test_seed(78));
     assert_eq!(a.0, b.0, "delivered bytes diverged");
     assert_eq!(a.1, b.1, "virtual end time diverged");
     assert_eq!(a.2, b.2, "telemetry snapshots diverged");

@@ -1,0 +1,441 @@
+//! Cluster membership, degraded-mode serving, and automated rebuild under
+//! permanent target loss: sustained circuit-open escalates a node to Dead
+//! under `fail_dead_after`, reads route around it via replicas, writes
+//! fail fast with a typed `Degraded` error, and re-replication restores
+//! full redundancy onto a replacement device — ending `fsck`-clean. All
+//! deterministic: same-seed runs are byte-identical, and configurations
+//! without the membership knob build none of it.
+
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, NvmeDevice, NvmeTarget};
+use dlfs::source::SampleSource;
+use dlfs::{
+    fsck_node, node_for_name, Completions, Deployment, DlfsConfig, DlfsError, DlfsIo, FsckState,
+    MountOptions, ReadRequest, SyntheticSource,
+};
+use fabric::NodeState;
+use simkit::prelude::*;
+use simkit::rng::fnv1a;
+
+/// Base seed plus the CI sweep offset (`DLFS_TEST_SEED_OFFSET`), so the
+/// whole suite can re-run under a second seed without code changes.
+fn test_seed(base: u64) -> u64 {
+    base + std::env::var("DLFS_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+fn ramdisk(bytes: u64) -> Arc<NvmeDevice> {
+    NvmeDevice::new(DeviceConfig::emulated_ramdisk(bytes, Dur::micros(10)))
+}
+
+fn local_deployment(devices: &[Arc<NvmeDevice>]) -> Deployment {
+    Deployment {
+        targets: vec![devices
+            .iter()
+            .map(|d| d.clone() as Arc<dyn NvmeTarget>)
+            .collect()],
+        cluster: None,
+    }
+}
+
+/// Replicated + verified + membership-enabled config over small chunks.
+fn membership_cfg(replicas: usize) -> DlfsConfig {
+    DlfsConfig {
+        chunk_size: 8 * 1024,
+        replicas,
+        verify_reads: true,
+        fail_dead_after: Some(Dur::micros(300)),
+        ..DlfsConfig::default()
+    }
+}
+
+/// Drain the rest of the current epoch, verifying every payload, with a
+/// hook invoked once after `kill_after` samples (pass `usize::MAX` for
+/// none). Returns an order-insensitive checksum of the delivered bytes.
+fn drain_epoch(
+    rt: &Runtime,
+    io: &mut DlfsIo,
+    source: &dyn SampleSource,
+    total: usize,
+    kill_after: usize,
+    mut hook: impl FnMut(),
+) -> u64 {
+    let mut seen = vec![false; source.count()];
+    let mut delivered = 0usize;
+    let mut checksum = 0u64;
+    let mut fired = false;
+    loop {
+        if delivered >= kill_after && !fired {
+            fired = true;
+            hook();
+        }
+        match io
+            .submit(rt, &ReadRequest::batch(32))
+            .map(Completions::into_copied)
+        {
+            Ok(batch) => {
+                for (id, data) in batch {
+                    let mut expect = vec![0u8; source.size(id) as usize];
+                    source.fill(id, &mut expect);
+                    assert_eq!(data, expect, "sample {id} corrupted");
+                    assert!(!seen[id as usize], "sample {id} delivered twice");
+                    seen[id as usize] = true;
+                    delivered += 1;
+                    checksum ^= fnv1a(&data).wrapping_mul(2 * id as u64 + 1);
+                }
+            }
+            Err(DlfsError::EpochExhausted) => break,
+            Err(e) => panic!("epoch failed: {e}"),
+        }
+    }
+    assert_eq!(delivered, total, "epoch must complete");
+    checksum
+}
+
+/// Simulate swapping in a factory-fresh replacement device under the same
+/// node index: bring the (previously killed) device back online and wipe
+/// its media clean.
+fn replace_with_fresh(dev: &Arc<NvmeDevice>, bytes: u64) {
+    dev.revive();
+    dev.dma_write(0, &vec![0u8; bytes as usize]);
+}
+
+fn assert_fsck_clean(targets: &[Arc<dyn NvmeTarget>]) {
+    for node in 0..targets.len() as u16 {
+        let rep = fsck_node(&targets[node as usize], node, true);
+        assert!(
+            matches!(rep.state, FsckState::Clean { .. }),
+            "node {node} not fsck-clean: {:?}",
+            rep.state
+        );
+        assert!(rep.meta_checksum_ok, "node {node} meta checksum bad");
+        assert_eq!(
+            rep.data_checksum_ok,
+            Some(true),
+            "node {node} deep data checksums bad"
+        );
+    }
+}
+
+/// Configurations without `fail_dead_after` — including replicated,
+/// verified ones — build no membership view and register no
+/// `dlfs.membership.*` / `dlfs.rebuild.*` metrics.
+#[test]
+fn replica_configs_without_the_knob_build_no_membership() {
+    Runtime::simulate(test_seed(90), |rt| {
+        let source = SyntheticSource::fixed(21, 300, 2048);
+        let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20)];
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            replicas: 2,
+            verify_reads: true,
+            ..DlfsConfig::default()
+        };
+        let fs = dlfs::MountBuilder::new(cfg)
+            .deployment(local_deployment(&devices))
+            .mount(rt, &source)
+            .unwrap();
+        let red = fs.redundancy().expect("replicas build redundancy");
+        assert!(red.membership.is_none());
+        assert!(!red.is_dead(0));
+        let mut io = fs.io(0);
+        io.sequence(rt, 1, 0);
+        io.submit(rt, &ReadRequest::batch(8)).unwrap();
+        assert_eq!(io.begin_rebuild(0), 0, "no membership, no rebuild plan");
+        let render = io.metrics().render();
+        assert!(!render.contains("dlfs.membership"));
+        assert!(!render.contains("dlfs.rebuild"));
+    });
+}
+
+/// The acceptance scenario end to end: kill one target permanently
+/// mid-epoch with `replicas = 2`. The epoch completes byte-correct in
+/// degraded mode, the membership view escalates the node to Dead (epoch
+/// bumps included), writes to it fail with a typed `Degraded`, and an
+/// automated rebuild onto a fresh replacement restores full redundancy —
+/// post-rebuild deep fsck Clean on every node with zero chunks at risk.
+fn membership_run(seed: u64) -> (u64, u64, String) {
+    let ((checksum, render), end) = Runtime::simulate(seed, |rt| {
+        let source = SyntheticSource::fixed(22, 1200, 2048);
+        let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20), ramdisk(64 << 20)];
+        let fs = dlfs::MountBuilder::new(membership_cfg(2))
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
+        let red = fs.redundancy().expect("redundancy built").clone();
+        let membership = red.membership.as_ref().expect("membership built");
+        assert_eq!(membership.view_epoch(), 0);
+
+        // Epoch 0: node 1 dies permanently a third of the way in. Every
+        // sample still arrives byte-correct, served from replicas.
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 31, 0);
+        let mut checksum = drain_epoch(rt, &mut io, &source, total, total / 3, || {
+            devices[1].kill();
+        });
+
+        // Sustained failure escalated node 1 through Suspect to Dead, each
+        // transition bumping the shared view epoch.
+        assert!(red.is_dead(1), "sustained outage must escalate to Dead");
+        assert_eq!(membership.state(1), NodeState::Dead);
+        assert!(membership.view_epoch() >= 2, "Suspect and Dead each bump");
+        let m = io.metrics();
+        assert_eq!(m.counter("dlfs.membership.deaths"), 1);
+        assert_eq!(m.gauge("dlfs.membership.node1.state"), 2);
+        assert_eq!(
+            m.gauge("dlfs.membership.view_epoch"),
+            membership.view_epoch() as i64
+        );
+
+        // Degraded mode: writes targeting the dead node fail fast and
+        // typed, instead of burning retry budget timing out.
+        match fs.checkpoint_writer(rt, 0, 1, None) {
+            Err(DlfsError::Degraded { node, view_epoch }) => {
+                assert_eq!(node, 1);
+                assert_eq!(view_epoch, membership.view_epoch());
+            }
+            Err(other) => panic!("want Degraded, got {other:?}"),
+            Ok(_) => panic!("want Degraded, got a live writer"),
+        }
+        // Live nodes still accept checkpoint writes.
+        assert!(fs.checkpoint_writer(rt, 0, 0, None).is_ok());
+
+        // A fresh replacement device joins under the same index; the
+        // rebuild planner enumerates everything node 1 hosted.
+        replace_with_fresh(&devices[1], 64 << 20);
+        let planned = io.begin_rebuild(1);
+        assert!(planned > 0, "a dead node's slots are never empty here");
+        assert!(io.rebuild_active());
+        assert!(io.metrics().gauge("dlfs.rebuild.chunks_at_risk") > 0);
+
+        // Epoch 1 runs *while* the rebuild trickles through idle reactor
+        // gaps: still degraded (node 1 stays Dead until the rebuild
+        // verifies complete), still byte-correct.
+        let total = io.sequence(rt, 31, 1);
+        checksum ^= drain_epoch(rt, &mut io, &source, total, usize::MAX, || {}).rotate_left(1);
+        assert!(red.is_dead(1), "rejoin only after a complete rebuild");
+
+        // Finish the rebuild synchronously: full redundancy restored,
+        // node 1 rejoined, nothing at risk, deep fsck clean everywhere —
+        // the replacement is indistinguishable from the original import.
+        io.drive_rebuild();
+        assert!(!io.rebuild_active());
+        assert_eq!(io.rebuild_remaining(), 0);
+        let m = io.metrics();
+        assert_eq!(m.counter("dlfs.rebuild.completed"), 1);
+        assert_eq!(m.counter("dlfs.rebuild.blocks_failed"), 0);
+        assert!(m.counter("dlfs.rebuild.blocks_rebuilt") > 0);
+        assert_eq!(m.gauge("dlfs.rebuild.chunks_at_risk"), 0);
+        assert!(!red.is_dead(1));
+        assert_eq!(membership.state(1), NodeState::Alive);
+        assert_eq!(m.counter("dlfs.membership.rejoins"), 1);
+        assert_fsck_clean(&fs.shared(0).targets);
+        // The rebuilt node accepts checkpoint writes again.
+        assert!(fs.checkpoint_writer(rt, 0, 1, None).is_ok());
+
+        // Epoch 2 reads the rebuilt node directly, byte-correct.
+        let total = io.sequence(rt, 31, 2);
+        checksum ^= drain_epoch(rt, &mut io, &source, total, usize::MAX, || {}).rotate_left(2);
+        (checksum, io.metrics().render())
+    });
+    (checksum, end.nanos(), render)
+}
+
+#[test]
+fn permanent_loss_escalates_serves_degraded_and_rebuilds() {
+    membership_run(test_seed(91));
+}
+
+/// Same seed, same bytes, same virtual end time, same telemetry — the
+/// whole failure + rebuild story replays bit-identically.
+#[test]
+fn same_seed_membership_runs_are_byte_identical() {
+    let a = membership_run(test_seed(92));
+    let b = membership_run(test_seed(92));
+    assert_eq!(a.0, b.0, "delivered bytes diverged");
+    assert_eq!(a.1, b.1, "virtual end time diverged");
+    assert_eq!(a.2, b.2, "telemetry snapshots diverged");
+    assert!(a.2.contains("dlfs.membership.view_epoch"));
+    assert!(a.2.contains("dlfs.rebuild.blocks_rebuilt"));
+}
+
+/// Rolling failures: two different nodes die permanently, one after the
+/// other, each rebuilt and rejoined before the next loss. A restarted
+/// node that kept its media resyncs via the catch-up path (clean blocks
+/// are verified and skipped, not recopied).
+#[test]
+fn rolling_failures_rebuild_and_rejoin_in_sequence() {
+    Runtime::simulate(test_seed(93), |rt| {
+        let source = SyntheticSource::fixed(23, 900, 2048);
+        let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20), ramdisk(64 << 20)];
+        let fs = dlfs::MountBuilder::new(membership_cfg(2))
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
+        let red = fs.redundancy().unwrap().clone();
+        let mut io = fs.io(0);
+        for (round, victim) in [1usize, 2usize].into_iter().enumerate() {
+            let total = io.sequence(rt, 41, round as u64);
+            drain_epoch(rt, &mut io, &source, total, total / 4, || {
+                devices[victim].kill();
+            });
+            assert!(red.is_dead(victim), "round {round}: no escalation");
+            // The node restarts with its media intact: catch-up resync.
+            devices[victim].revive();
+            assert!(io.begin_rebuild(victim as u16) > 0);
+            io.drive_rebuild();
+            assert!(!red.is_dead(victim), "round {round}: no rejoin");
+            let m = io.metrics();
+            assert_eq!(m.counter("dlfs.rebuild.completed"), round as u64 + 1);
+            assert_eq!(m.counter("dlfs.rebuild.blocks_failed"), 0);
+            assert!(
+                m.counter("dlfs.rebuild.blocks_clean") > 0,
+                "round {round}: intact media must resync, not recopy"
+            );
+        }
+        assert_fsck_clean(&fs.shared(0).targets);
+        let total = io.sequence(rt, 41, 2);
+        drain_epoch(rt, &mut io, &source, total, usize::MAX, || {});
+    });
+}
+
+/// A second node dies *mid-rebuild*: with `replicas = 3` the copy loop
+/// skips the newly-failing source and falls back to the remaining
+/// replica. The rebuild still completes with zero failed blocks.
+#[test]
+fn mid_rebuild_source_death_falls_back_to_surviving_replica() {
+    Runtime::simulate(test_seed(94), |rt| {
+        let source = SyntheticSource::fixed(24, 800, 2048);
+        let devices: Vec<_> = (0..4).map(|_| ramdisk(64 << 20)).collect();
+        let fs = dlfs::MountBuilder::new(membership_cfg(3))
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap();
+        let red = fs.redundancy().unwrap().clone();
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 51, 0);
+        drain_epoch(rt, &mut io, &source, total, total / 4, || {
+            devices[1].kill();
+        });
+        assert!(red.is_dead(1));
+        replace_with_fresh(&devices[1], 64 << 20);
+        let planned = io.begin_rebuild(1);
+        assert!(planned > 64, "plan too small to interrupt");
+        // Walk a slice, then lose one of the surviving source nodes.
+        io.rebuild_step(64);
+        devices[2].kill();
+        io.drive_rebuild();
+        let m = io.metrics();
+        assert_eq!(m.counter("dlfs.rebuild.completed"), 1);
+        assert_eq!(
+            m.counter("dlfs.rebuild.blocks_failed"),
+            0,
+            "a third replica must cover every block node 2 can no longer serve"
+        );
+        assert!(!red.is_dead(1), "rebuilt node must rejoin");
+        let rep = fsck_node(&fs.shared(0).targets[1], 1, true);
+        assert!(
+            matches!(rep.state, FsckState::Clean { .. }),
+            "{:?}",
+            rep.state
+        );
+        assert_eq!(rep.data_checksum_ok, Some(true));
+    });
+}
+
+/// A dataset homed entirely on node 0 so node 1 serves only as hedge /
+/// replica target: names are chosen per-id to hash onto node 0.
+struct HomedSource {
+    inner: SyntheticSource,
+    names: Vec<String>,
+}
+
+impl HomedSource {
+    fn on_node_zero(seed: u64, count: usize, size: u64, nodes: usize) -> HomedSource {
+        let names = (0..count)
+            .map(|i| {
+                (0..)
+                    .map(|j| format!("homed_{i}_{j}"))
+                    .find(|n| node_for_name(n, nodes) == 0)
+                    .unwrap()
+            })
+            .collect();
+        HomedSource {
+            inner: SyntheticSource::fixed(seed, count, size),
+            names,
+        }
+    }
+}
+
+impl SampleSource for HomedSource {
+    fn count(&self) -> usize {
+        self.inner.count()
+    }
+    fn name(&self, id: u32) -> String {
+        self.names[id as usize].clone()
+    }
+    fn size(&self, id: u32) -> u64 {
+        self.inner.size(id)
+    }
+    fn fill(&self, id: u32, buf: &mut [u8]) {
+        self.inner.fill(id, buf)
+    }
+}
+
+/// Hedged reads under failover: every primary read targets healthy (if
+/// slow) node 0; hedges race against node 1, which dies mid-epoch. The
+/// in-flight hedges cancel cleanly — the epoch stays byte-correct and a
+/// dying hedge twin never counts as a `dlfs.integrity.failovers` event
+/// (the primary it raced is still serving).
+#[test]
+fn hedge_against_dying_target_cancels_without_counting_failover() {
+    Runtime::simulate(test_seed(95), |rt| {
+        let source = HomedSource::on_node_zero(25, 500, 2048, 2);
+        // Node 0 (every home) is 50x slower than node 1, so hedges fire.
+        let slow = NvmeDevice::new(DeviceConfig::emulated_ramdisk(64 << 20, Dur::micros(500)));
+        let fast = ramdisk(64 << 20);
+        let devices = vec![slow, fast];
+        let cfg = DlfsConfig {
+            chunk_size: 8 * 1024,
+            replicas: 2,
+            verify_reads: true,
+            hedge_reads: true,
+            ..DlfsConfig::default()
+        };
+        let fs = dlfs::MountBuilder::new(cfg)
+            .deployment(local_deployment(&devices))
+            .mount(rt, &source)
+            .unwrap();
+        assert!(
+            fs.shared(0).dir.samples_on(1).is_empty(),
+            "every sample must be homed on node 0"
+        );
+        let mut io = fs.io(0);
+        let total = io.sequence(rt, 61, 0);
+        drain_epoch(rt, &mut io, &source, total, total / 3, || {
+            devices[1].kill();
+        });
+        let m = io.metrics();
+        assert!(m.counter("dlfs.integrity.hedges") > 0, "no hedges fired");
+        assert_eq!(
+            m.counter("dlfs.integrity.failovers"),
+            0,
+            "a dying hedge twin must not count as a failover"
+        );
+        // Hedge twins already submitted when the kill lands complete with
+        // an OK status (drawn at submit) but zeroed DMA bytes; verification
+        // flags them as mismatches and the primary still serves the read.
+        // Retries/timeouts stay clean — only the doomed twins are charged.
+        assert_eq!(m.counter("dlfs.io.retries"), 0);
+        assert_eq!(m.counter("dlfs.io.timeouts"), 0);
+    });
+}

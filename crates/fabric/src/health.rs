@@ -16,6 +16,11 @@ use simkit::time::{Dur, Time};
 struct HealthState {
     consecutive_failures: u32,
     open_until: Option<Time>,
+    /// When the circuit first transitioned closed → open for the current
+    /// outage. Survives cooldown re-arms and failed probes; cleared only
+    /// by a recorded success. Lets a membership layer measure how long a
+    /// target has been continuously unhealthy.
+    open_since: Option<Time>,
 }
 
 struct HealthTel {
@@ -85,12 +90,38 @@ impl TargetHealth {
         }
     }
 
+    /// Like [`available`](Self::available), but grants the half-open probe
+    /// to exactly one caller per cooldown expiry: the first caller to see
+    /// an expired cooldown re-arms it (`now + cooldown`) and gets `true`;
+    /// concurrent callers at the same instant see the circuit open again
+    /// and route elsewhere. If the probe never resolves, the next expiry
+    /// grants a fresh one. Closed circuits always return `true`.
+    pub fn try_probe(&self, target: usize, now: Time) -> bool {
+        let mut st = self.states[target].lock();
+        match st.open_until {
+            None => true,
+            Some(until) if now < until => false,
+            Some(_) => {
+                st.open_until = Some(now + self.cooldown);
+                true
+            }
+        }
+    }
+
+    /// When the target's circuit first opened for the current outage, or
+    /// `None` while it is closed. Re-arms and failed half-open probes do
+    /// not reset this — only a recorded success does.
+    pub fn open_since(&self, target: usize) -> Option<Time> {
+        self.states[target].lock().open_since
+    }
+
     /// Record a successful operation: closes the circuit and zeroes the
     /// failure streak.
     pub fn record_ok(&self, target: usize) {
         let mut st = self.states[target].lock();
         st.consecutive_failures = 0;
         st.open_until = None;
+        st.open_since = None;
         if let Some(t) = self.tel.lock().as_ref() {
             t.target_up[target].set(1);
         }
@@ -106,6 +137,9 @@ impl TargetHealth {
         }
         let was_open = st.open_until.is_some_and(|until| now < until);
         st.open_until = Some(now + self.cooldown);
+        if st.open_since.is_none() {
+            st.open_since = Some(now);
+        }
         if let Some(t) = self.tel.lock().as_ref() {
             t.target_up[target].set(0);
             if !was_open {
@@ -148,6 +182,51 @@ mod tests {
         assert!(!h.available(0, t0));
         h.record_ok(0);
         assert!(h.available(0, t0));
+    }
+
+    #[test]
+    fn half_open_grants_a_single_probe() {
+        let h = TargetHealth::new(1, 1, Dur::micros(100));
+        let t0 = Time::ZERO + Dur::micros(5);
+        assert!(h.try_probe(0, t0), "closed circuit: everyone may call");
+        assert!(h.try_probe(0, t0), "closed circuit: no probe accounting");
+        h.record_failure(0, t0);
+        assert!(!h.try_probe(0, t0 + Dur::micros(99)), "still cooling down");
+        let half_open = t0 + Dur::micros(100);
+        assert!(h.try_probe(0, half_open), "first caller wins the probe");
+        assert!(
+            !h.try_probe(0, half_open),
+            "second concurrent caller is turned away"
+        );
+        assert!(
+            !h.try_probe(0, half_open + Dur::micros(99)),
+            "probe re-armed the cooldown"
+        );
+        // The granted probe never resolved; the next expiry offers a new one.
+        assert!(h.try_probe(0, half_open + Dur::micros(100)));
+        // A successful probe closes the circuit for everyone.
+        h.record_ok(0);
+        assert!(h.try_probe(0, half_open + Dur::micros(101)));
+        assert!(h.try_probe(0, half_open + Dur::micros(101)));
+    }
+
+    #[test]
+    fn open_since_survives_rearms_until_success() {
+        let h = TargetHealth::new(1, 2, Dur::micros(50));
+        let t0 = Time::ZERO + Dur::micros(10);
+        assert_eq!(h.open_since(0), None);
+        h.record_failure(0, t0);
+        assert_eq!(h.open_since(0), None, "below threshold: not open yet");
+        h.record_failure(0, t0 + Dur::micros(1));
+        assert_eq!(h.open_since(0), Some(t0 + Dur::micros(1)));
+        // Post-threshold failures re-arm the cooldown but keep the origin.
+        h.record_failure(0, t0 + Dur::micros(40));
+        assert_eq!(h.open_since(0), Some(t0 + Dur::micros(1)));
+        // A failed half-open probe keeps it too.
+        assert!(h.try_probe(0, t0 + Dur::micros(95)));
+        assert_eq!(h.open_since(0), Some(t0 + Dur::micros(1)));
+        h.record_ok(0);
+        assert_eq!(h.open_since(0), None);
     }
 
     #[test]

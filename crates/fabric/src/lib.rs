@@ -37,6 +37,7 @@
 
 pub mod fault;
 pub mod health;
+pub mod membership;
 pub mod nvmeof;
 pub mod rdma;
 pub mod rpc;
@@ -44,6 +45,7 @@ pub mod topology;
 
 pub use fault::{FabricFault, FabricFaultInjector};
 pub use health::TargetHealth;
+pub use membership::{Membership, MembershipPolicy, NodeState};
 pub use nvmeof::{connect, NvmeOfTarget, RemoteTarget, TargetConfig, CAPSULE_BYTES};
 pub use rdma::{MemoryRegion, RdmaQp};
 pub use rpc::{serve, RpcClient, RpcError, WireSize};
