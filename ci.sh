@@ -46,6 +46,9 @@ echo "== persistence: fsck demo + replica repair (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin dlfs_fsck -- nodes=2 samples=256 repair=1
 echo "== rebuild after permanent target loss (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_rebuild -- n=512
+echo "== storage-side offload + chunk compression (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin ext_offload -- \
+  samples=512 nodes=2 nics=0.8,6.8
 echo "== perf-trajectory gate"
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo worktree)"
 mkdir -p target/bench

@@ -168,7 +168,7 @@ fn cell(seed: u64, n: usize, size: u64, replicas: usize, gap: u64) -> CellOutcom
         devices[1].revive();
         devices[1].dma_write(0, &vec![0u8; DEV_BYTES as usize]);
         let t_begin = rt.now();
-        let planned = io.begin_rebuild(1);
+        let planned = io.begin_rebuild(1).unwrap();
         assert!(planned > 0, "a dead node's slots are never empty here");
         let total = io.sequence(rt, seed ^ 0x51, 2);
         let mut delivered = 0usize;

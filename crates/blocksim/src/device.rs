@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use simkit::resource::{Link, Servers};
-use simkit::time::Time;
+use simkit::time::{Dur, Time};
 
 use crate::config::{DeviceConfig, BLOCK_SIZE};
 use crate::fault::{FaultInjector, FaultOutcome};
@@ -72,6 +72,36 @@ pub trait NvmeTarget: Send + Sync {
     fn probe_extent(&self, _slba: u64, _nblocks: u32) -> bool {
         false
     }
+
+    /// Reserve a storage-side offload batch: read every extent and run its
+    /// post-read compute (decode/augment) *where the data lives*, then ship
+    /// one dense response of `response_bytes`. Returns the instant the
+    /// assembled response is available to the submitter.
+    ///
+    /// The default models a local target: the extent reads pipeline through
+    /// the device like ordinary commands and a single implicit compute
+    /// context processes each extent as its read lands; there is no fabric,
+    /// so `response_bytes` never touches a wire. Remote targets override
+    /// this with capsule/processing/NIC stages and a real compute pool.
+    fn reserve_offload(&self, now: Time, extents: &[OffloadExtent], _response_bytes: u64) -> Time {
+        let mut cpu = now;
+        for e in extents {
+            let read_done = self.reserve_read(now, e.slba, e.nblocks);
+            cpu = cpu.max(read_done) + e.compute;
+        }
+        cpu
+    }
+}
+
+/// One extent of a storage-side offload batch: read `nblocks` logical
+/// blocks from `slba`, then spend `compute` on the serving side (frame
+/// decode, augmentation, verification) before the result can ship.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OffloadExtent {
+    pub slba: u64,
+    pub nblocks: u32,
+    /// Post-read compute for this extent, charged to the target.
+    pub compute: Dur,
 }
 
 /// A simulated local NVMe SSD.

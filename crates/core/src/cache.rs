@@ -39,6 +39,17 @@ use simkit::plock::Mutex;
 use simkit::telemetry::{Counter, Gauge, Registry};
 
 use crate::config::CacheMode;
+use crate::error::DlfsError;
+
+/// Typed error for a bookkeeping call on a range the cache no longer
+/// holds (see [`DlfsError::Cache`]).
+fn missing(op: &'static str, key: RangeKey) -> DlfsError {
+    DlfsError::Cache {
+        op,
+        node: key.0,
+        offset: key.1,
+    }
+}
 
 /// Key of a resident range: (storage node id, range start byte).
 pub type RangeKey = (u16, u64);
@@ -375,8 +386,11 @@ impl SampleCache {
     }
 
     /// Release one pin taken on generation `gen`; frees the generation if
-    /// it was retired meanwhile and this was its last pin.
-    pub fn unpin(&self, key: RangeKey, gen: u64) {
+    /// it was retired meanwhile and this was its last pin. A pin on a
+    /// range the cache no longer tracks (an eviction or teardown won a
+    /// race) surfaces as a typed [`DlfsError::Cache`] instead of
+    /// aborting.
+    pub fn unpin(&self, key: RangeKey, gen: u64) -> Result<(), DlfsError> {
         let freed = {
             let mut g = self.inner.lock();
             if let Some(r) = g.resident.get_mut(&key) {
@@ -387,10 +401,10 @@ impl SampleCache {
                 } else {
                     // The key was republished under a newer generation;
                     // our pin belongs to the zombie of `gen`.
-                    Some(g.unpin_zombie(key, gen))
+                    Some(g.unpin_zombie(key, gen)?)
                 }
             } else {
-                Some(g.unpin_zombie(key, gen))
+                Some(g.unpin_zombie(key, gen)?)
             }
         };
         if let Some(Some(bufs)) = freed {
@@ -398,17 +412,19 @@ impl SampleCache {
                 self.pool.free(b);
             }
         }
+        Ok(())
     }
 
     /// Retire a range: frees its chunks now, or — if pins are live — when
-    /// the last pin drops (the generation becomes a zombie).
-    pub fn retire(&self, key: RangeKey) {
+    /// the last pin drops (the generation becomes a zombie). Retiring a
+    /// range that is no longer resident (evicted, or retired by a
+    /// concurrent teardown) is a typed [`DlfsError::Cache`].
+    pub fn retire(&self, key: RangeKey) -> Result<(), DlfsError> {
         let freed = {
             let mut g = self.inner.lock();
-            let r = g
-                .resident
-                .remove(&key)
-                .expect("retire of non-resident range");
+            let Some(r) = g.resident.remove(&key) else {
+                return Err(missing("retire", key));
+            };
             g.resident_chunks -= r.bufs.len();
             g.sync_gauge();
             if r.pinned > 0 {
@@ -430,23 +446,25 @@ impl SampleCache {
                 self.pool.free(b);
             }
         }
+        Ok(())
     }
 
     /// An epoch is done with this range. [`CacheMode::EpochScoped`]:
     /// identical to [`SampleCache::retire`]. [`CacheMode::CrossEpoch`]:
     /// the range stays resident and joins the evictable LRU tail (pins,
-    /// if any, keep protecting it until they drop).
-    pub fn release(&self, key: RangeKey) {
+    /// if any, keep protecting it until they drop). Releasing a range the
+    /// cache no longer holds is a typed [`DlfsError::Cache`].
+    pub fn release(&self, key: RangeKey) -> Result<(), DlfsError> {
         match self.mode {
             CacheMode::EpochScoped => self.retire(key),
             CacheMode::CrossEpoch => {
                 let mut g = self.inner.lock();
-                let r = g
-                    .resident
-                    .get_mut(&key)
-                    .expect("release of non-resident range");
+                let Some(r) = g.resident.get_mut(&key) else {
+                    return Err(missing("release", key));
+                };
                 r.released = true;
                 g.touch(key);
+                Ok(())
             }
         }
     }
@@ -464,18 +482,21 @@ impl SampleCache {
 
 impl Inner {
     /// Drop one pin of zombie generation `gen`; returns the buffers once
-    /// the last pin is gone.
-    fn unpin_zombie(&mut self, key: RangeKey, gen: u64) -> Option<Vec<DmaBuf>> {
-        let z = self
-            .zombies
-            .get_mut(&(key, gen))
-            .expect("unpin of non-resident range");
+    /// the last pin is gone. `Err` when neither a live nor a zombie
+    /// generation matches — the pin outlived everything the cache knows
+    /// about the key.
+    fn unpin_zombie(&mut self, key: RangeKey, gen: u64) -> Result<Option<Vec<DmaBuf>>, DlfsError> {
+        use std::collections::hash_map::Entry;
+        let Entry::Occupied(mut e) = self.zombies.entry((key, gen)) else {
+            return Err(missing("unpin", key));
+        };
+        let z = e.get_mut();
         assert!(z.pinned > 0, "unpin without pin");
         z.pinned -= 1;
         if z.pinned == 0 {
-            Some(self.zombies.remove(&(key, gen)).expect("present").bufs)
+            Ok(Some(e.remove().bufs))
         } else {
-            None
+            Ok(None)
         }
     }
 }
@@ -495,8 +516,8 @@ mod tests {
         let p = c.pin((0, 0)).unwrap();
         assert_eq!(p.bufs.len(), 2);
         assert_eq!(p.len, 6000);
-        c.unpin((0, 0), p.gen);
-        c.retire((0, 0));
+        c.unpin((0, 0), p.gen).unwrap();
+        c.retire((0, 0)).unwrap();
         assert_eq!(c.free_chunks(), 4);
         assert!(!c.contains((0, 0)));
     }
@@ -507,7 +528,7 @@ mod tests {
         let a = c.alloc_for(8000).unwrap();
         assert!(c.alloc_for(1).is_none());
         c.publish((0, 0), a, 8000);
-        c.retire((0, 0));
+        c.retire((0, 0)).unwrap();
         assert!(c.alloc_for(1).is_some());
     }
 
@@ -517,12 +538,12 @@ mod tests {
         let b = c.alloc_for(100).unwrap();
         c.publish((1, 0), b, 100);
         let p = c.pin((1, 0)).unwrap();
-        c.retire((1, 0));
+        c.retire((1, 0)).unwrap();
         // Chunks not yet back in the pool; range no longer pinnable.
         assert_eq!(c.free_chunks(), 1);
         assert!(c.pin((1, 0)).is_none());
         assert!(!c.contains((1, 0)));
-        c.unpin((1, 0), p.gen);
+        c.unpin((1, 0), p.gen).unwrap();
         assert_eq!(c.free_chunks(), 2);
         assert_eq!(c.resident_count(), 0);
         assert_eq!(c.zombie_count(), 0);
@@ -559,7 +580,7 @@ mod tests {
         let a = c.alloc_for(10).unwrap();
         c.publish(key, a, 10);
         let old = c.pin(key).unwrap();
-        c.retire(key); // zombie: old pin still live
+        c.retire(key).unwrap(); // zombie: old pin still live
         assert!(!c.contains(key));
         // Engine refetches the same range and republishes it.
         let b = c.alloc_for(10).unwrap();
@@ -570,11 +591,11 @@ mod tests {
         assert_ne!(new.gen, old.gen);
         // …and dropping the old pin frees only the zombie's chunk.
         assert_eq!(c.free_chunks(), 2);
-        c.unpin(key, old.gen);
+        c.unpin(key, old.gen).unwrap();
         assert_eq!(c.free_chunks(), 3);
         assert_eq!(c.zombie_count(), 0);
-        c.unpin(key, new.gen);
-        c.retire(key);
+        c.unpin(key, new.gen).unwrap();
+        c.retire(key).unwrap();
         assert_eq!(c.free_chunks(), 4);
     }
 
@@ -589,7 +610,7 @@ mod tests {
         let c = SampleCache::new(4096, 2);
         let b = c.alloc_for(100).unwrap();
         c.publish((0, 0), b, 100);
-        c.release((0, 0));
+        c.release((0, 0)).unwrap();
         assert_eq!(c.free_chunks(), 2);
         assert!(!c.contains((0, 0)));
     }
@@ -601,15 +622,15 @@ mod tests {
         c.publish((0, 0), a, 100);
         let b = c.alloc_for(100).unwrap();
         c.publish((0, 4096), b, 100);
-        c.release((0, 0));
-        c.release((0, 4096));
+        c.release((0, 0)).unwrap();
+        c.release((0, 4096)).unwrap();
         // Both stay resident; the pool is full but both are evictable.
         assert_eq!(c.free_chunks(), 0);
         assert!(c.contains((0, 0)));
         // Touch (0,0) so (0,4096) becomes the LRU victim.
         let (_bufs, len, _) = c.acquire((0, 0)).unwrap();
         assert_eq!(len, 100);
-        c.release((0, 0));
+        c.release((0, 0)).unwrap();
         let _c3 = c.alloc_for(100).unwrap();
         assert!(c.contains((0, 0)), "recently-used range evicted");
         assert!(!c.contains((0, 4096)), "LRU range not evicted");
@@ -624,10 +645,10 @@ mod tests {
         let b = c.alloc_for(100).unwrap();
         c.publish((0, 4096), b, 100);
         // (0,0) released but pinned; (0,4096) active (not released).
-        c.release((0, 0));
+        c.release((0, 0)).unwrap();
         let p = c.pin((0, 0)).unwrap();
         assert!(c.alloc_for(1).is_none(), "evicted a pinned/active range");
-        c.unpin((0, 0), p.gen);
+        c.unpin((0, 0), p.gen).unwrap();
         assert!(c.alloc_for(1).is_some(), "released+unpinned must evict");
     }
 
@@ -652,7 +673,7 @@ mod tests {
         c.publish_prefetched((1, 0), a, 100);
         let (_, _, first) = c.acquire((1, 0)).unwrap();
         assert!(first);
-        c.release((1, 0));
+        c.release((1, 0)).unwrap();
         let (_, _, second) = c.acquire((1, 0)).unwrap();
         assert!(!second);
     }
@@ -674,11 +695,47 @@ mod tests {
         let a = c.alloc_for(100).unwrap();
         c.publish((0, 0), a, 100);
         assert_eq!(reg.snapshot().gauge("dlfs.cache.resident_chunks"), 1);
-        c.release((0, 0));
+        c.release((0, 0)).unwrap();
         let b = c.alloc_for(8000).unwrap(); // needs both chunks ⇒ evicts
         assert_eq!(reg.snapshot().counter("dlfs.cache.evictions"), 1);
         assert_eq!(reg.snapshot().gauge("dlfs.cache.resident_chunks"), 0);
         c.publish((0, 4096), b, 8000);
         assert_eq!(reg.snapshot().gauge("dlfs.cache.resident_chunks"), 2);
+    }
+
+    /// Regression (pre-fix: `expect("retire of non-resident range")`
+    /// aborted the process): under CrossEpoch an epoch's teardown can
+    /// retire a range that an eviction already reclaimed. The
+    /// interleaving — publish → release (parked on the LRU tail) → evict
+    /// under pool pressure → retire from the teardown — must surface a
+    /// typed [`DlfsError::Cache`], and so must release/unpin of the
+    /// vanished range.
+    #[test]
+    fn retire_after_evict_is_a_typed_error() {
+        let c = SampleCache::with_mode(4096, 1, CacheMode::CrossEpoch);
+        let a = c.alloc_for(100).unwrap();
+        c.publish((2, 8192), a, 100);
+        c.release((2, 8192)).unwrap(); // drained: parked, evictable
+        let b = c.alloc_for(100).unwrap(); // pool pressure: evicts (2, 8192)
+        assert!(!c.contains((2, 8192)));
+        assert!(matches!(
+            c.retire((2, 8192)),
+            Err(DlfsError::Cache {
+                op: "retire",
+                node: 2,
+                offset: 8192
+            })
+        ));
+        assert!(matches!(
+            c.release((2, 8192)),
+            Err(DlfsError::Cache { op: "release", .. })
+        ));
+        assert!(matches!(
+            c.unpin((2, 8192), 1),
+            Err(DlfsError::Cache { op: "unpin", .. })
+        ));
+        for buf in b {
+            c.free_raw(buf);
+        }
     }
 }

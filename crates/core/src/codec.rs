@@ -1,0 +1,321 @@
+//! Transparent per-chunk codecs for the staged data region.
+//!
+//! FanStore-style: every chunk *frame* (the `chunk_size`-aligned tile a
+//! fetch item covers) is encoded independently at import/mount time and
+//! stored at its usual offset, padded with zeros to the frame's raw
+//! length. Written geometry is therefore identical to an uncompressed
+//! import — offsets, capacities, replica slots, integrity-table indexing
+//! and rebuild extents are all unchanged; only the *bytes* inside each
+//! frame differ, and reads need only fetch `ceil(enc_len / BLOCK)` blocks
+//! of a frame before decoding. Per-frame encoded lengths are persisted in
+//! a self-checksummed table region just below `data_base` (see
+//! [`crate::layout`]).
+//!
+//! Invariants every codec must hold:
+//!
+//! * `encode` is a pure function of its input (deterministic across runs
+//!   and platforms — the simulation replays byte-identically).
+//! * `encode(raw).len() <= raw.len()`; an incompressible frame is stored
+//!   verbatim, signalled by `enc_len == raw_len`.
+//! * `decode(encode(raw), raw.len()) == raw` for every input.
+//!
+//! Block checksums (the integrity region) cover the *stored* bytes —
+//! encoded frame plus zero padding — so verification always happens
+//! before decoding and a flipped bit in the compressed stream is caught
+//! without ever running the decoder over corrupt input.
+
+/// Which codec a dataset was imported with. Recorded in each device's
+/// superblock; a zeroed field (pre-codec imports) decodes as `Identity`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CodecKind {
+    /// Store raw bytes unchanged (the default; byte-identical to builds
+    /// without a codec layer).
+    #[default]
+    Identity,
+    /// Deterministic LZ-style compression (greedy hash-table LZSS with a
+    /// 64 KiB window); incompressible frames fall back to verbatim.
+    Lz,
+}
+
+impl CodecKind {
+    /// Superblock wire encoding.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            CodecKind::Identity => 0,
+            CodecKind::Lz => 1,
+        }
+    }
+
+    /// Inverse of [`CodecKind::to_u32`]; unknown values are rejected.
+    pub fn from_u32(v: u32) -> Option<CodecKind> {
+        match v {
+            0 => Some(CodecKind::Identity),
+            1 => Some(CodecKind::Lz),
+            _ => None,
+        }
+    }
+
+    /// Codec implementation for this kind.
+    pub fn codec(self) -> &'static dyn Codec {
+        match self {
+            CodecKind::Identity => &IdentityCodec,
+            CodecKind::Lz => &LzCodec,
+        }
+    }
+}
+
+impl std::fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecKind::Identity => write!(f, "identity"),
+            CodecKind::Lz => write!(f, "lz"),
+        }
+    }
+}
+
+/// A per-frame encoder/decoder. See the module docs for the invariants.
+pub trait Codec: Send + Sync {
+    fn kind(&self) -> CodecKind;
+    /// Encode one frame. Result is never longer than the input; equal
+    /// length means "stored verbatim".
+    fn encode(&self, raw: &[u8]) -> Vec<u8>;
+    /// Decode one frame back to exactly `raw_len` bytes. `enc.len() ==
+    /// raw_len` means the frame was stored verbatim.
+    fn decode(&self, enc: &[u8], raw_len: usize) -> Vec<u8>;
+}
+
+/// The no-op codec: stored bytes are the raw bytes.
+pub struct IdentityCodec;
+
+impl Codec for IdentityCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Identity
+    }
+
+    fn encode(&self, raw: &[u8]) -> Vec<u8> {
+        raw.to_vec()
+    }
+
+    fn decode(&self, enc: &[u8], raw_len: usize) -> Vec<u8> {
+        debug_assert_eq!(enc.len(), raw_len);
+        enc.to_vec()
+    }
+}
+
+/// Token stream format (all little-endian):
+///
+/// * control byte `< 0x80`: a literal run of `control + 1` bytes follows.
+/// * control byte `>= 0x80`: a back-reference — match length is
+///   `(control & 0x7f) + MIN_MATCH`, followed by a `u16` distance
+///   (`1..=65535` bytes back into the already-decoded output).
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 0x7f + MIN_MATCH;
+const MAX_LITERAL: usize = 0x80;
+const WINDOW: usize = 65535;
+const HASH_BITS: u32 = 14;
+
+/// Deterministic greedy LZSS. Single-probe hash table keyed on 4-byte
+/// prefixes (LZ4-fast style): fast, allocation-bounded, and a pure
+/// function of the input.
+pub struct LzCodec;
+
+#[inline]
+fn lz_hash(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+impl Codec for LzCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lz
+    }
+
+    fn encode(&self, raw: &[u8]) -> Vec<u8> {
+        if raw.len() < MIN_MATCH + 1 {
+            return raw.to_vec();
+        }
+        let mut out = Vec::with_capacity(raw.len());
+        let mut table = vec![usize::MAX; 1 << HASH_BITS];
+        let mut lit_start = 0usize;
+        let mut i = 0usize;
+        let flush_literals = |out: &mut Vec<u8>, raw: &[u8], from: usize, to: usize| {
+            let mut p = from;
+            while p < to {
+                let run = (to - p).min(MAX_LITERAL);
+                out.push((run - 1) as u8);
+                out.extend_from_slice(&raw[p..p + run]);
+                p += run;
+            }
+        };
+        while i + MIN_MATCH <= raw.len() {
+            let h = lz_hash(&raw[i..]);
+            let cand = table[h];
+            table[h] = i;
+            let ok = cand != usize::MAX
+                && i - cand <= WINDOW
+                && raw[cand..cand + MIN_MATCH] == raw[i..i + MIN_MATCH];
+            if !ok {
+                i += 1;
+                continue;
+            }
+            let limit = (raw.len() - i).min(MAX_MATCH);
+            let mut mlen = MIN_MATCH;
+            while mlen < limit && raw[cand + mlen] == raw[i + mlen] {
+                mlen += 1;
+            }
+            flush_literals(&mut out, raw, lit_start, i);
+            out.push(0x80 | (mlen - MIN_MATCH) as u8);
+            out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+            i += mlen;
+            lit_start = i;
+        }
+        flush_literals(&mut out, raw, lit_start, raw.len());
+        if out.len() >= raw.len() {
+            raw.to_vec()
+        } else {
+            out
+        }
+    }
+
+    fn decode(&self, enc: &[u8], raw_len: usize) -> Vec<u8> {
+        if enc.len() == raw_len {
+            return enc.to_vec();
+        }
+        let mut out = Vec::with_capacity(raw_len);
+        let mut p = 0usize;
+        while p < enc.len() && out.len() < raw_len {
+            let control = enc[p];
+            p += 1;
+            if control < 0x80 {
+                let run = control as usize + 1;
+                out.extend_from_slice(&enc[p..p + run]);
+                p += run;
+            } else {
+                let mlen = (control & 0x7f) as usize + MIN_MATCH;
+                let dist = u16::from_le_bytes([enc[p], enc[p + 1]]) as usize;
+                p += 2;
+                let start = out.len() - dist;
+                // Overlapping copies are legal (dist < mlen repeats).
+                for k in 0..mlen {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), raw_len, "truncated LZ stream");
+        out
+    }
+}
+
+/// Per-node encoded-frame lengths for one mounted/imported dataset.
+///
+/// Frame `f` of node `n` covers stored bytes
+/// `[base + f * chunk, base + min((f + 1) * chunk, data_len))`; its
+/// encoded payload occupies the first `lens[f]` of those bytes (the rest
+/// is zero padding).
+#[derive(Clone, Debug, Default)]
+pub struct NodeFrames {
+    /// First byte of the node's staged data region (`data_base`; 0 on
+    /// ephemeral mounts).
+    pub base: u64,
+    /// Raw staged bytes on the node (frames tile this extent).
+    pub data_len: u64,
+    /// Encoded length of each frame, in frame order.
+    pub lens: Vec<u32>,
+}
+
+impl NodeFrames {
+    /// Frame index covering stored byte `offset` (which must lie inside
+    /// the data region).
+    pub fn frame_of(&self, chunk: u64, offset: u64) -> usize {
+        debug_assert!(offset >= self.base);
+        ((offset - self.base) / chunk) as usize
+    }
+
+    /// Raw length of frame `f` (the final frame may be short).
+    pub fn raw_len(&self, chunk: u64, f: usize) -> usize {
+        let start = f as u64 * chunk;
+        (self.data_len - start).min(chunk) as usize
+    }
+}
+
+/// Codec state shared by every reader of an instance: which codec the
+/// dataset was stored with, plus the per-node frame tables.
+#[derive(Clone, Debug)]
+pub struct CodecTables {
+    pub kind: CodecKind,
+    pub per_node: Vec<NodeFrames>,
+}
+
+impl CodecTables {
+    /// Blocks a read of frame `f` on node `nid` must fetch to recover the
+    /// frame (the encoded prefix, block-rounded).
+    pub fn enc_blocks(&self, nid: usize, f: usize) -> u32 {
+        (self.per_node[nid].lens[f] as u64).div_ceil(blocksim::BLOCK_SIZE) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::SplitMix64;
+
+    fn roundtrip(raw: &[u8]) {
+        let c = LzCodec;
+        let enc = c.encode(raw);
+        assert!(enc.len() <= raw.len(), "codec grew the frame");
+        assert_eq!(c.decode(&enc, raw.len()), raw);
+    }
+
+    #[test]
+    fn lz_roundtrips_structured_and_random_frames() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(&[7u8; 4096]);
+        let patterned: Vec<u8> = (0..8192u32).map(|i| (i % 61) as u8).collect();
+        let enc = LzCodec.encode(&patterned);
+        assert!(enc.len() < patterned.len() / 2, "pattern should compress");
+        roundtrip(&patterned);
+        let mut rng = SplitMix64::new(42);
+        let noise: Vec<u8> = (0..4096).map(|_| rng.next() as u8).collect();
+        roundtrip(&noise); // falls back to verbatim
+        let mut mixed = patterned.clone();
+        mixed.extend_from_slice(&noise);
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn lz_encode_is_deterministic() {
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i / 7) as u8).collect();
+        assert_eq!(LzCodec.encode(&data), LzCodec.encode(&data));
+    }
+
+    #[test]
+    fn identity_is_verbatim() {
+        let data = b"hello world".to_vec();
+        let enc = IdentityCodec.encode(&data);
+        assert_eq!(enc, data);
+        assert_eq!(IdentityCodec.decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn kind_wire_roundtrip() {
+        for k in [CodecKind::Identity, CodecKind::Lz] {
+            assert_eq!(CodecKind::from_u32(k.to_u32()), Some(k));
+        }
+        assert_eq!(CodecKind::from_u32(99), None);
+    }
+
+    #[test]
+    fn node_frames_geometry() {
+        let nf = NodeFrames {
+            base: 4096,
+            data_len: 10_000,
+            lens: vec![100, 4096, 1808],
+        };
+        assert_eq!(nf.frame_of(4096, 4096), 0);
+        assert_eq!(nf.frame_of(4096, 4096 + 8192 + 10), 2);
+        assert_eq!(nf.raw_len(4096, 1), 4096);
+        assert_eq!(nf.raw_len(4096, 2), 10_000 - 8192);
+    }
+}

@@ -30,6 +30,11 @@ pub struct DlfsCosts {
     /// CPU cost to checksum-verify one 512 B device block of fetched data
     /// (charged only when [`DlfsConfig::verify_reads`] is on).
     pub verify_block: Dur,
+    /// Codec decode bandwidth (encoded chunk frame → raw bytes). Charged
+    /// on whichever side runs the decoder: the client's reader thread on
+    /// the normal path, the storage target's offload workers under
+    /// [`crate::ReadRequest::offload`].
+    pub decode_bytes_per_sec: f64,
 }
 
 impl Default for DlfsCosts {
@@ -45,6 +50,7 @@ impl Default for DlfsCosts {
             lookup_per_level: Dur::nanos(18),
             lookup_base: Dur::nanos(60),
             verify_block: Dur::nanos(20),
+            decode_bytes_per_sec: 5.0e9,
         }
     }
 }
@@ -53,6 +59,11 @@ impl DlfsCosts {
     /// Copy-thread time to move `bytes` from the sample cache to the app.
     pub fn memcpy(&self, bytes: u64) -> Dur {
         Dur::for_bytes(bytes, self.memcpy_bytes_per_sec)
+    }
+
+    /// CPU time to decode `raw_bytes` of frame payload.
+    pub fn decode(&self, raw_bytes: u64) -> Dur {
+        Dur::for_bytes(raw_bytes, self.decode_bytes_per_sec)
     }
 }
 
@@ -172,6 +183,21 @@ pub struct DlfsConfig {
     /// idle, so foreground epoch reads keep their latency; this bounds
     /// how much of each gap the rebuild may consume. Must be > 0.
     pub rebuild_gap_blocks: u64,
+    /// Per-chunk codec applied to the staged data region at mount/import
+    /// time (FanStore-style transparent compression). `Identity` — the
+    /// default — stores raw bytes, byte-identical to builds without the
+    /// codec layer. With a real codec, placement never lets a sample
+    /// straddle a chunk frame (so every frame decodes independently) and
+    /// reads fetch only each frame's encoded prefix, decoding on the
+    /// client at `costs.decode_bytes_per_sec` — or on the target under
+    /// [`crate::ReadRequest::offload`].
+    pub codec: crate::codec::CodecKind,
+    /// Allow [`crate::ReadRequest::offload`]: the storage target's
+    /// offload workers read, verify, decode and augment the batch
+    /// server-side and ship one dense response per target instead of
+    /// per-chunk transfers. Off by default; requests asking for offload
+    /// against a non-offload instance get a typed Config error.
+    pub offload: bool,
     pub costs: DlfsCosts,
 }
 
@@ -197,6 +223,8 @@ impl Default for DlfsConfig {
             hedge_reads: false,
             fail_dead_after: None,
             rebuild_gap_blocks: 64,
+            codec: crate::codec::CodecKind::Identity,
+            offload: false,
             costs: DlfsCosts::default(),
         }
     }
@@ -265,14 +293,32 @@ impl DlfsConfig {
         if self.rebuild_gap_blocks == 0 {
             return Err("rebuild_gap_blocks must be > 0".into());
         }
+        if self.codec != crate::codec::CodecKind::Identity
+            && matches!(self.batch_mode, BatchMode::SampleLevel)
+        {
+            return Err(
+                "codec requires chunk-level batching: frames decode as whole chunks, \
+                 sample-level fetch items are not frame-aligned"
+                    .into(),
+            );
+        }
+        if self.costs.decode_bytes_per_sec <= 0.0 {
+            return Err("costs.decode_bytes_per_sec must be > 0".into());
+        }
         Ok(())
     }
 
-    /// Resolve [`BatchMode::Auto`] against an average sample size.
+    /// Resolve [`BatchMode::Auto`] against an average sample size. A
+    /// non-identity codec pins the resolution to chunk-level — frames
+    /// decode as whole chunks, so sample-level fetch items can't serve a
+    /// coded region (explicitly configured `SampleLevel` is rejected by
+    /// [`DlfsConfig::validate`] instead).
     pub fn effective_mode(&self, avg_sample_bytes: u64) -> BatchMode {
         match self.batch_mode {
             BatchMode::Auto => {
-                if avg_sample_bytes * 2 <= self.chunk_size {
+                if self.codec != crate::codec::CodecKind::Identity
+                    || avg_sample_bytes * 2 <= self.chunk_size
+                {
                     BatchMode::ChunkLevel
                 } else {
                     BatchMode::SampleLevel

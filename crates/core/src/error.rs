@@ -150,6 +150,19 @@ pub enum DlfsError {
         /// Why the final attempt was rejected (the `Error::source` chain).
         cause: CorruptCause,
     },
+    /// A sample-cache bookkeeping operation named a range the cache does
+    /// not (or no longer) hold: a retire/release/unpin racing an eviction
+    /// or an epoch teardown. Surfaced as a typed error so a pin/evict
+    /// interleaving under `CacheMode::CrossEpoch` degrades the one read
+    /// instead of aborting the process.
+    Cache {
+        /// Which bookkeeping call hit the missing range.
+        op: &'static str,
+        /// Storage node of the range key.
+        node: u16,
+        /// Byte offset of the range key.
+        offset: u64,
+    },
     /// The operation targets a storage node the cluster membership view
     /// has declared permanently Dead. Writes and imports fail fast with
     /// this instead of burning their retry budget timing out; reads never
@@ -189,6 +202,10 @@ impl std::fmt::Display for DlfsError {
             DlfsError::Corrupt { chunk, tried, .. } => write!(
                 f,
                 "chunk at offset {chunk} corrupt on every replica ({tried} read(s) tried)"
+            ),
+            DlfsError::Cache { op, node, offset } => write!(
+                f,
+                "sample cache: {op} of non-resident range (node {node}, offset {offset})"
             ),
             DlfsError::Degraded { node, view_epoch } => write!(
                 f,

@@ -28,6 +28,7 @@
 
 use std::sync::Arc;
 
+use crate::error::DlfsError;
 use blocksim::BLOCK_SIZE;
 use fabric::{Membership, MembershipPolicy, TargetHealth};
 use simkit::rng::fnv1a;
@@ -117,11 +118,22 @@ impl Redundancy {
     /// Dead membership state. The circuit reset is load-bearing — the
     /// outage's stale `open_since` would otherwise survive the rejoin and
     /// the next routing decision would re-declare the node Dead on sight.
-    pub fn rejoin(&self, target: usize) {
+    ///
+    /// Without a membership layer there is no Dead state to clear, so a
+    /// rejoin is a configuration contradiction (replicas + rebuild were
+    /// asked for, but no policy can declare or re-admit Dead targets) —
+    /// surfaced as a typed error instead of silently doing nothing.
+    pub fn rejoin(&self, target: usize) -> Result<(), DlfsError> {
+        let Some(m) = &self.membership else {
+            return Err(DlfsError::Config(format!(
+                "rejoin of storage node {target} requires a membership policy: \
+                 set fail_dead_after so replicas+rebuild can declare and \
+                 re-admit Dead targets"
+            )));
+        };
         self.health.record_ok(target);
-        if let Some(m) = &self.membership {
-            m.rejoin(target);
-        }
+        m.rejoin(target);
+        Ok(())
     }
 
     /// Record a failed operation against `target` at `now`, escalating a
@@ -303,9 +315,18 @@ mod tests {
         r.record_ok(0);
         assert!(r.is_dead(0));
         // …only an explicit rejoin does.
-        r.membership.as_ref().unwrap().rejoin(0);
+        r.rejoin(0).unwrap();
         assert!(!r.is_dead(0));
         assert_eq!(r.pick_replica(0, 0, later), 0);
+    }
+
+    #[test]
+    fn rejoin_without_membership_is_a_typed_error() {
+        let r = Redundancy::new(2, vec![(0u64, 4096u64); 2], vec![]);
+        match r.rejoin(0) {
+            Err(DlfsError::Config(m)) => assert!(m.contains("membership")),
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 
     #[test]

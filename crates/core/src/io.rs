@@ -20,10 +20,13 @@
 //! copy pool through [`DlfsShared`].
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use blocksim::{covering_blocks, CmdStatus, DmaBuf, IoQPair, NvmeTarget, BLOCK_SIZE};
+use blocksim::{
+    covering_blocks, CmdStatus, DmaBuf, IoQPair, NvmeTarget, OffloadExtent, BLOCK_SIZE,
+};
+use fabric::{CAPSULE_BYTES, DESCRIPTOR_BYTES, RESPONSE_BYTES};
 use simkit::rng::fnv1a;
 use simkit::rng::SplitMix64;
 use simkit::runtime::Runtime;
@@ -37,7 +40,7 @@ use crate::directory::SampleDirectory;
 use crate::entry::SampleEntry;
 use crate::error::{CorruptCause, DlfsError, IoFailure};
 use crate::integrity::Redundancy;
-use crate::layout::{encode_integrity, encode_meta, MetaRecord};
+use crate::layout::{encode_codec_table, encode_integrity, encode_meta, MetaRecord};
 use crate::plan::{build_epoch_plan, reader_item_ranges, FetchItem, ReaderPlan};
 use crate::reactor::{CompletionClock, ReactorStats};
 use crate::rebuild::RebuildPlan;
@@ -67,6 +70,10 @@ pub struct DlfsShared {
     /// `None` on the default (`replicas == 1`, no `verify_reads`) path —
     /// every read then takes its historical branch unchanged.
     pub redundancy: Option<Arc<Redundancy>>,
+    /// Per-chunk codec + per-node encoded-frame tables when the dataset
+    /// was staged with `cfg.codec != Identity`; `None` keeps every read
+    /// on its historical raw-bytes branch.
+    pub codec: Option<Arc<crate::codec::CodecTables>>,
 }
 
 impl std::fmt::Debug for DlfsShared {
@@ -140,10 +147,30 @@ struct IoTelemetry {
     /// Chunks with less than full redundancy right now (drops toward zero
     /// as the rebuild progresses).
     rb_at_risk: Gauge,
+    /// Codec counters under `dlfs.codec.*`: encoded bytes fetched off the
+    /// devices vs raw bytes they decoded to. Registered only when the
+    /// instance carries [`crate::codec::CodecTables`] — under the
+    /// zero-knob default they bind to a detached registry so metric
+    /// renders stay byte-identical.
+    codec_bytes_in: Counter,
+    codec_bytes_out: Counter,
+    /// Offload counters under `dlfs.offload.*`. Registered only with
+    /// [`crate::DlfsConfig::offload`]; detached otherwise.
+    of_requests: Counter,
+    of_samples: Counter,
+    /// Bytes carried over the fabric by dense offload responses.
+    of_wire_bytes: Counter,
 }
 
 impl IoTelemetry {
-    fn new(reg: &Registry, cross_epoch: bool, integrity: bool, membership: bool) -> IoTelemetry {
+    fn new(
+        reg: &Registry,
+        cross_epoch: bool,
+        integrity: bool,
+        membership: bool,
+        codec: bool,
+        offload: bool,
+    ) -> IoTelemetry {
         let io = reg.scoped("dlfs.io");
         let cache = if cross_epoch {
             reg.scoped("dlfs.cache")
@@ -160,7 +187,22 @@ impl IoTelemetry {
         } else {
             Registry::new().scoped("dlfs.rebuild")
         };
+        let cd = if codec {
+            reg.scoped("dlfs.codec")
+        } else {
+            Registry::new().scoped("dlfs.codec")
+        };
+        let of = if offload {
+            reg.scoped("dlfs.offload")
+        } else {
+            Registry::new().scoped("dlfs.offload")
+        };
         IoTelemetry {
+            codec_bytes_in: cd.counter("bytes_in"),
+            codec_bytes_out: cd.counter("bytes_out"),
+            of_requests: of.counter("requests"),
+            of_samples: of.counter("samples"),
+            of_wire_bytes: of.counter("wire_bytes"),
             rb_blocks: rb.counter("blocks_rebuilt"),
             rb_clean: rb.counter("blocks_clean"),
             rb_failed: rb.counter("blocks_failed"),
@@ -380,7 +422,14 @@ impl DlfsIo {
         }
         let membership = membership.is_some();
         DlfsIo {
-            tel: IoTelemetry::new(reg, cross_epoch, shared.redundancy.is_some(), membership),
+            tel: IoTelemetry::new(
+                reg,
+                cross_epoch,
+                shared.redundancy.is_some(),
+                membership,
+                shared.codec.is_some(),
+                shared.cfg.offload,
+            ),
             rstats: ReactorStats::new(reg, shared.cfg.reactor_stats),
             registry: reg.clone(),
             shared,
@@ -466,8 +515,10 @@ impl DlfsIo {
                 // Published: the cache owns the chunks. EpochScoped:
                 // release retires them (deferred if zero-copy samples
                 // still pin the range). CrossEpoch: the range survives on
-                // the evictable LRU tail for the replacing epoch.
-                self.shared.cache.release(key);
+                // the evictable LRU tail for the replacing epoch. An
+                // eviction racing the teardown already reclaimed the
+                // chunks; nothing left to do for that key.
+                let _ = self.shared.cache.release(key);
             } else {
                 // Never became resident: return our chunks directly.
                 for b in bufs {
@@ -551,20 +602,97 @@ impl DlfsIo {
         self.epoch.as_ref().map(|e| &e.plan.order[..])
     }
 
+    /// Stored-frame geometry under the instance codec: `(slba, read
+    /// blocks, alloc bytes)` of the frame covering byte `offset` on node
+    /// `nid`, or `None` without a codec. Only the encoded prefix is read
+    /// off the device (`enc_blocks`, which can exceed the covering blocks
+    /// of a short fetch range when a padded frame stored verbatim), but
+    /// the allocation covers the frame's full raw extent so it can be
+    /// decoded in place after verification.
+    fn coded_geometry(&self, nid: u16, offset: u64) -> Option<(u64, u32, u64)> {
+        let tables = self.shared.codec.as_deref()?;
+        let chunk = self.shared.cfg.chunk_size;
+        let frames = &tables.per_node[nid as usize];
+        let f = frames.frame_of(chunk, offset);
+        let start = frames.base + f as u64 * chunk;
+        debug_assert_eq!(start % BLOCK_SIZE, 0, "frames are block-aligned");
+        let raw = frames.raw_len(chunk, f) as u64;
+        Some((
+            start / BLOCK_SIZE,
+            tables.enc_blocks(nid as usize, f),
+            raw.div_ceil(BLOCK_SIZE) * BLOCK_SIZE,
+        ))
+    }
+
+    /// Device-read geometry of the fetch range `(nid, offset, len)`:
+    /// `(slba, read blocks, alloc bytes)`. The historical path reads
+    /// exactly the covering blocks; under a codec the range is one stored
+    /// frame and only its encoded prefix hits the device.
+    fn read_geometry(&self, nid: u16, offset: u64, len: u64) -> (u64, u32, u64) {
+        match self.coded_geometry(nid, offset) {
+            Some(g) => g,
+            None => {
+                let (slba, nblocks, _) = covering_blocks(offset, len);
+                (slba, nblocks, nblocks as u64 * BLOCK_SIZE)
+            }
+        }
+    }
+
+    /// Decode one fetched frame in place (stored encoded prefix → raw
+    /// frame bytes) before it becomes visible to any consumer — the
+    /// sample cache only ever holds decoded bytes, so every warm path and
+    /// zero-copy pin serves raw data. Runs strictly *after* block
+    /// verification and read-repair, which cover the stored bytes.
+    /// Charges the configured decoder throughput on the calling reader
+    /// thread and records the `dlfs.codec.*` counters. No-op without a
+    /// codec.
+    fn decode_frame(&self, rt: &Runtime, nid: u16, offset: u64, bufs: &[DmaBuf]) {
+        let Some(tables) = self.shared.codec.as_deref() else {
+            return;
+        };
+        let chunk = self.shared.cfg.chunk_size;
+        let frames = &tables.per_node[nid as usize];
+        let f = frames.frame_of(chunk, offset);
+        let enc_len = frames.lens[f] as usize;
+        let raw_len = frames.raw_len(chunk, f);
+        rt.work(self.shared.cfg.costs.decode(raw_len as u64));
+        self.tel.codec_bytes_in.add(enc_len as u64);
+        self.tel.codec_bytes_out.add(raw_len as u64);
+        if enc_len == raw_len {
+            return; // stored verbatim: the buffer already holds raw bytes
+        }
+        debug_assert_eq!(bufs.len(), 1, "a coded frame fits one cache chunk");
+        let codec = tables.kind.codec();
+        bufs[0].with_mut(|d| {
+            let raw = codec.decode(&d[..enc_len], raw_len);
+            d[..raw_len].copy_from_slice(&raw);
+        });
+    }
+
     /// Start fetching item `idx`: probe the cross-epoch cache first, else
     /// allocate cache chunks and queue the item's parts for the device.
     fn start_fetch(&mut self, idx: u32) -> FetchStart {
         let cross = self.shared.cfg.cache_mode == CacheMode::CrossEpoch;
+        let coded = self.shared.codec.is_some();
+        let (key, slba, alloc_bytes) = {
+            let st = self.epoch.as_ref().expect("no epoch");
+            let it = &st.plan.items[idx as usize];
+            let (slba, _, alloc) = self.read_geometry(it.nid, it.offset, it.len);
+            ((it.nid, it.offset), slba, alloc)
+        };
         let st = self.epoch.as_mut().expect("no epoch");
         let it = &st.plan.items[idx as usize];
-        let key = (it.nid, it.offset);
-        let (slba, nblocks, _head) = covering_blocks(it.offset, it.len);
         if cross {
             // Residency probe: a previous epoch (or the prefetcher) may
             // already hold this exact range — warm items skip the device
             // entirely.
             if let Some((bufs, len, was_prefetched)) = self.shared.cache.acquire(key) {
-                debug_assert_eq!(len, it.len, "cached range geometry drifted");
+                // Under a codec a synchronous read may have parked the
+                // whole (longer) raw frame under this key.
+                debug_assert!(
+                    if coded { len >= it.len } else { len == it.len },
+                    "cached range geometry drifted"
+                );
                 self.tel.ce_hits.inc();
                 if was_prefetched {
                     self.tel.prefetch_hits.inc();
@@ -590,8 +718,7 @@ impl DlfsIo {
             }
             self.tel.ce_misses.inc();
         }
-        let bytes = nblocks as u64 * BLOCK_SIZE;
-        let Some(bufs) = self.shared.cache.alloc_for(bytes) else {
+        let Some(bufs) = self.shared.cache.alloc_for(alloc_bytes) else {
             return FetchStart::Backpressure;
         };
         let parts = bufs.len() as u32;
@@ -688,7 +815,7 @@ impl DlfsIo {
             let (dev, slba_dev, nblocks_part, replica, buf) = {
                 let st = self.epoch.as_ref().expect("no epoch");
                 let it = &st.plan.items[idx as usize];
-                let (slba, nblocks, _) = covering_blocks(it.offset, it.len);
+                let (slba, nblocks, _) = self.read_geometry(it.nid, it.offset, it.len);
                 let blocks_per_chunk = (chunk as u64 / BLOCK_SIZE) as u32;
                 let start = part * blocks_per_chunk;
                 let n = (nblocks - start).min(blocks_per_chunk);
@@ -795,7 +922,7 @@ impl DlfsIo {
                 continue;
             };
             let it = &st.plan.items[idx as usize];
-            let (slba, nblocks, _) = covering_blocks(it.offset, it.len);
+            let (slba, nblocks, _) = self.read_geometry(it.nid, it.offset, it.len);
             let blocks_per_chunk = (chunk / BLOCK_SIZE) as u32;
             let start = part * blocks_per_chunk;
             let n = (nblocks - start).min(blocks_per_chunk);
@@ -870,8 +997,7 @@ impl DlfsIo {
                 break;
             };
             let key = (nid, offset);
-            let (slba, nblocks, _) = covering_blocks(offset, len);
-            let bytes = nblocks as u64 * BLOCK_SIZE;
+            let (slba, nblocks, bytes) = self.read_geometry(nid, offset, len);
             if bytes > chunk
                 || self.shared.cache.contains(key)
                 || self.prefetch.inflight.contains_key(&key)
@@ -952,7 +1078,7 @@ impl DlfsIo {
         // simply dropped (demand reads repair via replicas).
         let verified = match self.shared.redundancy.as_deref().filter(|r| r.verify()) {
             Some(red) if status.is_ok() => {
-                let (slba, nblocks, _) = covering_blocks(key.1, len);
+                let (slba, nblocks, _) = self.read_geometry(key.0, key.1, len);
                 rt.work(self.shared.cfg.costs.verify_block * nblocks as u64);
                 self.tel.iv_verified.add(nblocks as u64);
                 let ok = buf.with(|d| {
@@ -966,6 +1092,7 @@ impl DlfsIo {
             _ => true,
         };
         if status.is_ok() && verified && !self.shared.cache.contains(key) {
+            self.decode_frame(rt, key.0, key.1, std::slice::from_ref(&buf));
             self.shared.cache.publish_prefetched(key, vec![buf], len);
         } else {
             if status == CmdStatus::TransportError {
@@ -1006,7 +1133,7 @@ impl DlfsIo {
         let (nid, home_slba, nblocks) = {
             let st = self.epoch.as_ref().expect("no epoch");
             let it = &st.plan.items[idx as usize];
-            let (slba, total, _) = covering_blocks(it.offset, it.len);
+            let (slba, total, _) = self.read_geometry(it.nid, it.offset, it.len);
             let bpc = (self.shared.cfg.chunk_size / BLOCK_SIZE) as u32;
             let start = part * bpc;
             (it.nid, slba + start as u64, (total - start).min(bpc))
@@ -1060,13 +1187,17 @@ impl DlfsIo {
             let item = &mut st.items[idx as usize];
             item.parts_left -= 1;
             if item.parts_left == 0 {
-                // Item fully resident: publish it in the sample cache, flip
-                // the V field of its samples and offer it to the delivery
-                // draw.
+                // Item fully resident: decode its frame (codec datasets;
+                // verification above covered the stored bytes), publish it
+                // in the sample cache, flip the V field of its samples and
+                // offer it to the delivery draw.
                 let it = &st.plan.items[idx as usize];
-                self.shared
-                    .cache
-                    .publish((it.nid, it.offset), st.bufs[&idx].clone(), it.len);
+                let (key, len) = ((it.nid, it.offset), it.len);
+                let bufs = st.bufs[&idx].clone();
+                self.decode_frame(rt, key.0, key.1, &bufs);
+                self.shared.cache.publish(key, bufs, len);
+                let st = self.epoch.as_mut().expect("no epoch");
+                let it = &st.plan.items[idx as usize];
                 for &s in &it.samples {
                     self.shared.dir.set_valid(s, true);
                 }
@@ -1260,7 +1391,10 @@ impl DlfsIo {
         if item.copies_done == item.samples_total {
             st.bufs.remove(&idx);
             let it = &st.plan.items[idx as usize];
-            self.shared.cache.release((it.nid, it.offset));
+            // The engine still holds this range (never released), so it
+            // cannot have been evicted; a miss means an eviction or
+            // teardown won a race and already reclaimed the chunks.
+            let _ = self.shared.cache.release((it.nid, it.offset));
             st.open_items -= 1;
             for &s in &it.samples {
                 self.shared.dir.set_valid(s, false);
@@ -1305,9 +1439,13 @@ impl DlfsIo {
             return Err(DlfsError::EpochExhausted);
         }
         self.tel.batches.inc();
-        let batch = match req.delivery {
-            Delivery::Copied => Completions::copied(self.run_copied(rt, want, req)?),
-            Delivery::ZeroCopy => Completions::zero_copy(self.run_zero_copy(rt, want, req)?),
+        let batch = if req.offload {
+            Completions::copied(self.run_offload(rt, want, req)?)
+        } else {
+            match req.delivery {
+                Delivery::Copied => Completions::copied(self.run_copied(rt, want, req)?),
+                Delivery::ZeroCopy => Completions::zero_copy(self.run_zero_copy(rt, want, req)?),
+            }
         };
         if batch.len() < want {
             self.tel.deadline_misses.inc();
@@ -1397,6 +1535,202 @@ impl DlfsIo {
             }
         }
         Ok(results.into_iter().flatten().collect())
+    }
+
+    /// The storage-side offload path (`ReadRequest::offload`): consume the
+    /// next `want` samples of the plan in item order, group them by home
+    /// storage node, and issue ONE offload exchange per node — the target
+    /// reads the stored frames, verifies and decodes them locally (both
+    /// charged to the target's compute pool, not this reader), and ships a
+    /// single dense response carrying exactly the requested sample bytes.
+    /// Bypasses the qpairs and the sample cache entirely; the per-item
+    /// dispatch cursors it shares with the engine keep delivery
+    /// exactly-once even if the engine path served part of this epoch.
+    /// Deadlines are not honored: the batch is a single remote exchange
+    /// with nothing to cut short client-side.
+    fn run_offload(
+        &mut self,
+        rt: &Runtime,
+        want: usize,
+        req: &ReadRequest,
+    ) -> Result<Vec<(u32, Vec<u8>)>, DlfsError> {
+        if req.delivery != Delivery::Copied {
+            return Err(DlfsError::Config(
+                "offload batches are assembled storage-side; only copied \
+                 delivery can cross the fabric"
+                    .into(),
+            ));
+        }
+        if !self.shared.cfg.offload {
+            return Err(DlfsError::Config(
+                "ReadRequest::offload requires DlfsConfig { offload: true, .. }".into(),
+            ));
+        }
+        // 1. Claim the next `want` samples, walking items in plan order.
+        let mut taken: Vec<(u16, u64, u64, Vec<u32>)> = Vec::new();
+        {
+            let st = self.epoch.as_mut().expect("no epoch");
+            let mut left = want;
+            let mut idx = 0usize;
+            while left > 0 && idx < st.items.len() {
+                let done = st.items[idx].dispatched;
+                let take = (st.items[idx].samples_total - done).min(left as u32);
+                if take == 0 {
+                    idx += 1;
+                    continue;
+                }
+                let it = &st.plan.items[idx];
+                let ids = it.samples[done as usize..(done + take) as usize].to_vec();
+                st.items[idx].dispatched += take;
+                st.total_dispatched += take as usize;
+                left -= take as usize;
+                taken.push((it.nid, it.offset, it.len, ids));
+            }
+        }
+        // 2. One dense request per storage node touched by the batch. The
+        //    target is charged what the client no longer pays: block
+        //    verification and frame decode, per extent, on its compute
+        //    pool.
+        let costs = self.shared.cfg.costs.clone();
+        let verify = self
+            .shared
+            .redundancy
+            .as_deref()
+            .is_some_and(|r| r.verify());
+        let mut per_node: BTreeMap<u16, (Vec<OffloadExtent>, u64)> = BTreeMap::new();
+        for (nid, offset, len, ids) in &taken {
+            let (slba, nblocks, _) = self.read_geometry(*nid, *offset, *len);
+            let raw_len = match self.shared.codec.as_deref() {
+                Some(t) => {
+                    let chunk = self.shared.cfg.chunk_size;
+                    let f = t.per_node[*nid as usize].frame_of(chunk, *offset);
+                    t.per_node[*nid as usize].raw_len(chunk, f) as u64
+                }
+                None => *len,
+            };
+            let mut compute = Dur::ZERO;
+            if verify {
+                compute += costs.verify_block * nblocks as u64;
+            }
+            if self.shared.codec.is_some() {
+                compute += costs.decode(raw_len);
+            }
+            let slot = per_node.entry(*nid).or_default();
+            slot.0.push(OffloadExtent {
+                slba,
+                nblocks,
+                compute,
+            });
+            slot.1 += ids
+                .iter()
+                .map(|&id| self.shared.dir.entry(id).len())
+                .sum::<u64>();
+        }
+        // 3. Timing: one request/process/respond exchange per node, all
+        //    concurrent; this reader parks until the last dense response
+        //    lands.
+        let mut done_at = rt.now();
+        for (nid, (extents, payload)) in &per_node {
+            let t = self.shared.targets[*nid as usize].reserve_offload(rt.now(), extents, *payload);
+            done_at = done_at.max(t);
+            self.tel.of_requests.inc();
+            self.tel.of_wire_bytes.add(
+                CAPSULE_BYTES + extents.len() as u64 * DESCRIPTOR_BYTES + payload + RESPONSE_BYTES,
+            );
+        }
+        // 4. Functional bytes: read + verify (failover / read-repair) +
+        //    decode each stored frame, then slice out the samples.
+        let mut out = Vec::with_capacity(want);
+        for (nid, offset, len, ids) in &taken {
+            let (raw, base) = match self.offload_item_bytes(*nid, *offset, *len) {
+                Ok(v) => v,
+                Err(e) => {
+                    // A frame no replica can serve: the plan can no longer
+                    // complete (same sticky semantics as the engine path).
+                    self.failed = Some(e.clone());
+                    return Err(e);
+                }
+            };
+            for &id in ids {
+                let entry = self.shared.dir.entry(id);
+                let at = (entry.offset() - base) as usize;
+                out.push((id, raw[at..at + entry.len() as usize].to_vec()));
+                self.tel.samples_delivered.inc();
+                self.tel.bytes_delivered.add(entry.len());
+                self.tel.of_samples.inc();
+            }
+        }
+        self.advance_to(rt, done_at);
+        Ok(out)
+    }
+
+    /// Read one plan item's stored range for the offload path — verified
+    /// against the integrity tables with replica failover and read-repair
+    /// (all *before* decode, covering the stored encoded bytes), then
+    /// decoded. Returns the raw bytes and the node byte offset they start
+    /// at. Purely functional: the time was already charged by
+    /// `reserve_offload` (extent reads + target-side verify/decode).
+    fn offload_item_bytes(
+        &mut self,
+        nid: u16,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, u64), DlfsError> {
+        let (slba, nblocks, _) = self.read_geometry(nid, offset, len);
+        let red = self.shared.redundancy.clone();
+        let replicas = red.as_deref().map(|r| r.replicas).unwrap_or(1);
+        let mut data = vec![0u8; nblocks as usize * BLOCK_SIZE as usize];
+        let mut attempt = 0u32;
+        loop {
+            let (serving, s_slba) = match red.as_deref() {
+                Some(r) if r.replicas > 1 => r.route(nid, attempt, slba),
+                _ => (nid, slba),
+            };
+            self.shared.targets[serving as usize].dma_read(s_slba, &mut data);
+            let ok = match red.as_deref().filter(|r| r.verify()) {
+                Some(r) => {
+                    self.tel.iv_verified.add(nblocks as u64);
+                    r.verify_blocks(nid, slba, &data)
+                }
+                None => true,
+            };
+            if ok {
+                if attempt > 0 {
+                    // A replica served after the home copy failed
+                    // verification: read-repair the home extent.
+                    self.shared.targets[nid as usize].dma_write(slba, &data);
+                    self.tel.iv_repairs.inc();
+                }
+                break;
+            }
+            self.tel.iv_mismatches.inc();
+            attempt += 1;
+            if attempt >= replicas {
+                return Err(DlfsError::Corrupt {
+                    chunk: slba * BLOCK_SIZE,
+                    tried: attempt,
+                    cause: CorruptCause::Checksum,
+                });
+            }
+            self.tel.iv_failovers.inc();
+        }
+        let mut base = slba * BLOCK_SIZE;
+        if let Some(tables) = self.shared.codec.as_deref() {
+            let chunk = self.shared.cfg.chunk_size;
+            let frames = &tables.per_node[nid as usize];
+            let f = frames.frame_of(chunk, offset);
+            let enc_len = frames.lens[f] as usize;
+            let raw_len = frames.raw_len(chunk, f);
+            self.tel.codec_bytes_in.add(enc_len as u64);
+            self.tel.codec_bytes_out.add(raw_len as u64);
+            if enc_len == raw_len {
+                data.truncate(raw_len);
+            } else {
+                data = tables.kind.codec().decode(&data[..enc_len], raw_len);
+            }
+            base = frames.base + f as u64 * chunk;
+        }
+        Ok((data, base))
     }
 
     /// Earliest instant at which the engine can make progress again: a
@@ -1548,13 +1882,31 @@ impl DlfsIo {
     /// gap (call [`DlfsIo::drive_rebuild`] to finish synchronously). The
     /// replacement device — the revived node, or a fresh one mounted under
     /// the same index — must be attached and serving writes first. Returns
-    /// the total blocks to rebuild; 0 (and no rebuild) without redundancy.
-    pub fn begin_rebuild(&mut self, node: u16) -> u64 {
+    /// the total blocks to rebuild. A rebuild needs surviving copies to
+    /// read from (`replicas >= 2`) and a membership view to rejoin the
+    /// node into afterwards — asking for one on an instance missing either
+    /// is a typed configuration error, not a silent no-op.
+    pub fn begin_rebuild(&mut self, node: u16) -> Result<u64, DlfsError> {
         let Some(red) = self.shared.redundancy.as_deref() else {
-            return 0;
+            return Err(DlfsError::Config(
+                "rebuild requires redundancy: configure replicas >= 2 and a \
+                 membership policy (fail_dead_after)"
+                    .into(),
+            ));
         };
-        if red.replicas < 2 || red.membership.is_none() {
-            return 0;
+        if red.replicas < 2 {
+            return Err(DlfsError::Config(format!(
+                "rebuild of storage node {node} requires replicas >= 2 (have \
+                 {}): a lone copy has no surviving source to rebuild from",
+                red.replicas
+            )));
+        }
+        if red.membership.is_none() {
+            return Err(DlfsError::Config(format!(
+                "rebuild of storage node {node} requires a membership policy: \
+                 set fail_dead_after so the rebuilt node can be declared Dead \
+                 and rejoined"
+            )));
         }
         let blocks_of: Vec<u64> = (0..self.shared.targets.len())
             .map(|h| match self.shared.layouts.as_deref() {
@@ -1572,7 +1924,7 @@ impl DlfsIo {
             walked: 0,
             failed: 0,
         });
-        total
+        Ok(total)
     }
 
     /// Is a node rebuild still in flight?
@@ -1741,12 +2093,26 @@ impl DlfsIo {
                 debug_assert_eq!(enc.len() as u64, sb.integrity_bytes);
                 dest.dma_write(sb.integrity_base / BLOCK_SIZE, &enc);
             }
+            if sb.codec_table_bytes > 0 {
+                if let Some(tables) = self.shared.codec.as_deref() {
+                    // Restore the per-frame encoded-length table; the data
+                    // blocks were copied back verbatim (stored/encoded
+                    // bytes), so the table written at import still
+                    // describes them exactly.
+                    let table = encode_codec_table(&tables.per_node[node as usize].lens);
+                    debug_assert_eq!(table.len() as u64, sb.codec_table_bytes);
+                    dest.dma_write(sb.codec_base() / BLOCK_SIZE, &table);
+                }
+            }
             sb.meta_checksum = fnv1a(&meta);
             sb.committed = true;
             dest.dma_write(0, &sb.encode());
         }
         if failed == 0 {
-            red.rejoin(node as usize);
+            // `begin_rebuild` refuses to start without a membership policy,
+            // so the rejoin cannot fail here.
+            let r = red.rejoin(node as usize);
+            debug_assert!(r.is_ok(), "rebuild ran without membership");
         }
         self.tel.rb_completed.inc();
         self.tel.rb_at_risk.set(self.chunks_at_risk(failed) as i64);
@@ -1997,7 +2363,7 @@ impl DlfsIo {
             if entry.offset() + entry.len() <= key.1 + p.len {
                 Some((key, base, p))
             } else {
-                self.shared.cache.unpin(key, p.gen);
+                let _ = self.shared.cache.unpin(key, p.gen);
                 None
             }
         })?;
@@ -2019,7 +2385,7 @@ impl DlfsIo {
             done: done_tx,
         });
         let done = done_rx.recv().expect("copy pool alive");
-        self.shared.cache.unpin(key, pinned.gen);
+        let _ = self.shared.cache.unpin(key, pinned.gen);
         self.tel.samples_delivered.inc();
         self.tel.bytes_delivered.add(done.data.len() as u64);
         self.tel.copy_ns.record_dur(rt.now() - t_copy);
@@ -2044,7 +2410,13 @@ impl DlfsIo {
         deadline: Option<Time>,
     ) -> Result<Vec<DmaBuf>, DlfsError> {
         let costs = self.shared.cfg.costs.clone();
-        let bytes = nblocks as u64 * BLOCK_SIZE;
+        // Under a codec `nblocks` is the encoded prefix of one stored
+        // frame; the allocation must still cover the frame's raw extent so
+        // the caller can decode it in place.
+        let bytes = self
+            .coded_geometry(target_nid, slba * BLOCK_SIZE)
+            .map(|(_, _, alloc)| alloc)
+            .unwrap_or(nblocks as u64 * BLOCK_SIZE);
         // Bugfix (satellite): a momentarily full pool used to surface
         // `CacheExhausted` immediately, while the batched path parks and
         // retries after releases. Wait under the shared retry policy —
@@ -2303,7 +2675,15 @@ impl DlfsIo {
         // covering chunk instead and parks it on the cache's LRU tail, so
         // later reads of this sample — or its chunk neighbors — skip the
         // device entirely.
-        let (slba, nblocks, head) = if cross {
+        let (slba, nblocks, head) = if let Some((fslba, enc_blocks, _)) =
+            self.coded_geometry(entry.nid(), entry.offset())
+        {
+            // Codec datasets always fetch the sample's whole stored frame
+            // (its encoded prefix), decoded in place below; the sample is
+            // then sliced out of the raw frame.
+            let head = (entry.offset() - fslba * BLOCK_SIZE) as usize;
+            (fslba, enc_blocks, head)
+        } else if cross {
             let sample_end = entry.offset() + entry.len();
             let dev_end = self.shared.targets[nid].blocks() * BLOCK_SIZE;
             let end = (chunk_base + self.shared.cfg.chunk_size)
@@ -2316,6 +2696,7 @@ impl DlfsIo {
             covering_blocks(entry.offset(), entry.len())
         };
         let bufs = self.fetch_range(rt, nid, entry.nid(), slba, nblocks, deadline)?;
+        self.decode_frame(rt, entry.nid(), entry.offset(), &bufs);
         let chunk = self.shared.cfg.chunk_size as usize;
         // copy stage through the pool.
         let (done_tx, done_rx) = rt.channel::<CopyDone>(None);
@@ -2341,9 +2722,14 @@ impl DlfsIo {
                     self.shared.cache.free_raw(b);
                 }
             } else {
-                let len = nblocks as u64 * BLOCK_SIZE;
+                // Under a codec the buffers now hold the decoded raw
+                // frame, which is longer than the encoded blocks fetched.
+                let len = self
+                    .coded_geometry(entry.nid(), entry.offset())
+                    .map(|(_, _, alloc)| alloc)
+                    .unwrap_or(nblocks as u64 * BLOCK_SIZE);
                 self.shared.cache.publish(key, bufs, len);
-                self.shared.cache.release(key);
+                self.shared.cache.release(key)?;
             }
         } else {
             for b in bufs {
@@ -2395,7 +2781,15 @@ impl DlfsIo {
             // Same fetch geometry as the copied path: the whole covering
             // chunk in cross-epoch mode (parked on the LRU tail after the
             // sample drops), exactly the covering blocks otherwise.
-            let (slba, nblocks, base, key) = if cross {
+            let (slba, nblocks, base, key) = if let Some((fslba, enc_blocks, _)) =
+                self.coded_geometry(entry.nid(), entry.offset())
+            {
+                // Codec datasets fetch the sample's whole stored frame
+                // (its encoded prefix) and decode in place before the
+                // publish, so the pinned segments reference raw bytes.
+                let fbase = fslba * BLOCK_SIZE;
+                (fslba, enc_blocks, fbase, (entry.nid(), fbase))
+            } else if cross {
                 let sample_end = entry.offset() + entry.len();
                 let dev_end = self.shared.targets[nid].blocks() * BLOCK_SIZE;
                 let end = (chunk_base + self.shared.cfg.chunk_size)
@@ -2427,14 +2821,18 @@ impl DlfsIo {
                 }
                 continue;
             }
+            self.decode_frame(rt, entry.nid(), entry.offset(), &bufs);
             // publish + pin + release run back to back with no virtual-time
             // advance between them, so no other participant can interleave:
             // the live-double-publish panic in `publish` cannot fire, and
             // the range cannot be evicted before we hold the pin.
-            let len = nblocks as u64 * BLOCK_SIZE;
+            let len = self
+                .coded_geometry(entry.nid(), entry.offset())
+                .map(|(_, _, alloc)| alloc)
+                .unwrap_or(nblocks as u64 * BLOCK_SIZE);
             self.shared.cache.publish(key, bufs, len);
             let (gen, _, _) = self.shared.cache.pin_key(key).expect("just published");
-            self.shared.cache.release(key);
+            self.shared.cache.release(key)?;
             return Ok(self.finish_zero_copy(rt, id, entry, key, base, gen));
         }
     }
@@ -2457,7 +2855,7 @@ impl DlfsIo {
             // sample's chunk-base key can name a different, shorter
             // range).
             if entry.offset() + entry.len() > key.1 + len {
-                self.shared.cache.unpin(key, gen);
+                let _ = self.shared.cache.unpin(key, gen);
                 continue;
             }
             self.tel.cache_hits.inc();

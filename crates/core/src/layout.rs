@@ -36,6 +36,7 @@ use std::sync::Arc;
 use blocksim::{NvmeTarget, BLOCK_SIZE};
 use simkit::rng::fnv1a;
 
+use crate::codec::CodecKind;
 use crate::entry::MAX_OFFSET;
 use crate::error::{DlfsError, LayoutError};
 
@@ -114,6 +115,12 @@ pub struct Superblock {
     /// Serialized integrity table length: one FNV-1a word per 512 B block
     /// of staged data (0 when the import was taken without `verify_reads`).
     pub integrity_bytes: u64,
+    /// Per-chunk codec the data region was staged with. Pre-codec imports
+    /// carry a zeroed field and decode as [`CodecKind::Identity`].
+    pub codec: CodecKind,
+    /// Serialized per-frame encoded-length table (0 under `Identity`);
+    /// the table region sits at [`Superblock::codec_base`].
+    pub codec_table_bytes: u64,
 }
 
 fn put_u32(b: &mut [u8], at: usize, v: u32) {
@@ -182,6 +189,41 @@ impl Superblock {
         replicas: u32,
         integrity: bool,
     ) -> Result<Superblock, DlfsError> {
+        Superblock::plan_coded(
+            node_id,
+            storage_nodes,
+            total_samples,
+            node_samples,
+            data_bytes,
+            device_bytes,
+            chunk_size,
+            ckpt_region_bytes,
+            replicas,
+            integrity,
+            CodecKind::Identity,
+        )
+    }
+
+    /// [`Superblock::plan_redundant`] with a per-chunk codec: reserves a
+    /// block-aligned region between the integrity table and `data_base`
+    /// for the per-frame encoded-length table (one `u32` per chunk frame
+    /// of the node's own data plus a trailing checksum word). Under
+    /// [`CodecKind::Identity`] no region is reserved and the geometry is
+    /// byte-for-byte the `plan_redundant` one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_coded(
+        node_id: u16,
+        storage_nodes: u32,
+        total_samples: u64,
+        node_samples: u64,
+        data_bytes: u64,
+        device_bytes: u64,
+        chunk_size: u64,
+        ckpt_region_bytes: u64,
+        replicas: u32,
+        integrity: bool,
+        codec: CodecKind,
+    ) -> Result<Superblock, DlfsError> {
         assert!(replicas >= 1, "replicas must be at least 1");
         assert!(
             replicas <= storage_nodes,
@@ -202,8 +244,16 @@ impl Superblock {
         } else {
             0
         };
-        let data_base =
-            (meta_base + meta_capacity + integrity_capacity).next_multiple_of(chunk_size);
+        // One u32 per chunk frame of this node's own data, plus a trailing
+        // FNV-1a checksum word over the length words.
+        let codec_table_bytes = if codec == CodecKind::Identity {
+            0
+        } else {
+            data_bytes.div_ceil(chunk_size) * 4 + 8
+        };
+        let codec_capacity = codec_table_bytes.next_multiple_of(BLOCK_SIZE);
+        let data_base = (meta_base + meta_capacity + integrity_capacity + codec_capacity)
+            .next_multiple_of(chunk_size);
         let ckpt_capacity = ckpt_region_bytes.next_multiple_of(BLOCK_SIZE);
         let need = data_base + data_bytes * replicas as u64 + ckpt_capacity;
         if need > device_bytes {
@@ -260,7 +310,19 @@ impl Superblock {
             replica_slot_bytes,
             integrity_base,
             integrity_bytes,
+            codec,
+            codec_table_bytes,
         })
+    }
+
+    /// First byte of the codec table region: the block-aligned slot just
+    /// after the integrity table (or the metadata region when no
+    /// integrity table was planned). Meaningless when
+    /// `codec_table_bytes == 0`.
+    pub fn codec_base(&self) -> u64 {
+        let meta_capacity = self.meta_bytes.next_multiple_of(BLOCK_SIZE);
+        let integrity_capacity = self.integrity_bytes.next_multiple_of(BLOCK_SIZE);
+        self.meta_base + meta_capacity + integrity_capacity
     }
 
     /// Serialize into one block. With `committed == false` the tail stamp
@@ -271,6 +333,7 @@ impl Superblock {
         put_u32(&mut b, 8, LAYOUT_VERSION);
         put_u32(&mut b, 12, self.node_id as u32);
         put_u32(&mut b, 16, self.storage_nodes);
+        put_u32(&mut b, 20, self.codec.to_u32());
         put_u64(&mut b, 24, self.generation);
         put_u64(&mut b, 32, self.node_samples);
         put_u64(&mut b, 40, self.total_samples);
@@ -289,6 +352,7 @@ impl Superblock {
             if self.committed { self.generation } else { 0 },
         );
         put_u32(&mut b, 128, self.replicas);
+        put_u32(&mut b, 132, self.codec_table_bytes as u32);
         put_u64(&mut b, 136, self.replica_slot_bytes);
         put_u64(&mut b, 144, self.integrity_base);
         put_u64(&mut b, 152, self.integrity_bytes);
@@ -326,6 +390,12 @@ impl Superblock {
             )));
         }
         let generation = get_u64(b, 24);
+        let codec_wire = get_u32(b, 20);
+        let Some(codec) = CodecKind::from_u32(codec_wire) else {
+            return Err(LayoutError::Inconsistent(format!(
+                "node {node}: unknown codec {codec_wire} (newer format?)"
+            )));
+        };
         Ok(Superblock {
             node_id: stored_node,
             storage_nodes: get_u32(b, 16),
@@ -346,6 +416,8 @@ impl Superblock {
             replica_slot_bytes: get_u64(b, 136),
             integrity_base: get_u64(b, 144),
             integrity_bytes: get_u64(b, 152),
+            codec,
+            codec_table_bytes: get_u32(b, 132) as u64,
         })
     }
 
@@ -468,6 +540,42 @@ pub fn decode_integrity(bytes: &[u8]) -> Vec<u64> {
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("u64 slice")))
         .collect()
+}
+
+/// Serialize one node's per-frame encoded-length table: one `u32` per
+/// chunk frame plus a trailing FNV-1a word over the length words (the
+/// table is read before any data, so it carries its own checksum rather
+/// than relying on the integrity region, which only covers data blocks).
+pub fn encode_codec_table(lens: &[u32]) -> Vec<u8> {
+    let mut out = vec![0u8; lens.len() * 4 + 8];
+    for (i, &l) in lens.iter().enumerate() {
+        put_u32(&mut out, i * 4, l);
+    }
+    let crc = fnv1a(&out[..lens.len() * 4]);
+    put_u64(&mut out, lens.len() * 4, crc);
+    out
+}
+
+/// Parse a codec table region previously produced by
+/// [`encode_codec_table`].
+pub fn decode_codec_table(node: u16, bytes: &[u8]) -> Result<Vec<u32>, LayoutError> {
+    if bytes.len() < 8 || !bytes.len().is_multiple_of(4) {
+        return Err(LayoutError::Inconsistent(format!(
+            "node {node}: codec table length {} is not a table",
+            bytes.len()
+        )));
+    }
+    let body = bytes.len() - 8;
+    if fnv1a(&bytes[..body]) != get_u64(bytes, body) {
+        return Err(LayoutError::ChecksumMismatch {
+            node,
+            region: "codec table",
+        });
+    }
+    Ok(bytes[..body]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("u32 slice")))
+        .collect())
 }
 
 /// A checkpoint record header (one block on the device).
@@ -979,6 +1087,85 @@ mod tests {
         )
         .expect_err("slot too small");
         assert!(matches!(err, DlfsError::Capacity { .. }));
+    }
+
+    #[test]
+    fn coded_plan_reserves_table_region_and_roundtrips() {
+        let plain = sample_sb();
+        // Identity reserves nothing: geometry is byte-for-byte the old plan.
+        let ident = Superblock::plan_coded(
+            3,
+            4,
+            10_000,
+            2_500,
+            40 << 20,
+            128 << 20,
+            256 << 10,
+            8 << 20,
+            1,
+            false,
+            CodecKind::Identity,
+        )
+        .expect("plan");
+        assert_eq!(ident.data_base, plain.data_base);
+        assert_eq!(ident.codec_table_bytes, 0);
+        // Lz reserves one u32 per chunk frame plus the checksum word,
+        // block-aligned, between the integrity table and data_base.
+        let coded = Superblock::plan_coded(
+            3,
+            4,
+            10_000,
+            2_500,
+            40 << 20,
+            128 << 20,
+            256 << 10,
+            8 << 20,
+            2,
+            true,
+            CodecKind::Lz,
+        )
+        .expect("plan");
+        let frames = (40u64 << 20).div_ceil(256 << 10);
+        assert_eq!(coded.codec_table_bytes, frames * 4 + 8);
+        assert!(coded.codec_base() >= coded.integrity_base + coded.integrity_bytes);
+        assert!(coded.codec_base() + coded.codec_table_bytes <= coded.data_base);
+        // The codec fields survive the superblock encoding.
+        let mut committed = coded.clone();
+        committed.generation = 1;
+        committed.committed = true;
+        let back = Superblock::decode(3, &committed.encode()).unwrap();
+        assert_eq!(back, committed);
+        assert_eq!(back.codec, CodecKind::Lz);
+        // Unknown codec values are rejected, not misread as identity.
+        let mut b = committed.encode();
+        put_u32(&mut b, 20, 99);
+        let crc = fnv1a(&b[..SB_CHECKSUM_AT]);
+        put_u64(&mut b, SB_CHECKSUM_AT, crc);
+        assert!(matches!(
+            Superblock::decode(3, &b),
+            Err(LayoutError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn codec_table_roundtrip_and_tamper_detection() {
+        let lens: Vec<u32> = (0..37).map(|i| i * 511 + 3).collect();
+        let enc = encode_codec_table(&lens);
+        assert_eq!(enc.len(), lens.len() * 4 + 8);
+        assert_eq!(decode_codec_table(0, &enc).unwrap(), lens);
+        let mut bad = enc.clone();
+        bad[9] ^= 0x10;
+        assert_eq!(
+            decode_codec_table(1, &bad),
+            Err(LayoutError::ChecksumMismatch {
+                node: 1,
+                region: "codec table"
+            })
+        );
+        assert!(decode_codec_table(0, &enc[..6]).is_err());
+        // A zero-frame node still carries the self-checksummed trailer.
+        let empty = encode_codec_table(&[]);
+        assert_eq!(decode_codec_table(0, &empty).unwrap(), Vec::<u32>::new());
     }
 
     #[test]

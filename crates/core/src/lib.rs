@@ -52,6 +52,7 @@
 
 pub mod avl;
 pub mod cache;
+pub mod codec;
 pub mod config;
 pub mod copy;
 pub mod directory;
@@ -70,6 +71,7 @@ pub mod writer;
 pub mod zerocopy;
 
 pub use cache::SampleCache;
+pub use codec::{Codec, CodecKind, CodecTables, NodeFrames};
 pub use config::{BatchMode, CacheMode, DlfsConfig, DlfsCosts};
 pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 pub use entry::SampleEntry;
@@ -86,6 +88,6 @@ pub use plan::{
 pub use reactor::CompletionClock;
 pub use rebuild::{RebuildExtent, RebuildPlan};
 pub use request::{Completion, Completions, Delivery, ReadRequest};
-pub use source::{SampleSource, SyntheticSource};
+pub use source::{CompressibleSource, SampleSource, SyntheticSource};
 pub use writer::{BatchedWriter, CheckpointReader, CheckpointWriter};
 pub use zerocopy::ZeroCopySample;

@@ -29,14 +29,15 @@ use simkit::runtime::Runtime;
 use simkit::telemetry::{Counter, Registry};
 use simkit::time::Dur;
 
+use crate::codec::{CodecKind, CodecTables, NodeFrames};
 use crate::config::DlfsConfig;
 use crate::directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 use crate::error::{DlfsError, LayoutError};
 use crate::integrity::Redundancy;
 use crate::io::{DlfsIo, DlfsShared};
 use crate::layout::{
-    self, decode_integrity, decode_meta, encode_integrity, encode_meta, BlockChecksums, MetaRecord,
-    Superblock,
+    self, decode_codec_table, decode_integrity, decode_meta, encode_codec_table, encode_integrity,
+    encode_meta, BlockChecksums, MetaRecord, Superblock,
 };
 use crate::source::SampleSource;
 use crate::writer::{read_timed, BatchedWriter, CheckpointReader, CheckpointWriter};
@@ -257,6 +258,7 @@ impl DlfsInstance {
                     readers: s.readers,
                     layouts: s.layouts.clone(),
                     redundancy: s.redundancy.clone(),
+                    codec: s.codec.clone(),
                 })
             })
             .collect();
@@ -294,14 +296,40 @@ fn validate_deployment(d: &Deployment) -> Result<(usize, usize), DlfsError> {
 /// totals produced by [`plan_placement`].
 type Placement = (Arc<SampleDirectory>, Vec<Vec<u32>>, Vec<u64>);
 
+/// Advance one node's placement cursor past a sample of `len` bytes.
+/// With a codec (`frame = Some(chunk_size)`) samples never straddle a
+/// chunk frame — a sample that would cross the boundary is pushed to the
+/// next frame and the gap becomes frame padding (FanStore-style), so
+/// every sample decodes from exactly one frame. Returns the sample's
+/// relative offset, or a typed error for a sample no frame can hold.
+fn place_sample(cursor: &mut u64, id: u32, len: u64, frame: Option<u64>) -> Result<u64, DlfsError> {
+    if let Some(chunk) = frame {
+        if len > chunk {
+            return Err(DlfsError::Config(format!(
+                "sample {id} is {len} B but the codec frame (chunk_size) is only {chunk} B: \
+                 coded samples must fit one chunk frame"
+            )));
+        }
+        if *cursor % chunk + len > chunk {
+            *cursor = cursor.next_multiple_of(chunk);
+        }
+    }
+    let at = *cursor;
+    *cursor += len;
+    Ok(at)
+}
+
 /// Hash-partition samples over storage nodes and assign packed offsets
 /// starting at each node's `data_base` (0 for ephemeral mounts; the
 /// chunk-aligned data region for imports). Metadata-only: every reader
 /// derives the same result from the names, so no coordination is needed.
+/// `frame` is `Some(chunk_size)` when a codec is configured (see
+/// [`place_sample`]).
 fn plan_placement(
     source: &dyn SampleSource,
     storage_nodes: usize,
     data_base: &[u64],
+    frame: Option<u64>,
 ) -> Result<Placement, DlfsError> {
     let count = source.count();
     let mut builder = DirectoryBuilder::new(storage_nodes, count);
@@ -311,29 +339,29 @@ fn plan_placement(
         let name = source.name(id);
         let nid = node_for_name(&name, storage_nodes);
         let len = source.size(id);
-        builder.add(
-            id,
-            &name,
-            nid,
-            data_base[nid as usize] + cursors[nid as usize],
-            len,
-        )?;
-        cursors[nid as usize] += len;
+        let at = place_sample(&mut cursors[nid as usize], id, len, frame)?;
+        builder.add(id, &name, nid, data_base[nid as usize] + at, len)?;
         per_node_ids[nid as usize].push(id);
     }
     Ok((Arc::new(builder.finish()), per_node_ids, cursors))
 }
 
-/// Per-node (sample count, payload bytes) of the hash placement, needed
-/// before the directory exists to plan import geometry.
-fn node_shares(source: &dyn SampleSource, storage_nodes: usize) -> Vec<(u64, u64)> {
+/// Per-node (sample count, data-region bytes) of the hash placement,
+/// needed before the directory exists to plan import geometry. Must agree
+/// byte-for-byte with [`plan_placement`]'s cursors, frame padding
+/// included.
+fn node_shares(
+    source: &dyn SampleSource,
+    storage_nodes: usize,
+    frame: Option<u64>,
+) -> Result<Vec<(u64, u64)>, DlfsError> {
     let mut shares = vec![(0u64, 0u64); storage_nodes];
     for id in 0..source.count() as u32 {
         let nid = node_for_name(&source.name(id), storage_nodes) as usize;
         shares[nid].0 += 1;
-        shares[nid].1 += source.size(id);
+        place_sample(&mut shares[nid].1, id, source.size(id), frame)?;
     }
-    shares
+    Ok(shares)
 }
 
 /// One sample travelling from the staging producer to an upload task.
@@ -348,13 +376,161 @@ struct StagedSample {
     bytes: Vec<u8>,
 }
 
-/// What one upload task hands back: committed superblocks (import mode)
-/// and per-node integrity tables (`verify_reads` mode), both keyed by
-/// global storage-node id.
+/// What one upload task hands back: committed superblocks (import mode),
+/// per-node integrity tables (`verify_reads` mode) and per-node encoded
+/// frame lengths (codec mode), all keyed by global storage-node id.
 #[derive(Default)]
 struct UploadOutcome {
     finals: Vec<(usize, Superblock)>,
     sums: Vec<(usize, Vec<u64>)>,
+    frames: Vec<(usize, Vec<u32>)>,
+}
+
+/// Accumulates one storage node's staged samples into chunk frames,
+/// encoding each completed frame before it is written. Samples arrive in
+/// placement order (contiguous within a frame — [`place_sample`]
+/// guarantees no straddle), so frames complete strictly in order.
+struct FrameStager {
+    /// `data_base` of the node (0 on ephemeral mounts).
+    base: u64,
+    chunk: u64,
+    /// Raw bytes of the frame currently filling.
+    raw: Vec<u8>,
+    /// Samples of the current frame, pending their stored-byte checksums:
+    /// `(id, unit1, unit2, offset, len)`.
+    pending: Vec<(u32, u64, u64, u64, u64)>,
+    /// Encoded length of every flushed frame, in frame order.
+    lens: Vec<u32>,
+}
+
+/// One encoded frame ready to hit the device: stored bytes (encoded
+/// payload zero-padded to the frame's raw length), the frame's absolute
+/// byte offset, and the frame's metadata records (checksummed over the
+/// stored bytes, so fsck / repair / rebuild verify what the device
+/// actually holds).
+struct StoredFrame {
+    offset: u64,
+    stored: Vec<u8>,
+    records: Vec<MetaRecord>,
+}
+
+impl FrameStager {
+    fn new(base: u64, chunk: u64) -> FrameStager {
+        FrameStager {
+            base,
+            chunk,
+            raw: Vec::new(),
+            pending: Vec::new(),
+            lens: Vec::new(),
+        }
+    }
+
+    /// Absolute offset of the frame currently filling.
+    fn frame_start(&self) -> u64 {
+        self.base + self.lens.len() as u64 * self.chunk
+    }
+
+    /// Stage one sample; returns the completed previous frame when this
+    /// sample opens a new one.
+    fn push(&mut self, item: &StagedSample, codec: CodecKind) -> Option<StoredFrame> {
+        let mut out = None;
+        if item.offset >= self.frame_start() + self.chunk {
+            // The placement padded to the next frame boundary; the frame
+            // just closed keeps its full chunk extent (tail is padding).
+            out = Some(self.flush(self.chunk as usize, codec));
+            debug_assert!(item.offset < self.frame_start() + self.chunk);
+        }
+        debug_assert_eq!(self.frame_start() + self.raw.len() as u64, item.offset);
+        self.pending.push((
+            item.id,
+            item.unit1,
+            item.unit2,
+            item.offset,
+            item.bytes.len() as u64,
+        ));
+        self.raw.extend_from_slice(&item.bytes);
+        out
+    }
+
+    /// Close the final (possibly short) frame at end of stream.
+    fn finish(&mut self, codec: CodecKind) -> Option<StoredFrame> {
+        (!self.raw.is_empty()).then(|| self.flush(self.raw.len(), codec))
+    }
+
+    /// Encode the current frame as `raw_target` stored bytes and emit it.
+    fn flush(&mut self, raw_target: usize, codec: CodecKind) -> StoredFrame {
+        let offset = self.frame_start();
+        self.raw.resize(raw_target, 0); // frame padding is part of the frame
+        let mut stored = codec.codec().encode(&self.raw);
+        debug_assert!(stored.len() <= raw_target, "codec grew a frame");
+        self.lens.push(stored.len() as u32);
+        stored.resize(raw_target, 0);
+        let records = self
+            .pending
+            .drain(..)
+            .map(|(id, unit1, unit2, off, len)| {
+                let rel = (off - offset) as usize;
+                MetaRecord {
+                    id,
+                    unit1,
+                    unit2,
+                    payload_checksum: fnv1a(&stored[rel..rel + len as usize]),
+                }
+            })
+            .collect();
+        self.raw.clear();
+        StoredFrame {
+            offset,
+            stored,
+            records,
+        }
+    }
+}
+
+/// Land one encoded frame: write the stored bytes at the frame's offset,
+/// feed them to the node's rolling integrity hasher, mirror them to the
+/// replica slots and queue the frame's metadata records. The coded twin
+/// of the per-sample body in [`UploadTask::run`] — writes always carry
+/// whole frames, so replicas and the integrity table see the exact stored
+/// bytes (padding included).
+#[allow(clippy::too_many_arguments)]
+fn commit_frame(
+    rt: &Runtime,
+    frame: StoredFrame,
+    pos: usize,
+    my_nodes: &[usize],
+    geometry: Option<&Arc<Vec<(u64, u64)>>>,
+    row: Option<&Vec<Arc<dyn NvmeTarget>>>,
+    cfg: &DlfsConfig,
+    reg: Option<&Registry>,
+    writers: &mut [BatchedWriter],
+    mirrors: &mut [Option<BatchedWriter>],
+    checks: &mut [BlockChecksums],
+    records: &mut [Vec<MetaRecord>],
+    verify: bool,
+    import: bool,
+) -> Result<(), DlfsError> {
+    writers[pos].write(rt, frame.offset, &frame.stored)?;
+    if verify {
+        checks[pos].update(&frame.stored);
+    }
+    if let (Some(geometry), Some(row)) = (geometry, row) {
+        let home = my_nodes[pos];
+        let (home_base, _) = geometry[home];
+        for r in 1..cfg.replicas as u64 {
+            let peer = (home + r as usize) % geometry.len();
+            let (peer_base, peer_slot) = geometry[peer];
+            let off = peer_base + r * peer_slot + (frame.offset - home_base);
+            let w = mirrors[peer].get_or_insert_with(|| {
+                BatchedWriter::new(row[peer].clone(), peer as u16, cfg, reg)
+            });
+            w.write(rt, off, &frame.stored)?;
+        }
+    }
+    if import {
+        records[pos].extend(frame.records);
+    }
+    Ok(())
 }
 
 /// Everything one reader's upload task needs, moved into the spawn.
@@ -411,6 +587,22 @@ impl UploadTask {
             .map(|_| BlockChecksums::new())
             .collect();
         let mut records: Vec<Vec<MetaRecord>> = vec![Vec::new(); self.my_nodes.len()];
+        // Per-node frame stagers when a codec is configured: samples
+        // accumulate into chunk frames that are encoded and written whole.
+        let codec = self.cfg.codec;
+        let coded = codec != CodecKind::Identity;
+        let mut stagers: Vec<FrameStager> = if coded {
+            self.my_nodes
+                .iter()
+                .enumerate()
+                .map(|(pos, _)| {
+                    let base = self.drafts.as_ref().map(|d| d[pos].data_base).unwrap_or(0);
+                    FrameStager::new(base, self.cfg.chunk_size)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         // Phase A (import only): stamp each node with the new, uncommitted
         // generation before any data lands, and invalidate the previous
         // generation's checkpoint stream head. A crash from here until the
@@ -451,6 +643,32 @@ impl UploadTask {
                 pfs.transfer(rt, item.bytes.len() as u64);
             }
             rt.work(self.build_per_entry);
+            if coded {
+                // The stager owns writes under a codec: a completed frame
+                // is encoded and landed whole; this sample's own frame
+                // flushes on a later push or at end of stream.
+                if let Some(frame) = stagers[item.node_pos].push(&item, codec) {
+                    if let Err(e) = commit_frame(
+                        rt,
+                        frame,
+                        item.node_pos,
+                        &self.my_nodes,
+                        self.geometry.as_ref(),
+                        self.row.as_ref(),
+                        &self.cfg,
+                        reg,
+                        &mut writers,
+                        &mut mirrors,
+                        &mut checks,
+                        &mut records,
+                        self.verify,
+                        self.drafts.is_some(),
+                    ) {
+                        failed = Some(e);
+                    }
+                }
+                continue;
+            }
             if let Err(e) = writers[item.node_pos].write(rt, item.offset, &item.bytes) {
                 failed = Some(e);
                 continue;
@@ -491,6 +709,28 @@ impl UploadTask {
         if let Some(e) = failed {
             return Err(e);
         }
+        // Under a codec the last frame of each node is still staging:
+        // close it now that the stream is over.
+        for (pos, stager) in stagers.iter_mut().enumerate() {
+            if let Some(frame) = stager.finish(codec) {
+                commit_frame(
+                    rt,
+                    frame,
+                    pos,
+                    &self.my_nodes,
+                    self.geometry.as_ref(),
+                    self.row.as_ref(),
+                    &self.cfg,
+                    reg,
+                    &mut writers,
+                    &mut mirrors,
+                    &mut checks,
+                    &mut records,
+                    self.verify,
+                    self.drafts.is_some(),
+                )?;
+            }
+        }
         // Replica mirrors drain before any superblock commits. (The
         // mirrors this task wrote land on *peer* nodes whose own commit
         // runs in a different task; replica slots are best-effort spare
@@ -522,6 +762,13 @@ impl UploadTask {
                 if !meta.is_empty() {
                     writers[pos].write(rt, sb.meta_base, &meta)?;
                 }
+                if coded {
+                    // Frame-length table, persisted like the integrity
+                    // table: inside the two-phase commit window.
+                    let table = encode_codec_table(&stagers[pos].lens);
+                    debug_assert_eq!(table.len() as u64, sb.codec_table_bytes);
+                    writers[pos].write(rt, sb.codec_base(), &table)?;
+                }
                 writers[pos].flush(rt)?;
                 sb.committed = true;
                 writers[pos].write(rt, 0, &sb.encode())?;
@@ -531,10 +778,19 @@ impl UploadTask {
             if self.verify {
                 out.sums.push((n, std::mem::take(&mut tables[pos])));
             }
+            if coded {
+                out.frames.push((n, std::mem::take(&mut stagers[pos].lens)));
+            }
         }
         Ok(out)
     }
 }
+
+/// What [`stream_upload`] hands back to the mount/import drivers:
+/// committed superblocks (import mode), per-node integrity tables
+/// (`verify_reads`) and per-node encoded frame lengths (codec mode, keyed
+/// by storage node — empty when no codec is configured).
+type UploadResult = (Option<Vec<Superblock>>, Vec<Arc<Vec<u64>>>, Vec<Vec<u32>>);
 
 /// Stage the dataset onto the devices: the caller's task produces samples
 /// into bounded per-reader pipes (capacity `cfg.import_stream_depth`);
@@ -553,7 +809,7 @@ fn stream_upload(
     opts: &MountOptions,
     drafts: Option<Vec<Superblock>>,
     geometry: Option<Arc<Vec<(u64, u64)>>>,
-) -> Result<(Option<Vec<Superblock>>, Vec<Arc<Vec<u64>>>), DlfsError> {
+) -> Result<UploadResult, DlfsError> {
     let readers = deployment.targets.len();
     let storage_nodes = per_node_ids.len();
     let import = drafts.is_some();
@@ -613,14 +869,22 @@ fn stream_upload(
             bytes,
         })
     };
+    // An upload task can die before draining its pipe (its Phase A
+    // superblock read hit a dead device, say). That surfaces here as a
+    // failed send or a closed credit channel — both mean "stop producing
+    // to that pipe and let the join below report the worker's own error",
+    // not a panic: the mount must fail typed when a device is down.
+    let mut aborted = false;
     for r in 0..readers {
         for _ in 0..depth {
             match stage(r, &mut cursor) {
-                Some(s) => senders[r]
-                    .as_ref()
-                    .expect("sender live")
-                    .send(s)
-                    .expect("consumer alive"),
+                Some(s) => {
+                    if senders[r].as_ref().expect("sender live").send(s).is_err() {
+                        senders[r] = None; // worker died; its join says why
+                        aborted = true;
+                        break;
+                    }
+                }
                 None => break,
             }
         }
@@ -629,23 +893,34 @@ fn stream_upload(
         }
     }
     while senders.iter().any(|s| s.is_some()) {
-        let r = credit_rx.recv().expect("upload tasks alive");
+        let Ok(r) = credit_rx.recv() else {
+            aborted = true; // every worker is gone: nothing left to feed
+            break;
+        };
+        let Some(sender) = senders[r].as_ref() else {
+            continue; // residual credit from a pipe already closed
+        };
         if let Some(s) = stage(r, &mut cursor) {
-            senders[r]
-                .as_ref()
-                .expect("credited sender live")
-                .send(s)
-                .expect("consumer alive");
+            if sender.send(s).is_err() {
+                senders[r] = None;
+                aborted = true;
+                continue;
+            }
         }
         if cursor[r] == items[r].len() {
             senders[r] = None;
         }
     }
+    drop(senders);
     let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
     let mut finals: Vec<Option<Superblock>> = (0..storage_nodes).map(|_| None).collect();
     let mut sums: Vec<Arc<Vec<u64>>> = Vec::new();
     if cfg.verify_reads {
         sums = (0..storage_nodes).map(|_| Arc::new(Vec::new())).collect();
+    }
+    let mut frames: Vec<Vec<u32>> = Vec::new();
+    if cfg.codec != CodecKind::Identity {
+        frames = (0..storage_nodes).map(|_| Vec::new()).collect();
     }
     let mut first_err = None;
     for res in results {
@@ -656,6 +931,9 @@ fn stream_upload(
                 }
                 for (n, table) in out.sums {
                     sums[n] = Arc::new(table);
+                }
+                for (n, lens) in out.frames {
+                    frames[n] = lens;
                 }
             }
             Err(e) => {
@@ -668,13 +946,26 @@ fn stream_upload(
     if let Some(e) = first_err {
         return Err(e);
     }
-    let finals = import.then(|| {
-        finals
-            .into_iter()
-            .map(|o| o.expect("every node finalized"))
-            .collect()
-    });
-    Ok((finals, sums))
+    if aborted {
+        return Err(DlfsError::Deployment(
+            "import upload worker died without reporting an error".into(),
+        ));
+    }
+    let finals = if import {
+        let mut committed = Vec::with_capacity(storage_nodes);
+        for (n, o) in finals.into_iter().enumerate() {
+            let Some(sb) = o else {
+                return Err(DlfsError::Deployment(format!(
+                    "import finished without committing storage node {n}"
+                )));
+            };
+            committed.push(sb);
+        }
+        Some(committed)
+    } else {
+        None
+    };
+    Ok((finals, sums, frames))
 }
 
 /// Charge the mount-time allgather: every reader ships its nodes' trees to
@@ -720,6 +1011,7 @@ fn build_instance(
     cfg: DlfsConfig,
     layouts: Option<Arc<Vec<Superblock>>>,
     redundancy: Option<Arc<Redundancy>>,
+    codec: Option<Arc<CodecTables>>,
 ) -> DlfsInstance {
     let readers = deployment.targets.len();
     let shared = (0..readers)
@@ -740,6 +1032,7 @@ fn build_instance(
                 readers,
                 layouts: layouts.clone(),
                 redundancy: redundancy.clone(),
+                codec: codec.clone(),
             })
         })
         .collect();
@@ -827,8 +1120,9 @@ fn mount_impl(
     cfg.validate().map_err(DlfsError::Config)?;
     let (readers, storage_nodes) = validate_deployment(&deployment)?;
     check_replica_count(&cfg, storage_nodes)?;
+    let frame = (cfg.codec != CodecKind::Identity).then_some(cfg.chunk_size);
     let (dir, per_node_ids, node_bytes) =
-        plan_placement(source, storage_nodes, &vec![0u64; storage_nodes])?;
+        plan_placement(source, storage_nodes, &vec![0u64; storage_nodes], frame)?;
     for (nid, &need) in node_bytes.iter().enumerate() {
         let have = deployment.targets[0][nid].blocks() * BLOCK_SIZE;
         if need > have {
@@ -843,7 +1137,7 @@ fn mount_impl(
         .then(|| volatile_geometry(&deployment, &cfg, &node_bytes))
         .transpose()?
         .map(Arc::new);
-    let (_, sums) = stream_upload(
+    let (_, sums, frames) = stream_upload(
         rt,
         &deployment,
         &dir,
@@ -861,7 +1155,29 @@ fn mount_impl(
             &cfg,
         ))
     });
-    Ok(build_instance(rt, &deployment, dir, cfg, None, redundancy))
+    let codec = (cfg.codec != CodecKind::Identity).then(|| {
+        Arc::new(CodecTables {
+            kind: cfg.codec,
+            per_node: frames
+                .into_iter()
+                .zip(&node_bytes)
+                .map(|(lens, &data_len)| NodeFrames {
+                    base: 0,
+                    data_len,
+                    lens,
+                })
+                .collect(),
+        })
+    });
+    Ok(build_instance(
+        rt,
+        &deployment,
+        dir,
+        cfg,
+        None,
+        redundancy,
+        codec,
+    ))
 }
 
 /// Stage the dataset *and* persist the on-device layout: superblock,
@@ -881,13 +1197,14 @@ fn import_impl(
     cfg.validate().map_err(DlfsError::Config)?;
     let (readers, storage_nodes) = validate_deployment(&deployment)?;
     check_replica_count(&cfg, storage_nodes)?;
-    let shares = node_shares(source, storage_nodes);
+    let frame = (cfg.codec != CodecKind::Identity).then_some(cfg.chunk_size);
+    let shares = node_shares(source, storage_nodes, frame)?;
     let total = source.count() as u64;
     let stamp = layout::dataset_stamp(total, &shares);
     let mut drafts = Vec::with_capacity(storage_nodes);
     for (n, &(count, bytes)) in shares.iter().enumerate() {
         let device_bytes = deployment.targets[0][n].blocks() * BLOCK_SIZE;
-        let mut sb = Superblock::plan_redundant(
+        let mut sb = Superblock::plan_coded(
             n as u16,
             storage_nodes as u32,
             total,
@@ -898,6 +1215,7 @@ fn import_impl(
             cfg.ckpt_region_bytes,
             cfg.replicas as u32,
             cfg.verify_reads,
+            cfg.codec,
         )?;
         sb.dataset_stamp = stamp;
         drafts.push(sb);
@@ -911,8 +1229,8 @@ fn import_impl(
                 .collect::<Vec<_>>(),
         )
     });
-    let (dir, per_node_ids, _) = plan_placement(source, storage_nodes, &data_base)?;
-    let (finals, sums) = stream_upload(
+    let (dir, per_node_ids, _) = plan_placement(source, storage_nodes, &data_base, frame)?;
+    let (finals, sums, frames) = stream_upload(
         rt,
         &deployment,
         &dir,
@@ -935,6 +1253,20 @@ fn import_impl(
             &cfg,
         ))
     });
+    let codec = (cfg.codec != CodecKind::Identity).then(|| {
+        Arc::new(CodecTables {
+            kind: cfg.codec,
+            per_node: frames
+                .into_iter()
+                .zip(&finals)
+                .map(|(lens, sb)| NodeFrames {
+                    base: sb.data_base,
+                    data_len: sb.data_bytes,
+                    lens,
+                })
+                .collect(),
+        })
+    });
     Ok(build_instance(
         rt,
         &deployment,
@@ -942,6 +1274,7 @@ fn import_impl(
         cfg,
         Some(Arc::new(finals)),
         redundancy,
+        codec,
     ))
 }
 
@@ -977,14 +1310,14 @@ fn remount_impl(
     }
     let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
     #[allow(clippy::type_complexity)]
-    let mut per_node: Vec<Option<(Superblock, Vec<MetaRecord>, Vec<u64>)>> =
+    let mut per_node: Vec<Option<(Superblock, Vec<MetaRecord>, Vec<u64>, Vec<u32>)>> =
         (0..storage_nodes).map(|_| None).collect();
     let mut first_err = None;
     for res in results {
         match res {
             Ok(list) => {
-                for (n, sb, recs, sums) in list {
-                    per_node[n] = Some((sb, recs, sums));
+                for (n, sb, recs, sums, lens) in list {
+                    per_node[n] = Some((sb, recs, sums, lens));
                 }
             }
             Err(e) => {
@@ -997,7 +1330,8 @@ fn remount_impl(
     if let Some(e) = first_err {
         return Err(e);
     }
-    let nodes: Vec<(Superblock, Vec<MetaRecord>, Vec<u64>)> = per_node
+    #[allow(clippy::type_complexity)]
+    let nodes: Vec<(Superblock, Vec<MetaRecord>, Vec<u64>, Vec<u32>)> = per_node
         .into_iter()
         .map(|o| o.expect("every node read"))
         .collect();
@@ -1006,8 +1340,9 @@ fn remount_impl(
     let total = nodes[0].0.total_samples;
     let stamp = nodes[0].0.dataset_stamp;
     let replicas = nodes[0].0.replicas;
+    let codec = nodes[0].0.codec;
     let mut sum = 0u64;
-    for (n, (sb, recs, _)) in nodes.iter().enumerate() {
+    for (n, (sb, recs, _, _)) in nodes.iter().enumerate() {
         if sb.storage_nodes != storage_nodes as u32 {
             return Err(LayoutError::Inconsistent(format!(
                 "node {n} was imported for {} storage nodes, deployment has {storage_nodes}",
@@ -1015,7 +1350,11 @@ fn remount_impl(
             ))
             .into());
         }
-        if sb.total_samples != total || sb.dataset_stamp != stamp || sb.replicas != replicas {
+        if sb.total_samples != total
+            || sb.dataset_stamp != stamp
+            || sb.replicas != replicas
+            || sb.codec != codec
+        {
             return Err(LayoutError::Inconsistent(format!(
                 "node {n} belongs to a different import than node 0"
             ))
@@ -1045,6 +1384,16 @@ fn remount_impl(
         ))
         .into());
     }
+    // The on-device codec wins only if the config agrees: decoding with
+    // the wrong codec would serve garbage, so mismatches are typed errors
+    // (re-import, or set `cfg.codec` to what the devices hold).
+    if cfg.codec != codec {
+        return Err(LayoutError::Inconsistent(format!(
+            "config asks for codec {}, devices were imported with {codec}",
+            cfg.codec
+        ))
+        .into());
+    }
     if sum != total || total > u32::MAX as u64 {
         return Err(LayoutError::Inconsistent(format!(
             "per-node sample counts sum to {sum}, superblocks claim {total}"
@@ -1052,7 +1401,7 @@ fn remount_impl(
         .into());
     }
     let mut builder = DirectoryBuilder::new(storage_nodes, total as usize);
-    for (_, recs, _) in &nodes {
+    for (_, recs, _, _) in &nodes {
         for rec in recs {
             builder.add_raw(rec.id, rec.unit1, rec.unit2)?;
         }
@@ -1062,10 +1411,13 @@ fn remount_impl(
     let redundancy = (replicas > 1 || cfg.verify_reads).then(|| {
         let slots = nodes
             .iter()
-            .map(|(sb, _, _)| (sb.data_base, sb.replica_slot_bytes))
+            .map(|(sb, _, _, _)| (sb.data_base, sb.replica_slot_bytes))
             .collect();
         let sums = if cfg.verify_reads {
-            nodes.iter().map(|(_, _, s)| Arc::new(s.clone())).collect()
+            nodes
+                .iter()
+                .map(|(_, _, s, _)| Arc::new(s.clone()))
+                .collect()
         } else {
             Vec::new()
         };
@@ -1074,7 +1426,20 @@ fn remount_impl(
             &cfg,
         ))
     });
-    let layouts: Vec<Superblock> = nodes.into_iter().map(|(sb, _, _)| sb).collect();
+    let codec_tables = (codec != CodecKind::Identity).then(|| {
+        Arc::new(CodecTables {
+            kind: codec,
+            per_node: nodes
+                .iter()
+                .map(|(sb, _, _, lens)| NodeFrames {
+                    base: sb.data_base,
+                    data_len: sb.data_bytes,
+                    lens: lens.clone(),
+                })
+                .collect(),
+        })
+    });
+    let layouts: Vec<Superblock> = nodes.into_iter().map(|(sb, _, _, _)| sb).collect();
     Ok(build_instance(
         rt,
         &deployment,
@@ -1082,6 +1447,7 @@ fn remount_impl(
         cfg,
         Some(Arc::new(layouts)),
         redundancy,
+        codec_tables,
     ))
 }
 
@@ -1120,7 +1486,7 @@ fn read_node_metadata(
     cfg: &DlfsConfig,
     build_per_entry: Dur,
     tel: &RemountTelemetry,
-) -> Result<Vec<(usize, Superblock, Vec<MetaRecord>, Vec<u64>)>, DlfsError> {
+) -> Result<Vec<(usize, Superblock, Vec<MetaRecord>, Vec<u64>, Vec<u32>)>, DlfsError> {
     let mut out = Vec::with_capacity(my_nodes.len());
     for (pos, &n) in my_nodes.iter().enumerate() {
         let block = read_timed(rt, &targets[pos], n as u16, 0, BLOCK_SIZE as usize, cfg)?;
@@ -1164,10 +1530,26 @@ fn read_node_metadata(
         } else {
             Vec::new()
         };
+        // The per-frame encoded-length table, when the import was coded
+        // (self-checksummed; a stale or torn table is caught here, before
+        // any data read would decode garbage).
+        let lens = if sb.codec != CodecKind::Identity {
+            let raw = read_timed(
+                rt,
+                &targets[pos],
+                n as u16,
+                sb.codec_base(),
+                sb.codec_table_bytes as usize,
+                cfg,
+            )?;
+            decode_codec_table(n as u16, &raw).map_err(DlfsError::Layout)?
+        } else {
+            Vec::new()
+        };
         // Rebuilding the AVL trees costs the same per-entry insert work as
         // building them from names at mount time.
         rt.work(build_per_entry * records.len() as u64);
-        out.push((n, sb, records, sums));
+        out.push((n, sb, records, sums, lens));
     }
     Ok(out)
 }

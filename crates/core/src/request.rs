@@ -50,6 +50,15 @@ pub struct ReadRequest {
     /// device commands are in flight (the Fig. 7b experiment). Normally
     /// zero.
     pub inject_compute: Dur,
+    /// Storage-side offload: each storage node reads, verifies and
+    /// decodes the batch's stored frames *locally* and ships ONE dense
+    /// response carrying exactly the requested sample bytes — fewer,
+    /// denser fabric transfers, with decode charged to the target's
+    /// compute pool instead of the trainer. Requires
+    /// [`DlfsConfig::offload`](crate::DlfsConfig::offload) and copied
+    /// delivery (an offloaded batch is assembled remotely, so there is
+    /// nothing to zero-copy from the local sample cache).
+    pub offload: bool,
 }
 
 impl ReadRequest {
@@ -60,6 +69,7 @@ impl ReadRequest {
             delivery: Delivery::default(),
             deadline: None,
             inject_compute: Dur::ZERO,
+            offload: false,
         }
     }
 
@@ -83,6 +93,12 @@ impl ReadRequest {
     /// Inject application compute into the polling loop.
     pub fn inject_compute(mut self, work: Dur) -> ReadRequest {
         self.inject_compute = work;
+        self
+    }
+
+    /// Assemble this batch storage-side (see [`ReadRequest::offload`]).
+    pub fn offload(mut self) -> ReadRequest {
+        self.offload = true;
         self
     }
 }
@@ -223,6 +239,8 @@ mod tests {
         assert_eq!(req.delivery, Delivery::Copied);
         assert_eq!(req.deadline, None);
         assert!(req.inject_compute.is_zero());
+        assert!(!req.offload);
+        assert!(ReadRequest::batch(16).offload().offload);
 
         let at = Time::ZERO + Dur::nanos(500);
         let req = ReadRequest::batch(8)

@@ -144,7 +144,14 @@ fn replica_configs_without_the_knob_build_no_membership() {
         let mut io = fs.io(0);
         io.sequence(rt, 1, 0);
         io.submit(rt, &ReadRequest::batch(8)).unwrap();
-        assert_eq!(io.begin_rebuild(0), 0, "no membership, no rebuild plan");
+        // Asking for a rebuild anyway is a configuration contradiction:
+        // without a membership policy nothing can be declared Dead or
+        // rejoined, so it surfaces typed instead of silently planning 0.
+        match io.begin_rebuild(0) {
+            Err(DlfsError::Config(m)) => assert!(m.contains("membership"), "{m}"),
+            other => panic!("want Config error, got {other:?}"),
+        }
+        assert!(!io.rebuild_active(), "refused rebuild must not start");
         let render = io.metrics().render();
         assert!(!render.contains("dlfs.membership"));
         assert!(!render.contains("dlfs.rebuild"));
@@ -208,7 +215,7 @@ fn membership_run(seed: u64) -> (u64, u64, String) {
         // A fresh replacement device joins under the same index; the
         // rebuild planner enumerates everything node 1 hosted.
         replace_with_fresh(&devices[1], 64 << 20);
-        let planned = io.begin_rebuild(1);
+        let planned = io.begin_rebuild(1).unwrap();
         assert!(planned > 0, "a dead node's slots are never empty here");
         assert!(io.rebuild_active());
         assert!(io.metrics().gauge("dlfs.rebuild.chunks_at_risk") > 0);
@@ -289,7 +296,7 @@ fn rolling_failures_rebuild_and_rejoin_in_sequence() {
             assert!(red.is_dead(victim), "round {round}: no escalation");
             // The node restarts with its media intact: catch-up resync.
             devices[victim].revive();
-            assert!(io.begin_rebuild(victim as u16) > 0);
+            assert!(io.begin_rebuild(victim as u16).unwrap() > 0);
             io.drive_rebuild();
             assert!(!red.is_dead(victim), "round {round}: no rejoin");
             let m = io.metrics();
@@ -328,7 +335,7 @@ fn mid_rebuild_source_death_falls_back_to_surviving_replica() {
         });
         assert!(red.is_dead(1));
         replace_with_fresh(&devices[1], 64 << 20);
-        let planned = io.begin_rebuild(1);
+        let planned = io.begin_rebuild(1).unwrap();
         assert!(planned > 64, "plan too small to interrupt");
         // Walk a slice, then lose one of the surviving source nodes.
         io.rebuild_step(64);

@@ -1,0 +1,296 @@
+//! End-to-end storage-side offload tests: `ReadRequest::offload` batches
+//! are assembled on the target (read → verify → decode server-side, ONE
+//! dense response per node) and must deliver byte-identical payloads to
+//! the client-side engine path — same dataset, same seed — including
+//! under fabric fault injection and stored-frame corruption. The default
+//! configuration (`offload: false`) rejects offload requests with a typed
+//! error and builds none of this.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use blocksim::{DeviceConfig, FaultInjector, NvmeDevice, NvmeTarget, BLOCK_SIZE};
+use dlfs::source::SampleSource;
+use dlfs::{
+    CodecKind, Completions, CompressibleSource, Deployment, DlfsConfig, DlfsError, DlfsInstance,
+    MountOptions, ReadRequest,
+};
+use fabric::{Cluster, FabricConfig, FabricFaultInjector, NvmeOfTarget, TargetConfig};
+use simkit::prelude::*;
+
+fn test_seed(base: u64) -> u64 {
+    base + std::env::var("DLFS_TEST_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+fn ramdisk(bytes: u64) -> Arc<NvmeDevice> {
+    NvmeDevice::new(DeviceConfig::emulated_ramdisk(bytes, Dur::micros(10)))
+}
+
+fn local_deployment(devices: &[Arc<NvmeDevice>]) -> Deployment {
+    Deployment {
+        targets: vec![devices
+            .iter()
+            .map(|d| d.clone() as Arc<dyn NvmeTarget>)
+            .collect()],
+        cluster: None,
+    }
+}
+
+fn offload_cfg(codec: CodecKind) -> DlfsConfig {
+    DlfsConfig {
+        chunk_size: 8 * 1024,
+        codec,
+        offload: true,
+        ..DlfsConfig::default()
+    }
+}
+
+/// Single-reader disaggregated deployment: reader 0 reaches every device
+/// through NVMe-oF, so offload exchanges traverse the fabric.
+fn disaggregated(
+    rt: &Runtime,
+    n: usize,
+    source: &dyn SampleSource,
+    cfg: DlfsConfig,
+) -> (DlfsInstance, Arc<Cluster>, Vec<Arc<NvmeDevice>>) {
+    let cluster = Arc::new(Cluster::new(n + 1, FabricConfig::default()));
+    let devices: Vec<Arc<NvmeDevice>> = (0..n).map(|_| ramdisk(128 << 20)).collect();
+    let targets: Vec<Vec<Arc<dyn NvmeTarget>>> = vec![devices
+        .iter()
+        .enumerate()
+        .map(|(node, d)| {
+            fabric::connect(
+                cluster.clone(),
+                n, // the reader lives on the last cluster node
+                NvmeOfTarget::new(node, d.clone(), TargetConfig::default()),
+            ) as Arc<dyn NvmeTarget>
+        })
+        .collect()];
+    let fs = dlfs::MountBuilder::new(cfg)
+        .deployment(Deployment {
+            targets,
+            cluster: Some(cluster.clone()),
+        })
+        .options(MountOptions::default())
+        .mount(rt, source)
+        .unwrap();
+    (fs, cluster, devices)
+}
+
+/// Drain one full epoch through `submit`, returning id → payload.
+fn drain_to_map(
+    rt: &Runtime,
+    io: &mut dlfs::DlfsIo,
+    req_of: &dyn Fn() -> ReadRequest,
+) -> HashMap<u32, Vec<u8>> {
+    let mut out = HashMap::new();
+    loop {
+        match io.submit(rt, &req_of()).map(Completions::into_copied) {
+            Ok(batch) => {
+                for (id, data) in batch {
+                    assert!(
+                        out.insert(id, data).is_none(),
+                        "sample {id} delivered twice"
+                    );
+                }
+            }
+            Err(DlfsError::EpochExhausted) => break,
+            Err(e) => panic!("epoch failed: {e}"),
+        }
+    }
+    out
+}
+
+/// Offloaded batches and client-side batches of the same (seed, epoch)
+/// plan deliver identical payload bytes for every sample — with and
+/// without compression.
+#[test]
+fn offload_matches_client_path_bytes() {
+    for codec in [CodecKind::Identity, CodecKind::Lz] {
+        Runtime::simulate(test_seed(96), |rt| {
+            let comp = CompressibleSource::fixed(31, 300, 2600, 48);
+            let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20)];
+            let fs = dlfs::MountBuilder::new(offload_cfg(codec))
+                .deployment(local_deployment(&devices))
+                .mount(rt, &comp)
+                .unwrap();
+            let mut io = fs.io(0);
+            io.sequence(rt, 5, 0);
+            let client = drain_to_map(rt, &mut io, &|| ReadRequest::batch(32));
+            io.sequence(rt, 5, 0);
+            let offloaded = drain_to_map(rt, &mut io, &|| ReadRequest::batch(32).offload());
+            assert_eq!(client.len(), comp.count());
+            assert_eq!(offloaded.len(), comp.count());
+            for id in 0..comp.count() as u32 {
+                assert_eq!(offloaded[&id], comp.expected(id), "sample {id} corrupted");
+                assert_eq!(offloaded[&id], client[&id], "offload diverged on {id}");
+            }
+            let m = io.metrics();
+            assert!(m.counter("dlfs.offload.requests") > 0);
+            assert_eq!(m.counter("dlfs.offload.samples"), comp.count() as u64);
+            let dataset: u64 = (0..comp.count() as u32).map(|id| comp.size(id)).sum();
+            assert!(m.counter("dlfs.offload.wire_bytes") > dataset);
+        });
+    }
+}
+
+/// Over a real NVMe-oF fabric with injected delays and drops, offloaded
+/// epochs still deliver every payload byte-correct (faults shift timing,
+/// never bytes).
+#[test]
+fn offload_over_faulty_fabric_stays_byte_identical() {
+    Runtime::simulate(test_seed(97), |rt| {
+        let comp = CompressibleSource::fixed(32, 400, 2600, 40);
+        let (fs, cluster, _devices) = disaggregated(rt, 3, &comp, offload_cfg(CodecKind::Lz));
+        cluster.set_faults(
+            FabricFaultInjector::new(41)
+                .with_delays(200_000, Dur::micros(200))
+                .with_drops(50_000)
+                .with_io_timeout(Dur::millis(1)),
+        );
+        let mut io = fs.io(0);
+        io.sequence(rt, 6, 0);
+        let healthy_now = rt.now();
+        let offloaded = drain_to_map(rt, &mut io, &|| ReadRequest::batch(32).offload());
+        assert!(rt.now() > healthy_now, "the epoch must cost virtual time");
+        assert_eq!(offloaded.len(), comp.count());
+        for id in 0..comp.count() as u32 {
+            assert_eq!(offloaded[&id], comp.expected(id), "sample {id} corrupted");
+        }
+        // The dense responses moved real bytes over the reader's NIC.
+        let dataset: u64 = (0..comp.count() as u32).map(|id| comp.size(id)).sum();
+        let (_tx, rx) = cluster.node_traffic(3);
+        assert!(
+            rx > dataset,
+            "reader ingress {rx} should exceed the dataset size {dataset}"
+        );
+    });
+}
+
+/// The offload read path verifies the *stored* (encoded) bytes before the
+/// target-side decoder runs: silent flips fail over to the replica, the
+/// home extent is read-repaired, and every payload stays byte-correct.
+#[test]
+fn offload_verifies_encoded_frames_and_repairs() {
+    Runtime::simulate(test_seed(98), |rt| {
+        let comp = CompressibleSource::fixed(33, 400, 2048, 40);
+        let cfg = DlfsConfig {
+            replicas: 2,
+            verify_reads: true,
+            ..offload_cfg(CodecKind::Lz)
+        };
+        let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20)];
+        let fs = dlfs::MountBuilder::new(cfg)
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &comp)
+            .unwrap();
+        let sb0 = fs.shared(0).layouts.as_ref().unwrap()[0].clone();
+        devices[0]
+            .set_faults(FaultInjector::new(23).with_bit_flips(sb0.data_base / BLOCK_SIZE, 64));
+        let reg = simkit::telemetry::Registry::new();
+        let mut io = fs.io_with_registry(0, &reg);
+        io.sequence(rt, 7, 0);
+        let offloaded = drain_to_map(rt, &mut io, &|| ReadRequest::batch(32).offload());
+        assert_eq!(offloaded.len(), comp.count());
+        for id in 0..comp.count() as u32 {
+            assert_eq!(offloaded[&id], comp.expected(id), "sample {id} corrupted");
+        }
+        let m = reg.snapshot();
+        assert!(
+            m.counter("dlfs.integrity.mismatches") > 0,
+            "flips in stored frames must fail verification before decode"
+        );
+        assert!(
+            m.counter("dlfs.integrity.repairs") > 0,
+            "the verified replica copy must read-repair the home extent"
+        );
+    });
+}
+
+/// With no healthy replica, offload surfaces the same typed `Corrupt`
+/// error as the client path — never a decoder panic, never silent bytes.
+#[test]
+fn offload_unrepairable_corruption_is_typed_corrupt() {
+    Runtime::simulate(test_seed(99), |rt| {
+        let comp = CompressibleSource::fixed(34, 100, 2048, 40);
+        let cfg = DlfsConfig {
+            verify_reads: true,
+            ..offload_cfg(CodecKind::Lz)
+        };
+        let dev = ramdisk(64 << 20);
+        let devices = vec![dev.clone()];
+        let fs = dlfs::MountBuilder::new(cfg)
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &comp)
+            .unwrap();
+        let sb0 = fs.shared(0).layouts.as_ref().unwrap()[0].clone();
+        dev.set_faults(FaultInjector::new(29).with_bit_flips(sb0.data_base / BLOCK_SIZE, 32));
+        let mut io = fs.io(0);
+        io.sequence(rt, 8, 0);
+        let err = loop {
+            match io.submit(rt, &ReadRequest::batch(16).offload()) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        match err {
+            DlfsError::Corrupt { tried, .. } => assert!(tried > 0),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The failure is sticky until a fresh sequence, like the engine's.
+        match io.submit(rt, &ReadRequest::batch(16)) {
+            Err(DlfsError::Corrupt { .. }) => {}
+            other => panic!("expected sticky Corrupt, got {other:?}"),
+        }
+    });
+}
+
+/// Offload is opt-in twice: the instance must enable it and the batch
+/// must be copied-delivery. Violations are typed Config errors, not
+/// panics or silent fallbacks.
+#[test]
+fn offload_misuse_is_typed_config_error() {
+    Runtime::simulate(test_seed(100), |rt| {
+        let comp = CompressibleSource::fixed(35, 40, 2048, 32);
+        // offload disabled in the instance config
+        let devices = vec![ramdisk(64 << 20)];
+        let fs = dlfs::MountBuilder::new(DlfsConfig {
+            offload: false,
+            ..offload_cfg(CodecKind::Lz)
+        })
+        .deployment(local_deployment(&devices))
+        .mount(rt, &comp)
+        .unwrap();
+        let mut io = fs.io(0);
+        io.sequence(rt, 9, 0);
+        match io.submit(rt, &ReadRequest::batch(8).offload()) {
+            Err(DlfsError::Config(_)) => {}
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        // zero-copy delivery cannot be offloaded
+        let devices = vec![ramdisk(64 << 20)];
+        let fs = dlfs::MountBuilder::new(offload_cfg(CodecKind::Lz))
+            .deployment(local_deployment(&devices))
+            .mount(rt, &comp)
+            .unwrap();
+        let mut io = fs.io(0);
+        io.sequence(rt, 9, 0);
+        match io.submit(rt, &ReadRequest::batch(8).zero_copy().offload()) {
+            Err(DlfsError::Config(_)) => {}
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        // both instances still serve the normal path afterwards
+        let batch = io.submit(rt, &ReadRequest::batch(8)).unwrap().into_copied();
+        assert_eq!(batch.len(), 8);
+        for (id, data) in batch {
+            assert_eq!(data, comp.expected(id));
+        }
+    });
+}

@@ -123,6 +123,29 @@ fn roundtrip_import_remount_arbitrary_distributions() {
     }
 }
 
+/// An import onto a deployment with a dead device must fail with the
+/// worker's typed I/O error, not panic. The upload worker dies in its
+/// Phase A superblock read; the producer used to trip
+/// `expect("upload tasks alive")` on the closed credit channel.
+#[test]
+fn import_onto_dead_device_fails_typed_not_panicking() {
+    Runtime::simulate(1101, |rt| {
+        let source = SyntheticSource::fixed(44, 200, 2048);
+        let devices = vec![ramdisk(64 << 20), ramdisk(64 << 20)];
+        devices[1].kill();
+        let err = dlfs::MountBuilder::new(DlfsConfig::default())
+            .deployment(local_deployment(&devices))
+            .options(MountOptions::default())
+            .persistent()
+            .mount(rt, &source)
+            .unwrap_err();
+        assert!(
+            matches!(err, DlfsError::Io { .. } | DlfsError::Deployment(_)),
+            "want the worker's typed error, got {err:?}"
+        );
+    });
+}
+
 /// The paper's warm-start claim (ext_mount_time): a remount does no PFS
 /// staging and no data writes, so it is far cheaper than the cold
 /// import, even with the PFS link configured. Also checks the

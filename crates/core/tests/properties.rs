@@ -195,18 +195,18 @@ fn cache_interleavings_never_panic_leak_or_tear() {
                     let (key, gen, tag, bufs) =
                         pins.swap_remove(g.below(pins.len() as u64) as usize);
                     verify(&bufs, tag);
-                    cache.unpin(key, gen);
+                    cache.unpin(key, gen).unwrap();
                 }
                 4 => {
                     // Retire — a zombie if pins are still out on the key.
                     if cache.contains(key) {
-                        cache.retire(key);
+                        cache.retire(key).unwrap();
                         tags.remove(&key);
                     }
                 }
                 5 => {
                     if cache.contains(key) {
-                        cache.release(key);
+                        cache.release(key).unwrap();
                         if mode == CacheMode::EpochScoped {
                             tags.remove(&key);
                         }
@@ -227,11 +227,11 @@ fn cache_interleavings_never_panic_leak_or_tear() {
         // retires, and the pool must be whole again.
         for (key, gen, tag, bufs) in pins.drain(..) {
             verify(&bufs, tag);
-            cache.unpin(key, gen);
+            cache.unpin(key, gen).unwrap();
         }
         for &key in &keys {
             if cache.contains(key) {
-                cache.retire(key);
+                cache.retire(key).unwrap();
             }
         }
         assert_eq!(cache.zombie_count(), 0, "case {case}: zombies leaked");

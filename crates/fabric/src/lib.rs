@@ -39,6 +39,7 @@ pub mod fault;
 pub mod health;
 pub mod membership;
 pub mod nvmeof;
+pub mod offload;
 pub mod rdma;
 pub mod rpc;
 pub mod topology;
@@ -46,7 +47,10 @@ pub mod topology;
 pub use fault::{FabricFault, FabricFaultInjector};
 pub use health::TargetHealth;
 pub use membership::{Membership, MembershipPolicy, NodeState};
-pub use nvmeof::{connect, NvmeOfTarget, RemoteTarget, TargetConfig, CAPSULE_BYTES};
+pub use nvmeof::{
+    connect, NvmeOfTarget, RemoteTarget, TargetConfig, CAPSULE_BYTES, RESPONSE_BYTES,
+};
+pub use offload::{OffloadRequestWire, OffloadScheduler, DESCRIPTOR_BYTES};
 pub use rdma::{MemoryRegion, RdmaQp};
 pub use rpc::{serve, RpcClient, RpcError, WireSize};
 pub use topology::{Cluster, FabricConfig};

@@ -37,6 +37,10 @@ pub struct TargetConfig {
     pub per_cmd_processing: Dur,
     /// Parallelism of the target's processing (poll threads).
     pub threads: usize,
+    /// Compute threads of the target's offload engine (frame decode /
+    /// augmentation for storage-side offload batches). Idle unless a
+    /// client issues `reserve_offload`.
+    pub offload_threads: usize,
 }
 
 impl Default for TargetConfig {
@@ -44,6 +48,7 @@ impl Default for TargetConfig {
         TargetConfig {
             per_cmd_processing: Dur::micros(2),
             threads: 1,
+            offload_threads: 2,
         }
     }
 }
@@ -53,6 +58,7 @@ pub struct NvmeOfTarget {
     device: Arc<NvmeDevice>,
     node: usize,
     processing: Servers,
+    offload: crate::offload::OffloadScheduler,
     cfg: TargetConfig,
 }
 
@@ -71,6 +77,7 @@ impl NvmeOfTarget {
             device,
             node,
             processing: Servers::new(cfg.threads.max(1)),
+            offload: crate::offload::OffloadScheduler::new(cfg.offload_threads),
             cfg,
         })
     }
@@ -212,6 +219,53 @@ impl NvmeTarget for RemoteTarget {
 
     fn probe_extent(&self, slba: u64, nblocks: u32) -> bool {
         self.target.device.probe_extent(slba, nblocks)
+    }
+
+    fn reserve_offload(
+        &self,
+        now: Time,
+        extents: &[blocksim::OffloadExtent],
+        response_bytes: u64,
+    ) -> Time {
+        // One request capsule describes the whole batch.
+        let req = crate::offload::OffloadRequestWire {
+            extents: extents.len(),
+        };
+        // Fabric faults delay the capsule; a dropped capsule is detected
+        // by the initiator's command timeout and retransmitted once the
+        // loss surfaces (a single-retransmit model — the payload path
+        // below shares the NIC reservations of every other transfer, so
+        // bandwidth contention is already charged there).
+        let t0 = match self
+            .cluster
+            .fault_decide(now, self.client_node, self.target.node)
+        {
+            crate::fault::FabricFault::Healthy => now,
+            crate::fault::FabricFault::Delay(extra) => now + extra,
+            crate::fault::FabricFault::Dropped { detect_after } => now + detect_after,
+        };
+        use crate::rpc::WireSize;
+        let t1 =
+            self.cluster
+                .reserve_transfer(t0, self.client_node, self.target.node, req.wire_bytes());
+        // 2. SPDK poll thread picks the capsule up.
+        let t2 = self
+            .target
+            .processing
+            .reserve(t1, self.target.cfg.per_cmd_processing);
+        // 3. Extent reads through the device, decode/augment on the
+        //    target's offload compute pool.
+        let t3 = self
+            .target
+            .offload
+            .reserve_batch(t2, &self.target.device, extents);
+        // 4. ONE dense response: the assembled sample bytes.
+        self.cluster.reserve_transfer(
+            t3,
+            self.target.node,
+            self.client_node,
+            response_bytes + RESPONSE_BYTES,
+        )
     }
 }
 
