@@ -49,6 +49,12 @@ cargo run -q --release --offline -p dlfs-bench --bin ext_rebuild -- n=512
 echo "== storage-side offload + chunk compression (smoke)"
 cargo run -q --release --offline -p dlfs-bench --bin ext_offload -- \
   samples=512 nodes=2 nics=0.8,6.8
+echo "== sharded metadata + multi-tenant WFQ (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin ext_multitenant -- \
+  clients=256 count=8000
+echo "== thousand-client metadata tier of fig09 (smoke)"
+cargo run -q --release --offline -p dlfs-bench --bin fig09_scalability -- \
+  per_node=150 clients=1024
 echo "== perf-trajectory gate"
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo worktree)"
 mkdir -p target/bench

@@ -103,7 +103,7 @@ fn bench_shuffle_and_plan() {
 
     // Epoch plan construction over a 100k-sample directory.
     let n = 100_000usize;
-    let mut builder = dlfs::DirectoryBuilder::new(4, n);
+    let mut builder = dlfs::DirectoryBuilder::new(4, n).unwrap();
     let mut cursors = [0u64; 4];
     for id in 0..n as u32 {
         let name = format!("s_{id:07}");
@@ -113,7 +113,7 @@ fn bench_shuffle_and_plan() {
             .unwrap();
         cursors[nid as usize] += 4096;
     }
-    let dir = builder.finish();
+    let dir = builder.finish().unwrap();
     let mut epoch = 0u64;
     bench("plan/epoch_plan_100k", 20, || {
         epoch += 1;

@@ -7,8 +7,8 @@
 
 use dlfs::{CacheMode, DlfsConfig, SampleSource};
 use dlfs_bench::{
-    arg, cluster_throughput, cluster_throughput_with, fmt_size, fmt_sps, ratio, setup, System,
-    Table, DEFAULT_SEED,
+    arg, cluster_throughput, cluster_throughput_with, fmt_ns, fmt_size, fmt_sps, meta_scale_run,
+    ratio, setup, MetaDesign, System, Table, DEFAULT_SEED,
 };
 
 fn main() {
@@ -18,6 +18,11 @@ fn main() {
     // `cache=cross` reruns DLFS with the cross-epoch cache and appends a
     // hit-rate column; the default output is unchanged.
     let cross = arg("cache", String::from("epoch")) == "cross";
+    // `clients=N` (N ≥ 1) appends the metadata scale-out tier: N simulated
+    // clients resolving+fetching through the sharded metadata service vs
+    // the centralized tree. Off by default, so the committed figure output
+    // is unchanged.
+    let clients: usize = arg("clients", 0);
 
     for (part, size) in [("a", 512u64), ("b", 128 << 10)] {
         println!(
@@ -102,5 +107,52 @@ fn main() {
             println!("paper: near-linear scaling        | measured 2→16 nodes: {scaling:.2}x of ideal 8x");
         }
         println!();
+    }
+
+    // ---- Extension tier: metadata scale-out at `clients` clients. --------
+    if clients > 0 {
+        println!(
+            "# Fig 9c (extension): metadata locate+fetch at {clients} clients, \
+             centralized vs sharded\n"
+        );
+        let mut t = Table::new(&[
+            "nodes",
+            "Central",
+            "Sharded",
+            "speedup",
+            "Central p99",
+            "Sharded p99",
+        ]);
+        for &nodes in &nodes_list {
+            let central = meta_scale_run(
+                seed,
+                MetaDesign::Centralized,
+                nodes,
+                clients,
+                64,
+                4,
+                nodes * 4000,
+            );
+            let sharded = meta_scale_run(
+                seed,
+                MetaDesign::Sharded,
+                nodes,
+                clients,
+                64,
+                4,
+                nodes * 4000,
+            );
+            t.row(&[
+                nodes.to_string(),
+                fmt_sps(central.ops_per_sec()),
+                fmt_sps(sharded.ops_per_sec()),
+                format!("{:.2}x", sharded.ops_per_sec() / central.ops_per_sec()),
+                fmt_ns(central.p99_ns),
+                fmt_ns(sharded.p99_ns),
+            ]);
+        }
+        t.print();
+        println!("\n# csv\n{}", t.csv());
+        println!("claim: the centralized tree serializes on one NIC; locality-aware shards scale with the node count\n");
     }
 }

@@ -33,7 +33,7 @@ fn main() {
     // the DLFS planner batches over.
     let record = train.record_len() as u64;
     let encoded = SyntheticSource::new(seed, vec![record; train_n]);
-    let mut builder = DirectoryBuilder::new(1, train_n);
+    let mut builder = DirectoryBuilder::new(1, train_n).unwrap();
     let mut cursor = 0u64;
     for id in 0..train_n as u32 {
         builder
@@ -41,7 +41,7 @@ fn main() {
             .unwrap();
         cursor += record;
     }
-    let dir = builder.finish();
+    let dir = builder.finish().unwrap();
 
     let cfg = TrainConfig {
         epochs,

@@ -25,7 +25,14 @@
 //!   batches (`ReadRequest::offload`) over LZ-compressed chunks against
 //!   four remote NVMe-oF targets on a fabric-bound 1 GB/s NIC, samples
 //!   per virtual second (higher is better); the gate asserts inline that
-//!   the offloaded epoch beats the raw client path on the same wiring.
+//!   the offloaded epoch beats the raw client path on the same wiring;
+//! - `sharded_lookup_p99_ns` — 99th-percentile end-to-end locate+fetch
+//!   latency through the locality-sharded metadata service, 256 clients
+//!   on 8 storage nodes (lower is better);
+//! - `multitenant_fair_share_err` — max absolute deviation of a
+//!   1:2:4-weighted tenant mix from its weight shares under WFQ slot
+//!   contention (lower is better); the gate asserts inline that it stays
+//!   within the 5% fairness budget.
 //!
 //! Usage:
 //!   perf_gate rev=<id> [out=<dir>] [baseline=<file>] [tolerance=0.10]
@@ -55,6 +62,8 @@ struct Metrics {
     degraded_p99_read_latency_ns: u64,
     rebuild_time_ns: u64,
     offload_epoch_throughput_sps: f64,
+    sharded_lookup_p99_ns: u64,
+    multitenant_fair_share_err: f64,
 }
 
 fn epoch_throughput_and_wakeups(seed: u64, verify: bool) -> (f64, u64) {
@@ -288,7 +297,9 @@ fn render_json(rev: &str, m: &Metrics) -> String {
          \"p99_read_latency_ns\": {},\n  \"warm_remount_ns\": {},\n  \
          \"reactor_wakeups_per_epoch\": {},\n  \
          \"degraded_p99_read_latency_ns\": {},\n  \"rebuild_time_ns\": {},\n  \
-         \"offload_epoch_throughput_sps\": {:.3}\n}}\n",
+         \"offload_epoch_throughput_sps\": {:.3},\n  \
+         \"sharded_lookup_p99_ns\": {},\n  \
+         \"multitenant_fair_share_err\": {:.6}\n}}\n",
         rev,
         m.epoch_throughput_sps,
         m.verified_epoch_throughput_sps,
@@ -297,7 +308,9 @@ fn render_json(rev: &str, m: &Metrics) -> String {
         m.reactor_wakeups_per_epoch,
         m.degraded_p99_read_latency_ns,
         m.rebuild_time_ns,
-        m.offload_epoch_throughput_sps
+        m.offload_epoch_throughput_sps,
+        m.sharded_lookup_p99_ns,
+        m.multitenant_fair_share_err
     )
 }
 
@@ -333,6 +346,23 @@ fn main() {
         overhead * 100.0
     );
     let (degraded_p99_read_latency_ns, rebuild_time_ns) = degraded_and_rebuild(seed);
+    // Sharded metadata tail: 256 clients locate+fetch through the
+    // locality-placed shards (its own simulation; legacy metrics are
+    // untouched).
+    let sharded_lookup_p99_ns =
+        dlfs_bench::meta_scale_run(seed, dlfs_bench::MetaDesign::Sharded, 8, 256, 32, 4, 20_000)
+            .p99_ns;
+    // WFQ fairness: 1:2:4 weights, four workers per tenant over two qpair
+    // slots. The 5% budget is a hard product guarantee — gate it inline
+    // like the verification tax, so a scheduling regression cannot hide
+    // behind a stale baseline.
+    let fair = dlfs_bench::weighted_fair_run(seed, &[1, 2, 4], 2, 4, Dur::micros(20_000));
+    assert!(
+        fair.err <= 0.05,
+        "WFQ fairness error {:.4} exceeds the 5% budget ({:?})",
+        fair.err,
+        fair.shares
+    );
     let m = Metrics {
         epoch_throughput_sps,
         verified_epoch_throughput_sps,
@@ -342,6 +372,8 @@ fn main() {
         degraded_p99_read_latency_ns,
         rebuild_time_ns,
         offload_epoch_throughput_sps: offload_epoch_throughput(seed),
+        sharded_lookup_p99_ns,
+        multitenant_fair_share_err: fair.err,
     };
 
     let json = render_json(&rev, &m);
@@ -356,7 +388,7 @@ fn main() {
     let base = std::fs::read_to_string(&baseline)
         .unwrap_or_else(|e| panic!("read baseline {baseline}: {e}"));
     // (key, current value, higher-is-better)
-    let checks: [(&str, f64, bool); 8] = [
+    let checks: [(&str, f64, bool); 10] = [
         ("epoch_throughput_sps", m.epoch_throughput_sps, true),
         (
             "verified_epoch_throughput_sps",
@@ -380,6 +412,16 @@ fn main() {
             "offload_epoch_throughput_sps",
             m.offload_epoch_throughput_sps,
             true,
+        ),
+        (
+            "sharded_lookup_p99_ns",
+            m.sharded_lookup_p99_ns as f64,
+            false,
+        ),
+        (
+            "multitenant_fair_share_err",
+            m.multitenant_fair_share_err,
+            false,
         ),
     ];
     let mut failed = false;

@@ -13,6 +13,7 @@
 
 pub mod cluster_runs;
 pub mod measure;
+pub mod multitenant;
 pub mod report;
 pub mod setup;
 pub mod table;
@@ -22,6 +23,9 @@ pub use cluster_runs::{
     cluster_throughput_with, System,
 };
 pub use measure::{read_n, read_n_latency, read_parallel, BackendFactory, Measured};
+pub use multitenant::{
+    greedy_shares, meta_scale_run, weighted_fair_run, FairRun, MetaDesign, MetaRun,
+};
 pub use report::{epoch_report, fmt_ns, print_stage_breakdown, stage_breakdown};
 pub use table::{fmt_size, fmt_sps, ratio, Table};
 

@@ -7,6 +7,8 @@
 //! Lookups report the number of nodes visited so the caller can charge an
 //! accurate traversal cost in virtual time.
 
+use crate::error::{DirectoryError, DlfsError};
+
 /// Arena index; `NIL` marks absent children.
 const NIL: u32 = u32::MAX;
 
@@ -214,39 +216,58 @@ impl<V> AvlTree<V> {
         AvlIter { tree: self, stack }
     }
 
-    /// Verify AVL invariants (tests / proptest): BST order, balance factors
-    /// in {-1,0,1}, heights consistent. Returns the checked node count.
-    pub fn validate(&self) -> Result<usize, String> {
+    /// Verify AVL invariants (tests / proptest): arena links in bounds,
+    /// BST order, balance factors in {-1,0,1}, heights consistent.
+    /// Structural damage surfaces as [`DlfsError::Directory`]
+    /// ([`DirectoryError::Corrupt`]) instead of an out-of-bounds panic.
+    /// Returns the checked node count.
+    pub fn validate(&self) -> Result<usize, DlfsError> {
+        fn corrupt(m: String) -> DlfsError {
+            DirectoryError::Corrupt(m).into()
+        }
         fn walk<V>(
             t: &AvlTree<V>,
             idx: u32,
             lo: Option<u64>,
             hi: Option<u64>,
-        ) -> Result<(usize, i8), String> {
+        ) -> Result<(usize, i8), DlfsError> {
             if idx == NIL {
                 return Ok((0, 0));
+            }
+            if idx as usize >= t.nodes.len() {
+                return Err(corrupt(format!(
+                    "arena link {idx} outside arena of {} node(s)",
+                    t.nodes.len()
+                )));
             }
             let n = &t.nodes[idx as usize];
             if let Some(lo) = lo {
                 if n.key <= lo {
-                    return Err(format!("BST violation at key {}", n.key));
+                    return Err(corrupt(format!("BST violation at key {}", n.key)));
                 }
             }
             if let Some(hi) = hi {
                 if n.key >= hi {
-                    return Err(format!("BST violation at key {}", n.key));
+                    return Err(corrupt(format!("BST violation at key {}", n.key)));
                 }
             }
             let (lc, lh) = walk(t, n.left, lo, Some(n.key))?;
             let (rc, rh) = walk(t, n.right, Some(n.key), hi)?;
             let h = 1 + lh.max(rh);
             if h != n.height {
-                return Err(format!("height mismatch at key {}", n.key));
+                return Err(corrupt(format!("height mismatch at key {}", n.key)));
             }
             if (lh - rh).abs() > 1 {
-                return Err(format!("imbalance at key {}", n.key));
+                return Err(corrupt(format!("imbalance at key {}", n.key)));
             }
             Ok((1 + lc + rc, h))
+        }
+        if self.root != NIL && self.root as usize >= self.nodes.len() {
+            return Err(corrupt(format!(
+                "root link {} outside arena of {} node(s)",
+                self.root,
+                self.nodes.len()
+            )));
         }
         walk(self, self.root, None, None).map(|(c, _)| c)
     }

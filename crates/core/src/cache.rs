@@ -46,13 +46,30 @@ use crate::error::DlfsError;
 fn missing(op: &'static str, key: RangeKey) -> DlfsError {
     DlfsError::Cache {
         op,
-        node: key.0,
+        node: (key.0 & 0xFFFF) as u16,
         offset: key.1,
     }
 }
 
-/// Key of a resident range: (storage node id, range start byte).
-pub type RangeKey = (u16, u64);
+/// Key of a resident range: (tenant-qualified storage node id, range
+/// start byte). The first component packs `tenant << 16 | node` (see
+/// [`range_key`]); with the implicit single tenant 0 it is numerically
+/// the bare node id, so single-tenant keys are unchanged.
+pub type RangeKey = (u32, u64);
+
+/// Build a [`RangeKey`]: tenants share the pool and eviction clock but
+/// never collide on keys, so one tenant's resident ranges are invisible
+/// to another's lookups.
+#[inline]
+pub fn range_key(tenant: crate::tenant::TenantId, node: u16, start: u64) -> RangeKey {
+    (((tenant as u32) << 16) | node as u32, start)
+}
+
+/// Storage node id a [`RangeKey`] addresses (drops the tenant bits).
+#[inline]
+pub fn key_node(key: RangeKey) -> u16 {
+    (key.0 & 0xFFFF) as u16
+}
 
 /// A pinned view of a resident range, returned by [`SampleCache::pin`].
 /// `gen` names the publication generation the pin was taken on; pass it

@@ -198,6 +198,12 @@ pub struct DlfsConfig {
     /// per-chunk transfers. Off by default; requests asking for offload
     /// against a non-offload instance get a typed Config error.
     pub offload: bool,
+    /// Multi-tenant QoS: tenant namespaces, token-bucket admission and
+    /// weighted-fair scheduling of device qpair slots
+    /// ([`crate::tenant`]). `None` — the default — is the single
+    /// implicit tenant (id 0), byte-identical to builds without the QoS
+    /// layer.
+    pub qos: Option<crate::tenant::QosConfig>,
     pub costs: DlfsCosts,
 }
 
@@ -225,6 +231,7 @@ impl Default for DlfsConfig {
             rebuild_gap_blocks: 64,
             codec: crate::codec::CodecKind::Identity,
             offload: false,
+            qos: None,
             costs: DlfsCosts::default(),
         }
     }
@@ -304,6 +311,9 @@ impl DlfsConfig {
         }
         if self.costs.decode_bytes_per_sec <= 0.0 {
             return Err("costs.decode_bytes_per_sec must be > 0".into());
+        }
+        if let Some(qos) = &self.qos {
+            qos.validate()?;
         }
         Ok(())
     }
@@ -429,6 +439,49 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        // QoS: zero slots, duplicate ids, zero weight and rate-without-burst
+        // are all caught; a well-formed config passes.
+        use crate::tenant::{QosConfig, TenantSpec};
+        let c = DlfsConfig {
+            qos: Some(QosConfig::equal(2, 0)),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = DlfsConfig {
+            qos: Some(QosConfig {
+                tenants: vec![TenantSpec::weighted(3, 1), TenantSpec::weighted(3, 2)],
+                ..QosConfig::equal(1, 2)
+            }),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = DlfsConfig {
+            qos: Some(QosConfig {
+                tenants: vec![TenantSpec::weighted(0, 0)],
+                ..QosConfig::equal(1, 2)
+            }),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = DlfsConfig {
+            qos: Some(QosConfig {
+                tenants: vec![TenantSpec::weighted(0, 1).throttled(1 << 20, 0)],
+                ..QosConfig::equal(1, 2)
+            }),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = DlfsConfig {
+            qos: Some(QosConfig {
+                tenants: vec![
+                    TenantSpec::weighted(0, 1),
+                    TenantSpec::weighted(1, 4).throttled(1 << 30, 1 << 20),
+                ],
+                ..QosConfig::equal(2, 2)
+            }),
+            ..Default::default()
+        };
+        c.validate().unwrap();
     }
 
     #[test]

@@ -17,7 +17,7 @@ use simkit::runtime::Runtime;
 use crate::avl::AvlTree;
 use crate::config::DlfsCosts;
 use crate::entry::SampleEntry;
-use crate::error::DlfsError;
+use crate::error::{DirectoryError, DlfsError};
 
 /// Which storage node a sample name lives on (hash placement).
 pub fn node_for_name(name: &str, nodes: usize) -> u16 {
@@ -36,16 +36,21 @@ pub struct DirectoryBuilder {
 }
 
 impl DirectoryBuilder {
-    pub fn new(storage_nodes: usize, samples: usize) -> DirectoryBuilder {
-        assert!(storage_nodes > 0 && storage_nodes <= u16::MAX as usize);
-        assert!(samples <= u32::MAX as usize);
-        DirectoryBuilder {
+    pub fn new(storage_nodes: usize, samples: usize) -> Result<DirectoryBuilder, DlfsError> {
+        if storage_nodes == 0 || storage_nodes > u16::MAX as usize || samples > u32::MAX as usize {
+            return Err(DirectoryError::Shape {
+                storage_nodes,
+                samples,
+            }
+            .into());
+        }
+        Ok(DirectoryBuilder {
             nodes: storage_nodes,
             unit1: vec![0; samples],
             unit2: vec![0; samples],
             filled: vec![false; samples],
             trees: (0..storage_nodes).map(|_| AvlTree::new()).collect(),
-        }
+        })
     }
 
     /// Register sample `id` with its location.
@@ -67,7 +72,16 @@ impl DirectoryBuilder {
         let key = SampleEntry::key_for(name);
         let entry = SampleEntry::new(nid, key, offset, len, false);
         let idx = id as usize;
-        assert!(!self.filled[idx], "sample id {id} registered twice");
+        if idx >= self.filled.len() {
+            return Err(DirectoryError::IdOutOfRange {
+                id,
+                samples: self.filled.len() as u32,
+            }
+            .into());
+        }
+        if self.filled[idx] {
+            return Err(DirectoryError::DuplicateId(id).into());
+        }
         self.trees[(key % self.nodes as u64) as usize]
             .insert(key, id)
             .map_err(|_| DlfsError::KeyCollision(name.to_string()))?;
@@ -106,11 +120,15 @@ impl DirectoryBuilder {
         Ok(())
     }
 
-    pub fn finish(self) -> SampleDirectory {
-        assert!(
-            self.filled.iter().all(|&f| f),
-            "directory build incomplete: some sample ids were never added"
-        );
+    pub fn finish(self) -> Result<SampleDirectory, DlfsError> {
+        let missing = self.filled.iter().filter(|&&f| !f).count() as u32;
+        if missing > 0 {
+            return Err(DirectoryError::Incomplete {
+                missing,
+                total: self.filled.len() as u32,
+            }
+            .into());
+        }
         let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); self.nodes];
         for (id, &u1) in self.unit1.iter().enumerate() {
             let nid = (u1 >> 48) as usize;
@@ -123,13 +141,13 @@ impl DirectoryBuilder {
             ids.sort_by_key(|&id| unit2[id as usize] >> 24);
             let _ = nid;
         }
-        SampleDirectory {
+        Ok(SampleDirectory {
             nodes: self.nodes,
             unit1: self.unit1,
             unit2: self.unit2.into_iter().map(AtomicU64::new).collect(),
             trees: self.trees,
             per_node,
-        }
+        })
     }
 }
 
@@ -232,7 +250,7 @@ impl SampleDirectory {
     }
 
     /// Validate every per-node AVL tree's invariants (tests).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DlfsError> {
         for t in &self.trees {
             t.validate()?;
         }
@@ -245,7 +263,7 @@ mod tests {
     use super::*;
 
     fn build(n_nodes: usize, n_samples: usize) -> SampleDirectory {
-        let mut b = DirectoryBuilder::new(n_nodes, n_samples);
+        let mut b = DirectoryBuilder::new(n_nodes, n_samples).unwrap();
         let mut cursors = vec![0u64; n_nodes];
         for id in 0..n_samples as u32 {
             let name = format!("train/sample_{id:07}");
@@ -254,7 +272,7 @@ mod tests {
             b.add(id, &name, nid, cursors[nid as usize], len).unwrap();
             cursors[nid as usize] += len;
         }
-        b.finish()
+        b.finish().unwrap()
     }
 
     #[test]
@@ -333,17 +351,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn duplicate_id_panics() {
-        let mut b = DirectoryBuilder::new(1, 2);
+    fn duplicate_id_is_typed_error() {
+        let mut b = DirectoryBuilder::new(1, 2).unwrap();
         b.add(0, "a", 0, 0, 512).unwrap();
-        b.add(0, "b", 0, 512, 512).unwrap();
+        assert_eq!(
+            b.add(0, "b", 0, 512, 512),
+            Err(DlfsError::Directory(DirectoryError::DuplicateId(0)))
+        );
     }
 
     #[test]
-    #[should_panic(expected = "incomplete")]
-    fn incomplete_build_panics() {
-        let b = DirectoryBuilder::new(1, 3);
-        b.finish();
+    fn incomplete_build_is_typed_error() {
+        let b = DirectoryBuilder::new(1, 3).unwrap();
+        match b.finish() {
+            Err(DlfsError::Directory(DirectoryError::Incomplete { missing, total })) => {
+                assert_eq!((missing, total), (3, 3));
+            }
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_shapes_are_typed_errors() {
+        assert!(matches!(
+            DirectoryBuilder::new(0, 10),
+            Err(DlfsError::Directory(DirectoryError::Shape { .. }))
+        ));
+        let mut b = DirectoryBuilder::new(1, 1).unwrap();
+        assert_eq!(
+            b.add(7, "late", 0, 0, 512),
+            Err(DlfsError::Directory(DirectoryError::IdOutOfRange {
+                id: 7,
+                samples: 1
+            }))
+        );
     }
 }

@@ -101,6 +101,62 @@ impl std::fmt::Display for LayoutError {
 
 impl std::error::Error for LayoutError {}
 
+/// What the sample-directory builder or a metadata-shard lookup found
+/// wrong. Surfaced as [`DlfsError::Directory`] — the typed replacement for
+/// the builder's historical `assert!` invariants, so a malformed dataset
+/// description degrades the one mount instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// The builder was given an unusable shape: zero storage nodes, more
+    /// than `u16::MAX` nodes, or more than `u32::MAX` samples.
+    Shape {
+        storage_nodes: usize,
+        samples: usize,
+    },
+    /// A sample id outside the declared `samples` range was registered.
+    IdOutOfRange { id: u32, samples: u32 },
+    /// The same sample id was registered twice.
+    DuplicateId(u32),
+    /// `finish` was called before every declared sample id was registered.
+    Incomplete { missing: u32, total: u32 },
+    /// A metadata-shard lookup hit an entry that was retired from its
+    /// shard (tombstoned by a rebalance or an explicit retire): the name
+    /// was once present, so this is neither `NotFound` nor a stale-map
+    /// routing error.
+    Retired { id: u32 },
+    /// An AVL-tree structural invariant (BST order, balance, height, or an
+    /// arena link pointing outside the arena) failed validation.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectoryError::Shape {
+                storage_nodes,
+                samples,
+            } => write!(
+                f,
+                "unusable directory shape: {storage_nodes} storage node(s), {samples} sample(s)"
+            ),
+            DirectoryError::IdOutOfRange { id, samples } => {
+                write!(f, "sample id {id} out of range (directory holds {samples})")
+            }
+            DirectoryError::DuplicateId(id) => write!(f, "sample id {id} registered twice"),
+            DirectoryError::Incomplete { missing, total } => write!(
+                f,
+                "directory build incomplete: {missing} of {total} sample id(s) never added"
+            ),
+            DirectoryError::Retired { id } => {
+                write!(f, "sample id {id} was retired from its metadata shard")
+            }
+            DirectoryError::Corrupt(m) => write!(f, "directory tree corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
+
 /// Errors surfaced by the DLFS API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DlfsError {
@@ -139,6 +195,9 @@ pub enum DlfsError {
     Deployment(String),
     /// The on-device persistent layout rejected what it found.
     Layout(LayoutError),
+    /// The sample directory (builder, AVL validation, or a metadata-shard
+    /// lookup) rejected what it was given.
+    Directory(DirectoryError),
     /// Every replica of a data chunk was exhausted with at least one
     /// checksum mismatch along the way: the chunk is corrupt beyond what
     /// failover and read-repair could recover (degraded mode).
@@ -199,6 +258,7 @@ impl std::fmt::Display for DlfsError {
             ),
             DlfsError::Deployment(m) => write!(f, "bad deployment: {m}"),
             DlfsError::Layout(e) => write!(f, "layout: {e}"),
+            DlfsError::Directory(e) => write!(f, "directory: {e}"),
             DlfsError::Corrupt { chunk, tried, .. } => write!(
                 f,
                 "chunk at offset {chunk} corrupt on every replica ({tried} read(s) tried)"
@@ -220,6 +280,7 @@ impl std::error::Error for DlfsError {
         match self {
             DlfsError::Io { cause, .. } => Some(cause),
             DlfsError::Layout(e) => Some(e),
+            DlfsError::Directory(e) => Some(e),
             DlfsError::Corrupt { cause, .. } => Some(cause),
             _ => None,
         }
@@ -229,5 +290,11 @@ impl std::error::Error for DlfsError {
 impl From<LayoutError> for DlfsError {
     fn from(e: LayoutError) -> DlfsError {
         DlfsError::Layout(e)
+    }
+}
+
+impl From<DirectoryError> for DlfsError {
+    fn from(e: DirectoryError) -> DlfsError {
+        DlfsError::Directory(e)
     }
 }

@@ -74,6 +74,13 @@ pub struct DlfsShared {
     /// was staged with `cfg.codec != Identity`; `None` keeps every read
     /// on its historical raw-bytes branch.
     pub codec: Option<Arc<crate::codec::CodecTables>>,
+    /// Tenant this handle's reads belong to: folded into every cache key
+    /// and charged at the QoS admission gate. 0 is the implicit single
+    /// tenant of non-QoS mounts.
+    pub tenant: crate::tenant::TenantId,
+    /// The instance's shared admission gate; `None` — the default — skips
+    /// admission entirely (no QoS config on the mount).
+    pub qos: Option<Arc<crate::tenant::TenantQos>>,
 }
 
 impl std::fmt::Debug for DlfsShared {
@@ -82,7 +89,39 @@ impl std::fmt::Debug for DlfsShared {
             .field("reader", &self.reader_id)
             .field("readers", &self.readers)
             .field("targets", &self.targets.len())
+            .field("tenant", &self.tenant)
             .finish()
+    }
+}
+
+impl DlfsShared {
+    /// Tenant-qualified cache key for a range on `nid` starting at
+    /// `start` (see [`crate::cache::range_key`]).
+    #[inline]
+    pub fn rkey(&self, nid: u16, start: u64) -> crate::cache::RangeKey {
+        crate::cache::range_key(self.tenant, nid, start)
+    }
+
+    /// A handle over the same devices, cache pool and copy threads that
+    /// reads as `tenant` instead. Cheap: every heavy member is shared.
+    pub fn with_tenant(self: &Arc<Self>, tenant: crate::tenant::TenantId) -> Arc<DlfsShared> {
+        if tenant == self.tenant {
+            return self.clone();
+        }
+        Arc::new(DlfsShared {
+            cfg: self.cfg.clone(),
+            dir: self.dir.clone(),
+            cache: self.cache.clone(),
+            copy: self.copy.clone(),
+            targets: self.targets.clone(),
+            reader_id: self.reader_id,
+            readers: self.readers,
+            layouts: self.layouts.clone(),
+            redundancy: self.redundancy.clone(),
+            codec: self.codec.clone(),
+            tenant,
+            qos: self.qos.clone(),
+        })
     }
 }
 
@@ -510,7 +549,7 @@ impl DlfsIo {
         };
         for (idx, bufs) in st.bufs {
             let it = &st.plan.items[idx as usize];
-            let key = (it.nid, it.offset);
+            let key = self.shared.rkey(it.nid, it.offset);
             if self.shared.cache.contains(key) {
                 // Published: the cache owns the chunks. EpochScoped:
                 // release retires them (deferred if zero-copy samples
@@ -678,7 +717,7 @@ impl DlfsIo {
             let st = self.epoch.as_ref().expect("no epoch");
             let it = &st.plan.items[idx as usize];
             let (slba, _, alloc) = self.read_geometry(it.nid, it.offset, it.len);
-            ((it.nid, it.offset), slba, alloc)
+            (self.shared.rkey(it.nid, it.offset), slba, alloc)
         };
         let st = self.epoch.as_mut().expect("no epoch");
         let it = &st.plan.items[idx as usize];
@@ -996,7 +1035,7 @@ impl DlfsIo {
             let Some(&(nid, offset, len)) = self.prefetch.queue.front() else {
                 break;
             };
-            let key = (nid, offset);
+            let key = self.shared.rkey(nid, offset);
             let (slba, nblocks, bytes) = self.read_geometry(nid, offset, len);
             if bytes > chunk
                 || self.shared.cache.contains(key)
@@ -1053,7 +1092,7 @@ impl DlfsIo {
         };
         st.bufs.keys().any(|&idx| {
             let it = &st.plan.items[idx as usize];
-            (it.nid, it.offset) == key && st.items[idx as usize].parts_left > 0
+            self.shared.rkey(it.nid, it.offset) == key && st.items[idx as usize].parts_left > 0
         })
     }
 
@@ -1073,16 +1112,17 @@ impl DlfsIo {
             .inflight
             .remove(&key)
             .expect("prefetch buffer tracked");
+        let nid = crate::cache::key_node(key);
         // Prefetched bytes are published into the cache, so they must pass
         // checksum verification like any demand read; a corrupt prefetch is
         // simply dropped (demand reads repair via replicas).
         let verified = match self.shared.redundancy.as_deref().filter(|r| r.verify()) {
             Some(red) if status.is_ok() => {
-                let (slba, nblocks, _) = self.read_geometry(key.0, key.1, len);
+                let (slba, nblocks, _) = self.read_geometry(nid, key.1, len);
                 rt.work(self.shared.cfg.costs.verify_block * nblocks as u64);
                 self.tel.iv_verified.add(nblocks as u64);
                 let ok = buf.with(|d| {
-                    red.verify_blocks(key.0, slba, &d[..nblocks as usize * BLOCK_SIZE as usize])
+                    red.verify_blocks(nid, slba, &d[..nblocks as usize * BLOCK_SIZE as usize])
                 });
                 if !ok {
                     self.tel.iv_mismatches.inc();
@@ -1092,7 +1132,7 @@ impl DlfsIo {
             _ => true,
         };
         if status.is_ok() && verified && !self.shared.cache.contains(key) {
-            self.decode_frame(rt, key.0, key.1, std::slice::from_ref(&buf));
+            self.decode_frame(rt, nid, key.1, std::slice::from_ref(&buf));
             self.shared.cache.publish_prefetched(key, vec![buf], len);
         } else {
             if status == CmdStatus::TransportError {
@@ -1192,9 +1232,10 @@ impl DlfsIo {
                 // in the sample cache, flip the V field of its samples and
                 // offer it to the delivery draw.
                 let it = &st.plan.items[idx as usize];
-                let (key, len) = ((it.nid, it.offset), it.len);
+                let (key, len) = (self.shared.rkey(it.nid, it.offset), it.len);
+                let (nid, offset) = (it.nid, it.offset);
                 let bufs = st.bufs[&idx].clone();
-                self.decode_frame(rt, key.0, key.1, &bufs);
+                self.decode_frame(rt, nid, offset, &bufs);
                 self.shared.cache.publish(key, bufs, len);
                 let st = self.epoch.as_mut().expect("no epoch");
                 let it = &st.plan.items[idx as usize];
@@ -1394,7 +1435,10 @@ impl DlfsIo {
             // The engine still holds this range (never released), so it
             // cannot have been evicted; a miss means an eviction or
             // teardown won a race and already reclaimed the chunks.
-            let _ = self.shared.cache.release((it.nid, it.offset));
+            let _ = self
+                .shared
+                .cache
+                .release(self.shared.rkey(it.nid, it.offset));
             st.open_items -= 1;
             for &s in &it.samples {
                 self.shared.dir.set_valid(s, false);
@@ -1439,14 +1483,37 @@ impl DlfsIo {
             return Err(DlfsError::EpochExhausted);
         }
         self.tel.batches.inc();
-        let batch = if req.offload {
-            Completions::copied(self.run_offload(rt, want, req)?)
+        // QoS admission (multi-tenant mounts only): token-bucket throttle
+        // then a WFQ device-slot grant, charged to the request's tenant —
+        // the handle's unless the request overrides it. The slot is held
+        // for the whole batch and released below even on error.
+        let qos = self.shared.qos.clone();
+        let grant = match &qos {
+            Some(q) => {
+                let tenant = req.tenant.unwrap_or(self.shared.tenant);
+                Some(q.admit(rt, tenant, q.batch_cost(want))?)
+            }
+            None => None,
+        };
+        let outcome = if req.offload {
+            self.run_offload(rt, want, req).map(Completions::copied)
         } else {
             match req.delivery {
-                Delivery::Copied => Completions::copied(self.run_copied(rt, want, req)?),
-                Delivery::ZeroCopy => Completions::zero_copy(self.run_zero_copy(rt, want, req)?),
+                Delivery::Copied => self.run_copied(rt, want, req).map(Completions::copied),
+                Delivery::ZeroCopy => self
+                    .run_zero_copy(rt, want, req)
+                    .map(Completions::zero_copy),
             }
         };
+        if let Some(q) = &qos {
+            let delivered = outcome.as_ref().map(|b| b.len()).unwrap_or(0);
+            q.complete(
+                grant.expect("granted above"),
+                delivered as u64,
+                q.batch_cost(delivered),
+            );
+        }
+        let batch = outcome?;
         if batch.len() < want {
             self.tel.deadline_misses.inc();
         }
@@ -2183,7 +2250,7 @@ impl DlfsIo {
                     let st = self.epoch.as_ref().expect("no epoch");
                     let it = &st.plan.items[idx as usize];
                     (
-                        (it.nid, it.offset),
+                        self.shared.rkey(it.nid, it.offset),
                         segments_for(
                             it,
                             st.items[idx as usize].base,
@@ -2643,9 +2710,11 @@ impl DlfsIo {
         // Fast path (paper §III-C1): "we first check the sample entry and
         // return the data if the V field is on."
         if entry.valid() {
-            if let Some(data) =
-                self.read_pinned(rt, entry, &[((entry.nid(), chunk_base), chunk_base)])
-            {
+            if let Some(data) = self.read_pinned(
+                rt,
+                entry,
+                &[(self.shared.rkey(entry.nid(), chunk_base), chunk_base)],
+            ) {
                 if cross {
                     self.tel.ce_hits.inc();
                 }
@@ -2656,9 +2725,12 @@ impl DlfsIo {
             // may still sit on the cache's LRU tail — under its chunk's
             // key, or (edge/sample-level items) under its own offset.
             let (_, _, head) = covering_blocks(entry.offset(), entry.len());
-            let mut keys = vec![((entry.nid(), chunk_base), chunk_base)];
+            let mut keys = vec![(self.shared.rkey(entry.nid(), chunk_base), chunk_base)];
             if entry.offset() != chunk_base {
-                keys.push(((entry.nid(), entry.offset()), entry.offset() - head as u64));
+                keys.push((
+                    self.shared.rkey(entry.nid(), entry.offset()),
+                    entry.offset() - head as u64,
+                ));
             }
             if let Some(data) = self.read_pinned(rt, entry, &keys) {
                 self.tel.ce_hits.inc();
@@ -2716,7 +2788,7 @@ impl DlfsIo {
         if cross {
             // Park the fetched chunk on the evictable LRU tail (unless the
             // batched engine published the same key while we polled).
-            let key = (entry.nid(), chunk_base);
+            let key = self.shared.rkey(entry.nid(), chunk_base);
             if self.shared.cache.contains(key) {
                 for b in bufs {
                     self.shared.cache.free_raw(b);
@@ -2762,10 +2834,15 @@ impl DlfsIo {
             // Warm path: candidate keys in a fixed array (no allocation) —
             // the covering chunk's key, plus (edge/sample-level items) the
             // sample's own offset.
-            let mut keys: [Option<(RangeKey, u64)>; 2] =
-                [Some(((entry.nid(), chunk_base), chunk_base)), None];
+            let mut keys: [Option<(RangeKey, u64)>; 2] = [
+                Some((self.shared.rkey(entry.nid(), chunk_base), chunk_base)),
+                None,
+            ];
             if entry.offset() != chunk_base {
-                keys[1] = Some(((entry.nid(), entry.offset()), entry.offset() - head as u64));
+                keys[1] = Some((
+                    self.shared.rkey(entry.nid(), entry.offset()),
+                    entry.offset() - head as u64,
+                ));
             }
             if let Some(s) = self.pin_zero_copy(rt, id, entry, keys) {
                 if cross {
@@ -2788,7 +2865,12 @@ impl DlfsIo {
                 // (its encoded prefix) and decode in place before the
                 // publish, so the pinned segments reference raw bytes.
                 let fbase = fslba * BLOCK_SIZE;
-                (fslba, enc_blocks, fbase, (entry.nid(), fbase))
+                (
+                    fslba,
+                    enc_blocks,
+                    fbase,
+                    self.shared.rkey(entry.nid(), fbase),
+                )
             } else if cross {
                 let sample_end = entry.offset() + entry.len();
                 let dev_end = self.shared.targets[nid].blocks() * BLOCK_SIZE;
@@ -2800,7 +2882,7 @@ impl DlfsIo {
                     chunk_base / BLOCK_SIZE,
                     nblocks,
                     chunk_base,
-                    (entry.nid(), chunk_base),
+                    self.shared.rkey(entry.nid(), chunk_base),
                 )
             } else {
                 let (slba, nblocks, _) = covering_blocks(entry.offset(), entry.len());
@@ -2808,7 +2890,7 @@ impl DlfsIo {
                     slba,
                     nblocks,
                     entry.offset() - head as u64,
-                    (entry.nid(), entry.offset()),
+                    self.shared.rkey(entry.nid(), entry.offset()),
                 )
             };
             let bufs = self.fetch_range(rt, nid, entry.nid(), slba, nblocks, None)?;

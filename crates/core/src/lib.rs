@@ -61,12 +61,14 @@ pub mod error;
 pub mod integrity;
 pub mod io;
 pub mod layout;
+pub mod metashard;
 pub mod mount;
 pub mod plan;
 pub mod reactor;
 pub mod rebuild;
 pub mod request;
 pub mod source;
+pub mod tenant;
 pub mod writer;
 pub mod zerocopy;
 
@@ -75,12 +77,13 @@ pub use codec::{Codec, CodecKind, CodecTables, NodeFrames};
 pub use config::{BatchMode, CacheMode, DlfsConfig, DlfsCosts};
 pub use directory::{node_for_name, DirectoryBuilder, SampleDirectory};
 pub use entry::SampleEntry;
-pub use error::{CorruptCause, DlfsError, IoFailure, LayoutError};
+pub use error::{CorruptCause, DirectoryError, DlfsError, IoFailure, LayoutError};
 pub use integrity::Redundancy;
 pub use io::{DlfsIo, DlfsShared};
 pub use layout::{
     fsck_node, fsck_repair, BlockChecksums, FsckNodeReport, FsckRepairReport, FsckState, Superblock,
 };
+pub use metashard::{place_shards, shard_of, MetaClient, MetaLookup, MetaService, MetaShardConfig};
 pub use mount::{Deployment, DlfsInstance, MountBuilder, MountOptions};
 pub use plan::{
     build_epoch_plan, full_random_order, reader_item_ranges, EpochPlan, FetchItem, ReaderPlan,
@@ -89,5 +92,6 @@ pub use reactor::CompletionClock;
 pub use rebuild::{RebuildExtent, RebuildPlan};
 pub use request::{Completion, Completions, Delivery, ReadRequest};
 pub use source::{CompressibleSource, SampleSource, SyntheticSource};
+pub use tenant::{QosConfig, TenantId, TenantQos, TenantSpec};
 pub use writer::{BatchedWriter, CheckpointReader, CheckpointWriter};
 pub use zerocopy::ZeroCopySample;

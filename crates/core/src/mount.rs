@@ -139,6 +139,39 @@ impl DlfsInstance {
         DlfsIo::with_registry(self.shared[r].clone(), reg)
     }
 
+    /// Create an I/O handle for reader `r` serving `tenant`: same
+    /// devices, cache pool and copy threads as [`DlfsInstance::io`], but
+    /// reads key the cache under the tenant's namespace and pass the QoS
+    /// admission gate as that tenant.
+    pub fn io_tenant(&self, r: usize, tenant: crate::tenant::TenantId) -> DlfsIo {
+        DlfsIo::new(self.shared[r].with_tenant(tenant))
+    }
+
+    /// [`DlfsInstance::io_tenant`] with telemetry recorded into `reg`.
+    pub fn io_tenant_with_registry(
+        &self,
+        r: usize,
+        tenant: crate::tenant::TenantId,
+        reg: &simkit::telemetry::Registry,
+    ) -> DlfsIo {
+        DlfsIo::with_registry(self.shared[r].with_tenant(tenant), reg)
+    }
+
+    /// The instance's shared QoS admission gate, when the configuration
+    /// asked for one ([`DlfsConfig::qos`]).
+    pub fn qos(&self) -> Option<&Arc<crate::tenant::TenantQos>> {
+        self.shared.first().and_then(|s| s.qos.as_ref())
+    }
+
+    /// Rebind every reader handle's default tenant (mount-time:
+    /// [`MountBuilder::tenant`]).
+    fn with_default_tenant(mut self, tenant: crate::tenant::TenantId) -> DlfsInstance {
+        if tenant != 0 {
+            self.shared = self.shared.iter().map(|s| s.with_tenant(tenant)).collect();
+        }
+        self
+    }
+
     /// Shared per-reader state (cache stats etc.).
     pub fn shared(&self, r: usize) -> &Arc<DlfsShared> {
         &self.shared[r]
@@ -259,6 +292,8 @@ impl DlfsInstance {
                     layouts: s.layouts.clone(),
                     redundancy: s.redundancy.clone(),
                     codec: s.codec.clone(),
+                    tenant: s.tenant,
+                    qos: s.qos.clone(),
                 })
             })
             .collect();
@@ -332,7 +367,7 @@ fn plan_placement(
     frame: Option<u64>,
 ) -> Result<Placement, DlfsError> {
     let count = source.count();
-    let mut builder = DirectoryBuilder::new(storage_nodes, count);
+    let mut builder = DirectoryBuilder::new(storage_nodes, count)?;
     let mut cursors = vec![0u64; storage_nodes];
     let mut per_node_ids: Vec<Vec<u32>> = vec![Vec::new(); storage_nodes];
     for id in 0..count as u32 {
@@ -343,7 +378,7 @@ fn plan_placement(
         builder.add(id, &name, nid, data_base[nid as usize] + at, len)?;
         per_node_ids[nid as usize].push(id);
     }
-    Ok((Arc::new(builder.finish()), per_node_ids, cursors))
+    Ok((Arc::new(builder.finish()?), per_node_ids, cursors))
 }
 
 /// Per-node (sample count, data-region bytes) of the hash placement,
@@ -1014,6 +1049,10 @@ fn build_instance(
     codec: Option<Arc<CodecTables>>,
 ) -> DlfsInstance {
     let readers = deployment.targets.len();
+    let qos = cfg
+        .qos
+        .as_ref()
+        .map(|q| crate::tenant::TenantQos::new(q, dir.avg_sample_bytes()));
     let shared = (0..readers)
         .map(|r| {
             let cache = Arc::new(SampleCache::with_mode(
@@ -1033,6 +1072,8 @@ fn build_instance(
                 layouts: layouts.clone(),
                 redundancy: redundancy.clone(),
                 codec: codec.clone(),
+                tenant: 0,
+                qos: qos.clone(),
             })
         })
         .collect();
@@ -1400,13 +1441,13 @@ fn remount_impl(
         ))
         .into());
     }
-    let mut builder = DirectoryBuilder::new(storage_nodes, total as usize);
+    let mut builder = DirectoryBuilder::new(storage_nodes, total as usize)?;
     for (_, recs, _, _) in &nodes {
         for rec in recs {
             builder.add_raw(rec.id, rec.unit1, rec.unit2)?;
         }
     }
-    let dir = Arc::new(builder.finish());
+    let dir = Arc::new(builder.finish()?);
     allgather(rt, &deployment, &dir, &opts, readers, storage_nodes);
     let redundancy = (replicas > 1 || cfg.verify_reads).then(|| {
         let slots = nodes
@@ -1602,6 +1643,7 @@ pub struct MountBuilder {
     persistent: bool,
     warm: bool,
     faults: Option<fabric::FabricFaultInjector>,
+    default_tenant: crate::tenant::TenantId,
 }
 
 impl MountBuilder {
@@ -1614,6 +1656,7 @@ impl MountBuilder {
             persistent: false,
             warm: false,
             faults: None,
+            default_tenant: 0,
         }
     }
 
@@ -1655,6 +1698,15 @@ impl MountBuilder {
     /// mount traffic flows. Requires a clustered deployment.
     pub fn with_faults(mut self, injector: fabric::FabricFaultInjector) -> MountBuilder {
         self.faults = Some(injector);
+        self
+    }
+
+    /// Default tenant of the mounted instance's plain [`DlfsInstance::io`]
+    /// handles (per-request override: [`crate::ReadRequest::tenant`];
+    /// per-handle: [`DlfsInstance::io_tenant`]). Only meaningful with
+    /// [`DlfsConfig::qos`] set; the implicit default is tenant 0.
+    pub fn tenant(mut self, tenant: crate::tenant::TenantId) -> MountBuilder {
+        self.default_tenant = tenant;
         self
     }
 
@@ -1705,17 +1757,19 @@ impl MountBuilder {
             ));
         }
         let deployment = self.take_deployment()?;
-        if self.persistent {
+        let inst = if self.persistent {
             import_impl(rt, deployment, source, self.cfg, self.opts)
         } else {
             mount_impl(rt, deployment, source, self.cfg, self.opts)
-        }
+        }?;
+        Ok(inst.with_default_tenant(self.default_tenant))
     }
 
     /// Warm path: rebuild the directory from the devices' own metadata
     /// regions — zero PFS traffic, zero data-region writes.
     pub fn remount(mut self, rt: &Runtime) -> Result<DlfsInstance, DlfsError> {
         let deployment = self.take_deployment()?;
-        remount_impl(rt, deployment, self.cfg, self.opts)
+        Ok(remount_impl(rt, deployment, self.cfg, self.opts)?
+            .with_default_tenant(self.default_tenant))
     }
 }

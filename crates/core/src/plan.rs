@@ -290,7 +290,7 @@ mod tests {
     use crate::directory::{node_for_name, DirectoryBuilder};
 
     fn dir_with(nodes: usize, samples: usize, size: impl Fn(u32) -> u64) -> SampleDirectory {
-        let mut b = DirectoryBuilder::new(nodes, samples);
+        let mut b = DirectoryBuilder::new(nodes, samples).unwrap();
         let mut cursors = vec![0u64; nodes];
         for id in 0..samples as u32 {
             let name = format!("s_{id:07}");
@@ -299,7 +299,7 @@ mod tests {
             b.add(id, &name, nid, cursors[nid as usize], len).unwrap();
             cursors[nid as usize] += len;
         }
-        b.finish()
+        b.finish().unwrap()
     }
 
     fn all_samples_once(plan: &EpochPlan, total: usize) {

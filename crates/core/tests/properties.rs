@@ -91,7 +91,7 @@ fn plan_covers_each_sample_once() {
         let chunk_kb = g.range(1, 64);
         let sample_level = g.below(2) == 1;
         let seed = g.below(1000);
-        let mut b = DirectoryBuilder::new(nodes, samples);
+        let mut b = DirectoryBuilder::new(nodes, samples).unwrap();
         let mut cursors = vec![0u64; nodes];
         let mut rng = SplitMix64::new(seed);
         for id in 0..samples as u32 {
@@ -101,7 +101,7 @@ fn plan_covers_each_sample_once() {
             b.add(id, &name, nid, cursors[nid as usize], len).unwrap();
             cursors[nid as usize] += len;
         }
-        let dir = b.finish();
+        let dir = b.finish().unwrap();
         let mode = if sample_level {
             BatchMode::SampleLevel
         } else {
@@ -151,7 +151,7 @@ fn cache_interleavings_never_panic_leak_or_tear() {
             CacheMode::EpochScoped
         };
         let cache = SampleCache::with_mode(CHUNK, total, mode);
-        let keys: Vec<RangeKey> = (0..6).map(|i| (0u16, i * 4 * CHUNK as u64)).collect();
+        let keys: Vec<RangeKey> = (0..6).map(|i| (0u32, i * 4 * CHUNK as u64)).collect();
         // Latest published byte tag per key; stale entries are pruned on
         // retire (and on release in epoch-scoped mode, where release frees).
         let mut tags: std::collections::HashMap<RangeKey, u8> = Default::default();

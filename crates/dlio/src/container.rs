@@ -112,7 +112,7 @@ impl TfRecordDataset {
             self.containers.len(),
             "directory does not match this dataset's containers"
         );
-        let mut b = DirectoryBuilder::new(container_dir.storage_nodes(), self.records.len());
+        let mut b = DirectoryBuilder::new(container_dir.storage_nodes(), self.records.len())?;
         for (r, &(c, off, len)) in self.records.iter().enumerate() {
             let ce = container_dir.entry(c);
             b.add(
@@ -123,7 +123,7 @@ impl TfRecordDataset {
                 len,
             )?;
         }
-        Ok(Arc::new(b.finish()))
+        Ok(Arc::new(b.finish()?))
     }
 }
 

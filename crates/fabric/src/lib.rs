@@ -42,6 +42,7 @@ pub mod nvmeof;
 pub mod offload;
 pub mod rdma;
 pub mod rpc;
+pub mod shard;
 pub mod topology;
 
 pub use fault::{FabricFault, FabricFaultInjector};
@@ -53,4 +54,5 @@ pub use nvmeof::{
 pub use offload::{OffloadRequestWire, OffloadScheduler, DESCRIPTOR_BYTES};
 pub use rdma::{MemoryRegion, RdmaQp};
 pub use rpc::{serve, RpcClient, RpcError, WireSize};
+pub use shard::{Route, ShardMap, ShardRouter};
 pub use topology::{Cluster, FabricConfig};

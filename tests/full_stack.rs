@@ -178,14 +178,14 @@ fn dlfs_order_trains_as_well_as_full_shuffle() {
         dlfs::full_random_order(n, 3, e as u64)
     });
 
-    let mut builder = dlfs::DirectoryBuilder::new(1, n);
+    let mut builder = dlfs::DirectoryBuilder::new(1, n).unwrap();
     let rec = train.record_len() as u64;
     for id in 0..n as u32 {
         builder
             .add(id, &format!("t_{id:06}"), 0, id as u64 * rec, rec)
             .unwrap();
     }
-    let dir = builder.finish();
+    let dir = builder.finish().unwrap();
     let dlfs_run = train_with_orders(&train, &val, &cfg, |e| {
         dlfs::build_epoch_plan(
             &dir,
